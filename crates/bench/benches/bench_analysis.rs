@@ -1,0 +1,42 @@
+//! Criterion benchmarks for E3: end-to-end symbolic analysis under each
+//! consistency mode (host time; the virtual-time comparison lives in
+//! the exp_analysis_speed binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hardsnap::firmware;
+use hardsnap::{ConsistencyMode, Engine, EngineConfig, Searcher};
+use hardsnap_sim::SimTarget;
+
+fn run_mode(mode: ConsistencyMode) -> u64 {
+    let prog = hardsnap_isa::assemble(&firmware::branching_firmware(3)).unwrap();
+    let config = EngineConfig {
+        mode,
+        searcher: Searcher::RoundRobin,
+        quantum: 8,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(
+        Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap()),
+        config,
+    );
+    engine.load_firmware(&prog);
+    let r = engine.run();
+    assert_eq!(r.metrics.paths_completed, 8);
+    r.instructions
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    c.bench_function("analysis_hardsnap_8_paths", |b| {
+        b.iter(|| std::hint::black_box(run_mode(ConsistencyMode::HardSnap)))
+    });
+    c.bench_function("analysis_reboot_8_paths", |b| {
+        b.iter(|| std::hint::black_box(run_mode(ConsistencyMode::NaiveConsistent)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks for E8: fuzzing executions with snapshot vs
+//! reboot reset (host time per small campaign).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hardsnap::firmware;
+use hardsnap_fuzz::{FuzzConfig, Fuzzer, ResetStrategy};
+use hardsnap_sim::SimTarget;
+
+fn campaign(reset: ResetStrategy) -> usize {
+    let prog = hardsnap_isa::assemble(&firmware::uart_parser_firmware()).unwrap();
+    let target = Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap());
+    let mut f = Fuzzer::new(
+        target,
+        &prog,
+        FuzzConfig { max_inputs: 100, reset, seed: 7, tape_len: 2, ..Default::default() },
+    )
+    .unwrap();
+    f.run().coverage
+}
+
+fn bench_fuzz(c: &mut Criterion) {
+    c.bench_function("fuzz_100_inputs_snapshot_reset", |b| {
+        b.iter(|| std::hint::black_box(campaign(ResetStrategy::Snapshot)))
+    });
+    c.bench_function("fuzz_100_inputs_reboot_reset", |b| {
+        b.iter(|| std::hint::black_box(campaign(ResetStrategy::Reboot)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fuzz
+}
+criterion_main!(benches);

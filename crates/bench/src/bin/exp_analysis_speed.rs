@@ -1,0 +1,98 @@
+//! E3 — "How beneficial is hardware snapshotting for firmware analysis?"
+//!
+//! Symbolic-execution throughput over branching firmware: HardSnap's
+//! snapshot context switches vs the naive-and-consistent reboot+replay
+//! baseline, sweeping the number of symbolic branches (paths = 2^k) and
+//! the length of the device init sequence.
+
+use hardsnap::firmware;
+use hardsnap::{ConsistencyMode, Engine, EngineConfig, Searcher};
+use hardsnap_bench::{banner, fmt_ns, row};
+use hardsnap_bus::HwTarget;
+use hardsnap_fpga::{FpgaOptions, FpgaTarget};
+use hardsnap_sim::SimTarget;
+
+fn target(fpga: bool) -> Box<dyn HwTarget> {
+    let soc = hardsnap_periph::soc().unwrap();
+    if fpga {
+        Box::new(FpgaTarget::new(soc, &FpgaOptions::default()).unwrap())
+    } else {
+        Box::new(SimTarget::new(soc).unwrap())
+    }
+}
+
+fn run(mode: ConsistencyMode, src: &str, fpga: bool) -> (u64, u64, u64) {
+    let prog = hardsnap_isa::assemble(src).unwrap();
+    let config = EngineConfig {
+        mode,
+        searcher: Searcher::RoundRobin,
+        quantum: 8,
+        max_instructions: 3_000_000,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(target(fpga), config);
+    engine.load_firmware(&prog);
+    let r = engine.run();
+    assert!(r.bugs.is_empty(), "{mode:?}: {:?}", r.bugs);
+    (r.metrics.paths_completed, r.hw_virtual_time_ns, r.metrics.context_switches)
+}
+
+fn main() {
+    banner(
+        "E3",
+        "Analysis speed: HardSnap vs naive-and-consistent reboots",
+        "HardSnap avoids per-switch reboots; speedup grows with path count \
+         and with init length (paper: snapshots amortize the INIT sequence)",
+    );
+    let widths = [9, 7, 15, 15, 9, 10];
+    for fpga in [false, true] {
+        println!();
+        println!(
+            "--- branching firmware (paths = 2^k) on the {} target ---",
+            if fpga { "FPGA" } else { "simulator" }
+        );
+        row(&["k", "paths", "hardsnap-time", "reboot-time", "speedup", "switches"], &widths);
+        for k in [2u32, 3, 4, 5] {
+            let src = firmware::branching_firmware(k);
+            let (p_hs, t_hs, sw) = run(ConsistencyMode::HardSnap, &src, fpga);
+            let (p_nc, t_nc, _) = run(ConsistencyMode::NaiveConsistent, &src, fpga);
+            assert_eq!(p_hs, p_nc);
+            row(
+                &[
+                    &k.to_string(),
+                    &p_hs.to_string(),
+                    &fmt_ns(t_hs),
+                    &fmt_ns(t_nc),
+                    &format!("{:.1}x", t_nc as f64 / t_hs as f64),
+                    &sw.to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!();
+    println!("--- init-heavy firmware (k=3, sweeping init writes, simulator) ---");
+    row(&["init", "paths", "hardsnap-time", "reboot-time", "speedup", "switches"], &widths);
+    for init in [10u32, 40, 160] {
+        let src = firmware::init_heavy_firmware(init, 3);
+        let (p_hs, t_hs, sw) = run(ConsistencyMode::HardSnap, &src, false);
+        let (p_nc, t_nc, _) = run(ConsistencyMode::NaiveConsistent, &src, false);
+        assert_eq!(p_hs, p_nc);
+        row(
+            &[
+                &init.to_string(),
+                &p_hs.to_string(),
+                &fmt_ns(t_hs),
+                &fmt_ns(t_nc),
+                &format!("{:.1}x", t_nc as f64 / t_hs as f64),
+                &sw.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("note: on the simulator target the snapshot itself is CRIU-priced");
+    println!("(~20 ms), so the advantage over a 100 ms reboot is a small factor;");
+    println!("on the FPGA target the scan-chain snapshot costs ~70 us and the");
+    println!("speedup is orders of magnitude — the shape the paper reports.");
+}

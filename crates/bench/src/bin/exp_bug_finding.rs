@@ -1,0 +1,104 @@
+//! E5 — Finding and diagnosing planted security bugs.
+//!
+//! Three planted bugs (buffer overflow by off-by-one, hardware-readback-
+//! dependent magic command, IRQ-gated detonation) analyzed under each
+//! consistency mode. HardSnap must find all three with reproducing test
+//! cases and zero false alarms; the inconsistent baseline degrades.
+
+use hardsnap::firmware::{vulnerable_firmware, PlantedBug};
+use hardsnap::{BugKind, ConsistencyMode, Engine, EngineConfig, Searcher};
+use hardsnap_bench::{banner, row};
+use hardsnap_sim::SimTarget;
+
+fn expected_kind(bug: PlantedBug) -> BugKind {
+    match bug {
+        PlantedBug::LengthOverflow => BugKind::Unmapped,
+        PlantedBug::MagicCommand | PlantedBug::IrqGated => BugKind::FailHit,
+    }
+}
+
+fn main() {
+    banner(
+        "E5",
+        "Planted-bug detection and diagnosis",
+        "hardsnap: 3/3 found, reproducing test case each, 0 false alarms; \
+         inconsistent baseline: misses and/or false alarms",
+    );
+    let widths = [20, 17, 7, 9, 13, 24];
+    row(&["mode", "bug", "found", "false+", "instrs", "testcase"], &widths);
+    for (mode_name, mode) in [
+        ("hardsnap", ConsistencyMode::HardSnap),
+        ("naive-consistent", ConsistencyMode::NaiveConsistent),
+        ("naive-inconsistent", ConsistencyMode::NaiveInconsistent),
+    ] {
+        for bug in PlantedBug::all() {
+            let prog = hardsnap_isa::assemble(&vulnerable_firmware(bug)).unwrap();
+            let config = EngineConfig {
+                mode,
+                searcher: Searcher::RoundRobin,
+                quantum: 4,
+                max_instructions: 500_000,
+                ..Default::default()
+            };
+            let mut engine = Engine::new(
+                Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap()),
+                config,
+            );
+            engine.load_firmware(&prog);
+            let r = engine.run();
+            let want = expected_kind(bug);
+            let hit = r.bugs.iter().find(|b| b.kind == want);
+            let false_pos = r.bugs.iter().filter(|b| b.kind != want).count();
+            let tc = hit
+                .and_then(|b| b.testcase.as_ref())
+                .map(|m| {
+                    m.iter()
+                        .map(|(k, v)| format!("{k}={v:#x}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .unwrap_or_else(|| "-".into());
+            row(
+                &[
+                    mode_name,
+                    bug.name(),
+                    if hit.is_some() { "yes" } else { "NO" },
+                    &false_pos.to_string(),
+                    &r.instructions.to_string(),
+                    &tc,
+                ],
+                &widths,
+            );
+        }
+        // Consistency-stress workload: 16 concurrently explored paths,
+        // each asserting its own hardware readback. A correct engine
+        // reports zero bugs here; shared-hardware analysis raises false
+        // alarms (the false positives the paper warns about).
+        let prog =
+            hardsnap_isa::assemble(&hardsnap::firmware::branching_firmware(4)).unwrap();
+        let config = EngineConfig {
+            mode,
+            searcher: Searcher::RoundRobin,
+            quantum: 4,
+            max_instructions: 500_000,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(
+            Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap()),
+            config,
+        );
+        engine.load_firmware(&prog);
+        let r = engine.run();
+        row(
+            &[
+                mode_name,
+                "bug-free-16path",
+                "-",
+                &r.bugs.len().to_string(),
+                &r.instructions.to_string(),
+                if r.bugs.is_empty() { "(clean)" } else { "(false alarms!)" },
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! E2 — I/O forwarding latency and execution speed per target.
+//!
+//! The paper measures forwarding latency and raw execution speed of the
+//! FPGA target vs the simulator target; the shapes to reproduce: the
+//! FPGA executes orders of magnitude faster per cycle, but each
+//! forwarded transaction pays the USB round-trip, while the simulator is
+//! slow per cycle with a cheap shared-memory hop.
+
+use hardsnap_bench::{banner, fmt_ns, row};
+use hardsnap_bus::{map::soc, HwTarget};
+use hardsnap_fpga::{FpgaOptions, FpgaTarget};
+use hardsnap_periph::regs;
+use hardsnap_sim::SimTarget;
+
+fn measure(target: &mut dyn HwTarget, n: u32) -> (u64, u64, u64) {
+    target.reset();
+    // Forwarding latency: n write+read pairs against the timer.
+    let t0 = target.virtual_time_ns();
+    for i in 0..n {
+        target.bus_write(soc::TIMER_BASE + regs::timer::LOAD, i).unwrap();
+        let v = target.bus_read(soc::TIMER_BASE + regs::timer::VALUE).unwrap();
+        assert_eq!(v, i);
+    }
+    let io_ns = (target.virtual_time_ns() - t0) / (2 * n as u64);
+    // Execution speed: virtual ns per 100k cycles.
+    let t1 = target.virtual_time_ns();
+    target.step(100_000);
+    let step_ns = target.virtual_time_ns() - t1;
+    let hz = 100_000f64 / (step_ns as f64 / 1e9);
+    (io_ns, step_ns, hz as u64)
+}
+
+fn main() {
+    banner(
+        "E2",
+        "I/O forwarding latency and execution speed (FPGA vs simulator)",
+        "FPGA: ~30 us/transaction (USB3), ~100 MHz execution; simulator: \
+         ~2-20 us/transaction, ~0.5 MHz execution. Crossover: few \
+         interactions + much computation favors FPGA.",
+    );
+    let widths = [11, 16, 18, 14];
+    row(&["target", "ns/transaction", "ns/100k cycles", "eff. clock"], &widths);
+    let mut sim = SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap();
+    let (io, st, hz) = measure(&mut sim, 100);
+    row(
+        &["simulator", &fmt_ns(io), &fmt_ns(st), &format!("{:.2} MHz", hz as f64 / 1e6)],
+        &widths,
+    );
+    let mut fpga =
+        FpgaTarget::new(hardsnap_periph::soc().unwrap(), &FpgaOptions::default()).unwrap();
+    let (io, st, hz) = measure(&mut fpga, 100);
+    row(
+        &["fpga", &fmt_ns(io), &fmt_ns(st), &format!("{:.2} MHz", hz as f64 / 1e6)],
+        &widths,
+    );
+}

@@ -1,0 +1,102 @@
+//! E6 — Multi-target orchestration: moving live hardware state between
+//! the FPGA and the simulator mid-operation (paper §III-B).
+//!
+//! Starts an AES encryption on the FPGA, transfers the state to the
+//! simulator in the middle of the 10-round pipeline, finishes there, and
+//! verifies the ciphertext is bit-exact — plus the reverse direction and
+//! the transfer costs.
+
+use hardsnap_bench::{banner, fmt_ns, row};
+use hardsnap_bus::{map::soc, transfer_state, HwTarget};
+use hardsnap_fpga::{FpgaOptions, FpgaTarget};
+use hardsnap_periph::{golden, regs};
+use hardsnap_sim::SimTarget;
+
+fn load_aes(t: &mut dyn HwTarget, key: &[u8; 16], pt: &[u8; 16]) {
+    let kw = golden::words_from_bytes(key);
+    let pw = golden::words_from_bytes(pt);
+    for i in 0..4u32 {
+        t.bus_write(soc::AES_BASE + regs::aes128::KEY0 + 4 * i, kw[i as usize]).unwrap();
+        t.bus_write(soc::AES_BASE + regs::aes128::BLOCK0 + 4 * i, pw[i as usize]).unwrap();
+    }
+    t.bus_write(soc::AES_BASE + regs::aes128::CTRL, regs::aes128::CTRL_START).unwrap();
+}
+
+fn read_result(t: &mut dyn HwTarget) -> [u8; 16] {
+    let mut cw = [0u32; 4];
+    for (i, c) in cw.iter_mut().enumerate() {
+        *c = t.bus_read(soc::AES_BASE + regs::aes128::RESULT0 + 4 * i as u32).unwrap();
+    }
+    golden::bytes_from_words(&cw)
+}
+
+fn main() {
+    banner(
+        "E6",
+        "Multi-target state transfer (FPGA <-> simulator)",
+        "state clones bit-exactly in both directions at any point; \
+         transfer cost = one scan save + one restore",
+    );
+    let key = *b"sixteen byte key";
+    let pt = *b"hardware in loop";
+    let expected = golden::aes128_encrypt(&key, &pt);
+
+    // FPGA -> simulator, mid-encryption.
+    let mut fpga =
+        FpgaTarget::new(hardsnap_periph::soc().unwrap(), &FpgaOptions::default()).unwrap();
+    fpga.reset();
+    load_aes(&mut fpga, &key, &pt);
+    fpga.step(4); // a few rounds in, mid-pipeline
+    let mut sim = SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap();
+    sim.reset();
+    let t0f = fpga.virtual_time_ns();
+    let t0s = sim.virtual_time_ns();
+    let snap = transfer_state(&mut fpga, &mut sim).unwrap();
+    let cost_f = fpga.virtual_time_ns() - t0f;
+    let cost_s = sim.virtual_time_ns() - t0s;
+    sim.step(20); // finish the encryption on the simulator
+    let ct = read_result(&mut sim);
+    let widths = [24, 14, 40];
+    row(&["direction", "cost", "result"], &widths);
+    row(
+        &[
+            "fpga -> simulator",
+            &fmt_ns(cost_f + cost_s),
+            if ct == expected { "ciphertext bit-exact" } else { "MISMATCH" },
+        ],
+        &widths,
+    );
+    assert_eq!(ct, expected, "fpga->sim transfer corrupted the pipeline");
+
+    // Simulator -> FPGA, mid-encryption.
+    let mut sim2 = SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap();
+    sim2.reset();
+    load_aes(&mut sim2, &key, &pt);
+    sim2.step(4);
+    let mut fpga2 =
+        FpgaTarget::new(hardsnap_periph::soc().unwrap(), &FpgaOptions::default()).unwrap();
+    fpga2.reset();
+    let t0 = sim2.virtual_time_ns() + fpga2.virtual_time_ns();
+    transfer_state(&mut sim2, &mut fpga2).unwrap();
+    let cost = sim2.virtual_time_ns() + fpga2.virtual_time_ns() - t0;
+    fpga2.step(20);
+    let ct2 = read_result(&mut fpga2);
+    row(
+        &[
+            "simulator -> fpga",
+            &fmt_ns(cost),
+            if ct2 == expected { "ciphertext bit-exact" } else { "MISMATCH" },
+        ],
+        &widths,
+    );
+    assert_eq!(ct2, expected, "sim->fpga transfer corrupted the pipeline");
+    println!();
+    println!(
+        "transferred snapshot: {} registers, {} memories, {} state bits",
+        snap.regs.len(),
+        snap.mems.len(),
+        snap.state_bits()
+    );
+    println!("use case (paper): run fast on the FPGA, transfer to the simulator");
+    println!("at the point of interest to obtain full traces (see take_trace()).");
+}

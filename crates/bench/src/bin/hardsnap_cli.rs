@@ -1,0 +1,266 @@
+//! `hardsnap-cli` — command-line front door to the framework.
+//!
+//! ```text
+//! hardsnap-cli stats <design.v> [--top NAME]
+//! hardsnap-cli instrument <design.v> [--top NAME] [--scope PREFIX] -o <out.v>
+//! hardsnap-cli sim <design.v> [--top NAME] --cycles N [--vcd out.vcd]
+//! hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
+//! hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
+//! hardsnap-cli soc-stats
+//! ```
+//!
+//! The built-in SoC (UART + TIMER + SHA-256 + AES-128) is used as the
+//! hardware for `analyze` and `fuzz`; `stats`/`instrument`/`sim` accept
+//! any Verilog file in the supported subset.
+
+use hardsnap::{ConsistencyMode, Engine, EngineConfig, Searcher};
+use hardsnap_bus::HwTarget;
+use hardsnap_fpga::{FpgaOptions, FpgaTarget};
+use hardsnap_fuzz::{FuzzConfig, Fuzzer, ResetStrategy};
+use hardsnap_scan::{instrument, ScanOptions};
+use hardsnap_sim::SimTarget;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn run(args: &[String]) -> CliResult {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "stats" => cmd_stats(rest),
+        "instrument" => cmd_instrument(rest),
+        "sim" => cmd_sim(rest),
+        "analyze" => cmd_analyze(rest),
+        "fuzz" => cmd_fuzz(rest),
+        "soc-stats" => cmd_soc_stats(),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'hardsnap-cli help')").into()),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "hardsnap — hardware/software co-testing with hardware snapshotting
+
+USAGE:
+  hardsnap-cli stats <design.v> [--top NAME]
+      Parse + elaborate a Verilog design and print netlist statistics.
+  hardsnap-cli instrument <design.v> [--top NAME] [--scope PREFIX] -o <out.v>
+      Insert the scan chain + memory collars; write instrumented Verilog.
+  hardsnap-cli sim <design.v> [--top NAME] --cycles N [--vcd out.vcd]
+      Simulate a design for N cycles (inputs held at reset values).
+  hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
+      Symbolically analyze HS32 firmware against the built-in SoC.
+  hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
+      Coverage-guided fuzzing of HS32 firmware against the built-in SoC.
+  hardsnap-cli soc-stats
+      Print statistics of the built-in 4-peripheral SoC."
+    );
+}
+
+/// Tiny flag parser: positional args plus `--flag value` pairs.
+fn parse_flags(args: &[String]) -> Result<(Vec<&str>, Vec<(&str, &str)>), String> {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name, v.as_str()));
+            i += 2;
+        } else if a == "-o" {
+            let v = args.get(i + 1).ok_or("-o needs a value")?;
+            flags.push(("out", v.as_str()));
+            i += 2;
+        } else {
+            pos.push(a);
+            i += 1;
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn flag<'a>(flags: &[(&'a str, &'a str)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+}
+
+fn load_design(path: &str, top: Option<&str>) -> Result<hardsnap_rtl::Module, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let design = hardsnap_verilog::parse_design(&src).map_err(|e| format!("{path}:{e}"))?;
+    let top = match top {
+        Some(t) => t.to_string(),
+        None => design
+            .iter()
+            .last()
+            .map(|m| m.name.clone())
+            .ok_or_else(|| format!("{path}: no modules"))?,
+    };
+    hardsnap_rtl::elaborate(&design, &top).map_err(|e| e.to_string())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("stats: missing <design.v>")?;
+    let m = load_design(path, flag(&flags, "top"))?;
+    let stats = hardsnap_rtl::ModuleStats::of(&m);
+    println!("{stats}");
+    let (_, chain) = instrument(&m, &ScanOptions::default())
+        .map_err(|e| format!("instrumentation: {e}"))?;
+    println!(
+        "scan chain: {} bits, {} memory collar words",
+        chain.chain_bits(),
+        chain.mem_words()
+    );
+    Ok(())
+}
+
+fn cmd_instrument(args: &[String]) -> CliResult {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("instrument: missing <design.v>")?;
+    let out = flag(&flags, "out").ok_or("instrument: missing -o <out.v>")?;
+    let m = load_design(path, flag(&flags, "top"))?;
+    let opts = ScanOptions {
+        scope: flag(&flags, "scope").map(str::to_string),
+        skip_memories: false,
+    };
+    let (instrumented, chain) = instrument(&m, &opts)?;
+    std::fs::write(out, hardsnap_verilog::print_module(&instrumented))?;
+    println!(
+        "wrote {out}: {} chain bits across {} registers, {} collared memories",
+        chain.chain_bits(),
+        chain.segments.len(),
+        chain.mems.len()
+    );
+    Ok(())
+}
+
+fn cmd_sim(args: &[String]) -> CliResult {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("sim: missing <design.v>")?;
+    let cycles: u64 = flag(&flags, "cycles").ok_or("sim: missing --cycles N")?.parse()?;
+    let m = load_design(path, flag(&flags, "top"))?;
+    let mut sim = hardsnap_sim::Simulator::new(m)?;
+    let mut trace = flag(&flags, "vcd").map(|_| hardsnap_sim::VcdTrace::new(&mut sim));
+    if sim.module().find_net("rst").is_some() {
+        sim.poke("rst", 1)?;
+        sim.step(2);
+        sim.poke("rst", 0)?;
+    }
+    for _ in 0..cycles {
+        sim.step(1);
+        if let Some(t) = &mut trace {
+            t.sample(&mut sim);
+        }
+    }
+    println!("simulated {cycles} cycles of '{}'", sim.module().name);
+    if let (Some(t), Some(path)) = (trace, flag(&flags, "vcd")) {
+        std::fs::write(path, t.into_string())?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("analyze: missing <firmware.s>")?;
+    let src = std::fs::read_to_string(path)?;
+    let program = hardsnap_isa::assemble(&src).map_err(|e| format!("{path}:{e}"))?;
+    let soc = hardsnap_periph::soc()?;
+    let target: Box<dyn HwTarget> = match flag(&flags, "target").unwrap_or("sim") {
+        "sim" => Box::new(SimTarget::new(soc)?),
+        "fpga" => Box::new(FpgaTarget::new(soc, &FpgaOptions::default())?),
+        other => return Err(format!("unknown target '{other}'").into()),
+    };
+    let mode = match flag(&flags, "mode").unwrap_or("hardsnap") {
+        "hardsnap" => ConsistencyMode::HardSnap,
+        "reboot" => ConsistencyMode::NaiveConsistent,
+        "shared" => ConsistencyMode::NaiveInconsistent,
+        other => return Err(format!("unknown mode '{other}'").into()),
+    };
+    let mut engine = Engine::new(
+        target,
+        EngineConfig { mode, searcher: Searcher::RoundRobin, ..Default::default() },
+    );
+    engine.load_firmware(&program);
+    let result = engine.run();
+    println!("paths completed : {}", result.metrics.paths_completed);
+    println!("instructions    : {}", result.instructions);
+    println!("context switches: {}", result.metrics.context_switches);
+    println!("hw virtual time : {} us", result.hw_virtual_time_ns / 1000);
+    println!("solver queries  : {}", engine.executor.solver.stats.queries);
+    println!("bugs            : {}", result.bugs.len());
+    for b in &result.bugs {
+        println!(
+            "  {:?} at pc {:#010x} ({}): {}",
+            b.kind,
+            b.pc,
+            hardsnap_isa::disassemble_at(&program.image, b.pc),
+            b.description
+        );
+        if let Some(tc) = &b.testcase {
+            for (name, value) in tc.iter() {
+                println!("    input {name} = {value:#x}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> CliResult {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("fuzz: missing <firmware.s>")?;
+    let src = std::fs::read_to_string(path)?;
+    let program = hardsnap_isa::assemble(&src).map_err(|e| format!("{path}:{e}"))?;
+    let inputs: u64 = flag(&flags, "inputs").unwrap_or("1000").parse()?;
+    let reset = match flag(&flags, "reset").unwrap_or("snapshot") {
+        "snapshot" => ResetStrategy::Snapshot,
+        "reboot" => ResetStrategy::Reboot,
+        other => return Err(format!("unknown reset strategy '{other}'").into()),
+    };
+    let target = Box::new(SimTarget::new(hardsnap_periph::soc()?)?);
+    let mut fuzzer = Fuzzer::new(
+        target,
+        &program,
+        FuzzConfig { max_inputs: inputs, reset, ..Default::default() },
+    )?;
+    let r = fuzzer.run();
+    println!("executions      : {}", r.execs);
+    println!("coverage (PCs)  : {}", r.coverage);
+    println!("virtual hw time : {} ms", r.hw_virtual_time_ns / 1_000_000);
+    println!("virtual execs/s : {:.1}", r.virtual_execs_per_sec);
+    for c in &r.crashes {
+        println!("crash: {} input {:#x?}", c.fault, c.input);
+    }
+    Ok(())
+}
+
+fn cmd_soc_stats() -> CliResult {
+    let soc = hardsnap_periph::soc()?;
+    println!("{}", hardsnap_rtl::ModuleStats::of(&soc));
+    for (name, f) in hardsnap_periph::corpus() {
+        let m = f()?;
+        println!("  {}", hardsnap_rtl::ModuleStats::of(&m));
+        let _ = name;
+    }
+    Ok(())
+}

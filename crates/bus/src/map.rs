@@ -1,0 +1,191 @@
+//! The firmware-visible memory map of the synthetic SoC.
+//!
+//! Mirrors a typical Cortex-M style layout: RAM low, peripherals in a
+//! dedicated MMIO window. The symbolic virtual machine uses the map to
+//! decide which loads/stores stay inside the VM (RAM) and which cross the
+//! VM boundary and must be forwarded to the hardware target — the
+//! selective-symbolic-execution split of the paper (§III-B).
+
+/// What a region of the address space is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Normal read/write memory, lives inside the VM state.
+    Ram,
+    /// Read-only memory (firmware image); writes are a detected fault.
+    Rom,
+    /// Memory-mapped peripheral window, forwarded to the hardware target.
+    Mmio,
+}
+
+/// A contiguous address region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Region name for diagnostics (`"ram"`, `"uart"`, ...).
+    pub name: String,
+    /// First byte address.
+    pub base: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Kind.
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// True if `addr` falls inside this region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.size
+    }
+}
+
+/// An ordered set of non-overlapping regions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemoryMap {
+    regions: Vec<Region>,
+}
+
+/// Default SoC layout constants, shared by firmware, the symbolic VM and
+/// the peripheral register maps.
+pub mod soc {
+    /// RAM base (vector table lives at the bottom).
+    pub const RAM_BASE: u32 = 0x0000_0000;
+    /// RAM size (64 KiB).
+    pub const RAM_SIZE: u32 = 0x0001_0000;
+    /// UART register window.
+    pub const UART_BASE: u32 = 0x4000_0000;
+    /// Timer register window.
+    pub const TIMER_BASE: u32 = 0x4000_1000;
+    /// SHA-256 accelerator register window.
+    pub const SHA_BASE: u32 = 0x4000_2000;
+    /// AES-128 accelerator register window.
+    pub const AES_BASE: u32 = 0x4000_3000;
+    /// Snapshot-controller IP window (FPGA platform, paper §III-C).
+    pub const SNAPCTL_BASE: u32 = 0x4000_F000;
+    /// Size of each peripheral window.
+    pub const PERIPH_SIZE: u32 = 0x1000;
+}
+
+impl MemoryMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        MemoryMap::default()
+    }
+
+    /// The default synthetic-SoC map used throughout the evaluation:
+    /// 64 KiB RAM plus the four corpus peripherals and the snapshot
+    /// controller.
+    pub fn default_soc() -> Self {
+        let mut m = MemoryMap::new();
+        m.add(Region {
+            name: "ram".into(),
+            base: soc::RAM_BASE,
+            size: soc::RAM_SIZE,
+            kind: RegionKind::Ram,
+        })
+        .unwrap();
+        for (name, base) in [
+            ("uart", soc::UART_BASE),
+            ("timer", soc::TIMER_BASE),
+            ("sha", soc::SHA_BASE),
+            ("aes", soc::AES_BASE),
+            ("snapctl", soc::SNAPCTL_BASE),
+        ] {
+            m.add(Region {
+                name: name.into(),
+                base,
+                size: soc::PERIPH_SIZE,
+                kind: RegionKind::Mmio,
+            })
+            .unwrap();
+        }
+        m
+    }
+
+    /// Adds a region.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the region is empty or overlaps an
+    /// existing region.
+    pub fn add(&mut self, region: Region) -> Result<(), String> {
+        if region.size == 0 {
+            return Err(format!("region '{}' is empty", region.name));
+        }
+        if region.base.checked_add(region.size - 1).is_none() {
+            return Err(format!("region '{}' wraps the address space", region.name));
+        }
+        for r in &self.regions {
+            let a0 = region.base as u64;
+            let a1 = a0 + region.size as u64;
+            let b0 = r.base as u64;
+            let b1 = b0 + r.size as u64;
+            if a0 < b1 && b0 < a1 {
+                return Err(format!("region '{}' overlaps '{}'", region.name, r.name));
+            }
+        }
+        self.regions.push(region);
+        Ok(())
+    }
+
+    /// Finds the region containing `addr`.
+    pub fn lookup(&self, addr: u32) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// Kind of the region containing `addr`, or `None` for unmapped
+    /// addresses (an unmapped access is a detected fault).
+    pub fn kind_of(&self, addr: u32) -> Option<RegionKind> {
+        self.lookup(addr).map(|r| r.kind)
+    }
+
+    /// Iterates over the regions in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_soc_routes_correctly() {
+        let m = MemoryMap::default_soc();
+        assert_eq!(m.kind_of(0x0000_1234), Some(RegionKind::Ram));
+        assert_eq!(m.kind_of(soc::UART_BASE + 4), Some(RegionKind::Mmio));
+        assert_eq!(m.kind_of(soc::AES_BASE), Some(RegionKind::Mmio));
+        assert_eq!(m.kind_of(0x2000_0000), None);
+        assert_eq!(m.lookup(soc::SHA_BASE).unwrap().name, "sha");
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut m = MemoryMap::new();
+        m.add(Region { name: "a".into(), base: 0, size: 0x100, kind: RegionKind::Ram }).unwrap();
+        let e = m
+            .add(Region { name: "b".into(), base: 0xff, size: 1, kind: RegionKind::Ram })
+            .unwrap_err();
+        assert!(e.contains("overlaps"));
+        // Adjacent is fine.
+        m.add(Region { name: "c".into(), base: 0x100, size: 1, kind: RegionKind::Mmio }).unwrap();
+    }
+
+    #[test]
+    fn empty_and_wrapping_regions_rejected() {
+        let mut m = MemoryMap::new();
+        assert!(m
+            .add(Region { name: "z".into(), base: 0, size: 0, kind: RegionKind::Ram })
+            .is_err());
+        assert!(m
+            .add(Region { name: "w".into(), base: u32::MAX, size: 2, kind: RegionKind::Ram })
+            .is_err());
+    }
+
+    #[test]
+    fn region_boundaries_are_exact() {
+        let r = Region { name: "r".into(), base: 0x100, size: 0x10, kind: RegionKind::Mmio };
+        assert!(!r.contains(0xff));
+        assert!(r.contains(0x100));
+        assert!(r.contains(0x10f));
+        assert!(!r.contains(0x110));
+    }
+}

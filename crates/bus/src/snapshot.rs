@@ -1,0 +1,440 @@
+//! The canonical hardware-snapshot format.
+//!
+//! A [`HwSnapshot`] is the paper's "offline representation" of hardware
+//! state: every flip-flop register and every memory of the design under
+//! test, by hierarchical name. Both targets produce and consume this one
+//! format, which is precisely what makes multi-target state transfer
+//! (FPGA → simulator and back, paper §III-B "target orchestration")
+//! possible: a snapshot saved on one target restores bit-exactly on the
+//! other.
+//!
+//! Snapshots also serialize to a compact byte image
+//! ([`HwSnapshot::to_bytes`]) — the analogue of the CRIU checkpoint file
+//! the paper stores on persistent storage — and the image size drives the
+//! save/restore cost models in the benchmarks.
+
+use std::collections::HashMap;
+
+/// One flip-flop register's saved state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegImage {
+    /// Hierarchical register name (e.g. `u_aes.round_cnt`).
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub width: u32,
+    /// The saved bits (normalized to the width).
+    pub bits: u64,
+}
+
+/// One memory's saved state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemImage {
+    /// Hierarchical memory name.
+    pub name: String,
+    /// Word width in bits.
+    pub width: u32,
+    /// All words, index 0 first.
+    pub words: Vec<u64>,
+}
+
+/// A complete hardware snapshot: the set `S_hw` of all hardware register
+/// values of the peripherals under test at a point in time (paper §IV-B).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct HwSnapshot {
+    /// Name of the (flattened) design this snapshot was taken from; used
+    /// to reject cross-design restores.
+    pub design: String,
+    /// Target cycle counter at capture time.
+    pub cycle: u64,
+    /// All registers, in scan-chain order.
+    pub regs: Vec<RegImage>,
+    /// All memories, in scan-chain order.
+    pub mems: Vec<MemImage>,
+}
+
+const MAGIC: &[u8; 8] = b"HSNAPv1\0";
+
+impl HwSnapshot {
+    /// Total architectural state bits captured.
+    pub fn state_bits(&self) -> u64 {
+        let r: u64 = self.regs.iter().map(|r| r.width as u64).sum();
+        let m: u64 = self.mems.iter().map(|m| m.width as u64 * m.words.len() as u64).sum();
+        r + m
+    }
+
+    /// Looks up a register's saved bits by hierarchical name.
+    pub fn reg(&self, name: &str) -> Option<u64> {
+        self.regs.iter().find(|r| r.name == name).map(|r| r.bits)
+    }
+
+    /// Looks up a memory image by hierarchical name.
+    pub fn mem(&self, name: &str) -> Option<&MemImage> {
+        self.mems.iter().find(|m| m.name == name)
+    }
+
+    /// Builds a name → bits map for diffing snapshots in diagnostics.
+    pub fn reg_map(&self) -> HashMap<&str, u64> {
+        self.regs.iter().map(|r| (r.name.as_str(), r.bits)).collect()
+    }
+
+    /// Names of registers whose value differs between `self` and `other`
+    /// (used by root-cause diagnosis in examples and tests).
+    pub fn diff_regs<'a>(&'a self, other: &'a HwSnapshot) -> Vec<&'a str> {
+        let theirs = other.reg_map();
+        self.regs
+            .iter()
+            .filter(|r| theirs.get(r.name.as_str()).is_none_or(|&b| b != r.bits))
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+
+    /// Serializes to the on-disk image format (the CRIU-checkpoint
+    /// analogue). The format is self-describing and versioned.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.regs.len() * 24);
+        out.extend_from_slice(MAGIC);
+        put_str(&mut out, &self.design);
+        out.extend_from_slice(&self.cycle.to_le_bytes());
+        out.extend_from_slice(&(self.regs.len() as u32).to_le_bytes());
+        for r in &self.regs {
+            put_str(&mut out, &r.name);
+            out.extend_from_slice(&r.width.to_le_bytes());
+            out.extend_from_slice(&r.bits.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.mems.len() as u32).to_le_bytes());
+        for m in &self.mems {
+            put_str(&mut out, &m.name);
+            out.extend_from_slice(&m.width.to_le_bytes());
+            out.extend_from_slice(&(m.words.len() as u32).to_le_bytes());
+            for w in &m.words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes an image produced by [`HwSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found
+    /// (bad magic, truncation, or count overflow).
+    pub fn from_bytes(data: &[u8]) -> Result<HwSnapshot, String> {
+        let mut cur = Cursor { data, pos: 0 };
+        let magic = cur.take(8)?;
+        if magic != MAGIC {
+            return Err("bad snapshot magic".into());
+        }
+        let design = cur.get_str()?;
+        let cycle = cur.get_u64()?;
+        let nregs = cur.get_u32()? as usize;
+        if nregs > 1 << 24 {
+            return Err(format!("implausible register count {nregs}"));
+        }
+        let mut regs = Vec::with_capacity(nregs);
+        for _ in 0..nregs {
+            let name = cur.get_str()?;
+            let width = cur.get_u32()?;
+            let bits = cur.get_u64()?;
+            if width == 0 || width > 64 {
+                return Err(format!("register '{name}' has invalid width {width}"));
+            }
+            regs.push(RegImage { name, width, bits });
+        }
+        let nmems = cur.get_u32()? as usize;
+        if nmems > 1 << 20 {
+            return Err(format!("implausible memory count {nmems}"));
+        }
+        let mut mems = Vec::with_capacity(nmems);
+        for _ in 0..nmems {
+            let name = cur.get_str()?;
+            let width = cur.get_u32()?;
+            let depth = cur.get_u32()? as usize;
+            if width == 0 || width > 64 {
+                return Err(format!("memory '{name}' has invalid width {width}"));
+            }
+            if depth > 1 << 28 {
+                return Err(format!("implausible memory depth {depth}"));
+            }
+            let mut words = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                words.push(cur.get_u64()?);
+            }
+            mems.push(MemImage { name, width, words });
+        }
+        Ok(HwSnapshot { design, cycle, regs, mems })
+    }
+
+    /// Size of the serialized image in bytes (without serializing);
+    /// drives the simulator-target save/restore cost model.
+    pub fn byte_size(&self) -> usize {
+        let mut n = 8 + 4 + self.design.len() + 8 + 4 + 4;
+        for r in &self.regs {
+            n += 4 + r.name.len() + 4 + 8;
+        }
+        for m in &self.mems {
+            n += 4 + m.name.len() + 4 + 4 + 8 * m.words.len();
+        }
+        n
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.data.len() {
+            return Err(format!("truncated snapshot at offset {}", self.pos));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_str(&mut self) -> Result<String, String> {
+        let len = self.get_u32()? as usize;
+        if len > 1 << 16 {
+            return Err(format!("implausible string length {len}"));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 name in snapshot".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HwSnapshot {
+        HwSnapshot {
+            design: "soc_top".into(),
+            cycle: 1234,
+            regs: vec![
+                RegImage { name: "u_uart.txfifo_head".into(), width: 4, bits: 7 },
+                RegImage { name: "u_aes.busy".into(), width: 1, bits: 1 },
+            ],
+            mems: vec![MemImage {
+                name: "u_sha.w_mem".into(),
+                width: 32,
+                words: vec![0xdeadbeef, 0x01020304],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len(), s.byte_size());
+        let s2 = HwSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn state_bits_counts_regs_and_mems() {
+        assert_eq!(sample().state_bits(), 4 + 1 + 64);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.reg("u_aes.busy"), Some(1));
+        assert_eq!(s.reg("nope"), None);
+        assert_eq!(s.mem("u_sha.w_mem").unwrap().words[0], 0xdeadbeef);
+    }
+
+    #[test]
+    fn diff_regs_reports_changes() {
+        let a = sample();
+        let mut b = sample();
+        b.regs[1].bits = 0;
+        assert_eq!(a.diff_regs(&b), vec!["u_aes.busy"]);
+        assert!(a.diff_regs(&a.clone()).is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(HwSnapshot::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [7, 15, bytes.len() - 1] {
+            assert!(HwSnapshot::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let s = HwSnapshot { design: "d".into(), cycle: 0, regs: vec![], mems: vec![] };
+        assert_eq!(HwSnapshot::from_bytes(&s.to_bytes()).unwrap(), s);
+        assert_eq!(s.state_bits(), 0);
+    }
+}
+
+/// A delta between two snapshots of the same design: only the registers
+/// and memory words that changed. This is the storage optimization the
+/// snapshot controller uses when many states share a recent ancestor
+/// (cf. the paper's SRAM staging of snapshots for performance): a fork's
+/// children start bit-identical to the parent, so their images compress
+/// to nearly nothing until they diverge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotDelta {
+    /// Changed registers: (index into the base's `regs`, new bits).
+    pub regs: Vec<(u32, u64)>,
+    /// Changed memory words: (memory index, word index, new value).
+    pub mem_words: Vec<(u32, u32, u64)>,
+    /// New cycle counter.
+    pub cycle: u64,
+}
+
+impl SnapshotDelta {
+    /// Computes the delta that turns `base` into `new`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the snapshots have different shapes
+    /// (different design, register lists or memory layouts).
+    pub fn between(base: &HwSnapshot, new: &HwSnapshot) -> Result<SnapshotDelta, String> {
+        if base.design != new.design {
+            return Err(format!(
+                "delta across designs '{}' vs '{}'",
+                base.design, new.design
+            ));
+        }
+        if base.regs.len() != new.regs.len() || base.mems.len() != new.mems.len() {
+            return Err("snapshot shapes differ".into());
+        }
+        let mut delta = SnapshotDelta { cycle: new.cycle, ..Default::default() };
+        for (i, (b, n)) in base.regs.iter().zip(&new.regs).enumerate() {
+            if b.name != n.name || b.width != n.width {
+                return Err(format!("register {i} layout differs"));
+            }
+            if b.bits != n.bits {
+                delta.regs.push((i as u32, n.bits));
+            }
+        }
+        for (mi, (bm, nm)) in base.mems.iter().zip(&new.mems).enumerate() {
+            if bm.name != nm.name || bm.words.len() != nm.words.len() {
+                return Err(format!("memory {mi} layout differs"));
+            }
+            for (wi, (bw, nw)) in bm.words.iter().zip(&nm.words).enumerate() {
+                if bw != nw {
+                    delta.mem_words.push((mi as u32, wi as u32, *nw));
+                }
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Applies the delta to `base`, producing the target snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on out-of-range indices.
+    pub fn apply(&self, base: &HwSnapshot) -> Result<HwSnapshot, String> {
+        let mut out = base.clone();
+        out.cycle = self.cycle;
+        for &(i, bits) in &self.regs {
+            let r = out
+                .regs
+                .get_mut(i as usize)
+                .ok_or_else(|| format!("register index {i} out of range"))?;
+            r.bits = bits;
+        }
+        for &(mi, wi, v) in &self.mem_words {
+            let m = out
+                .mems
+                .get_mut(mi as usize)
+                .ok_or_else(|| format!("memory index {mi} out of range"))?;
+            let w = m
+                .words
+                .get_mut(wi as usize)
+                .ok_or_else(|| format!("word index {wi} out of range"))?;
+            *w = v;
+        }
+        Ok(out)
+    }
+
+    /// Approximate stored size in bytes.
+    pub fn byte_size(&self) -> usize {
+        8 + self.regs.len() * 12 + self.mem_words.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod delta_tests {
+    use super::*;
+
+    fn base() -> HwSnapshot {
+        HwSnapshot {
+            design: "d".into(),
+            cycle: 10,
+            regs: (0..8)
+                .map(|i| RegImage { name: format!("r{i}"), width: 32, bits: i })
+                .collect(),
+            mems: vec![MemImage { name: "m".into(), width: 32, words: vec![0; 16] }],
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let b = base();
+        let mut n = b.clone();
+        n.cycle = 99;
+        n.regs[3].bits = 0xdead;
+        n.mems[0].words[7] = 42;
+        let d = SnapshotDelta::between(&b, &n).unwrap();
+        assert_eq!(d.regs, vec![(3, 0xdead)]);
+        assert_eq!(d.mem_words, vec![(0, 7, 42)]);
+        assert_eq!(d.apply(&b).unwrap(), n);
+        assert!(d.byte_size() < b.byte_size() / 4);
+    }
+
+    #[test]
+    fn identical_snapshots_have_empty_delta() {
+        let b = base();
+        let d = SnapshotDelta::between(&b, &b.clone()).unwrap();
+        assert!(d.regs.is_empty() && d.mem_words.is_empty());
+        assert_eq!(d.apply(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn cross_design_delta_rejected() {
+        let b = base();
+        let mut o = base();
+        o.design = "other".into();
+        assert!(SnapshotDelta::between(&b, &o).is_err());
+        let mut o = base();
+        o.regs.pop();
+        assert!(SnapshotDelta::between(&b, &o).is_err());
+    }
+
+    #[test]
+    fn apply_range_checks() {
+        let b = base();
+        let d = SnapshotDelta { regs: vec![(99, 0)], mem_words: vec![], cycle: 0 };
+        assert!(d.apply(&b).is_err());
+        let d = SnapshotDelta { regs: vec![], mem_words: vec![(0, 999, 0)], cycle: 0 };
+        assert!(d.apply(&b).is_err());
+    }
+}

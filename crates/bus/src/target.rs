@@ -1,0 +1,232 @@
+//! The [`HwTarget`] trait: one interface over both hardware platforms.
+//!
+//! The paper's multi-target orchestration (§III-B) demands that the
+//! virtual machine can drive, snapshot and restore *either* the
+//! Verilator-style simulator *or* the FPGA through one mechanism, and
+//! transfer state between them mid-analysis. `HwTarget` is that
+//! mechanism.
+
+use crate::{BusError, HwSnapshot, TargetError};
+
+/// Which physical platform a target models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TargetKind {
+    /// Cycle-accurate software simulation (Verilator analogue): slow,
+    /// full traces, snapshot by direct state copy.
+    Simulator,
+    /// FPGA emulation: near-silicon speed, no internal visibility,
+    /// snapshot via the scan-chain controller IP (or readback).
+    Fpga,
+}
+
+impl std::fmt::Display for TargetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TargetKind::Simulator => f.write_str("simulator"),
+            TargetKind::Fpga => f.write_str("fpga"),
+        }
+    }
+}
+
+/// What a target can do; drives both orchestration decisions and the
+/// evaluation's scan-vs-readback comparison (experiment E7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TargetCaps {
+    /// Platform kind.
+    pub kind: TargetKind,
+    /// Full per-cycle signal visibility (tracing). True only for the
+    /// simulator; this is the property the orchestrator trades speed for.
+    pub full_visibility: bool,
+    /// Supports the high-end-FPGA configuration-readback path.
+    pub readback: bool,
+    /// Modeled clock frequency in Hz (used for virtual time).
+    pub clock_hz: u64,
+}
+
+/// A hardware platform running the design under test.
+///
+/// Both `hardsnap-sim::SimTarget` and `hardsnap-fpga::FpgaTarget`
+/// implement this. All methods that model work advance **virtual time**
+/// ([`HwTarget::virtual_time_ns`]), which is what the evaluation
+/// harnesses report: it reflects the modeled platform (FPGA clock, USB3
+/// link, scan shifting) rather than host wall-clock.
+pub trait HwTarget {
+    /// Human-readable target name for reports.
+    fn name(&self) -> &str;
+
+    /// Capabilities and timing parameters.
+    fn caps(&self) -> TargetCaps;
+
+    /// The flattened design's name (snapshot compatibility key).
+    fn design_name(&self) -> &str;
+
+    /// Asserts reset for a full reset sequence and leaves the design in
+    /// its power-on state.
+    fn reset(&mut self);
+
+    /// Runs the design for `cycles` clock cycles with no bus activity.
+    fn step(&mut self, cycles: u64);
+
+    /// Elapsed cycles since construction or the last [`HwTarget::reset`].
+    fn cycle(&self) -> u64;
+
+    /// Performs a 32-bit AXI4-Lite read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] on slave error or handshake timeout.
+    fn bus_read(&mut self, addr: u32) -> Result<u32, BusError>;
+
+    /// Performs a 32-bit AXI4-Lite write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] on slave error or handshake timeout.
+    fn bus_write(&mut self, addr: u32, data: u32) -> Result<(), BusError>;
+
+    /// Current interrupt-line bitmask (bit i = IRQ line i asserted).
+    fn irq_lines(&mut self) -> u32;
+
+    /// Suspends execution and captures the complete hardware state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TargetError`] if the platform's snapshot mechanism
+    /// fails.
+    fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError>;
+
+    /// Suspends execution and overwrites the complete hardware state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TargetError::DesignMismatch`] for a snapshot of another
+    /// design, or [`TargetError::CorruptSnapshot`] if names/shapes do not
+    /// match the running design.
+    fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError>;
+
+    /// Virtual nanoseconds elapsed on this platform (cycles, link
+    /// latencies, scan/readback operations — everything modeled).
+    fn virtual_time_ns(&self) -> u64;
+}
+
+/// Transfers the live hardware state from one target to another
+/// (the paper's "hardware state forwarding", §III-B): saves on `from`,
+/// restores on `to`, and returns the transferred snapshot for
+/// bookkeeping.
+///
+/// # Errors
+///
+/// Propagates snapshot errors from either side; the designs must match.
+pub fn transfer_state(
+    from: &mut dyn HwTarget,
+    to: &mut dyn HwTarget,
+) -> Result<HwSnapshot, TargetError> {
+    let snap = from.save_snapshot()?;
+    to.restore_snapshot(&snap)?;
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial in-memory target used to test the trait contract and
+    /// `transfer_state` without pulling in the simulator crates.
+    struct FakeTarget {
+        name: String,
+        reg: u64,
+        cycle: u64,
+        vtime: u64,
+    }
+
+    impl HwTarget for FakeTarget {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn caps(&self) -> TargetCaps {
+            TargetCaps {
+                kind: TargetKind::Simulator,
+                full_visibility: true,
+                readback: false,
+                clock_hz: 1_000_000,
+            }
+        }
+        fn design_name(&self) -> &str {
+            "fake"
+        }
+        fn reset(&mut self) {
+            self.reg = 0;
+            self.cycle = 0;
+        }
+        fn step(&mut self, cycles: u64) {
+            self.cycle += cycles;
+            self.vtime += cycles * 1000;
+            self.reg = self.reg.wrapping_add(cycles);
+        }
+        fn cycle(&self) -> u64 {
+            self.cycle
+        }
+        fn bus_read(&mut self, _addr: u32) -> Result<u32, BusError> {
+            Ok(self.reg as u32)
+        }
+        fn bus_write(&mut self, _addr: u32, data: u32) -> Result<(), BusError> {
+            self.reg = data as u64;
+            Ok(())
+        }
+        fn irq_lines(&mut self) -> u32 {
+            0
+        }
+        fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
+            Ok(HwSnapshot {
+                design: "fake".into(),
+                cycle: self.cycle,
+                regs: vec![crate::RegImage { name: "reg".into(), width: 64, bits: self.reg }],
+                mems: vec![],
+            })
+        }
+        fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
+            if snap.design != "fake" {
+                return Err(TargetError::DesignMismatch {
+                    expected: snap.design.clone(),
+                    found: "fake".into(),
+                });
+            }
+            self.reg = snap.reg("reg").ok_or_else(|| {
+                TargetError::CorruptSnapshot("missing 'reg'".into())
+            })?;
+            Ok(())
+        }
+        fn virtual_time_ns(&self) -> u64 {
+            self.vtime
+        }
+    }
+
+    #[test]
+    fn transfer_state_moves_state_across_targets() {
+        let mut a = FakeTarget { name: "a".into(), reg: 0, cycle: 0, vtime: 0 };
+        let mut b = FakeTarget { name: "b".into(), reg: 0, cycle: 0, vtime: 0 };
+        a.step(42);
+        let snap = transfer_state(&mut a, &mut b).unwrap();
+        assert_eq!(snap.reg("reg"), Some(42));
+        assert_eq!(b.bus_read(0).unwrap(), 42);
+    }
+
+    #[test]
+    fn mismatched_design_is_rejected() {
+        let mut b = FakeTarget { name: "b".into(), reg: 0, cycle: 0, vtime: 0 };
+        let snap = HwSnapshot { design: "other".into(), ..Default::default() };
+        assert!(matches!(
+            b.restore_snapshot(&snap),
+            Err(TargetError::DesignMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut t = FakeTarget { name: "t".into(), reg: 0, cycle: 0, vtime: 0 };
+        let dt: &mut dyn HwTarget = &mut t;
+        dt.step(1);
+        assert_eq!(dt.cycle(), 1);
+        assert_eq!(dt.caps().kind.to_string(), "simulator");
+    }
+}

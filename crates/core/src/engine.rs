@@ -1,0 +1,651 @@
+//! The HardSnap analysis engine: Algorithm 1 of the paper.
+//!
+//! The engine owns the symbolic executor, a hardware target and the
+//! snapshot store, and schedules symbolic states with **hardware context
+//! switching**: whenever the selected state is not the one whose
+//! hardware context is live, the live context is saved (`UpdateState`)
+//! and the selected state's private snapshot is restored
+//! (`RestoreState`). Forked states receive fresh, non-shared hardware
+//! snapshots.
+//!
+//! Two baseline modes reproduce the paper's Fig. 1 comparison:
+//!
+//! * [`ConsistencyMode::NaiveConsistent`] — reboot-and-replay: on every
+//!   context switch the hardware is fully reset and the state's entire
+//!   MMIO interaction log is replayed (slow but correct).
+//! * [`ConsistencyMode::NaiveInconsistent`] — hardware-in-the-loop with
+//!   no state management: all symbolic states share the live hardware
+//!   (fast but wrong — the mode used by prior hardware-in-the-loop DSE).
+
+use crate::snapshots::{SnapId, SnapshotStore};
+use hardsnap_bus::{BusError, HwSnapshot, HwTarget};
+use hardsnap_symex::{
+    BugReport, Concretization, Executor, StateId, StepOutcome, SymMmio, SymState,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// State-consistency strategy (the three scenarios of paper Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsistencyMode {
+    /// Hardware snapshotting (the paper's contribution).
+    HardSnap,
+    /// Full reboot + I/O replay on every context switch.
+    NaiveConsistent,
+    /// Shared live hardware, no context management.
+    NaiveInconsistent,
+}
+
+/// State-selection heuristic (`SelectNextState`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Searcher {
+    /// Depth-first (fewest context switches).
+    Dfs,
+    /// Breadth-first (most context switches — stresses snapshotting).
+    Bfs,
+    /// Round-robin over active states.
+    RoundRobin,
+    /// Uniform random state selection (KLEE's random-state search),
+    /// deterministic for a given seed.
+    Random(u64),
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Consistency strategy.
+    pub mode: ConsistencyMode,
+    /// State-selection heuristic.
+    pub searcher: Searcher,
+    /// Concretization policy at the VM boundary.
+    pub policy: Concretization,
+    /// Stop after this many symbolically executed instructions.
+    pub max_instructions: u64,
+    /// Stop after this many completed (halted) paths.
+    pub max_paths: usize,
+    /// Cap on simultaneously active states (fork bomb guard).
+    pub max_states: usize,
+    /// Cycles the hardware advances per executed instruction (models the
+    /// firmware clock; interrupts fire based on this).
+    pub cycles_per_instruction: u64,
+    /// Scheduling quantum: instructions a selected state runs before the
+    /// scheduler re-selects (KLEE-style batching; bounds context-switch
+    /// frequency).
+    pub quantum: u64,
+    /// Modeled cost of a full device reboot (naive-consistent baseline).
+    /// Embedded-device restarts are "extremely slow" (paper §II, citing
+    /// Muench et al.); 100 ms models a fast MCU power cycle + boot ROM.
+    pub reboot_cost_ns: u64,
+    /// Store fork snapshots as deltas against the fork-point image
+    /// (storage ablation; see `SnapshotStore`).
+    pub delta_snapshots: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: ConsistencyMode::HardSnap,
+            searcher: Searcher::RoundRobin,
+            policy: Concretization::Minimal,
+            max_instructions: 1_000_000,
+            max_paths: 10_000,
+            max_states: 10_000,
+            cycles_per_instruction: 4,
+            quantum: 32,
+            reboot_cost_ns: 100_000_000,
+            delta_snapshots: false,
+        }
+    }
+}
+
+/// One forwarded I/O operation (recorded for reboot-replay and
+/// diagnostics).
+///
+/// `at_age` is the device age (cycles the owning state has experienced)
+/// at which the operation was issued. Replay must reproduce not only the
+/// operations but their timing — the paper calls record-and-replay
+/// "error-prone as the number of interactions to replay may be
+/// considerable and time sensitive" (§I) — so the reboot baseline steps
+/// the device through the recorded idle gaps as well.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoOp {
+    /// True for writes, false for reads.
+    pub is_write: bool,
+    /// Address.
+    pub addr: u32,
+    /// Value written (writes) or observed (reads).
+    pub value: u32,
+    /// Device age (state-local cycles) when issued.
+    pub at_age: u64,
+}
+
+/// Engine metrics for the evaluation harnesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Hardware context switches performed.
+    pub context_switches: u64,
+    /// Snapshots saved (UpdateState + fork snapshots).
+    pub snapshots_saved: u64,
+    /// Snapshots restored (RestoreState).
+    pub snapshots_restored: u64,
+    /// Full hardware reboots (naive-consistent mode).
+    pub reboots: u64,
+    /// I/O operations replayed after reboots.
+    pub replayed_ios: u64,
+    /// Completed (halted) paths.
+    pub paths_completed: u64,
+    /// States dropped by the fork-bomb guard.
+    pub states_dropped: u64,
+    /// Interrupts delivered.
+    pub irqs_delivered: u64,
+}
+
+/// Result of a finished analysis run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Bugs found, in discovery order.
+    pub bugs: Vec<BugReport>,
+    /// Final states of completed (halted) paths, in completion order
+    /// (inspect final memory, console output and path constraints).
+    pub completed: Vec<SymState>,
+    /// Engine metrics.
+    pub metrics: EngineMetrics,
+    /// Hardware virtual time consumed (ns).
+    pub hw_virtual_time_ns: u64,
+    /// Host wall-clock time of the run.
+    pub host_time: std::time::Duration,
+    /// Instructions symbolically executed.
+    pub instructions: u64,
+    /// Distinct firmware PCs covered across all explored paths.
+    pub covered_pcs: usize,
+    /// Console output of the first completed path (diagnostics).
+    pub sample_console: Vec<u8>,
+}
+
+/// A hardware property checked against every snapshot the controller
+/// takes (the paper's "assertions ... relevant for the detection of
+/// peripherals misuse", applied at snapshot granularity).
+pub struct HwAssertion {
+    /// Name for reports.
+    pub name: String,
+    /// Returns false when violated.
+    pub check: Box<dyn Fn(&HwSnapshot) -> bool>,
+}
+
+/// The HardSnap engine (Algorithm 1).
+pub struct Engine {
+    /// The symbolic executor (pool, solver, policy).
+    pub executor: Executor,
+    target: Box<dyn HwTarget>,
+    /// Snapshot store shared with diagnostics.
+    pub store: SnapshotStore,
+    config: EngineConfig,
+    active: VecDeque<SymState>,
+    /// Which state's hardware context is currently live.
+    current_owner: Option<StateId>,
+    /// State id → its private snapshot id.
+    snap_of: HashMap<StateId, SnapId>,
+    /// State id → forwarded-I/O log (for reboot replay + diagnostics).
+    io_logs: HashMap<StateId, Vec<IoOp>>,
+    /// State id → device age (cycles of hardware time the state has
+    /// experienced; drives timing-accurate replay).
+    hw_age: HashMap<StateId, u64>,
+    /// Metrics.
+    pub metrics: EngineMetrics,
+    /// Engine-side modeled time (reboot penalties) not visible to the
+    /// target's own clock.
+    extra_time_ns: u64,
+    /// Deterministic RNG state for [`Searcher::Random`].
+    rng_state: u64,
+    /// Most recent shared delta base (delta-snapshot mode).
+    last_base: Option<SnapId>,
+    /// Distinct firmware PCs executed across all states.
+    covered_pcs: HashSet<u32>,
+    /// Hardware property assertions.
+    hw_assertions: Vec<HwAssertion>,
+    /// Violations of hardware assertions: (assertion name, state id).
+    pub hw_violations: Vec<(String, StateId)>,
+}
+
+/// MMIO proxy handed to the executor: forwards to the live target and
+/// appends to the owning state's I/O log with device-age stamps.
+struct TargetMmio<'a> {
+    target: &'a mut dyn HwTarget,
+    log: &'a mut Vec<IoOp>,
+    /// The owning state's device age at window start.
+    age_base: u64,
+    /// The target's cycle counter at window start.
+    cycle_base: u64,
+}
+
+impl TargetMmio<'_> {
+    fn age_now(&self) -> u64 {
+        self.age_base + (self.target.cycle() - self.cycle_base)
+    }
+}
+
+impl SymMmio for TargetMmio<'_> {
+    fn mmio_read(&mut self, _state: &SymState, addr: u32) -> Result<u32, BusError> {
+        let at_age = self.age_now();
+        let v = self.target.bus_read(addr)?;
+        if std::env::var_os("HARDSNAP_TRACE_IO").is_some() {
+            eprintln!("live  R {addr:#010x} -> {v:#010x} @age {at_age}");
+        }
+        self.log.push(IoOp { is_write: false, addr, value: v, at_age });
+        Ok(v)
+    }
+
+    fn mmio_write(&mut self, _state: &SymState, addr: u32, data: u32) -> Result<(), BusError> {
+        let at_age = self.age_now();
+        self.target.bus_write(addr, data)?;
+        if std::env::var_os("HARDSNAP_TRACE_IO").is_some() {
+            eprintln!("live  W {addr:#010x} <- {data:#010x} @age {at_age}");
+        }
+        self.log.push(IoOp { is_write: true, addr, value: data, at_age });
+        Ok(())
+    }
+}
+
+impl Engine {
+    /// Creates an engine over a hardware target.
+    pub fn new(target: Box<dyn HwTarget>, config: EngineConfig) -> Self {
+        let rng_state = match config.searcher {
+            Searcher::Random(seed) => seed | 1,
+            _ => 1,
+        };
+        Engine {
+            executor: Executor::new(config.policy),
+            target,
+            store: SnapshotStore::new(),
+            config,
+            active: VecDeque::new(),
+            current_owner: None,
+            snap_of: HashMap::new(),
+            io_logs: HashMap::new(),
+            hw_age: HashMap::new(),
+            metrics: EngineMetrics::default(),
+            extra_time_ns: 0,
+            rng_state,
+            last_base: None,
+            covered_pcs: HashSet::new(),
+            hw_assertions: Vec::new(),
+            hw_violations: Vec::new(),
+        }
+    }
+
+    /// Resets the hardware and enqueues the initial state of `program`.
+    pub fn load_firmware(&mut self, program: &hardsnap_isa::Program) {
+        self.target.reset();
+        let s = self.executor.initial_state(program.image.clone(), program.entry);
+        self.io_logs.insert(s.id, Vec::new());
+        self.active.push_back(s);
+    }
+
+    /// Registers a hardware property checked on every snapshot taken.
+    pub fn add_hw_assertion(
+        &mut self,
+        name: impl Into<String>,
+        check: impl Fn(&HwSnapshot) -> bool + 'static,
+    ) {
+        self.hw_assertions.push(HwAssertion { name: name.into(), check: Box::new(check) });
+    }
+
+    /// The live hardware target.
+    pub fn target(&self) -> &dyn HwTarget {
+        self.target.as_ref()
+    }
+
+    /// Mutable access to the live hardware target (diagnosis).
+    pub fn target_mut(&mut self) -> &mut dyn HwTarget {
+        self.target.as_mut()
+    }
+
+    /// Number of active (schedulable) states.
+    pub fn active_states(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The forwarded-I/O log of a state.
+    pub fn io_log(&self, id: StateId) -> Option<&[IoOp]> {
+        self.io_logs.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Transfers the analysis to another hardware target mid-run — the
+    /// paper's multi-target orchestration (§III-B). The live hardware
+    /// state is moved onto the new target; stored snapshots remain valid
+    /// because both targets share the canonical snapshot format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot/transfer failures; on error the old target is
+    /// kept.
+    pub fn switch_target(
+        &mut self,
+        mut new_target: Box<dyn HwTarget>,
+    ) -> Result<(), hardsnap_bus::TargetError> {
+        let snap = self.target.save_snapshot()?;
+        new_target.restore_snapshot(&snap)?;
+        self.metrics.snapshots_saved += 1;
+        self.metrics.snapshots_restored += 1;
+        self.target = new_target;
+        Ok(())
+    }
+
+    /// `SelectNextState` (paper line 4): heuristic selection.
+    fn select_next_state(&mut self) -> Option<SymState> {
+        match self.config.searcher {
+            Searcher::Dfs => self.active.pop_back(),
+            Searcher::Bfs | Searcher::RoundRobin => self.active.pop_front(),
+            Searcher::Random(_) => {
+                if self.active.is_empty() {
+                    return None;
+                }
+                // xorshift64*: deterministic, no RNG dependency.
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                let i = (self.rng_state % self.active.len() as u64) as usize;
+                self.active.swap_remove_back(i)
+            }
+        }
+    }
+
+    /// Hardware context switch (paper lines 5-9): `UpdateState(prev)`
+    /// then `RestoreState(next)`.
+    fn context_switch(&mut self, next: &SymState) {
+        if self.current_owner == Some(next.id) {
+            return;
+        }
+        self.metrics.context_switches += 1;
+        match self.config.mode {
+            ConsistencyMode::HardSnap => {
+                if let Some(prev) = self.current_owner {
+                    let snap = self.target.save_snapshot().expect("snapshot save");
+                    self.check_hw_assertions(&snap, prev);
+                    self.metrics.snapshots_saved += 1;
+                    match self.snap_of.get(&prev) {
+                        Some(&sid) => self.store.update(sid, snap),
+                        None => {
+                            let sid = self.store.insert(snap);
+                            self.snap_of.insert(prev, sid);
+                        }
+                    }
+                }
+                match self.snap_of.get(&next.id) {
+                    Some(&sid) => {
+                        let snap = self.store.get(sid).expect("snapshot exists");
+                        self.target.restore_snapshot(&snap).expect("snapshot restore");
+                        self.metrics.snapshots_restored += 1;
+                    }
+                    None => {
+                        // Initial state: "no corresponding hardware
+                        // snapshot" — power-on hardware.
+                        self.target.reset();
+                    }
+                }
+            }
+            ConsistencyMode::NaiveConsistent => {
+                // Reboot and replay the whole interaction history with
+                // its original timing (ops AND idle gaps); otherwise
+                // time-sensitive peripherals (a hash mid-computation, a
+                // running timer) end up in the wrong phase.
+                self.target.reset();
+                self.metrics.reboots += 1;
+                self.extra_time_ns += self.config.reboot_cost_ns;
+                let base = self.target.cycle();
+                if let Some(log) = self.io_logs.get(&next.id).cloned() {
+                    for op in log {
+                        let age_now = self.target.cycle() - base;
+                        if op.at_age > age_now {
+                            self.target.step(op.at_age - age_now);
+                        }
+                        if std::env::var_os("HARDSNAP_TRACE_IO").is_some() {
+                            eprintln!(
+                                "replay {} {:#010x} val {:#010x} @age {} (cycle_now {})",
+                                if op.is_write { "W" } else { "R" },
+                                op.addr,
+                                op.value,
+                                op.at_age,
+                                self.target.cycle() - base
+                            );
+                        }
+                        if op.is_write {
+                            let _ = self.target.bus_write(op.addr, op.value);
+                        } else {
+                            let _ = self.target.bus_read(op.addr);
+                        }
+                        self.metrics.replayed_ios += 1;
+                    }
+                }
+                // Advance to the state's current device age.
+                let target_age = self.hw_age.get(&next.id).copied().unwrap_or(0);
+                let age_now = self.target.cycle() - base;
+                if target_age > age_now {
+                    self.target.step(target_age - age_now);
+                }
+            }
+            ConsistencyMode::NaiveInconsistent => {
+                // Shared hardware: do nothing. This is the bug.
+            }
+        }
+        self.current_owner = Some(next.id);
+    }
+
+    fn check_hw_assertions(&mut self, snap: &HwSnapshot, owner: StateId) {
+        for a in &self.hw_assertions {
+            if !(a.check)(snap)
+                && !self
+                    .hw_violations
+                    .iter()
+                    .any(|(n, s)| *s == owner && n == &a.name)
+            {
+                self.hw_violations.push((a.name.clone(), owner));
+            }
+        }
+    }
+
+    /// Gives every freshly forked state its own non-shared hardware
+    /// snapshot (paper §IV-B last paragraph).
+    fn snapshot_forked(&mut self, parent: StateId, successors: &[SymState]) {
+        let age = self.hw_age.get(&parent).copied().unwrap_or(0);
+        if self.config.mode != ConsistencyMode::HardSnap {
+            // Baselines: children inherit the parent's I/O log and age.
+            let log = self.io_logs.get(&parent).cloned().unwrap_or_default();
+            for s in successors {
+                self.io_logs.entry(s.id).or_insert_with(|| log.clone());
+                self.hw_age.entry(s.id).or_insert(age);
+            }
+            return;
+        }
+        let snap = self.target.save_snapshot().expect("snapshot save");
+        self.check_hw_assertions(&snap, parent);
+        self.metrics.snapshots_saved += 1;
+        let log = self.io_logs.get(&parent).cloned().unwrap_or_default();
+        // Delta mode: children are stored as deltas against a shared
+        // immutable base. The base is reused across forks while deltas
+        // stay small, so long analyses keep roughly one full image plus
+        // per-state diffs in the store.
+        let base_id = if self.config.delta_snapshots {
+            let reusable = self.last_base.filter(|&b| {
+                self.store
+                    .delta_size_vs(b, &snap)
+                    .map(|d| d * 4 < snap.byte_size())
+                    .unwrap_or(false)
+            });
+            Some(match reusable {
+                Some(b) => b,
+                None => {
+                    let b = self.store.insert_base(snap.clone());
+                    self.last_base = Some(b);
+                    b
+                }
+            })
+        } else {
+            None
+        };
+        for s in successors {
+            self.io_logs.entry(s.id).or_insert_with(|| log.clone());
+            self.hw_age.entry(s.id).or_insert(age);
+            if s.id == parent {
+                match self.snap_of.get(&parent) {
+                    Some(&sid) => self.store.update(sid, snap.clone()),
+                    None => {
+                        let sid = match base_id {
+                            Some(b) => self.store.insert_delta(b, snap.clone()),
+                            None => self.store.insert(snap.clone()),
+                        };
+                        self.snap_of.insert(parent, sid);
+                    }
+                }
+            } else {
+                let sid = match base_id {
+                    Some(b) => self.store.insert_delta(b, snap.clone()),
+                    None => self.store.insert(snap.clone()),
+                };
+                self.snap_of.insert(s.id, sid);
+            }
+        }
+    }
+
+    fn retire_state(&mut self, id: StateId) {
+        // Final property check: when the terminating state owns the live
+        // hardware, inspect its end-of-path hardware state.
+        if !self.hw_assertions.is_empty()
+            && self.current_owner == Some(id)
+            && self.config.mode == ConsistencyMode::HardSnap
+        {
+            if let Ok(snap) = self.target.save_snapshot() {
+                self.metrics.snapshots_saved += 1;
+                self.check_hw_assertions(&snap, id);
+            }
+        }
+        if let Some(sid) = self.snap_of.remove(&id) {
+            self.store.remove(sid);
+        }
+        self.io_logs.remove(&id);
+        self.hw_age.remove(&id);
+        if self.current_owner == Some(id) {
+            self.current_owner = None;
+        }
+    }
+
+    /// Runs the analysis to completion (or budget exhaustion).
+    pub fn run(&mut self) -> RunResult {
+        let host_start = std::time::Instant::now();
+        let hw_t0 = self.target.virtual_time_ns();
+        let mut bugs = Vec::new();
+        let mut completed: Vec<SymState> = Vec::new();
+        let mut sample_console = Vec::new();
+        let mut executed: u64 = 0;
+
+        while let Some(mut state) = self.select_next_state() {
+            if executed >= self.config.max_instructions
+                || self.metrics.paths_completed >= self.config.max_paths as u64
+            {
+                break;
+            }
+            // Lines 5-9: hardware context switch when the schedule moves
+            // to a different state.
+            self.context_switch(&state);
+
+            // Run the selected state for up to one quantum (KLEE-style
+            // batching keeps context switches bounded).
+            let mut remaining = self.config.quantum.max(1);
+            let window_age = self.hw_age.get(&state.id).copied().unwrap_or(0);
+            let window_cycle = self.target.cycle();
+            // All in-quantum continuations keep the same state id, so
+            // the window's cycles are attributed to the selected state.
+            let window_owner = state.id;
+            'quantum: loop {
+                // Line 11: ServePendingInterrupt.
+                let lines = self.target.irq_lines();
+                if lines != 0 && self.executor.enter_irq(&mut state, lines).is_some() {
+                    self.metrics.irqs_delivered += 1;
+                }
+
+                // Lines 12-14: step and collect successors.
+                let state_id = state.id;
+                self.covered_pcs.insert(state.pc);
+                let log = self.io_logs.entry(state_id).or_default();
+                let mut proxy = TargetMmio {
+                    target: self.target.as_mut(),
+                    log,
+                    age_base: window_age,
+                    cycle_base: window_cycle,
+                };
+                let outcome = self.executor.step(state, &mut proxy);
+                executed += 1;
+                remaining -= 1;
+                // Advance hardware time alongside firmware execution.
+                self.target.step(self.config.cycles_per_instruction);
+
+                match outcome {
+                    StepOutcome::ContinueWith(s) => {
+                        if remaining == 0 || executed >= self.config.max_instructions {
+                            self.active.push_back(s);
+                            break 'quantum;
+                        }
+                        state = s;
+                    }
+                    StepOutcome::Fork(successors) => {
+                        self.snapshot_forked(state_id, &successors);
+                        for s in successors {
+                            if self.active.len() >= self.config.max_states {
+                                self.metrics.states_dropped += 1;
+                                self.retire_state(s.id);
+                                continue;
+                            }
+                            self.active.push_back(s);
+                        }
+                        break 'quantum;
+                    }
+                    StepOutcome::Halted(s) => {
+                        self.metrics.paths_completed += 1;
+                        if sample_console.is_empty() {
+                            sample_console = s.console.clone();
+                        }
+                        self.retire_state(state_id);
+                        if completed.len() < self.config.max_paths {
+                            completed.push(s);
+                        }
+                        break 'quantum;
+                    }
+                    StepOutcome::Bug { report, continuation } => {
+                        bugs.push(report);
+                        match continuation {
+                            Some(s) => {
+                                if !self.io_logs.contains_key(&s.id) {
+                                    let parent_log = self
+                                        .io_logs
+                                        .get(&state_id)
+                                        .cloned()
+                                        .unwrap_or_default();
+                                    self.io_logs.insert(s.id, parent_log);
+                                }
+                                self.active.push_back(s);
+                            }
+                            None => {
+                                self.metrics.paths_completed += 1;
+                                self.retire_state(state_id);
+                            }
+                        }
+                        break 'quantum;
+                    }
+                }
+            }
+            let elapsed = self.target.cycle() - window_cycle;
+            let entry = self.hw_age.entry(window_owner).or_insert(window_age);
+            *entry = window_age + elapsed;
+        }
+
+        RunResult {
+            bugs,
+            completed,
+            metrics: self.metrics,
+            hw_virtual_time_ns: self.target.virtual_time_ns() - hw_t0 + self.extra_time_ns,
+            covered_pcs: self.covered_pcs.len(),
+            host_time: host_start.elapsed(),
+            instructions: executed,
+            sample_console,
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Synthetic firmware generators: the evaluation workloads.
+//!
+//! The paper evaluates on "synthetic firmware" over the open-source
+//! peripheral corpus; these builders generate the HS32 assembly for each
+//! experiment (E3 analysis speed, E4 consistency, E5 bug finding) so
+//! benches, examples and tests share one source of truth.
+
+use hardsnap_bus::map::soc;
+
+/// Prelude of `.equ` definitions for the SoC register map.
+fn equates() -> String {
+    format!(
+        "
+        .equ UART_BASE, {:#x}
+        .equ TIMER_BASE, {:#x}
+        .equ SHA_BASE, {:#x}
+        .equ AES_BASE, {:#x}
+        ",
+        soc::UART_BASE,
+        soc::TIMER_BASE,
+        soc::SHA_BASE,
+        soc::AES_BASE
+    )
+}
+
+/// Firmware with `k` symbolic branches (2^k paths), where every path
+/// interacts with the timer peripheral. Used by the analysis-speed
+/// experiment (E3): lots of forks, hardware interaction on every path.
+///
+/// Each path programs a path-specific timer LOAD value and asserts the
+/// readback matches — which only holds if the hardware context the path
+/// sees is its own.
+pub fn branching_firmware(k: u32) -> String {
+    assert!(k >= 1 && k <= 16, "k branches in 1..=16");
+    let mut body = String::new();
+    // r10 = accumulated path id.
+    body.push_str("    movi r10, #0\n");
+    for i in 0..k {
+        body.push_str(&format!(
+            "    sym r1, #{i}
+    movi r2, #0
+    beq r1, r2, skip{i}
+    ori r10, r10, #{}
+skip{i}:
+",
+            1 << i
+        ));
+    }
+    // Program the timer with 1000 + path id, read it back, assert match.
+    format!(
+        "{equ}
+        .org 0x100
+        entry:
+{body}
+            li r3, TIMER_BASE
+            addi r4, r10, #1000
+            stw r4, [r3, #0x04]     ; LOAD (also loads VALUE)
+            ldw r5, [r3, #0x08]     ; VALUE readback
+            sub r6, r5, r4
+            movi r7, #1
+            beq r6, r0, value_ok
+            movi r7, #0
+        value_ok:
+            assert r7               ; hardware context must be private
+            halt
+        ",
+        equ = equates(),
+        body = body
+    )
+}
+
+/// Firmware performing `n` device-initialization writes before a single
+/// symbolic branch. Models the expensive INIT sequence of paper Fig. 1
+/// (cf. the 8800-I/O camera-driver init the paper cites): reboot-based
+/// consistency must replay all of it on every context switch.
+pub fn init_heavy_firmware(n_init_writes: u32, k_branches: u32) -> String {
+    let mut init = String::new();
+    init.push_str("    li r3, TIMER_BASE\n");
+    for i in 0..n_init_writes {
+        // Alternate prescaler writes: harmless, realistic config churn.
+        init.push_str(&format!("    movi r4, #{}\n    stw r4, [r3, #0x10]\n", i % 7 + 1));
+    }
+    let mut body = String::new();
+    for i in 0..k_branches {
+        body.push_str(&format!(
+            "    sym r1, #{i}
+    movi r2, #0
+    beq r1, r2, sk{i}
+    addi r10, r10, #1
+sk{i}:
+"
+        ));
+    }
+    format!(
+        "{equ}
+        .org 0x100
+        entry:
+            movi r10, #0
+{init}
+{body}
+            halt
+        ",
+        equ = equates(),
+        init = init,
+        body = body
+    )
+}
+
+/// The paper's Fig. 1 use case: two execution paths each request a
+/// different computation (REQ A / REQ B) from the same accelerator and
+/// read back the result. With private hardware snapshots both paths
+/// observe their own digest; with shared hardware the interleaved
+/// requests corrupt each other.
+///
+/// Each path loads a distinct block into the SHA accelerator, starts an
+/// `init` digest, polls for completion and stores digest word 0 to RAM
+/// at `0x2000` (+ path * 4). The harness compares both stored words with
+/// golden SHA-256 results.
+pub fn fig1_firmware() -> String {
+    format!(
+        "{equ}
+        .org 0x100
+        entry:
+            li r3, SHA_BASE
+            sym r1, #0
+            movi r2, #0
+            beq r1, r2, path_b
+        ; ---- REQ A: digest of block word0 = 0xAAAA0001
+        path_a:
+            li r4, 0xAAAA0001
+            stw r4, [r3, #0x40]
+            movi r5, #1
+            stw r5, [r3, #0x00]      ; CTRL.init
+        wait_a:
+            ldw r6, [r3, #0x04]
+            andi r6, r6, #2
+            beq r6, r0, wait_a
+            ldw r7, [r3, #0x80]      ; digest word 0
+            li r8, 0x2000
+            stw r7, [r8]
+            halt
+        ; ---- REQ B: digest of block word0 = 0xBBBB0002
+        path_b:
+            li r4, 0xBBBB0002
+            stw r4, [r3, #0x40]
+            movi r5, #1
+            stw r5, [r3, #0x00]
+        wait_b:
+            ldw r6, [r3, #0x04]
+            andi r6, r6, #2
+            beq r6, r0, wait_b
+            ldw r7, [r3, #0x80]
+            li r8, 0x2004
+            stw r7, [r8]
+            halt
+        ",
+        equ = equates()
+    )
+}
+
+/// RAM addresses where [`fig1_firmware`] stores the observed digests.
+pub const FIG1_RESULT_A: u32 = 0x2000;
+/// See [`FIG1_RESULT_A`].
+pub const FIG1_RESULT_B: u32 = 0x2004;
+
+/// Identifier of a planted bug for the bug-finding experiment (E5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlantedBug {
+    /// Off-by-one bounds check on a symbolic length lets a copy loop
+    /// write one word past the end of RAM (unmapped-access detector).
+    LengthOverflow,
+    /// A magic symbolic command, combined with a value read back from
+    /// the timer, reaches a `fail` marker — requires correct hardware
+    /// interaction to diagnose.
+    MagicCommand,
+    /// The timer-IRQ handler sets a flag; a magic input while the flag
+    /// is set detonates. Requires interrupt delivery to reach.
+    IrqGated,
+}
+
+impl PlantedBug {
+    /// All planted bugs.
+    pub fn all() -> [PlantedBug; 3] {
+        [PlantedBug::LengthOverflow, PlantedBug::MagicCommand, PlantedBug::IrqGated]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlantedBug::LengthOverflow => "length-overflow",
+            PlantedBug::MagicCommand => "magic-command",
+            PlantedBug::IrqGated => "irq-gated",
+        }
+    }
+}
+
+/// Firmware containing the selected planted bug.
+pub fn vulnerable_firmware(bug: PlantedBug) -> String {
+    match bug {
+        PlantedBug::LengthOverflow => format!(
+            "{equ}
+            .org 0x100
+            entry:
+                sym r1, #0           ; attacker-controlled length
+                andi r1, r1, #0x1F   ; 0..31
+                movi r2, #17
+                ; BUG: should reject len > 16, rejects only len > 17
+                bltu r2, r1, reject
+                ; copy loop: writes r1 words starting at RAM_END-64
+                li r3, 0xFFC0        ; 64 bytes below the 64KiB top
+                movi r4, #0
+            copy:
+                beq r4, r1, done
+                stw r4, [r3]
+                addi r3, r3, #4
+                addi r4, r4, #1
+                j copy
+            reject:
+                halt
+            done:
+                halt
+            ",
+            equ = equates()
+        ),
+        PlantedBug::MagicCommand => format!(
+            "{equ}
+            .org 0x100
+            entry:
+                ; program the timer and let it run a known number of ticks
+                li r3, TIMER_BASE
+                movi r4, #1000
+                stw r4, [r3, #0x04]   ; LOAD
+                movi r4, #1
+                stw r4, [r3, #0x00]   ; CTRL.enable
+                ldw r5, [r3, #0x08]   ; VALUE: deterministic under
+                                      ; consistent hardware
+                sym r1, #0            ; attacker command word
+                xor r6, r1, r5        ; depends on hardware readback
+                li r7, 0xDEAD0000
+                bne r6, r7, ok
+                fail                  ; reachable iff r1 == 0xDEAD0000 ^ r5
+            ok:
+                halt
+            ",
+            equ = equates()
+        ),
+        PlantedBug::IrqGated => format!(
+            "{equ}
+            .org 0x0
+            .word 0, timer_isr, 0, 0, 0, 0, 0, 0
+            .org 0x100
+            entry:
+                li r3, TIMER_BASE
+                movi r4, #2
+                stw r4, [r3, #0x04]   ; LOAD = 2 (fires quickly)
+                movi r4, #7
+                stw r4, [r3, #0x00]   ; enable | irq_en | oneshot
+                movi r9, #0           ; flag (init BEFORE unmasking)
+                sei
+                nop
+                nop
+                nop
+                nop
+                nop
+                nop
+                cli
+                sym r1, #0
+                movi r2, #0
+                beq r9, r2, no_irq
+                li r7, 0x00BADBAD
+                bne r1, r7, no_irq
+                fail                  ; needs flag set by the ISR + magic
+            no_irq:
+                halt
+            timer_isr:
+                movi r9, #1
+                ; acknowledge: W1C expired
+                movi r8, #1
+                stw r8, [r3, #0x0c]
+                iret
+            ",
+            equ = equates()
+        ),
+    }
+}
+
+/// A UART command-parser firmware for the fuzzing experiment (E8): reads
+/// bytes from the symbolic input, interprets a tiny command protocol and
+/// contains one crashing command sequence.
+pub fn uart_parser_firmware() -> String {
+    format!(
+        "{equ}
+        .org 0x100
+        entry:
+            li r3, UART_BASE
+            movi r4, #4
+            stw r4, [r3, #0x10]      ; BAUDDIV
+            sym r1, #0               ; command byte 1
+            andi r1, r1, #0xFF
+            sym r2, #1               ; command byte 2
+            andi r2, r2, #0xFF
+            ; 'W' 0xNN: transmit byte NN
+            movi r5, #0x57
+            bne r1, r5, not_write
+            stw r2, [r3, #0x00]      ; TXDATA
+            halt
+        not_write:
+            ; 'R': read RXDATA
+            movi r5, #0x52
+            bne r1, r5, not_read
+            ldw r6, [r3, #0x04]
+            halt
+        not_read:
+            ; 'X' 0x42: the crash
+            movi r5, #0x58
+            bne r1, r5, unknown
+            movi r5, #0x42
+            bne r2, r5, unknown
+            fail
+        unknown:
+            halt
+        ",
+        equ = equates()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_firmware_assembles() {
+        for k in [1, 4, 8] {
+            hardsnap_isa::assemble(&branching_firmware(k)).unwrap();
+        }
+        hardsnap_isa::assemble(&init_heavy_firmware(50, 3)).unwrap();
+        hardsnap_isa::assemble(&fig1_firmware()).unwrap();
+        for bug in PlantedBug::all() {
+            hardsnap_isa::assemble(&vulnerable_firmware(bug)).unwrap();
+        }
+        hardsnap_isa::assemble(&uart_parser_firmware()).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "k branches")]
+    fn branch_count_is_validated() {
+        branching_firmware(0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # hardsnap
+//!
+//! The core of the HardSnap reproduction (DSN 2020, Corteggiani &
+//! Francillon): hardware/software co-testing with **hardware
+//! snapshotting**.
+//!
+//! This crate ties the substrates together:
+//!
+//! * a combined HW/SW state: each [`hardsnap_symex::SymState`] owns a
+//!   private hardware snapshot in the [`SnapshotStore`];
+//! * the analysis [`Engine`] implementing the paper's Algorithm 1 —
+//!   state selection, hardware context switching (`UpdateState` /
+//!   `RestoreState`), atomic interrupt delivery, fork snapshots;
+//! * the two baselines of Fig. 1 ([`ConsistencyMode::NaiveConsistent`]
+//!   reboot-and-replay, [`ConsistencyMode::NaiveInconsistent`] shared
+//!   hardware) used throughout the evaluation;
+//! * multi-target orchestration ([`Engine::switch_target`]) between the
+//!   simulator and FPGA platforms;
+//! * the synthetic firmware workloads of the evaluation ([`firmware`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hardsnap::{Engine, EngineConfig};
+//! use hardsnap_sim::SimTarget;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Hardware: the 4-peripheral SoC on the simulator target.
+//! let soc = hardsnap_periph::soc().unwrap();
+//! let target = Box::new(SimTarget::new(soc)?);
+//!
+//! // Firmware: 2^3 paths, each talking to the timer.
+//! let prog = hardsnap_isa::assemble(&hardsnap::firmware::branching_firmware(3)).unwrap();
+//!
+//! let mut engine = Engine::new(target, EngineConfig::default());
+//! engine.load_firmware(&prog);
+//! let result = engine.run();
+//! assert_eq!(result.metrics.paths_completed, 8);
+//! assert!(result.bugs.is_empty(), "consistent execution has no false alarms");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod firmware;
+pub mod snapshots;
+
+pub use engine::{
+    ConsistencyMode, Engine, EngineConfig, EngineMetrics, HwAssertion, IoOp, RunResult, Searcher,
+};
+pub use snapshots::{SnapId, SnapshotStore};
+
+// Re-export the pieces users compose with.
+pub use hardsnap_bus::{transfer_state, HwSnapshot, HwTarget, TargetCaps, TargetKind};
+pub use hardsnap_symex::{BugKind, BugReport, Concretization};

@@ -1,0 +1,330 @@
+//! The snapshotting controller's snapshot store (paper §III-C).
+//!
+//! Snapshots are "identified by a unique identifier"; the store is the
+//! persistent side of the controller (the paper's checkpoint files /
+//! snapshot SRAM). It is shared (`Arc` + lock) so diagnostic tooling can
+//! inspect snapshots while an analysis runs.
+//!
+//! Two storage representations are supported:
+//!
+//! * **full** images — one complete [`HwSnapshot`] per id;
+//! * **delta** images — a [`SnapshotDelta`] against an immutable base
+//!   image. Fork-heavy analyses produce many snapshots that differ from
+//!   their fork point by a handful of registers, so delta storage cuts
+//!   the controller's memory footprint dramatically (measured by the
+//!   `exp_ablation` harness).
+
+use hardsnap_bus::{HwSnapshot, SnapshotDelta};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A snapshot identifier.
+pub type SnapId = u64;
+
+#[derive(Debug)]
+enum Entry {
+    Full(HwSnapshot),
+    Delta {
+        base: SnapId,
+        delta: SnapshotDelta,
+    },
+}
+
+impl Entry {
+    fn byte_size(&self) -> usize {
+        match self {
+            Entry::Full(s) => s.byte_size(),
+            Entry::Delta { delta, .. } => delta.byte_size(),
+        }
+    }
+}
+
+/// Thread-safe snapshot store.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotStore {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<SnapId, Entry>,
+    /// Reference counts of ids used as delta bases; a base is freed when
+    /// its count drops to zero and it has no direct owner.
+    base_refs: HashMap<SnapId, usize>,
+    /// Ids that exist only as delta bases (not owned by a state).
+    hidden_bases: HashMap<SnapId, bool>,
+    next: SnapId,
+    bytes: usize,
+    peak_bytes: usize,
+}
+
+impl Inner {
+    fn resolve(&self, id: SnapId) -> Option<HwSnapshot> {
+        match self.entries.get(&id)? {
+            Entry::Full(s) => Some(s.clone()),
+            Entry::Delta { base, delta } => {
+                let base_snap = self.resolve(*base)?;
+                delta.apply(&base_snap).ok()
+            }
+        }
+    }
+
+    fn account(&mut self, delta_bytes: isize) {
+        self.bytes = (self.bytes as isize + delta_bytes).max(0) as usize;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
+    }
+
+    fn release_base(&mut self, base: SnapId) {
+        if let Some(c) = self.base_refs.get_mut(&base) {
+            *c -= 1;
+            if *c == 0 {
+                self.base_refs.remove(&base);
+                if self.hidden_bases.remove(&base).is_some() {
+                    if let Some(e) = self.entries.remove(&base) {
+                        let sz = e.byte_size() as isize;
+                        self.account(-sz);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SnapshotStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SnapshotStore::default()
+    }
+
+    /// Stores a full snapshot under a fresh id.
+    pub fn insert(&self, snap: HwSnapshot) -> SnapId {
+        let mut g = self.inner.write();
+        let id = g.next;
+        g.next += 1;
+        let sz = snap.byte_size() as isize;
+        g.entries.insert(id, Entry::Full(snap));
+        g.account(sz);
+        id
+    }
+
+    /// Stores `snap` as a delta against the (immutable) snapshot under
+    /// `base`; falls back to full storage if the delta would not save
+    /// space or the shapes differ. Marks `base` as referenced so it
+    /// outlives its dependents.
+    pub fn insert_delta(&self, base: SnapId, snap: HwSnapshot) -> SnapId {
+        let mut g = self.inner.write();
+        let id = g.next;
+        g.next += 1;
+        let entry = match g
+            .resolve(base)
+            .and_then(|b| SnapshotDelta::between(&b, &snap).ok())
+        {
+            Some(delta) if delta.byte_size() < snap.byte_size() => {
+                *g.base_refs.entry(base).or_insert(0) += 1;
+                Entry::Delta { base, delta }
+            }
+            _ => Entry::Full(snap),
+        };
+        let sz = entry.byte_size() as isize;
+        g.entries.insert(id, entry);
+        g.account(sz);
+        id
+    }
+
+    /// Registers a snapshot that exists only to serve as a delta base
+    /// (freed automatically when the last dependent goes away).
+    pub fn insert_base(&self, snap: HwSnapshot) -> SnapId {
+        let id = self.insert(snap);
+        self.inner.write().hidden_bases.insert(id, true);
+        id
+    }
+
+    /// Size a delta of `snap` against the snapshot under `base` would
+    /// take, or `None` when the shapes are incompatible. Lets callers
+    /// decide whether an existing base is still a good anchor.
+    pub fn delta_size_vs(&self, base: SnapId, snap: &HwSnapshot) -> Option<usize> {
+        let g = self.inner.read();
+        let b = g.resolve(base)?;
+        SnapshotDelta::between(&b, snap).ok().map(|d| d.byte_size())
+    }
+
+    /// Overwrites the snapshot under `id` (the paper's `UpdateState`),
+    /// preserving the entry's representation (delta entries stay deltas
+    /// against their base).
+    pub fn update(&self, id: SnapId, snap: HwSnapshot) {
+        let mut g = self.inner.write();
+        let old_sz = g.entries.get(&id).map(|e| e.byte_size() as isize).unwrap_or(0);
+        let new_entry = match g.entries.get(&id) {
+            Some(Entry::Delta { base, .. }) => {
+                let base = *base;
+                match g
+                    .resolve(base)
+                    .and_then(|b| SnapshotDelta::between(&b, &snap).ok())
+                {
+                    Some(delta) if delta.byte_size() < snap.byte_size() => {
+                        Entry::Delta { base, delta }
+                    }
+                    _ => {
+                        g.release_base(base);
+                        Entry::Full(snap)
+                    }
+                }
+            }
+            _ => Entry::Full(snap),
+        };
+        let new_sz = new_entry.byte_size() as isize;
+        g.entries.insert(id, new_entry);
+        g.account(new_sz - old_sz);
+    }
+
+    /// Fetches a snapshot by id (reconstructing deltas transparently).
+    pub fn get(&self, id: SnapId) -> Option<HwSnapshot> {
+        self.inner.read().resolve(id)
+    }
+
+    /// Drops a snapshot (state terminated); frees its delta base when it
+    /// was the last dependent.
+    pub fn remove(&self, id: SnapId) -> Option<HwSnapshot> {
+        let mut g = self.inner.write();
+        let resolved = g.resolve(id);
+        if let Some(e) = g.entries.remove(&id) {
+            let sz = e.byte_size() as isize;
+            g.account(-sz);
+            if let Entry::Delta { base, .. } = e {
+                g.release_base(base);
+            }
+        }
+        resolved
+    }
+
+    /// Number of live entries (including hidden bases).
+    pub fn len(&self) -> usize {
+        self.inner.read().entries.len()
+    }
+
+    /// True if no snapshots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().entries.is_empty()
+    }
+
+    /// Current bytes of stored images (full + delta representations).
+    pub fn total_bytes(&self) -> usize {
+        self.inner.read().bytes
+    }
+
+    /// High-water mark of [`SnapshotStore::total_bytes`].
+    pub fn peak_bytes(&self) -> usize {
+        self.inner.read().peak_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardsnap_bus::RegImage;
+
+    fn snap(v: u64) -> HwSnapshot {
+        HwSnapshot {
+            design: "d".into(),
+            cycle: v,
+            regs: (0..32)
+                .map(|i| RegImage { name: format!("r{i}"), width: 32, bits: i * 11 + v })
+                .collect(),
+            mems: vec![],
+        }
+    }
+
+    #[test]
+    fn insert_get_update_remove() {
+        let store = SnapshotStore::new();
+        let a = store.insert(snap(1));
+        let b = store.insert(snap(2));
+        assert_ne!(a, b);
+        assert_eq!(store.get(a).unwrap().reg("r0"), Some(1));
+        store.update(a, snap(9));
+        assert_eq!(store.get(a).unwrap().reg("r0"), Some(9));
+        assert_eq!(store.len(), 2);
+        assert!(store.remove(b).is_some());
+        assert_eq!(store.len(), 1);
+        assert!(store.get(b).is_none());
+    }
+
+    #[test]
+    fn delta_entries_resolve_and_save_space() {
+        let store = SnapshotStore::new();
+        let base_snap = snap(5);
+        let base = store.insert_base(base_snap.clone());
+        let bytes_after_base = store.total_bytes();
+        // A snapshot differing in one register.
+        let mut child_snap = base_snap.clone();
+        child_snap.regs[7].bits = 0xfeed;
+        let child = store.insert_delta(base, child_snap.clone());
+        assert_eq!(store.get(child).unwrap(), child_snap);
+        assert!(
+            store.total_bytes() - bytes_after_base < base_snap.byte_size() / 4,
+            "delta must be small"
+        );
+    }
+
+    #[test]
+    fn hidden_base_freed_with_last_dependent() {
+        let store = SnapshotStore::new();
+        let base_snap = snap(5);
+        let base = store.insert_base(base_snap.clone());
+        let c1 = store.insert_delta(base, base_snap.clone());
+        let c2 = store.insert_delta(base, base_snap.clone());
+        assert_eq!(store.len(), 3);
+        store.remove(c1);
+        assert_eq!(store.len(), 2, "base still referenced by c2");
+        store.remove(c2);
+        assert_eq!(store.len(), 0, "hidden base freed with last dependent");
+        assert_eq!(store.total_bytes(), 0);
+    }
+
+    #[test]
+    fn update_of_delta_entry_stays_compact() {
+        let store = SnapshotStore::new();
+        let base_snap = snap(5);
+        let base = store.insert_base(base_snap.clone());
+        let mut v1 = base_snap.clone();
+        v1.regs[0].bits = 1;
+        let id = store.insert_delta(base, v1);
+        let mut v2 = base_snap.clone();
+        v2.regs[1].bits = 2;
+        v2.regs[2].bits = 3;
+        store.update(id, v2.clone());
+        assert_eq!(store.get(id).unwrap(), v2);
+        assert!(store.total_bytes() < 2 * base_snap.byte_size());
+    }
+
+    #[test]
+    fn incompatible_delta_falls_back_to_full() {
+        let store = SnapshotStore::new();
+        let base = store.insert_base(snap(1));
+        let mut other = snap(2);
+        other.design = "different".into();
+        let id = store.insert_delta(base, other.clone());
+        assert_eq!(store.get(id).unwrap(), other);
+    }
+
+    #[test]
+    fn byte_accounting_and_peak() {
+        let store = SnapshotStore::new();
+        let a = store.insert(snap(1));
+        let peak1 = store.peak_bytes();
+        assert!(peak1 > 0);
+        store.remove(a);
+        assert_eq!(store.total_bytes(), 0);
+        assert_eq!(store.peak_bytes(), peak1, "peak is a high-water mark");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let store = SnapshotStore::new();
+        let other = store.clone();
+        let id = store.insert(snap(7));
+        assert_eq!(other.get(id).unwrap().cycle, 7);
+    }
+}

@@ -1,0 +1,747 @@
+//! Two-pass assembler for HS32.
+//!
+//! The synthetic firmware corpus (evaluation workloads, planted-bug
+//! programs, examples) is written in this assembly dialect. Supported
+//! directives: `.org`, `.equ`, `.word`, `.byte`, `.ascii`, `.align`.
+//! Pseudo-instructions: `li` (LUI+ORI), `mov`, `j`, `call`, `ret`.
+//!
+//! # Example
+//!
+//! ```
+//! let prog = hardsnap_isa::assemble(r#"
+//!     .org 0x100
+//!     entry:
+//!         movi r1, #3
+//!         movi r2, #4
+//!         add  r3, r1, r2
+//!         halt
+//! "#).unwrap();
+//! assert_eq!(prog.entry, 0x100);
+//! ```
+
+use crate::encoding::{AluOp, Cond, Instr, ENTRY_PC, LR};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembled firmware image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Flat RAM image starting at address 0 (holes are zero).
+    pub image: Vec<u8>,
+    /// Entry point (address of the first instruction after `.org`, or
+    /// [`ENTRY_PC`] if a label named `entry` exists, it wins).
+    pub entry: u32,
+    /// Label addresses for the analysis engine and tests.
+    pub labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Address of a label.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+}
+
+/// An assembly diagnostic with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Clone, Debug)]
+enum Item {
+    Instr { line: usize, mnem: String, ops: Vec<String> },
+    Word { line: usize, exprs: Vec<String> },
+    Byte { line: usize, exprs: Vec<String> },
+    Ascii { text: Vec<u8> },
+    Org { line: usize, addr: String },
+    Align { line: usize, n: String },
+    Label(String),
+}
+
+/// Assembles HS32 source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line for syntax errors,
+/// unknown mnemonics/registers/labels, and out-of-range offsets.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let items = tokenize(src)?;
+
+    // ---- pass 1: layout -----------------------------------------------------
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut equs: HashMap<String, u32> = HashMap::new();
+    // First collect .equ (they may be used before definition in pass 1
+    // only for sizes, which never depend on equs, so a single prepass
+    // suffices).
+    for it in &items {
+        if let Item::Instr { line, mnem, ops } = it {
+            if mnem == ".equ" {
+                if ops.len() != 2 {
+                    return Err(err(*line, ".equ takes a name and a value"));
+                }
+                let v = parse_num(&ops[1])
+                    .ok_or_else(|| err(*line, format!("bad .equ value '{}'", ops[1])))?;
+                equs.insert(ops[0].clone(), v);
+            }
+        }
+    }
+    let mut pc: u32 = ENTRY_PC;
+    let mut first_org: Option<u32> = None;
+    for it in &items {
+        match it {
+            Item::Label(name) => {
+                labels.insert(name.clone(), pc);
+            }
+            Item::Org { line, addr } => {
+                let a = resolve(addr, &labels, &equs)
+                    .ok_or_else(|| err(*line, format!("bad .org address '{addr}'")))?;
+                pc = a;
+                first_org.get_or_insert(a);
+            }
+            Item::Align { line, n } => {
+                let a = resolve(n, &labels, &equs)
+                    .ok_or_else(|| err(*line, format!("bad .align '{n}'")))?;
+                if a == 0 || !a.is_power_of_two() {
+                    return Err(err(*line, ".align requires a power of two"));
+                }
+                pc = (pc + a - 1) & !(a - 1);
+            }
+            Item::Word { exprs, .. } => pc += 4 * exprs.len() as u32,
+            Item::Byte { exprs, .. } => pc += exprs.len() as u32,
+            Item::Ascii { text } => pc += text.len() as u32,
+            Item::Instr { mnem, .. } => {
+                if mnem == ".equ" {
+                    continue;
+                }
+                pc += if mnem == "li" { 8 } else { 4 };
+            }
+        }
+    }
+
+    // ---- pass 2: encode ------------------------------------------------------
+    let mut image = vec![0u8; 0x1_0000];
+    let mut max = 0usize;
+    let mut pc: u32 = ENTRY_PC;
+    let emit = |image: &mut Vec<u8>, max: &mut usize, pc: &mut u32, bytes: &[u8]| {
+        let start = *pc as usize;
+        if start + bytes.len() > image.len() {
+            image.resize(start + bytes.len(), 0);
+        }
+        image[start..start + bytes.len()].copy_from_slice(bytes);
+        *pc += bytes.len() as u32;
+        *max = (*max).max(start + bytes.len());
+    };
+    for it in &items {
+        match it {
+            Item::Label(_) => {}
+            Item::Org { addr, .. } => {
+                pc = resolve(addr, &labels, &equs).unwrap();
+            }
+            Item::Align { n, .. } => {
+                let a = resolve(n, &labels, &equs).unwrap();
+                pc = (pc + a - 1) & !(a - 1);
+            }
+            Item::Word { line, exprs } => {
+                for e in exprs {
+                    let v = resolve(e, &labels, &equs)
+                        .ok_or_else(|| err(*line, format!("undefined symbol '{e}'")))?;
+                    emit(&mut image, &mut max, &mut pc, &v.to_le_bytes());
+                }
+            }
+            Item::Byte { line, exprs } => {
+                for e in exprs {
+                    let v = resolve(e, &labels, &equs)
+                        .ok_or_else(|| err(*line, format!("undefined symbol '{e}'")))?;
+                    emit(&mut image, &mut max, &mut pc, &[v as u8]);
+                }
+            }
+            Item::Ascii { text } => {
+                emit(&mut image, &mut max, &mut pc, text);
+            }
+            Item::Instr { line, mnem, ops } => {
+                if mnem == ".equ" {
+                    continue;
+                }
+                let words = encode_one(*line, mnem, ops, pc, &labels, &equs)?;
+                for w in words {
+                    emit(&mut image, &mut max, &mut pc, &w.to_le_bytes());
+                }
+            }
+        }
+    }
+    image.truncate(max.max(ENTRY_PC as usize + 4));
+
+    let entry = labels.get("entry").copied().or(first_org).unwrap_or(ENTRY_PC);
+    Ok(Program { image, entry, labels })
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn tokenize(src: &str) -> Result<Vec<Item>, AsmError> {
+    let mut out = Vec::new();
+    for (ln, raw) in src.lines().enumerate() {
+        let line = ln + 1;
+        let mut code = raw;
+        // .ascii needs the raw string; handle before comment stripping.
+        let trimmed = raw.trim();
+        if let Some(rest) = trimmed.strip_prefix(".ascii") {
+            let rest = rest.trim();
+            let inner = rest
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .ok_or_else(|| err(line, ".ascii requires a double-quoted string"))?;
+            let mut text = Vec::new();
+            let mut chars = inner.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    match chars.next() {
+                        Some('n') => text.push(b'\n'),
+                        Some('0') => text.push(0),
+                        Some('\\') => text.push(b'\\'),
+                        Some('"') => text.push(b'"'),
+                        other => {
+                            return Err(err(line, format!("bad escape '\\{other:?}'")));
+                        }
+                    }
+                } else {
+                    text.push(c as u8);
+                }
+            }
+            out.push(Item::Ascii { text });
+            continue;
+        }
+        if let Some(i) = code.find(';') {
+            code = &code[..i];
+        }
+        if let Some(i) = code.find("//") {
+            code = &code[..i];
+        }
+        let mut code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        // Labels (possibly followed by code on the same line).
+        while let Some(colon) = code.find(':') {
+            let (label, rest) = code.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                return Err(err(line, format!("bad label '{label}'")));
+            }
+            out.push(Item::Label(label.to_string()));
+            code = rest[1..].trim();
+        }
+        if code.is_empty() {
+            continue;
+        }
+        let (mnem, rest) = match code.find(char::is_whitespace) {
+            Some(i) => code.split_at(i),
+            None => (code, ""),
+        };
+        let mnem = mnem.to_ascii_lowercase();
+        let ops: Vec<String> = split_operands(rest.trim());
+        match mnem.as_str() {
+            ".org" => {
+                let a = ops
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| err(line, ".org needs an address"))?;
+                out.push(Item::Org { line, addr: a });
+            }
+            ".align" => {
+                let n = ops
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| err(line, ".align needs a value"))?;
+                out.push(Item::Align { line, n });
+            }
+            ".word" => out.push(Item::Word { line, exprs: ops }),
+            ".byte" => out.push(Item::Byte { line, exprs: ops }),
+            _ => out.push(Item::Instr { line, mnem, ops }),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits "r1, [r2, #4]" into ["r1", "[r2, #4]"] (bracket-aware).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_num(s: &str) -> Option<u32> {
+    let s = s.trim().trim_start_matches('#');
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, s),
+    };
+    let v = if let Some(h) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(h, 16).ok()?
+    } else if let Some(b) = s.strip_prefix("0b") {
+        u32::from_str_radix(b, 2).ok()?
+    } else {
+        s.parse::<u32>().ok()?
+    };
+    Some(if neg { v.wrapping_neg() } else { v })
+}
+
+fn resolve(s: &str, labels: &HashMap<String, u32>, equs: &HashMap<String, u32>) -> Option<u32> {
+    let t = s.trim().trim_start_matches('#');
+    parse_num(t)
+        .or_else(|| equs.get(t).copied())
+        .or_else(|| labels.get(t).copied())
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<u8, AsmError> {
+    let t = s.trim().to_ascii_lowercase();
+    match t.as_str() {
+        "sp" => return Ok(crate::encoding::SP),
+        "lr" => return Ok(LR),
+        "zero" => return Ok(0),
+        _ => {}
+    }
+    let n = t
+        .strip_prefix('r')
+        .and_then(|r| r.parse::<u8>().ok())
+        .filter(|&n| n < 16)
+        .ok_or_else(|| err(line, format!("bad register '{s}'")))?;
+    Ok(n)
+}
+
+/// Parses "[rbase]" or "[rbase, #off]".
+fn parse_mem(
+    line: usize,
+    s: &str,
+    labels: &HashMap<String, u32>,
+    equs: &HashMap<String, u32>,
+) -> Result<(u8, i16), AsmError> {
+    let inner = s
+        .trim()
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected memory operand, got '{s}'")))?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    let base = parse_reg(line, parts[0])?;
+    let off = if parts.len() > 1 {
+        let v = resolve(parts[1], labels, equs)
+            .ok_or_else(|| err(line, format!("bad offset '{}'", parts[1])))?;
+        let v = v as i32;
+        if !(-32768..=32767).contains(&v) {
+            return Err(err(line, format!("offset {v} out of i16 range")));
+        }
+        v as i16
+    } else {
+        0
+    };
+    Ok((base, off))
+}
+
+fn branch_off(line: usize, target: u32, pc: u32) -> Result<i16, AsmError> {
+    let off = target as i64 - (pc as i64 + 4);
+    if off % 4 != 0 {
+        return Err(err(line, "branch target is not 4-aligned"));
+    }
+    if !(-32768..=32767).contains(&off) {
+        return Err(err(line, format!("branch offset {off} out of range")));
+    }
+    Ok(off as i16)
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode_one(
+    line: usize,
+    mnem: &str,
+    ops: &[String],
+    pc: u32,
+    labels: &HashMap<String, u32>,
+    equs: &HashMap<String, u32>,
+) -> Result<Vec<u32>, AsmError> {
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() != n {
+            Err(err(line, format!("'{mnem}' expects {n} operands, got {}", ops.len())))
+        } else {
+            Ok(())
+        }
+    };
+    let reg = |i: usize| parse_reg(line, &ops[i]);
+    let val = |i: usize| {
+        resolve(&ops[i], labels, equs)
+            .ok_or_else(|| err(line, format!("undefined symbol '{}'", ops[i])))
+    };
+    let imm16s = |i: usize| -> Result<u32, AsmError> {
+        let v = val(i)? as i32;
+        if !(-32768..=32767).contains(&v) {
+            return Err(err(line, format!("immediate {v} out of signed 16-bit range")));
+        }
+        Ok(v as u32)
+    };
+    let imm16u = |i: usize| -> Result<u32, AsmError> {
+        let v = val(i)?;
+        if v > 0xffff {
+            return Err(err(line, format!("immediate {v:#x} out of 16-bit range")));
+        }
+        Ok(v)
+    };
+
+    let alu3 = |op: AluOp, ops: &[String]| -> Result<Vec<u32>, AsmError> {
+        if ops.len() != 3 {
+            return Err(err(line, "expects rd, rs1, rs2"));
+        }
+        Ok(vec![Instr::Alu {
+            op,
+            rd: parse_reg(line, &ops[0])?,
+            rs1: parse_reg(line, &ops[1])?,
+            rs2: parse_reg(line, &ops[2])?,
+        }
+        .encode()])
+    };
+    let alui = |op: AluOp, signed: bool| -> Result<Vec<u32>, AsmError> {
+        want(3)?;
+        let imm = if signed { imm16s(2)? } else { imm16u(2)? };
+        Ok(vec![Instr::AluImm { op, rd: reg(0)?, rs1: reg(1)?, imm }.encode()])
+    };
+    let branch = |cond: Cond| -> Result<Vec<u32>, AsmError> {
+        want(3)?;
+        let target = val(2)?;
+        Ok(vec![Instr::Branch {
+            cond,
+            rs1: reg(0)?,
+            rs2: reg(1)?,
+            off: branch_off(line, target, pc)?,
+        }
+        .encode()])
+    };
+
+    match mnem {
+        "nop" => Ok(vec![Instr::Nop.encode()]),
+        "halt" => Ok(vec![Instr::Halt.encode()]),
+        "add" => alu3(AluOp::Add, ops),
+        "sub" => alu3(AluOp::Sub, ops),
+        "and" => alu3(AluOp::And, ops),
+        "or" => alu3(AluOp::Or, ops),
+        "xor" => alu3(AluOp::Xor, ops),
+        "shl" => alu3(AluOp::Shl, ops),
+        "shr" => alu3(AluOp::Shr, ops),
+        "sra" => alu3(AluOp::Sra, ops),
+        "mul" => alu3(AluOp::Mul, ops),
+        "addi" => alui(AluOp::Add, true),
+        "subi" => alui(AluOp::Sub, true),
+        "andi" => alui(AluOp::And, false),
+        "ori" => alui(AluOp::Or, false),
+        "xori" => alui(AluOp::Xor, false),
+        "shli" => alui(AluOp::Shl, false),
+        "shri" => alui(AluOp::Shr, false),
+        "srai" => alui(AluOp::Sra, false),
+        "muli" => alui(AluOp::Mul, true),
+        "movi" => {
+            want(2)?;
+            let v = val(1)? as i32;
+            if !(-32768..=32767).contains(&v) {
+                return Err(err(line, format!("movi immediate {v} out of range; use li")));
+            }
+            Ok(vec![Instr::AluImm { op: AluOp::Add, rd: reg(0)?, rs1: 0, imm: v as u32 }
+                .encode()])
+        }
+        "li" => {
+            want(2)?;
+            let v = val(1)?;
+            let rd = reg(0)?;
+            Ok(vec![
+                Instr::Lui { rd, imm: (v >> 16) as u16 }.encode(),
+                Instr::AluImm { op: AluOp::Or, rd, rs1: rd, imm: v & 0xffff }.encode(),
+            ])
+        }
+        "mov" => {
+            want(2)?;
+            Ok(vec![Instr::Alu { op: AluOp::Add, rd: reg(0)?, rs1: reg(1)?, rs2: 0 }.encode()])
+        }
+        "lui" => {
+            want(2)?;
+            Ok(vec![Instr::Lui { rd: reg(0)?, imm: imm16u(1)? as u16 }.encode()])
+        }
+        "ldw" | "ldb" => {
+            want(2)?;
+            let (rs1, off) = parse_mem(line, &ops[1], labels, equs)?;
+            let rd = reg(0)?;
+            Ok(vec![if mnem == "ldw" {
+                Instr::Ldw { rd, rs1, off }.encode()
+            } else {
+                Instr::Ldb { rd, rs1, off }.encode()
+            }])
+        }
+        "stw" | "stb" => {
+            want(2)?;
+            let (rs1, off) = parse_mem(line, &ops[1], labels, equs)?;
+            let rs2 = reg(0)?;
+            Ok(vec![if mnem == "stw" {
+                Instr::Stw { rs2, rs1, off }.encode()
+            } else {
+                Instr::Stb { rs2, rs1, off }.encode()
+            }])
+        }
+        "beq" => branch(Cond::Eq),
+        "bne" => branch(Cond::Ne),
+        "blt" => branch(Cond::Lt),
+        "bge" => branch(Cond::Ge),
+        "bltu" => branch(Cond::Ltu),
+        "bgeu" => branch(Cond::Geu),
+        "jal" | "call" => {
+            want(1)?;
+            let target = val(0)?;
+            let off = target as i64 - (pc as i64 + 4);
+            if !(-(1 << 21)..(1 << 21)).contains(&off) {
+                return Err(err(line, format!("jal offset {off} out of range")));
+            }
+            Ok(vec![Instr::Jal { rd: LR, off: off as i32 }.encode()])
+        }
+        "j" => {
+            want(1)?;
+            let target = val(0)?;
+            let off = target as i64 - (pc as i64 + 4);
+            if !(-(1 << 21)..(1 << 21)).contains(&off) {
+                return Err(err(line, format!("jump offset {off} out of range")));
+            }
+            Ok(vec![Instr::Jal { rd: 0, off: off as i32 }.encode()])
+        }
+        "jalr" => {
+            want(1)?;
+            Ok(vec![Instr::Jalr { rd: LR, rs1: reg(0)?, off: 0 }.encode()])
+        }
+        "jr" => {
+            want(1)?;
+            Ok(vec![Instr::Jalr { rd: 0, rs1: reg(0)?, off: 0 }.encode()])
+        }
+        "ret" => Ok(vec![Instr::Jalr { rd: 0, rs1: LR, off: 0 }.encode()]),
+        "iret" => Ok(vec![Instr::Iret.encode()]),
+        "cli" => Ok(vec![Instr::Cli.encode()]),
+        "sei" => Ok(vec![Instr::Sei.encode()]),
+        "sym" => {
+            want(2)?;
+            Ok(vec![Instr::Sym { rd: reg(0)?, id: imm16u(1)? as u16 }.encode()])
+        }
+        "assert" => {
+            want(1)?;
+            Ok(vec![Instr::Assert { rs1: reg(0)? }.encode()])
+        }
+        "fail" => Ok(vec![Instr::Fail.encode()]),
+        "putc" => {
+            want(1)?;
+            Ok(vec![Instr::Putc { rs1: reg(0)? }.encode()])
+        }
+        "chkpt" => {
+            want(1)?;
+            Ok(vec![Instr::Chkpt { id: imm16u(0)? as u16 }.encode()])
+        }
+        other => Err(err(line, format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_program_assembles() {
+        let p = assemble(
+            r#"
+            .org 0x100
+            entry:
+                movi r1, #3
+                addi r1, r1, #4
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.entry, 0x100);
+        let w0 = u32::from_le_bytes(p.image[0x100..0x104].try_into().unwrap());
+        assert_eq!(
+            Instr::decode(w0).unwrap(),
+            Instr::AluImm { op: AluOp::Add, rd: 1, rs1: 0, imm: 3 }
+        );
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let p = assemble(
+            r#"
+            .org 0x100
+            entry:
+                movi r1, #0
+            loop:
+                addi r1, r1, #1
+                movi r2, #10
+                bne r1, r2, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        let bne_addr = 0x100 + 12;
+        let w = u32::from_le_bytes(p.image[bne_addr..bne_addr + 4].try_into().unwrap());
+        match Instr::decode(w).unwrap() {
+            Instr::Branch { cond: Cond::Ne, off, .. } => {
+                assert_eq!(off, -12); // back to `loop`
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_expands_to_two_words() {
+        let p = assemble(
+            r#"
+            .org 0x100
+            entry:
+                li r5, 0x40001234
+                halt
+            "#,
+        )
+        .unwrap();
+        let w0 = u32::from_le_bytes(p.image[0x100..0x104].try_into().unwrap());
+        let w1 = u32::from_le_bytes(p.image[0x104..0x108].try_into().unwrap());
+        assert_eq!(Instr::decode(w0).unwrap(), Instr::Lui { rd: 5, imm: 0x4000 });
+        assert_eq!(
+            Instr::decode(w1).unwrap(),
+            Instr::AluImm { op: AluOp::Or, rd: 5, rs1: 5, imm: 0x1234 }
+        );
+    }
+
+    #[test]
+    fn equ_and_memory_operands() {
+        let p = assemble(
+            r#"
+            .equ UART, 0x40000000
+            .org 0x100
+            entry:
+                li r1, UART
+                ldw r2, [r1, #8]
+                stw r2, [r1]
+                halt
+            "#,
+        )
+        .unwrap();
+        let w = u32::from_le_bytes(p.image[0x108..0x10c].try_into().unwrap());
+        assert_eq!(Instr::decode(w).unwrap(), Instr::Ldw { rd: 2, rs1: 1, off: 8 });
+    }
+
+    #[test]
+    fn vector_table_with_label_words() {
+        let p = assemble(
+            r#"
+            .org 0x0
+            .word 0, isr, 0, 0
+            .org 0x100
+            entry:
+                halt
+            isr:
+                iret
+            "#,
+        )
+        .unwrap();
+        let vec1 = u32::from_le_bytes(p.image[4..8].try_into().unwrap());
+        assert_eq!(vec1, p.label("isr").unwrap());
+    }
+
+    #[test]
+    fn ascii_and_byte_data() {
+        let p = assemble(
+            r#"
+            .org 0x200
+            msg:
+            .ascii "hi\n\0"
+            .byte 1, 2, 0xff
+            .org 0x100
+            entry: halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(&p.image[0x200..0x204], b"hi\n\0");
+        assert_eq!(&p.image[0x204..0x207], &[1, 2, 0xff]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("entry:\n  bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = assemble(".org 0x100\nentry:\n  movi r99, #1\n").unwrap_err();
+        assert!(e.message.contains("register"));
+        let e = assemble(".org 0x100\nentry:\n  movi r1, #100000\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn branch_out_of_range_is_detected() {
+        let e = assemble(
+            r#"
+            .org 0x100
+            entry:
+                beq r1, r2, far
+            .org 0x20000
+            far: halt
+            "#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = assemble(
+            ".org 0x100\nentry:\n  mov sp, zero\n  jalr lr\n  ret\n  halt\n",
+        )
+        .unwrap();
+        let w = u32::from_le_bytes(p.image[0x100..0x104].try_into().unwrap());
+        assert_eq!(
+            Instr::decode(w).unwrap(),
+            Instr::Alu { op: AluOp::Add, rd: 13, rs1: 0, rs2: 0 }
+        );
+    }
+
+    #[test]
+    fn align_pads_correctly() {
+        let p = assemble(".org 0x101\n.align 4\nentry:\n  halt\n").unwrap();
+        assert_eq!(p.label("entry").unwrap(), 0x104);
+        let p2 = assemble(".org 0x102\n.align 8\nx:\n  halt\n").unwrap();
+        assert_eq!(p2.label("x").unwrap(), 0x108);
+    }
+}

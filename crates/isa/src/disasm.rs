@@ -1,0 +1,206 @@
+//! HS32 disassembler: decoded instructions back to assembler syntax.
+//!
+//! Used by diagnostics (bug reports print the faulting instruction) and
+//! round-trip tested against the assembler.
+
+use crate::encoding::{AluOp, Cond, Instr};
+
+fn reg(r: u8) -> String {
+    match r {
+        13 => "sp".to_string(),
+        14 => "lr".to_string(),
+        _ => format!("r{r}"),
+    }
+}
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Sra => "sra",
+        AluOp::Mul => "mul",
+    }
+}
+
+fn cond_mnemonic(c: Cond) -> &'static str {
+    match c {
+        Cond::Eq => "beq",
+        Cond::Ne => "bne",
+        Cond::Lt => "blt",
+        Cond::Ge => "bge",
+        Cond::Ltu => "bltu",
+        Cond::Geu => "bgeu",
+    }
+}
+
+/// Renders one decoded instruction in assembler syntax. Branch and jump
+/// targets are shown as absolute addresses computed against `pc`.
+pub fn disassemble(instr: Instr, pc: u32) -> String {
+    match instr {
+        Instr::Nop => "nop".into(),
+        Instr::Halt => "halt".into(),
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            format!("{} {}, {}, {}", alu_mnemonic(op), reg(rd), reg(rs1), reg(rs2))
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            let signed = crate::encoding::imm_is_signed(op);
+            if signed {
+                format!("{}i {}, {}, #{}", alu_mnemonic(op), reg(rd), reg(rs1), imm as i32)
+            } else {
+                format!("{}i {}, {}, #{:#x}", alu_mnemonic(op), reg(rd), reg(rs1), imm)
+            }
+        }
+        Instr::Lui { rd, imm } => format!("lui {}, #{imm:#x}", reg(rd)),
+        Instr::Ldw { rd, rs1, off } => format!("ldw {}, [{}, #{off}]", reg(rd), reg(rs1)),
+        Instr::Stw { rs2, rs1, off } => format!("stw {}, [{}, #{off}]", reg(rs2), reg(rs1)),
+        Instr::Ldb { rd, rs1, off } => format!("ldb {}, [{}, #{off}]", reg(rd), reg(rs1)),
+        Instr::Stb { rs2, rs1, off } => format!("stb {}, [{}, #{off}]", reg(rs2), reg(rs1)),
+        Instr::Branch { cond, rs1, rs2, off } => {
+            let target = pc.wrapping_add(4).wrapping_add(off as i32 as u32);
+            format!("{} {}, {}, {target:#x}", cond_mnemonic(cond), reg(rs1), reg(rs2))
+        }
+        Instr::Jal { rd, off } => {
+            let target = pc.wrapping_add(4).wrapping_add(off as u32);
+            if rd == 0 {
+                format!("j {target:#x}")
+            } else {
+                format!("jal {target:#x}")
+            }
+        }
+        Instr::Jalr { rd, rs1, off } => {
+            if rd == 0 && rs1 == crate::encoding::LR && off == 0 {
+                "ret".into()
+            } else {
+                format!("jalr {}, {}, #{off}", reg(rd), reg(rs1))
+            }
+        }
+        Instr::Iret => "iret".into(),
+        Instr::Cli => "cli".into(),
+        Instr::Sei => "sei".into(),
+        Instr::Sym { rd, id } => format!("sym {}, #{id}", reg(rd)),
+        Instr::Assert { rs1 } => format!("assert {}", reg(rs1)),
+        Instr::Fail => "fail".into(),
+        Instr::Putc { rs1 } => format!("putc {}", reg(rs1)),
+        Instr::Chkpt { id } => format!("chkpt #{id}"),
+    }
+}
+
+/// Disassembles the word at `pc` from a firmware image (little-endian),
+/// or a placeholder for unmapped/undecodable words.
+pub fn disassemble_at(image: &[u8], pc: u32) -> String {
+    let a = pc as usize;
+    let Some(bytes) = image.get(a..a + 4) else {
+        return format!("<pc {pc:#010x} outside image>");
+    };
+    let word = u32::from_le_bytes(bytes.try_into().unwrap());
+    match Instr::decode(word) {
+        Ok(i) => disassemble(i, pc),
+        Err(_) => format!("<illegal {word:#010x}>"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn disassembly_matches_source_forms() {
+        let cases = [
+            ("add r1, r2, r3", "add r1, r2, r3"),
+            ("addi r1, r2, #-4", "addi r1, r2, #-4"),
+            ("andi r1, r1, #0xff", "andi r1, r1, #0xff"),
+            ("ldw r2, [sp, #8]", "ldw r2, [sp, #8]"),
+            ("stb r2, [r4, #-1]", "stb r2, [r4, #-1]"),
+            ("lui r7, #0x4000", "lui r7, #0x4000"),
+            ("ret", "ret"),
+            ("sym r5, #3", "sym r5, #3"),
+            ("assert r6", "assert r6"),
+            ("fail", "fail"),
+            ("halt", "halt"),
+        ];
+        for (src, expect) in cases {
+            let p = assemble(&format!(".org 0x100\nentry:\n  {src}\n  halt\n")).unwrap();
+            let got = disassemble_at(&p.image, 0x100);
+            assert_eq!(got, expect, "source: {src}");
+        }
+    }
+
+    #[test]
+    fn branch_targets_are_absolute() {
+        let p = assemble(
+            ".org 0x100\nentry:\n  beq r1, r2, done\n  nop\ndone:\n  halt\n",
+        )
+        .unwrap();
+        assert_eq!(disassemble_at(&p.image, 0x100), "beq r1, r2, 0x108");
+        let p = assemble(".org 0x100\nentry:\n  j entry\n").unwrap();
+        assert_eq!(disassemble_at(&p.image, 0x100), "j 0x100");
+    }
+
+    #[test]
+    fn illegal_and_out_of_range_are_reported() {
+        let image = 0xFFFF_FFFFu32.to_le_bytes().to_vec();
+        assert!(disassemble_at(&image, 0).starts_with("<illegal"));
+        assert!(disassemble_at(&image, 100).contains("outside image"));
+    }
+
+    #[test]
+    fn every_assembled_instruction_disassembles() {
+        // Round-trip: assemble a program exercising every mnemonic and
+        // check that each word disassembles without a placeholder.
+        let src = "
+            .org 0x100
+            entry:
+                nop
+                add r1, r2, r3
+                sub r1, r2, r3
+                and r1, r2, r3
+                or r1, r2, r3
+                xor r1, r2, r3
+                shl r1, r2, r3
+                shr r1, r2, r3
+                sra r1, r2, r3
+                mul r1, r2, r3
+                addi r1, r2, #5
+                movi r1, #7
+                lui r1, #2
+                ldw r1, [r2]
+                stw r1, [r2]
+                ldb r1, [r2]
+                stb r1, [r2]
+                beq r1, r2, entry
+                bne r1, r2, entry
+                blt r1, r2, entry
+                bge r1, r2, entry
+                bltu r1, r2, entry
+                bgeu r1, r2, entry
+                jal entry
+                jalr r4
+                ret
+                iret
+                cli
+                sei
+                sym r1, #0
+                assert r1
+                putc r1
+                chkpt #2
+                fail
+                halt
+        ";
+        let p = assemble(src).unwrap();
+        let mut pc = 0x100;
+        while (pc as usize) + 4 <= p.image.len() {
+            let d = disassemble_at(&p.image, pc);
+            assert!(!d.starts_with('<'), "pc {pc:#x}: {d}");
+            if d == "halt" {
+                break;
+            }
+            pc += 4;
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! HS32 instruction set: encoding and decoding.
+//!
+//! HS32 is the small 32-bit load/store MCU ISA this reproduction uses in
+//! place of the paper's ARM Cortex-M firmware (the claims under test
+//! concern the state-management layer, not the ISA — see DESIGN.md §2).
+//! It has 16 general registers (`r0` hardwired to zero, `r14` = link
+//! register by convention, `r13` = stack pointer by convention), a
+//! separate PC, vectored interrupts, and a set of *hypercall*
+//! instructions mirroring KLEE intrinsics (`SYM` ≈ `klee_make_symbolic`,
+//! `ASSERT` ≈ `klee_assert`).
+//!
+//! All instructions are 32 bits: `op[31:26] rd[25:22] rs1[21:18]
+//! rs2[17:14] / imm16[15:0] / off22[21:0]`.
+
+/// The link register (by convention, written by `jal`).
+pub const LR: u8 = 14;
+/// The stack pointer (by convention).
+pub const SP: u8 = 13;
+/// Number of general registers.
+pub const NUM_REGS: usize = 16;
+/// Reset entry point (see `hardsnap_bus::map::soc::RAM_BASE`).
+pub const ENTRY_PC: u32 = 0x100;
+/// Base of the interrupt vector table (word per IRQ line, lines 0..=7).
+pub const VECTOR_BASE: u32 = 0x0;
+/// Number of IRQ lines.
+pub const NUM_IRQ_LINES: u32 = 8;
+
+/// Register-register ALU operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (amount masked to 5 bits).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+}
+
+/// Branch conditions (`rs1 ? rs2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// A decoded HS32 instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Stop the CPU.
+    Halt,
+    /// `rd = rs1 <op> rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: u8,
+        /// First source.
+        rs1: u8,
+        /// Second source.
+        rs2: u8,
+    },
+    /// `rd = rs1 <op> imm` (ADDI sign-extends; logical ops zero-extend;
+    /// shifts use the low 5 bits).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: u8,
+        /// Source.
+        rs1: u8,
+        /// Pre-extended immediate.
+        imm: u32,
+    },
+    /// `rd = imm16 << 16`.
+    Lui {
+        /// Destination.
+        rd: u8,
+        /// Upper immediate.
+        imm: u16,
+    },
+    /// `rd = mem32[rs1 + off]`.
+    Ldw {
+        /// Destination.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        off: i16,
+    },
+    /// `mem32[rs1 + off] = rs2`.
+    Stw {
+        /// Value register.
+        rs2: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        off: i16,
+    },
+    /// `rd = zext(mem8[rs1 + off])`.
+    Ldb {
+        /// Destination.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        off: i16,
+    },
+    /// `mem8[rs1 + off] = rs2[7:0]`.
+    Stb {
+        /// Value register.
+        rs2: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        off: i16,
+    },
+    /// `if (rs1 <cond> rs2) pc += off`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        rs1: u8,
+        /// Right operand.
+        rs2: u8,
+        /// Signed byte offset relative to the *next* instruction.
+        off: i16,
+    },
+    /// `rd = pc + 4; pc += off`.
+    Jal {
+        /// Link destination (`r0` to discard).
+        rd: u8,
+        /// Signed byte offset relative to the next instruction (22-bit).
+        off: i32,
+    },
+    /// `rd = pc + 4; pc = rs1 + off`.
+    Jalr {
+        /// Link destination.
+        rd: u8,
+        /// Target base.
+        rs1: u8,
+        /// Signed byte offset.
+        off: i16,
+    },
+    /// Return from interrupt (`pc = epc`, re-enable interrupts).
+    Iret,
+    /// Disable interrupts.
+    Cli,
+    /// Enable interrupts.
+    Sei,
+    /// Make `rd` symbolic (hypercall; concretely reads the input tape).
+    Sym {
+        /// Destination.
+        rd: u8,
+        /// Symbolic variable id.
+        id: u16,
+    },
+    /// Fault if `rs1 == 0` (hypercall).
+    Assert {
+        /// Checked register.
+        rs1: u8,
+    },
+    /// Unconditional fault marker (a planted bug's detonation point).
+    Fail,
+    /// Write `rs1[7:0]` to the debug console (hypercall).
+    Putc {
+        /// Source register.
+        rs1: u8,
+    },
+    /// Checkpoint hint for the analysis engine (no semantic effect).
+    Chkpt {
+        /// Marker id.
+        id: u16,
+    },
+}
+
+const OP_NOP: u32 = 0x00;
+const OP_HALT: u32 = 0x01;
+const OP_ALU_BASE: u32 = 0x02; // ..=0x0A, AluOp order
+const OP_ALUI_BASE: u32 = 0x0B; // ..=0x13
+const OP_LUI: u32 = 0x14;
+const OP_LDW: u32 = 0x15;
+const OP_STW: u32 = 0x16;
+const OP_LDB: u32 = 0x17;
+const OP_STB: u32 = 0x18;
+const OP_BR_BASE: u32 = 0x19; // ..=0x1E, Cond order
+const OP_JAL: u32 = 0x1F;
+const OP_JALR: u32 = 0x20;
+const OP_IRET: u32 = 0x21;
+const OP_CLI: u32 = 0x22;
+const OP_SEI: u32 = 0x23;
+const OP_SYM: u32 = 0x30;
+const OP_ASSERT: u32 = 0x31;
+const OP_FAIL: u32 = 0x32;
+const OP_PUTC: u32 = 0x33;
+const OP_CHKPT: u32 = 0x34;
+
+const ALU_OPS: [AluOp; 9] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Sra,
+    AluOp::Mul,
+];
+
+const CONDS: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
+
+fn alu_index(op: AluOp) -> u32 {
+    ALU_OPS.iter().position(|&o| o == op).unwrap() as u32
+}
+
+fn cond_index(c: Cond) -> u32 {
+    CONDS.iter().position(|&x| x == c).unwrap() as u32
+}
+
+/// True when this immediate-form op sign-extends its 16-bit immediate.
+pub fn imm_is_signed(op: AluOp) -> bool {
+    matches!(op, AluOp::Add | AluOp::Sub | AluOp::Mul)
+}
+
+/// Errors from instruction decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable instruction word.
+    pub word: u32,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Instr {
+    /// Encodes the instruction to its 32-bit word.
+    pub fn encode(&self) -> u32 {
+        let r = |op: u32, rd: u8, rs1: u8, rs2: u8| {
+            (op << 26) | ((rd as u32) << 22) | ((rs1 as u32) << 18) | ((rs2 as u32) << 14)
+        };
+        let i = |op: u32, rd: u8, rs1: u8, imm: u16| {
+            (op << 26) | ((rd as u32) << 22) | ((rs1 as u32) << 18) | imm as u32
+        };
+        match *self {
+            Instr::Nop => OP_NOP << 26,
+            Instr::Halt => OP_HALT << 26,
+            Instr::Alu { op, rd, rs1, rs2 } => r(OP_ALU_BASE + alu_index(op), rd, rs1, rs2),
+            Instr::AluImm { op, rd, rs1, imm } => {
+                i(OP_ALUI_BASE + alu_index(op), rd, rs1, imm as u16)
+            }
+            Instr::Lui { rd, imm } => i(OP_LUI, rd, 0, imm),
+            Instr::Ldw { rd, rs1, off } => i(OP_LDW, rd, rs1, off as u16),
+            Instr::Stw { rs2, rs1, off } => i(OP_STW, rs2, rs1, off as u16),
+            Instr::Ldb { rd, rs1, off } => i(OP_LDB, rd, rs1, off as u16),
+            Instr::Stb { rs2, rs1, off } => i(OP_STB, rs2, rs1, off as u16),
+            Instr::Branch { cond, rs1, rs2, off } => {
+                i(OP_BR_BASE + cond_index(cond), rs1, rs2, off as u16)
+            }
+            Instr::Jal { rd, off } => {
+                (OP_JAL << 26) | ((rd as u32) << 22) | ((off as u32) & 0x3f_ffff)
+            }
+            Instr::Jalr { rd, rs1, off } => i(OP_JALR, rd, rs1, off as u16),
+            Instr::Iret => OP_IRET << 26,
+            Instr::Cli => OP_CLI << 26,
+            Instr::Sei => OP_SEI << 26,
+            Instr::Sym { rd, id } => i(OP_SYM, rd, 0, id),
+            Instr::Assert { rs1 } => i(OP_ASSERT, 0, rs1, 0),
+            Instr::Fail => OP_FAIL << 26,
+            Instr::Putc { rs1 } => i(OP_PUTC, 0, rs1, 0),
+            Instr::Chkpt { id } => i(OP_CHKPT, 0, 0, id),
+        }
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] for unknown opcodes.
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let op = word >> 26;
+        let rd = ((word >> 22) & 0xf) as u8;
+        let rs1 = ((word >> 18) & 0xf) as u8;
+        let rs2 = ((word >> 14) & 0xf) as u8;
+        let imm16 = (word & 0xffff) as u16;
+        Ok(match op {
+            OP_NOP => Instr::Nop,
+            OP_HALT => Instr::Halt,
+            o if (OP_ALU_BASE..OP_ALU_BASE + 9).contains(&o) => Instr::Alu {
+                op: ALU_OPS[(o - OP_ALU_BASE) as usize],
+                rd,
+                rs1,
+                rs2,
+            },
+            o if (OP_ALUI_BASE..OP_ALUI_BASE + 9).contains(&o) => {
+                let aop = ALU_OPS[(o - OP_ALUI_BASE) as usize];
+                let imm = if imm_is_signed(aop) {
+                    imm16 as i16 as i32 as u32
+                } else {
+                    imm16 as u32
+                };
+                Instr::AluImm { op: aop, rd, rs1, imm }
+            }
+            OP_LUI => Instr::Lui { rd, imm: imm16 },
+            OP_LDW => Instr::Ldw { rd, rs1, off: imm16 as i16 },
+            OP_STW => Instr::Stw { rs2: rd, rs1, off: imm16 as i16 },
+            OP_LDB => Instr::Ldb { rd, rs1, off: imm16 as i16 },
+            OP_STB => Instr::Stb { rs2: rd, rs1, off: imm16 as i16 },
+            o if (OP_BR_BASE..OP_BR_BASE + 6).contains(&o) => Instr::Branch {
+                cond: CONDS[(o - OP_BR_BASE) as usize],
+                rs1: rd,
+                rs2: rs1,
+                off: imm16 as i16,
+            },
+            OP_JAL => {
+                let raw = word & 0x3f_ffff;
+                // Sign-extend 22 bits.
+                let off = ((raw << 10) as i32) >> 10;
+                Instr::Jal { rd, off }
+            }
+            OP_JALR => Instr::Jalr { rd, rs1, off: imm16 as i16 },
+            OP_IRET => Instr::Iret,
+            OP_CLI => Instr::Cli,
+            OP_SEI => Instr::Sei,
+            OP_SYM => Instr::Sym { rd, id: imm16 },
+            OP_ASSERT => Instr::Assert { rs1 },
+            OP_FAIL => Instr::Fail,
+            OP_PUTC => Instr::Putc { rs1 },
+            OP_CHKPT => Instr::Chkpt { id: imm16 },
+            _ => return Err(DecodeError { word }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instr) {
+        let w = i.encode();
+        let d = Instr::decode(w).unwrap();
+        // Branch encoding moves registers between fields; compare the
+        // decoded form against re-encoding instead of field equality.
+        assert_eq!(d.encode(), w, "{i:?} -> {w:#x} -> {d:?}");
+        assert_eq!(d, Instr::decode(d.encode()).unwrap());
+    }
+
+    #[test]
+    fn all_instruction_forms_roundtrip() {
+        let cases = vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Alu { op: AluOp::Add, rd: 1, rs1: 2, rs2: 3 },
+            Instr::Alu { op: AluOp::Mul, rd: 15, rs1: 14, rs2: 13 },
+            Instr::AluImm { op: AluOp::Add, rd: 1, rs1: 2, imm: (-5i32) as u32 },
+            Instr::AluImm { op: AluOp::Xor, rd: 3, rs1: 3, imm: 0xffff },
+            Instr::AluImm { op: AluOp::Shl, rd: 3, rs1: 3, imm: 12 },
+            Instr::Lui { rd: 7, imm: 0x4000 },
+            Instr::Ldw { rd: 2, rs1: 13, off: -8 },
+            Instr::Stw { rs2: 2, rs1: 13, off: 12 },
+            Instr::Ldb { rd: 2, rs1: 4, off: 3 },
+            Instr::Stb { rs2: 2, rs1: 4, off: -1 },
+            Instr::Branch { cond: Cond::Eq, rs1: 1, rs2: 2, off: -16 },
+            Instr::Branch { cond: Cond::Geu, rs1: 9, rs2: 10, off: 400 },
+            Instr::Jal { rd: LR, off: -1024 },
+            Instr::Jal { rd: 0, off: 0x1f_fffc },
+            Instr::Jalr { rd: 0, rs1: LR, off: 0 },
+            Instr::Iret,
+            Instr::Cli,
+            Instr::Sei,
+            Instr::Sym { rd: 5, id: 3 },
+            Instr::Assert { rs1: 6 },
+            Instr::Fail,
+            Instr::Putc { rs1: 1 },
+            Instr::Chkpt { id: 42 },
+        ];
+        for c in cases {
+            roundtrip(c);
+        }
+    }
+
+    #[test]
+    fn decoded_fields_match_for_exact_forms() {
+        let i = Instr::AluImm { op: AluOp::Add, rd: 4, rs1: 5, imm: (-100i32) as u32 };
+        assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+        let b = Instr::Branch { cond: Cond::Ltu, rs1: 3, rs2: 8, off: -4 };
+        assert_eq!(Instr::decode(b.encode()).unwrap(), b);
+        let j = Instr::Jal { rd: 14, off: -2096 };
+        assert_eq!(Instr::decode(j.encode()).unwrap(), j);
+    }
+
+    #[test]
+    fn unknown_opcode_is_decode_error() {
+        assert!(Instr::decode(0x3f << 26).is_err());
+        assert!(Instr::decode(0x29 << 26).is_err());
+    }
+
+    #[test]
+    fn signedness_of_immediates() {
+        assert!(imm_is_signed(AluOp::Add));
+        assert!(!imm_is_signed(AluOp::And));
+        let i = Instr::decode(
+            Instr::AluImm { op: AluOp::And, rd: 1, rs1: 1, imm: 0x8000 }.encode(),
+        )
+        .unwrap();
+        match i {
+            Instr::AluImm { imm, .. } => assert_eq!(imm, 0x8000, "zero-extended"),
+            _ => panic!(),
+        }
+        let i = Instr::decode(
+            Instr::AluImm { op: AluOp::Add, rd: 1, rs1: 1, imm: 0xffff_8000 }.encode(),
+        )
+        .unwrap();
+        match i {
+            Instr::AluImm { imm, .. } => assert_eq!(imm, 0xffff_8000, "sign-extended"),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # hardsnap-isa
+//!
+//! HS32: the small embedded ISA used as the firmware substrate of the
+//! HardSnap reproduction, with an assembler and a concrete CPU.
+//!
+//! In the paper the firmware side is ARM code executed by Inception's
+//! KLEE-based virtual machine. The reproduction substitutes HS32 (see
+//! DESIGN.md §2): a 16-register load/store machine with vectored
+//! interrupts, MMIO forwarding through [`MmioBus`] (the VM-boundary
+//! crossing), and KLEE-intrinsic-style hypercalls (`sym`, `assert`,
+//! `fail`, `chkpt`) that the symbolic engine in `hardsnap-symex`
+//! interprets symbolically.
+//!
+//! ## Example
+//!
+//! ```
+//! use hardsnap_isa::{assemble, Cpu, NoMmio};
+//! let program = assemble(r#"
+//!     .org 0x100
+//!     entry:
+//!         movi r1, #6
+//!         movi r2, #7
+//!         mul  r3, r1, r2
+//!         halt
+//! "#).unwrap();
+//! let mut cpu = Cpu::new(&program);
+//! cpu.run(&mut NoMmio, 100).unwrap();
+//! assert_eq!(cpu.reg(3), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod disasm;
+pub mod encoding;
+
+pub use asm::{assemble, AsmError, Program};
+pub use disasm::{disassemble, disassemble_at};
+pub use cpu::{Cpu, CpuFault, Event, MmioBus, NoMmio};
+pub use encoding::{AluOp, Cond, DecodeError, Instr, ENTRY_PC, LR, NUM_REGS, SP};

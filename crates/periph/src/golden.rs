@@ -1,0 +1,270 @@
+//! Golden software reference models for the crypto accelerators.
+//!
+//! These are straightforward, well-tested Rust implementations of
+//! SHA-256 and AES-128 used to differentially test the Verilog corpus:
+//! the hardware (simulated RTL) and these models must agree bit-for-bit
+//! on random stimulus.
+
+/// SHA-256 round constants.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// SHA-256 initial hash value.
+pub const SHA256_IV: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// Runs one SHA-256 compression round set over `block` (16 big-endian
+/// words), updating `state` in place — exactly what the accelerator's
+/// `init`/`next` strobes do.
+pub fn sha256_compress(state: &mut [u32; 8], block: &[u32; 16]) {
+    let mut w = [0u32; 64];
+    w[..16].copy_from_slice(block);
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = s1
+            .wrapping_add(w[t - 7])
+            .wrapping_add(s0)
+            .wrapping_add(w[t - 16]);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for t in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Full SHA-256 of a byte message (padding included); returns the digest
+/// as 8 big-endian words.
+pub fn sha256(msg: &[u8]) -> [u32; 8] {
+    let mut state = SHA256_IV;
+    let bit_len = (msg.len() as u64) * 8;
+    let mut data = msg.to_vec();
+    data.push(0x80);
+    while data.len() % 64 != 56 {
+        data.push(0);
+    }
+    data.extend_from_slice(&bit_len.to_be_bytes());
+    for chunk in data.chunks(64) {
+        let mut block = [0u32; 16];
+        for (i, w) in chunk.chunks(4).enumerate() {
+            block[i] = u32::from_be_bytes(w.try_into().unwrap());
+        }
+        sha256_compress(&mut state, &block);
+    }
+    state
+}
+
+/// AES S-box.
+pub const AES_SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ if x & 0x80 != 0 { 0x1b } else { 0 }
+}
+
+/// AES-128 block encryption. `key` and `block` are 16 bytes; the
+/// accelerator's word registers are the big-endian packing of these
+/// (word i = bytes `4i..4i+4`).
+pub fn aes128_encrypt(key: &[u8; 16], block: &[u8; 16]) -> [u8; 16] {
+    // Key schedule.
+    let mut w = [[0u8; 4]; 44];
+    for i in 0..4 {
+        w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+    }
+    let mut rcon: u8 = 1;
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp = [
+                AES_SBOX[temp[1] as usize] ^ rcon,
+                AES_SBOX[temp[2] as usize],
+                AES_SBOX[temp[3] as usize],
+                AES_SBOX[temp[0] as usize],
+            ];
+            rcon = xtime(rcon);
+        }
+        for (j, t) in temp.iter().enumerate() {
+            w[i][j] = w[i - 4][j] ^ t;
+        }
+    }
+
+    // State: s[r][c] = block[r + 4c].
+    let mut s = [[0u8; 4]; 4];
+    for (i, &b) in block.iter().enumerate() {
+        s[i % 4][i / 4] = b;
+    }
+    let add_round_key = |s: &mut [[u8; 4]; 4], w: &[[u8; 4]], round: usize| {
+        for c in 0..4 {
+            for r in 0..4 {
+                s[r][c] ^= w[4 * round + c][r];
+            }
+        }
+    };
+    add_round_key(&mut s, &w, 0);
+    for round in 1..=10 {
+        // SubBytes.
+        for row in s.iter_mut() {
+            for b in row.iter_mut() {
+                *b = AES_SBOX[*b as usize];
+            }
+        }
+        // ShiftRows.
+        for (r, row) in s.iter_mut().enumerate() {
+            row.rotate_left(r);
+        }
+        // MixColumns (skipped in the final round).
+        if round != 10 {
+            for c in 0..4 {
+                let a: [u8; 4] = [s[0][c], s[1][c], s[2][c], s[3][c]];
+                s[0][c] = xtime(a[0]) ^ xtime(a[1]) ^ a[1] ^ a[2] ^ a[3];
+                s[1][c] = a[0] ^ xtime(a[1]) ^ xtime(a[2]) ^ a[2] ^ a[3];
+                s[2][c] = a[0] ^ a[1] ^ xtime(a[2]) ^ xtime(a[3]) ^ a[3];
+                s[3][c] = xtime(a[0]) ^ a[0] ^ a[1] ^ a[2] ^ xtime(a[3]);
+            }
+        }
+        add_round_key(&mut s, &w, round);
+    }
+    let mut out = [0u8; 16];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = s[i % 4][i / 4];
+    }
+    out
+}
+
+/// Packs 16 bytes into 4 big-endian words (the accelerator register
+/// layout).
+pub fn words_from_bytes(b: &[u8; 16]) -> [u32; 4] {
+    let mut w = [0u32; 4];
+    for (i, wi) in w.iter_mut().enumerate() {
+        *wi = u32::from_be_bytes(b[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    w
+}
+
+/// Unpacks 4 big-endian words into 16 bytes.
+pub fn bytes_from_words(w: &[u32; 4]) -> [u8; 16] {
+    let mut b = [0u8; 16];
+    for (i, wi) in w.iter().enumerate() {
+        b[4 * i..4 * i + 4].copy_from_slice(&wi.to_be_bytes());
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_abc_matches_fips() {
+        let d = sha256(b"abc");
+        assert_eq!(
+            d,
+            [
+                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c,
+                0xb410ff61, 0xf20015ad
+            ]
+        );
+    }
+
+    #[test]
+    fn sha256_empty_matches_known() {
+        let d = sha256(b"");
+        assert_eq!(d[0], 0xe3b0c442);
+        assert_eq!(d[7], 0x7852b855);
+    }
+
+    #[test]
+    fn sha256_two_block_message() {
+        let d = sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(d[0], 0x248d6a61);
+        assert_eq!(d[7], 0x19db06c1);
+    }
+
+    #[test]
+    fn aes128_fips197_vector() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let ct = aes128_encrypt(&key, &pt);
+        assert_eq!(
+            ct,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn aes128_all_zero_vector() {
+        let ct = aes128_encrypt(&[0u8; 16], &[0u8; 16]);
+        assert_eq!(ct[0], 0x66);
+        assert_eq!(ct[15], 0x2e);
+    }
+
+    #[test]
+    fn word_packing_roundtrips() {
+        let b: [u8; 16] = *b"0123456789abcdef";
+        assert_eq!(bytes_from_words(&words_from_bytes(&b)), b);
+    }
+}

@@ -1,0 +1,192 @@
+//! # hardsnap-periph
+//!
+//! The peripheral corpus of the HardSnap reproduction: four open-source
+//! style peripherals written in real Verilog (parsed by
+//! `hardsnap-verilog`), a synthetic SoC top combining them behind an
+//! AXI4-Lite interconnect, register-map constants, and golden Rust
+//! reference models used for differential testing.
+//!
+//! The corpus mirrors the paper's evaluation setup: peripherals that are
+//! "common on embedded systems and have different design complexities" —
+//! a communication interface (UART), an internal resource / interrupt
+//! source (TIMER), and two cryptographic accelerators (SHA-256, AES-128)
+//! spanning roughly two orders of magnitude in state bits.
+//!
+//! ## Example
+//!
+//! ```
+//! // Elaborate the whole SoC and look at its size.
+//! let soc = hardsnap_periph::soc().unwrap();
+//! let stats = hardsnap_rtl::ModuleStats::of(&soc);
+//! assert!(stats.state_bits > 1000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod golden;
+pub mod regs;
+
+use hardsnap_rtl::{Design, Module, RtlError};
+use hardsnap_verilog::VerilogError;
+
+/// Verilog source of the UART peripheral.
+pub const UART_V: &str = include_str!("../verilog/uart.v");
+/// Verilog source of the TIMER peripheral.
+pub const TIMER_V: &str = include_str!("../verilog/timer.v");
+/// Verilog source of the SHA-256 accelerator.
+pub const SHA256_V: &str = include_str!("../verilog/sha256.v");
+/// Verilog source of the AES-128 accelerator (includes `aes_sbox`).
+pub const AES128_V: &str = include_str!("../verilog/aes128.v");
+/// Verilog source of the SoC top (interconnect + instances).
+pub const SOC_TOP_V: &str = include_str!("../verilog/soc_top.v");
+/// Verilog source of the DMA scratchpad engine (extension peripheral,
+/// standalone — not instantiated in the default SoC).
+pub const DMA_V: &str = include_str!("../verilog/dma.v");
+
+/// Errors from corpus construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorpusError {
+    /// A corpus source failed to parse (a bug in the shipped corpus).
+    Parse(VerilogError),
+    /// Elaboration of the corpus failed.
+    Rtl(RtlError),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Parse(e) => write!(f, "corpus parse error: {e}"),
+            CorpusError::Rtl(e) => write!(f, "corpus rtl error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<VerilogError> for CorpusError {
+    fn from(e: VerilogError) -> Self {
+        CorpusError::Parse(e)
+    }
+}
+
+impl From<RtlError> for CorpusError {
+    fn from(e: RtlError) -> Self {
+        CorpusError::Rtl(e)
+    }
+}
+
+/// Parses the full corpus (all peripherals + SoC top) into one design.
+///
+/// # Errors
+///
+/// Returns [`CorpusError`] only if the shipped sources are broken.
+pub fn design() -> Result<Design, CorpusError> {
+    let mut d = Design::new();
+    for src in [UART_V, TIMER_V, SHA256_V, AES128_V, SOC_TOP_V, DMA_V] {
+        d.merge(hardsnap_verilog::parse_design(src)?)?;
+    }
+    Ok(d)
+}
+
+fn flat(top: &str) -> Result<Module, CorpusError> {
+    let d = design()?;
+    Ok(hardsnap_rtl::elaborate(&d, top)?)
+}
+
+/// The flattened SoC top (all four peripherals + interconnect).
+///
+/// # Errors
+///
+/// See [`design`].
+pub fn soc() -> Result<Module, CorpusError> {
+    flat("soc_top")
+}
+
+/// The flattened standalone UART.
+///
+/// # Errors
+///
+/// See [`design`].
+pub fn uart() -> Result<Module, CorpusError> {
+    flat("uart")
+}
+
+/// The flattened standalone TIMER.
+///
+/// # Errors
+///
+/// See [`design`].
+pub fn timer() -> Result<Module, CorpusError> {
+    flat("timer")
+}
+
+/// The flattened standalone SHA-256 accelerator.
+///
+/// # Errors
+///
+/// See [`design`].
+pub fn sha256() -> Result<Module, CorpusError> {
+    flat("sha256")
+}
+
+/// The flattened standalone AES-128 accelerator.
+///
+/// # Errors
+///
+/// See [`design`].
+pub fn aes128() -> Result<Module, CorpusError> {
+    flat("aes128")
+}
+
+/// The flattened standalone DMA scratchpad engine (extension
+/// peripheral; its 8 KiB SRAM is the memory-heavy stress case for
+/// snapshot experiments).
+///
+/// # Errors
+///
+/// See [`design`].
+pub fn dma() -> Result<Module, CorpusError> {
+    flat("dma")
+}
+
+/// Names and constructors of the 4-peripheral corpus in evaluation order
+/// (used by the Table II and snapshot-latency harnesses).
+pub fn corpus() -> Vec<(&'static str, fn() -> Result<Module, CorpusError>)> {
+    vec![
+        ("timer", timer as fn() -> _),
+        ("uart", uart as fn() -> _),
+        ("sha256", sha256 as fn() -> _),
+        ("aes128", aes128 as fn() -> _),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_elaborates() {
+        let soc = soc().unwrap();
+        assert!(soc.instances.is_empty());
+        assert!(soc.find_net("u_aes.busy").is_some());
+        assert!(soc.find_net("u_sha.digest_valid").is_some());
+        hardsnap_rtl::check_module(&soc).unwrap();
+    }
+
+    #[test]
+    fn corpus_complexity_spans_orders_of_magnitude() {
+        let t = hardsnap_rtl::ModuleStats::of(&timer().unwrap());
+        let a = hardsnap_rtl::ModuleStats::of(&aes128().unwrap());
+        assert!(t.state_bits < 300, "timer: {}", t.state_bits);
+        assert!(a.state_bits > 500, "aes: {}", a.state_bits);
+    }
+
+    #[test]
+    fn every_peripheral_validates() {
+        for (name, f) in corpus() {
+            let m = f().unwrap();
+            hardsnap_rtl::check_module(&m)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

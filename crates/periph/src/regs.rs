@@ -1,0 +1,132 @@
+//! Register-map constants for the corpus peripherals.
+//!
+//! Offsets are relative to each peripheral's base address in
+//! `hardsnap_bus::map::soc`; firmware and tests share these constants.
+
+/// UART register offsets and bit positions.
+pub mod uart {
+    /// Write: push byte to the TX FIFO.
+    pub const TXDATA: u32 = 0x00;
+    /// Read: pop byte from the RX FIFO.
+    pub const RXDATA: u32 = 0x04;
+    /// Read: status flags.
+    pub const STATUS: u32 = 0x08;
+    /// Read/write: control flags.
+    pub const CTRL: u32 = 0x0c;
+    /// Read/write: 16-bit baud divisor.
+    pub const BAUDDIV: u32 = 0x10;
+    /// STATUS bit: TX FIFO empty.
+    pub const ST_TX_EMPTY: u32 = 1 << 0;
+    /// STATUS bit: TX FIFO full.
+    pub const ST_TX_FULL: u32 = 1 << 1;
+    /// STATUS bit: RX FIFO non-empty.
+    pub const ST_RX_AVAIL: u32 = 1 << 2;
+    /// STATUS bit: RX FIFO full.
+    pub const ST_RX_FULL: u32 = 1 << 3;
+    /// STATUS bit: transmitter shifting.
+    pub const ST_TX_BUSY: u32 = 1 << 4;
+    /// CTRL bit: IRQ when RX data available.
+    pub const CTRL_RX_IRQ_EN: u32 = 1 << 0;
+    /// CTRL bit: IRQ when TX idle.
+    pub const CTRL_TX_IRQ_EN: u32 = 1 << 1;
+    /// CTRL bit: internal loopback (tx feeds rx).
+    pub const CTRL_LOOPBACK: u32 = 1 << 2;
+    /// CTRL bit: receiver enable (the line idles high on real hardware,
+    /// so reception is off until firmware turns it on).
+    pub const CTRL_RX_EN: u32 = 1 << 3;
+}
+
+/// TIMER register offsets and bit positions.
+pub mod timer {
+    /// Read/write: control.
+    pub const CTRL: u32 = 0x00;
+    /// Read/write: reload value (writing also loads the counter).
+    pub const LOAD: u32 = 0x04;
+    /// Read: current counter value.
+    pub const VALUE: u32 = 0x08;
+    /// Read / write-1-to-clear: expiry flag.
+    pub const STATUS: u32 = 0x0c;
+    /// Read/write: 16-bit prescaler.
+    pub const PRESCALER: u32 = 0x10;
+    /// CTRL bit: counting enabled.
+    pub const CTRL_ENABLE: u32 = 1 << 0;
+    /// CTRL bit: IRQ on expiry.
+    pub const CTRL_IRQ_EN: u32 = 1 << 1;
+    /// CTRL bit: one-shot mode (stop on expiry).
+    pub const CTRL_ONESHOT: u32 = 1 << 2;
+    /// STATUS bit: timer expired.
+    pub const ST_EXPIRED: u32 = 1 << 0;
+}
+
+/// SHA-256 register offsets and bit positions.
+pub mod sha256 {
+    /// Write: control strobes.
+    pub const CTRL: u32 = 0x00;
+    /// Read / write-1-to-clear(bit 1): status.
+    pub const STATUS: u32 = 0x04;
+    /// Read/write: IRQ enable.
+    pub const IRQEN: u32 = 0x08;
+    /// Write: first message-block word (16 words, 0x40..0x7C).
+    pub const BLOCK0: u32 = 0x40;
+    /// Read: first digest word (8 words, 0x80..0x9C).
+    pub const DIGEST0: u32 = 0x80;
+    /// CTRL bit: start a new digest from the IV.
+    pub const CTRL_INIT: u32 = 1 << 0;
+    /// CTRL bit: chain the loaded block into the running digest.
+    pub const CTRL_NEXT: u32 = 1 << 1;
+    /// STATUS bit: core idle.
+    pub const ST_READY: u32 = 1 << 0;
+    /// STATUS bit: digest complete (W1C).
+    pub const ST_DIGEST_VALID: u32 = 1 << 1;
+    /// Compression latency in cycles (64 rounds + finalize).
+    pub const ROUNDS: u64 = 65;
+}
+
+/// AES-128 register offsets and bit positions.
+pub mod aes128 {
+    /// Write: control strobes.
+    pub const CTRL: u32 = 0x00;
+    /// Read / write-1-to-clear(bit 1): status.
+    pub const STATUS: u32 = 0x04;
+    /// Read/write: IRQ enable.
+    pub const IRQEN: u32 = 0x08;
+    /// Write: first key word (4 words, 0x10..0x1C).
+    pub const KEY0: u32 = 0x10;
+    /// Write: first plaintext word (4 words, 0x20..0x2C).
+    pub const BLOCK0: u32 = 0x20;
+    /// Read: first ciphertext word (4 words, 0x30..0x3C).
+    pub const RESULT0: u32 = 0x30;
+    /// CTRL bit: start encryption.
+    pub const CTRL_START: u32 = 1 << 0;
+    /// STATUS bit: core idle.
+    pub const ST_READY: u32 = 1 << 0;
+    /// STATUS bit: encryption complete (W1C).
+    pub const ST_DONE: u32 = 1 << 1;
+    /// Encryption latency in cycles (10 rounds).
+    pub const ROUNDS: u64 = 10;
+}
+
+/// DMA scratchpad-engine register offsets and bit positions (extension
+/// peripheral).
+pub mod dma {
+    /// Write: control strobes.
+    pub const CTRL: u32 = 0x00;
+    /// Read / write-1-to-clear(bit 1): status.
+    pub const STATUS: u32 = 0x04;
+    /// Read/write: IRQ enable.
+    pub const IRQEN: u32 = 0x08;
+    /// Read/write: source word index.
+    pub const SRC: u32 = 0x0c;
+    /// Read/write: destination word index.
+    pub const DST: u32 = 0x10;
+    /// Read/write: words to copy.
+    pub const LEN: u32 = 0x14;
+    /// Base of the direct SRAM window (word i at `SRAM + 4*i`).
+    pub const SRAM: u32 = 0x400;
+    /// CTRL bit: start the copy.
+    pub const CTRL_START: u32 = 1 << 0;
+    /// STATUS bit: engine idle.
+    pub const ST_READY: u32 = 1 << 0;
+    /// STATUS bit: copy complete (W1C).
+    pub const ST_DONE: u32 = 1 << 1;
+}

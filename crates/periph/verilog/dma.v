@@ -1,0 +1,130 @@
+// DMA scratchpad engine (extension peripheral, not part of the default
+// SoC): a 256-word local SRAM with a one-word-per-cycle copy engine —
+// the accelerator-local-DMA class of peripheral the paper's motivation
+// discusses. Its 8 KiB of memory state makes it the stress case for the
+// snapshot-latency experiments.
+//
+// Register map:
+//   0x000 CTRL   (W)  b0 start copy
+//   0x004 STATUS (R/W1C) b0 ready, b1 done (write 1 to b1 to clear)
+//   0x008 IRQEN  (RW) b0 completion-IRQ enable
+//   0x00C SRC    (RW) source word index (8 bits used)
+//   0x010 DST    (RW) destination word index
+//   0x014 LEN    (RW) words to copy (9 bits used)
+//   0x400-0x7FC  (RW) direct window into the 256-word SRAM
+//
+// irq = irq_en & done
+module dma (
+    input wire clk,
+    input wire rst,
+    input wire s_axi_awvalid, input wire [31:0] s_axi_awaddr, output reg s_axi_awready,
+    input wire s_axi_wvalid, input wire [31:0] s_axi_wdata, output reg s_axi_wready,
+    output reg s_axi_bvalid, output reg [1:0] s_axi_bresp, input wire s_axi_bready,
+    input wire s_axi_arvalid, input wire [31:0] s_axi_araddr, output reg s_axi_arready,
+    output reg s_axi_rvalid, output reg [31:0] s_axi_rdata, output reg [1:0] s_axi_rresp,
+    input wire s_axi_rready,
+    output wire irq
+);
+    reg [31:0] sram [0:255];
+    reg [7:0] src;
+    reg [7:0] dst;
+    reg [8:0] len;
+    reg [8:0] remaining;
+    reg [7:0] cur_src;
+    reg [7:0] cur_dst;
+    reg busy;
+    reg done;
+    reg irq_en;
+
+    reg aw_got; reg w_got; reg [31:0] waddr; reg [31:0] wdata_l;
+
+    assign irq = irq_en && done;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            src <= 8'd0; dst <= 8'd0; len <= 9'd0;
+            remaining <= 9'd0; cur_src <= 8'd0; cur_dst <= 8'd0;
+            busy <= 1'b0; done <= 1'b0; irq_en <= 1'b0;
+            s_axi_awready <= 1'b0; s_axi_wready <= 1'b0;
+            s_axi_bvalid <= 1'b0; s_axi_bresp <= 2'd0;
+            s_axi_arready <= 1'b0; s_axi_rvalid <= 1'b0;
+            s_axi_rdata <= 32'd0; s_axi_rresp <= 2'd0;
+            aw_got <= 1'b0; w_got <= 1'b0; waddr <= 32'd0; wdata_l <= 32'd0;
+        end else begin
+            // ---------------------------------------------- copy engine
+            if (busy) begin
+                if (remaining == 9'd0) begin
+                    busy <= 1'b0;
+                    done <= 1'b1;
+                end else begin
+                    sram[cur_dst] <= sram[cur_src];
+                    cur_src <= cur_src + 8'd1;
+                    cur_dst <= cur_dst + 8'd1;
+                    remaining <= remaining - 9'd1;
+                end
+            end
+
+            // ---------------------------------------------- AXI write
+            s_axi_awready <= 1'b0;
+            s_axi_wready <= 1'b0;
+            if (s_axi_awvalid && !aw_got && !s_axi_awready) begin
+                s_axi_awready <= 1'b1; waddr <= s_axi_awaddr; aw_got <= 1'b1;
+            end
+            if (s_axi_wvalid && !w_got && !s_axi_wready) begin
+                s_axi_wready <= 1'b1; wdata_l <= s_axi_wdata; w_got <= 1'b1;
+            end
+            if (aw_got && w_got && !s_axi_bvalid) begin
+                s_axi_bvalid <= 1'b1;
+                s_axi_bresp <= 2'd0;
+                if (waddr[10]) begin
+                    sram[waddr[9:2]] <= wdata_l;
+                end else begin
+                    case (waddr[7:0])
+                        8'h00: begin
+                            if (!busy && wdata_l[0]) begin
+                                cur_src <= src; cur_dst <= dst;
+                                remaining <= len;
+                                busy <= 1'b1; done <= 1'b0;
+                            end
+                        end
+                        8'h04: begin
+                            if (wdata_l[1]) done <= 1'b0;
+                        end
+                        8'h08: irq_en <= wdata_l[0];
+                        8'h0c: src <= wdata_l[7:0];
+                        8'h10: dst <= wdata_l[7:0];
+                        8'h14: len <= wdata_l[8:0];
+                        default: s_axi_bresp <= 2'd2;
+                    endcase
+                end
+            end
+            if (s_axi_bvalid && s_axi_bready) begin
+                s_axi_bvalid <= 1'b0; aw_got <= 1'b0; w_got <= 1'b0;
+            end
+
+            // ---------------------------------------------- AXI read
+            s_axi_arready <= 1'b0;
+            if (s_axi_arvalid && !s_axi_rvalid && !s_axi_arready) begin
+                s_axi_arready <= 1'b1;
+                s_axi_rvalid <= 1'b1;
+                s_axi_rresp <= 2'd0;
+                if (s_axi_araddr[10]) begin
+                    s_axi_rdata <= sram[s_axi_araddr[9:2]];
+                end else begin
+                    case (s_axi_araddr[7:0])
+                        8'h04: s_axi_rdata <= {30'd0, done, !busy};
+                        8'h08: s_axi_rdata <= {31'd0, irq_en};
+                        8'h0c: s_axi_rdata <= {24'd0, src};
+                        8'h10: s_axi_rdata <= {24'd0, dst};
+                        8'h14: s_axi_rdata <= {23'd0, len};
+                        default: begin
+                            s_axi_rdata <= 32'd0;
+                            s_axi_rresp <= 2'd2;
+                        end
+                    endcase
+                end
+            end
+            if (s_axi_rvalid && s_axi_rready) s_axi_rvalid <= 1'b0;
+        end
+    end
+endmodule

@@ -1,0 +1,239 @@
+// SHA-256 accelerator: one compression round per cycle with an on-the-fly
+// message schedule held in a 16-word ring memory — the architecture of the
+// widely used open-source secworks/sha256 core, rewritten in this
+// project's synthesizable subset.
+//
+// Register map:
+//   0x00 CTRL    (W)  b0 init (start digest of loaded block from the IV),
+//                     b1 next (chain another block into the running digest)
+//   0x04 STATUS  (R/W1C) b0 ready, b1 digest_valid (write 1 to b1 to clear)
+//   0x08 IRQEN   (RW) b0 completion-IRQ enable
+//   0x40-0x7C    (W)  message block words 0..15 (big-endian words)
+//   0x80-0x9C    (R)  digest words 0..7
+//
+// irq = irq_en & digest_valid
+module sha256 (
+    input wire clk,
+    input wire rst,
+    input wire s_axi_awvalid, input wire [31:0] s_axi_awaddr, output reg s_axi_awready,
+    input wire s_axi_wvalid, input wire [31:0] s_axi_wdata, output reg s_axi_wready,
+    output reg s_axi_bvalid, output reg [1:0] s_axi_bresp, input wire s_axi_bready,
+    input wire s_axi_arvalid, input wire [31:0] s_axi_araddr, output reg s_axi_arready,
+    output reg s_axi_rvalid, output reg [31:0] s_axi_rdata, output reg [1:0] s_axi_rresp,
+    input wire s_axi_rready,
+    output wire irq
+);
+    reg [31:0] h0; reg [31:0] h1; reg [31:0] h2; reg [31:0] h3;
+    reg [31:0] h4; reg [31:0] h5; reg [31:0] h6; reg [31:0] h7;
+    reg [31:0] wa; reg [31:0] wb; reg [31:0] wc; reg [31:0] wd;
+    reg [31:0] we; reg [31:0] wf; reg [31:0] wg; reg [31:0] wh;
+    reg [31:0] w_mem [0:15];
+    reg [6:0] t;
+    reg busy;
+    reg digest_valid;
+    reg irq_en;
+
+    reg aw_got; reg w_got; reg [31:0] waddr; reg [31:0] wdata_l;
+
+    assign irq = irq_en && digest_valid;
+
+    reg [31:0] k_rom;
+    always @(*) begin
+        case (t[5:0])
+            6'd0: k_rom = 32'h428a2f98;
+            6'd1: k_rom = 32'h71374491;
+            6'd2: k_rom = 32'hb5c0fbcf;
+            6'd3: k_rom = 32'he9b5dba5;
+            6'd4: k_rom = 32'h3956c25b;
+            6'd5: k_rom = 32'h59f111f1;
+            6'd6: k_rom = 32'h923f82a4;
+            6'd7: k_rom = 32'hab1c5ed5;
+            6'd8: k_rom = 32'hd807aa98;
+            6'd9: k_rom = 32'h12835b01;
+            6'd10: k_rom = 32'h243185be;
+            6'd11: k_rom = 32'h550c7dc3;
+            6'd12: k_rom = 32'h72be5d74;
+            6'd13: k_rom = 32'h80deb1fe;
+            6'd14: k_rom = 32'h9bdc06a7;
+            6'd15: k_rom = 32'hc19bf174;
+            6'd16: k_rom = 32'he49b69c1;
+            6'd17: k_rom = 32'hefbe4786;
+            6'd18: k_rom = 32'h0fc19dc6;
+            6'd19: k_rom = 32'h240ca1cc;
+            6'd20: k_rom = 32'h2de92c6f;
+            6'd21: k_rom = 32'h4a7484aa;
+            6'd22: k_rom = 32'h5cb0a9dc;
+            6'd23: k_rom = 32'h76f988da;
+            6'd24: k_rom = 32'h983e5152;
+            6'd25: k_rom = 32'ha831c66d;
+            6'd26: k_rom = 32'hb00327c8;
+            6'd27: k_rom = 32'hbf597fc7;
+            6'd28: k_rom = 32'hc6e00bf3;
+            6'd29: k_rom = 32'hd5a79147;
+            6'd30: k_rom = 32'h06ca6351;
+            6'd31: k_rom = 32'h14292967;
+            6'd32: k_rom = 32'h27b70a85;
+            6'd33: k_rom = 32'h2e1b2138;
+            6'd34: k_rom = 32'h4d2c6dfc;
+            6'd35: k_rom = 32'h53380d13;
+            6'd36: k_rom = 32'h650a7354;
+            6'd37: k_rom = 32'h766a0abb;
+            6'd38: k_rom = 32'h81c2c92e;
+            6'd39: k_rom = 32'h92722c85;
+            6'd40: k_rom = 32'ha2bfe8a1;
+            6'd41: k_rom = 32'ha81a664b;
+            6'd42: k_rom = 32'hc24b8b70;
+            6'd43: k_rom = 32'hc76c51a3;
+            6'd44: k_rom = 32'hd192e819;
+            6'd45: k_rom = 32'hd6990624;
+            6'd46: k_rom = 32'hf40e3585;
+            6'd47: k_rom = 32'h106aa070;
+            6'd48: k_rom = 32'h19a4c116;
+            6'd49: k_rom = 32'h1e376c08;
+            6'd50: k_rom = 32'h2748774c;
+            6'd51: k_rom = 32'h34b0bcb5;
+            6'd52: k_rom = 32'h391c0cb3;
+            6'd53: k_rom = 32'h4ed8aa4a;
+            6'd54: k_rom = 32'h5b9cca4f;
+            6'd55: k_rom = 32'h682e6ff3;
+            6'd56: k_rom = 32'h748f82ee;
+            6'd57: k_rom = 32'h78a5636f;
+            6'd58: k_rom = 32'h84c87814;
+            6'd59: k_rom = 32'h8cc70208;
+            6'd60: k_rom = 32'h90befffa;
+            6'd61: k_rom = 32'ha4506ceb;
+            6'd62: k_rom = 32'hbef9a3f7;
+            default: k_rom = 32'hc67178f2;
+        endcase
+    end
+
+    wire [3:0] tm2 = t[3:0] - 4'd2;
+    wire [3:0] tm7 = t[3:0] - 4'd7;
+    wire [3:0] tm15 = t[3:0] - 4'd15;
+    wire [31:0] wtm2 = w_mem[tm2];
+    wire [31:0] wtm7 = w_mem[tm7];
+    wire [31:0] wtm15 = w_mem[tm15];
+    wire [31:0] wtm16 = w_mem[t[3:0]];
+    wire [31:0] ssig0 = ((wtm15 >> 7) | (wtm15 << 25)) ^ ((wtm15 >> 18) | (wtm15 << 14)) ^ (wtm15 >> 3);
+    wire [31:0] ssig1 = ((wtm2 >> 17) | (wtm2 << 15)) ^ ((wtm2 >> 19) | (wtm2 << 13)) ^ (wtm2 >> 10);
+    wire [31:0] w_new = ssig1 + wtm7 + ssig0 + wtm16;
+    wire [31:0] w_cur = (t < 7'd16) ? w_mem[t[3:0]] : w_new;
+
+    wire [31:0] bsig0 = ((wa >> 2) | (wa << 30)) ^ ((wa >> 13) | (wa << 19)) ^ ((wa >> 22) | (wa << 10));
+    wire [31:0] bsig1 = ((we >> 6) | (we << 26)) ^ ((we >> 11) | (we << 21)) ^ ((we >> 25) | (we << 7));
+    wire [31:0] ch_efg = (we & wf) ^ ((~we) & wg);
+    wire [31:0] maj_abc = (wa & wb) ^ (wa & wc) ^ (wb & wc);
+    wire [31:0] t1 = wh + bsig1 + ch_efg + k_rom + w_cur;
+    wire [31:0] t2 = bsig0 + maj_abc;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            h0 <= 32'd0; h1 <= 32'd0; h2 <= 32'd0; h3 <= 32'd0;
+            h4 <= 32'd0; h5 <= 32'd0; h6 <= 32'd0; h7 <= 32'd0;
+            wa <= 32'd0; wb <= 32'd0; wc <= 32'd0; wd <= 32'd0;
+            we <= 32'd0; wf <= 32'd0; wg <= 32'd0; wh <= 32'd0;
+            t <= 7'd0; busy <= 1'b0; digest_valid <= 1'b0; irq_en <= 1'b0;
+            s_axi_awready <= 1'b0; s_axi_wready <= 1'b0;
+            s_axi_bvalid <= 1'b0; s_axi_bresp <= 2'd0;
+            s_axi_arready <= 1'b0; s_axi_rvalid <= 1'b0;
+            s_axi_rdata <= 32'd0; s_axi_rresp <= 2'd0;
+            aw_got <= 1'b0; w_got <= 1'b0; waddr <= 32'd0; wdata_l <= 32'd0;
+        end else begin
+            if (busy) begin
+                if (t == 7'd64) begin
+                    h0 <= h0 + wa; h1 <= h1 + wb; h2 <= h2 + wc; h3 <= h3 + wd;
+                    h4 <= h4 + we; h5 <= h5 + wf; h6 <= h6 + wg; h7 <= h7 + wh;
+                    busy <= 1'b0;
+                    digest_valid <= 1'b1;
+                end else begin
+                    if (t >= 7'd16) w_mem[t[3:0]] <= w_new;
+                    wh <= wg; wg <= wf; wf <= we; we <= wd + t1;
+                    wd <= wc; wc <= wb; wb <= wa; wa <= t1 + t2;
+                    t <= t + 7'd1;
+                end
+            end
+
+            s_axi_awready <= 1'b0;
+            s_axi_wready <= 1'b0;
+            if (s_axi_awvalid && !aw_got && !s_axi_awready) begin
+                s_axi_awready <= 1'b1; waddr <= s_axi_awaddr; aw_got <= 1'b1;
+            end
+            if (s_axi_wvalid && !w_got && !s_axi_wready) begin
+                s_axi_wready <= 1'b1; wdata_l <= s_axi_wdata; w_got <= 1'b1;
+            end
+            if (aw_got && w_got && !s_axi_bvalid) begin
+                s_axi_bvalid <= 1'b1;
+                s_axi_bresp <= 2'd0;
+                if (waddr[7:6] == 2'd1) begin
+                    w_mem[waddr[5:2]] <= wdata_l;
+                end else begin
+                    case (waddr[7:0])
+                        8'h00: begin
+                            if (!busy && wdata_l[0]) begin
+                                wa <= 32'h6a09e667;
+                                wb <= 32'hbb67ae85;
+                                wc <= 32'h3c6ef372;
+                                wd <= 32'ha54ff53a;
+                                we <= 32'h510e527f;
+                                wf <= 32'h9b05688c;
+                                wg <= 32'h1f83d9ab;
+                                wh <= 32'h5be0cd19;
+                                h0 <= 32'h6a09e667;
+                                h1 <= 32'hbb67ae85;
+                                h2 <= 32'h3c6ef372;
+                                h3 <= 32'ha54ff53a;
+                                h4 <= 32'h510e527f;
+                                h5 <= 32'h9b05688c;
+                                h6 <= 32'h1f83d9ab;
+                                h7 <= 32'h5be0cd19;
+                                t <= 7'd0; busy <= 1'b1; digest_valid <= 1'b0;
+                            end
+                            if (!busy && !wdata_l[0] && wdata_l[1]) begin
+                                wa <= h0; wb <= h1; wc <= h2; wd <= h3;
+                                we <= h4; wf <= h5; wg <= h6; wh <= h7;
+                                t <= 7'd0; busy <= 1'b1; digest_valid <= 1'b0;
+                            end
+                        end
+                        8'h04: begin
+                            if (wdata_l[1]) digest_valid <= 1'b0;
+                        end
+                        8'h08: irq_en <= wdata_l[0];
+                        default: s_axi_bresp <= 2'd2;
+                    endcase
+                end
+            end
+            if (s_axi_bvalid && s_axi_bready) begin
+                s_axi_bvalid <= 1'b0; aw_got <= 1'b0; w_got <= 1'b0;
+            end
+
+            s_axi_arready <= 1'b0;
+            if (s_axi_arvalid && !s_axi_rvalid && !s_axi_arready) begin
+                s_axi_arready <= 1'b1;
+                s_axi_rvalid <= 1'b1;
+                s_axi_rresp <= 2'd0;
+                if (s_axi_araddr[7:5] == 3'd4) begin
+                    case (s_axi_araddr[4:2])
+                        3'd0: s_axi_rdata <= h0;
+                        3'd1: s_axi_rdata <= h1;
+                        3'd2: s_axi_rdata <= h2;
+                        3'd3: s_axi_rdata <= h3;
+                        3'd4: s_axi_rdata <= h4;
+                        3'd5: s_axi_rdata <= h5;
+                        3'd6: s_axi_rdata <= h6;
+                        default: s_axi_rdata <= h7;
+                    endcase
+                end else begin
+                    case (s_axi_araddr[7:0])
+                        8'h04: s_axi_rdata <= {30'd0, digest_valid, !busy};
+                        8'h08: s_axi_rdata <= {31'd0, irq_en};
+                        default: begin
+                            s_axi_rdata <= 32'd0;
+                            s_axi_rresp <= 2'd2;
+                        end
+                    endcase
+                end
+            end
+            if (s_axi_rvalid && s_axi_rready) s_axi_rvalid <= 1'b0;
+        end
+    end
+endmodule

@@ -1,0 +1,171 @@
+// Synthetic SoC top: the four corpus peripherals behind an AXI4-Lite
+// interconnect, one IRQ line per peripheral.
+//
+// Address decode (matches hardsnap_bus::map::soc):
+//   0x4000_0xxx  UART    irq[0]
+//   0x4000_1xxx  TIMER   irq[1]
+//   0x4000_2xxx  SHA-256 irq[2]
+//   0x4000_3xxx  AES-128 irq[3]
+//   anything else -> SLVERR responder
+//
+// The interconnect routes channels combinationally by the (stable)
+// address inputs; this is protocol-correct for the single-outstanding
+// masters used throughout this project (the VM-side bus drivers).
+module soc_top (
+    input wire clk,
+    input wire rst,
+    input wire s_axi_awvalid, input wire [31:0] s_axi_awaddr, output wire s_axi_awready,
+    input wire s_axi_wvalid, input wire [31:0] s_axi_wdata, output wire s_axi_wready,
+    output wire s_axi_bvalid, output wire [1:0] s_axi_bresp, input wire s_axi_bready,
+    input wire s_axi_arvalid, input wire [31:0] s_axi_araddr, output wire s_axi_arready,
+    output wire s_axi_rvalid, output wire [31:0] s_axi_rdata, output wire [1:0] s_axi_rresp,
+    input wire s_axi_rready,
+    input wire uart_rx,
+    output wire uart_tx,
+    output wire [3:0] irq
+);
+    // ---------------- decode ----------------
+    wire w_in_window = s_axi_awaddr[31:16] == 16'h4000;
+    wire r_in_window = s_axi_araddr[31:16] == 16'h4000;
+    wire wsel0 = w_in_window && (s_axi_awaddr[15:12] == 4'd0);
+    wire wsel1 = w_in_window && (s_axi_awaddr[15:12] == 4'd1);
+    wire wsel2 = w_in_window && (s_axi_awaddr[15:12] == 4'd2);
+    wire wsel3 = w_in_window && (s_axi_awaddr[15:12] == 4'd3);
+    wire wbad = !(wsel0 || wsel1 || wsel2 || wsel3);
+    wire rsel0 = r_in_window && (s_axi_araddr[15:12] == 4'd0);
+    wire rsel1 = r_in_window && (s_axi_araddr[15:12] == 4'd1);
+    wire rsel2 = r_in_window && (s_axi_araddr[15:12] == 4'd2);
+    wire rsel3 = r_in_window && (s_axi_araddr[15:12] == 4'd3);
+    wire rbad = !(rsel0 || rsel1 || rsel2 || rsel3);
+
+    // ---------------- per-slave nets ----------------
+    wire u_awready; wire u_wready; wire u_bvalid; wire [1:0] u_bresp;
+    wire u_arready; wire u_rvalid; wire [31:0] u_rdata; wire [1:0] u_rresp;
+    wire t_awready; wire t_wready; wire t_bvalid; wire [1:0] t_bresp;
+    wire t_arready; wire t_rvalid; wire [31:0] t_rdata; wire [1:0] t_rresp;
+    wire h_awready; wire h_wready; wire h_bvalid; wire [1:0] h_bresp;
+    wire h_arready; wire h_rvalid; wire [31:0] h_rdata; wire [1:0] h_rresp;
+    wire a_awready; wire a_wready; wire a_bvalid; wire [1:0] a_bresp;
+    wire a_arready; wire a_rvalid; wire [31:0] a_rdata; wire [1:0] a_rresp;
+    wire uart_irq; wire timer_irq; wire sha_irq; wire aes_irq;
+
+    // ---------------- SLVERR responder for bad decode ----------------
+    reg err_awready; reg err_wready; reg err_bvalid;
+    reg err_aw_got; reg err_w_got;
+    reg err_arready; reg err_rvalid;
+    always @(posedge clk) begin
+        if (rst) begin
+            err_awready <= 1'b0; err_wready <= 1'b0; err_bvalid <= 1'b0;
+            err_aw_got <= 1'b0; err_w_got <= 1'b0;
+            err_arready <= 1'b0; err_rvalid <= 1'b0;
+        end else begin
+            err_awready <= 1'b0;
+            err_wready <= 1'b0;
+            if (wbad && s_axi_awvalid && !err_aw_got && !err_awready) begin
+                err_awready <= 1'b1; err_aw_got <= 1'b1;
+            end
+            if (wbad && s_axi_wvalid && !err_w_got && !err_wready) begin
+                err_wready <= 1'b1; err_w_got <= 1'b1;
+            end
+            if (err_aw_got && err_w_got && !err_bvalid) err_bvalid <= 1'b1;
+            if (err_bvalid && s_axi_bready) begin
+                err_bvalid <= 1'b0; err_aw_got <= 1'b0; err_w_got <= 1'b0;
+            end
+            err_arready <= 1'b0;
+            if (rbad && s_axi_arvalid && !err_rvalid && !err_arready) begin
+                err_arready <= 1'b1; err_rvalid <= 1'b1;
+            end
+            if (err_rvalid && s_axi_rready) err_rvalid <= 1'b0;
+        end
+    end
+
+    // ---------------- instances ----------------
+    uart u_uart (
+        .clk(clk), .rst(rst),
+        .s_axi_awvalid(s_axi_awvalid && wsel0), .s_axi_awaddr(s_axi_awaddr),
+        .s_axi_awready(u_awready),
+        .s_axi_wvalid(s_axi_wvalid && wsel0), .s_axi_wdata(s_axi_wdata),
+        .s_axi_wready(u_wready),
+        .s_axi_bvalid(u_bvalid), .s_axi_bresp(u_bresp), .s_axi_bready(s_axi_bready),
+        .s_axi_arvalid(s_axi_arvalid && rsel0), .s_axi_araddr(s_axi_araddr),
+        .s_axi_arready(u_arready),
+        .s_axi_rvalid(u_rvalid), .s_axi_rdata(u_rdata), .s_axi_rresp(u_rresp),
+        .s_axi_rready(s_axi_rready),
+        .rx(uart_rx), .tx(uart_tx), .irq(uart_irq)
+    );
+    timer u_timer (
+        .clk(clk), .rst(rst),
+        .s_axi_awvalid(s_axi_awvalid && wsel1), .s_axi_awaddr(s_axi_awaddr),
+        .s_axi_awready(t_awready),
+        .s_axi_wvalid(s_axi_wvalid && wsel1), .s_axi_wdata(s_axi_wdata),
+        .s_axi_wready(t_wready),
+        .s_axi_bvalid(t_bvalid), .s_axi_bresp(t_bresp), .s_axi_bready(s_axi_bready),
+        .s_axi_arvalid(s_axi_arvalid && rsel1), .s_axi_araddr(s_axi_araddr),
+        .s_axi_arready(t_arready),
+        .s_axi_rvalid(t_rvalid), .s_axi_rdata(t_rdata), .s_axi_rresp(t_rresp),
+        .s_axi_rready(s_axi_rready),
+        .irq(timer_irq)
+    );
+    sha256 u_sha (
+        .clk(clk), .rst(rst),
+        .s_axi_awvalid(s_axi_awvalid && wsel2), .s_axi_awaddr(s_axi_awaddr),
+        .s_axi_awready(h_awready),
+        .s_axi_wvalid(s_axi_wvalid && wsel2), .s_axi_wdata(s_axi_wdata),
+        .s_axi_wready(h_wready),
+        .s_axi_bvalid(h_bvalid), .s_axi_bresp(h_bresp), .s_axi_bready(s_axi_bready),
+        .s_axi_arvalid(s_axi_arvalid && rsel2), .s_axi_araddr(s_axi_araddr),
+        .s_axi_arready(h_arready),
+        .s_axi_rvalid(h_rvalid), .s_axi_rdata(h_rdata), .s_axi_rresp(h_rresp),
+        .s_axi_rready(s_axi_rready),
+        .irq(sha_irq)
+    );
+    aes128 u_aes (
+        .clk(clk), .rst(rst),
+        .s_axi_awvalid(s_axi_awvalid && wsel3), .s_axi_awaddr(s_axi_awaddr),
+        .s_axi_awready(a_awready),
+        .s_axi_wvalid(s_axi_wvalid && wsel3), .s_axi_wdata(s_axi_wdata),
+        .s_axi_wready(a_wready),
+        .s_axi_bvalid(a_bvalid), .s_axi_bresp(a_bresp), .s_axi_bready(s_axi_bready),
+        .s_axi_arvalid(s_axi_arvalid && rsel3), .s_axi_araddr(s_axi_araddr),
+        .s_axi_arready(a_arready),
+        .s_axi_rvalid(a_rvalid), .s_axi_rdata(a_rdata), .s_axi_rresp(a_rresp),
+        .s_axi_rready(s_axi_rready),
+        .irq(aes_irq)
+    );
+
+    // ---------------- response muxes ----------------
+    assign s_axi_awready = wsel0 ? u_awready :
+                           wsel1 ? t_awready :
+                           wsel2 ? h_awready :
+                           wsel3 ? a_awready : err_awready;
+    assign s_axi_wready  = wsel0 ? u_wready :
+                           wsel1 ? t_wready :
+                           wsel2 ? h_wready :
+                           wsel3 ? a_wready : err_wready;
+    assign s_axi_bvalid  = wsel0 ? u_bvalid :
+                           wsel1 ? t_bvalid :
+                           wsel2 ? h_bvalid :
+                           wsel3 ? a_bvalid : err_bvalid;
+    assign s_axi_bresp   = wsel0 ? u_bresp :
+                           wsel1 ? t_bresp :
+                           wsel2 ? h_bresp :
+                           wsel3 ? a_bresp : 2'd2;
+    assign s_axi_arready = rsel0 ? u_arready :
+                           rsel1 ? t_arready :
+                           rsel2 ? h_arready :
+                           rsel3 ? a_arready : err_arready;
+    assign s_axi_rvalid  = rsel0 ? u_rvalid :
+                           rsel1 ? t_rvalid :
+                           rsel2 ? h_rvalid :
+                           rsel3 ? a_rvalid : err_rvalid;
+    assign s_axi_rdata   = rsel0 ? u_rdata :
+                           rsel1 ? t_rdata :
+                           rsel2 ? h_rdata :
+                           rsel3 ? a_rdata : 32'd0;
+    assign s_axi_rresp   = rsel0 ? u_rresp :
+                           rsel1 ? t_rresp :
+                           rsel2 ? h_rresp :
+                           rsel3 ? a_rresp : 2'd2;
+
+    assign irq = {aes_irq, sha_irq, timer_irq, uart_irq};
+endmodule

@@ -1,0 +1,111 @@
+// Down-counting timer with prescaler, one-shot/periodic modes and IRQ —
+// the "internal resource" class of peripheral (interrupt source) from
+// the corpus.
+//
+// Register map:
+//   0x00 CTRL      (RW) b0 enable, b1 irq_en, b2 oneshot
+//   0x04 LOAD      (RW) 32-bit reload value
+//   0x08 VALUE     (R)  current count
+//   0x0C STATUS    (R/W1C) b0 expired (write 1 to clear)
+//   0x10 PRESCALER (RW) 16-bit clock divider
+//
+// irq = irq_en & expired
+module timer (
+    input wire clk,
+    input wire rst,
+    input wire s_axi_awvalid, input wire [31:0] s_axi_awaddr, output reg s_axi_awready,
+    input wire s_axi_wvalid, input wire [31:0] s_axi_wdata, output reg s_axi_wready,
+    output reg s_axi_bvalid, output reg [1:0] s_axi_bresp, input wire s_axi_bready,
+    input wire s_axi_arvalid, input wire [31:0] s_axi_araddr, output reg s_axi_arready,
+    output reg s_axi_rvalid, output reg [31:0] s_axi_rdata, output reg [1:0] s_axi_rresp,
+    input wire s_axi_rready,
+    output wire irq
+);
+    reg [2:0] ctrl;
+    reg [31:0] load;
+    reg [31:0] value;
+    reg [15:0] prescaler;
+    reg [15:0] prescnt;
+    reg expired;
+
+    reg aw_got;
+    reg w_got;
+    reg [31:0] waddr;
+    reg [31:0] wdata_l;
+
+    assign irq = ctrl[1] && expired;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ctrl <= 3'd0; load <= 32'd0; value <= 32'd0;
+            prescaler <= 16'd0; prescnt <= 16'd0; expired <= 1'b0;
+            s_axi_awready <= 1'b0; s_axi_wready <= 1'b0;
+            s_axi_bvalid <= 1'b0; s_axi_bresp <= 2'd0;
+            s_axi_arready <= 1'b0; s_axi_rvalid <= 1'b0;
+            s_axi_rdata <= 32'd0; s_axi_rresp <= 2'd0;
+            aw_got <= 1'b0; w_got <= 1'b0; waddr <= 32'd0; wdata_l <= 32'd0;
+        end else begin
+            // ---------------------------------------------- counting
+            if (ctrl[0]) begin
+                if (prescnt == 16'd0) begin
+                    prescnt <= prescaler;
+                    if (value == 32'd0) begin
+                        expired <= 1'b1;
+                        if (ctrl[2]) ctrl[0] <= 1'b0;  // oneshot: stop
+                        else value <= load;            // periodic: reload
+                    end else begin
+                        value <= value - 32'd1;
+                    end
+                end else begin
+                    prescnt <= prescnt - 16'd1;
+                end
+            end
+
+            // ---------------------------------------------- AXI write
+            s_axi_awready <= 1'b0;
+            s_axi_wready <= 1'b0;
+            if (s_axi_awvalid && !aw_got && !s_axi_awready) begin
+                s_axi_awready <= 1'b1; waddr <= s_axi_awaddr; aw_got <= 1'b1;
+            end
+            if (s_axi_wvalid && !w_got && !s_axi_wready) begin
+                s_axi_wready <= 1'b1; wdata_l <= s_axi_wdata; w_got <= 1'b1;
+            end
+            if (aw_got && w_got && !s_axi_bvalid) begin
+                s_axi_bvalid <= 1'b1;
+                s_axi_bresp <= 2'd0;
+                case (waddr[7:0])
+                    8'h00: ctrl <= wdata_l[2:0];
+                    8'h04: begin load <= wdata_l; value <= wdata_l; end
+                    8'h0c: begin
+                        if (wdata_l[0]) expired <= 1'b0;
+                    end
+                    8'h10: prescaler <= wdata_l[15:0];
+                    default: s_axi_bresp <= 2'd2;
+                endcase
+            end
+            if (s_axi_bvalid && s_axi_bready) begin
+                s_axi_bvalid <= 1'b0; aw_got <= 1'b0; w_got <= 1'b0;
+            end
+
+            // ---------------------------------------------- AXI read
+            s_axi_arready <= 1'b0;
+            if (s_axi_arvalid && !s_axi_rvalid && !s_axi_arready) begin
+                s_axi_arready <= 1'b1;
+                s_axi_rvalid <= 1'b1;
+                s_axi_rresp <= 2'd0;
+                case (s_axi_araddr[7:0])
+                    8'h00: s_axi_rdata <= {29'd0, ctrl};
+                    8'h04: s_axi_rdata <= load;
+                    8'h08: s_axi_rdata <= value;
+                    8'h0c: s_axi_rdata <= {31'd0, expired};
+                    8'h10: s_axi_rdata <= {16'd0, prescaler};
+                    default: begin
+                        s_axi_rdata <= 32'd0;
+                        s_axi_rresp <= 2'd2;
+                    end
+                endcase
+            end
+            if (s_axi_rvalid && s_axi_rready) s_axi_rvalid <= 1'b0;
+        end
+    end
+endmodule

@@ -1,0 +1,216 @@
+// UART with 16-deep TX/RX FIFOs, programmable baud divisor, loopback
+// mode, and IRQ generation — modeled after common open-source
+// microcontroller UARTs (e.g. the OpenCores uart16550 family, reduced to
+// the synthesizable subset used in this project).
+//
+// Register map (byte offsets from the peripheral base):
+//   0x00 TXDATA  (W)  push byte into the TX FIFO
+//   0x04 RXDATA  (R)  pop byte from the RX FIFO (0 when empty)
+//   0x08 STATUS  (R)  b0 tx_empty, b1 tx_full, b2 rx_avail, b3 rx_full,
+//                     b4 tx_busy
+//   0x0C CTRL    (RW) b0 rx_irq_en, b1 tx_irq_en, b2 loopback,
+//                     b3 rx_enable (receiver runs only when set; the
+//                     line idles high on real hardware)
+//   0x10 BAUDDIV (RW) 16-bit baud-rate divisor (clock cycles per bit)
+//
+// irq = (rx_irq_en & rx_avail) | (tx_irq_en & tx_empty & !tx_busy)
+module uart (
+    input wire clk,
+    input wire rst,
+    input wire s_axi_awvalid, input wire [31:0] s_axi_awaddr, output reg s_axi_awready,
+    input wire s_axi_wvalid, input wire [31:0] s_axi_wdata, output reg s_axi_wready,
+    output reg s_axi_bvalid, output reg [1:0] s_axi_bresp, input wire s_axi_bready,
+    input wire s_axi_arvalid, input wire [31:0] s_axi_araddr, output reg s_axi_arready,
+    output reg s_axi_rvalid, output reg [31:0] s_axi_rdata, output reg [1:0] s_axi_rresp,
+    input wire s_axi_rready,
+    input wire rx,
+    output wire tx,
+    output wire irq
+);
+    // ---- configuration and FIFOs -----------------------------------------
+    reg [15:0] bauddiv;
+    reg [3:0] ctrl;
+    reg [7:0] txfifo [0:15];
+    reg [7:0] rxfifo [0:15];
+    reg [4:0] tx_head;
+    reg [4:0] tx_tail;
+    reg [4:0] rx_head;
+    reg [4:0] rx_tail;
+
+    wire tx_empty = tx_head == tx_tail;
+    wire [4:0] tx_count = tx_head - tx_tail;
+    wire tx_full = tx_count == 5'd16;
+    wire rx_avail = rx_head != rx_tail;
+    wire [4:0] rx_count = rx_head - rx_tail;
+    wire rx_full = rx_count == 5'd16;
+
+    // ---- TX serializer ----------------------------------------------------
+    reg tx_busy;
+    reg [9:0] tx_shift;
+    reg [3:0] tx_bitcnt;
+    reg [15:0] tx_baudcnt;
+    reg tx_out;
+    assign tx = tx_out;
+
+    // ---- RX sampler ---------------------------------------------------------
+    wire rx_in = ctrl[2] ? tx_out : rx;
+    reg [1:0] rx_state;
+    reg [7:0] rx_shift;
+    reg [3:0] rx_bitcnt;
+    reg [15:0] rx_baudcnt;
+
+    // ---- AXI bookkeeping -----------------------------------------------------
+    reg aw_got;
+    reg w_got;
+    reg [31:0] waddr;
+    reg [31:0] wdata_l;
+
+    assign irq = (ctrl[0] && rx_avail) || (ctrl[1] && tx_empty && !tx_busy);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            bauddiv <= 16'd8;
+            ctrl <= 4'd0;
+            tx_head <= 5'd0; tx_tail <= 5'd0;
+            rx_head <= 5'd0; rx_tail <= 5'd0;
+            tx_busy <= 1'b0; tx_shift <= 10'd0; tx_bitcnt <= 4'd0;
+            tx_baudcnt <= 16'd0; tx_out <= 1'b1;
+            rx_state <= 2'd0; rx_shift <= 8'd0; rx_bitcnt <= 4'd0; rx_baudcnt <= 16'd0;
+            s_axi_awready <= 1'b0; s_axi_wready <= 1'b0;
+            s_axi_bvalid <= 1'b0; s_axi_bresp <= 2'd0;
+            s_axi_arready <= 1'b0; s_axi_rvalid <= 1'b0;
+            s_axi_rdata <= 32'd0; s_axi_rresp <= 2'd0;
+            aw_got <= 1'b0; w_got <= 1'b0; waddr <= 32'd0; wdata_l <= 32'd0;
+        end else begin
+            // ------------------------------------------------ TX engine
+            if (tx_busy) begin
+                if (tx_baudcnt == 16'd0) begin
+                    if (tx_bitcnt == 4'd0) begin
+                        tx_busy <= 1'b0;
+                        tx_out <= 1'b1;
+                    end else begin
+                        tx_out <= tx_shift[0];
+                        tx_shift <= {1'b1, tx_shift[9:1]};
+                        tx_bitcnt <= tx_bitcnt - 4'd1;
+                        tx_baudcnt <= bauddiv;
+                    end
+                end else begin
+                    tx_baudcnt <= tx_baudcnt - 16'd1;
+                end
+            end else begin
+                if (!tx_empty) begin
+                    // frame: start(0), 8 data LSB-first, stop(1)
+                    tx_shift <= {1'b1, txfifo[tx_tail[3:0]], 1'b0};
+                    tx_tail <= tx_tail + 5'd1;
+                    tx_busy <= 1'b1;
+                    tx_bitcnt <= 4'd10;
+                    tx_baudcnt <= 16'd0;
+                end
+            end
+
+            // ------------------------------------------------ RX engine
+            if (ctrl[3]) begin
+            case (rx_state)
+                2'd0: begin
+                    if (rx_in == 1'b0) begin
+                        rx_state <= 2'd1;
+                        rx_baudcnt <= {1'b0, bauddiv[15:1]}; // half bit
+                    end
+                end
+                2'd1: begin
+                    if (rx_baudcnt == 16'd0) begin
+                        if (rx_in == 1'b0) begin
+                            rx_state <= 2'd2;
+                            rx_bitcnt <= 4'd8;
+                            rx_baudcnt <= bauddiv;
+                            rx_shift <= 8'd0;
+                        end else begin
+                            rx_state <= 2'd0;
+                        end
+                    end else begin
+                        rx_baudcnt <= rx_baudcnt - 16'd1;
+                    end
+                end
+                2'd2: begin
+                    if (rx_baudcnt == 16'd0) begin
+                        rx_shift <= {rx_in, rx_shift[7:1]};
+                        rx_baudcnt <= bauddiv;
+                        if (rx_bitcnt == 4'd1) begin
+                            rx_state <= 2'd3;
+                        end
+                        rx_bitcnt <= rx_bitcnt - 4'd1;
+                    end else begin
+                        rx_baudcnt <= rx_baudcnt - 16'd1;
+                    end
+                end
+                default: begin
+                    // wait for stop bit, then store
+                    if (rx_baudcnt == 16'd0) begin
+                        if (!rx_full) begin
+                            rxfifo[rx_head[3:0]] <= rx_shift;
+                            rx_head <= rx_head + 5'd1;
+                        end
+                        rx_state <= 2'd0;
+                    end else begin
+                        rx_baudcnt <= rx_baudcnt - 16'd1;
+                    end
+                end
+            endcase
+            end
+
+            // ------------------------------------------------ AXI write
+            s_axi_awready <= 1'b0;
+            s_axi_wready <= 1'b0;
+            if (s_axi_awvalid && !aw_got && !s_axi_awready) begin
+                s_axi_awready <= 1'b1; waddr <= s_axi_awaddr; aw_got <= 1'b1;
+            end
+            if (s_axi_wvalid && !w_got && !s_axi_wready) begin
+                s_axi_wready <= 1'b1; wdata_l <= s_axi_wdata; w_got <= 1'b1;
+            end
+            if (aw_got && w_got && !s_axi_bvalid) begin
+                s_axi_bvalid <= 1'b1;
+                s_axi_bresp <= 2'd0;
+                case (waddr[7:0])
+                    8'h00: begin
+                        if (!tx_full) begin
+                            txfifo[tx_head[3:0]] <= wdata_l[7:0];
+                            tx_head <= tx_head + 5'd1;
+                        end
+                    end
+                    8'h0c: ctrl <= wdata_l[3:0];
+                    8'h10: bauddiv <= wdata_l[15:0];
+                    default: s_axi_bresp <= 2'd2;
+                endcase
+            end
+            if (s_axi_bvalid && s_axi_bready) begin
+                s_axi_bvalid <= 1'b0; aw_got <= 1'b0; w_got <= 1'b0;
+            end
+
+            // ------------------------------------------------ AXI read
+            s_axi_arready <= 1'b0;
+            if (s_axi_arvalid && !s_axi_rvalid && !s_axi_arready) begin
+                s_axi_arready <= 1'b1;
+                s_axi_rvalid <= 1'b1;
+                s_axi_rresp <= 2'd0;
+                case (s_axi_araddr[7:0])
+                    8'h04: begin
+                        if (rx_avail) begin
+                            s_axi_rdata <= {24'd0, rxfifo[rx_tail[3:0]]};
+                            rx_tail <= rx_tail + 5'd1;
+                        end else begin
+                            s_axi_rdata <= 32'd0;
+                        end
+                    end
+                    8'h08: s_axi_rdata <= {27'd0, tx_busy, rx_full, rx_avail, tx_full, tx_empty};
+                    8'h0c: s_axi_rdata <= {28'd0, ctrl};
+                    8'h10: s_axi_rdata <= {16'd0, bauddiv};
+                    default: begin
+                        s_axi_rdata <= 32'd0;
+                        s_axi_rresp <= 2'd2;
+                    end
+                endcase
+            end
+            if (s_axi_rvalid && s_axi_rready) s_axi_rvalid <= 1'b0;
+        end
+    end
+endmodule

@@ -1,0 +1,404 @@
+//! Structural and width validation of modules.
+//!
+//! [`check_module`] enforces the rules the simulator and the scan-chain
+//! pass rely on:
+//!
+//! * every expression and lvalue width-checks;
+//! * wires are driven only by continuous assigns, regs only by processes;
+//! * no net bit has two continuous drivers; no reg is written by two
+//!   different processes; nothing is driven both ways;
+//! * clock nets are 1-bit and clocked processes do not write their clock;
+//! * memories are written only from clocked processes.
+//!
+//! Style issues that do not break simulation (blocking assignment in
+//! clocked processes, incomplete combinational assignment → latch) are
+//! reported as [`Lint`]s.
+
+use crate::module::{LValue, Module, NetKind, ProcessKind, Stmt};
+use crate::RtlError;
+
+/// A non-fatal style finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lint {
+    /// Human-readable description, includes the net/process involved.
+    pub message: String,
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Validates a module (flat or hierarchical — instances are ignored).
+///
+/// # Errors
+///
+/// Returns [`RtlError::Check`] on the first structural violation and
+/// [`RtlError::WidthError`] for malformed expressions.
+pub fn check_module(m: &Module) -> Result<Vec<Lint>, RtlError> {
+    let mut lints = Vec::new();
+
+    // --- width-check everything -----------------------------------------
+    for a in &m.assigns {
+        a.rhs.width(m)?;
+        a.lv.width(m)?;
+    }
+    for p in &m.processes {
+        for s in &p.body {
+            width_check_stmt(m, s)?;
+        }
+    }
+
+    // --- driver bookkeeping ----------------------------------------------
+    // cont_bits[net] = per-bit count of continuous drivers
+    let mut cont_bits: Vec<Vec<u8>> =
+        m.nets.iter().map(|n| vec![0u8; n.width as usize]).collect();
+    // proc_writer[net] = index of the process that writes it
+    let mut proc_writer: Vec<Option<usize>> = vec![None; m.nets.len()];
+    let mut mem_writer: Vec<Option<usize>> = vec![None; m.memories.len()];
+
+    for a in &m.assigns {
+        mark_cont_driver(m, &a.lv, &mut cont_bits)?;
+    }
+
+    for (pi, p) in m.processes.iter().enumerate() {
+        let clocked = matches!(p.kind, ProcessKind::Clocked { .. });
+        if let ProcessKind::Clocked { clock, .. } = p.kind {
+            if m.net(clock).width != 1 {
+                return Err(RtlError::Check(format!(
+                    "clock net '{}' has width {} (must be 1)",
+                    m.net(clock).name,
+                    m.net(clock).width
+                )));
+            }
+        }
+        for s in &p.body {
+            s.for_each(&mut |s| {
+                if let Stmt::Assign { lv, blocking, .. } = s {
+                    if let Some(n) = lv.target_net() {
+                        match proc_writer[n.0 as usize] {
+                            Some(prev) if prev != pi => {
+                                lints.push(Lint {
+                                    message: format!(
+                                        "ERROR:multidriver net '{}' written by two processes",
+                                        m.net(n).name
+                                    ),
+                                });
+                            }
+                            _ => proc_writer[n.0 as usize] = Some(pi),
+                        }
+                        if m.net(n).kind == NetKind::Wire {
+                            lints.push(Lint {
+                                message: format!(
+                                    "ERROR:wire '{}' assigned inside a process \
+                                     (declare it reg)",
+                                    m.net(n).name
+                                ),
+                            });
+                        }
+                        if clocked && *blocking {
+                            lints.push(Lint {
+                                message: format!(
+                                    "blocking assignment to '{}' in clocked process",
+                                    m.net(n).name
+                                ),
+                            });
+                        }
+                        if !clocked && !*blocking {
+                            lints.push(Lint {
+                                message: format!(
+                                    "non-blocking assignment to '{}' in combinational process",
+                                    m.net(n).name
+                                ),
+                            });
+                        }
+                        if let ProcessKind::Clocked { clock, .. } = p.kind {
+                            if n == clock {
+                                lints.push(Lint {
+                                    message: format!(
+                                        "ERROR:process writes its own clock '{}'",
+                                        m.net(n).name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    if let Some(mem) = lv.target_mem() {
+                        if !clocked {
+                            lints.push(Lint {
+                                message: format!(
+                                    "ERROR:memory '{}' written from a combinational process",
+                                    m.memory(mem).name
+                                ),
+                            });
+                        }
+                        match mem_writer[mem.0 as usize] {
+                            Some(prev) if prev != pi => lints.push(Lint {
+                                message: format!(
+                                    "ERROR:memory '{}' written by two processes",
+                                    m.memory(mem).name
+                                ),
+                            }),
+                            _ => mem_writer[mem.0 as usize] = Some(pi),
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    // Conflicts between continuous and procedural drivers.
+    for (i, net) in m.nets.iter().enumerate() {
+        let cont = cont_bits[i].iter().any(|&c| c > 0);
+        if cont && proc_writer[i].is_some() {
+            return Err(RtlError::Check(format!(
+                "net '{}' driven by both a continuous assign and a process",
+                net.name
+            )));
+        }
+        if cont && net.kind == NetKind::Reg {
+            return Err(RtlError::Check(format!(
+                "reg '{}' driven by a continuous assign",
+                net.name
+            )));
+        }
+        if let Some(&over) = cont_bits[i].iter().find(|&&c| c > 1) {
+            let _ = over;
+            return Err(RtlError::Check(format!(
+                "net '{}' has multiple continuous drivers on the same bit",
+                net.name
+            )));
+        }
+    }
+
+    // Promote ERROR-prefixed lints to hard errors.
+    if let Some(e) = lints.iter().find(|l| l.message.starts_with("ERROR:")) {
+        return Err(RtlError::Check(e.message.trim_start_matches("ERROR:").to_string()));
+    }
+    Ok(lints)
+}
+
+fn width_check_stmt(m: &Module, s: &Stmt) -> Result<(), RtlError> {
+    match s {
+        Stmt::Assign { lv, rhs, .. } => {
+            lv.width(m)?;
+            rhs.width(m)?;
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            cond.width(m)?;
+            for s in then_s.iter().chain(else_s) {
+                width_check_stmt(m, s)?;
+            }
+        }
+        Stmt::Case { sel, arms, default } => {
+            let sw = sel.width(m)?;
+            for arm in arms {
+                for l in &arm.labels {
+                    if l.width() > sw {
+                        return Err(RtlError::WidthError(format!(
+                            "case label {l} wider than selector ({sw} bits)"
+                        )));
+                    }
+                }
+                for s in &arm.body {
+                    width_check_stmt(m, s)?;
+                }
+            }
+            for s in default {
+                width_check_stmt(m, s)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn mark_cont_driver(
+    m: &Module,
+    lv: &LValue,
+    cont_bits: &mut [Vec<u8>],
+) -> Result<(), RtlError> {
+    match lv {
+        LValue::Net(n) => {
+            for b in cont_bits[n.0 as usize].iter_mut() {
+                *b = b.saturating_add(1);
+            }
+        }
+        LValue::Slice { base, hi, lo } => {
+            let w = m.net(*base).width;
+            if *hi < *lo || *hi >= w {
+                return Err(RtlError::WidthError(format!(
+                    "assign slice [{hi}:{lo}] out of range for '{}'",
+                    m.net(*base).name
+                )));
+            }
+            for b in &mut cont_bits[base.0 as usize][*lo as usize..=*hi as usize] {
+                *b = b.saturating_add(1);
+            }
+        }
+        LValue::Index { base, .. } => {
+            // A dynamic index may touch any bit; treat as full-net driver.
+            for b in cont_bits[base.0 as usize].iter_mut() {
+                *b = b.saturating_add(1);
+            }
+        }
+        LValue::Mem { mem, .. } => {
+            return Err(RtlError::Check(format!(
+                "memory '{}' written by a continuous assign",
+                m.memory(*mem).name
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::module::{ContAssign, EdgeKind, NetKind, PortDir, Process, ProcessKind};
+
+    fn base() -> (Module, crate::NetId, crate::NetId) {
+        let mut m = Module::new("m");
+        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let q = m.add_net("q", 8, NetKind::Reg, None).unwrap();
+        (m, clk, q)
+    }
+
+    fn clocked(clk: crate::NetId, body: Vec<Stmt>) -> Process {
+        Process { kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos }, body }
+    }
+
+    #[test]
+    fn clean_module_passes() {
+        let (mut m, clk, q) = base();
+        m.processes.push(clocked(
+            clk,
+            vec![Stmt::Assign { lv: LValue::Net(q), rhs: Expr::constant(1, 8), blocking: false }],
+        ));
+        assert!(check_module(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reg_with_cont_assign_is_error() {
+        let (mut m, _, q) = base();
+        m.assigns.push(ContAssign { lv: LValue::Net(q), rhs: Expr::constant(0, 8) });
+        assert!(check_module(&m).is_err());
+    }
+
+    #[test]
+    fn double_cont_driver_is_error() {
+        let (mut m, _, _) = base();
+        let w = m.add_net("w", 8, NetKind::Wire, None).unwrap();
+        m.assigns.push(ContAssign { lv: LValue::Net(w), rhs: Expr::constant(0, 8) });
+        m.assigns.push(ContAssign { lv: LValue::Net(w), rhs: Expr::constant(1, 8) });
+        assert!(check_module(&m).is_err());
+    }
+
+    #[test]
+    fn disjoint_slices_are_fine() {
+        let (mut m, _, _) = base();
+        let w = m.add_net("w", 8, NetKind::Wire, None).unwrap();
+        m.assigns.push(ContAssign {
+            lv: LValue::Slice { base: w, hi: 3, lo: 0 },
+            rhs: Expr::constant(0, 4),
+        });
+        m.assigns.push(ContAssign {
+            lv: LValue::Slice { base: w, hi: 7, lo: 4 },
+            rhs: Expr::constant(1, 4),
+        });
+        assert!(check_module(&m).is_ok());
+    }
+
+    #[test]
+    fn overlapping_slices_are_error() {
+        let (mut m, _, _) = base();
+        let w = m.add_net("w", 8, NetKind::Wire, None).unwrap();
+        m.assigns.push(ContAssign {
+            lv: LValue::Slice { base: w, hi: 4, lo: 0 },
+            rhs: Expr::constant(0, 5),
+        });
+        m.assigns.push(ContAssign {
+            lv: LValue::Slice { base: w, hi: 7, lo: 4 },
+            rhs: Expr::constant(1, 4),
+        });
+        assert!(check_module(&m).is_err());
+    }
+
+    #[test]
+    fn two_processes_writing_one_reg_is_error() {
+        let (mut m, clk, q) = base();
+        for _ in 0..2 {
+            m.processes.push(clocked(
+                clk,
+                vec![Stmt::Assign {
+                    lv: LValue::Net(q),
+                    rhs: Expr::constant(0, 8),
+                    blocking: false,
+                }],
+            ));
+        }
+        assert!(check_module(&m).is_err());
+    }
+
+    #[test]
+    fn wire_assigned_in_process_is_error() {
+        let (mut m, clk, _) = base();
+        let w = m.add_net("w", 8, NetKind::Wire, None).unwrap();
+        m.processes.push(clocked(
+            clk,
+            vec![Stmt::Assign { lv: LValue::Net(w), rhs: Expr::constant(0, 8), blocking: false }],
+        ));
+        assert!(check_module(&m).is_err());
+    }
+
+    #[test]
+    fn blocking_in_clocked_process_is_lint_only() {
+        let (mut m, clk, q) = base();
+        m.processes.push(clocked(
+            clk,
+            vec![Stmt::Assign { lv: LValue::Net(q), rhs: Expr::constant(0, 8), blocking: true }],
+        ));
+        let lints = check_module(&m).unwrap();
+        assert_eq!(lints.len(), 1);
+        assert!(lints[0].message.contains("blocking"));
+    }
+
+    #[test]
+    fn wide_clock_is_error() {
+        let mut m = Module::new("m");
+        let clk = m.add_net("clk", 2, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let q = m.add_net("q", 1, NetKind::Reg, None).unwrap();
+        m.processes.push(Process {
+            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            body: vec![Stmt::Assign {
+                lv: LValue::Net(q),
+                rhs: Expr::constant(0, 1),
+                blocking: false,
+            }],
+        });
+        assert!(check_module(&m).is_err());
+    }
+
+    #[test]
+    fn case_label_wider_than_selector_is_error() {
+        let (mut m, clk, q) = base();
+        let sel = m.add_net("sel", 2, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        m.processes.push(clocked(
+            clk,
+            vec![Stmt::Case {
+                sel: Expr::Net(sel),
+                arms: vec![crate::module::CaseArm {
+                    labels: vec![crate::Value::new(0xff, 8)],
+                    body: vec![Stmt::Assign {
+                        lv: LValue::Net(q),
+                        rhs: Expr::constant(0, 8),
+                        blocking: false,
+                    }],
+                }],
+                default: vec![],
+            }],
+        ));
+        assert!(check_module(&m).is_err());
+    }
+}

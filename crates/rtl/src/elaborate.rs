@@ -1,0 +1,326 @@
+//! Design elaboration: flattening a module hierarchy into a single
+//! instance-free module.
+//!
+//! Instances are inlined recursively. Child nets and memories are renamed
+//! with an `instance.` prefix (so hierarchical names survive into the
+//! simulator, the trace and the scan-chain map), child ports become
+//! internal nets, and port connections become continuous assignments.
+
+use crate::module::{ContAssign, Design, LValue, Module, PortDir};
+use crate::Expr;
+use crate::RtlError;
+
+/// Flattens `top` and everything it instantiates into one module.
+///
+/// The result has no [`crate::module::Instance`]s: all child logic is
+/// inlined with hierarchical net names (`u_aes.state_reg`, ...).
+///
+/// # Errors
+///
+/// * [`RtlError::Unknown`] — `top` or an instantiated module is missing,
+///   or a connection names a port that does not exist.
+/// * [`RtlError::Elab`] — recursive instantiation, duplicate instance
+///   names, unconnected input ports, non-lvalue output connections, or
+///   parameter overrides (unsupported; parameters are folded per-module
+///   by the Verilog frontend).
+pub fn elaborate(design: &Design, top: &str) -> Result<Module, RtlError> {
+    let mut stack = Vec::new();
+    flatten(design, top, &mut stack)
+}
+
+fn flatten(design: &Design, name: &str, stack: &mut Vec<String>) -> Result<Module, RtlError> {
+    if stack.iter().any(|s| s == name) {
+        return Err(RtlError::Elab(format!(
+            "recursive instantiation of module '{name}' (path: {})",
+            stack.join(" -> ")
+        )));
+    }
+    let template = design
+        .module(name)
+        .ok_or_else(|| RtlError::Unknown(format!("module '{name}'")))?;
+
+    // Start from the template without its instances.
+    let mut flat = Module::new(template.name.clone());
+    flat.params = template.params.clone();
+    for net in &template.nets {
+        flat.add_net(net.name.clone(), net.width, net.kind, net.port)?;
+    }
+    for mem in &template.memories {
+        flat.add_memory(mem.name.clone(), mem.width, mem.depth)?;
+    }
+    flat.assigns = template.assigns.clone();
+    flat.processes = template.processes.clone();
+
+    stack.push(name.to_string());
+    let mut seen_inst_names: Vec<&str> = Vec::new();
+    for inst in &template.instances {
+        if seen_inst_names.contains(&inst.name.as_str()) {
+            return Err(RtlError::Elab(format!(
+                "duplicate instance name '{}' in module '{name}'",
+                inst.name
+            )));
+        }
+        seen_inst_names.push(&inst.name);
+        if !inst.params.is_empty() {
+            return Err(RtlError::Elab(format!(
+                "instance '{}' of '{}' overrides parameters; \
+                 parameter overrides must be folded by the frontend",
+                inst.name, inst.module
+            )));
+        }
+        let child = flatten(design, &inst.module, stack)?;
+        inline_instance(&mut flat, &child, inst.name.as_str(), &inst.conns)?;
+    }
+    stack.pop();
+    Ok(flat)
+}
+
+/// Inlines an already-flat `child` into `parent` under instance name
+/// `inst_name`, wiring `conns` (`.port(expr)` pairs).
+fn inline_instance(
+    parent: &mut Module,
+    child: &Module,
+    inst_name: &str,
+    conns: &[(String, Expr)],
+) -> Result<(), RtlError> {
+    use crate::module::{MemId, NetId};
+
+    // 1. Copy nets/memories with prefixed names; ports lose port status.
+    let mut net_map = Vec::with_capacity(child.nets.len());
+    for net in &child.nets {
+        let id = parent.add_net(
+            format!("{inst_name}.{}", net.name),
+            net.width,
+            net.kind,
+            None,
+        )?;
+        net_map.push(id);
+    }
+    let mut mem_map = Vec::with_capacity(child.memories.len());
+    for mem in &child.memories {
+        let id = parent.add_memory(format!("{inst_name}.{}", mem.name), mem.width, mem.depth)?;
+        mem_map.push(id);
+    }
+    let nmap = |n: NetId| net_map[n.0 as usize];
+    let mmap = |m: MemId| mem_map[m.0 as usize];
+
+    // 2. Copy assigns and processes with remapped ids.
+    for a in &child.assigns {
+        let mut a = a.clone();
+        a.lv.remap(&nmap, &mmap);
+        a.rhs.remap(&nmap, &mmap);
+        parent.assigns.push(a);
+    }
+    for p in &child.processes {
+        let mut p = p.clone();
+        if let crate::module::ProcessKind::Clocked { clock, .. } = &mut p.kind {
+            *clock = nmap(*clock);
+        }
+        for s in &mut p.body {
+            s.remap(&nmap, &mmap);
+        }
+        parent.processes.push(p);
+    }
+
+    // 3. Wire the ports.
+    let mut connected = vec![false; child.nets.len()];
+    for (port_name, expr) in conns {
+        let pid = child.find_net(port_name).ok_or_else(|| {
+            RtlError::Unknown(format!("port '{}' on module '{}'", port_name, child.name))
+        })?;
+        let port = child.net(pid);
+        let dir = port.port.ok_or_else(|| {
+            RtlError::Elab(format!(
+                "net '{}' of module '{}' is not a port",
+                port_name, child.name
+            ))
+        })?;
+        connected[pid.0 as usize] = true;
+        let inner = nmap(pid);
+        match dir {
+            PortDir::Input => {
+                parent.assigns.push(ContAssign { lv: LValue::Net(inner), rhs: expr.clone() });
+            }
+            PortDir::Output => {
+                let lv = match expr {
+                    Expr::Net(n) => LValue::Net(*n),
+                    Expr::Slice { base, hi, lo } => LValue::Slice { base: *base, hi: *hi, lo: *lo },
+                    other => {
+                        return Err(RtlError::Elab(format!(
+                            "output port '{}' of instance '{inst_name}' connected to \
+                             non-lvalue expression {other:?}",
+                            port_name
+                        )))
+                    }
+                };
+                parent.assigns.push(ContAssign { lv, rhs: Expr::Net(inner) });
+            }
+        }
+    }
+
+    // 4. Unconnected inputs are an error (they would be X in real
+    //    Verilog); unconnected outputs are fine.
+    for (i, net) in child.nets.iter().enumerate() {
+        if net.port == Some(PortDir::Input) && !connected[i] {
+            return Err(RtlError::Elab(format!(
+                "input port '{}' of instance '{inst_name}' ({}) is unconnected",
+                net.name, child.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{EdgeKind, Instance, NetKind, Process, ProcessKind, Stmt};
+
+    /// child: an 8-bit register with enable.
+    fn child_module() -> Module {
+        let mut m = Module::new("dff8");
+        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let d = m.add_net("d", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let q = m.add_net("q", 8, NetKind::Reg, Some(PortDir::Output)).unwrap();
+        m.processes.push(Process {
+            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            body: vec![Stmt::Assign { lv: LValue::Net(q), rhs: Expr::Net(d), blocking: false }],
+        });
+        m
+    }
+
+    fn parent_design() -> Design {
+        let mut top = Module::new("top");
+        let clk = top.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let din = top.add_net("din", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let dout = top.add_net("dout", 8, NetKind::Wire, Some(PortDir::Output)).unwrap();
+        top.instances.push(Instance {
+            name: "u0".into(),
+            module: "dff8".into(),
+            conns: vec![
+                ("clk".into(), Expr::Net(clk)),
+                ("d".into(), Expr::Net(din)),
+                ("q".into(), Expr::Net(dout)),
+            ],
+            params: vec![],
+        });
+        let mut d = Design::new();
+        d.add_module(child_module()).unwrap();
+        d.add_module(top).unwrap();
+        d
+    }
+
+    #[test]
+    fn flattening_prefixes_child_nets() {
+        let d = parent_design();
+        let flat = elaborate(&d, "top").unwrap();
+        assert!(flat.instances.is_empty());
+        assert!(flat.find_net("u0.q").is_some());
+        assert!(flat.find_net("u0.clk").is_some());
+        // Child port loses port status.
+        assert!(flat.net(flat.find_net("u0.q").unwrap()).port.is_none());
+        // Top ports remain.
+        assert_eq!(flat.ports().count(), 3);
+        // One clocked process inlined.
+        assert_eq!(flat.processes.len(), 1);
+        // 3 port-connection assigns.
+        assert_eq!(flat.assigns.len(), 3);
+    }
+
+    #[test]
+    fn unknown_top_is_an_error() {
+        let d = parent_design();
+        assert!(matches!(elaborate(&d, "nope"), Err(RtlError::Unknown(_))));
+    }
+
+    #[test]
+    fn unconnected_input_is_an_error() {
+        let mut top = Module::new("top");
+        let clk = top.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        top.instances.push(Instance {
+            name: "u0".into(),
+            module: "dff8".into(),
+            conns: vec![("clk".into(), Expr::Net(clk))],
+            params: vec![],
+        });
+        let mut d = Design::new();
+        d.add_module(child_module()).unwrap();
+        d.add_module(top).unwrap();
+        let err = elaborate(&d, "top").unwrap_err();
+        assert!(matches!(err, RtlError::Elab(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn recursive_instantiation_is_an_error() {
+        let mut m = Module::new("looper");
+        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        m.instances.push(Instance {
+            name: "again".into(),
+            module: "looper".into(),
+            conns: vec![("clk".into(), Expr::Net(clk))],
+            params: vec![],
+        });
+        let mut d = Design::new();
+        d.add_module(m).unwrap();
+        assert!(matches!(elaborate(&d, "looper"), Err(RtlError::Elab(_))));
+    }
+
+    #[test]
+    fn nested_hierarchy_gets_dotted_names() {
+        // mid wraps dff8; top wraps mid.
+        let mut mid = Module::new("mid");
+        let clk = mid.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let d_in = mid.add_net("d", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let q_out = mid.add_net("q", 8, NetKind::Wire, Some(PortDir::Output)).unwrap();
+        mid.instances.push(Instance {
+            name: "inner".into(),
+            module: "dff8".into(),
+            conns: vec![
+                ("clk".into(), Expr::Net(clk)),
+                ("d".into(), Expr::Net(d_in)),
+                ("q".into(), Expr::Net(q_out)),
+            ],
+            params: vec![],
+        });
+        let mut top = Module::new("top");
+        let clk = top.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let din = top.add_net("din", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let dout = top.add_net("dout", 8, NetKind::Wire, Some(PortDir::Output)).unwrap();
+        top.instances.push(Instance {
+            name: "u".into(),
+            module: "mid".into(),
+            conns: vec![
+                ("clk".into(), Expr::Net(clk)),
+                ("d".into(), Expr::Net(din)),
+                ("q".into(), Expr::Net(dout)),
+            ],
+            params: vec![],
+        });
+        let mut design = Design::new();
+        design.add_module(child_module()).unwrap();
+        design.add_module(mid).unwrap();
+        design.add_module(top).unwrap();
+        let flat = elaborate(&design, "top").unwrap();
+        assert!(flat.find_net("u.inner.q").is_some());
+        assert_eq!(flat.state_bits(), 8);
+    }
+
+    #[test]
+    fn duplicate_instance_names_rejected() {
+        let mut top = Module::new("top");
+        let clk = top.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let din = top.add_net("din", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        for _ in 0..2 {
+            top.instances.push(Instance {
+                name: "u0".into(),
+                module: "dff8".into(),
+                conns: vec![("clk".into(), Expr::Net(clk)), ("d".into(), Expr::Net(din))],
+                params: vec![],
+            });
+        }
+        let mut d = Design::new();
+        d.add_module(child_module()).unwrap();
+        d.add_module(top).unwrap();
+        assert!(matches!(elaborate(&d, "top"), Err(RtlError::Elab(_))));
+    }
+}

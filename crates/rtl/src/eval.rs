@@ -1,0 +1,103 @@
+//! Operator evaluation semantics shared by the simulator, the FPGA
+//! target and the Verilog frontend's constant folder.
+//!
+//! Keeping these in one place guarantees that constant folding at parse
+//! time is exactly semantics-preserving with respect to simulation.
+
+use crate::expr::{BinaryOp, UnaryOp};
+use crate::value::Value;
+
+/// Evaluates a binary operator with simplified-Verilog width rules:
+/// arithmetic/bitwise results are `max(wa, wb)` wide with operands
+/// zero-extended, shifts keep the left operand's width, and
+/// comparisons/logical operators yield one bit.
+pub fn eval_binary(op: BinaryOp, a: Value, b: Value) -> Value {
+    match op {
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::And | BinaryOp::Or
+        | BinaryOp::Xor => {
+            let w = a.width().max(b.width());
+            let (a, b) = (a.resize(w), b.resize(w));
+            match op {
+                BinaryOp::Add => a.wrapping_add(b),
+                BinaryOp::Sub => a.wrapping_sub(b),
+                BinaryOp::Mul => a.wrapping_mul(b),
+                BinaryOp::And => a.and(b),
+                BinaryOp::Or => a.or(b),
+                BinaryOp::Xor => a.xor(b),
+                _ => unreachable!(),
+            }
+        }
+        BinaryOp::Shl => a.shl(b.bits()),
+        BinaryOp::Shr => a.shr(b.bits()),
+        BinaryOp::Eq => {
+            let w = a.width().max(b.width());
+            Value::bit(a.resize(w) == b.resize(w))
+        }
+        BinaryOp::Ne => {
+            let w = a.width().max(b.width());
+            Value::bit(a.resize(w) != b.resize(w))
+        }
+        BinaryOp::Lt => Value::bit(a.bits() < b.bits()),
+        BinaryOp::Le => Value::bit(a.bits() <= b.bits()),
+        BinaryOp::Gt => Value::bit(a.bits() > b.bits()),
+        BinaryOp::Ge => Value::bit(a.bits() >= b.bits()),
+        BinaryOp::LogicAnd => Value::bit(a.is_true() && b.is_true()),
+        BinaryOp::LogicOr => Value::bit(a.is_true() || b.is_true()),
+    }
+}
+
+/// Evaluates a unary operator (see [`UnaryOp`] for width rules).
+pub fn eval_unary(op: UnaryOp, a: Value) -> Value {
+    match op {
+        UnaryOp::Not => a.not(),
+        UnaryOp::Neg => a.neg(),
+        UnaryOp::LogicNot => Value::bit(!a.is_true()),
+        UnaryOp::RedAnd => a.reduce_and(),
+        UnaryOp::RedOr => a.reduce_or(),
+        UnaryOp::RedXor => a.reduce_xor(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_width_addition_extends_to_max() {
+        let a = Value::new(0xff, 8);
+        let b = Value::new(1, 32);
+        let r = eval_binary(BinaryOp::Add, a, b);
+        assert_eq!(r, Value::new(0x100, 32));
+    }
+
+    #[test]
+    fn comparison_is_unsigned_over_bits() {
+        let a = Value::new(0x80, 8); // would be negative if signed
+        let b = Value::new(0x01, 8);
+        assert_eq!(eval_binary(BinaryOp::Lt, a, b), Value::bit(false));
+        assert_eq!(eval_binary(BinaryOp::Gt, a, b), Value::bit(true));
+    }
+
+    #[test]
+    fn eq_extends_operands() {
+        let a = Value::new(5, 4);
+        let b = Value::new(5, 32);
+        assert_eq!(eval_binary(BinaryOp::Eq, a, b), Value::bit(true));
+    }
+
+    #[test]
+    fn shifts_use_rhs_as_amount() {
+        let a = Value::new(1, 8);
+        assert_eq!(eval_binary(BinaryOp::Shl, a, Value::new(3, 32)), Value::new(8, 8));
+        assert_eq!(eval_binary(BinaryOp::Shr, Value::new(8, 8), Value::new(3, 4)), Value::new(1, 8));
+    }
+
+    #[test]
+    fn logic_ops_collapse_to_bits() {
+        let a = Value::new(0x10, 8);
+        let z = Value::zero(8);
+        assert_eq!(eval_binary(BinaryOp::LogicAnd, a, z), Value::bit(false));
+        assert_eq!(eval_binary(BinaryOp::LogicOr, a, z), Value::bit(true));
+        assert_eq!(eval_unary(UnaryOp::LogicNot, z), Value::bit(true));
+    }
+}

@@ -1,0 +1,482 @@
+//! Expression IR at the register-transfer level.
+//!
+//! Expressions are trees over nets, memories and constants. Width rules
+//! follow a simplified, unsigned-only subset of Verilog-2005
+//! (see [`Expr::width`]); signedness is out of scope for the corpus.
+
+use crate::module::{MemId, Module, NetId};
+use crate::value::Value;
+use crate::RtlError;
+use std::fmt;
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise negation `~a` (result width = operand width).
+    Not,
+    /// Two's-complement negation `-a` (result width = operand width).
+    Neg,
+    /// Logical negation `!a` (result width 1).
+    LogicNot,
+    /// AND reduction `&a` (result width 1).
+    RedAnd,
+    /// OR reduction `|a` (result width 1).
+    RedOr,
+    /// XOR reduction `^a` (result width 1).
+    RedXor,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `a + b`, wrapping, width = max(wa, wb).
+    Add,
+    /// `a - b`, wrapping, width = max(wa, wb).
+    Sub,
+    /// `a * b`, wrapping, width = max(wa, wb).
+    Mul,
+    /// `a & b`, width = max(wa, wb).
+    And,
+    /// `a | b`, width = max(wa, wb).
+    Or,
+    /// `a ^ b`, width = max(wa, wb).
+    Xor,
+    /// `a << b` (logical), width = wa.
+    Shl,
+    /// `a >> b` (logical), width = wa.
+    Shr,
+    /// `a == b`, width 1.
+    Eq,
+    /// `a != b`, width 1.
+    Ne,
+    /// `a < b` (unsigned), width 1.
+    Lt,
+    /// `a <= b` (unsigned), width 1.
+    Le,
+    /// `a > b` (unsigned), width 1.
+    Gt,
+    /// `a >= b` (unsigned), width 1.
+    Ge,
+    /// `a && b`, width 1.
+    LogicAnd,
+    /// `a || b`, width 1.
+    LogicOr,
+}
+
+impl BinaryOp {
+    /// True for operators whose result is a single bit.
+    pub fn is_boolean(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::LogicAnd
+                | BinaryOp::LogicOr
+        )
+    }
+}
+
+/// An RTL expression tree.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal constant.
+    Const(Value),
+    /// The full value of a net.
+    Net(NetId),
+    /// Constant part-select `net[hi:lo]`.
+    Slice {
+        /// The sliced net.
+        base: NetId,
+        /// Most-significant bit (inclusive).
+        hi: u32,
+        /// Least-significant bit (inclusive).
+        lo: u32,
+    },
+    /// Dynamic single-bit select `net[index]`; yields width 1.
+    Index {
+        /// The indexed net.
+        base: NetId,
+        /// The bit index expression.
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Ternary conditional `cond ? t : e`.
+    Cond {
+        /// Condition (any width; true iff nonzero).
+        cond: Box<Expr>,
+        /// Value when true.
+        then_e: Box<Expr>,
+        /// Value when false.
+        else_e: Box<Expr>,
+    },
+    /// Concatenation `{a, b, ...}`, first element most significant.
+    Concat(Vec<Expr>),
+    /// Replication `{count{arg}}`.
+    Repeat {
+        /// Replication count.
+        count: u32,
+        /// Replicated expression.
+        arg: Box<Expr>,
+    },
+    /// Asynchronous memory read `mem[addr]`.
+    MemRead {
+        /// The memory.
+        mem: MemId,
+        /// Address expression.
+        addr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a constant of given bits/width.
+    pub fn constant(bits: u64, width: u32) -> Expr {
+        Expr::Const(Value::new(bits, width))
+    }
+
+    /// Computes the result width of this expression within `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::WidthError`] for malformed expressions, e.g. a
+    /// slice outside its net's declared range or a zero-length concat.
+    pub fn width(&self, module: &Module) -> Result<u32, RtlError> {
+        Ok(match self {
+            Expr::Const(v) => v.width(),
+            Expr::Net(id) => module.net(*id).width,
+            Expr::Slice { base, hi, lo } => {
+                let nw = module.net(*base).width;
+                if hi < lo || *hi >= nw {
+                    return Err(RtlError::WidthError(format!(
+                        "slice [{hi}:{lo}] out of range for net '{}' of width {nw}",
+                        module.net(*base).name
+                    )));
+                }
+                hi - lo + 1
+            }
+            Expr::Index { index, .. } => {
+                index.width(module)?;
+                1
+            }
+            Expr::Unary { op, arg } => {
+                let w = arg.width(module)?;
+                match op {
+                    UnaryOp::Not | UnaryOp::Neg => w,
+                    _ => 1,
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let wl = lhs.width(module)?;
+                let wr = rhs.width(module)?;
+                if op.is_boolean() {
+                    1
+                } else if matches!(op, BinaryOp::Shl | BinaryOp::Shr) {
+                    wl
+                } else {
+                    wl.max(wr)
+                }
+            }
+            Expr::Cond { cond, then_e, else_e } => {
+                cond.width(module)?;
+                then_e.width(module)?.max(else_e.width(module)?)
+            }
+            Expr::Concat(parts) => {
+                if parts.is_empty() {
+                    return Err(RtlError::WidthError("empty concatenation".into()));
+                }
+                let mut w = 0;
+                for p in parts {
+                    w += p.width(module)?;
+                }
+                if w > crate::value::MAX_WIDTH {
+                    return Err(RtlError::WidthError(format!(
+                        "concatenation width {w} exceeds the {}-bit limit",
+                        crate::value::MAX_WIDTH
+                    )));
+                }
+                w
+            }
+            Expr::Repeat { count, arg } => {
+                if *count == 0 {
+                    return Err(RtlError::WidthError("zero replication count".into()));
+                }
+                let w = count * arg.width(module)?;
+                if w > crate::value::MAX_WIDTH {
+                    return Err(RtlError::WidthError(format!(
+                        "replication width {w} exceeds the {}-bit limit",
+                        crate::value::MAX_WIDTH
+                    )));
+                }
+                w
+            }
+            Expr::MemRead { mem, addr } => {
+                addr.width(module)?;
+                module.memory(*mem).width
+            }
+        })
+    }
+
+    /// Visits every net read by this expression (including slice bases and
+    /// index expressions), invoking `f` once per occurrence.
+    pub fn for_each_net(&self, f: &mut impl FnMut(NetId)) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Net(id) => f(*id),
+            Expr::Slice { base, .. } => f(*base),
+            Expr::Index { base, index } => {
+                f(*base);
+                index.for_each_net(f);
+            }
+            Expr::Unary { arg, .. } => arg.for_each_net(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.for_each_net(f);
+                rhs.for_each_net(f);
+            }
+            Expr::Cond { cond, then_e, else_e } => {
+                cond.for_each_net(f);
+                then_e.for_each_net(f);
+                else_e.for_each_net(f);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.for_each_net(f);
+                }
+            }
+            Expr::Repeat { arg, .. } => arg.for_each_net(f),
+            Expr::MemRead { addr, .. } => addr.for_each_net(f),
+        }
+    }
+
+    /// Visits every memory read by this expression.
+    pub fn for_each_mem(&self, f: &mut impl FnMut(MemId)) {
+        match self {
+            Expr::MemRead { mem, addr } => {
+                f(*mem);
+                addr.for_each_mem(f);
+            }
+            Expr::Index { index, .. } => index.for_each_mem(f),
+            Expr::Unary { arg, .. } | Expr::Repeat { arg, .. } => arg.for_each_mem(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.for_each_mem(f);
+                rhs.for_each_mem(f);
+            }
+            Expr::Cond { cond, then_e, else_e } => {
+                cond.for_each_mem(f);
+                then_e.for_each_mem(f);
+                else_e.for_each_mem(f);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.for_each_mem(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rewrites all net and memory ids using the given maps; used when a
+    /// module body is inlined into a parent during elaboration.
+    pub fn remap(&mut self, net_map: &impl Fn(NetId) -> NetId, mem_map: &impl Fn(MemId) -> MemId) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Net(id) => *id = net_map(*id),
+            Expr::Slice { base, .. } => *base = net_map(*base),
+            Expr::Index { base, index } => {
+                *base = net_map(*base);
+                index.remap(net_map, mem_map);
+            }
+            Expr::Unary { arg, .. } | Expr::Repeat { arg, .. } => arg.remap(net_map, mem_map),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.remap(net_map, mem_map);
+                rhs.remap(net_map, mem_map);
+            }
+            Expr::Cond { cond, then_e, else_e } => {
+                cond.remap(net_map, mem_map);
+                then_e.remap(net_map, mem_map);
+                else_e.remap(net_map, mem_map);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.remap(net_map, mem_map);
+                }
+            }
+            Expr::MemRead { mem, addr } => {
+                *mem = mem_map(*mem);
+                addr.remap(net_map, mem_map);
+            }
+        }
+    }
+
+    /// Counts the operator nodes in this expression; used as a rough
+    /// synthesized-cell estimate by netlist statistics.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Net(_) | Expr::Slice { .. } => 1,
+            Expr::Index { index, .. } => 1 + index.node_count(),
+            Expr::Unary { arg, .. } | Expr::Repeat { arg, .. } => 1 + arg.node_count(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+            Expr::Cond { cond, then_e, else_e } => {
+                1 + cond.node_count() + then_e.node_count() + else_e.node_count()
+            }
+            Expr::Concat(parts) => 1 + parts.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::MemRead { addr, .. } => 1 + addr.node_count(),
+        }
+    }
+}
+
+impl From<Value> for Expr {
+    fn from(v: Value) -> Self {
+        Expr::Const(v)
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnaryOp::Not => "~",
+            UnaryOp::Neg => "-",
+            UnaryOp::LogicNot => "!",
+            UnaryOp::RedAnd => "&",
+            UnaryOp::RedOr => "|",
+            UnaryOp::RedXor => "^",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::And => "&",
+            BinaryOp::Or => "|",
+            BinaryOp::Xor => "^",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::LogicAnd => "&&",
+            BinaryOp::LogicOr => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Module, NetKind, PortDir};
+
+    fn test_module() -> (Module, NetId, NetId) {
+        let mut m = Module::new("t");
+        let a = m.add_net("a", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let b = m.add_net("b", 4, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        (m, a, b)
+    }
+
+    #[test]
+    fn width_of_binary_is_max_of_operands() {
+        let (m, a, b) = test_module();
+        let e = Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(Expr::Net(a)),
+            rhs: Box::new(Expr::Net(b)),
+        };
+        assert_eq!(e.width(&m).unwrap(), 8);
+    }
+
+    #[test]
+    fn width_of_comparison_is_one() {
+        let (m, a, b) = test_module();
+        let e = Expr::Binary {
+            op: BinaryOp::Lt,
+            lhs: Box::new(Expr::Net(a)),
+            rhs: Box::new(Expr::Net(b)),
+        };
+        assert_eq!(e.width(&m).unwrap(), 1);
+    }
+
+    #[test]
+    fn width_of_shift_is_lhs_width() {
+        let (m, a, b) = test_module();
+        let e = Expr::Binary {
+            op: BinaryOp::Shl,
+            lhs: Box::new(Expr::Net(b)),
+            rhs: Box::new(Expr::Net(a)),
+        };
+        assert_eq!(e.width(&m).unwrap(), 4);
+    }
+
+    #[test]
+    fn width_of_concat_and_repeat() {
+        let (m, a, b) = test_module();
+        let e = Expr::Concat(vec![Expr::Net(a), Expr::Net(b)]);
+        assert_eq!(e.width(&m).unwrap(), 12);
+        let r = Expr::Repeat { count: 3, arg: Box::new(Expr::Net(b)) };
+        assert_eq!(r.width(&m).unwrap(), 12);
+    }
+
+    #[test]
+    fn slice_out_of_range_errors() {
+        let (m, a, _) = test_module();
+        let e = Expr::Slice { base: a, hi: 8, lo: 0 };
+        assert!(e.width(&m).is_err());
+        let e = Expr::Slice { base: a, hi: 0, lo: 1 };
+        assert!(e.width(&m).is_err());
+    }
+
+    #[test]
+    fn oversized_concat_errors() {
+        let (m, a, _) = test_module();
+        let e = Expr::Concat(vec![Expr::Net(a); 9]); // 72 bits
+        assert!(e.width(&m).is_err());
+    }
+
+    #[test]
+    fn for_each_net_visits_all_occurrences() {
+        let (_, a, b) = test_module();
+        let e = Expr::Binary {
+            op: BinaryOp::Xor,
+            lhs: Box::new(Expr::Net(a)),
+            rhs: Box::new(Expr::Index { base: a, index: Box::new(Expr::Net(b)) }),
+        };
+        let mut seen = Vec::new();
+        e.for_each_net(&mut |n| seen.push(n));
+        assert_eq!(seen, vec![a, a, b]);
+    }
+
+    #[test]
+    fn node_count_counts_operators() {
+        let (_, a, b) = test_module();
+        let e = Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(Expr::Net(a)),
+            rhs: Box::new(Expr::Unary { op: UnaryOp::Not, arg: Box::new(Expr::Net(b)) }),
+        };
+        assert_eq!(e.node_count(), 4);
+    }
+}

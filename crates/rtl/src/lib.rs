@@ -1,0 +1,117 @@
+//! # hardsnap-rtl
+//!
+//! Register-transfer-level intermediate representation for the HardSnap
+//! reproduction (DSN 2020, Corteggiani & Francillon).
+//!
+//! This crate is the foundation of the whole stack: the Verilog frontend
+//! (`hardsnap-verilog`) produces this IR, the cycle-accurate simulator
+//! (`hardsnap-sim`) interprets it, and the scan-chain instrumentation
+//! pass (`hardsnap-scan`) rewrites it — the same role Verilog ASTs play
+//! in the paper's toolchain (Fig. 3).
+//!
+//! The IR models the synthesizable Verilog-2005 subset the peripheral
+//! corpus is written in: 2-state vectors up to 64 bits, `wire`/`reg`
+//! nets, memories, continuous assigns, clocked and combinational
+//! `always` blocks, and module instantiation (flattened by
+//! [`elaborate()`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use hardsnap_rtl::{Design, Module, NetKind, PortDir, Expr, Value};
+//! use hardsnap_rtl::module::{Process, ProcessKind, EdgeKind, Stmt, LValue};
+//!
+//! # fn main() -> Result<(), hardsnap_rtl::RtlError> {
+//! // A 4-bit counter, built directly in IR.
+//! let mut m = Module::new("counter");
+//! let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))?;
+//! let q = m.add_net("q", 4, NetKind::Reg, Some(PortDir::Output))?;
+//! m.processes.push(Process {
+//!     kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+//!     body: vec![Stmt::Assign {
+//!         lv: LValue::Net(q),
+//!         rhs: Expr::Binary {
+//!             op: hardsnap_rtl::BinaryOp::Add,
+//!             lhs: Box::new(Expr::Net(q)),
+//!             rhs: Box::new(Expr::Const(Value::new(1, 4))),
+//!         },
+//!         blocking: false,
+//!     }],
+//! });
+//! assert_eq!(m.state_bits(), 4);
+//! hardsnap_rtl::check_module(&m)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod elaborate;
+pub mod eval;
+pub mod expr;
+pub mod module;
+pub mod stats;
+pub mod value;
+
+pub use check::{check_module, Lint};
+pub use elaborate::elaborate;
+pub use eval::{eval_binary, eval_unary};
+pub use expr::{BinaryOp, Expr, UnaryOp};
+pub use module::{
+    CaseArm, ContAssign, Design, EdgeKind, Instance, LValue, MemId, Memory, Module, Net, NetId,
+    NetKind, PortDir, Process, ProcessKind, Stmt,
+};
+pub use stats::ModuleStats;
+pub use value::{mask, Value, MAX_WIDTH};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, checking or elaborating RTL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtlError {
+    /// A name was declared twice (net, memory, module or instance).
+    Duplicate(String),
+    /// A width rule was violated (zero/over-wide nets, bad slices, ...).
+    WidthError(String),
+    /// A referenced entity does not exist.
+    Unknown(String),
+    /// Elaboration failed (recursion, bad connections, ...).
+    Elab(String),
+    /// A structural check failed (multiple drivers, wire/reg misuse, ...).
+    Check(String),
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::Duplicate(n) => write!(f, "duplicate declaration of '{n}'"),
+            RtlError::WidthError(m) => write!(f, "width error: {m}"),
+            RtlError::Unknown(n) => write!(f, "unknown reference: {n}"),
+            RtlError::Elab(m) => write!(f, "elaboration error: {m}"),
+            RtlError::Check(m) => write!(f, "check error: {m}"),
+        }
+    }
+}
+
+impl Error for RtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_lowercase_and_informative() {
+        let e = RtlError::Duplicate("top.q".into());
+        assert_eq!(e.to_string(), "duplicate declaration of 'top.q'");
+        let e = RtlError::Check("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RtlError>();
+    }
+}

@@ -1,0 +1,681 @@
+//! Modules, nets, memories, processes and designs.
+//!
+//! A [`Module`] is the unit of hardware description: a bag of nets
+//! (wires/registers, some of them ports), memories, continuous assigns,
+//! processes (`always` blocks) and child instances. A [`Design`] is a set
+//! of modules; [`crate::elaborate()`] flattens a design into a single
+//! instance-free module suitable for simulation and instrumentation.
+
+use crate::expr::Expr;
+use crate::value::Value;
+use crate::RtlError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a net within its [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Identifies a memory within its [`Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemId(pub u32);
+
+impl fmt::Debug for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for MemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Port direction of a net, if it is a port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Driven from outside the module.
+    Input,
+    /// Driven by the module, visible outside.
+    Output,
+}
+
+/// How a net may be driven.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// Verilog `wire`: driven by continuous assigns or instance outputs.
+    Wire,
+    /// Verilog `reg`: driven by procedural assignment inside processes.
+    Reg,
+}
+
+/// A named scalar or vector net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Net {
+    /// Hierarchical name (dots separate instance path segments after
+    /// elaboration).
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub width: u32,
+    /// Wire vs reg.
+    pub kind: NetKind,
+    /// Port direction if this net is a port of the module.
+    pub port: Option<PortDir>,
+}
+
+/// A synchronous memory array (`reg [W-1:0] mem [0:D-1]`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Memory {
+    /// Hierarchical name.
+    pub name: String,
+    /// Word width in bits (1..=64).
+    pub width: u32,
+    /// Number of words.
+    pub depth: u32,
+}
+
+impl Memory {
+    /// Total state bits held by this memory.
+    pub fn state_bits(&self) -> u64 {
+        self.width as u64 * self.depth as u64
+    }
+}
+
+/// An assignable location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LValue {
+    /// The whole net.
+    Net(NetId),
+    /// A constant part-select of a net.
+    Slice {
+        /// Target net.
+        base: NetId,
+        /// Most-significant bit (inclusive).
+        hi: u32,
+        /// Least-significant bit (inclusive).
+        lo: u32,
+    },
+    /// A dynamically indexed single bit of a net.
+    Index {
+        /// Target net.
+        base: NetId,
+        /// Bit index expression.
+        index: Expr,
+    },
+    /// A memory word (`mem[addr] <= ...`).
+    Mem {
+        /// Target memory.
+        mem: MemId,
+        /// Address expression.
+        addr: Expr,
+    },
+}
+
+impl LValue {
+    /// The net written by this lvalue, or `None` for memory writes.
+    pub fn target_net(&self) -> Option<NetId> {
+        match self {
+            LValue::Net(n) | LValue::Slice { base: n, .. } | LValue::Index { base: n, .. } => {
+                Some(*n)
+            }
+            LValue::Mem { .. } => None,
+        }
+    }
+
+    /// The memory written by this lvalue, if any.
+    pub fn target_mem(&self) -> Option<MemId> {
+        match self {
+            LValue::Mem { mem, .. } => Some(*mem),
+            _ => None,
+        }
+    }
+
+    /// Width of the assigned location.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width errors from embedded expressions and rejects
+    /// out-of-range slices.
+    pub fn width(&self, module: &Module) -> Result<u32, RtlError> {
+        match self {
+            LValue::Net(n) => Ok(module.net(*n).width),
+            LValue::Slice { base, hi, lo } => {
+                let nw = module.net(*base).width;
+                if hi < lo || *hi >= nw {
+                    return Err(RtlError::WidthError(format!(
+                        "lvalue slice [{hi}:{lo}] out of range for net '{}' of width {nw}",
+                        module.net(*base).name
+                    )));
+                }
+                Ok(hi - lo + 1)
+            }
+            LValue::Index { index, .. } => {
+                index.width(module)?;
+                Ok(1)
+            }
+            LValue::Mem { mem, addr } => {
+                addr.width(module)?;
+                Ok(module.memory(*mem).width)
+            }
+        }
+    }
+
+    /// Rewrites net/memory ids; see [`Expr::remap`].
+    pub fn remap(&mut self, net_map: &impl Fn(NetId) -> NetId, mem_map: &impl Fn(MemId) -> MemId) {
+        match self {
+            LValue::Net(n) => *n = net_map(*n),
+            LValue::Slice { base, .. } => *base = net_map(*base),
+            LValue::Index { base, index } => {
+                *base = net_map(*base);
+                index.remap(net_map, mem_map);
+            }
+            LValue::Mem { mem, addr } => {
+                *mem = mem_map(*mem);
+                addr.remap(net_map, mem_map);
+            }
+        }
+    }
+}
+
+/// A procedural statement inside a process body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `lv <= rhs` (non-blocking) or `lv = rhs` (blocking).
+    Assign {
+        /// Target location.
+        lv: LValue,
+        /// Source expression (zero-extended/truncated to the target width).
+        rhs: Expr,
+        /// True for blocking (`=`) assignment.
+        blocking: bool,
+    },
+    /// `if (cond) ... else ...`.
+    If {
+        /// Condition (true iff nonzero).
+        cond: Expr,
+        /// Taken branch.
+        then_s: Vec<Stmt>,
+        /// Else branch (may be empty).
+        else_s: Vec<Stmt>,
+    },
+    /// `case (sel) v0, v1: ... default: ... endcase`.
+    Case {
+        /// Selector expression.
+        sel: Expr,
+        /// Arms: each matches when `sel` equals any listed value.
+        arms: Vec<CaseArm>,
+        /// Default arm (may be empty).
+        default: Vec<Stmt>,
+    },
+}
+
+/// One arm of a [`Stmt::Case`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseArm {
+    /// Match labels; the arm fires when the selector equals any of them.
+    pub labels: Vec<Value>,
+    /// Arm body.
+    pub body: Vec<Stmt>,
+}
+
+impl Stmt {
+    /// Visits every statement in this subtree (pre-order).
+    pub fn for_each(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Assign { .. } => {}
+            Stmt::If { then_s, else_s, .. } => {
+                for s in then_s.iter().chain(else_s) {
+                    s.for_each(f);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms {
+                    for s in &arm.body {
+                        s.for_each(f);
+                    }
+                }
+                for s in default {
+                    s.for_each(f);
+                }
+            }
+        }
+    }
+
+    /// Visits every statement mutably (pre-order).
+    pub fn for_each_mut(&mut self, f: &mut impl FnMut(&mut Stmt)) {
+        f(self);
+        match self {
+            Stmt::Assign { .. } => {}
+            Stmt::If { then_s, else_s, .. } => {
+                for s in then_s.iter_mut().chain(else_s.iter_mut()) {
+                    s.for_each_mut(f);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                for arm in arms.iter_mut() {
+                    for s in &mut arm.body {
+                        s.for_each_mut(f);
+                    }
+                }
+                for s in default {
+                    s.for_each_mut(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrites net/memory ids throughout the statement tree.
+    pub fn remap(&mut self, net_map: &impl Fn(NetId) -> NetId, mem_map: &impl Fn(MemId) -> MemId) {
+        match self {
+            Stmt::Assign { lv, rhs, .. } => {
+                lv.remap(net_map, mem_map);
+                rhs.remap(net_map, mem_map);
+            }
+            Stmt::If { cond, then_s, else_s } => {
+                cond.remap(net_map, mem_map);
+                for s in then_s.iter_mut().chain(else_s.iter_mut()) {
+                    s.remap(net_map, mem_map);
+                }
+            }
+            Stmt::Case { sel, arms, default } => {
+                sel.remap(net_map, mem_map);
+                for arm in arms.iter_mut() {
+                    for s in &mut arm.body {
+                        s.remap(net_map, mem_map);
+                    }
+                }
+                for s in default {
+                    s.remap(net_map, mem_map);
+                }
+            }
+        }
+    }
+}
+
+/// Clock edge kind for clocked processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// `posedge`.
+    Pos,
+    /// `negedge`.
+    Neg,
+}
+
+/// Sensitivity of a process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProcessKind {
+    /// `always @(posedge clk)` / `always @(negedge clk)`.
+    Clocked {
+        /// Clock net.
+        clock: NetId,
+        /// Triggering edge.
+        edge: EdgeKind,
+    },
+    /// `always @(*)` — combinational.
+    Comb,
+}
+
+/// An `always` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Process {
+    /// Sensitivity.
+    pub kind: ProcessKind,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+}
+
+/// A continuous assignment (`assign lv = rhs`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContAssign {
+    /// Target (must be a wire).
+    pub lv: LValue,
+    /// Source expression.
+    pub rhs: Expr,
+}
+
+/// A child-module instantiation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Instance name.
+    pub name: String,
+    /// Name of the instantiated module.
+    pub module: String,
+    /// Named port connections `.port(expr)`. Output-port connections must
+    /// be plain nets or constant slices (checked during elaboration).
+    pub conns: Vec<(String, Expr)>,
+    /// Parameter overrides `#(.NAME(value))`, applied before elaboration.
+    pub params: Vec<(String, u64)>,
+}
+
+/// A hardware module.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// All nets, indexed by [`NetId`].
+    pub nets: Vec<Net>,
+    /// All memories, indexed by [`MemId`].
+    pub memories: Vec<Memory>,
+    /// Continuous assignments.
+    pub assigns: Vec<ContAssign>,
+    /// Processes (`always` blocks).
+    pub processes: Vec<Process>,
+    /// Child instances (empty after elaboration).
+    pub instances: Vec<Instance>,
+    /// Declared parameters with default values (constant-folded).
+    pub params: Vec<(String, u64)>,
+    name_index: HashMap<String, NetId>,
+    mem_index: HashMap<String, MemId>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds a net and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::Duplicate`] if a net or memory of the same name
+    /// exists, and [`RtlError::WidthError`] for invalid widths.
+    pub fn add_net(
+        &mut self,
+        name: impl Into<String>,
+        width: u32,
+        kind: NetKind,
+        port: Option<PortDir>,
+    ) -> Result<NetId, RtlError> {
+        let name = name.into();
+        if width == 0 || width > crate::value::MAX_WIDTH {
+            return Err(RtlError::WidthError(format!("net '{name}' has invalid width {width}")));
+        }
+        if self.name_index.contains_key(&name) || self.mem_index.contains_key(&name) {
+            return Err(RtlError::Duplicate(format!("{}.{name}", self.name)));
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.name_index.insert(name.clone(), id);
+        self.nets.push(Net { name, width, kind, port });
+        Ok(id)
+    }
+
+    /// Adds a memory and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Module::add_net`], plus zero depth.
+    pub fn add_memory(
+        &mut self,
+        name: impl Into<String>,
+        width: u32,
+        depth: u32,
+    ) -> Result<MemId, RtlError> {
+        let name = name.into();
+        if width == 0 || width > crate::value::MAX_WIDTH {
+            return Err(RtlError::WidthError(format!("memory '{name}' has invalid width {width}")));
+        }
+        if depth == 0 {
+            return Err(RtlError::WidthError(format!("memory '{name}' has zero depth")));
+        }
+        if self.name_index.contains_key(&name) || self.mem_index.contains_key(&name) {
+            return Err(RtlError::Duplicate(format!("{}.{name}", self.name)));
+        }
+        let id = MemId(self.memories.len() as u32);
+        self.mem_index.insert(name.clone(), id);
+        self.memories.push(Memory { name, width, depth });
+        Ok(id)
+    }
+
+    /// Returns the net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is from another module.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Returns the memory with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is from another module.
+    pub fn memory(&self, id: MemId) -> &Memory {
+        &self.memories[id.0 as usize]
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Looks up a memory by name.
+    pub fn find_mem(&self, name: &str) -> Option<MemId> {
+        self.mem_index.get(name).copied()
+    }
+
+    /// Iterates over `(NetId, &Net)` pairs.
+    pub fn iter_nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Iterates over `(MemId, &Memory)` pairs.
+    pub fn iter_mems(&self) -> impl Iterator<Item = (MemId, &Memory)> {
+        self.memories.iter().enumerate().map(|(i, m)| (MemId(i as u32), m))
+    }
+
+    /// All ports in declaration order.
+    pub fn ports(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.iter_nets().filter(|(_, n)| n.port.is_some())
+    }
+
+    /// The set of nets assigned (as registers) in clocked processes,
+    /// in a deterministic order. These are the hardware flip-flops —
+    /// exactly the state the scan chain must cover.
+    pub fn clocked_regs(&self) -> Vec<NetId> {
+        let mut seen = vec![false; self.nets.len()];
+        let mut out = Vec::new();
+        for p in &self.processes {
+            if !matches!(p.kind, ProcessKind::Clocked { .. }) {
+                continue;
+            }
+            for s in &p.body {
+                s.for_each(&mut |s| {
+                    if let Stmt::Assign { lv, .. } = s {
+                        if let Some(n) = lv.target_net() {
+                            if !seen[n.0 as usize] {
+                                seen[n.0 as usize] = true;
+                                out.push(n);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        out
+    }
+
+    /// The set of memories written in clocked processes.
+    pub fn clocked_mems(&self) -> Vec<MemId> {
+        let mut seen = vec![false; self.memories.len()];
+        let mut out = Vec::new();
+        for p in &self.processes {
+            if !matches!(p.kind, ProcessKind::Clocked { .. }) {
+                continue;
+            }
+            for s in &p.body {
+                s.for_each(&mut |s| {
+                    if let Stmt::Assign { lv, .. } = s {
+                        if let Some(m) = lv.target_mem() {
+                            if !seen[m.0 as usize] {
+                                seen[m.0 as usize] = true;
+                                out.push(m);
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        out
+    }
+
+    /// Total architectural state bits (flip-flops plus memory bits).
+    /// This is the length of the scan chain the instrumentation inserts.
+    pub fn state_bits(&self) -> u64 {
+        let ff: u64 = self.clocked_regs().iter().map(|&n| self.net(n).width as u64).sum();
+        let mem: u64 = self.clocked_mems().iter().map(|&m| self.memory(m).state_bits()).sum();
+        ff + mem
+    }
+}
+
+/// A set of modules forming a design hierarchy.
+#[derive(Clone, Debug, Default)]
+pub struct Design {
+    modules: Vec<Module>,
+    index: HashMap<String, usize>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new() -> Self {
+        Design::default()
+    }
+
+    /// Adds a module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::Duplicate`] if a module of the same name exists.
+    pub fn add_module(&mut self, module: Module) -> Result<(), RtlError> {
+        if self.index.contains_key(&module.name) {
+            return Err(RtlError::Duplicate(module.name.clone()));
+        }
+        self.index.insert(module.name.clone(), self.modules.len());
+        self.modules.push(module);
+        Ok(())
+    }
+
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.index.get(name).map(|&i| &self.modules[i])
+    }
+
+    /// Iterates over all modules.
+    pub fn iter(&self) -> impl Iterator<Item = &Module> {
+        self.modules.iter()
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// True if the design has no modules.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Merges all modules from `other` into this design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::Duplicate`] on module-name collision.
+    pub fn merge(&mut self, other: Design) -> Result<(), RtlError> {
+        for m in other.modules {
+            self.add_module(m)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Module> for Design {
+    fn from_iter<T: IntoIterator<Item = Module>>(iter: T) -> Self {
+        let mut d = Design::new();
+        for m in iter {
+            d.add_module(m).expect("duplicate module name in FromIterator");
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn add_net_rejects_duplicates_and_bad_widths() {
+        let mut m = Module::new("m");
+        m.add_net("a", 8, NetKind::Wire, None).unwrap();
+        assert!(matches!(m.add_net("a", 8, NetKind::Wire, None), Err(RtlError::Duplicate(_))));
+        assert!(m.add_net("z", 0, NetKind::Wire, None).is_err());
+        assert!(m.add_net("w", 65, NetKind::Wire, None).is_err());
+    }
+
+    #[test]
+    fn memory_shares_namespace_with_nets() {
+        let mut m = Module::new("m");
+        m.add_net("x", 8, NetKind::Reg, None).unwrap();
+        assert!(m.add_memory("x", 8, 16).is_err());
+        m.add_memory("ram", 32, 64).unwrap();
+        assert!(m.add_net("ram", 1, NetKind::Wire, None).is_err());
+        assert_eq!(m.memory(m.find_mem("ram").unwrap()).state_bits(), 2048);
+    }
+
+    #[test]
+    fn clocked_regs_found_through_nested_statements() {
+        let mut m = Module::new("m");
+        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let q = m.add_net("q", 8, NetKind::Reg, None).unwrap();
+        let r = m.add_net("r", 4, NetKind::Reg, None).unwrap();
+        m.processes.push(Process {
+            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            body: vec![Stmt::If {
+                cond: Expr::constant(1, 1),
+                then_s: vec![Stmt::Assign {
+                    lv: LValue::Net(q),
+                    rhs: Expr::constant(0, 8),
+                    blocking: false,
+                }],
+                else_s: vec![Stmt::Assign {
+                    lv: LValue::Slice { base: r, hi: 3, lo: 0 },
+                    rhs: Expr::constant(5, 4),
+                    blocking: false,
+                }],
+            }],
+        });
+        let regs = m.clocked_regs();
+        assert_eq!(regs, vec![q, r]);
+        assert_eq!(m.state_bits(), 12);
+    }
+
+    #[test]
+    fn state_bits_include_memories() {
+        let mut m = Module::new("m");
+        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let ram = m.add_memory("ram", 8, 4).unwrap();
+        m.processes.push(Process {
+            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            body: vec![Stmt::Assign {
+                lv: LValue::Mem { mem: ram, addr: Expr::constant(0, 2) },
+                rhs: Expr::constant(0xaa, 8),
+                blocking: false,
+            }],
+        });
+        assert_eq!(m.state_bits(), 32);
+        assert_eq!(m.clocked_mems(), vec![ram]);
+    }
+
+    #[test]
+    fn design_rejects_duplicate_modules() {
+        let mut d = Design::new();
+        d.add_module(Module::new("top")).unwrap();
+        assert!(d.add_module(Module::new("top")).is_err());
+        assert!(d.module("top").is_some());
+        assert!(d.module("nope").is_none());
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Netlist statistics.
+//!
+//! Feeds Table II of the evaluation (peripheral corpus characteristics)
+//! and the scan-chain overhead experiment (E7): flip-flop counts, state
+//! bits (= scan-chain length) and a rough combinational-cell estimate.
+
+use crate::module::{Module, ProcessKind, Stmt};
+use std::fmt;
+
+/// Summary statistics of a (typically flat) module.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ModuleStats {
+    /// Module name.
+    pub name: String,
+    /// Total nets.
+    pub nets: usize,
+    /// Ports.
+    pub ports: usize,
+    /// Number of distinct flip-flop registers (clocked-process targets).
+    pub flops: usize,
+    /// Total flip-flop bits.
+    pub flop_bits: u64,
+    /// Number of memories.
+    pub memories: usize,
+    /// Total memory bits.
+    pub mem_bits: u64,
+    /// Total architectural state bits (`flop_bits + mem_bits`); this is
+    /// the scan-chain length after instrumentation.
+    pub state_bits: u64,
+    /// Rough synthesized combinational cell estimate (expression nodes).
+    pub comb_cells: usize,
+    /// Number of processes.
+    pub processes: usize,
+    /// Continuous assigns.
+    pub assigns: usize,
+}
+
+impl ModuleStats {
+    /// Computes statistics for `module`.
+    pub fn of(module: &Module) -> Self {
+        let regs = module.clocked_regs();
+        let flop_bits: u64 = regs.iter().map(|&n| module.net(n).width as u64).sum();
+        let mems = module.clocked_mems();
+        let mem_bits: u64 = mems.iter().map(|&m| module.memory(m).state_bits()).sum();
+        let mut comb_cells = 0usize;
+        for a in &module.assigns {
+            comb_cells += a.rhs.node_count();
+        }
+        for p in &module.processes {
+            for s in &p.body {
+                s.for_each(&mut |s| {
+                    if let Stmt::Assign { rhs, .. } = s {
+                        comb_cells += rhs.node_count();
+                    }
+                    if let Stmt::If { cond, .. } = s {
+                        comb_cells += cond.node_count();
+                    }
+                    if let Stmt::Case { sel, .. } = s {
+                        comb_cells += sel.node_count();
+                    }
+                });
+            }
+        }
+        ModuleStats {
+            name: module.name.clone(),
+            nets: module.nets.len(),
+            ports: module.ports().count(),
+            flops: regs.len(),
+            flop_bits,
+            memories: mems.len(),
+            mem_bits,
+            state_bits: flop_bits + mem_bits,
+            comb_cells,
+            processes: module.processes.len(),
+            assigns: module.assigns.len(),
+        }
+    }
+
+    /// Number of clocked processes in `module` (convenience for reports).
+    pub fn clocked_processes(module: &Module) -> usize {
+        module
+            .processes
+            .iter()
+            .filter(|p| matches!(p.kind, ProcessKind::Clocked { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for ModuleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nets, {} ports, {} flops ({} bits), {} memories ({} bits), \
+             {} state bits, ~{} comb cells",
+            self.name,
+            self.nets,
+            self.ports,
+            self.flops,
+            self.flop_bits,
+            self.memories,
+            self.mem_bits,
+            self.state_bits,
+            self.comb_cells
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::module::{EdgeKind, LValue, NetKind, PortDir, Process, ProcessKind};
+
+    #[test]
+    fn stats_count_flops_and_memories() {
+        let mut m = Module::new("m");
+        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let q = m.add_net("q", 16, NetKind::Reg, None).unwrap();
+        let ram = m.add_memory("ram", 8, 32).unwrap();
+        m.processes.push(Process {
+            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            body: vec![
+                Stmt::Assign { lv: LValue::Net(q), rhs: Expr::constant(1, 16), blocking: false },
+                Stmt::Assign {
+                    lv: LValue::Mem { mem: ram, addr: Expr::constant(0, 5) },
+                    rhs: Expr::constant(0, 8),
+                    blocking: false,
+                },
+            ],
+        });
+        let s = ModuleStats::of(&m);
+        assert_eq!(s.flops, 1);
+        assert_eq!(s.flop_bits, 16);
+        assert_eq!(s.memories, 1);
+        assert_eq!(s.mem_bits, 256);
+        assert_eq!(s.state_bits, 272);
+        assert_eq!(s.ports, 1);
+        assert_eq!(ModuleStats::clocked_processes(&m), 1);
+        assert!(s.to_string().contains("272 state bits"));
+    }
+}

@@ -1,0 +1,361 @@
+//! Two-state bit-vector values.
+//!
+//! Every net in the HardSnap RTL IR carries a [`Value`]: an unsigned
+//! bit-vector of width 1..=64. Four-state logic (`x`/`z`) is out of scope
+//! for this reproduction (see `DESIGN.md` §4); all corpus peripherals use
+//! explicit synchronous reset so that simulation never depends on
+//! uninitialized state.
+
+use std::fmt;
+
+/// Maximum supported bit width of a single net.
+pub const MAX_WIDTH: u32 = 64;
+
+/// An unsigned two-state bit-vector of width 1..=64.
+///
+/// The representation invariant is that all bits above `width` are zero;
+/// every constructor and operation re-normalizes, so `Value`s compare
+/// equal iff they have identical width and bits.
+///
+/// # Examples
+///
+/// ```
+/// use hardsnap_rtl::Value;
+/// let a = Value::new(0xff, 8);
+/// let b = Value::new(1, 8);
+/// assert_eq!(a.wrapping_add(b).bits(), 0); // 8-bit overflow wraps
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value {
+    bits: u64,
+    width: u32,
+}
+
+/// Returns the mask with the low `width` bits set.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or greater than [`MAX_WIDTH`].
+#[inline]
+pub fn mask(width: u32) -> u64 {
+    assert!(width >= 1 && width <= MAX_WIDTH, "invalid width {width}");
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl Value {
+    /// Creates a value, truncating `bits` to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than [`MAX_WIDTH`].
+    #[inline]
+    pub fn new(bits: u64, width: u32) -> Self {
+        Value { bits: bits & mask(width), width }
+    }
+
+    /// The all-zero value of the given width.
+    #[inline]
+    pub fn zero(width: u32) -> Self {
+        Value::new(0, width)
+    }
+
+    /// The all-ones value of the given width.
+    #[inline]
+    pub fn ones(width: u32) -> Self {
+        Value::new(u64::MAX, width)
+    }
+
+    /// A single-bit value from a boolean.
+    #[inline]
+    pub fn bit(b: bool) -> Self {
+        Value::new(b as u64, 1)
+    }
+
+    /// The raw bits (always normalized to the width).
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// True if any bit is set.
+    #[inline]
+    pub fn is_true(&self) -> bool {
+        self.bits != 0
+    }
+
+    /// Returns this value zero-extended or truncated to `width`.
+    #[inline]
+    pub fn resize(&self, width: u32) -> Self {
+        Value::new(self.bits, width)
+    }
+
+    /// Extracts bits `hi..=lo` (inclusive, `hi >= lo`) as a new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= self.width()`.
+    pub fn slice(&self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "slice hi {hi} < lo {lo}");
+        assert!(hi < self.width, "slice hi {hi} out of range for width {}", self.width);
+        Value::new(self.bits >> lo, hi - lo + 1)
+    }
+
+    /// Extracts the single bit at `index`; out-of-range reads return 0,
+    /// matching Verilog's out-of-bounds bit-select (which yields `x`,
+    /// collapsed to 0 in two-state simulation).
+    pub fn get_bit(&self, index: u64) -> Self {
+        if index >= self.width as u64 {
+            Value::bit(false)
+        } else {
+            Value::bit((self.bits >> index) & 1 == 1)
+        }
+    }
+
+    /// Replaces bits `hi..=lo` with `v` (truncated/extended to fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= self.width()`.
+    pub fn set_slice(&self, hi: u32, lo: u32, v: Value) -> Self {
+        assert!(hi >= lo && hi < self.width, "bad slice {hi}:{lo} for width {}", self.width);
+        let w = hi - lo + 1;
+        let m = mask(w) << lo;
+        Value {
+            bits: (self.bits & !m) | ((v.bits & mask(w)) << lo),
+            width: self.width,
+        }
+    }
+
+    /// Wrapping addition at this value's width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn wrapping_add(&self, rhs: Value) -> Self {
+        self.binop(rhs, u64::wrapping_add)
+    }
+
+    /// Wrapping subtraction at this value's width.
+    pub fn wrapping_sub(&self, rhs: Value) -> Self {
+        self.binop(rhs, u64::wrapping_sub)
+    }
+
+    /// Wrapping multiplication at this value's width.
+    pub fn wrapping_mul(&self, rhs: Value) -> Self {
+        self.binop(rhs, u64::wrapping_mul)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, rhs: Value) -> Self {
+        self.binop(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, rhs: Value) -> Self {
+        self.binop(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, rhs: Value) -> Self {
+        self.binop(rhs, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT at this value's width.
+    pub fn not(&self) -> Self {
+        Value::new(!self.bits, self.width)
+    }
+
+    /// Two's-complement negation at this value's width.
+    pub fn neg(&self) -> Self {
+        Value::new(self.bits.wrapping_neg(), self.width)
+    }
+
+    /// Logical shift left by `sh` bit positions (width preserved).
+    /// Shifts of `width` or more yield zero, as in Verilog.
+    pub fn shl(&self, sh: u64) -> Self {
+        if sh >= self.width as u64 {
+            Value::zero(self.width)
+        } else {
+            Value::new(self.bits << sh, self.width)
+        }
+    }
+
+    /// Logical shift right by `sh` bit positions.
+    pub fn shr(&self, sh: u64) -> Self {
+        if sh >= self.width as u64 {
+            Value::zero(self.width)
+        } else {
+            Value::new(self.bits >> sh, self.width)
+        }
+    }
+
+    /// Concatenates `self` (more significant) with `low` (less
+    /// significant), Verilog `{self, low}` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    pub fn concat(&self, low: Value) -> Self {
+        let w = self.width + low.width;
+        assert!(w <= MAX_WIDTH, "concat width {w} exceeds {MAX_WIDTH}");
+        Value { bits: (self.bits << low.width) | low.bits, width: w }
+    }
+
+    /// AND-reduction (`&v`): 1 iff all bits set.
+    pub fn reduce_and(&self) -> Self {
+        Value::bit(self.bits == mask(self.width))
+    }
+
+    /// OR-reduction (`|v`): 1 iff any bit set.
+    pub fn reduce_or(&self) -> Self {
+        Value::bit(self.bits != 0)
+    }
+
+    /// XOR-reduction (`^v`): parity.
+    pub fn reduce_xor(&self) -> Self {
+        Value::bit(self.bits.count_ones() % 2 == 1)
+    }
+
+    fn binop(&self, rhs: Value, f: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.width, rhs.width, "width mismatch {} vs {}", self.width, rhs.width);
+        Value::new(f(self.bits, rhs.bits), self.width)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.bits)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.bits)
+    }
+}
+
+impl fmt::LowerHex for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Binary for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_truncates_to_width() {
+        assert_eq!(Value::new(0x1ff, 8).bits(), 0xff);
+        assert_eq!(Value::new(u64::MAX, 64).bits(), u64::MAX);
+        assert_eq!(Value::new(5, 1).bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid width")]
+    fn zero_width_panics() {
+        Value::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid width")]
+    fn overwide_panics() {
+        Value::new(0, 65);
+    }
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xff);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_width() {
+        let a = Value::new(0xff, 8);
+        assert_eq!(a.wrapping_add(Value::new(2, 8)), Value::new(1, 8));
+        assert_eq!(Value::zero(8).wrapping_sub(Value::new(1, 8)), Value::new(0xff, 8));
+        assert_eq!(Value::new(16, 8).wrapping_mul(Value::new(16, 8)), Value::zero(8));
+    }
+
+    #[test]
+    fn slice_and_set_slice() {
+        let v = Value::new(0xabcd, 16);
+        assert_eq!(v.slice(15, 8), Value::new(0xab, 8));
+        assert_eq!(v.slice(7, 0), Value::new(0xcd, 8));
+        assert_eq!(v.slice(3, 3), Value::bit(true));
+        let w = v.set_slice(15, 8, Value::new(0x12, 8));
+        assert_eq!(w, Value::new(0x12cd, 16));
+    }
+
+    #[test]
+    fn bit_select_out_of_range_is_zero() {
+        let v = Value::ones(8);
+        assert_eq!(v.get_bit(7), Value::bit(true));
+        assert_eq!(v.get_bit(8), Value::bit(false));
+        assert_eq!(v.get_bit(1000), Value::bit(false));
+    }
+
+    #[test]
+    fn shifts_saturate_to_zero() {
+        let v = Value::new(0b1010, 4);
+        assert_eq!(v.shl(1), Value::new(0b0100, 4));
+        assert_eq!(v.shr(1), Value::new(0b0101, 4));
+        assert_eq!(v.shl(4), Value::zero(4));
+        assert_eq!(v.shr(64), Value::zero(4));
+    }
+
+    #[test]
+    fn concat_order_matches_verilog() {
+        let hi = Value::new(0xa, 4);
+        let lo = Value::new(0x5, 4);
+        assert_eq!(hi.concat(lo), Value::new(0xa5, 8));
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Value::ones(8).reduce_and(), Value::bit(true));
+        assert_eq!(Value::new(0xfe, 8).reduce_and(), Value::bit(false));
+        assert_eq!(Value::zero(8).reduce_or(), Value::bit(false));
+        assert_eq!(Value::new(0x10, 8).reduce_or(), Value::bit(true));
+        assert_eq!(Value::new(0b0111, 4).reduce_xor(), Value::bit(true));
+        assert_eq!(Value::new(0b0110, 4).reduce_xor(), Value::bit(false));
+    }
+
+    #[test]
+    fn not_and_neg_mask() {
+        assert_eq!(Value::zero(4).not(), Value::new(0xf, 4));
+        assert_eq!(Value::new(1, 4).neg(), Value::new(0xf, 4));
+        assert_eq!(Value::zero(64).not(), Value::ones(64));
+    }
+
+    #[test]
+    fn resize_zero_extends_and_truncates() {
+        let v = Value::new(0xff, 8);
+        assert_eq!(v.resize(16), Value::new(0xff, 16));
+        assert_eq!(v.resize(4), Value::new(0xf, 4));
+    }
+}

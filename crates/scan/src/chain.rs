@@ -1,0 +1,207 @@
+//! Scan-chain layout and bitstream encoding.
+//!
+//! The instrumentation pass threads every flip-flop into one shift
+//! register. The [`ChainMap`] records the resulting cell order so the
+//! snapshot controller can convert between named register values (the
+//! canonical `hardsnap_bus::HwSnapshot` form) and the serial bitstream
+//! that actually travels through `scan_in`/`scan_out`.
+//!
+//! ## Cell order
+//!
+//! `scan_in` feeds the MSB of the first register; each register shifts
+//! toward its LSB; a register's LSB feeds the next register's MSB; the
+//! last register's LSB drives `scan_out`. Cell index 0 is therefore the
+//! first register's MSB and cell `N-1` the last register's LSB.
+//!
+//! A bit fed on `scan_in` at shift cycle `t` comes to rest in cell
+//! `N-1-t`; the bit observed on `scan_out` at cycle `t` is the original
+//! content of cell `N-1-t`. Both streams are the reversed cell listing,
+//! which [`ChainMap::encode`] / [`ChainMap::decode`] implement.
+
+use crate::ScanError;
+
+/// One register's segment of the scan chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainSegment {
+    /// Hierarchical register name.
+    pub name: String,
+    /// Register width in bits.
+    pub width: u32,
+    /// Cell index of this register's MSB (cells count from `scan_in`).
+    pub msb_cell: u64,
+}
+
+/// One memory behind the generated access collar (memories are not
+/// shifted bit-serially; the controller drains them word-by-word through
+/// the collar, like a production DFT memory collar).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemCollar {
+    /// Hierarchical memory name.
+    pub name: String,
+    /// Word width in bits.
+    pub width: u32,
+    /// Number of words.
+    pub depth: u32,
+    /// Value of the `scan_mem_sel` selector for this memory.
+    pub sel: u32,
+}
+
+/// The complete layout of an instrumented design's snapshot access paths.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ChainMap {
+    /// Register segments in chain order.
+    pub segments: Vec<ChainSegment>,
+    /// Memory collars in selector order.
+    pub mems: Vec<MemCollar>,
+}
+
+impl ChainMap {
+    /// Total number of scan cells (= shift cycles per save/restore pass).
+    pub fn chain_bits(&self) -> u64 {
+        self.segments.iter().map(|s| s.width as u64).sum()
+    }
+
+    /// Total memory words behind collars (= collar cycles per pass).
+    pub fn mem_words(&self) -> u64 {
+        self.mems.iter().map(|m| m.depth as u64).sum()
+    }
+
+    /// Encodes register values (in segment order) into the serial
+    /// bitstream to feed `scan_in`, one bit per shift cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::ShapeMismatch`] if `values` does not have one
+    /// entry per segment.
+    pub fn encode(&self, values: &[u64]) -> Result<Vec<bool>, ScanError> {
+        if values.len() != self.segments.len() {
+            return Err(ScanError::ShapeMismatch(format!(
+                "{} values for {} chain segments",
+                values.len(),
+                self.segments.len()
+            )));
+        }
+        // Cell listing: for each segment, MSB..=LSB.
+        let mut cells = Vec::with_capacity(self.chain_bits() as usize);
+        for (seg, &v) in self.segments.iter().zip(values) {
+            for bit in (0..seg.width).rev() {
+                cells.push((v >> bit) & 1 == 1);
+            }
+        }
+        cells.reverse(); // feed order = reversed cell order
+        Ok(cells)
+    }
+
+    /// Decodes the serial stream observed on `scan_out` (one bit per
+    /// shift cycle) back into register values in segment order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::ShapeMismatch`] on a wrong-length stream.
+    pub fn decode(&self, stream: &[bool]) -> Result<Vec<u64>, ScanError> {
+        if stream.len() as u64 != self.chain_bits() {
+            return Err(ScanError::ShapeMismatch(format!(
+                "stream of {} bits for a {}-bit chain",
+                stream.len(),
+                self.chain_bits()
+            )));
+        }
+        let mut cells: Vec<bool> = stream.to_vec();
+        cells.reverse();
+        let mut out = Vec::with_capacity(self.segments.len());
+        let mut idx = 0usize;
+        for seg in &self.segments {
+            let mut v = 0u64;
+            for bit in (0..seg.width).rev() {
+                if cells[idx] {
+                    v |= 1 << bit;
+                }
+                idx += 1;
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Finds a segment by register name.
+    pub fn segment(&self, name: &str) -> Option<&ChainSegment> {
+        self.segments.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ChainMap {
+        ChainMap {
+            segments: vec![
+                ChainSegment { name: "a".into(), width: 4, msb_cell: 0 },
+                ChainSegment { name: "b".into(), width: 1, msb_cell: 4 },
+                ChainSegment { name: "c".into(), width: 8, msb_cell: 5 },
+            ],
+            mems: vec![MemCollar { name: "ram".into(), width: 8, depth: 16, sel: 0 }],
+        }
+    }
+
+    #[test]
+    fn sizes() {
+        let m = map();
+        assert_eq!(m.chain_bits(), 13);
+        assert_eq!(m.mem_words(), 16);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = map();
+        let values = vec![0xa, 0x1, 0x5c];
+        let stream = m.encode(&values).unwrap();
+        assert_eq!(stream.len(), 13);
+        assert_eq!(m.decode(&stream).unwrap(), values);
+    }
+
+    #[test]
+    fn stream_order_matches_shift_mechanics() {
+        // Single 2-bit register with value 0b10: cells = [msb=1, lsb=0];
+        // feed order reversed = [lsb, msb] = [false, true].
+        let m = ChainMap {
+            segments: vec![ChainSegment { name: "r".into(), width: 2, msb_cell: 0 }],
+            mems: vec![],
+        };
+        let stream = m.encode(&[0b10]).unwrap();
+        assert_eq!(stream, vec![false, true]);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let m = map();
+        assert!(m.encode(&[1, 2]).is_err());
+        assert!(m.decode(&[true; 12]).is_err());
+    }
+
+    #[test]
+    fn values_wider_than_segment_are_masked_by_decode_roundtrip() {
+        let m = ChainMap {
+            segments: vec![ChainSegment { name: "r".into(), width: 3, msb_cell: 0 }],
+            mems: vec![],
+        };
+        // encode only looks at the low `width` bits.
+        let stream = m.encode(&[0xff]).unwrap();
+        assert_eq!(m.decode(&stream).unwrap(), vec![0b111]);
+    }
+
+    #[test]
+    fn segment_lookup() {
+        let m = map();
+        assert_eq!(m.segment("c").unwrap().width, 8);
+        assert!(m.segment("zz").is_none());
+    }
+
+    #[test]
+    fn empty_chain() {
+        let m = ChainMap::default();
+        assert_eq!(m.chain_bits(), 0);
+        assert_eq!(m.encode(&[]).unwrap(), Vec::<bool>::new());
+        assert_eq!(m.decode(&[]).unwrap(), Vec::<u64>::new());
+    }
+}

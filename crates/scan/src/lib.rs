@@ -1,0 +1,92 @@
+//! # hardsnap-scan
+//!
+//! Scan-chain instrumentation toolchain and snapshot access-path model —
+//! the reproduction of HardSnap's hardware-snapshotting instrumentation
+//! (paper §III-A and §IV-A, Fig. 3 path B).
+//!
+//! The [`instrument`] pass rewrites RTL so that every flip-flop becomes
+//! part of a serial shift register (`scan_enable`/`scan_in`/`scan_out`)
+//! and every memory gets a word-access collar. The [`ChainMap`] records
+//! the layout so the snapshot controller (in `hardsnap-fpga`) can convert
+//! between serial bitstreams and named register values. The instrumented
+//! module remains valid RTL: it can be printed back to Verilog with
+//! `hardsnap-verilog` (for a real FPGA flow) or simulated directly.
+//!
+//! ## Example
+//!
+//! ```
+//! use hardsnap_scan::{instrument, ScanOptions};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = hardsnap_verilog::parse_design(r#"
+//!     module c (input wire clk, output reg [3:0] q);
+//!         always @(posedge clk) q <= q + 4'd1;
+//!     endmodule
+//! "#)?;
+//! let flat = hardsnap_rtl::elaborate(&design, "c")?;
+//! let (instrumented, chain) = instrument(&flat, &ScanOptions::default())?;
+//! assert_eq!(chain.chain_bits(), 4);
+//! assert!(instrumented.find_net("scan_enable").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod pass;
+
+pub use chain::{ChainMap, ChainSegment, MemCollar};
+pub use pass::{instrument, ports, validate_instrumented, ScanOptions};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the instrumentation pass and bitstream codecs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanError {
+    /// No register matched the requested scope.
+    NothingToInstrument(String),
+    /// Bitstream or value-vector length does not match the chain layout.
+    ShapeMismatch(String),
+    /// An underlying RTL operation failed (usually a `scan_*` name
+    /// collision).
+    Rtl(hardsnap_rtl::RtlError),
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::NothingToInstrument(scope) => {
+                write!(f, "no clocked registers to instrument in scope '{scope}'")
+            }
+            ScanError::ShapeMismatch(m) => write!(f, "chain shape mismatch: {m}"),
+            ScanError::Rtl(e) => write!(f, "rtl error during instrumentation: {e}"),
+        }
+    }
+}
+
+impl Error for ScanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScanError::Rtl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hardsnap_rtl::RtlError> for ScanError {
+    fn from(e: hardsnap_rtl::RtlError) -> Self {
+        ScanError::Rtl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(ScanError::NothingToInstrument("x.".into()).to_string().contains("x."));
+        assert!(ScanError::ShapeMismatch("10 vs 12".into()).to_string().contains("10 vs 12"));
+    }
+}

@@ -1,0 +1,938 @@
+//! Cycle-accurate interpreter for flat RTL modules.
+//!
+//! Semantics match the synthesizable-Verilog expectations the corpus is
+//! written against:
+//!
+//! * Combinational logic (continuous assigns and `always @(*)` bodies) is
+//!   **levelized**: nodes are topologically sorted by net dependencies
+//!   once at build time and re-evaluated in that order whenever state
+//!   changes. Combinational cycles are rejected at construction.
+//! * A clock [`Simulator::step`] evaluates all `posedge` processes
+//!   against pre-edge state with correct **non-blocking** semantics (all
+//!   RHS sampled before any commit), then commits, then re-settles the
+//!   combinational fabric.
+//! * Full visibility: any net or memory word can be peeked or poked by
+//!   hierarchical name at any time — the property (paper §III-A) that
+//!   makes simulator-side hardware snapshots trivial and exact.
+
+use crate::SimError;
+use std::sync::Arc;
+use hardsnap_rtl::{
+    check_module, eval_binary, eval_unary, CaseArm, Expr, LValue, MemId, Module, NetId,
+    ProcessKind, Stmt, Value,
+};
+
+/// One combinational evaluation unit: a continuous assign or an
+/// `always @(*)` process.
+#[derive(Clone, Debug)]
+enum CombNode {
+    Assign(usize),
+    Process(usize),
+}
+
+/// A cycle-accurate simulator for one flat module.
+///
+/// # Examples
+///
+/// ```
+/// use hardsnap_sim::Simulator;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = hardsnap_verilog::parse_design(r#"
+///     module counter (input wire clk, input wire rst, output reg [7:0] q);
+///         always @(posedge clk) begin
+///             if (rst) q <= 8'd0; else q <= q + 8'd1;
+///         end
+///     endmodule
+/// "#)?;
+/// let flat = hardsnap_rtl::elaborate(&design, "counter")?;
+/// let mut sim = Simulator::new(flat)?;
+/// sim.poke("rst", 1)?;
+/// sim.step(1);
+/// sim.poke("rst", 0)?;
+/// sim.step(5);
+/// assert_eq!(sim.peek("q")?.bits(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator {
+    module: Arc<Module>,
+    // (Debug is implemented manually below: dumping every net value
+    // would be unusable for large designs.)
+    /// Current value of every net (index = NetId).
+    nets: Vec<Value>,
+    /// Current contents of every memory (index = MemId).
+    mems: Vec<Vec<u64>>,
+    /// Combinational nodes in evaluation order.
+    comb_order: Vec<CombNode>,
+    /// Indices of clocked processes.
+    clocked: Vec<usize>,
+    /// Pending non-blocking register writes: (net, mask, bits).
+    nba_nets: Vec<(NetId, u64, u64)>,
+    /// Pending non-blocking memory writes: (mem, addr, value).
+    nba_mems: Vec<(MemId, u64, u64)>,
+    cycle: u64,
+    comb_dirty: bool,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("module", &self.module.name)
+            .field("cycle", &self.cycle)
+            .field("nets", &self.nets.len())
+            .field("memories", &self.mems.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator for `module`, which must be flat (no
+    /// instances).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Rtl`] — the module fails [`check_module`] or still
+    ///   contains instances.
+    /// * [`SimError::CombLoop`] — the combinational fabric has a cycle.
+    /// * [`SimError::Unsupported`] — `negedge` processes (the corpus is
+    ///   single-edge) or other out-of-scope constructs.
+    pub fn new(module: Module) -> Result<Self, SimError> {
+        if !module.instances.is_empty() {
+            return Err(SimError::Rtl(hardsnap_rtl::RtlError::Elab(format!(
+                "module '{}' still has instances; run elaborate() first",
+                module.name
+            ))));
+        }
+        check_module(&module).map_err(SimError::Rtl)?;
+        for p in &module.processes {
+            if let ProcessKind::Clocked { edge: hardsnap_rtl::EdgeKind::Neg, .. } = p.kind {
+                return Err(SimError::Unsupported(
+                    "negedge processes are not supported (single-edge corpus)".into(),
+                ));
+            }
+        }
+
+        let comb_order = levelize(&module)?;
+        let clocked = module
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.kind, ProcessKind::Clocked { .. }))
+            .map(|(i, _)| i)
+            .collect();
+
+        let nets = module.nets.iter().map(|n| Value::zero(n.width)).collect();
+        let mems = module.memories.iter().map(|m| vec![0u64; m.depth as usize]).collect();
+        let mut sim = Simulator {
+            module: Arc::new(module),
+            nets,
+            mems,
+            comb_order,
+            clocked,
+            nba_nets: Vec::new(),
+            nba_mems: Vec::new(),
+            cycle: 0,
+            comb_dirty: true,
+        };
+        sim.settle();
+        Ok(sim)
+    }
+
+    /// The simulated module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Elapsed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Reads a net's current value by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] if no net has that name.
+    pub fn peek(&mut self, name: &str) -> Result<Value, SimError> {
+        let id = self.net_id(name)?;
+        self.settle();
+        Ok(self.nets[id.0 as usize])
+    }
+
+    /// Reads a net by id (no settle; internal fast path for drivers that
+    /// just stepped).
+    pub fn peek_id(&self, id: NetId) -> Value {
+        self.nets[id.0 as usize]
+    }
+
+    /// Forces a net to a value. Intended for input ports (stimulus) and
+    /// for snapshot restore of registers; poking a derived combinational
+    /// net is allowed but will be overwritten at the next settle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] for unknown names.
+    pub fn poke(&mut self, name: &str, value: u64) -> Result<(), SimError> {
+        let id = self.net_id(name)?;
+        let w = self.module.net(id).width;
+        self.nets[id.0 as usize] = Value::new(value, w);
+        self.comb_dirty = true;
+        Ok(())
+    }
+
+    /// Reads one memory word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNet`] for unknown memories and
+    /// [`SimError::OutOfRange`] for bad addresses.
+    pub fn peek_mem(&self, name: &str, addr: u32) -> Result<u64, SimError> {
+        let id = self
+            .module
+            .find_mem(name)
+            .ok_or_else(|| SimError::UnknownNet(name.to_string()))?;
+        let mem = &self.mems[id.0 as usize];
+        mem.get(addr as usize)
+            .copied()
+            .ok_or_else(|| SimError::OutOfRange { name: name.to_string(), index: addr })
+    }
+
+    /// Writes one memory word.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::peek_mem`].
+    pub fn poke_mem(&mut self, name: &str, addr: u32, value: u64) -> Result<(), SimError> {
+        let id = self
+            .module
+            .find_mem(name)
+            .ok_or_else(|| SimError::UnknownNet(name.to_string()))?;
+        let width = self.module.memory(id).width;
+        let mem = &mut self.mems[id.0 as usize];
+        let slot = mem
+            .get_mut(addr as usize)
+            .ok_or_else(|| SimError::OutOfRange { name: name.to_string(), index: addr })?;
+        *slot = value & hardsnap_rtl::mask(width);
+        self.comb_dirty = true;
+        Ok(())
+    }
+
+    /// Returns all net values and memory contents to the power-on state
+    /// (all zeros). Note this is *stronger* than asserting the reset net:
+    /// synchronous reset logic only initializes registers, while a power
+    /// cycle also clears SRAM contents.
+    pub fn clear_state(&mut self) {
+        for (i, net) in self.module.nets.iter().enumerate() {
+            self.nets[i] = Value::zero(net.width);
+        }
+        for mem in &mut self.mems {
+            mem.iter_mut().for_each(|w| *w = 0);
+        }
+        self.comb_dirty = true;
+    }
+
+    /// Advances the clock by `cycles` posedges.
+    pub fn step(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.settle();
+            self.clock_edge();
+            self.comb_dirty = true;
+            self.settle();
+            self.cycle += 1;
+        }
+    }
+
+    /// Direct access to all net values in id order (used by the VCD
+    /// writer and the snapshot path).
+    pub fn net_values(&mut self) -> &[Value] {
+        self.settle();
+        &self.nets
+    }
+
+    /// Direct access to one memory's words by id.
+    pub fn mem_words(&self, id: MemId) -> &[u64] {
+        &self.mems[id.0 as usize]
+    }
+
+    fn net_id(&self, name: &str) -> Result<NetId, SimError> {
+        self.module.find_net(name).ok_or_else(|| SimError::UnknownNet(name.to_string()))
+    }
+
+    // ------------------------------------------------------------- internals
+
+    /// Re-evaluates the combinational fabric in levelized order.
+    fn settle(&mut self) {
+        if !self.comb_dirty {
+            return;
+        }
+        self.comb_dirty = false;
+        let module = Arc::clone(&self.module);
+        for node in &self.comb_order {
+            match *node {
+                CombNode::Assign(ai) => {
+                    let a = &module.assigns[ai];
+                    let v = eval_expr(&module, &self.nets, &self.mems, &a.rhs);
+                    write_net_lvalue(&module, &mut self.nets, &mut self.mems, &a.lv, v);
+                }
+                CombNode::Process(pi) => {
+                    for s in &module.processes[pi].body {
+                        exec_comb_stmt(&module, &mut self.nets, &mut self.mems, s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one clock edge with NBA semantics.
+    fn clock_edge(&mut self) {
+        debug_assert!(self.nba_nets.is_empty() && self.nba_mems.is_empty());
+        let module = Arc::clone(&self.module);
+        let clocked = std::mem::take(&mut self.clocked);
+        for &pi in &clocked {
+            for s in &module.processes[pi].body {
+                self.exec_clocked_stmt(&module, s);
+            }
+        }
+        self.clocked = clocked;
+        // Commit NBA writes in program order.
+        let writes = std::mem::take(&mut self.nba_nets);
+        for (net, mask, bits) in writes {
+            let cur = self.nets[net.0 as usize];
+            self.nets[net.0 as usize] =
+                Value::new((cur.bits() & !mask) | (bits & mask), cur.width());
+        }
+        let mem_writes = std::mem::take(&mut self.nba_mems);
+        for (mem, addr, value) in mem_writes {
+            let width = self.module.memory(mem).width;
+            if let Some(slot) = self.mems[mem.0 as usize].get_mut(addr as usize) {
+                *slot = value & hardsnap_rtl::mask(width);
+            }
+        }
+    }
+
+    fn exec_clocked_stmt(&mut self, module: &Module, s: &Stmt) {
+        match s {
+            Stmt::Assign { lv, rhs, blocking } => {
+                let v = eval_expr(module, &self.nets, &self.mems, rhs);
+                if *blocking {
+                    write_net_lvalue(module, &mut self.nets, &mut self.mems, lv, v);
+                } else {
+                    self.schedule_nba(module, lv, v);
+                }
+            }
+            Stmt::If { cond, then_s, else_s } => {
+                let c = eval_expr(module, &self.nets, &self.mems, cond);
+                let branch = if c.is_true() { then_s } else { else_s };
+                for s in branch {
+                    self.exec_clocked_stmt(module, s);
+                }
+            }
+            Stmt::Case { sel, arms, default } => {
+                let sv = eval_expr(module, &self.nets, &self.mems, sel);
+                let body = select_case_arm(sv, arms, default);
+                for s in body {
+                    self.exec_clocked_stmt(module, s);
+                }
+            }
+        }
+    }
+
+    /// Schedules a non-blocking write (sampled now, committed at edge
+    /// end).
+    fn schedule_nba(&mut self, module: &Module, lv: &LValue, v: Value) {
+        match lv {
+            LValue::Net(n) => {
+                let w = module.net(*n).width;
+                self.nba_nets.push((*n, hardsnap_rtl::mask(w), v.resize(w).bits()));
+            }
+            LValue::Slice { base, hi, lo } => {
+                let m = hardsnap_rtl::mask(hi - lo + 1) << lo;
+                self.nba_nets.push((*base, m, (v.resize(hi - lo + 1).bits()) << lo));
+            }
+            LValue::Index { base, index } => {
+                let i = eval_expr(module, &self.nets, &self.mems, index).bits();
+                let w = module.net(*base).width;
+                if i < w as u64 {
+                    self.nba_nets.push((*base, 1 << i, (v.bits() & 1) << i));
+                }
+            }
+            LValue::Mem { mem, addr } => {
+                let a = eval_expr(module, &self.nets, &self.mems, addr).bits();
+                self.nba_mems.push((*mem, a, v.bits()));
+            }
+        }
+    }
+}
+
+fn exec_comb_stmt(module: &Module, nets: &mut [Value], mems: &mut [Vec<u64>], s: &Stmt) {
+    match s {
+        Stmt::Assign { lv, rhs, .. } => {
+            // In a comb process all assignments behave as blocking.
+            let v = eval_expr(module, nets, mems, rhs);
+            write_net_lvalue(module, nets, mems, lv, v);
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            let c = eval_expr(module, nets, mems, cond);
+            let branch = if c.is_true() { then_s } else { else_s };
+            for s in branch {
+                exec_comb_stmt(module, nets, mems, s);
+            }
+        }
+        Stmt::Case { sel, arms, default } => {
+            let sv = eval_expr(module, nets, mems, sel);
+            let body = select_case_arm(sv, arms, default);
+            for s in body {
+                exec_comb_stmt(module, nets, mems, s);
+            }
+        }
+    }
+}
+
+/// Immediate (blocking / continuous) write.
+fn write_net_lvalue(
+    module: &Module,
+    nets: &mut [Value],
+    mems: &mut [Vec<u64>],
+    lv: &LValue,
+    v: Value,
+) {
+    match lv {
+        LValue::Net(n) => {
+            let w = module.net(*n).width;
+            nets[n.0 as usize] = v.resize(w);
+        }
+        LValue::Slice { base, hi, lo } => {
+            let cur = nets[base.0 as usize];
+            nets[base.0 as usize] = cur.set_slice(*hi, *lo, v.resize(hi - lo + 1));
+        }
+        LValue::Index { base, index } => {
+            let i = eval_expr(module, nets, mems, index).bits();
+            let cur = nets[base.0 as usize];
+            if i < cur.width() as u64 {
+                nets[base.0 as usize] = cur.set_slice(i as u32, i as u32, v.resize(1));
+            }
+        }
+        LValue::Mem { mem, addr } => {
+            let a = eval_expr(module, nets, mems, addr).bits();
+            let width = module.memory(*mem).width;
+            if let Some(slot) = mems[mem.0 as usize].get_mut(a as usize) {
+                *slot = v.bits() & hardsnap_rtl::mask(width);
+            }
+        }
+    }
+}
+
+/// Selects the matching case arm (or the default) for a selector value.
+fn select_case_arm<'a>(
+    sel: Value,
+    arms: &'a [CaseArm],
+    default: &'a [Stmt],
+) -> &'a [Stmt] {
+    for arm in arms {
+        if arm.labels.iter().any(|l| l.bits() == sel.bits()) {
+            return &arm.body;
+        }
+    }
+    default
+}
+
+/// Pure expression evaluation against a net/memory state.
+pub(crate) fn eval_expr(
+    module: &Module,
+    nets: &[Value],
+    mems: &[Vec<u64>],
+    e: &Expr,
+) -> Value {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::Net(n) => nets[n.0 as usize],
+        Expr::Slice { base, hi, lo } => nets[base.0 as usize].slice(*hi, *lo),
+        Expr::Index { base, index } => {
+            let i = eval_expr(module, nets, mems, index).bits();
+            nets[base.0 as usize].get_bit(i)
+        }
+        Expr::Unary { op, arg } => eval_unary(*op, eval_expr(module, nets, mems, arg)),
+        Expr::Binary { op, lhs, rhs } => eval_binary(
+            *op,
+            eval_expr(module, nets, mems, lhs),
+            eval_expr(module, nets, mems, rhs),
+        ),
+        Expr::Cond { cond, then_e, else_e } => {
+            // Width unification mirrors Expr::width (max of arms).
+            let t = eval_expr(module, nets, mems, then_e);
+            let f = eval_expr(module, nets, mems, else_e);
+            let w = t.width().max(f.width());
+            if eval_expr(module, nets, mems, cond).is_true() {
+                t.resize(w)
+            } else {
+                f.resize(w)
+            }
+        }
+        Expr::Concat(parts) => {
+            let mut acc: Option<Value> = None;
+            for p in parts {
+                let v = eval_expr(module, nets, mems, p);
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => a.concat(v),
+                });
+            }
+            acc.expect("empty concat rejected at check time")
+        }
+        Expr::Repeat { count, arg } => {
+            let v = eval_expr(module, nets, mems, arg);
+            let mut acc = v;
+            for _ in 1..*count {
+                acc = acc.concat(v);
+            }
+            acc
+        }
+        Expr::MemRead { mem, addr } => {
+            let a = eval_expr(module, nets, mems, addr).bits();
+            let width = module.memory(*mem).width;
+            let word = mems[mem.0 as usize].get(a as usize).copied().unwrap_or(0);
+            Value::new(word, width)
+        }
+    }
+}
+
+/// Builds the levelized combinational evaluation order (Kahn's
+/// algorithm over net dependencies).
+fn levelize(module: &Module) -> Result<Vec<CombNode>, SimError> {
+    // Collect nodes.
+    let mut nodes: Vec<CombNode> = Vec::new();
+    for (i, _) in module.assigns.iter().enumerate() {
+        nodes.push(CombNode::Assign(i));
+    }
+    for (i, p) in module.processes.iter().enumerate() {
+        if matches!(p.kind, ProcessKind::Comb) {
+            nodes.push(CombNode::Process(i));
+        }
+    }
+
+    // net -> list of comb nodes driving it.
+    let mut drivers: Vec<Vec<usize>> = vec![Vec::new(); module.nets.len()];
+    for (ni, node) in nodes.iter().enumerate() {
+        for target in node_targets(module, node) {
+            drivers[target.0 as usize].push(ni);
+        }
+    }
+
+    // Edges: node A -> node B when B reads a net driven by A.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut out_deg: Vec<usize> = vec![0; nodes.len()];
+    for (ni, node) in nodes.iter().enumerate() {
+        let mut reads = Vec::new();
+        node_reads(module, node, &mut reads);
+        for r in reads {
+            for &d in &drivers[r.0 as usize] {
+                preds[ni].push(d);
+            }
+        }
+        preds[ni].sort_unstable();
+        preds[ni].dedup();
+        // A node driving a net it also reads is a combinational loop,
+        // except the benign read-modify-write of partial lvalues, which
+        // we permit by not counting a node as its own predecessor when
+        // the only overlap comes from a partial write to the same net.
+        preds[ni].retain(|&p| p != ni || node_reads_own_full_target(module, node));
+    }
+    for p in preds.iter() {
+        for &d in p {
+            out_deg[d] += 1;
+        }
+    }
+
+    // Kahn: repeatedly emit nodes with no unresolved predecessors.
+    let mut unresolved: Vec<usize> = preds.iter().map(|p| p.len()).collect();
+    let mut ready: Vec<usize> =
+        (0..nodes.len()).filter(|&i| unresolved[i] == 0).collect();
+    // succ map
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (ni, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succs[p].push(ni);
+        }
+    }
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(n) = ready.pop() {
+        order.push(n);
+        for &s in &succs[n] {
+            unresolved[s] -= 1;
+            if unresolved[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if order.len() != nodes.len() {
+        let stuck: Vec<String> = (0..nodes.len())
+            .filter(|&i| unresolved[i] > 0)
+            .flat_map(|i| {
+                node_targets(module, &nodes[i])
+                    .into_iter()
+                    .map(|n| module.net(n).name.clone())
+            })
+            .collect();
+        return Err(SimError::CombLoop(stuck));
+    }
+    // `order` is emitted in reverse-ready order; restore determinism by
+    // sorting stable over the topological levels: re-run to compute
+    // levels is overkill — Kahn order is already a valid topo order.
+    Ok(order.into_iter().map(|i| nodes[i].clone()).collect())
+}
+
+/// True when a comb node reads the *same whole net* it fully drives —
+/// a genuine feedback loop (as opposed to partial-lvalue RMW).
+fn node_reads_own_full_target(module: &Module, node: &CombNode) -> bool {
+    let targets = node_targets(module, node);
+    let full_targets: Vec<NetId> = match node {
+        CombNode::Assign(ai) => match &module.assigns[*ai].lv {
+            LValue::Net(n) => vec![*n],
+            _ => vec![],
+        },
+        CombNode::Process(_) => targets, // comb processes: any self-read is a loop
+    };
+    let mut reads = Vec::new();
+    node_reads(module, node, &mut reads);
+    full_targets.iter().any(|t| reads.contains(t))
+}
+
+/// Nets written by a comb node.
+fn node_targets(module: &Module, node: &CombNode) -> Vec<NetId> {
+    match node {
+        CombNode::Assign(ai) => {
+            module.assigns[*ai].lv.target_net().into_iter().collect()
+        }
+        CombNode::Process(pi) => {
+            let mut out = Vec::new();
+            for s in &module.processes[*pi].body {
+                s.for_each(&mut |s| {
+                    if let Stmt::Assign { lv, .. } = s {
+                        if let Some(n) = lv.target_net() {
+                            if !out.contains(&n) {
+                                out.push(n);
+                            }
+                        }
+                    }
+                });
+            }
+            out
+        }
+    }
+}
+
+/// Nets read by a comb node (RHS, conditions, selectors, indices).
+fn node_reads(module: &Module, node: &CombNode, out: &mut Vec<NetId>) {
+    let mut push = |n: NetId| {
+        if !out.contains(&n) {
+            out.push(n);
+        }
+    };
+    match node {
+        CombNode::Assign(ai) => {
+            let a = &module.assigns[*ai];
+            a.rhs.for_each_net(&mut push);
+            if let LValue::Index { index, .. } = &a.lv {
+                index.for_each_net(&mut push);
+            }
+            if let LValue::Mem { addr, .. } = &a.lv {
+                addr.for_each_net(&mut push);
+            }
+        }
+        CombNode::Process(pi) => {
+            // Conservative: everything read anywhere in the body,
+            // including targets of other branches' RMW via partial
+            // writes — handled by treating partial comb targets as reads
+            // only when they appear on a RHS.
+            for s in &module.processes[*pi].body {
+                stmt_reads(s, &mut push);
+            }
+        }
+    }
+}
+
+fn stmt_reads(s: &Stmt, push: &mut impl FnMut(NetId)) {
+    match s {
+        Stmt::Assign { lv, rhs, .. } => {
+            rhs.for_each_net(push);
+            if let LValue::Index { index, .. } = lv {
+                index.for_each_net(push);
+            }
+            if let LValue::Mem { addr, .. } = lv {
+                addr.for_each_net(push);
+            }
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            cond.for_each_net(push);
+            for s in then_s.iter().chain(else_s) {
+                stmt_reads(s, push);
+            }
+        }
+        Stmt::Case { sel, arms, default } => {
+            sel.for_each_net(push);
+            for arm in arms {
+                for s in &arm.body {
+                    stmt_reads(s, push);
+                }
+            }
+            for s in default {
+                stmt_reads(s, push);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardsnap_verilog::parse_design;
+
+    fn sim(src: &str, top: &str) -> Simulator {
+        let d = parse_design(src).unwrap();
+        let flat = hardsnap_rtl::elaborate(&d, top).unwrap();
+        Simulator::new(flat).unwrap()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut s = sim(
+            r#"
+            module counter (input wire clk, input wire rst, output reg [7:0] q);
+                always @(posedge clk) begin
+                    if (rst) q <= 8'd0; else q <= q + 8'd1;
+                end
+            endmodule
+            "#,
+            "counter",
+        );
+        s.poke("rst", 1).unwrap();
+        s.step(2);
+        assert_eq!(s.peek("q").unwrap().bits(), 0);
+        s.poke("rst", 0).unwrap();
+        s.step(300);
+        assert_eq!(s.peek("q").unwrap().bits(), 300 % 256);
+        assert_eq!(s.cycle(), 302);
+    }
+
+    #[test]
+    fn nba_swap_is_simultaneous() {
+        let mut s = sim(
+            r#"
+            module swap (input wire clk, input wire load,
+                         input wire [7:0] va, input wire [7:0] vb,
+                         output reg [7:0] a, output reg [7:0] b);
+                always @(posedge clk) begin
+                    if (load) begin a <= va; b <= vb; end
+                    else begin a <= b; b <= a; end
+                end
+            endmodule
+            "#,
+            "swap",
+        );
+        s.poke("load", 1).unwrap();
+        s.poke("va", 1).unwrap();
+        s.poke("vb", 2).unwrap();
+        s.step(1);
+        s.poke("load", 0).unwrap();
+        s.step(1);
+        assert_eq!(s.peek("a").unwrap().bits(), 2);
+        assert_eq!(s.peek("b").unwrap().bits(), 1);
+        s.step(1);
+        assert_eq!(s.peek("a").unwrap().bits(), 1);
+        assert_eq!(s.peek("b").unwrap().bits(), 2);
+    }
+
+    #[test]
+    fn comb_chain_settles_in_order() {
+        let mut s = sim(
+            r#"
+            module chain (input wire [3:0] x, output wire [3:0] z);
+                wire [3:0] a;
+                wire [3:0] b;
+                assign z = b + 4'd1;
+                assign b = a + 4'd1;
+                assign a = x + 4'd1;
+            endmodule
+            "#,
+            "chain",
+        );
+        s.poke("x", 0).unwrap();
+        assert_eq!(s.peek("z").unwrap().bits(), 3);
+        s.poke("x", 5).unwrap();
+        assert_eq!(s.peek("z").unwrap().bits(), 8);
+    }
+
+    #[test]
+    fn comb_loop_is_rejected() {
+        let d = parse_design(
+            r#"
+            module looper (input wire x, output wire y);
+                wire a;
+                wire b;
+                assign a = b ^ x;
+                assign b = a;
+                assign y = b;
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let flat = hardsnap_rtl::elaborate(&d, "looper").unwrap();
+        match Simulator::new(flat) {
+            Err(SimError::CombLoop(nets)) => {
+                assert!(nets.iter().any(|n| n == "a" || n == "b"));
+            }
+            other => panic!("expected comb loop, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn comb_process_with_case() {
+        let mut s = sim(
+            r#"
+            module dec (input wire [1:0] s, output reg [3:0] y);
+                always @(*) begin
+                    case (s)
+                        2'd0: y = 4'b0001;
+                        2'd1: y = 4'b0010;
+                        2'd2: y = 4'b0100;
+                        default: y = 4'b1000;
+                    endcase
+                end
+            endmodule
+            "#,
+            "dec",
+        );
+        for (i, exp) in [(0u64, 1u64), (1, 2), (2, 4), (3, 8)] {
+            s.poke("s", i).unwrap();
+            assert_eq!(s.peek("y").unwrap().bits(), exp, "sel {i}");
+        }
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut s = sim(
+            r#"
+            module m (input wire clk, input wire we, input wire [3:0] addr,
+                      input wire [7:0] din, output wire [7:0] dout);
+                reg [7:0] ram [0:15];
+                assign dout = ram[addr];
+                always @(posedge clk) if (we) ram[addr] <= din;
+            endmodule
+            "#,
+            "m",
+        );
+        s.poke("we", 1).unwrap();
+        s.poke("addr", 3).unwrap();
+        s.poke("din", 0xab).unwrap();
+        s.step(1);
+        s.poke("we", 0).unwrap();
+        assert_eq!(s.peek("dout").unwrap().bits(), 0xab);
+        s.poke("addr", 4).unwrap();
+        assert_eq!(s.peek("dout").unwrap().bits(), 0);
+        assert_eq!(s.peek_mem("ram", 3).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn memory_read_sees_same_cycle_old_value() {
+        // Classic NBA property: a read in the same clocked process sees
+        // the pre-edge memory contents.
+        let mut s = sim(
+            r#"
+            module m (input wire clk, output reg [7:0] snap);
+                reg [7:0] ram [0:3];
+                reg [1:0] i;
+                always @(posedge clk) begin
+                    ram[i] <= 8'd7;
+                    snap <= ram[i];
+                    i <= i + 2'd1;
+                end
+            endmodule
+            "#,
+            "m",
+        );
+        s.step(1); // writes ram[0]=7, snap <= old ram[0] (0)
+        assert_eq!(s.peek("snap").unwrap().bits(), 0);
+        s.step(4); // wraps; at i=0 again snap <= ram[0] which is 7 now
+        assert_eq!(s.peek("snap").unwrap().bits(), 7);
+    }
+
+    #[test]
+    fn poke_and_peek_mem_bounds_checked() {
+        let mut s = sim(
+            r#"
+            module m (input wire clk, input wire [1:0] a, output wire [7:0] d);
+                reg [7:0] ram [0:3];
+                assign d = ram[a];
+                always @(posedge clk) ram[a] <= 8'd1;
+            endmodule
+            "#,
+            "m",
+        );
+        assert!(matches!(s.peek_mem("ram", 4), Err(SimError::OutOfRange { .. })));
+        assert!(s.poke_mem("ram", 2, 0x55).is_ok());
+        assert_eq!(s.peek_mem("ram", 2).unwrap(), 0x55);
+        assert!(matches!(s.peek("nope"), Err(SimError::UnknownNet(_))));
+    }
+
+    #[test]
+    fn dynamic_index_read_and_write() {
+        let mut s = sim(
+            r#"
+            module b (input wire clk, input wire [2:0] i, input wire v,
+                      output reg [7:0] q, output wire o);
+                assign o = q[i];
+                always @(posedge clk) q[i] <= v;
+            endmodule
+            "#,
+            "b",
+        );
+        s.poke("i", 5).unwrap();
+        s.poke("v", 1).unwrap();
+        s.step(1);
+        assert_eq!(s.peek("q").unwrap().bits(), 1 << 5);
+        assert_eq!(s.peek("o").unwrap().bits(), 1);
+        s.poke("i", 4).unwrap();
+        assert_eq!(s.peek("o").unwrap().bits(), 0);
+    }
+
+    #[test]
+    fn blocking_assign_in_clocked_process_is_sequential() {
+        let mut s = sim(
+            r#"
+            module blk (input wire clk, output reg [7:0] y);
+                reg [7:0] t;
+                always @(posedge clk) begin
+                    t = 8'd5;
+                    y <= t + 8'd1;
+                end
+            endmodule
+            "#,
+            "blk",
+        );
+        s.step(1);
+        assert_eq!(s.peek("y").unwrap().bits(), 6);
+    }
+
+    #[test]
+    fn hierarchical_design_simulates() {
+        let mut s = sim(
+            r#"
+            module dff (input wire clk, input wire d, output reg q);
+                always @(posedge clk) q <= d;
+            endmodule
+            module shift2 (input wire clk, input wire d, output wire q);
+                wire mid;
+                dff s0 (.clk(clk), .d(d), .q(mid));
+                dff s1 (.clk(clk), .d(mid), .q(q));
+            endmodule
+            "#,
+            "shift2",
+        );
+        s.poke("d", 1).unwrap();
+        s.step(1);
+        assert_eq!(s.peek("q").unwrap().bits(), 0);
+        s.step(1);
+        assert_eq!(s.peek("q").unwrap().bits(), 1);
+        assert_eq!(s.peek("s0.q").unwrap().bits(), 1);
+    }
+}

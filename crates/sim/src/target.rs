@@ -1,0 +1,416 @@
+//! The simulator-platform [`HwTarget`]: the Verilator-target analogue.
+//!
+//! Snapshots are taken by direct state serialization — the moral
+//! equivalent of the paper's CRIU process checkpoint (flush pending I/O,
+//! freeze the simulator process, dump its memory) — so they are exact and
+//! independent of the scan chain. The time model charges CRIU-like costs
+//! (large fixed freeze overhead plus a per-byte dump cost) to virtual
+//! time, and a per-cycle host cost reflecting that HDL simulation is
+//! orders of magnitude slower than the FPGA fabric.
+
+use crate::{AxiLite, SimError, Simulator, VcdTrace};
+use hardsnap_bus::{
+    axi_ports, BusError, HwSnapshot, HwTarget, MemImage, RegImage, TargetCaps, TargetError,
+    TargetKind,
+};
+
+/// Virtual-time cost model of the simulator platform.
+///
+/// Defaults are calibrated to the orders of magnitude reported for
+/// Verilator-class simulation and CRIU checkpointing (see
+/// `EXPERIMENTS.md` for the calibration notes):
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimTimeModel {
+    /// Host nanoseconds consumed per simulated cycle (~0.5 MHz effective
+    /// simulation speed).
+    pub ns_per_cycle: u64,
+    /// Per-transaction overhead of the shared-memory remote interface.
+    pub io_overhead_ns: u64,
+    /// Fixed freeze/checkpoint overhead per snapshot (CRIU analogue).
+    pub snapshot_fixed_ns: u64,
+    /// Incremental cost per byte of checkpoint image.
+    pub snapshot_ns_per_byte: u64,
+}
+
+impl Default for SimTimeModel {
+    fn default() -> Self {
+        SimTimeModel {
+            ns_per_cycle: 2_000,            // ~0.5 MHz effective
+            io_overhead_ns: 2_000,          // shared-memory hop
+            snapshot_fixed_ns: 20_000_000,  // 20 ms freeze + fork
+            snapshot_ns_per_byte: 100,
+        }
+    }
+}
+
+/// The simulator hardware target.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hardsnap_sim::SimTarget;
+/// use hardsnap_bus::HwTarget;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let flat: hardsnap_rtl::Module = unimplemented!();
+/// let mut target = SimTarget::new(flat)?;
+/// target.reset();
+/// target.bus_write(0x4000_0000, 0x55)?;
+/// let snap = target.save_snapshot()?;
+/// target.step(100);
+/// target.restore_snapshot(&snap)?; // exact rewind
+/// # Ok(())
+/// # }
+/// ```
+pub struct SimTarget {
+    sim: Simulator,
+    axi: AxiLite,
+    model: SimTimeModel,
+    vtime_ns: u64,
+    trace: Option<VcdTrace>,
+    irq_net: Option<String>,
+}
+
+impl SimTarget {
+    /// Builds a simulator target for a flat design exposing the standard
+    /// AXI4-Lite slave ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors and missing-port errors.
+    pub fn new(module: hardsnap_rtl::Module) -> Result<Self, SimError> {
+        Self::with_model(module, SimTimeModel::default())
+    }
+
+    /// Builds a target with an explicit time model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimTarget::new`].
+    pub fn with_model(
+        module: hardsnap_rtl::Module,
+        model: SimTimeModel,
+    ) -> Result<Self, SimError> {
+        let irq_net = module.find_net(axi_ports::IRQ).map(|_| axi_ports::IRQ.to_string());
+        let sim = Simulator::new(module)?;
+        let axi = AxiLite::bind(&sim)?;
+        Ok(SimTarget { sim, axi, model, vtime_ns: 0, trace: None, irq_net })
+    }
+
+    /// Enables full-trace recording (the simulator-only capability).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(VcdTrace::new(&mut self.sim));
+        }
+    }
+
+    /// Takes the recorded trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<String> {
+        self.trace.take().map(VcdTrace::into_string)
+    }
+
+    /// Full-visibility access to the underlying simulator (peek/poke any
+    /// net — this is what "simulator target" buys you).
+    pub fn simulator(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The time model in force.
+    pub fn model(&self) -> SimTimeModel {
+        self.model
+    }
+
+    fn charge_cycles(&mut self, cycles: u64) {
+        self.vtime_ns = self.vtime_ns.saturating_add(cycles * self.model.ns_per_cycle);
+    }
+
+    fn sample_trace(&mut self) {
+        if let Some(t) = &mut self.trace {
+            t.sample(&mut self.sim);
+        }
+    }
+
+    /// Builds the canonical snapshot from the simulator's full-visibility
+    /// state: all clocked registers plus all memories.
+    fn capture(&mut self) -> HwSnapshot {
+        let module = self.sim.module().clone();
+        let mut regs = Vec::new();
+        for id in module.clocked_regs() {
+            let net = module.net(id);
+            regs.push(RegImage {
+                name: net.name.clone(),
+                width: net.width,
+                bits: self.sim.peek_id(id).bits(),
+            });
+        }
+        let mut mems = Vec::new();
+        for (id, mem) in module.iter_mems() {
+            mems.push(MemImage {
+                name: mem.name.clone(),
+                width: mem.width,
+                words: self.sim.mem_words(id).to_vec(),
+            });
+        }
+        HwSnapshot { design: module.name.clone(), cycle: self.sim.cycle(), regs, mems }
+    }
+}
+
+impl HwTarget for SimTarget {
+    fn name(&self) -> &str {
+        "simulator"
+    }
+
+    fn caps(&self) -> TargetCaps {
+        TargetCaps {
+            kind: TargetKind::Simulator,
+            full_visibility: true,
+            readback: false,
+            clock_hz: 1_000_000_000 / self.model.ns_per_cycle.max(1),
+        }
+    }
+
+    fn design_name(&self) -> &str {
+        &self.sim.module().name
+    }
+
+    fn reset(&mut self) {
+        // Power-on: zero state (registers AND memories — a power cycle
+        // clears SRAM), then a proper synchronous reset pulse.
+        self.sim.clear_state();
+        let _ = self.sim.poke(axi_ports::RST, 1);
+        self.sim.step(4);
+        let _ = self.sim.poke(axi_ports::RST, 0);
+        self.sim.step(1);
+        self.charge_cycles(5);
+        self.sample_trace();
+    }
+
+    fn step(&mut self, cycles: u64) {
+        if let Some(_t) = &self.trace {
+            for _ in 0..cycles {
+                self.sim.step(1);
+                self.sample_trace();
+            }
+        } else {
+            self.sim.step(cycles);
+        }
+        self.charge_cycles(cycles);
+    }
+
+    fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    fn bus_read(&mut self, addr: u32) -> Result<u32, BusError> {
+        let (v, cycles) = self.axi.read(&mut self.sim, addr)?;
+        self.charge_cycles(cycles);
+        self.vtime_ns += self.model.io_overhead_ns;
+        self.sample_trace();
+        Ok(v)
+    }
+
+    fn bus_write(&mut self, addr: u32, data: u32) -> Result<(), BusError> {
+        let cycles = self.axi.write(&mut self.sim, addr, data)?;
+        self.charge_cycles(cycles);
+        self.vtime_ns += self.model.io_overhead_ns;
+        self.sample_trace();
+        Ok(())
+    }
+
+    fn irq_lines(&mut self) -> u32 {
+        match &self.irq_net {
+            Some(n) => self.sim.peek(n).map(|v| v.bits() as u32).unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
+        let snap = self.capture();
+        self.vtime_ns += self.model.snapshot_fixed_ns
+            + snap.byte_size() as u64 * self.model.snapshot_ns_per_byte;
+        Ok(snap)
+    }
+
+    fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
+        if snap.design != self.sim.module().name {
+            return Err(TargetError::DesignMismatch {
+                expected: snap.design.clone(),
+                found: self.sim.module().name.clone(),
+            });
+        }
+        for r in &snap.regs {
+            self.sim.poke(&r.name, r.bits).map_err(|e| {
+                TargetError::CorruptSnapshot(format!("register '{}': {e}", r.name))
+            })?;
+        }
+        for m in &snap.mems {
+            for (i, w) in m.words.iter().enumerate() {
+                self.sim.poke_mem(&m.name, i as u32, *w).map_err(|e| {
+                    TargetError::CorruptSnapshot(format!("memory '{}'[{i}]: {e}", m.name))
+                })?;
+            }
+        }
+        self.vtime_ns += self.model.snapshot_fixed_ns
+            + snap.byte_size() as u64 * self.model.snapshot_ns_per_byte;
+        self.sample_trace();
+        Ok(())
+    }
+
+    fn virtual_time_ns(&self) -> u64 {
+        self.vtime_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardsnap_verilog::parse_design;
+
+    /// A tiny AXI peripheral with internal state: a write to offset 0
+    /// starts a countdown; the counter is invisible on the bus until it
+    /// reaches zero, then status (offset 4) reads 1. Exercises the fact
+    /// that snapshots must capture state *not* reachable via the bus.
+    const COUNTDOWN: &str = r#"
+    module countdown (
+        input wire clk, input wire rst,
+        input wire s_axi_awvalid, input wire [31:0] s_axi_awaddr,
+        output reg s_axi_awready,
+        input wire s_axi_wvalid, input wire [31:0] s_axi_wdata,
+        output reg s_axi_wready,
+        output reg s_axi_bvalid, output reg [1:0] s_axi_bresp,
+        input wire s_axi_bready,
+        input wire s_axi_arvalid, input wire [31:0] s_axi_araddr,
+        output reg s_axi_arready,
+        output reg s_axi_rvalid, output reg [31:0] s_axi_rdata,
+        output reg [1:0] s_axi_rresp,
+        input wire s_axi_rready,
+        output wire irq
+    );
+        reg [15:0] count;
+        reg busy;
+        reg aw_got; reg w_got; reg [31:0] waddr; reg [31:0] wdata_l;
+        assign irq = busy && (count == 16'd0);
+        always @(posedge clk) begin
+            if (rst) begin
+                count <= 16'd0; busy <= 1'b0;
+                s_axi_awready <= 1'b0; s_axi_wready <= 1'b0;
+                s_axi_bvalid <= 1'b0; s_axi_bresp <= 2'd0;
+                s_axi_arready <= 1'b0; s_axi_rvalid <= 1'b0;
+                s_axi_rdata <= 32'd0; s_axi_rresp <= 2'd0;
+                aw_got <= 1'b0; w_got <= 1'b0; waddr <= 32'd0; wdata_l <= 32'd0;
+            end else begin
+                if (busy && count != 16'd0) count <= count - 16'd1;
+                s_axi_awready <= 1'b0; s_axi_wready <= 1'b0;
+                if (s_axi_awvalid && !aw_got && !s_axi_awready) begin
+                    s_axi_awready <= 1'b1; waddr <= s_axi_awaddr; aw_got <= 1'b1;
+                end
+                if (s_axi_wvalid && !w_got && !s_axi_wready) begin
+                    s_axi_wready <= 1'b1; wdata_l <= s_axi_wdata; w_got <= 1'b1;
+                end
+                if (aw_got && w_got && !s_axi_bvalid) begin
+                    s_axi_bvalid <= 1'b1; s_axi_bresp <= 2'd0;
+                    if (waddr[7:0] == 8'h00) begin
+                        count <= wdata_l[15:0]; busy <= 1'b1;
+                    end
+                end
+                if (s_axi_bvalid && s_axi_bready) begin
+                    s_axi_bvalid <= 1'b0; aw_got <= 1'b0; w_got <= 1'b0;
+                end
+                s_axi_arready <= 1'b0;
+                if (s_axi_arvalid && !s_axi_rvalid && !s_axi_arready) begin
+                    s_axi_arready <= 1'b1; s_axi_rvalid <= 1'b1; s_axi_rresp <= 2'd0;
+                    if (s_axi_araddr[7:0] == 8'h04)
+                        s_axi_rdata <= {31'd0, busy && (count == 16'd0)};
+                    else s_axi_rdata <= 32'd0;
+                end
+                if (s_axi_rvalid && s_axi_rready) s_axi_rvalid <= 1'b0;
+            end
+        end
+    endmodule
+    "#;
+
+    fn target() -> SimTarget {
+        let d = parse_design(COUNTDOWN).unwrap();
+        let flat = hardsnap_rtl::elaborate(&d, "countdown").unwrap();
+        let mut t = SimTarget::new(flat).unwrap();
+        t.reset();
+        t
+    }
+
+    #[test]
+    fn countdown_runs_and_raises_irq() {
+        let mut t = target();
+        t.bus_write(0x00, 10).unwrap();
+        assert_eq!(t.irq_lines(), 0);
+        t.step(20);
+        assert_eq!(t.irq_lines(), 1);
+        assert_eq!(t.bus_read(0x04).unwrap(), 1);
+    }
+
+    #[test]
+    fn snapshot_restores_hidden_state_exactly() {
+        let mut t = target();
+        t.bus_write(0x00, 1000).unwrap();
+        t.step(5);
+        let snap = t.save_snapshot().unwrap();
+        let count_at_snap = snap.reg("count").unwrap();
+        assert!(count_at_snap < 1000 && count_at_snap > 900);
+
+        // Run to completion, then rewind.
+        t.step(2000);
+        assert_eq!(t.irq_lines(), 1);
+        t.restore_snapshot(&snap).unwrap();
+        assert_eq!(t.irq_lines(), 0);
+        let snap2 = t.save_snapshot().unwrap();
+        assert_eq!(snap2.reg("count").unwrap(), count_at_snap);
+        // And the countdown continues correctly from the restored point.
+        t.step(2000);
+        assert_eq!(t.irq_lines(), 1);
+    }
+
+    #[test]
+    fn virtual_time_charges_cycles_io_and_snapshots() {
+        let mut t = target();
+        let m = t.model();
+        let t0 = t.virtual_time_ns();
+        t.step(100);
+        assert_eq!(t.virtual_time_ns() - t0, 100 * m.ns_per_cycle);
+        let t1 = t.virtual_time_ns();
+        t.bus_write(0x00, 5).unwrap();
+        assert!(t.virtual_time_ns() - t1 >= m.io_overhead_ns + 2 * m.ns_per_cycle);
+        let t2 = t.virtual_time_ns();
+        let snap = t.save_snapshot().unwrap();
+        let expect = m.snapshot_fixed_ns + snap.byte_size() as u64 * m.snapshot_ns_per_byte;
+        assert_eq!(t.virtual_time_ns() - t2, expect);
+    }
+
+    #[test]
+    fn trace_records_bus_activity() {
+        let mut t = target();
+        t.enable_trace();
+        t.bus_write(0x00, 3).unwrap();
+        t.step(10);
+        let vcd = t.take_trace().unwrap();
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("count"), "trace should include internal registers");
+    }
+
+    #[test]
+    fn restore_of_foreign_design_is_rejected() {
+        let mut t = target();
+        let mut snap = t.save_snapshot().unwrap();
+        snap.design = "other_design".into();
+        assert!(matches!(
+            t.restore_snapshot(&snap),
+            Err(TargetError::DesignMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn caps_reflect_simulator_tradeoff() {
+        let t = target();
+        let caps = t.caps();
+        assert_eq!(caps.kind, TargetKind::Simulator);
+        assert!(caps.full_visibility);
+        assert!(!caps.readback);
+    }
+}

@@ -1,0 +1,255 @@
+//! VCD reader and trace diffing.
+//!
+//! The counterpart of [`crate::VcdTrace`]: parses VCD text back into
+//! per-signal value sequences and finds the first divergence between two
+//! traces. This is the root-cause workflow the paper's multi-target
+//! orchestration enables — capture a full trace around the failure on
+//! the simulator target, then diff it against a known-good run to find
+//! the first signal that went wrong.
+
+use std::collections::HashMap;
+
+/// A parsed VCD trace: signal names and their change lists.
+#[derive(Clone, Debug, Default)]
+pub struct VcdData {
+    /// Signal name → ordered (time, value) change list.
+    changes: HashMap<String, Vec<(u64, u64)>>,
+}
+
+/// A VCD parse diagnostic with its 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VcdParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VcdParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vcd line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VcdParseError {}
+
+impl VcdData {
+    /// Parses VCD text (the subset [`crate::VcdTrace`] writes: `$var`
+    /// declarations, `#time` stamps, scalar `0!`/`1!` and vector
+    /// `b1010 !` changes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VcdParseError`] on undeclared id codes or malformed
+    /// value lines.
+    pub fn parse(text: &str) -> Result<VcdData, VcdParseError> {
+        let mut id_to_name: HashMap<String, String> = HashMap::new();
+        let mut changes: HashMap<String, Vec<(u64, u64)>> = HashMap::new();
+        let mut time = 0u64;
+        let err = |line: usize, message: String| VcdParseError { line, message };
+        for (ln, raw) in text.lines().enumerate() {
+            let line = ln + 1;
+            let l = raw.trim();
+            if l.is_empty() {
+                continue;
+            }
+            if l.starts_with("$var") {
+                // $var wire <width> <id> <name> $end
+                let parts: Vec<&str> = l.split_whitespace().collect();
+                if parts.len() < 5 {
+                    return Err(err(line, format!("malformed $var: '{l}'")));
+                }
+                id_to_name.insert(parts[3].to_string(), parts[4].to_string());
+                changes.entry(parts[4].to_string()).or_default();
+            } else if l.starts_with('$') {
+                // Other directives are skipped.
+            } else if let Some(t) = l.strip_prefix('#') {
+                time = t
+                    .parse()
+                    .map_err(|_| err(line, format!("bad timestamp '{l}'")))?;
+            } else if let Some(rest) = l.strip_prefix('b') {
+                let (bits, id) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(line, format!("malformed vector change '{l}'")))?;
+                let v = u64::from_str_radix(bits, 2)
+                    .map_err(|_| err(line, format!("bad binary value '{bits}'")))?;
+                let name = id_to_name
+                    .get(id.trim())
+                    .ok_or_else(|| err(line, format!("undeclared id '{id}'")))?;
+                changes.get_mut(name).unwrap().push((time, v));
+            } else {
+                // Scalar change: <0|1><id>
+                let mut chars = l.chars();
+                let v = match chars.next() {
+                    Some('0') => 0u64,
+                    Some('1') => 1,
+                    other => {
+                        return Err(err(line, format!("bad scalar change '{other:?}'")))
+                    }
+                };
+                let id: String = chars.collect();
+                let name = id_to_name
+                    .get(id.trim())
+                    .ok_or_else(|| err(line, format!("undeclared id '{id}'")))?;
+                changes.get_mut(name).unwrap().push((time, v));
+            }
+        }
+        Ok(VcdData { changes })
+    }
+
+    /// Signal names in the trace.
+    pub fn signals(&self) -> impl Iterator<Item = &str> {
+        self.changes.keys().map(String::as_str)
+    }
+
+    /// The value of `signal` at `time` (last change at or before `time`),
+    /// or `None` for unknown signals or times before the first change.
+    pub fn value_at(&self, signal: &str, time: u64) -> Option<u64> {
+        let ch = self.changes.get(signal)?;
+        let idx = ch.partition_point(|&(t, _)| t <= time);
+        if idx == 0 {
+            None
+        } else {
+            Some(ch[idx - 1].1)
+        }
+    }
+
+    /// Number of recorded changes for `signal`.
+    pub fn change_count(&self, signal: &str) -> usize {
+        self.changes.get(signal).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Latest timestamp in the trace.
+    pub fn end_time(&self) -> u64 {
+        self.changes
+            .values()
+            .filter_map(|ch| ch.last().map(|&(t, _)| t))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A divergence between two traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// First time the traces disagree.
+    pub time: u64,
+    /// Signal that diverges at that time (alphabetically first when
+    /// several diverge simultaneously).
+    pub signal: String,
+    /// Value in the first trace (`None` = not yet defined).
+    pub a: Option<u64>,
+    /// Value in the second trace.
+    pub b: Option<u64>,
+}
+
+/// Finds the earliest time at which any signal common to both traces
+/// differs; signals present in only one trace are ignored. Returns
+/// `None` when the traces agree over their common span.
+pub fn first_divergence(a: &VcdData, b: &VcdData) -> Option<Divergence> {
+    let mut commons: Vec<&str> = a
+        .signals()
+        .filter(|s| b.changes.contains_key(*s))
+        .collect();
+    commons.sort_unstable();
+    let end = a.end_time().min(b.end_time());
+    let mut best: Option<Divergence> = None;
+    for s in commons {
+        // Walk the merged change times of this signal.
+        let mut times: Vec<u64> = a.changes[s]
+            .iter()
+            .chain(&b.changes[s])
+            .map(|&(t, _)| t)
+            .filter(|&t| t <= end)
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        for t in times {
+            let va = a.value_at(s, t);
+            let vb = b.value_at(s, t);
+            if va != vb {
+                let better = match &best {
+                    None => true,
+                    Some(d) => t < d.time || (t == d.time && s < d.signal.as_str()),
+                };
+                if better {
+                    best = Some(Divergence { time: t, signal: s.to_string(), a: va, b: vb });
+                }
+                break;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulator, VcdTrace};
+    use hardsnap_verilog::parse_design;
+
+    fn counter_trace(start: u64, cycles: u64) -> VcdData {
+        let d = parse_design(
+            r#"
+            module c (input wire clk, input wire rst, output reg [7:0] q);
+                always @(posedge clk) begin
+                    if (rst) q <= 8'd0; else q <= q + 8'd1;
+                end
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let flat = hardsnap_rtl::elaborate(&d, "c").unwrap();
+        let mut sim = Simulator::new(flat).unwrap();
+        sim.poke("q", start).unwrap();
+        let mut tr = VcdTrace::new(&mut sim);
+        for _ in 0..cycles {
+            sim.step(1);
+            tr.sample(&mut sim);
+        }
+        VcdData::parse(&tr.into_string()).unwrap()
+    }
+
+    #[test]
+    fn writer_output_parses_and_queries() {
+        let v = counter_trace(0, 10);
+        assert!(v.signals().any(|s| s == "q"));
+        assert_eq!(v.value_at("q", 0), Some(0));
+        // After sample k (time k), q = k (q increments each step).
+        assert_eq!(v.value_at("q", 5), Some(5));
+        assert_eq!(v.end_time(), 10);
+        assert!(v.change_count("q") >= 10);
+        assert_eq!(v.value_at("nope", 3), None);
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let a = counter_trace(0, 8);
+        let b = counter_trace(0, 8);
+        assert_eq!(first_divergence(&a, &b), None);
+    }
+
+    #[test]
+    fn divergence_found_at_first_difference() {
+        let a = counter_trace(0, 8);
+        let b = counter_trace(100, 8); // starts from a different value
+        let d = first_divergence(&a, &b).expect("must diverge");
+        assert_eq!(d.signal, "q");
+        assert_eq!(d.time, 0);
+        assert_eq!(d.a, Some(0));
+        assert_eq!(d.b, Some(100));
+    }
+
+    #[test]
+    fn parse_rejects_undeclared_ids() {
+        let e = VcdData::parse("#0\n1!\n").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_values() {
+        assert!(VcdData::parse("$var wire 1 ! q $end\n#0\nx!\n").is_err());
+        assert!(VcdData::parse("$var wire 4 ! q $end\n#0\nb2z !\n").is_err());
+    }
+}

@@ -1,0 +1,565 @@
+//! A CDCL SAT solver (two watched literals, first-UIP clause learning,
+//! VSIDS-style activities, geometric restarts, phase saving).
+//!
+//! This is the decision-procedure substrate under the bit-vector solver
+//! — the reproduction's stand-in for the STP/Z3 backend KLEE uses. It is
+//! deliberately a classic, readable CDCL core; the formulas produced by
+//! firmware path constraints are small by SAT standards.
+
+/// A literal: variable index shifted left, low bit = negated.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Positive literal of variable `v`.
+    pub fn pos(v: u32) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// Negative literal of variable `v`.
+    pub fn neg(v: u32) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// True if this is the negated polarity.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::fmt::Debug for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "¬" } else { "" }, self.var())
+    }
+}
+
+/// Solver outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable with the given assignment (index = variable).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    True,
+    False,
+    Undef,
+}
+
+/// A CNF SAT solver instance. Add variables and clauses, then call
+/// [`SatSolver::solve`].
+pub struct SatSolver {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+    /// watches[lit] = clause indices watching `lit`.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<Val>,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    act_inc: f64,
+    unsat: bool,
+}
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        SatSolver::new()
+    }
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            num_vars: 0,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            act_inc: 1.0,
+            unsat: false,
+        }
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.assign.push(Val::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses (including learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause (empty clause makes the instance trivially unsat;
+    /// duplicate and tautological literals are handled).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology?
+        for w in c.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // x ∨ ¬x
+            }
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                // Unit at level 0.
+                match self.value(c[0]) {
+                    Val::True => {}
+                    Val::False => self.unsat = true,
+                    Val::Undef => self.enqueue(c[0], None),
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[c[0].0 as usize].push(idx);
+                self.watches[c[1].0 as usize].push(idx);
+                self.clauses.push(c);
+            }
+        }
+    }
+
+    fn value(&self, l: Lit) -> Val {
+        match self.assign[l.var() as usize] {
+            Val::Undef => Val::Undef,
+            Val::True => {
+                if l.is_neg() {
+                    Val::False
+                } else {
+                    Val::True
+                }
+            }
+            Val::False => {
+                if l.is_neg() {
+                    Val::True
+                } else {
+                    Val::False
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        let v = l.var() as usize;
+        self.assign[v] = if l.is_neg() { Val::False } else { Val::True };
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Propagates; returns the index of a conflicting clause if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let l = self.trail[self.prop_head];
+            self.prop_head += 1;
+            let false_lit = l.negate();
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.0 as usize]);
+            let mut i = 0;
+            let mut conflict = None;
+            while i < watch_list.len() {
+                let ci = watch_list[i] as usize;
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                let first = self.clauses[ci][0];
+                if self.value(first) == Val::True {
+                    i += 1;
+                    continue;
+                }
+                // Find a replacement watch among the tail literals.
+                let mut found = None;
+                for k in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][k]) != Val::False {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                if let Some(k) = found {
+                    self.clauses[ci].swap(1, k);
+                    let new_watch = self.clauses[ci][1];
+                    self.watches[new_watch.0 as usize].push(ci as u32);
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                if self.value(first) == Val::False {
+                    conflict = Some(ci as u32);
+                    break;
+                }
+                self.enqueue(first, Some(ci as u32));
+                i += 1;
+            }
+            self.watches[false_lit.0 as usize] = watch_list;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: u32) {
+        self.activity[v as usize] += self.act_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learned clause, backjump
+    /// level).
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // placeholder for UIP
+        let mut seen = vec![false; self.num_vars as usize];
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            let clause = self.clauses[confl as usize].clone();
+            let start = if p.is_none() { 0 } else { 1 };
+            for &q in &clause[start..] {
+                let v = q.var();
+                if !seen[v as usize] && self.level[v as usize] > 0 {
+                    seen[v as usize] = true;
+                    self.bump(v);
+                    if self.level[v as usize] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var() as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            seen[p.unwrap().var() as usize] = false;
+            confl = self.reason[p.unwrap().var() as usize].expect("non-decision");
+        }
+        learned[0] = p.unwrap().negate();
+
+        // Backjump level: second-highest level in the clause.
+        let mut bj = 0;
+        if learned.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var() as usize]
+                    > self.level[learned[max_i].var() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learned.swap(1, max_i);
+            bj = self.level[learned[1].var() as usize];
+        }
+        (learned, bj)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            for l in self.trail.drain(lim..) {
+                self.assign[l.var() as usize] = Val::Undef;
+                self.reason[l.var() as usize] = None;
+            }
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    fn pick_branch(&self) -> Option<Lit> {
+        let mut best: Option<u32> = None;
+        for v in 0..self.num_vars {
+            if self.assign[v as usize] == Val::Undef {
+                match best {
+                    None => best = Some(v),
+                    Some(b) => {
+                        if self.activity[v as usize] > self.activity[b as usize] {
+                            best = Some(v);
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|v| if self.phase[v as usize] { Lit::pos(v) } else { Lit::neg(v) })
+    }
+
+    /// Solves the instance.
+    pub fn solve(&mut self) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SatResult::Unsat;
+        }
+        let mut conflicts_until_restart = 100u64;
+        let mut conflicts = 0u64;
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    conflicts += 1;
+                    self.act_inc *= 1.05;
+                    if self.decision_level() == 0 {
+                        return SatResult::Unsat;
+                    }
+                    let (learned, bj) = self.analyze(confl);
+                    self.backtrack(bj);
+                    if learned.len() == 1 {
+                        self.enqueue(learned[0], None);
+                    } else {
+                        let idx = self.clauses.len() as u32;
+                        self.watches[learned[0].0 as usize].push(idx);
+                        self.watches[learned[1].0 as usize].push(idx);
+                        let unit = learned[0];
+                        self.clauses.push(learned);
+                        self.enqueue(unit, Some(idx));
+                    }
+                    if conflicts >= conflicts_until_restart {
+                        conflicts = 0;
+                        conflicts_until_restart =
+                            (conflicts_until_restart as f64 * 1.5) as u64;
+                        self.backtrack(0);
+                    }
+                }
+                None => match self.pick_branch() {
+                    None => {
+                        let model = self
+                            .assign
+                            .iter()
+                            .map(|&v| v == Val::True)
+                            .collect();
+                        return SatResult::Sat(model);
+                    }
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(xs: &[i32]) -> Vec<Lit> {
+        xs.iter()
+            .map(|&x| {
+                let v = (x.unsigned_abs() - 1) as u32;
+                if x > 0 {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            })
+            .collect()
+    }
+
+    fn solver_with(nvars: u32, clauses: &[&[i32]]) -> SatSolver {
+        let mut s = SatSolver::new();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in clauses {
+            s.add_clause(&lits(c));
+        }
+        s
+    }
+
+    fn check_model(clauses: &[&[i32]], model: &[bool]) {
+        for c in clauses {
+            assert!(
+                c.iter().any(|&x| {
+                    let v = (x.unsigned_abs() - 1) as usize;
+                    if x > 0 {
+                        model[v]
+                    } else {
+                        !model[v]
+                    }
+                }),
+                "clause {c:?} unsatisfied by {model:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = solver_with(1, &[&[1]]);
+        assert!(matches!(s.solve(), SatResult::Sat(m) if m[0]));
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let cls: &[&[i32]] = &[&[1], &[-1, 2], &[-2, 3], &[-3, 4]];
+        let mut s = solver_with(4, cls);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                assert!(m[0] && m[1] && m[2] && m[3]);
+                check_model(cls, &m);
+            }
+            SatResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_ij: pigeon i in hole j. vars: p11=1 p12=2 p21=3 p22=4 p31=5 p32=6
+        let cls: &[&[i32]] = &[
+            &[1, 2],
+            &[3, 4],
+            &[5, 6],
+            &[-1, -3],
+            &[-1, -5],
+            &[-3, -5],
+            &[-2, -4],
+            &[-2, -6],
+            &[-4, -6],
+        ];
+        let mut s = solver_with(6, cls);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_sat_with_model_check() {
+        // (a xor b) and (b xor c) and a  => b=!a, c=b xor ... encode xors.
+        // a xor b: (a|b)(!a|!b)
+        let cls: &[&[i32]] = &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1]];
+        let mut s = solver_with(3, cls);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                check_model(cls, &m);
+                assert!(m[0] && !m[1] && m[2]);
+            }
+            SatResult::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = solver_with(2, &[&[1, 1, 2], &[1, -1]]);
+        assert!(matches!(s.solve(), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = SatSolver::new();
+        s.new_var();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_instances_agree_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for round in 0..60 {
+            let nvars = rng.gen_range(3..=10u32);
+            let nclauses = rng.gen_range(3..=40);
+            let mut clauses: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(1..=nvars as i32);
+                    c.push(if rng.gen_bool(0.5) { v } else { -v });
+                }
+                clauses.push(c);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for bits in 0u32..(1 << nvars) {
+                for c in &clauses {
+                    let ok = c.iter().any(|&x| {
+                        let v = x.unsigned_abs() - 1;
+                        let val = (bits >> v) & 1 == 1;
+                        if x > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let mut s = solver_with(nvars, &refs);
+            match s.solve() {
+                SatResult::Sat(m) => {
+                    assert!(brute_sat, "round {round}: solver sat, brute unsat");
+                    check_model(&refs, &m);
+                }
+                SatResult::Unsat => {
+                    assert!(!brute_sat, "round {round}: solver unsat, brute sat");
+                }
+            }
+        }
+    }
+}

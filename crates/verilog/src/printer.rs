@@ -1,0 +1,311 @@
+//! Verilog pretty-printer: emits IR modules back as Verilog source.
+//!
+//! Used by the scan-chain pass to export instrumented peripherals (the
+//! paper's toolchain hands instrumented RTL to the FPGA flow, Fig. 3 B.1)
+//! and by round-trip tests of the frontend.
+//!
+//! Hierarchical names produced by elaboration contain `.`; they are
+//! mangled to `__` so the output is always lexically valid Verilog.
+
+use hardsnap_rtl::{
+    CaseArm, EdgeKind, Expr, LValue, Module, NetKind, PortDir, ProcessKind, Stmt,
+};
+use std::fmt::Write;
+
+/// Renders `module` as Verilog source.
+///
+/// The output parses back (via [`crate::parse_design`]) to a module with
+/// identical structure up to net-name mangling, which the round-trip
+/// tests in this crate verify.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    // Header.
+    let ports: Vec<_> = module.ports().collect();
+    writeln!(w, "module {} (", mangle(&module.name)).unwrap();
+    for (i, (_, net)) in ports.iter().enumerate() {
+        let dir = match net.port.unwrap() {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        };
+        let kind = match net.kind {
+            NetKind::Wire => "wire",
+            NetKind::Reg => "reg",
+        };
+        let range = range_str(net.width);
+        let comma = if i + 1 == ports.len() { "" } else { "," };
+        writeln!(w, "    {dir} {kind} {range}{}{comma}", mangle(&net.name)).unwrap();
+    }
+    writeln!(w, ");").unwrap();
+
+    // Declarations.
+    for (_, net) in module.iter_nets() {
+        if net.port.is_some() {
+            continue;
+        }
+        let kind = match net.kind {
+            NetKind::Wire => "wire",
+            NetKind::Reg => "reg",
+        };
+        writeln!(w, "    {kind} {}{};", range_str(net.width), mangle(&net.name)).unwrap();
+    }
+    for (_, mem) in module.iter_mems() {
+        writeln!(
+            w,
+            "    reg {}{} [0:{}];",
+            range_str(mem.width),
+            mangle(&mem.name),
+            mem.depth - 1
+        )
+        .unwrap();
+    }
+
+    // Continuous assigns.
+    for a in &module.assigns {
+        writeln!(w, "    assign {} = {};", lvalue_str(module, &a.lv), expr_str(module, &a.rhs))
+            .unwrap();
+    }
+
+    // Processes.
+    for p in &module.processes {
+        match &p.kind {
+            ProcessKind::Clocked { clock, edge } => {
+                let e = match edge {
+                    EdgeKind::Pos => "posedge",
+                    EdgeKind::Neg => "negedge",
+                };
+                writeln!(w, "    always @({e} {}) begin", mangle(&module.net(*clock).name))
+                    .unwrap();
+            }
+            ProcessKind::Comb => writeln!(w, "    always @(*) begin").unwrap(),
+        }
+        for s in &p.body {
+            print_stmt(w, module, s, 2);
+        }
+        writeln!(w, "    end").unwrap();
+    }
+
+    // Instances.
+    for inst in &module.instances {
+        writeln!(w, "    {} {} (", mangle(&inst.module), mangle(&inst.name)).unwrap();
+        for (i, (port, e)) in inst.conns.iter().enumerate() {
+            let comma = if i + 1 == inst.conns.len() { "" } else { "," };
+            writeln!(w, "        .{}({}){comma}", mangle(port), expr_str(module, e)).unwrap();
+        }
+        writeln!(w, "    );").unwrap();
+    }
+
+    writeln!(w, "endmodule").unwrap();
+    out
+}
+
+fn mangle(name: &str) -> String {
+    name.replace('.', "__")
+}
+
+fn range_str(width: u32) -> String {
+    if width == 1 {
+        String::new()
+    } else {
+        format!("[{}:0] ", width - 1)
+    }
+}
+
+fn indent(w: &mut String, level: usize) {
+    for _ in 0..level {
+        w.push_str("    ");
+    }
+}
+
+fn print_stmt(w: &mut String, m: &Module, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Assign { lv, rhs, blocking } => {
+            indent(w, level);
+            let op = if *blocking { "=" } else { "<=" };
+            writeln!(w, "{} {op} {};", lvalue_str(m, lv), expr_str(m, rhs)).unwrap();
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            indent(w, level);
+            writeln!(w, "if ({}) begin", expr_str(m, cond)).unwrap();
+            for s in then_s {
+                print_stmt(w, m, s, level + 1);
+            }
+            indent(w, level);
+            if else_s.is_empty() {
+                writeln!(w, "end").unwrap();
+            } else {
+                writeln!(w, "end else begin").unwrap();
+                for s in else_s {
+                    print_stmt(w, m, s, level + 1);
+                }
+                indent(w, level);
+                writeln!(w, "end").unwrap();
+            }
+        }
+        Stmt::Case { sel, arms, default } => {
+            indent(w, level);
+            writeln!(w, "case ({})", expr_str(m, sel)).unwrap();
+            for CaseArm { labels, body } in arms {
+                indent(w, level + 1);
+                let labels: Vec<String> =
+                    labels.iter().map(|v| format!("{}'h{:x}", v.width(), v.bits())).collect();
+                writeln!(w, "{}: begin", labels.join(", ")).unwrap();
+                for s in body {
+                    print_stmt(w, m, s, level + 2);
+                }
+                indent(w, level + 1);
+                writeln!(w, "end").unwrap();
+            }
+            indent(w, level + 1);
+            writeln!(w, "default: begin").unwrap();
+            for s in default {
+                print_stmt(w, m, s, level + 2);
+            }
+            indent(w, level + 1);
+            writeln!(w, "end").unwrap();
+            indent(w, level);
+            writeln!(w, "endcase").unwrap();
+        }
+    }
+}
+
+fn lvalue_str(m: &Module, lv: &LValue) -> String {
+    match lv {
+        LValue::Net(n) => mangle(&m.net(*n).name),
+        LValue::Slice { base, hi, lo } => {
+            if hi == lo {
+                format!("{}[{hi}]", mangle(&m.net(*base).name))
+            } else {
+                format!("{}[{hi}:{lo}]", mangle(&m.net(*base).name))
+            }
+        }
+        LValue::Index { base, index } => {
+            format!("{}[{}]", mangle(&m.net(*base).name), expr_str(m, index))
+        }
+        LValue::Mem { mem, addr } => {
+            format!("{}[{}]", mangle(&m.memory(*mem).name), expr_str(m, addr))
+        }
+    }
+}
+
+/// Renders an expression; parenthesizes conservatively so precedence is
+/// never ambiguous.
+pub fn expr_str(m: &Module, e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => format!("{}'h{:x}", v.width(), v.bits()),
+        Expr::Net(n) => mangle(&m.net(*n).name),
+        Expr::Slice { base, hi, lo } => {
+            if hi == lo {
+                format!("{}[{hi}]", mangle(&m.net(*base).name))
+            } else {
+                format!("{}[{hi}:{lo}]", mangle(&m.net(*base).name))
+            }
+        }
+        Expr::Index { base, index } => {
+            format!("{}[{}]", mangle(&m.net(*base).name), expr_str(m, index))
+        }
+        Expr::Unary { op, arg } => format!("({op}{})", expr_str(m, arg)),
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {op} {})", expr_str(m, lhs), expr_str(m, rhs))
+        }
+        Expr::Cond { cond, then_e, else_e } => format!(
+            "({} ? {} : {})",
+            expr_str(m, cond),
+            expr_str(m, then_e),
+            expr_str(m, else_e)
+        ),
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(|p| expr_str(m, p)).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::Repeat { count, arg } => format!("{{{count}{{{}}}}}", expr_str(m, arg)),
+        Expr::MemRead { mem, addr } => {
+            format!("{}[{}]", mangle(&m.memory(*mem).name), expr_str(m, addr))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_design;
+
+    const COUNTER: &str = r#"
+        module counter (input wire clk, input wire rst, output reg [7:0] q);
+            wire [7:0] next;
+            assign next = q + 8'd1;
+            always @(posedge clk) begin
+                if (rst) q <= 8'd0;
+                else q <= next;
+            end
+        endmodule
+    "#;
+
+    #[test]
+    fn printed_module_reparses() {
+        let d = parse_design(COUNTER).unwrap();
+        let m = d.module("counter").unwrap();
+        let src = print_module(m);
+        let d2 = parse_design(&src).unwrap();
+        let m2 = d2.module("counter").unwrap();
+        assert_eq!(m2.nets.len(), m.nets.len());
+        assert_eq!(m2.processes.len(), m.processes.len());
+        assert_eq!(m2.assigns.len(), m.assigns.len());
+        assert_eq!(m2.state_bits(), m.state_bits());
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_exactly() {
+        let d = parse_design(COUNTER).unwrap();
+        let m = d.module("counter").unwrap();
+        let src1 = print_module(m);
+        let d2 = parse_design(&src1).unwrap();
+        let src2 = print_module(d2.module("counter").unwrap());
+        assert_eq!(src1, src2, "printer must be a fixed point of parse∘print");
+    }
+
+    #[test]
+    fn dotted_names_are_mangled() {
+        let d = parse_design(
+            r#"
+            module leaf (input wire clk, output reg q);
+                always @(posedge clk) q <= ~q;
+            endmodule
+            module top (input wire clk, output wire q);
+                leaf u0 (.clk(clk), .q(q));
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let flat = hardsnap_rtl::elaborate(&d, "top").unwrap();
+        let src = print_module(&flat);
+        assert!(src.contains("u0__q"));
+        assert!(!src.contains("u0.q"));
+        // And the mangled output reparses.
+        parse_design(&src).unwrap();
+    }
+
+    #[test]
+    fn case_and_memory_print_and_reparse() {
+        let d = parse_design(
+            r#"
+            module m (input wire clk, input wire [1:0] s, input wire [7:0] din,
+                      output reg [7:0] y);
+                reg [7:0] ram [0:3];
+                always @(posedge clk) begin
+                    case (s)
+                        2'd0: y <= ram[s];
+                        2'd1, 2'd2: ram[s] <= din;
+                        default: y <= 8'hff;
+                    endcase
+                end
+            endmodule
+            "#,
+        )
+        .unwrap();
+        let src = print_module(d.module("m").unwrap());
+        let d2 = parse_design(&src).unwrap();
+        assert_eq!(d2.module("m").unwrap().state_bits(), d.module("m").unwrap().state_bits());
+    }
+}

@@ -1,0 +1,452 @@
+//! Lexer for the synthesizable Verilog-2005 subset.
+
+use crate::VerilogError;
+use std::fmt;
+
+/// Source position (1-based line and column) for diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// A number literal: optional size, base and digits, e.g. `8'hff`.
+    /// `width` is `None` for plain decimal literals (context gives 32).
+    Number {
+        /// Explicit bit width (`8` in `8'hff`), if given.
+        width: Option<u32>,
+        /// Parsed numeric value.
+        value: u64,
+    },
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `#`
+    Hash,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `<=` (non-blocking assign or less-equal; parser disambiguates)
+    LtEq,
+    /// `?`
+    Question,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Number { value, .. } => write!(f, "number {value}"),
+            Tok::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Colon => ":",
+                    Tok::Dot => ".",
+                    Tok::Hash => "#",
+                    Tok::At => "@",
+                    Tok::Assign => "=",
+                    Tok::LtEq => "<=",
+                    Tok::Question => "?",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Tilde => "~",
+                    Tok::Bang => "!",
+                    Tok::Amp => "&",
+                    Tok::AmpAmp => "&&",
+                    Tok::Pipe => "|",
+                    Tok::PipePipe => "||",
+                    Tok::Caret => "^",
+                    Tok::EqEq => "==",
+                    Tok::BangEq => "!=",
+                    Tok::Lt => "<",
+                    Tok::Gt => ">",
+                    Tok::GtEq => ">=",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    _ => unreachable!(),
+                };
+                write!(f, "'{s}'")
+            }
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes Verilog source.
+///
+/// Handles `//` and `/* */` comments, underscores in digit strings, and
+/// sized literals in bases `b`, `o`, `d`, `h`.
+///
+/// # Errors
+///
+/// Returns [`VerilogError`] on unknown characters, malformed numbers,
+/// unterminated block comments, or literals exceeding 64 bits.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, VerilogError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! err {
+        ($($a:tt)*) => {
+            return Err(VerilogError::new(format!($($a)*), Pos { line, col }))
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = Pos { line, col };
+        let mut advance = |i: &mut usize, n: usize| {
+            *i += n;
+            col += n as u32;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => advance(&mut i, 1),
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                        i += 1;
+                    } else {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '$' {
+                        i += 1;
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Ident(src[start..i].to_string()), pos });
+            }
+            c if c.is_ascii_digit() || c == '\'' => {
+                // Either: [size]'[base]digits  or plain decimal.
+                let mut width: Option<u32> = None;
+                if c.is_ascii_digit() {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                        col += 1;
+                    }
+                    let digits: String =
+                        src[start..i].chars().filter(|&d| d != '_').collect();
+                    let v: u64 = match digits.parse() {
+                        Ok(v) => v,
+                        Err(_) => err!("decimal literal '{digits}' out of range"),
+                    };
+                    if i < bytes.len() && bytes[i] == b'\'' {
+                        if v == 0 || v > 64 {
+                            err!("literal size {v} out of the supported 1..=64 range");
+                        }
+                        width = Some(v as u32);
+                    } else {
+                        out.push(Spanned { tok: Tok::Number { width: None, value: v }, pos });
+                        continue;
+                    }
+                }
+                // We are at the tick.
+                i += 1;
+                col += 1;
+                if i >= bytes.len() {
+                    err!("truncated based literal");
+                }
+                let base_c = (bytes[i] as char).to_ascii_lowercase();
+                let radix = match base_c {
+                    'b' => 2,
+                    'o' => 8,
+                    'd' => 10,
+                    'h' => 16,
+                    other => err!("unknown literal base '{other}'"),
+                };
+                i += 1;
+                col += 1;
+                let start = i;
+                while i < bytes.len() {
+                    let b = (bytes[i] as char).to_ascii_lowercase();
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let digits: String = src[start..i].chars().filter(|&d| d != '_').collect();
+                if digits.is_empty() {
+                    err!("based literal has no digits");
+                }
+                let value = match u64::from_str_radix(&digits, radix) {
+                    Ok(v) => v,
+                    Err(_) => err!("invalid digits '{digits}' for base {radix} or value > 64 bits"),
+                };
+                if let Some(w) = width {
+                    if w < 64 && value >> w != 0 {
+                        err!("literal value {value:#x} does not fit in {w} bits");
+                    }
+                }
+                out.push(Spanned { tok: Tok::Number { width, value }, pos });
+            }
+            _ => {
+                // Operators and punctuation (longest match first).
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let (tok, len) = match two {
+                    "&&" => (Tok::AmpAmp, 2),
+                    "||" => (Tok::PipePipe, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::BangEq, 2),
+                    "<=" => (Tok::LtEq, 2),
+                    ">=" => (Tok::GtEq, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    _ => {
+                        let t = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            ';' => Tok::Semi,
+                            ',' => Tok::Comma,
+                            ':' => Tok::Colon,
+                            '.' => Tok::Dot,
+                            '#' => Tok::Hash,
+                            '@' => Tok::At,
+                            '=' => Tok::Assign,
+                            '?' => Tok::Question,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '~' => Tok::Tilde,
+                            '!' => Tok::Bang,
+                            '&' => Tok::Amp,
+                            '|' => Tok::Pipe,
+                            '^' => Tok::Caret,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            other => err!("unexpected character '{other}'"),
+                        };
+                        (t, 1)
+                    }
+                };
+                out.push(Spanned { tok, pos });
+                i += len;
+                col += len as u32;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        assert_eq!(
+            toks("foo 42 8'hff"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Number { width: None, value: 42 },
+                Tok::Number { width: Some(8), value: 0xff },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_all_bases_and_underscores() {
+        assert_eq!(
+            toks("4'b1_010 8'o17 16'd1_000 32'hdead_beef"),
+            vec![
+                Tok::Number { width: Some(4), value: 0b1010 },
+                Tok::Number { width: Some(8), value: 0o17 },
+                Tok::Number { width: Some(16), value: 1000 },
+                Tok::Number { width: Some(32), value: 0xdead_beef },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line comment\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        assert_eq!(
+            toks("a <= b == c << d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::LtEq,
+                Tok::Ident("b".into()),
+                Tok::EqEq,
+                Tok::Ident("c".into()),
+                Tok::Shl,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literal_too_wide_for_size_is_error() {
+        assert!(lex("4'hff").is_err());
+        assert!(lex("1'b0").is_ok());
+    }
+
+    #[test]
+    fn bad_size_is_error() {
+        assert!(lex("0'h0").is_err());
+        assert!(lex("65'h0").is_err());
+    }
+
+    #[test]
+    fn position_tracking_spans_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_error() {
+        assert!(lex("a ` b").is_err());
+    }
+}

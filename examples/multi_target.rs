@@ -1,0 +1,68 @@
+//! Multi-target orchestration: run fast on the FPGA, transfer the live
+//! hardware state to the simulator, and pull a full signal trace — the
+//! "best of both worlds" workflow of the paper (§III-B).
+//!
+//! Run with: `cargo run --release --example multi_target`
+
+use hardsnap::transfer_state;
+use hardsnap_bus::{map::soc, HwTarget};
+use hardsnap_fpga::{FpgaOptions, FpgaTarget};
+use hardsnap_periph::{golden, regs};
+use hardsnap_sim::SimTarget;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Phase 1: FPGA — near-silicon speed, no visibility.
+    let mut fpga = FpgaTarget::new(hardsnap_periph::soc()?, &FpgaOptions::default())?;
+    fpga.reset();
+    println!(
+        "fpga: {} chain bits, {} collar words",
+        fpga.chain_map().chain_bits(),
+        fpga.chain_map().mem_words()
+    );
+
+    // Run a long warm-up fast (this is where the FPGA shines)...
+    fpga.step(1_000_000);
+    // ...then start an AES encryption and stop mid-pipeline.
+    let key = *b"super secret key";
+    let pt = *b"interesting text";
+    let kw = golden::words_from_bytes(&key);
+    let pw = golden::words_from_bytes(&pt);
+    for i in 0..4u32 {
+        fpga.bus_write(soc::AES_BASE + regs::aes128::KEY0 + 4 * i, kw[i as usize])?;
+        fpga.bus_write(soc::AES_BASE + regs::aes128::BLOCK0 + 4 * i, pw[i as usize])?;
+    }
+    fpga.bus_write(soc::AES_BASE + regs::aes128::CTRL, regs::aes128::CTRL_START)?;
+    fpga.step(4); // mid-encryption
+    println!("fpga: 1M cycles + AES start took {} ms of fabric time",
+        fpga.virtual_time_ns() / 1_000_000);
+
+    // Phase 2: transfer to the simulator for full traces.
+    let mut sim = SimTarget::new(hardsnap_periph::soc()?)?;
+    sim.reset();
+    sim.enable_trace();
+    let snap = transfer_state(&mut fpga, &mut sim)?;
+    println!("transferred {} state bits mid-encryption", snap.state_bits());
+
+    // Finish the encryption under the microscope.
+    sim.step(20);
+    let mut cw = [0u32; 4];
+    for (i, c) in cw.iter_mut().enumerate() {
+        *c = sim.bus_read(soc::AES_BASE + regs::aes128::RESULT0 + 4 * i as u32)?;
+    }
+    let ct = golden::bytes_from_words(&cw);
+    assert_eq!(ct, golden::aes128_encrypt(&key, &pt), "bit-exact continuation");
+    println!("ciphertext (finished on the simulator) is bit-exact.");
+
+    // The simulator recorded every internal signal since the transfer.
+    let vcd = sim.take_trace().expect("trace enabled");
+    let signal_count = vcd.lines().filter(|l| l.starts_with("$var")).count();
+    println!(
+        "full VCD trace captured: {} signals, {} bytes (viewable in GTKWave)",
+        signal_count,
+        vcd.len()
+    );
+    // Peek an internal that the FPGA could never show us live:
+    let round = sim.simulator().peek("u_aes.round")?;
+    println!("internal u_aes.round register (invisible on the fpga): {}", round.bits());
+    Ok(())
+}

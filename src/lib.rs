@@ -1,0 +1,7 @@
+//! Root integration surface of the HardSnap reproduction workspace:
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration/property tests (`tests/`). The library itself just
+//! re-exports the core crate; depend on the individual `hardsnap-*`
+//! crates directly in real projects.
+
+pub use hardsnap;
