@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything runs --offline: the workspace is
+# hermetic (no registry crates), and CI must prove it stays that way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> OK"

@@ -1,11 +1,12 @@
-//! Criterion benchmarks for E3: end-to-end symbolic analysis under each
+//! Micro-benchmarks (hardsnap-util bench timers) for E3: end-to-end symbolic analysis under each
 //! consistency mode (host time; the virtual-time comparison lives in
 //! the exp_analysis_speed binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hardsnap::firmware;
 use hardsnap::{ConsistencyMode, Engine, EngineConfig, Searcher};
 use hardsnap_sim::SimTarget;
+use hardsnap_util::bench::Criterion;
+use hardsnap_util::{criterion_group, criterion_main};
 
 fn run_mode(mode: ConsistencyMode) -> u64 {
     let prog = hardsnap_isa::assemble(&firmware::branching_firmware(3)).unwrap();

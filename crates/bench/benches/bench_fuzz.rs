@@ -1,10 +1,11 @@
-//! Criterion benchmarks for E8: fuzzing executions with snapshot vs
+//! Micro-benchmarks (hardsnap-util bench timers) for E8: fuzzing executions with snapshot vs
 //! reboot reset (host time per small campaign).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hardsnap::firmware;
 use hardsnap_fuzz::{FuzzConfig, Fuzzer, ResetStrategy};
 use hardsnap_sim::SimTarget;
+use hardsnap_util::bench::Criterion;
+use hardsnap_util::{criterion_group, criterion_main};
 
 fn campaign(reset: ResetStrategy) -> usize {
     let prog = hardsnap_isa::assemble(&firmware::uart_parser_firmware()).unwrap();
@@ -12,7 +13,13 @@ fn campaign(reset: ResetStrategy) -> usize {
     let mut f = Fuzzer::new(
         target,
         &prog,
-        FuzzConfig { max_inputs: 100, reset, seed: 7, tape_len: 2, ..Default::default() },
+        FuzzConfig {
+            max_inputs: 100,
+            reset,
+            seed: 7,
+            tape_len: 2,
+            ..Default::default()
+        },
     )
     .unwrap();
     f.run().coverage

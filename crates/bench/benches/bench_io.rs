@@ -1,21 +1,21 @@
-//! Criterion micro-benchmarks for E2: host-time cost of forwarded bus
+//! Micro-benchmarks (hardsnap-util bench timers) for E2: host-time cost of forwarded bus
 //! transactions and raw stepping on both targets.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hardsnap_bus::{map::soc, HwTarget};
 use hardsnap_fpga::{FpgaOptions, FpgaTarget};
 use hardsnap_periph::regs;
 use hardsnap_sim::SimTarget;
+use hardsnap_util::bench::Criterion;
+use hardsnap_util::{criterion_group, criterion_main};
 
 fn bench_io(c: &mut Criterion) {
     let mut sim = SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap();
     sim.reset();
     c.bench_function("sim_bus_write_read", |b| {
         b.iter(|| {
-            sim.bus_write(soc::TIMER_BASE + regs::timer::LOAD, 7).unwrap();
-            std::hint::black_box(
-                sim.bus_read(soc::TIMER_BASE + regs::timer::VALUE).unwrap(),
-            )
+            sim.bus_write(soc::TIMER_BASE + regs::timer::LOAD, 7)
+                .unwrap();
+            std::hint::black_box(sim.bus_read(soc::TIMER_BASE + regs::timer::VALUE).unwrap())
         })
     });
     c.bench_function("sim_step_100_cycles", |b| b.iter(|| sim.step(100)));
@@ -25,10 +25,9 @@ fn bench_io(c: &mut Criterion) {
     fpga.reset();
     c.bench_function("fpga_bus_write_read", |b| {
         b.iter(|| {
-            fpga.bus_write(soc::TIMER_BASE + regs::timer::LOAD, 7).unwrap();
-            std::hint::black_box(
-                fpga.bus_read(soc::TIMER_BASE + regs::timer::VALUE).unwrap(),
-            )
+            fpga.bus_write(soc::TIMER_BASE + regs::timer::LOAD, 7)
+                .unwrap();
+            std::hint::black_box(fpga.bus_read(soc::TIMER_BASE + regs::timer::VALUE).unwrap())
         })
     });
     c.bench_function("fpga_step_100_cycles", |b| b.iter(|| fpga.step(100)));

@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks for E1: host-time cost of snapshot
+//! Micro-benchmarks (hardsnap-util bench timers) for E1: host-time cost of snapshot
 //! save/restore on both targets over the full SoC.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hardsnap_bus::HwTarget;
 use hardsnap_fpga::{FpgaOptions, FpgaTarget};
 use hardsnap_sim::SimTarget;
+use hardsnap_util::bench::Criterion;
+use hardsnap_util::{criterion_group, criterion_main};
 
 fn bench_snapshot(c: &mut Criterion) {
     let mut sim = SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap();
@@ -15,7 +16,10 @@ fn bench_snapshot(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(sim.save_snapshot().unwrap()))
     });
     c.bench_function("sim_restore_snapshot_soc", |b| {
-        b.iter(|| sim.restore_snapshot(std::hint::black_box(&sim_snap)).unwrap())
+        b.iter(|| {
+            sim.restore_snapshot(std::hint::black_box(&sim_snap))
+                .unwrap()
+        })
     });
 
     let mut fpga =
@@ -27,7 +31,10 @@ fn bench_snapshot(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(fpga.save_snapshot().unwrap()))
     });
     c.bench_function("fpga_scan_restore_snapshot_soc", |b| {
-        b.iter(|| fpga.restore_snapshot(std::hint::black_box(&fpga_snap)).unwrap())
+        b.iter(|| {
+            fpga.restore_snapshot(std::hint::black_box(&fpga_snap))
+                .unwrap()
+        })
     });
 
     c.bench_function("snapshot_serialize_roundtrip", |b| {

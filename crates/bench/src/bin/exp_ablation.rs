@@ -25,7 +25,10 @@ fn main() {
     // ---- 1. snapshot storage: full vs delta ------------------------------
     println!("--- snapshot storage representation (branching k=5, BFS) ---");
     let widths = [8, 9, 12, 13, 11];
-    row(&["store", "paths", "snapshots", "peak-bytes", "live-bytes"], &widths);
+    row(
+        &["store", "paths", "snapshots", "peak-bytes", "live-bytes"],
+        &widths,
+    );
     for delta in [false, true] {
         let prog = hardsnap_isa::assemble(&firmware::branching_firmware(5)).unwrap();
         let mut e = engine(EngineConfig {
@@ -104,7 +107,10 @@ fn main() {
         ("exhaustive(8)", Concretization::Exhaustive(8)),
     ] {
         let prog = hardsnap_isa::assemble(&src).unwrap();
-        let mut e = engine(EngineConfig { policy, ..Default::default() });
+        let mut e = engine(EngineConfig {
+            policy,
+            ..Default::default()
+        });
         e.load_firmware(&prog);
         let r = e.run();
         row(

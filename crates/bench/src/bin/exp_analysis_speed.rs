@@ -34,7 +34,11 @@ fn run(mode: ConsistencyMode, src: &str, fpga: bool) -> (u64, u64, u64) {
     engine.load_firmware(&prog);
     let r = engine.run();
     assert!(r.bugs.is_empty(), "{mode:?}: {:?}", r.bugs);
-    (r.metrics.paths_completed, r.hw_virtual_time_ns, r.metrics.context_switches)
+    (
+        r.metrics.paths_completed,
+        r.hw_virtual_time_ns,
+        r.metrics.context_switches,
+    )
 }
 
 fn main() {
@@ -51,7 +55,17 @@ fn main() {
             "--- branching firmware (paths = 2^k) on the {} target ---",
             if fpga { "FPGA" } else { "simulator" }
         );
-        row(&["k", "paths", "hardsnap-time", "reboot-time", "speedup", "switches"], &widths);
+        row(
+            &[
+                "k",
+                "paths",
+                "hardsnap-time",
+                "reboot-time",
+                "speedup",
+                "switches",
+            ],
+            &widths,
+        );
         for k in [2u32, 3, 4, 5] {
             let src = firmware::branching_firmware(k);
             let (p_hs, t_hs, sw) = run(ConsistencyMode::HardSnap, &src, fpga);
@@ -72,7 +86,17 @@ fn main() {
     }
     println!();
     println!("--- init-heavy firmware (k=3, sweeping init writes, simulator) ---");
-    row(&["init", "paths", "hardsnap-time", "reboot-time", "speedup", "switches"], &widths);
+    row(
+        &[
+            "init",
+            "paths",
+            "hardsnap-time",
+            "reboot-time",
+            "speedup",
+            "switches",
+        ],
+        &widths,
+    );
     for init in [10u32, 40, 160] {
         let src = firmware::init_heavy_firmware(init, 3);
         let (p_hs, t_hs, sw) = run(ConsistencyMode::HardSnap, &src, false);

@@ -25,7 +25,10 @@ fn main() {
          inconsistent baseline: misses and/or false alarms",
     );
     let widths = [20, 17, 7, 9, 13, 24];
-    row(&["mode", "bug", "found", "false+", "instrs", "testcase"], &widths);
+    row(
+        &["mode", "bug", "found", "false+", "instrs", "testcase"],
+        &widths,
+    );
     for (mode_name, mode) in [
         ("hardsnap", ConsistencyMode::HardSnap),
         ("naive-consistent", ConsistencyMode::NaiveConsistent),
@@ -74,8 +77,7 @@ fn main() {
         // each asserting its own hardware readback. A correct engine
         // reports zero bugs here; shared-hardware analysis raises false
         // alarms (the false positives the paper warns about).
-        let prog =
-            hardsnap_isa::assemble(&hardsnap::firmware::branching_firmware(4)).unwrap();
+        let prog = hardsnap_isa::assemble(&hardsnap::firmware::branching_firmware(4)).unwrap();
         let config = EngineConfig {
             mode,
             searcher: Searcher::RoundRobin,
@@ -96,7 +98,11 @@ fn main() {
                 "-",
                 &r.bugs.len().to_string(),
                 &r.instructions.to_string(),
-                if r.bugs.is_empty() { "(clean)" } else { "(false alarms!)" },
+                if r.bugs.is_empty() {
+                    "(clean)"
+                } else {
+                    "(false alarms!)"
+                },
             ],
             &widths,
         );

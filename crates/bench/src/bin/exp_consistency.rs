@@ -30,7 +30,10 @@ fn main() {
     let exp_b = golden_digest_w0(0xBBBB_0002);
     println!("golden digest[0]: path A = {exp_a:#010x}, path B = {exp_b:#010x}");
     let widths = [20, 7, 10, 10, 8, 12];
-    row(&["mode", "paths", "correct", "corrupt", "alarms", "hw-time"], &widths);
+    row(
+        &["mode", "paths", "correct", "corrupt", "alarms", "hw-time"],
+        &widths,
+    );
 
     for (name, mode) in [
         ("hardsnap", ConsistencyMode::HardSnap),

@@ -12,7 +12,13 @@ fn campaign(reset: ResetStrategy, inputs: u64) -> hardsnap_fuzz::FuzzReport {
     let mut f = Fuzzer::new(
         target,
         &prog,
-        FuzzConfig { max_inputs: inputs, reset, seed: 42, tape_len: 2, ..Default::default() },
+        FuzzConfig {
+            max_inputs: inputs,
+            reset,
+            seed: 42,
+            tape_len: 2,
+            ..Default::default()
+        },
     )
     .unwrap();
     f.run()
@@ -26,10 +32,21 @@ fn main() {
          virtual execs/sec (and time-to-crash) improve accordingly",
     );
     let widths = [10, 8, 10, 9, 14, 16];
-    row(&["reset", "execs", "coverage", "crashes", "hw-time", "virt execs/s"], &widths);
-    for (name, reset) in
-        [("snapshot", ResetStrategy::Snapshot), ("reboot", ResetStrategy::Reboot)]
-    {
+    row(
+        &[
+            "reset",
+            "execs",
+            "coverage",
+            "crashes",
+            "hw-time",
+            "virt execs/s",
+        ],
+        &widths,
+    );
+    for (name, reset) in [
+        ("snapshot", ResetStrategy::Snapshot),
+        ("reboot", ResetStrategy::Reboot),
+    ] {
         let r = campaign(reset, 2000);
         row(
             &[

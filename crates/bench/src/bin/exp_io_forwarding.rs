@@ -17,8 +17,12 @@ fn measure(target: &mut dyn HwTarget, n: u32) -> (u64, u64, u64) {
     // Forwarding latency: n write+read pairs against the timer.
     let t0 = target.virtual_time_ns();
     for i in 0..n {
-        target.bus_write(soc::TIMER_BASE + regs::timer::LOAD, i).unwrap();
-        let v = target.bus_read(soc::TIMER_BASE + regs::timer::VALUE).unwrap();
+        target
+            .bus_write(soc::TIMER_BASE + regs::timer::LOAD, i)
+            .unwrap();
+        let v = target
+            .bus_read(soc::TIMER_BASE + regs::timer::VALUE)
+            .unwrap();
         assert_eq!(v, i);
     }
     let io_ns = (target.virtual_time_ns() - t0) / (2 * n as u64);
@@ -39,18 +43,31 @@ fn main() {
          interactions + much computation favors FPGA.",
     );
     let widths = [11, 16, 18, 14];
-    row(&["target", "ns/transaction", "ns/100k cycles", "eff. clock"], &widths);
+    row(
+        &["target", "ns/transaction", "ns/100k cycles", "eff. clock"],
+        &widths,
+    );
     let mut sim = SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap();
     let (io, st, hz) = measure(&mut sim, 100);
     row(
-        &["simulator", &fmt_ns(io), &fmt_ns(st), &format!("{:.2} MHz", hz as f64 / 1e6)],
+        &[
+            "simulator",
+            &fmt_ns(io),
+            &fmt_ns(st),
+            &format!("{:.2} MHz", hz as f64 / 1e6),
+        ],
         &widths,
     );
     let mut fpga =
         FpgaTarget::new(hardsnap_periph::soc().unwrap(), &FpgaOptions::default()).unwrap();
     let (io, st, hz) = measure(&mut fpga, 100);
     row(
-        &["fpga", &fmt_ns(io), &fmt_ns(st), &format!("{:.2} MHz", hz as f64 / 1e6)],
+        &[
+            "fpga",
+            &fmt_ns(io),
+            &fmt_ns(st),
+            &format!("{:.2} MHz", hz as f64 / 1e6),
+        ],
         &widths,
     );
 }

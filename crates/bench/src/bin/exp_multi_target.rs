@@ -16,16 +16,21 @@ fn load_aes(t: &mut dyn HwTarget, key: &[u8; 16], pt: &[u8; 16]) {
     let kw = golden::words_from_bytes(key);
     let pw = golden::words_from_bytes(pt);
     for i in 0..4u32 {
-        t.bus_write(soc::AES_BASE + regs::aes128::KEY0 + 4 * i, kw[i as usize]).unwrap();
-        t.bus_write(soc::AES_BASE + regs::aes128::BLOCK0 + 4 * i, pw[i as usize]).unwrap();
+        t.bus_write(soc::AES_BASE + regs::aes128::KEY0 + 4 * i, kw[i as usize])
+            .unwrap();
+        t.bus_write(soc::AES_BASE + regs::aes128::BLOCK0 + 4 * i, pw[i as usize])
+            .unwrap();
     }
-    t.bus_write(soc::AES_BASE + regs::aes128::CTRL, regs::aes128::CTRL_START).unwrap();
+    t.bus_write(soc::AES_BASE + regs::aes128::CTRL, regs::aes128::CTRL_START)
+        .unwrap();
 }
 
 fn read_result(t: &mut dyn HwTarget) -> [u8; 16] {
     let mut cw = [0u32; 4];
     for (i, c) in cw.iter_mut().enumerate() {
-        *c = t.bus_read(soc::AES_BASE + regs::aes128::RESULT0 + 4 * i as u32).unwrap();
+        *c = t
+            .bus_read(soc::AES_BASE + regs::aes128::RESULT0 + 4 * i as u32)
+            .unwrap();
     }
     golden::bytes_from_words(&cw)
 }
@@ -62,7 +67,11 @@ fn main() {
         &[
             "fpga -> simulator",
             &fmt_ns(cost_f + cost_s),
-            if ct == expected { "ciphertext bit-exact" } else { "MISMATCH" },
+            if ct == expected {
+                "ciphertext bit-exact"
+            } else {
+                "MISMATCH"
+            },
         ],
         &widths,
     );
@@ -85,7 +94,11 @@ fn main() {
         &[
             "simulator -> fpga",
             &fmt_ns(cost),
-            if ct2 == expected { "ciphertext bit-exact" } else { "MISMATCH" },
+            if ct2 == expected {
+                "ciphertext bit-exact"
+            } else {
+                "MISMATCH"
+            },
         ],
         &widths,
     );

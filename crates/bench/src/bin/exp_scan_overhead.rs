@@ -20,7 +20,17 @@ fn main() {
     );
     println!("--- area overhead per corpus design ---");
     let widths = [10, 12, 12, 10, 12, 12];
-    row(&["design", "cells-orig", "cells-scan", "overhead", "ff-orig", "ff-scan"], &widths);
+    row(
+        &[
+            "design",
+            "cells-orig",
+            "cells-scan",
+            "overhead",
+            "ff-orig",
+            "ff-scan",
+        ],
+        &widths,
+    );
     for (name, f) in hardsnap_periph::corpus()
         .into_iter()
         .chain([("soc_top", hardsnap_periph::soc as fn() -> _)])
@@ -48,12 +58,27 @@ fn main() {
     println!();
     println!("--- scan vs readback latency (size sweep) ---");
     let widths = [10, 12, 12, 14, 10];
-    row(&["design", "state-bits", "scan-save", "readback-save", "winner"], &widths);
+    row(
+        &[
+            "design",
+            "state-bits",
+            "scan-save",
+            "readback-save",
+            "winner",
+        ],
+        &widths,
+    );
     for n in [1u32, 16, 128, 512] {
         let m = synthetic_design(n);
         let bits = ModuleStats::of(&m).state_bits;
-        let mut t = FpgaTarget::new(m, &FpgaOptions { readback: true, ..Default::default() })
-            .unwrap();
+        let mut t = FpgaTarget::new(
+            m,
+            &FpgaOptions {
+                readback: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         t.reset();
         let t0 = t.virtual_time_ns();
         let _ = t.save_snapshot().unwrap();

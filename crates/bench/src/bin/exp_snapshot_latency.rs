@@ -22,8 +22,14 @@ fn measure_sim(m: hardsnap_rtl::Module) -> (u64, u64) {
 }
 
 fn measure_fpga(m: hardsnap_rtl::Module) -> (u64, u64, u64) {
-    let mut t = FpgaTarget::new(m, &FpgaOptions { readback: true, ..Default::default() })
-        .unwrap();
+    let mut t = FpgaTarget::new(
+        m,
+        &FpgaOptions {
+            readback: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     t.reset();
     t.step(50);
     let t0 = t.virtual_time_ns();
@@ -46,8 +52,15 @@ fn main() {
     );
     let widths = [12, 11, 12, 12, 12, 12, 13];
     row(
-        &["design", "state-bits", "sim-save", "sim-restore", "scan-save",
-          "scan-restore", "readback-save"],
+        &[
+            "design",
+            "state-bits",
+            "sim-save",
+            "sim-restore",
+            "scan-save",
+            "scan-restore",
+            "readback-save",
+        ],
         &widths,
     );
     let corpus: Vec<(String, hardsnap_rtl::Module)> = hardsnap_periph::corpus()
@@ -63,16 +76,30 @@ fn main() {
         let (ss, sr) = measure_sim(m.clone());
         let (fs, fr, rb) = measure_fpga(m);
         row(
-            &[&name, &bits.to_string(), &fmt_ns(ss), &fmt_ns(sr), &fmt_ns(fs),
-              &fmt_ns(fr), &fmt_ns(rb)],
+            &[
+                &name,
+                &bits.to_string(),
+                &fmt_ns(ss),
+                &fmt_ns(sr),
+                &fmt_ns(fs),
+                &fmt_ns(fr),
+                &fmt_ns(rb),
+            ],
             &widths,
         );
     }
     println!();
     println!("--- synthetic size sweep (shift-register designs) ---");
     row(
-        &["design", "state-bits", "sim-save", "sim-restore", "scan-save",
-          "scan-restore", "readback-save"],
+        &[
+            "design",
+            "state-bits",
+            "sim-save",
+            "sim-restore",
+            "scan-save",
+            "scan-restore",
+            "readback-save",
+        ],
         &widths,
     );
     for n in [1u32, 4, 16, 64, 256] {
@@ -81,8 +108,15 @@ fn main() {
         let (ss, sr) = measure_sim(m.clone());
         let (fs, fr, rb) = measure_fpga(m);
         row(
-            &[&format!("synth-{n}"), &bits.to_string(), &fmt_ns(ss), &fmt_ns(sr),
-              &fmt_ns(fs), &fmt_ns(fr), &fmt_ns(rb)],
+            &[
+                &format!("synth-{n}"),
+                &bits.to_string(),
+                &fmt_ns(ss),
+                &fmt_ns(sr),
+                &fmt_ns(fs),
+                &fmt_ns(fr),
+                &fmt_ns(rb),
+            ],
             &widths,
         );
     }

@@ -15,8 +15,17 @@ fn main() {
     );
     let widths = [10, 8, 7, 7, 9, 9, 11, 11, 9];
     row(
-        &["periph", "v-loc", "nets", "flops", "ff-bits", "mem-bits", "state-bits",
-          "comb-cells", "scan+%"],
+        &[
+            "periph",
+            "v-loc",
+            "nets",
+            "flops",
+            "ff-bits",
+            "mem-bits",
+            "state-bits",
+            "comb-cells",
+            "scan+%",
+        ],
         &widths,
     );
     let sources = [
@@ -40,8 +49,7 @@ fn main() {
         let (instrumented, chain) = instrument(&m, &ScanOptions::default()).unwrap();
         let istats = ModuleStats::of(&instrumented);
         let overhead =
-            100.0 * (istats.comb_cells as f64 - stats.comb_cells as f64)
-                / stats.comb_cells as f64;
+            100.0 * (istats.comb_cells as f64 - stats.comb_cells as f64) / stats.comb_cells as f64;
         let loc = src.lines().filter(|l| !l.trim().is_empty()).count();
         row(
             &[
@@ -51,7 +59,16 @@ fn main() {
                 &stats.flops.to_string(),
                 &stats.flop_bits.to_string(),
                 &stats.mem_bits.to_string(),
-                &format!("{} (={})", stats.state_bits, chain.chain_bits() + chain.mems.iter().map(|c| c.width as u64 * c.depth as u64).sum::<u64>()),
+                &format!(
+                    "{} (={})",
+                    stats.state_bits,
+                    chain.chain_bits()
+                        + chain
+                            .mems
+                            .iter()
+                            .map(|c| c.width as u64 * c.depth as u64)
+                            .sum::<u64>()
+                ),
                 &stats.comb_cells.to_string(),
                 &format!("{overhead:+.1}%"),
             ],

@@ -124,8 +124,8 @@ fn cmd_stats(args: &[String]) -> CliResult {
     let m = load_design(path, flag(&flags, "top"))?;
     let stats = hardsnap_rtl::ModuleStats::of(&m);
     println!("{stats}");
-    let (_, chain) = instrument(&m, &ScanOptions::default())
-        .map_err(|e| format!("instrumentation: {e}"))?;
+    let (_, chain) =
+        instrument(&m, &ScanOptions::default()).map_err(|e| format!("instrumentation: {e}"))?;
     println!(
         "scan chain: {} bits, {} memory collar words",
         chain.chain_bits(),
@@ -157,7 +157,9 @@ fn cmd_instrument(args: &[String]) -> CliResult {
 fn cmd_sim(args: &[String]) -> CliResult {
     let (pos, flags) = parse_flags(args)?;
     let path = pos.first().ok_or("sim: missing <design.v>")?;
-    let cycles: u64 = flag(&flags, "cycles").ok_or("sim: missing --cycles N")?.parse()?;
+    let cycles: u64 = flag(&flags, "cycles")
+        .ok_or("sim: missing --cycles N")?
+        .parse()?;
     let m = load_design(path, flag(&flags, "top"))?;
     let mut sim = hardsnap_sim::Simulator::new(m)?;
     let mut trace = flag(&flags, "vcd").map(|_| hardsnap_sim::VcdTrace::new(&mut sim));
@@ -199,7 +201,11 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     };
     let mut engine = Engine::new(
         target,
-        EngineConfig { mode, searcher: Searcher::RoundRobin, ..Default::default() },
+        EngineConfig {
+            mode,
+            searcher: Searcher::RoundRobin,
+            ..Default::default()
+        },
     );
     engine.load_firmware(&program);
     let result = engine.run();
@@ -241,7 +247,11 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     let mut fuzzer = Fuzzer::new(
         target,
         &program,
-        FuzzConfig { max_inputs: inputs, reset, ..Default::default() },
+        FuzzConfig {
+            max_inputs: inputs,
+            reset,
+            ..Default::default()
+        },
     )?;
     let r = fuzzer.run();
     println!("executions      : {}", r.execs);

@@ -120,7 +120,11 @@ mod tests {
         let m = synthetic_design(4);
         // 4 * 64 data bits plus a handful of AXI handshake flops.
         let stats = hardsnap_rtl::ModuleStats::of(&m);
-        assert!(stats.state_bits >= 256 && stats.state_bits < 400, "{}", stats.state_bits);
+        assert!(
+            stats.state_bits >= 256 && stats.state_bits < 400,
+            "{}",
+            stats.state_bits
+        );
         let m = synthetic_design(16);
         assert!(hardsnap_rtl::ModuleStats::of(&m).state_bits >= 1024);
     }

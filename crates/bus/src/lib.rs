@@ -53,7 +53,10 @@ impl fmt::Display for BusError {
         match self {
             BusError::SlaveError { addr } => write!(f, "bus slave error at {addr:#010x}"),
             BusError::Timeout { addr, cycles } => {
-                write!(f, "bus handshake timeout at {addr:#010x} after {cycles} cycles")
+                write!(
+                    f,
+                    "bus handshake timeout at {addr:#010x} after {cycles} cycles"
+                )
             }
             BusError::NotReady => write!(f, "target not ready for bus transactions"),
         }

@@ -160,29 +160,61 @@ mod tests {
     #[test]
     fn overlap_rejected() {
         let mut m = MemoryMap::new();
-        m.add(Region { name: "a".into(), base: 0, size: 0x100, kind: RegionKind::Ram }).unwrap();
+        m.add(Region {
+            name: "a".into(),
+            base: 0,
+            size: 0x100,
+            kind: RegionKind::Ram,
+        })
+        .unwrap();
         let e = m
-            .add(Region { name: "b".into(), base: 0xff, size: 1, kind: RegionKind::Ram })
+            .add(Region {
+                name: "b".into(),
+                base: 0xff,
+                size: 1,
+                kind: RegionKind::Ram,
+            })
             .unwrap_err();
         assert!(e.contains("overlaps"));
         // Adjacent is fine.
-        m.add(Region { name: "c".into(), base: 0x100, size: 1, kind: RegionKind::Mmio }).unwrap();
+        m.add(Region {
+            name: "c".into(),
+            base: 0x100,
+            size: 1,
+            kind: RegionKind::Mmio,
+        })
+        .unwrap();
     }
 
     #[test]
     fn empty_and_wrapping_regions_rejected() {
         let mut m = MemoryMap::new();
         assert!(m
-            .add(Region { name: "z".into(), base: 0, size: 0, kind: RegionKind::Ram })
+            .add(Region {
+                name: "z".into(),
+                base: 0,
+                size: 0,
+                kind: RegionKind::Ram
+            })
             .is_err());
         assert!(m
-            .add(Region { name: "w".into(), base: u32::MAX, size: 2, kind: RegionKind::Ram })
+            .add(Region {
+                name: "w".into(),
+                base: u32::MAX,
+                size: 2,
+                kind: RegionKind::Ram
+            })
             .is_err());
     }
 
     #[test]
     fn region_boundaries_are_exact() {
-        let r = Region { name: "r".into(), base: 0x100, size: 0x10, kind: RegionKind::Mmio };
+        let r = Region {
+            name: "r".into(),
+            base: 0x100,
+            size: 0x10,
+            kind: RegionKind::Mmio,
+        };
         assert!(!r.contains(0xff));
         assert!(r.contains(0x100));
         assert!(r.contains(0x10f));

@@ -58,7 +58,11 @@ impl HwSnapshot {
     /// Total architectural state bits captured.
     pub fn state_bits(&self) -> u64 {
         let r: u64 = self.regs.iter().map(|r| r.width as u64).sum();
-        let m: u64 = self.mems.iter().map(|m| m.width as u64 * m.words.len() as u64).sum();
+        let m: u64 = self
+            .mems
+            .iter()
+            .map(|m| m.width as u64 * m.words.len() as u64)
+            .sum();
         r + m
     }
 
@@ -74,7 +78,10 @@ impl HwSnapshot {
 
     /// Builds a name → bits map for diffing snapshots in diagnostics.
     pub fn reg_map(&self) -> HashMap<&str, u64> {
-        self.regs.iter().map(|r| (r.name.as_str(), r.bits)).collect()
+        self.regs
+            .iter()
+            .map(|r| (r.name.as_str(), r.bits))
+            .collect()
     }
 
     /// Names of registers whose value differs between `self` and `other`
@@ -162,7 +169,12 @@ impl HwSnapshot {
             }
             mems.push(MemImage { name, width, words });
         }
-        Ok(HwSnapshot { design, cycle, regs, mems })
+        Ok(HwSnapshot {
+            design,
+            cycle,
+            regs,
+            mems,
+        })
     }
 
     /// Size of the serialized image in bytes (without serializing);
@@ -226,8 +238,16 @@ mod tests {
             design: "soc_top".into(),
             cycle: 1234,
             regs: vec![
-                RegImage { name: "u_uart.txfifo_head".into(), width: 4, bits: 7 },
-                RegImage { name: "u_aes.busy".into(), width: 1, bits: 1 },
+                RegImage {
+                    name: "u_uart.txfifo_head".into(),
+                    width: 4,
+                    bits: 7,
+                },
+                RegImage {
+                    name: "u_aes.busy".into(),
+                    width: 1,
+                    bits: 1,
+                },
             ],
             mems: vec![MemImage {
                 name: "u_sha.w_mem".into(),
@@ -279,13 +299,21 @@ mod tests {
     fn truncation_rejected() {
         let bytes = sample().to_bytes();
         for cut in [7, 15, bytes.len() - 1] {
-            assert!(HwSnapshot::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                HwSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 
     #[test]
     fn empty_snapshot_roundtrips() {
-        let s = HwSnapshot { design: "d".into(), cycle: 0, regs: vec![], mems: vec![] };
+        let s = HwSnapshot {
+            design: "d".into(),
+            cycle: 0,
+            regs: vec![],
+            mems: vec![],
+        };
         assert_eq!(HwSnapshot::from_bytes(&s.to_bytes()).unwrap(), s);
         assert_eq!(s.state_bits(), 0);
     }
@@ -324,7 +352,10 @@ impl SnapshotDelta {
         if base.regs.len() != new.regs.len() || base.mems.len() != new.mems.len() {
             return Err("snapshot shapes differ".into());
         }
-        let mut delta = SnapshotDelta { cycle: new.cycle, ..Default::default() };
+        let mut delta = SnapshotDelta {
+            cycle: new.cycle,
+            ..Default::default()
+        };
         for (i, (b, n)) in base.regs.iter().zip(&new.regs).enumerate() {
             if b.name != n.name || b.width != n.width {
                 return Err(format!("register {i} layout differs"));
@@ -390,9 +421,17 @@ mod delta_tests {
             design: "d".into(),
             cycle: 10,
             regs: (0..8)
-                .map(|i| RegImage { name: format!("r{i}"), width: 32, bits: i })
+                .map(|i| RegImage {
+                    name: format!("r{i}"),
+                    width: 32,
+                    bits: i,
+                })
                 .collect(),
-            mems: vec![MemImage { name: "m".into(), width: 32, words: vec![0; 16] }],
+            mems: vec![MemImage {
+                name: "m".into(),
+                width: 32,
+                words: vec![0; 16],
+            }],
         }
     }
 
@@ -432,9 +471,17 @@ mod delta_tests {
     #[test]
     fn apply_range_checks() {
         let b = base();
-        let d = SnapshotDelta { regs: vec![(99, 0)], mem_words: vec![], cycle: 0 };
+        let d = SnapshotDelta {
+            regs: vec![(99, 0)],
+            mem_words: vec![],
+            cycle: 0,
+        };
         assert!(d.apply(&b).is_err());
-        let d = SnapshotDelta { regs: vec![], mem_words: vec![(0, 999, 0)], cycle: 0 };
+        let d = SnapshotDelta {
+            regs: vec![],
+            mem_words: vec![(0, 999, 0)],
+            cycle: 0,
+        };
         assert!(d.apply(&b).is_err());
     }
 }

@@ -180,7 +180,11 @@ mod tests {
             Ok(HwSnapshot {
                 design: "fake".into(),
                 cycle: self.cycle,
-                regs: vec![crate::RegImage { name: "reg".into(), width: 64, bits: self.reg }],
+                regs: vec![crate::RegImage {
+                    name: "reg".into(),
+                    width: 64,
+                    bits: self.reg,
+                }],
                 mems: vec![],
             })
         }
@@ -191,9 +195,9 @@ mod tests {
                     found: "fake".into(),
                 });
             }
-            self.reg = snap.reg("reg").ok_or_else(|| {
-                TargetError::CorruptSnapshot("missing 'reg'".into())
-            })?;
+            self.reg = snap
+                .reg("reg")
+                .ok_or_else(|| TargetError::CorruptSnapshot("missing 'reg'".into()))?;
             Ok(())
         }
         fn virtual_time_ns(&self) -> u64 {
@@ -203,8 +207,18 @@ mod tests {
 
     #[test]
     fn transfer_state_moves_state_across_targets() {
-        let mut a = FakeTarget { name: "a".into(), reg: 0, cycle: 0, vtime: 0 };
-        let mut b = FakeTarget { name: "b".into(), reg: 0, cycle: 0, vtime: 0 };
+        let mut a = FakeTarget {
+            name: "a".into(),
+            reg: 0,
+            cycle: 0,
+            vtime: 0,
+        };
+        let mut b = FakeTarget {
+            name: "b".into(),
+            reg: 0,
+            cycle: 0,
+            vtime: 0,
+        };
         a.step(42);
         let snap = transfer_state(&mut a, &mut b).unwrap();
         assert_eq!(snap.reg("reg"), Some(42));
@@ -213,8 +227,16 @@ mod tests {
 
     #[test]
     fn mismatched_design_is_rejected() {
-        let mut b = FakeTarget { name: "b".into(), reg: 0, cycle: 0, vtime: 0 };
-        let snap = HwSnapshot { design: "other".into(), ..Default::default() };
+        let mut b = FakeTarget {
+            name: "b".into(),
+            reg: 0,
+            cycle: 0,
+            vtime: 0,
+        };
+        let snap = HwSnapshot {
+            design: "other".into(),
+            ..Default::default()
+        };
         assert!(matches!(
             b.restore_snapshot(&snap),
             Err(TargetError::DesignMismatch { .. })
@@ -223,7 +245,12 @@ mod tests {
 
     #[test]
     fn trait_is_object_safe() {
-        let mut t = FakeTarget { name: "t".into(), reg: 0, cycle: 0, vtime: 0 };
+        let mut t = FakeTarget {
+            name: "t".into(),
+            reg: 0,
+            cycle: 0,
+            vtime: 0,
+        };
         let dt: &mut dyn HwTarget = &mut t;
         dt.step(1);
         assert_eq!(dt.cycle(), 1);

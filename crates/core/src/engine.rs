@@ -230,7 +230,12 @@ impl SymMmio for TargetMmio<'_> {
         if std::env::var_os("HARDSNAP_TRACE_IO").is_some() {
             eprintln!("live  R {addr:#010x} -> {v:#010x} @age {at_age}");
         }
-        self.log.push(IoOp { is_write: false, addr, value: v, at_age });
+        self.log.push(IoOp {
+            is_write: false,
+            addr,
+            value: v,
+            at_age,
+        });
         Ok(v)
     }
 
@@ -240,7 +245,12 @@ impl SymMmio for TargetMmio<'_> {
         if std::env::var_os("HARDSNAP_TRACE_IO").is_some() {
             eprintln!("live  W {addr:#010x} <- {data:#010x} @age {at_age}");
         }
-        self.log.push(IoOp { is_write: true, addr, value: data, at_age });
+        self.log.push(IoOp {
+            is_write: true,
+            addr,
+            value: data,
+            at_age,
+        });
         Ok(())
     }
 }
@@ -275,7 +285,9 @@ impl Engine {
     /// Resets the hardware and enqueues the initial state of `program`.
     pub fn load_firmware(&mut self, program: &hardsnap_isa::Program) {
         self.target.reset();
-        let s = self.executor.initial_state(program.image.clone(), program.entry);
+        let s = self
+            .executor
+            .initial_state(program.image.clone(), program.entry);
         self.io_logs.insert(s.id, Vec::new());
         self.active.push_back(s);
     }
@@ -286,7 +298,10 @@ impl Engine {
         name: impl Into<String>,
         check: impl Fn(&HwSnapshot) -> bool + 'static,
     ) {
-        self.hw_assertions.push(HwAssertion { name: name.into(), check: Box::new(check) });
+        self.hw_assertions.push(HwAssertion {
+            name: name.into(),
+            check: Box::new(check),
+        });
     }
 
     /// The live hardware target.
@@ -372,8 +387,17 @@ impl Engine {
                 }
                 match self.snap_of.get(&next.id) {
                     Some(&sid) => {
-                        let snap = self.store.get(sid).expect("snapshot exists");
-                        self.target.restore_snapshot(&snap).expect("snapshot restore");
+                        // Engine-owned sids are never delta bases, so the
+                        // chain cannot break; if the store is ever
+                        // corrupted, fail with the precise broken link
+                        // rather than a bare unwrap.
+                        let snap = self
+                            .store
+                            .try_get(sid)
+                            .unwrap_or_else(|e| panic!("state {:?}: {e}", next.id));
+                        self.target
+                            .restore_snapshot(&snap)
+                            .expect("snapshot restore");
                         self.metrics.snapshots_restored += 1;
                     }
                     None => {
@@ -609,16 +633,16 @@ impl Engine {
                         }
                         break 'quantum;
                     }
-                    StepOutcome::Bug { report, continuation } => {
+                    StepOutcome::Bug {
+                        report,
+                        continuation,
+                    } => {
                         bugs.push(report);
                         match continuation {
                             Some(s) => {
                                 if !self.io_logs.contains_key(&s.id) {
-                                    let parent_log = self
-                                        .io_logs
-                                        .get(&state_id)
-                                        .cloned()
-                                        .unwrap_or_default();
+                                    let parent_log =
+                                        self.io_logs.get(&state_id).cloned().unwrap_or_default();
                                     self.io_logs.insert(s.id, parent_log);
                                 }
                                 self.active.push_back(s);

@@ -78,7 +78,10 @@ pub fn init_heavy_firmware(n_init_writes: u32, k_branches: u32) -> String {
     init.push_str("    li r3, TIMER_BASE\n");
     for i in 0..n_init_writes {
         // Alternate prescaler writes: harmless, realistic config churn.
-        init.push_str(&format!("    movi r4, #{}\n    stw r4, [r3, #0x10]\n", i % 7 + 1));
+        init.push_str(&format!(
+            "    movi r4, #{}\n    stw r4, [r3, #0x10]\n",
+            i % 7 + 1
+        ));
     }
     let mut body = String::new();
     for i in 0..k_branches {
@@ -181,7 +184,11 @@ pub enum PlantedBug {
 impl PlantedBug {
     /// All planted bugs.
     pub fn all() -> [PlantedBug; 3] {
-        [PlantedBug::LengthOverflow, PlantedBug::MagicCommand, PlantedBug::IrqGated]
+        [
+            PlantedBug::LengthOverflow,
+            PlantedBug::MagicCommand,
+            PlantedBug::IrqGated,
+        ]
     }
 
     /// Short name for reports.

@@ -15,20 +15,59 @@
 //!   `exp_ablation` harness).
 
 use hardsnap_bus::{HwSnapshot, SnapshotDelta};
-use parking_lot::RwLock;
+use hardsnap_util::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A snapshot identifier.
 pub type SnapId = u64;
 
+/// Errors from snapshot lookup/reconstruction.
+///
+/// A delta entry is only usable while its base image is alive; if the
+/// base was evicted (e.g. [`SnapshotStore::remove`] on a shared base id)
+/// the dependent delta is unrecoverable and lookups report exactly
+/// which link of the chain is broken instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// No entry under this id.
+    Missing(SnapId),
+    /// A delta entry (somewhere along `id`'s chain) references a base
+    /// that no longer exists.
+    MissingBase {
+        /// The id whose reconstruction failed.
+        id: SnapId,
+        /// The missing base id the chain references.
+        base: SnapId,
+    },
+    /// The delta no longer applies to its base image (shape mismatch —
+    /// indicates store corruption).
+    Corrupt {
+        /// The id whose delta failed to apply.
+        id: SnapId,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Missing(id) => write!(f, "snapshot {id} does not exist"),
+            SnapshotError::MissingBase { id, base } => {
+                write!(f, "snapshot {id} is a delta against missing base {base}")
+            }
+            SnapshotError::Corrupt { id } => {
+                write!(f, "snapshot {id}: delta does not apply to its base")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 #[derive(Debug)]
 enum Entry {
     Full(HwSnapshot),
-    Delta {
-        base: SnapId,
-        delta: SnapshotDelta,
-    },
+    Delta { base: SnapId, delta: SnapshotDelta },
 }
 
 impl Entry {
@@ -61,11 +100,22 @@ struct Inner {
 
 impl Inner {
     fn resolve(&self, id: SnapId) -> Option<HwSnapshot> {
-        match self.entries.get(&id)? {
-            Entry::Full(s) => Some(s.clone()),
+        self.try_resolve(id).ok()
+    }
+
+    fn try_resolve(&self, id: SnapId) -> Result<HwSnapshot, SnapshotError> {
+        match self.entries.get(&id).ok_or(SnapshotError::Missing(id))? {
+            Entry::Full(s) => Ok(s.clone()),
             Entry::Delta { base, delta } => {
-                let base_snap = self.resolve(*base)?;
-                delta.apply(&base_snap).ok()
+                let base_snap = self.try_resolve(*base).map_err(|e| match e {
+                    // The outermost id is what the caller asked for;
+                    // point at it, naming the first broken base link.
+                    SnapshotError::Missing(b) => SnapshotError::MissingBase { id, base: b },
+                    other => other,
+                })?;
+                delta
+                    .apply(&base_snap)
+                    .map_err(|_| SnapshotError::Corrupt { id })
             }
         }
     }
@@ -154,7 +204,11 @@ impl SnapshotStore {
     /// against their base).
     pub fn update(&self, id: SnapId, snap: HwSnapshot) {
         let mut g = self.inner.write();
-        let old_sz = g.entries.get(&id).map(|e| e.byte_size() as isize).unwrap_or(0);
+        let old_sz = g
+            .entries
+            .get(&id)
+            .map(|e| e.byte_size() as isize)
+            .unwrap_or(0);
         let new_entry = match g.entries.get(&id) {
             Some(Entry::Delta { base, .. }) => {
                 let base = *base;
@@ -181,6 +235,17 @@ impl SnapshotStore {
     /// Fetches a snapshot by id (reconstructing deltas transparently).
     pub fn get(&self, id: SnapId) -> Option<HwSnapshot> {
         self.inner.read().resolve(id)
+    }
+
+    /// Like [`SnapshotStore::get`], but reports *why* a snapshot cannot
+    /// be produced: missing id, delta chain with an evicted base, or a
+    /// delta that no longer applies.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] naming the broken link of the chain.
+    pub fn try_get(&self, id: SnapId) -> Result<HwSnapshot, SnapshotError> {
+        self.inner.read().try_resolve(id)
     }
 
     /// Drops a snapshot (state terminated); frees its delta base when it
@@ -229,7 +294,11 @@ mod tests {
             design: "d".into(),
             cycle: v,
             regs: (0..32)
-                .map(|i| RegImage { name: format!("r{i}"), width: 32, bits: i * 11 + v })
+                .map(|i| RegImage {
+                    name: format!("r{i}"),
+                    width: 32,
+                    bits: i * 11 + v,
+                })
                 .collect(),
             mems: vec![],
         }
@@ -318,6 +387,46 @@ mod tests {
         assert_eq!(store.total_bytes(), 0);
         assert_eq!(store.peak_bytes(), peak1, "peak is a high-water mark");
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn delta_with_evicted_base_is_an_error_not_a_panic() {
+        let store = SnapshotStore::new();
+        let base_snap = snap(5);
+        // A *visible* base (plain insert) can be removed while deltas
+        // still reference it — the eviction scenario.
+        let base = store.insert(base_snap.clone());
+        let mut child_snap = base_snap.clone();
+        child_snap.regs[3].bits = 0xBAD;
+        let child = store.insert_delta(base, child_snap.clone());
+        assert_eq!(store.try_get(child).unwrap(), child_snap);
+        store.remove(base);
+        assert_eq!(store.get(child), None, "unrecoverable, but no panic");
+        assert_eq!(
+            store.try_get(child),
+            Err(SnapshotError::MissingBase { id: child, base }),
+        );
+    }
+
+    #[test]
+    fn delta_chain_reports_first_broken_link() {
+        let store = SnapshotStore::new();
+        let s0 = snap(1);
+        let a = store.insert(s0.clone());
+        let mut s1 = s0.clone();
+        s1.regs[0].bits = 11;
+        let b = store.insert_delta(a, s1.clone());
+        let mut s2 = s1.clone();
+        s2.regs[1].bits = 22;
+        let c = store.insert_delta(b, s2.clone());
+        assert_eq!(store.try_get(c).unwrap(), s2);
+        store.remove(a);
+        // c -> b (alive delta) -> a (gone): the broken link is b's base.
+        assert_eq!(
+            store.try_get(c),
+            Err(SnapshotError::MissingBase { id: b, base: a }),
+        );
+        assert_eq!(store.try_get(999), Err(SnapshotError::Missing(999)));
     }
 
     #[test]

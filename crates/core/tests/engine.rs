@@ -117,8 +117,7 @@ fn hardsnap_uses_less_hw_time_than_reboot_on_init_heavy_firmware() {
 fn finds_length_overflow_bug_with_testcase() {
     let mut engine = sim_engine(ConsistencyMode::HardSnap, Searcher::Dfs);
     let prog =
-        hardsnap_isa::assemble(&firmware::vulnerable_firmware(PlantedBug::LengthOverflow))
-            .unwrap();
+        hardsnap_isa::assemble(&firmware::vulnerable_firmware(PlantedBug::LengthOverflow)).unwrap();
     engine.load_firmware(&prog);
     let result = engine.run();
     let bug = result
@@ -134,8 +133,8 @@ fn finds_length_overflow_bug_with_testcase() {
 #[test]
 fn finds_magic_command_bug_via_hardware_readback() {
     let mut engine = sim_engine(ConsistencyMode::HardSnap, Searcher::Dfs);
-    let prog = hardsnap_isa::assemble(&firmware::vulnerable_firmware(PlantedBug::MagicCommand))
-        .unwrap();
+    let prog =
+        hardsnap_isa::assemble(&firmware::vulnerable_firmware(PlantedBug::MagicCommand)).unwrap();
     engine.load_firmware(&prog);
     let result = engine.run();
     let bug = result
@@ -173,7 +172,9 @@ fn hw_assertions_fire_on_snapshots() {
     let mut engine = sim_engine(ConsistencyMode::HardSnap, Searcher::RoundRobin);
     // Property: the timer's prescaler register must never exceed 100.
     engine.add_hw_assertion("prescaler-bound", |snap| {
-        snap.reg("u_timer.prescaler").map(|v| v <= 100).unwrap_or(true)
+        snap.reg("u_timer.prescaler")
+            .map(|v| v <= 100)
+            .unwrap_or(true)
     });
     let prog = hardsnap_isa::assemble(&format!(
         "
@@ -201,7 +202,10 @@ fn hw_assertions_fire_on_snapshots() {
     let result = engine.run();
     assert_eq!(result.metrics.paths_completed, 2);
     assert!(
-        engine.hw_violations.iter().any(|(n, _)| n == "prescaler-bound"),
+        engine
+            .hw_violations
+            .iter()
+            .any(|(n, _)| n == "prescaler-bound"),
         "violation detected through snapshot inspection: {:?}",
         engine.hw_violations
     );
@@ -212,7 +216,10 @@ fn multi_target_switch_mid_analysis() {
     use hardsnap_fpga::{FpgaOptions, FpgaTarget};
     let soc = hardsnap_periph::soc().unwrap();
     let target = Box::new(FpgaTarget::new(soc, &FpgaOptions::default()).unwrap());
-    let config = EngineConfig { max_instructions: 200_000, ..Default::default() };
+    let config = EngineConfig {
+        max_instructions: 200_000,
+        ..Default::default()
+    };
     let mut engine = Engine::new(target, config);
     let prog = hardsnap_isa::assemble(&firmware::branching_firmware(2)).unwrap();
     engine.load_firmware(&prog);
@@ -305,10 +312,14 @@ fn exhaustive_policy_forks_over_mmio_write_data() {
         hardsnap_bus::map::soc::TIMER_BASE
     );
     let prog = hardsnap_isa::assemble(&src).unwrap();
-    for (policy, want_paths) in
-        [(Concretization::Minimal, 1u64), (Concretization::Exhaustive(4), 2u64)]
-    {
-        let config = EngineConfig { policy, ..Default::default() };
+    for (policy, want_paths) in [
+        (Concretization::Minimal, 1u64),
+        (Concretization::Exhaustive(4), 2u64),
+    ] {
+        let config = EngineConfig {
+            policy,
+            ..Default::default()
+        };
         let mut engine = Engine::new(
             Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap()),
             config,

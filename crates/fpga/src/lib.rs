@@ -60,9 +60,9 @@ pub struct FpgaTimeModel {
 impl Default for FpgaTimeModel {
     fn default() -> Self {
         FpgaTimeModel {
-            ns_per_cycle: 10,            // 100 MHz fabric
-            usb_latency_ns: 30_000,      // 30 us USB3 round-trip
-            scan_overhead_ns: 60_000,    // two USB commands to the scan IP
+            ns_per_cycle: 10,              // 100 MHz fabric
+            usb_latency_ns: 30_000,        // 30 us USB3 round-trip
+            scan_overhead_ns: 60_000,      // two USB commands to the scan IP
             readback_fixed_ns: 15_000_000, // 15 ms frame addressing
             readback_ns_per_bit: 5,
         }
@@ -189,7 +189,9 @@ impl FpgaTarget {
     }
 
     fn charge_cycles(&mut self, cycles: u64) {
-        self.vtime_ns = self.vtime_ns.saturating_add(cycles * self.model.ns_per_cycle);
+        self.vtime_ns = self
+            .vtime_ns
+            .saturating_add(cycles * self.model.ns_per_cycle);
     }
 
     /// Shifts the whole chain once around (out and back in), returning
@@ -197,26 +199,42 @@ impl FpgaTarget {
     fn scan_cycle_preserving(&mut self) -> Vec<bool> {
         let n = self.chain.chain_bits();
         let mut stream = Vec::with_capacity(n as usize);
-        self.sim.poke(scan_ports::SCAN_ENABLE, 1).expect("scan port exists");
+        self.sim
+            .poke(scan_ports::SCAN_ENABLE, 1)
+            .expect("scan port exists");
         for _ in 0..n {
-            let bit = self.sim.peek(scan_ports::SCAN_OUT).expect("scan port").is_true();
+            let bit = self
+                .sim
+                .peek(scan_ports::SCAN_OUT)
+                .expect("scan port")
+                .is_true();
             stream.push(bit);
-            self.sim.poke(scan_ports::SCAN_IN, bit as u64).expect("scan port");
+            self.sim
+                .poke(scan_ports::SCAN_IN, bit as u64)
+                .expect("scan port");
             self.sim.step(1);
         }
-        self.sim.poke(scan_ports::SCAN_ENABLE, 0).expect("scan port");
+        self.sim
+            .poke(scan_ports::SCAN_ENABLE, 0)
+            .expect("scan port");
         self.charge_cycles(n);
         stream
     }
 
     /// Shifts `stream` in (previous state is discarded).
     fn scan_shift_in(&mut self, stream: &[bool]) {
-        self.sim.poke(scan_ports::SCAN_ENABLE, 1).expect("scan port exists");
+        self.sim
+            .poke(scan_ports::SCAN_ENABLE, 1)
+            .expect("scan port exists");
         for &bit in stream {
-            self.sim.poke(scan_ports::SCAN_IN, bit as u64).expect("scan port");
+            self.sim
+                .poke(scan_ports::SCAN_IN, bit as u64)
+                .expect("scan port");
             self.sim.step(1);
         }
-        self.sim.poke(scan_ports::SCAN_ENABLE, 0).expect("scan port");
+        self.sim
+            .poke(scan_ports::SCAN_ENABLE, 0)
+            .expect("scan port");
         self.charge_cycles(stream.len() as u64);
     }
 
@@ -231,14 +249,26 @@ impl FpgaTarget {
         let mut total_words = 0u64;
         for collar in self.chain.mems.clone() {
             let mut words = Vec::with_capacity(collar.depth as usize);
-            self.sim.poke(scan_ports::MEM_SEL, collar.sel as u64).expect("collar port");
+            self.sim
+                .poke(scan_ports::MEM_SEL, collar.sel as u64)
+                .expect("collar port");
             for a in 0..collar.depth {
-                self.sim.poke(scan_ports::MEM_ADDR, a as u64).expect("collar port");
-                let w = self.sim.peek(scan_ports::MEM_RDATA).expect("collar port").bits();
+                self.sim
+                    .poke(scan_ports::MEM_ADDR, a as u64)
+                    .expect("collar port");
+                let w = self
+                    .sim
+                    .peek(scan_ports::MEM_RDATA)
+                    .expect("collar port")
+                    .bits();
                 words.push(w);
                 total_words += 1;
             }
-            out.push(MemImage { name: collar.name.clone(), width: collar.width, words });
+            out.push(MemImage {
+                name: collar.name.clone(),
+                width: collar.width,
+                words,
+            });
         }
         self.sim.poke(scan_ports::MEM_EN, 0).expect("collar port");
         self.charge_cycles(total_words);
@@ -265,10 +295,16 @@ impl FpgaTarget {
                     collar.depth
                 )));
             }
-            self.sim.poke(scan_ports::MEM_SEL, collar.sel as u64).expect("collar port");
+            self.sim
+                .poke(scan_ports::MEM_SEL, collar.sel as u64)
+                .expect("collar port");
             for (a, w) in img.words.iter().enumerate() {
-                self.sim.poke(scan_ports::MEM_ADDR, a as u64).expect("collar port");
-                self.sim.poke(scan_ports::MEM_WDATA, *w).expect("collar port");
+                self.sim
+                    .poke(scan_ports::MEM_ADDR, a as u64)
+                    .expect("collar port");
+                self.sim
+                    .poke(scan_ports::MEM_WDATA, *w)
+                    .expect("collar port");
                 self.sim.step(1); // collar writes are clocked
                 total_words += 1;
             }
@@ -297,8 +333,8 @@ impl FpgaTarget {
         // configuration plane: model as a privileged dump with readback
         // costs (no cycles consumed on the user clock).
         let snap = self.capture_via_scan_paths_silently();
-        self.vtime_ns += self.model.readback_fixed_ns
-            + snap.state_bits() * self.model.readback_ns_per_bit;
+        self.vtime_ns +=
+            self.model.readback_fixed_ns + snap.state_bits() * self.model.readback_ns_per_bit;
         Ok(snap)
     }
 
@@ -309,18 +345,30 @@ impl FpgaTarget {
         let saved_vtime = self.vtime_ns;
         let saved_cycle_cost = self.sim.cycle();
         let stream = self.scan_cycle_preserving();
-        let values = self.chain.decode(&stream).expect("stream length matches chain");
+        let values = self
+            .chain
+            .decode(&stream)
+            .expect("stream length matches chain");
         let regs = self
             .chain
             .segments
             .iter()
             .zip(values)
-            .map(|(seg, bits)| RegImage { name: seg.name.clone(), width: seg.width, bits })
+            .map(|(seg, bits)| RegImage {
+                name: seg.name.clone(),
+                width: seg.width,
+                bits,
+            })
             .collect();
         let mems = self.collar_read_all();
         self.vtime_ns = saved_vtime;
         let _ = saved_cycle_cost;
-        HwSnapshot { design: self.design.clone(), cycle: self.sim.cycle(), regs, mems }
+        HwSnapshot {
+            design: self.design.clone(),
+            cycle: self.sim.cycle(),
+            regs,
+            mems,
+        }
     }
 }
 
@@ -396,11 +444,20 @@ impl HwTarget for FpgaTarget {
             .segments
             .iter()
             .zip(values)
-            .map(|(seg, bits)| RegImage { name: seg.name.clone(), width: seg.width, bits })
+            .map(|(seg, bits)| RegImage {
+                name: seg.name.clone(),
+                width: seg.width,
+                bits,
+            })
             .collect();
         let mems = self.collar_read_all();
         self.vtime_ns += self.model.scan_overhead_ns;
-        Ok(HwSnapshot { design: self.design.clone(), cycle: self.sim.cycle(), regs, mems })
+        Ok(HwSnapshot {
+            design: self.design.clone(),
+            cycle: self.sim.cycle(),
+            regs,
+            mems,
+        })
     }
 
     fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
@@ -439,8 +496,8 @@ mod tests {
     use hardsnap_periph::regs;
 
     fn fpga() -> FpgaTarget {
-        let mut t = FpgaTarget::new(hardsnap_periph::soc().unwrap(), &FpgaOptions::default())
-            .unwrap();
+        let mut t =
+            FpgaTarget::new(hardsnap_periph::soc().unwrap(), &FpgaOptions::default()).unwrap();
         t.reset();
         t
     }
@@ -457,8 +514,10 @@ mod tests {
     fn scan_save_preserves_running_state() {
         use hardsnap_bus::map::soc as m;
         let mut t = fpga();
-        t.bus_write(m::TIMER_BASE + regs::timer::LOAD, 100_000).unwrap();
-        t.bus_write(m::TIMER_BASE + regs::timer::CTRL, regs::timer::CTRL_ENABLE).unwrap();
+        t.bus_write(m::TIMER_BASE + regs::timer::LOAD, 100_000)
+            .unwrap();
+        t.bus_write(m::TIMER_BASE + regs::timer::CTRL, regs::timer::CTRL_ENABLE)
+            .unwrap();
         let v_before = t.bus_read(m::TIMER_BASE + regs::timer::VALUE).unwrap();
         let snap = t.save_snapshot().unwrap();
         // After the save, the design must still be running correctly
@@ -472,8 +531,10 @@ mod tests {
     fn scan_restore_rewinds_exactly() {
         use hardsnap_bus::map::soc as m;
         let mut t = fpga();
-        t.bus_write(m::TIMER_BASE + regs::timer::LOAD, 100_000).unwrap();
-        t.bus_write(m::TIMER_BASE + regs::timer::CTRL, regs::timer::CTRL_ENABLE).unwrap();
+        t.bus_write(m::TIMER_BASE + regs::timer::LOAD, 100_000)
+            .unwrap();
+        t.bus_write(m::TIMER_BASE + regs::timer::CTRL, regs::timer::CTRL_ENABLE)
+            .unwrap();
         t.step(50);
         let snap = t.save_snapshot().unwrap();
         let v_at_snap = snap.reg("u_timer.value").unwrap();
@@ -482,7 +543,11 @@ mod tests {
         let snap2 = t.save_snapshot().unwrap();
         assert_eq!(snap2.reg("u_timer.value").unwrap(), v_at_snap);
         // Full equality over every register and memory.
-        assert!(snap.diff_regs(&snap2).is_empty(), "diff: {:?}", snap.diff_regs(&snap2));
+        assert!(
+            snap.diff_regs(&snap2).is_empty(),
+            "diff: {:?}",
+            snap.diff_regs(&snap2)
+        );
         assert_eq!(snap.mems, snap2.mems);
     }
 
@@ -505,7 +570,10 @@ mod tests {
     fn visibility_firewall_blocks_internal_nets() {
         let mut t = fpga();
         assert!(t.port_peek("irq").is_ok());
-        assert!(t.port_peek("u_timer.value").is_err(), "internal net must be invisible");
+        assert!(
+            t.port_peek("u_timer.value").is_err(),
+            "internal net must be invisible"
+        );
         assert!(t.port_poke("u_timer.value", 0).is_err());
         assert!(t.port_poke("irq", 1).is_err(), "outputs are not drivable");
     }
@@ -519,13 +587,19 @@ mod tests {
         ));
         let mut hi = FpgaTarget::new(
             hardsnap_periph::soc().unwrap(),
-            &FpgaOptions { readback: true, ..Default::default() },
+            &FpgaOptions {
+                readback: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         hi.reset();
         let scan_snap = hi.save_snapshot().unwrap();
         let rb_snap = hi.save_via_readback().unwrap();
-        assert!(scan_snap.diff_regs(&rb_snap).is_empty(), "readback and scan must agree");
+        assert!(
+            scan_snap.diff_regs(&rb_snap).is_empty(),
+            "readback and scan must agree"
+        );
     }
 
     #[test]
@@ -548,7 +622,8 @@ mod tests {
         use hardsnap_sim::SimTarget;
         // Run on the FPGA, transfer to the simulator, continue there.
         let mut f = fpga();
-        f.bus_write(m::TIMER_BASE + regs::timer::LOAD, 1000).unwrap();
+        f.bus_write(m::TIMER_BASE + regs::timer::LOAD, 1000)
+            .unwrap();
         f.bus_write(
             m::TIMER_BASE + regs::timer::CTRL,
             regs::timer::CTRL_ENABLE | regs::timer::CTRL_ONESHOT | regs::timer::CTRL_IRQ_EN,
@@ -566,7 +641,11 @@ mod tests {
         // And the reverse direction: simulator -> FPGA.
         let mut f2 = fpga();
         let snap2 = transfer_state(&mut s, &mut f2).unwrap();
-        assert_eq!(f2.irq_lines() & 0b0010, 0b0010, "irq state transferred back");
+        assert_eq!(
+            f2.irq_lines() & 0b0010,
+            0b0010,
+            "irq state transferred back"
+        );
         let _ = snap2;
     }
 }

@@ -39,8 +39,7 @@
 use hardsnap::SnapshotStore;
 use hardsnap_bus::{BusError, HwSnapshot, HwTarget};
 use hardsnap_isa::{Cpu, CpuFault, Event, MmioBus, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hardsnap_util::Rng;
 use std::collections::{HashSet, VecDeque};
 
 /// Adapter: any [`HwTarget`] is an [`MmioBus`] for the concrete CPU.
@@ -140,7 +139,7 @@ pub struct Fuzzer {
     sweep_queue: VecDeque<Vec<u32>>,
     /// In-progress sweep: (base tape, word index, next byte value).
     sweep: Option<(Vec<u32>, usize, u32)>,
-    rng: StdRng,
+    rng: Rng,
     extra_time_ns: u64,
     /// Snapshot store (kept so campaign snapshots can be inspected).
     pub store: SnapshotStore,
@@ -162,7 +161,11 @@ impl Fuzzer {
         let baseline_cpu = Cpu::new(program);
         let baseline_hw = target.save_snapshot()?;
         let mut corpus = vec![vec![0u32; config.tape_len]];
-        corpus.push((0..config.tape_len as u32).map(|i| i * 0x1111_1111).collect());
+        corpus.push(
+            (0..config.tape_len as u32)
+                .map(|i| i * 0x1111_1111)
+                .collect(),
+        );
         Ok(Fuzzer {
             target,
             program: program.clone(),
@@ -173,7 +176,7 @@ impl Fuzzer {
             corpus,
             sweep_queue: VecDeque::new(),
             sweep: None,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             extra_time_ns: 0,
             store: SnapshotStore::new(),
         })
@@ -186,15 +189,17 @@ impl Fuzzer {
         }
         for _ in 0..self.rng.gen_range(1..=3) {
             let i = self.rng.gen_range(0..t.len());
-            match self.rng.gen_range(0..6) {
+            match self.rng.gen_range(0u32..6) {
                 0 => t[i] = self.rng.gen(),
-                1 => t[i] ^= 1 << self.rng.gen_range(0..32),
-                2 => t[i] = *[0u32, 1, 0xff, 0x7f, 0x80, 0xffff_ffff]
-                    .get(self.rng.gen_range(0..6))
-                    .unwrap(),
+                1 => t[i] ^= 1u32 << self.rng.gen_range(0u32..32),
+                2 => {
+                    t[i] = *[0u32, 1, 0xff, 0x7f, 0x80, 0xffff_ffff]
+                        .get(self.rng.gen_range(0usize..6))
+                        .unwrap()
+                }
                 // Byte-granular mutations: firmware protocols are
                 // byte-oriented, so spend most of the budget there.
-                3 | 4 => t[i] = self.rng.gen_range(0..256),
+                3 | 4 => t[i] = self.rng.gen_range(0u32..256),
                 _ => t[i] = t[i].wrapping_add(1),
             }
         }
@@ -293,7 +298,10 @@ impl Fuzzer {
             }
             if let Some(f) = fault {
                 if !crashes.iter().any(|c| c.fault == f) {
-                    crashes.push(Crash { fault: f, input: tape });
+                    crashes.push(Crash {
+                        fault: f,
+                        input: tape,
+                    });
                 }
             }
         }
@@ -335,16 +343,18 @@ pub fn parallel_campaign(
 ) -> Result<FuzzReport, hardsnap_bus::TargetError> {
     assert!(workers >= 1);
     let host_start = std::time::Instant::now();
-    let results = crossbeam::thread::scope(|scope| {
+    let results = hardsnap_util::sync::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..workers {
             let make_target = &make_target;
             let cfg = FuzzConfig {
-                seed: config.seed.wrapping_add((w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                seed: config
+                    .seed
+                    .wrapping_add((w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 max_inputs: config.max_inputs / workers as u64,
                 ..config
             };
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut f = Fuzzer::new(make_target(), program, cfg)?;
                 let report = f.run();
                 let coverage: HashSet<u32> = f.coverage_set().clone();
@@ -355,8 +365,7 @@ pub fn parallel_campaign(
             .into_iter()
             .map(|h| h.join().expect("island panicked"))
             .collect::<Result<Vec<_>, _>>()
-    })
-    .expect("scope panicked")?;
+    })?;
 
     let mut coverage: HashSet<u32> = HashSet::new();
     let mut crashes: Vec<Crash> = Vec::new();
@@ -395,7 +404,13 @@ mod tests {
         Fuzzer::new(
             target,
             &prog,
-            FuzzConfig { max_inputs, reset, seed: 42, tape_len: 2, ..Default::default() },
+            FuzzConfig {
+                max_inputs,
+                reset,
+                seed: 42,
+                tape_len: 2,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -454,7 +469,11 @@ mod tests {
         let mut f = Fuzzer::new(
             target,
             &prog,
-            FuzzConfig { max_inputs: 1, tape_len: 2, ..Default::default() },
+            FuzzConfig {
+                max_inputs: 1,
+                tape_len: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         for _ in 0..40 {
@@ -484,7 +503,12 @@ mod parallel_tests {
         let report = parallel_campaign(
             || Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap()),
             &prog,
-            FuzzConfig { max_inputs: 12000, seed: 9, tape_len: 2, ..Default::default() },
+            FuzzConfig {
+                max_inputs: 12000,
+                seed: 9,
+                tape_len: 2,
+                ..Default::default()
+            },
             4,
         )
         .unwrap();
@@ -493,7 +517,10 @@ mod parallel_tests {
         // Four islands with deterministic-sweep stages: the magic crash
         // falls out of at least one.
         assert!(
-            report.crashes.iter().any(|c| matches!(c.fault, CpuFault::FailHit { .. })),
+            report
+                .crashes
+                .iter()
+                .any(|c| matches!(c.fault, CpuFault::FailHit { .. })),
             "{:?}",
             report.crashes
         );
@@ -511,7 +538,12 @@ mod parallel_tests {
         let _ = parallel_campaign(
             mk,
             &prog,
-            FuzzConfig { max_inputs: 800, seed: 5, tape_len: 2, ..Default::default() },
+            FuzzConfig {
+                max_inputs: 800,
+                seed: 5,
+                tape_len: 2,
+                ..Default::default()
+            },
             1,
         )
         .unwrap();
@@ -520,7 +552,12 @@ mod parallel_tests {
         let _ = parallel_campaign(
             mk,
             &prog,
-            FuzzConfig { max_inputs: 800, seed: 5, tape_len: 2, ..Default::default() },
+            FuzzConfig {
+                max_inputs: 800,
+                seed: 5,
+                tape_len: 2,
+                ..Default::default()
+            },
             4,
         )
         .unwrap();

@@ -62,12 +62,30 @@ impl Error for AsmError {}
 
 #[derive(Clone, Debug)]
 enum Item {
-    Instr { line: usize, mnem: String, ops: Vec<String> },
-    Word { line: usize, exprs: Vec<String> },
-    Byte { line: usize, exprs: Vec<String> },
-    Ascii { text: Vec<u8> },
-    Org { line: usize, addr: String },
-    Align { line: usize, n: String },
+    Instr {
+        line: usize,
+        mnem: String,
+        ops: Vec<String>,
+    },
+    Word {
+        line: usize,
+        exprs: Vec<String>,
+    },
+    Byte {
+        line: usize,
+        exprs: Vec<String>,
+    },
+    Ascii {
+        text: Vec<u8>,
+    },
+    Org {
+        line: usize,
+        addr: String,
+    },
+    Align {
+        line: usize,
+        n: String,
+    },
     Label(String),
 }
 
@@ -147,11 +165,16 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     for it in &items {
         match it {
             Item::Label(_) => {}
-            Item::Org { addr, .. } => {
-                pc = resolve(addr, &labels, &equs).unwrap();
+            Item::Org { line, addr } => {
+                // Pass 1 already resolved this, but re-check instead of
+                // unwrapping so a drift between the passes surfaces as a
+                // diagnostic, not a panic on untrusted source.
+                pc = resolve(addr, &labels, &equs)
+                    .ok_or_else(|| err(*line, format!("bad .org address '{addr}'")))?;
             }
-            Item::Align { n, .. } => {
-                let a = resolve(n, &labels, &equs).unwrap();
+            Item::Align { line, n } => {
+                let a = resolve(n, &labels, &equs)
+                    .ok_or_else(|| err(*line, format!("bad .align '{n}'")))?;
                 pc = (pc + a - 1) & !(a - 1);
             }
             Item::Word { line, exprs } => {
@@ -184,12 +207,23 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
     }
     image.truncate(max.max(ENTRY_PC as usize + 4));
 
-    let entry = labels.get("entry").copied().or(first_org).unwrap_or(ENTRY_PC);
-    Ok(Program { image, entry, labels })
+    let entry = labels
+        .get("entry")
+        .copied()
+        .or(first_org)
+        .unwrap_or(ENTRY_PC);
+    Ok(Program {
+        image,
+        entry,
+        labels,
+    })
 }
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn tokenize(src: &str) -> Result<Vec<Item>, AsmError> {
@@ -239,9 +273,7 @@ fn tokenize(src: &str) -> Result<Vec<Item>, AsmError> {
         while let Some(colon) = code.find(':') {
             let (label, rest) = code.split_at(colon);
             let label = label.trim();
-            if label.is_empty()
-                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-            {
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 return Err(err(line, format!("bad label '{label}'")));
             }
             out.push(Item::Label(label.to_string()));
@@ -398,7 +430,10 @@ fn encode_one(
 ) -> Result<Vec<u32>, AsmError> {
     let want = |n: usize| -> Result<(), AsmError> {
         if ops.len() != n {
-            Err(err(line, format!("'{mnem}' expects {n} operands, got {}", ops.len())))
+            Err(err(
+                line,
+                format!("'{mnem}' expects {n} operands, got {}", ops.len()),
+            ))
         } else {
             Ok(())
         }
@@ -411,7 +446,10 @@ fn encode_one(
     let imm16s = |i: usize| -> Result<u32, AsmError> {
         let v = val(i)? as i32;
         if !(-32768..=32767).contains(&v) {
-            return Err(err(line, format!("immediate {v} out of signed 16-bit range")));
+            return Err(err(
+                line,
+                format!("immediate {v} out of signed 16-bit range"),
+            ));
         }
         Ok(v as u32)
     };
@@ -438,7 +476,13 @@ fn encode_one(
     let alui = |op: AluOp, signed: bool| -> Result<Vec<u32>, AsmError> {
         want(3)?;
         let imm = if signed { imm16s(2)? } else { imm16u(2)? };
-        Ok(vec![Instr::AluImm { op, rd: reg(0)?, rs1: reg(1)?, imm }.encode()])
+        Ok(vec![Instr::AluImm {
+            op,
+            rd: reg(0)?,
+            rs1: reg(1)?,
+            imm,
+        }
+        .encode()])
     };
     let branch = |cond: Cond| -> Result<Vec<u32>, AsmError> {
         want(3)?;
@@ -477,27 +521,55 @@ fn encode_one(
             want(2)?;
             let v = val(1)? as i32;
             if !(-32768..=32767).contains(&v) {
-                return Err(err(line, format!("movi immediate {v} out of range; use li")));
+                return Err(err(
+                    line,
+                    format!("movi immediate {v} out of range; use li"),
+                ));
             }
-            Ok(vec![Instr::AluImm { op: AluOp::Add, rd: reg(0)?, rs1: 0, imm: v as u32 }
-                .encode()])
+            Ok(vec![Instr::AluImm {
+                op: AluOp::Add,
+                rd: reg(0)?,
+                rs1: 0,
+                imm: v as u32,
+            }
+            .encode()])
         }
         "li" => {
             want(2)?;
             let v = val(1)?;
             let rd = reg(0)?;
             Ok(vec![
-                Instr::Lui { rd, imm: (v >> 16) as u16 }.encode(),
-                Instr::AluImm { op: AluOp::Or, rd, rs1: rd, imm: v & 0xffff }.encode(),
+                Instr::Lui {
+                    rd,
+                    imm: (v >> 16) as u16,
+                }
+                .encode(),
+                Instr::AluImm {
+                    op: AluOp::Or,
+                    rd,
+                    rs1: rd,
+                    imm: v & 0xffff,
+                }
+                .encode(),
             ])
         }
         "mov" => {
             want(2)?;
-            Ok(vec![Instr::Alu { op: AluOp::Add, rd: reg(0)?, rs1: reg(1)?, rs2: 0 }.encode()])
+            Ok(vec![Instr::Alu {
+                op: AluOp::Add,
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                rs2: 0,
+            }
+            .encode()])
         }
         "lui" => {
             want(2)?;
-            Ok(vec![Instr::Lui { rd: reg(0)?, imm: imm16u(1)? as u16 }.encode()])
+            Ok(vec![Instr::Lui {
+                rd: reg(0)?,
+                imm: imm16u(1)? as u16,
+            }
+            .encode()])
         }
         "ldw" | "ldb" => {
             want(2)?;
@@ -532,7 +604,11 @@ fn encode_one(
             if !(-(1 << 21)..(1 << 21)).contains(&off) {
                 return Err(err(line, format!("jal offset {off} out of range")));
             }
-            Ok(vec![Instr::Jal { rd: LR, off: off as i32 }.encode()])
+            Ok(vec![Instr::Jal {
+                rd: LR,
+                off: off as i32,
+            }
+            .encode()])
         }
         "j" => {
             want(1)?;
@@ -541,23 +617,46 @@ fn encode_one(
             if !(-(1 << 21)..(1 << 21)).contains(&off) {
                 return Err(err(line, format!("jump offset {off} out of range")));
             }
-            Ok(vec![Instr::Jal { rd: 0, off: off as i32 }.encode()])
+            Ok(vec![Instr::Jal {
+                rd: 0,
+                off: off as i32,
+            }
+            .encode()])
         }
         "jalr" => {
             want(1)?;
-            Ok(vec![Instr::Jalr { rd: LR, rs1: reg(0)?, off: 0 }.encode()])
+            Ok(vec![Instr::Jalr {
+                rd: LR,
+                rs1: reg(0)?,
+                off: 0,
+            }
+            .encode()])
         }
         "jr" => {
             want(1)?;
-            Ok(vec![Instr::Jalr { rd: 0, rs1: reg(0)?, off: 0 }.encode()])
+            Ok(vec![Instr::Jalr {
+                rd: 0,
+                rs1: reg(0)?,
+                off: 0,
+            }
+            .encode()])
         }
-        "ret" => Ok(vec![Instr::Jalr { rd: 0, rs1: LR, off: 0 }.encode()]),
+        "ret" => Ok(vec![Instr::Jalr {
+            rd: 0,
+            rs1: LR,
+            off: 0,
+        }
+        .encode()]),
         "iret" => Ok(vec![Instr::Iret.encode()]),
         "cli" => Ok(vec![Instr::Cli.encode()]),
         "sei" => Ok(vec![Instr::Sei.encode()]),
         "sym" => {
             want(2)?;
-            Ok(vec![Instr::Sym { rd: reg(0)?, id: imm16u(1)? as u16 }.encode()])
+            Ok(vec![Instr::Sym {
+                rd: reg(0)?,
+                id: imm16u(1)? as u16,
+            }
+            .encode()])
         }
         "assert" => {
             want(1)?;
@@ -570,7 +669,10 @@ fn encode_one(
         }
         "chkpt" => {
             want(1)?;
-            Ok(vec![Instr::Chkpt { id: imm16u(0)? as u16 }.encode()])
+            Ok(vec![Instr::Chkpt {
+                id: imm16u(0)? as u16,
+            }
+            .encode()])
         }
         other => Err(err(line, format!("unknown mnemonic '{other}'"))),
     }
@@ -596,7 +698,12 @@ mod tests {
         let w0 = u32::from_le_bytes(p.image[0x100..0x104].try_into().unwrap());
         assert_eq!(
             Instr::decode(w0).unwrap(),
-            Instr::AluImm { op: AluOp::Add, rd: 1, rs1: 0, imm: 3 }
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 0,
+                imm: 3
+            }
         );
     }
 
@@ -618,7 +725,11 @@ mod tests {
         let bne_addr = 0x100 + 12;
         let w = u32::from_le_bytes(p.image[bne_addr..bne_addr + 4].try_into().unwrap());
         match Instr::decode(w).unwrap() {
-            Instr::Branch { cond: Cond::Ne, off, .. } => {
+            Instr::Branch {
+                cond: Cond::Ne,
+                off,
+                ..
+            } => {
                 assert_eq!(off, -12); // back to `loop`
             }
             other => panic!("{other:?}"),
@@ -638,10 +749,18 @@ mod tests {
         .unwrap();
         let w0 = u32::from_le_bytes(p.image[0x100..0x104].try_into().unwrap());
         let w1 = u32::from_le_bytes(p.image[0x104..0x108].try_into().unwrap());
-        assert_eq!(Instr::decode(w0).unwrap(), Instr::Lui { rd: 5, imm: 0x4000 });
+        assert_eq!(
+            Instr::decode(w0).unwrap(),
+            Instr::Lui { rd: 5, imm: 0x4000 }
+        );
         assert_eq!(
             Instr::decode(w1).unwrap(),
-            Instr::AluImm { op: AluOp::Or, rd: 5, rs1: 5, imm: 0x1234 }
+            Instr::AluImm {
+                op: AluOp::Or,
+                rd: 5,
+                rs1: 5,
+                imm: 0x1234
+            }
         );
     }
 
@@ -660,7 +779,14 @@ mod tests {
         )
         .unwrap();
         let w = u32::from_le_bytes(p.image[0x108..0x10c].try_into().unwrap());
-        assert_eq!(Instr::decode(w).unwrap(), Instr::Ldw { rd: 2, rs1: 1, off: 8 });
+        assert_eq!(
+            Instr::decode(w).unwrap(),
+            Instr::Ldw {
+                rd: 2,
+                rs1: 1,
+                off: 8
+            }
+        );
     }
 
     #[test]
@@ -726,14 +852,16 @@ mod tests {
 
     #[test]
     fn register_aliases() {
-        let p = assemble(
-            ".org 0x100\nentry:\n  mov sp, zero\n  jalr lr\n  ret\n  halt\n",
-        )
-        .unwrap();
+        let p = assemble(".org 0x100\nentry:\n  mov sp, zero\n  jalr lr\n  ret\n  halt\n").unwrap();
         let w = u32::from_le_bytes(p.image[0x100..0x104].try_into().unwrap());
         assert_eq!(
             Instr::decode(w).unwrap(),
-            Instr::Alu { op: AluOp::Add, rd: 13, rs1: 0, rs2: 0 }
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: 13,
+                rs1: 0,
+                rs2: 0
+            }
         );
     }
 

@@ -7,9 +7,7 @@
 //! table at [`crate::encoding::VECTOR_BASE`], and atomic (no nesting),
 //! matching Inception's interrupt handling.
 
-use crate::encoding::{
-    AluOp, Cond, Instr, ENTRY_PC, NUM_IRQ_LINES, NUM_REGS, VECTOR_BASE,
-};
+use crate::encoding::{AluOp, Cond, Instr, ENTRY_PC, NUM_IRQ_LINES, NUM_REGS, VECTOR_BASE};
 use crate::Program;
 use hardsnap_bus::{BusError, MemoryMap, RegionKind};
 use std::fmt;
@@ -258,9 +256,9 @@ impl Cpu {
                 let a = addr as usize;
                 Ok(u32::from_le_bytes(self.ram[a..a + 4].try_into().unwrap()))
             }
-            Some(RegionKind::Mmio) => {
-                bus.mmio_read(addr).map_err(|error| CpuFault::Bus { pc, error })
-            }
+            Some(RegionKind::Mmio) => bus
+                .mmio_read(addr)
+                .map_err(|error| CpuFault::Bus { pc, error }),
             None => Err(CpuFault::Unmapped { addr, pc }),
         }
     }
@@ -277,9 +275,9 @@ impl Cpu {
                 Ok(())
             }
             Some(RegionKind::Rom) => Err(CpuFault::Unmapped { addr, pc }),
-            Some(RegionKind::Mmio) => {
-                bus.mmio_write(addr, v).map_err(|error| CpuFault::Bus { pc, error })
-            }
+            Some(RegionKind::Mmio) => bus
+                .mmio_write(addr, v)
+                .map_err(|error| CpuFault::Bus { pc, error }),
             None => Err(CpuFault::Unmapped { addr, pc }),
         }
     }
@@ -324,8 +322,8 @@ impl Cpu {
             return Err(CpuFault::Unmapped { addr: pc, pc });
         }
         let word = self.ram_word(pc);
-        let instr = Instr::decode(word)
-            .map_err(|e| CpuFault::IllegalInstruction { pc, word: e.word })?;
+        let instr =
+            Instr::decode(word).map_err(|e| CpuFault::IllegalInstruction { pc, word: e.word })?;
         let mut next_pc = pc.wrapping_add(4);
         let mut event = Event::None;
         match instr {
@@ -367,7 +365,12 @@ impl Cpu {
                 let v = self.reg(rs2) as u8;
                 self.store8(addr, v)?;
             }
-            Instr::Branch { cond, rs1, rs2, off } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                off,
+            } => {
                 if eval_cond(cond, self.reg(rs1), self.reg(rs2)) {
                     next_pc = pc.wrapping_add(4).wrapping_add(off as i32 as u32);
                 }
@@ -602,12 +605,18 @@ mod tests {
 
     #[test]
     fn faults_are_reported_with_pc() {
-        let (_, r) = run_src(".org 0x100\nentry:\n li r1, 0x30000000\n ldw r2, [r1]\n halt\n", 10);
+        let (_, r) = run_src(
+            ".org 0x100\nentry:\n li r1, 0x30000000\n ldw r2, [r1]\n halt\n",
+            10,
+        );
         match r {
             Err(CpuFault::Unmapped { addr, .. }) => assert_eq!(addr, 0x3000_0000),
             other => panic!("{other:?}"),
         }
-        let (_, r) = run_src(".org 0x100\nentry:\n movi r1, #2\n ldw r2, [r1]\n halt\n", 10);
+        let (_, r) = run_src(
+            ".org 0x100\nentry:\n movi r1, #2\n ldw r2, [r1]\n halt\n",
+            10,
+        );
         assert!(matches!(r, Err(CpuFault::Unaligned { .. })));
         let (_, r) = run_src(".org 0x100\nentry:\n fail\n", 10);
         assert!(matches!(r, Err(CpuFault::FailHit { pc: 0x100 })));
@@ -705,6 +714,10 @@ mod tests {
         let mut restored = snap.clone();
         assert_eq!(restored.reg(1), snap.reg(1));
         restored.run(&mut NoMmio, 100).unwrap();
-        assert_eq!(restored.reg(1), cpu.reg(1), "deterministic replay from snapshot");
+        assert_eq!(
+            restored.reg(1),
+            cpu.reg(1),
+            "deterministic replay from snapshot"
+        );
     }
 }

@@ -45,14 +45,32 @@ pub fn disassemble(instr: Instr, pc: u32) -> String {
         Instr::Nop => "nop".into(),
         Instr::Halt => "halt".into(),
         Instr::Alu { op, rd, rs1, rs2 } => {
-            format!("{} {}, {}, {}", alu_mnemonic(op), reg(rd), reg(rs1), reg(rs2))
+            format!(
+                "{} {}, {}, {}",
+                alu_mnemonic(op),
+                reg(rd),
+                reg(rs1),
+                reg(rs2)
+            )
         }
         Instr::AluImm { op, rd, rs1, imm } => {
             let signed = crate::encoding::imm_is_signed(op);
             if signed {
-                format!("{}i {}, {}, #{}", alu_mnemonic(op), reg(rd), reg(rs1), imm as i32)
+                format!(
+                    "{}i {}, {}, #{}",
+                    alu_mnemonic(op),
+                    reg(rd),
+                    reg(rs1),
+                    imm as i32
+                )
             } else {
-                format!("{}i {}, {}, #{:#x}", alu_mnemonic(op), reg(rd), reg(rs1), imm)
+                format!(
+                    "{}i {}, {}, #{:#x}",
+                    alu_mnemonic(op),
+                    reg(rd),
+                    reg(rs1),
+                    imm
+                )
             }
         }
         Instr::Lui { rd, imm } => format!("lui {}, #{imm:#x}", reg(rd)),
@@ -60,9 +78,19 @@ pub fn disassemble(instr: Instr, pc: u32) -> String {
         Instr::Stw { rs2, rs1, off } => format!("stw {}, [{}, #{off}]", reg(rs2), reg(rs1)),
         Instr::Ldb { rd, rs1, off } => format!("ldb {}, [{}, #{off}]", reg(rd), reg(rs1)),
         Instr::Stb { rs2, rs1, off } => format!("stb {}, [{}, #{off}]", reg(rs2), reg(rs1)),
-        Instr::Branch { cond, rs1, rs2, off } => {
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            off,
+        } => {
             let target = pc.wrapping_add(4).wrapping_add(off as i32 as u32);
-            format!("{} {}, {}, {target:#x}", cond_mnemonic(cond), reg(rs1), reg(rs2))
+            format!(
+                "{} {}, {}, {target:#x}",
+                cond_mnemonic(cond),
+                reg(rs1),
+                reg(rs2)
+            )
         }
         Instr::Jal { rd, off } => {
             let target = pc.wrapping_add(4).wrapping_add(off as u32);
@@ -133,10 +161,7 @@ mod tests {
 
     #[test]
     fn branch_targets_are_absolute() {
-        let p = assemble(
-            ".org 0x100\nentry:\n  beq r1, r2, done\n  nop\ndone:\n  halt\n",
-        )
-        .unwrap();
+        let p = assemble(".org 0x100\nentry:\n  beq r1, r2, done\n  nop\ndone:\n  halt\n").unwrap();
         assert_eq!(disassemble_at(&p.image, 0x100), "beq r1, r2, 0x108");
         let p = assemble(".org 0x100\nentry:\n  j entry\n").unwrap();
         assert_eq!(disassemble_at(&p.image, 0x100), "j 0x100");

@@ -281,9 +281,12 @@ impl Instr {
             Instr::Stw { rs2, rs1, off } => i(OP_STW, rs2, rs1, off as u16),
             Instr::Ldb { rd, rs1, off } => i(OP_LDB, rd, rs1, off as u16),
             Instr::Stb { rs2, rs1, off } => i(OP_STB, rs2, rs1, off as u16),
-            Instr::Branch { cond, rs1, rs2, off } => {
-                i(OP_BR_BASE + cond_index(cond), rs1, rs2, off as u16)
-            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                off,
+            } => i(OP_BR_BASE + cond_index(cond), rs1, rs2, off as u16),
             Instr::Jal { rd, off } => {
                 (OP_JAL << 26) | ((rd as u32) << 22) | ((off as u32) & 0x3f_ffff)
             }
@@ -326,13 +329,34 @@ impl Instr {
                 } else {
                     imm16 as u32
                 };
-                Instr::AluImm { op: aop, rd, rs1, imm }
+                Instr::AluImm {
+                    op: aop,
+                    rd,
+                    rs1,
+                    imm,
+                }
             }
             OP_LUI => Instr::Lui { rd, imm: imm16 },
-            OP_LDW => Instr::Ldw { rd, rs1, off: imm16 as i16 },
-            OP_STW => Instr::Stw { rs2: rd, rs1, off: imm16 as i16 },
-            OP_LDB => Instr::Ldb { rd, rs1, off: imm16 as i16 },
-            OP_STB => Instr::Stb { rs2: rd, rs1, off: imm16 as i16 },
+            OP_LDW => Instr::Ldw {
+                rd,
+                rs1,
+                off: imm16 as i16,
+            },
+            OP_STW => Instr::Stw {
+                rs2: rd,
+                rs1,
+                off: imm16 as i16,
+            },
+            OP_LDB => Instr::Ldb {
+                rd,
+                rs1,
+                off: imm16 as i16,
+            },
+            OP_STB => Instr::Stb {
+                rs2: rd,
+                rs1,
+                off: imm16 as i16,
+            },
             o if (OP_BR_BASE..OP_BR_BASE + 6).contains(&o) => Instr::Branch {
                 cond: CONDS[(o - OP_BR_BASE) as usize],
                 rs1: rd,
@@ -345,7 +369,11 @@ impl Instr {
                 let off = ((raw << 10) as i32) >> 10;
                 Instr::Jal { rd, off }
             }
-            OP_JALR => Instr::Jalr { rd, rs1, off: imm16 as i16 },
+            OP_JALR => Instr::Jalr {
+                rd,
+                rs1,
+                off: imm16 as i16,
+            },
             OP_IRET => Instr::Iret,
             OP_CLI => Instr::Cli,
             OP_SEI => Instr::Sei,
@@ -377,21 +405,79 @@ mod tests {
         let cases = vec![
             Instr::Nop,
             Instr::Halt,
-            Instr::Alu { op: AluOp::Add, rd: 1, rs1: 2, rs2: 3 },
-            Instr::Alu { op: AluOp::Mul, rd: 15, rs1: 14, rs2: 13 },
-            Instr::AluImm { op: AluOp::Add, rd: 1, rs1: 2, imm: (-5i32) as u32 },
-            Instr::AluImm { op: AluOp::Xor, rd: 3, rs1: 3, imm: 0xffff },
-            Instr::AluImm { op: AluOp::Shl, rd: 3, rs1: 3, imm: 12 },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: 15,
+                rs1: 14,
+                rs2: 13,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                imm: (-5i32) as u32,
+            },
+            Instr::AluImm {
+                op: AluOp::Xor,
+                rd: 3,
+                rs1: 3,
+                imm: 0xffff,
+            },
+            Instr::AluImm {
+                op: AluOp::Shl,
+                rd: 3,
+                rs1: 3,
+                imm: 12,
+            },
             Instr::Lui { rd: 7, imm: 0x4000 },
-            Instr::Ldw { rd: 2, rs1: 13, off: -8 },
-            Instr::Stw { rs2: 2, rs1: 13, off: 12 },
-            Instr::Ldb { rd: 2, rs1: 4, off: 3 },
-            Instr::Stb { rs2: 2, rs1: 4, off: -1 },
-            Instr::Branch { cond: Cond::Eq, rs1: 1, rs2: 2, off: -16 },
-            Instr::Branch { cond: Cond::Geu, rs1: 9, rs2: 10, off: 400 },
+            Instr::Ldw {
+                rd: 2,
+                rs1: 13,
+                off: -8,
+            },
+            Instr::Stw {
+                rs2: 2,
+                rs1: 13,
+                off: 12,
+            },
+            Instr::Ldb {
+                rd: 2,
+                rs1: 4,
+                off: 3,
+            },
+            Instr::Stb {
+                rs2: 2,
+                rs1: 4,
+                off: -1,
+            },
+            Instr::Branch {
+                cond: Cond::Eq,
+                rs1: 1,
+                rs2: 2,
+                off: -16,
+            },
+            Instr::Branch {
+                cond: Cond::Geu,
+                rs1: 9,
+                rs2: 10,
+                off: 400,
+            },
             Instr::Jal { rd: LR, off: -1024 },
-            Instr::Jal { rd: 0, off: 0x1f_fffc },
-            Instr::Jalr { rd: 0, rs1: LR, off: 0 },
+            Instr::Jal {
+                rd: 0,
+                off: 0x1f_fffc,
+            },
+            Instr::Jalr {
+                rd: 0,
+                rs1: LR,
+                off: 0,
+            },
             Instr::Iret,
             Instr::Cli,
             Instr::Sei,
@@ -408,9 +494,19 @@ mod tests {
 
     #[test]
     fn decoded_fields_match_for_exact_forms() {
-        let i = Instr::AluImm { op: AluOp::Add, rd: 4, rs1: 5, imm: (-100i32) as u32 };
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: 4,
+            rs1: 5,
+            imm: (-100i32) as u32,
+        };
         assert_eq!(Instr::decode(i.encode()).unwrap(), i);
-        let b = Instr::Branch { cond: Cond::Ltu, rs1: 3, rs2: 8, off: -4 };
+        let b = Instr::Branch {
+            cond: Cond::Ltu,
+            rs1: 3,
+            rs2: 8,
+            off: -4,
+        };
         assert_eq!(Instr::decode(b.encode()).unwrap(), b);
         let j = Instr::Jal { rd: 14, off: -2096 };
         assert_eq!(Instr::decode(j.encode()).unwrap(), j);
@@ -427,20 +523,32 @@ mod tests {
         assert!(imm_is_signed(AluOp::Add));
         assert!(!imm_is_signed(AluOp::And));
         let i = Instr::decode(
-            Instr::AluImm { op: AluOp::And, rd: 1, rs1: 1, imm: 0x8000 }.encode(),
+            Instr::AluImm {
+                op: AluOp::And,
+                rd: 1,
+                rs1: 1,
+                imm: 0x8000,
+            }
+            .encode(),
         )
         .unwrap();
         match i {
             Instr::AluImm { imm, .. } => assert_eq!(imm, 0x8000, "zero-extended"),
-            _ => panic!(),
+            other => panic!("And-imm decoded to {other:?}, expected AluImm"),
         }
         let i = Instr::decode(
-            Instr::AluImm { op: AluOp::Add, rd: 1, rs1: 1, imm: 0xffff_8000 }.encode(),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 1,
+                imm: 0xffff_8000,
+            }
+            .encode(),
         )
         .unwrap();
         match i {
             Instr::AluImm { imm, .. } => assert_eq!(imm, 0xffff_8000, "sign-extended"),
-            _ => panic!(),
+            other => panic!("Add-imm decoded to {other:?}, expected AluImm"),
         }
     }
 }

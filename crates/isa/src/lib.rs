@@ -36,6 +36,6 @@ pub mod disasm;
 pub mod encoding;
 
 pub use asm::{assemble, AsmError, Program};
-pub use disasm::{disassemble, disassemble_at};
 pub use cpu::{Cpu, CpuFault, Event, MmioBus, NoMmio};
+pub use disasm::{disassemble, disassemble_at};
 pub use encoding::{AluOp, Cond, DecodeError, Instr, ENTRY_PC, LR, NUM_REGS, SP};

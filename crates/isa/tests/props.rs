@@ -1,0 +1,70 @@
+//! Property tests for the HS32 instruction codec: decode is total over
+//! arbitrary 32-bit words (errors, never panics — firmware images are
+//! untrusted input), and encode/decode round-trips every constructible
+//! instruction, including the control-flow and hypercall forms the root
+//! `tests/properties.rs` suite doesn't cover.
+
+use hardsnap_isa::{Cond, Instr};
+use hardsnap_util::prop::any;
+use hardsnap_util::prop_check;
+
+/// Any 32-bit word either decodes or reports `DecodeError` — and for
+/// words that do decode, re-encoding is stable: the round-tripped
+/// instruction decodes to itself (don't-care bits may differ).
+#[test]
+fn decode_is_total_and_reencode_is_stable() {
+    prop_check!(cases = 512, seed = 0xDEC0_DE00, (word in any::<u32>()) => {
+        if let Ok(instr) = Instr::decode(word) {
+            assert_eq!(Instr::decode(instr.encode()).unwrap(), instr);
+        }
+    });
+}
+
+#[test]
+fn control_flow_roundtrip() {
+    prop_check!(
+        cases = 256,
+        seed = 0xB4A_4C11,
+        (c in 0usize..6, rd in 0u8..16, rs1 in 0u8..16, rs2 in 0u8..16, raw in any::<u32>()) => {
+            let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
+            let off16 = raw as u16 as i16;
+            let br = Instr::Branch { cond: conds[c], rs1, rs2, off: off16 };
+            assert_eq!(Instr::decode(br.encode()).unwrap(), br);
+            // Jal offsets are 22-bit sign-extended.
+            let off22 = ((raw as i32) << 10) >> 10;
+            let jal = Instr::Jal { rd, off: off22 };
+            assert_eq!(Instr::decode(jal.encode()).unwrap(), jal);
+            let jalr = Instr::Jalr { rd, rs1, off: off16 };
+            assert_eq!(Instr::decode(jalr.encode()).unwrap(), jalr);
+        }
+    );
+}
+
+#[test]
+fn memory_and_hypercall_roundtrip() {
+    prop_check!(
+        cases = 256,
+        seed = 0x4E4_CA11,
+        (rd in 0u8..16, rs1 in 0u8..16, rs2 in 0u8..16, imm in any::<u16>()) => {
+            let off = imm as i16;
+            for instr in [
+                Instr::Lui { rd, imm },
+                Instr::Stw { rs2, rs1, off },
+                Instr::Ldb { rd, rs1, off },
+                Instr::Stb { rs2, rs1, off },
+                Instr::Sym { rd, id: imm },
+                Instr::Assert { rs1 },
+                Instr::Putc { rs1 },
+                Instr::Chkpt { id: imm },
+                Instr::Nop,
+                Instr::Halt,
+                Instr::Iret,
+                Instr::Cli,
+                Instr::Sei,
+                Instr::Fail,
+            ] {
+                assert_eq!(Instr::decode(instr.encode()).unwrap(), instr, "{instr:?}");
+            }
+        }
+    );
+}

@@ -185,8 +185,7 @@ mod tests {
     fn every_peripheral_validates() {
         for (name, f) in corpus() {
             let m = f().unwrap();
-            hardsnap_rtl::check_module(&m)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            hardsnap_rtl::check_module(&m).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 }

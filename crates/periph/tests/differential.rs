@@ -16,9 +16,14 @@ fn target(m: hardsnap_rtl::Module) -> SimTarget {
 
 fn hw_sha256_block(t: &mut SimTarget, block: &[u32; 16], first: bool) -> [u32; 8] {
     for (i, w) in block.iter().enumerate() {
-        t.bus_write(regs::sha256::BLOCK0 + 4 * i as u32, *w).unwrap();
+        t.bus_write(regs::sha256::BLOCK0 + 4 * i as u32, *w)
+            .unwrap();
     }
-    let strobe = if first { regs::sha256::CTRL_INIT } else { regs::sha256::CTRL_NEXT };
+    let strobe = if first {
+        regs::sha256::CTRL_INIT
+    } else {
+        regs::sha256::CTRL_NEXT
+    };
     t.bus_write(regs::sha256::CTRL, strobe).unwrap();
     // Wait for completion.
     for _ in 0..200 {
@@ -76,15 +81,15 @@ fn sha256_hw_multi_block_chaining() {
         }
         digest = hw_sha256_block(&mut t, &block, bi == 0);
         // Clear digest_valid between blocks (W1C).
-        t.bus_write(regs::sha256::STATUS, regs::sha256::ST_DIGEST_VALID).unwrap();
+        t.bus_write(regs::sha256::STATUS, regs::sha256::ST_DIGEST_VALID)
+            .unwrap();
     }
     assert_eq!(digest, golden::sha256(msg));
 }
 
 #[test]
 fn sha256_hw_random_blocks_match_golden_compress() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xdecafbad);
+    let mut rng = hardsnap_util::Rng::seed_from_u64(0xdecafbad);
     let mut t = target(hardsnap_periph::sha256().unwrap());
     for round in 0..4 {
         let block: [u32; 16] = std::array::from_fn(|_| rng.gen());
@@ -92,7 +97,8 @@ fn sha256_hw_random_blocks_match_golden_compress() {
         let mut sw = golden::SHA256_IV;
         golden::sha256_compress(&mut sw, &block);
         assert_eq!(hw, sw, "round {round}");
-        t.bus_write(regs::sha256::STATUS, regs::sha256::ST_DIGEST_VALID).unwrap();
+        t.bus_write(regs::sha256::STATUS, regs::sha256::ST_DIGEST_VALID)
+            .unwrap();
     }
 }
 
@@ -102,7 +108,8 @@ fn sha256_irq_follows_enable_and_w1c() {
     t.bus_write(regs::sha256::IRQEN, 1).unwrap();
     let _ = hw_sha256_block(&mut t, &pad_one_block(b"x"), true);
     assert_eq!(t.irq_lines() & 1, 1, "irq raised on completion");
-    t.bus_write(regs::sha256::STATUS, regs::sha256::ST_DIGEST_VALID).unwrap();
+    t.bus_write(regs::sha256::STATUS, regs::sha256::ST_DIGEST_VALID)
+        .unwrap();
     assert_eq!(t.irq_lines() & 1, 0, "irq cleared by W1C");
 }
 
@@ -112,10 +119,13 @@ fn hw_aes_encrypt(t: &mut SimTarget, key: &[u8; 16], pt: &[u8; 16]) -> [u8; 16] 
     let kw = golden::words_from_bytes(key);
     let pw = golden::words_from_bytes(pt);
     for i in 0..4u32 {
-        t.bus_write(regs::aes128::KEY0 + 4 * i, kw[i as usize]).unwrap();
-        t.bus_write(regs::aes128::BLOCK0 + 4 * i, pw[i as usize]).unwrap();
+        t.bus_write(regs::aes128::KEY0 + 4 * i, kw[i as usize])
+            .unwrap();
+        t.bus_write(regs::aes128::BLOCK0 + 4 * i, pw[i as usize])
+            .unwrap();
     }
-    t.bus_write(regs::aes128::CTRL, regs::aes128::CTRL_START).unwrap();
+    t.bus_write(regs::aes128::CTRL, regs::aes128::CTRL_START)
+        .unwrap();
     for _ in 0..50 {
         let st = t.bus_read(regs::aes128::STATUS).unwrap();
         if st & regs::aes128::ST_DONE != 0 {
@@ -132,11 +142,10 @@ fn hw_aes_encrypt(t: &mut SimTarget, key: &[u8; 16], pt: &[u8; 16]) -> [u8; 16] 
 
 #[test]
 fn aes128_hw_matches_fips197() {
-    let key: [u8; 16] =
-        [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xf];
+    let key: [u8; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xf];
     let pt: [u8; 16] = [
-        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
-        0xee, 0xff,
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee,
+        0xff,
     ];
     let mut t = target(hardsnap_periph::aes128().unwrap());
     let ct = hw_aes_encrypt(&mut t, &key, &pt);
@@ -151,15 +160,15 @@ fn aes128_hw_matches_fips197() {
 
 #[test]
 fn aes128_hw_random_vectors_match_golden() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xaeaeaeae);
+    let mut rng = hardsnap_util::Rng::seed_from_u64(0xaeaeaeae);
     let mut t = target(hardsnap_periph::aes128().unwrap());
     for round in 0..4 {
         let key: [u8; 16] = rng.gen();
         let pt: [u8; 16] = rng.gen();
         let hw = hw_aes_encrypt(&mut t, &key, &pt);
         assert_eq!(hw, golden::aes128_encrypt(&key, &pt), "round {round}");
-        t.bus_write(regs::aes128::STATUS, regs::aes128::ST_DONE).unwrap();
+        t.bus_write(regs::aes128::STATUS, regs::aes128::ST_DONE)
+            .unwrap();
     }
 }
 
@@ -169,14 +178,21 @@ fn aes128_hw_random_vectors_match_golden() {
 fn uart_loopback_roundtrips_bytes() {
     let mut t = target(hardsnap_periph::uart().unwrap());
     t.bus_write(regs::uart::BAUDDIV, 4).unwrap();
-    t.bus_write(regs::uart::CTRL, regs::uart::CTRL_LOOPBACK | regs::uart::CTRL_RX_EN)
-        .unwrap();
+    t.bus_write(
+        regs::uart::CTRL,
+        regs::uart::CTRL_LOOPBACK | regs::uart::CTRL_RX_EN,
+    )
+    .unwrap();
     for &byte in &[0x55u32, 0x00, 0xff, 0xa7] {
         t.bus_write(regs::uart::TXDATA, byte).unwrap();
         // A frame is 10 bits; give it generous time at div 4 (+sync).
         t.step(150);
         let st = t.bus_read(regs::uart::STATUS).unwrap();
-        assert_ne!(st & regs::uart::ST_RX_AVAIL, 0, "byte {byte:#x} not received");
+        assert_ne!(
+            st & regs::uart::ST_RX_AVAIL,
+            0,
+            "byte {byte:#x} not received"
+        );
         let rx = t.bus_read(regs::uart::RXDATA).unwrap();
         assert_eq!(rx, byte, "loopback corrupted the byte");
     }
@@ -194,7 +210,11 @@ fn uart_fifo_flags_track_occupancy() {
     }
     let st = t.bus_read(regs::uart::STATUS).unwrap();
     assert_eq!(st & regs::uart::ST_TX_EMPTY, 0);
-    assert_ne!(st & regs::uart::ST_TX_FULL, 0, "16 queued (+1 shifting) must be full");
+    assert_ne!(
+        st & regs::uart::ST_TX_FULL,
+        0,
+        "16 queued (+1 shifting) must be full"
+    );
 }
 
 #[test]
@@ -232,7 +252,8 @@ fn timer_oneshot_counts_down_and_stops() {
     let ctrl = t.bus_read(regs::timer::CTRL).unwrap();
     assert_eq!(ctrl & regs::timer::CTRL_ENABLE, 0);
     // W1C clears the flag.
-    t.bus_write(regs::timer::STATUS, regs::timer::ST_EXPIRED).unwrap();
+    t.bus_write(regs::timer::STATUS, regs::timer::ST_EXPIRED)
+        .unwrap();
     assert_eq!(t.irq_lines(), 0);
 }
 
@@ -240,7 +261,8 @@ fn timer_oneshot_counts_down_and_stops() {
 fn timer_periodic_reloads() {
     let mut t = target(hardsnap_periph::timer().unwrap());
     t.bus_write(regs::timer::LOAD, 10).unwrap();
-    t.bus_write(regs::timer::CTRL, regs::timer::CTRL_ENABLE).unwrap();
+    t.bus_write(regs::timer::CTRL, regs::timer::CTRL_ENABLE)
+        .unwrap();
     t.step(15);
     let expired = t.bus_read(regs::timer::STATUS).unwrap();
     assert_ne!(expired & regs::timer::ST_EXPIRED, 0);
@@ -258,12 +280,16 @@ fn timer_prescaler_slows_counting() {
     let mut t = target(hardsnap_periph::timer().unwrap());
     t.bus_write(regs::timer::PRESCALER, 9).unwrap(); // 10 cycles per tick
     t.bus_write(regs::timer::LOAD, 100).unwrap();
-    t.bus_write(regs::timer::CTRL, regs::timer::CTRL_ENABLE).unwrap();
+    t.bus_write(regs::timer::CTRL, regs::timer::CTRL_ENABLE)
+        .unwrap();
     let v0 = t.bus_read(regs::timer::VALUE).unwrap();
     t.step(50);
     let v1 = t.bus_read(regs::timer::VALUE).unwrap();
     let dropped = v0 - v1;
-    assert!((3..=8).contains(&dropped), "expected ~5 ticks in 50 cycles, got {dropped}");
+    assert!(
+        (3..=8).contains(&dropped),
+        "expected ~5 ticks in 50 cycles, got {dropped}"
+    );
 }
 
 // ------------------------------------------------------------------ SoC top
@@ -319,8 +345,10 @@ fn soc_irq_lines_are_independent() {
     t.step(10);
     assert_eq!(t.irq_lines(), 0b0010);
     // AES completion on line 3.
-    t.bus_write(m::AES_BASE + hardsnap_periph::regs::aes128::IRQEN, 1).unwrap();
-    t.bus_write(m::AES_BASE + regs::aes128::CTRL, regs::aes128::CTRL_START).unwrap();
+    t.bus_write(m::AES_BASE + hardsnap_periph::regs::aes128::IRQEN, 1)
+        .unwrap();
+    t.bus_write(m::AES_BASE + regs::aes128::CTRL, regs::aes128::CTRL_START)
+        .unwrap();
     t.step(20);
     assert_eq!(t.irq_lines(), 0b1010);
 }
@@ -334,16 +362,24 @@ fn soc_aes_end_to_end_matches_golden() {
     let kw = golden::words_from_bytes(&key);
     let pw = golden::words_from_bytes(&pt);
     for i in 0..4u32 {
-        t.bus_write(m::AES_BASE + regs::aes128::KEY0 + 4 * i, kw[i as usize]).unwrap();
-        t.bus_write(m::AES_BASE + regs::aes128::BLOCK0 + 4 * i, pw[i as usize]).unwrap();
+        t.bus_write(m::AES_BASE + regs::aes128::KEY0 + 4 * i, kw[i as usize])
+            .unwrap();
+        t.bus_write(m::AES_BASE + regs::aes128::BLOCK0 + 4 * i, pw[i as usize])
+            .unwrap();
     }
-    t.bus_write(m::AES_BASE + regs::aes128::CTRL, regs::aes128::CTRL_START).unwrap();
+    t.bus_write(m::AES_BASE + regs::aes128::CTRL, regs::aes128::CTRL_START)
+        .unwrap();
     t.step(15);
     let mut cw = [0u32; 4];
     for (i, c) in cw.iter_mut().enumerate() {
-        *c = t.bus_read(m::AES_BASE + regs::aes128::RESULT0 + 4 * i as u32).unwrap();
+        *c = t
+            .bus_read(m::AES_BASE + regs::aes128::RESULT0 + 4 * i as u32)
+            .unwrap();
     }
-    assert_eq!(golden::bytes_from_words(&cw), golden::aes128_encrypt(&key, &pt));
+    assert_eq!(
+        golden::bytes_from_words(&cw),
+        golden::aes128_encrypt(&key, &pt)
+    );
 }
 
 // ------------------------------------------------------------ DMA engine
@@ -353,7 +389,8 @@ fn dma_copies_words_and_raises_irq() {
     let mut t = target(hardsnap_periph::dma().unwrap());
     // Fill 8 source words through the SRAM window.
     for i in 0..8u32 {
-        t.bus_write(regs::dma::SRAM + 4 * i, 0xD000_0000 + i).unwrap();
+        t.bus_write(regs::dma::SRAM + 4 * i, 0xD000_0000 + i)
+            .unwrap();
     }
     t.bus_write(regs::dma::SRC, 0).unwrap();
     t.bus_write(regs::dma::DST, 100).unwrap();
@@ -397,11 +434,11 @@ fn dma_overlapping_forward_copy_semantics() {
 #[test]
 fn dma_snapshot_covers_the_sram() {
     use hardsnap_fpga::{FpgaOptions, FpgaTarget};
-    let mut t =
-        FpgaTarget::new(hardsnap_periph::dma().unwrap(), &FpgaOptions::default()).unwrap();
+    let mut t = FpgaTarget::new(hardsnap_periph::dma().unwrap(), &FpgaOptions::default()).unwrap();
     t.reset();
     for i in 0..16u32 {
-        t.bus_write(regs::dma::SRAM + 4 * i, 0xCAFE_0000 + i).unwrap();
+        t.bus_write(regs::dma::SRAM + 4 * i, 0xCAFE_0000 + i)
+            .unwrap();
     }
     let snap = t.save_snapshot().unwrap();
     let sram = snap.mem("sram").expect("sram collared");

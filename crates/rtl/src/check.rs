@@ -52,8 +52,7 @@ pub fn check_module(m: &Module) -> Result<Vec<Lint>, RtlError> {
 
     // --- driver bookkeeping ----------------------------------------------
     // cont_bits[net] = per-bit count of continuous drivers
-    let mut cont_bits: Vec<Vec<u8>> =
-        m.nets.iter().map(|n| vec![0u8; n.width as usize]).collect();
+    let mut cont_bits: Vec<Vec<u8>> = m.nets.iter().map(|n| vec![0u8; n.width as usize]).collect();
     // proc_writer[net] = index of the process that writes it
     let mut proc_writer: Vec<Option<usize>> = vec![None; m.nets.len()];
     let mut mem_writer: Vec<Option<usize>> = vec![None; m.memories.len()];
@@ -174,7 +173,9 @@ pub fn check_module(m: &Module) -> Result<Vec<Lint>, RtlError> {
 
     // Promote ERROR-prefixed lints to hard errors.
     if let Some(e) = lints.iter().find(|l| l.message.starts_with("ERROR:")) {
-        return Err(RtlError::Check(e.message.trim_start_matches("ERROR:").to_string()));
+        return Err(RtlError::Check(
+            e.message.trim_start_matches("ERROR:").to_string(),
+        ));
     }
     Ok(lints)
 }
@@ -185,7 +186,11 @@ fn width_check_stmt(m: &Module, s: &Stmt) -> Result<(), RtlError> {
             lv.width(m)?;
             rhs.width(m)?;
         }
-        Stmt::If { cond, then_s, else_s } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             cond.width(m)?;
             for s in then_s.iter().chain(else_s) {
                 width_check_stmt(m, s)?;
@@ -213,11 +218,7 @@ fn width_check_stmt(m: &Module, s: &Stmt) -> Result<(), RtlError> {
     Ok(())
 }
 
-fn mark_cont_driver(
-    m: &Module,
-    lv: &LValue,
-    cont_bits: &mut [Vec<u8>],
-) -> Result<(), RtlError> {
+fn mark_cont_driver(m: &Module, lv: &LValue, cont_bits: &mut [Vec<u8>]) -> Result<(), RtlError> {
     match lv {
         LValue::Net(n) => {
             for b in cont_bits[n.0 as usize].iter_mut() {
@@ -260,13 +261,21 @@ mod tests {
 
     fn base() -> (Module, crate::NetId, crate::NetId) {
         let mut m = Module::new("m");
-        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let clk = m
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         let q = m.add_net("q", 8, NetKind::Reg, None).unwrap();
         (m, clk, q)
     }
 
     fn clocked(clk: crate::NetId, body: Vec<Stmt>) -> Process {
-        Process { kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos }, body }
+        Process {
+            kind: ProcessKind::Clocked {
+                clock: clk,
+                edge: EdgeKind::Pos,
+            },
+            body,
+        }
     }
 
     #[test]
@@ -274,7 +283,11 @@ mod tests {
         let (mut m, clk, q) = base();
         m.processes.push(clocked(
             clk,
-            vec![Stmt::Assign { lv: LValue::Net(q), rhs: Expr::constant(1, 8), blocking: false }],
+            vec![Stmt::Assign {
+                lv: LValue::Net(q),
+                rhs: Expr::constant(1, 8),
+                blocking: false,
+            }],
         ));
         assert!(check_module(&m).unwrap().is_empty());
     }
@@ -282,7 +295,10 @@ mod tests {
     #[test]
     fn reg_with_cont_assign_is_error() {
         let (mut m, _, q) = base();
-        m.assigns.push(ContAssign { lv: LValue::Net(q), rhs: Expr::constant(0, 8) });
+        m.assigns.push(ContAssign {
+            lv: LValue::Net(q),
+            rhs: Expr::constant(0, 8),
+        });
         assert!(check_module(&m).is_err());
     }
 
@@ -290,8 +306,14 @@ mod tests {
     fn double_cont_driver_is_error() {
         let (mut m, _, _) = base();
         let w = m.add_net("w", 8, NetKind::Wire, None).unwrap();
-        m.assigns.push(ContAssign { lv: LValue::Net(w), rhs: Expr::constant(0, 8) });
-        m.assigns.push(ContAssign { lv: LValue::Net(w), rhs: Expr::constant(1, 8) });
+        m.assigns.push(ContAssign {
+            lv: LValue::Net(w),
+            rhs: Expr::constant(0, 8),
+        });
+        m.assigns.push(ContAssign {
+            lv: LValue::Net(w),
+            rhs: Expr::constant(1, 8),
+        });
         assert!(check_module(&m).is_err());
     }
 
@@ -300,11 +322,19 @@ mod tests {
         let (mut m, _, _) = base();
         let w = m.add_net("w", 8, NetKind::Wire, None).unwrap();
         m.assigns.push(ContAssign {
-            lv: LValue::Slice { base: w, hi: 3, lo: 0 },
+            lv: LValue::Slice {
+                base: w,
+                hi: 3,
+                lo: 0,
+            },
             rhs: Expr::constant(0, 4),
         });
         m.assigns.push(ContAssign {
-            lv: LValue::Slice { base: w, hi: 7, lo: 4 },
+            lv: LValue::Slice {
+                base: w,
+                hi: 7,
+                lo: 4,
+            },
             rhs: Expr::constant(1, 4),
         });
         assert!(check_module(&m).is_ok());
@@ -315,11 +345,19 @@ mod tests {
         let (mut m, _, _) = base();
         let w = m.add_net("w", 8, NetKind::Wire, None).unwrap();
         m.assigns.push(ContAssign {
-            lv: LValue::Slice { base: w, hi: 4, lo: 0 },
+            lv: LValue::Slice {
+                base: w,
+                hi: 4,
+                lo: 0,
+            },
             rhs: Expr::constant(0, 5),
         });
         m.assigns.push(ContAssign {
-            lv: LValue::Slice { base: w, hi: 7, lo: 4 },
+            lv: LValue::Slice {
+                base: w,
+                hi: 7,
+                lo: 4,
+            },
             rhs: Expr::constant(1, 4),
         });
         assert!(check_module(&m).is_err());
@@ -347,7 +385,11 @@ mod tests {
         let w = m.add_net("w", 8, NetKind::Wire, None).unwrap();
         m.processes.push(clocked(
             clk,
-            vec![Stmt::Assign { lv: LValue::Net(w), rhs: Expr::constant(0, 8), blocking: false }],
+            vec![Stmt::Assign {
+                lv: LValue::Net(w),
+                rhs: Expr::constant(0, 8),
+                blocking: false,
+            }],
         ));
         assert!(check_module(&m).is_err());
     }
@@ -357,7 +399,11 @@ mod tests {
         let (mut m, clk, q) = base();
         m.processes.push(clocked(
             clk,
-            vec![Stmt::Assign { lv: LValue::Net(q), rhs: Expr::constant(0, 8), blocking: true }],
+            vec![Stmt::Assign {
+                lv: LValue::Net(q),
+                rhs: Expr::constant(0, 8),
+                blocking: true,
+            }],
         ));
         let lints = check_module(&m).unwrap();
         assert_eq!(lints.len(), 1);
@@ -367,10 +413,15 @@ mod tests {
     #[test]
     fn wide_clock_is_error() {
         let mut m = Module::new("m");
-        let clk = m.add_net("clk", 2, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let clk = m
+            .add_net("clk", 2, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         let q = m.add_net("q", 1, NetKind::Reg, None).unwrap();
         m.processes.push(Process {
-            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            kind: ProcessKind::Clocked {
+                clock: clk,
+                edge: EdgeKind::Pos,
+            },
             body: vec![Stmt::Assign {
                 lv: LValue::Net(q),
                 rhs: Expr::constant(0, 1),
@@ -383,7 +434,9 @@ mod tests {
     #[test]
     fn case_label_wider_than_selector_is_error() {
         let (mut m, clk, q) = base();
-        let sel = m.add_net("sel", 2, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let sel = m
+            .add_net("sel", 2, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         m.processes.push(clocked(
             clk,
             vec![Stmt::Case {

@@ -139,12 +139,19 @@ fn inline_instance(
         let inner = nmap(pid);
         match dir {
             PortDir::Input => {
-                parent.assigns.push(ContAssign { lv: LValue::Net(inner), rhs: expr.clone() });
+                parent.assigns.push(ContAssign {
+                    lv: LValue::Net(inner),
+                    rhs: expr.clone(),
+                });
             }
             PortDir::Output => {
                 let lv = match expr {
                     Expr::Net(n) => LValue::Net(*n),
-                    Expr::Slice { base, hi, lo } => LValue::Slice { base: *base, hi: *hi, lo: *lo },
+                    Expr::Slice { base, hi, lo } => LValue::Slice {
+                        base: *base,
+                        hi: *hi,
+                        lo: *lo,
+                    },
                     other => {
                         return Err(RtlError::Elab(format!(
                             "output port '{}' of instance '{inst_name}' connected to \
@@ -153,7 +160,10 @@ fn inline_instance(
                         )))
                     }
                 };
-                parent.assigns.push(ContAssign { lv, rhs: Expr::Net(inner) });
+                parent.assigns.push(ContAssign {
+                    lv,
+                    rhs: Expr::Net(inner),
+                });
             }
         }
     }
@@ -179,21 +189,40 @@ mod tests {
     /// child: an 8-bit register with enable.
     fn child_module() -> Module {
         let mut m = Module::new("dff8");
-        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let d = m.add_net("d", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let q = m.add_net("q", 8, NetKind::Reg, Some(PortDir::Output)).unwrap();
+        let clk = m
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let d = m
+            .add_net("d", 8, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let q = m
+            .add_net("q", 8, NetKind::Reg, Some(PortDir::Output))
+            .unwrap();
         m.processes.push(Process {
-            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
-            body: vec![Stmt::Assign { lv: LValue::Net(q), rhs: Expr::Net(d), blocking: false }],
+            kind: ProcessKind::Clocked {
+                clock: clk,
+                edge: EdgeKind::Pos,
+            },
+            body: vec![Stmt::Assign {
+                lv: LValue::Net(q),
+                rhs: Expr::Net(d),
+                blocking: false,
+            }],
         });
         m
     }
 
     fn parent_design() -> Design {
         let mut top = Module::new("top");
-        let clk = top.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let din = top.add_net("din", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let dout = top.add_net("dout", 8, NetKind::Wire, Some(PortDir::Output)).unwrap();
+        let clk = top
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let din = top
+            .add_net("din", 8, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let dout = top
+            .add_net("dout", 8, NetKind::Wire, Some(PortDir::Output))
+            .unwrap();
         top.instances.push(Instance {
             name: "u0".into(),
             module: "dff8".into(),
@@ -236,7 +265,9 @@ mod tests {
     #[test]
     fn unconnected_input_is_an_error() {
         let mut top = Module::new("top");
-        let clk = top.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let clk = top
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         top.instances.push(Instance {
             name: "u0".into(),
             module: "dff8".into(),
@@ -253,7 +284,9 @@ mod tests {
     #[test]
     fn recursive_instantiation_is_an_error() {
         let mut m = Module::new("looper");
-        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let clk = m
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         m.instances.push(Instance {
             name: "again".into(),
             module: "looper".into(),
@@ -269,9 +302,15 @@ mod tests {
     fn nested_hierarchy_gets_dotted_names() {
         // mid wraps dff8; top wraps mid.
         let mut mid = Module::new("mid");
-        let clk = mid.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let d_in = mid.add_net("d", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let q_out = mid.add_net("q", 8, NetKind::Wire, Some(PortDir::Output)).unwrap();
+        let clk = mid
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let d_in = mid
+            .add_net("d", 8, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let q_out = mid
+            .add_net("q", 8, NetKind::Wire, Some(PortDir::Output))
+            .unwrap();
         mid.instances.push(Instance {
             name: "inner".into(),
             module: "dff8".into(),
@@ -283,9 +322,15 @@ mod tests {
             params: vec![],
         });
         let mut top = Module::new("top");
-        let clk = top.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let din = top.add_net("din", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let dout = top.add_net("dout", 8, NetKind::Wire, Some(PortDir::Output)).unwrap();
+        let clk = top
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let din = top
+            .add_net("din", 8, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let dout = top
+            .add_net("dout", 8, NetKind::Wire, Some(PortDir::Output))
+            .unwrap();
         top.instances.push(Instance {
             name: "u".into(),
             module: "mid".into(),
@@ -308,8 +353,12 @@ mod tests {
     #[test]
     fn duplicate_instance_names_rejected() {
         let mut top = Module::new("top");
-        let clk = top.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let din = top.add_net("din", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let clk = top
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let din = top
+            .add_net("din", 8, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         for _ in 0..2 {
             top.instances.push(Instance {
                 name: "u0".into(),

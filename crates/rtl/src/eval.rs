@@ -13,7 +13,11 @@ use crate::value::Value;
 /// comparisons/logical operators yield one bit.
 pub fn eval_binary(op: BinaryOp, a: Value, b: Value) -> Value {
     match op {
-        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::And | BinaryOp::Or
+        BinaryOp::Add
+        | BinaryOp::Sub
+        | BinaryOp::Mul
+        | BinaryOp::And
+        | BinaryOp::Or
         | BinaryOp::Xor => {
             let w = a.width().max(b.width());
             let (a, b) = (a.resize(w), b.resize(w));
@@ -88,8 +92,14 @@ mod tests {
     #[test]
     fn shifts_use_rhs_as_amount() {
         let a = Value::new(1, 8);
-        assert_eq!(eval_binary(BinaryOp::Shl, a, Value::new(3, 32)), Value::new(8, 8));
-        assert_eq!(eval_binary(BinaryOp::Shr, Value::new(8, 8), Value::new(3, 4)), Value::new(1, 8));
+        assert_eq!(
+            eval_binary(BinaryOp::Shl, a, Value::new(3, 32)),
+            Value::new(8, 8)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Shr, Value::new(8, 8), Value::new(3, 4)),
+            Value::new(1, 8)
+        );
     }
 
     #[test]

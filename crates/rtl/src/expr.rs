@@ -194,7 +194,11 @@ impl Expr {
                     wl.max(wr)
                 }
             }
-            Expr::Cond { cond, then_e, else_e } => {
+            Expr::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 cond.width(module)?;
                 then_e.width(module)?.max(else_e.width(module)?)
             }
@@ -250,7 +254,11 @@ impl Expr {
                 lhs.for_each_net(f);
                 rhs.for_each_net(f);
             }
-            Expr::Cond { cond, then_e, else_e } => {
+            Expr::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 cond.for_each_net(f);
                 then_e.for_each_net(f);
                 else_e.for_each_net(f);
@@ -278,7 +286,11 @@ impl Expr {
                 lhs.for_each_mem(f);
                 rhs.for_each_mem(f);
             }
-            Expr::Cond { cond, then_e, else_e } => {
+            Expr::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 cond.for_each_mem(f);
                 then_e.for_each_mem(f);
                 else_e.for_each_mem(f);
@@ -308,7 +320,11 @@ impl Expr {
                 lhs.remap(net_map, mem_map);
                 rhs.remap(net_map, mem_map);
             }
-            Expr::Cond { cond, then_e, else_e } => {
+            Expr::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 cond.remap(net_map, mem_map);
                 then_e.remap(net_map, mem_map);
                 else_e.remap(net_map, mem_map);
@@ -333,9 +349,11 @@ impl Expr {
             Expr::Index { index, .. } => 1 + index.node_count(),
             Expr::Unary { arg, .. } | Expr::Repeat { arg, .. } => 1 + arg.node_count(),
             Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
-            Expr::Cond { cond, then_e, else_e } => {
-                1 + cond.node_count() + then_e.node_count() + else_e.node_count()
-            }
+            Expr::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => 1 + cond.node_count() + then_e.node_count() + else_e.node_count(),
             Expr::Concat(parts) => 1 + parts.iter().map(Expr::node_count).sum::<usize>(),
             Expr::MemRead { addr, .. } => 1 + addr.node_count(),
         }
@@ -393,8 +411,12 @@ mod tests {
 
     fn test_module() -> (Module, NetId, NetId) {
         let mut m = Module::new("t");
-        let a = m.add_net("a", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let b = m.add_net("b", 4, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let a = m
+            .add_net("a", 8, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let b = m
+            .add_net("b", 4, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         (m, a, b)
     }
 
@@ -436,16 +458,27 @@ mod tests {
         let (m, a, b) = test_module();
         let e = Expr::Concat(vec![Expr::Net(a), Expr::Net(b)]);
         assert_eq!(e.width(&m).unwrap(), 12);
-        let r = Expr::Repeat { count: 3, arg: Box::new(Expr::Net(b)) };
+        let r = Expr::Repeat {
+            count: 3,
+            arg: Box::new(Expr::Net(b)),
+        };
         assert_eq!(r.width(&m).unwrap(), 12);
     }
 
     #[test]
     fn slice_out_of_range_errors() {
         let (m, a, _) = test_module();
-        let e = Expr::Slice { base: a, hi: 8, lo: 0 };
+        let e = Expr::Slice {
+            base: a,
+            hi: 8,
+            lo: 0,
+        };
         assert!(e.width(&m).is_err());
-        let e = Expr::Slice { base: a, hi: 0, lo: 1 };
+        let e = Expr::Slice {
+            base: a,
+            hi: 0,
+            lo: 1,
+        };
         assert!(e.width(&m).is_err());
     }
 
@@ -462,7 +495,10 @@ mod tests {
         let e = Expr::Binary {
             op: BinaryOp::Xor,
             lhs: Box::new(Expr::Net(a)),
-            rhs: Box::new(Expr::Index { base: a, index: Box::new(Expr::Net(b)) }),
+            rhs: Box::new(Expr::Index {
+                base: a,
+                index: Box::new(Expr::Net(b)),
+            }),
         };
         let mut seen = Vec::new();
         e.for_each_net(&mut |n| seen.push(n));
@@ -475,7 +511,10 @@ mod tests {
         let e = Expr::Binary {
             op: BinaryOp::Add,
             lhs: Box::new(Expr::Net(a)),
-            rhs: Box::new(Expr::Unary { op: UnaryOp::Not, arg: Box::new(Expr::Net(b)) }),
+            rhs: Box::new(Expr::Unary {
+                op: UnaryOp::Not,
+                arg: Box::new(Expr::Net(b)),
+            }),
         };
         assert_eq!(e.node_count(), 4);
     }

@@ -273,7 +273,11 @@ impl Stmt {
                 lv.remap(net_map, mem_map);
                 rhs.remap(net_map, mem_map);
             }
-            Stmt::If { cond, then_s, else_s } => {
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 cond.remap(net_map, mem_map);
                 for s in then_s.iter_mut().chain(else_s.iter_mut()) {
                     s.remap(net_map, mem_map);
@@ -373,7 +377,10 @@ pub struct Module {
 impl Module {
     /// Creates an empty module with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), ..Default::default() }
+        Module {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a net and returns its id.
@@ -391,14 +398,21 @@ impl Module {
     ) -> Result<NetId, RtlError> {
         let name = name.into();
         if width == 0 || width > crate::value::MAX_WIDTH {
-            return Err(RtlError::WidthError(format!("net '{name}' has invalid width {width}")));
+            return Err(RtlError::WidthError(format!(
+                "net '{name}' has invalid width {width}"
+            )));
         }
         if self.name_index.contains_key(&name) || self.mem_index.contains_key(&name) {
             return Err(RtlError::Duplicate(format!("{}.{name}", self.name)));
         }
         let id = NetId(self.nets.len() as u32);
         self.name_index.insert(name.clone(), id);
-        self.nets.push(Net { name, width, kind, port });
+        self.nets.push(Net {
+            name,
+            width,
+            kind,
+            port,
+        });
         Ok(id)
     }
 
@@ -415,10 +429,14 @@ impl Module {
     ) -> Result<MemId, RtlError> {
         let name = name.into();
         if width == 0 || width > crate::value::MAX_WIDTH {
-            return Err(RtlError::WidthError(format!("memory '{name}' has invalid width {width}")));
+            return Err(RtlError::WidthError(format!(
+                "memory '{name}' has invalid width {width}"
+            )));
         }
         if depth == 0 {
-            return Err(RtlError::WidthError(format!("memory '{name}' has zero depth")));
+            return Err(RtlError::WidthError(format!(
+                "memory '{name}' has zero depth"
+            )));
         }
         if self.name_index.contains_key(&name) || self.mem_index.contains_key(&name) {
             return Err(RtlError::Duplicate(format!("{}.{name}", self.name)));
@@ -459,12 +477,18 @@ impl Module {
 
     /// Iterates over `(NetId, &Net)` pairs.
     pub fn iter_nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
-        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
     }
 
     /// Iterates over `(MemId, &Memory)` pairs.
     pub fn iter_mems(&self) -> impl Iterator<Item = (MemId, &Memory)> {
-        self.memories.iter().enumerate().map(|(i, m)| (MemId(i as u32), m))
+        self.memories
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MemId(i as u32), m))
     }
 
     /// All ports in declaration order.
@@ -525,8 +549,16 @@ impl Module {
     /// Total architectural state bits (flip-flops plus memory bits).
     /// This is the length of the scan chain the instrumentation inserts.
     pub fn state_bits(&self) -> u64 {
-        let ff: u64 = self.clocked_regs().iter().map(|&n| self.net(n).width as u64).sum();
-        let mem: u64 = self.clocked_mems().iter().map(|&m| self.memory(m).state_bits()).sum();
+        let ff: u64 = self
+            .clocked_regs()
+            .iter()
+            .map(|&n| self.net(n).width as u64)
+            .sum();
+        let mem: u64 = self
+            .clocked_mems()
+            .iter()
+            .map(|&m| self.memory(m).state_bits())
+            .sum();
         ff + mem
     }
 }
@@ -595,7 +627,8 @@ impl FromIterator<Module> for Design {
     fn from_iter<T: IntoIterator<Item = Module>>(iter: T) -> Self {
         let mut d = Design::new();
         for m in iter {
-            d.add_module(m).expect("duplicate module name in FromIterator");
+            d.add_module(m)
+                .expect("duplicate module name in FromIterator");
         }
         d
     }
@@ -610,7 +643,10 @@ mod tests {
     fn add_net_rejects_duplicates_and_bad_widths() {
         let mut m = Module::new("m");
         m.add_net("a", 8, NetKind::Wire, None).unwrap();
-        assert!(matches!(m.add_net("a", 8, NetKind::Wire, None), Err(RtlError::Duplicate(_))));
+        assert!(matches!(
+            m.add_net("a", 8, NetKind::Wire, None),
+            Err(RtlError::Duplicate(_))
+        ));
         assert!(m.add_net("z", 0, NetKind::Wire, None).is_err());
         assert!(m.add_net("w", 65, NetKind::Wire, None).is_err());
     }
@@ -628,11 +664,16 @@ mod tests {
     #[test]
     fn clocked_regs_found_through_nested_statements() {
         let mut m = Module::new("m");
-        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let clk = m
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         let q = m.add_net("q", 8, NetKind::Reg, None).unwrap();
         let r = m.add_net("r", 4, NetKind::Reg, None).unwrap();
         m.processes.push(Process {
-            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            kind: ProcessKind::Clocked {
+                clock: clk,
+                edge: EdgeKind::Pos,
+            },
             body: vec![Stmt::If {
                 cond: Expr::constant(1, 1),
                 then_s: vec![Stmt::Assign {
@@ -641,7 +682,11 @@ mod tests {
                     blocking: false,
                 }],
                 else_s: vec![Stmt::Assign {
-                    lv: LValue::Slice { base: r, hi: 3, lo: 0 },
+                    lv: LValue::Slice {
+                        base: r,
+                        hi: 3,
+                        lo: 0,
+                    },
                     rhs: Expr::constant(5, 4),
                     blocking: false,
                 }],
@@ -655,12 +700,20 @@ mod tests {
     #[test]
     fn state_bits_include_memories() {
         let mut m = Module::new("m");
-        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let clk = m
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         let ram = m.add_memory("ram", 8, 4).unwrap();
         m.processes.push(Process {
-            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            kind: ProcessKind::Clocked {
+                clock: clk,
+                edge: EdgeKind::Pos,
+            },
             body: vec![Stmt::Assign {
-                lv: LValue::Mem { mem: ram, addr: Expr::constant(0, 2) },
+                lv: LValue::Mem {
+                    mem: ram,
+                    addr: Expr::constant(0, 2),
+                },
                 rhs: Expr::constant(0xaa, 8),
                 blocking: false,
             }],

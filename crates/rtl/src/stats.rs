@@ -114,15 +114,27 @@ mod tests {
     #[test]
     fn stats_count_flops_and_memories() {
         let mut m = Module::new("m");
-        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+        let clk = m
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
         let q = m.add_net("q", 16, NetKind::Reg, None).unwrap();
         let ram = m.add_memory("ram", 8, 32).unwrap();
         m.processes.push(Process {
-            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            kind: ProcessKind::Clocked {
+                clock: clk,
+                edge: EdgeKind::Pos,
+            },
             body: vec![
-                Stmt::Assign { lv: LValue::Net(q), rhs: Expr::constant(1, 16), blocking: false },
                 Stmt::Assign {
-                    lv: LValue::Mem { mem: ram, addr: Expr::constant(0, 5) },
+                    lv: LValue::Net(q),
+                    rhs: Expr::constant(1, 16),
+                    blocking: false,
+                },
+                Stmt::Assign {
+                    lv: LValue::Mem {
+                        mem: ram,
+                        addr: Expr::constant(0, 5),
+                    },
                     rhs: Expr::constant(0, 8),
                     blocking: false,
                 },

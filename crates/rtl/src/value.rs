@@ -54,7 +54,10 @@ impl Value {
     /// Panics if `width` is zero or greater than [`MAX_WIDTH`].
     #[inline]
     pub fn new(bits: u64, width: u32) -> Self {
-        Value { bits: bits & mask(width), width }
+        Value {
+            bits: bits & mask(width),
+            width,
+        }
     }
 
     /// The all-zero value of the given width.
@@ -106,7 +109,11 @@ impl Value {
     /// Panics if `hi < lo` or `hi >= self.width()`.
     pub fn slice(&self, hi: u32, lo: u32) -> Self {
         assert!(hi >= lo, "slice hi {hi} < lo {lo}");
-        assert!(hi < self.width, "slice hi {hi} out of range for width {}", self.width);
+        assert!(
+            hi < self.width,
+            "slice hi {hi} out of range for width {}",
+            self.width
+        );
         Value::new(self.bits >> lo, hi - lo + 1)
     }
 
@@ -127,7 +134,11 @@ impl Value {
     ///
     /// Panics if `hi < lo` or `hi >= self.width()`.
     pub fn set_slice(&self, hi: u32, lo: u32, v: Value) -> Self {
-        assert!(hi >= lo && hi < self.width, "bad slice {hi}:{lo} for width {}", self.width);
+        assert!(
+            hi >= lo && hi < self.width,
+            "bad slice {hi}:{lo} for width {}",
+            self.width
+        );
         let w = hi - lo + 1;
         let m = mask(w) << lo;
         Value {
@@ -208,7 +219,10 @@ impl Value {
     pub fn concat(&self, low: Value) -> Self {
         let w = self.width + low.width;
         assert!(w <= MAX_WIDTH, "concat width {w} exceeds {MAX_WIDTH}");
-        Value { bits: (self.bits << low.width) | low.bits, width: w }
+        Value {
+            bits: (self.bits << low.width) | low.bits,
+            width: w,
+        }
     }
 
     /// AND-reduction (`&v`): 1 iff all bits set.
@@ -227,7 +241,11 @@ impl Value {
     }
 
     fn binop(&self, rhs: Value, f: impl Fn(u64, u64) -> u64) -> Self {
-        assert_eq!(self.width, rhs.width, "width mismatch {} vs {}", self.width, rhs.width);
+        assert_eq!(
+            self.width, rhs.width,
+            "width mismatch {} vs {}",
+            self.width, rhs.width
+        );
         Value::new(f(self.bits, rhs.bits), self.width)
     }
 }
@@ -297,8 +315,14 @@ mod tests {
     fn arithmetic_wraps_at_width() {
         let a = Value::new(0xff, 8);
         assert_eq!(a.wrapping_add(Value::new(2, 8)), Value::new(1, 8));
-        assert_eq!(Value::zero(8).wrapping_sub(Value::new(1, 8)), Value::new(0xff, 8));
-        assert_eq!(Value::new(16, 8).wrapping_mul(Value::new(16, 8)), Value::zero(8));
+        assert_eq!(
+            Value::zero(8).wrapping_sub(Value::new(1, 8)),
+            Value::new(0xff, 8)
+        );
+        assert_eq!(
+            Value::new(16, 8).wrapping_mul(Value::new(16, 8)),
+            Value::zero(8)
+        );
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property tests over the [`hardsnap_rtl::Value`] bit-vector algebra.
+//! Every operation must keep its result inside the declared width —
+//! the invariant the simulator, scan codec and symbolic bit-blaster
+//! all rely on when exchanging raw `u64` images.
+
+use hardsnap_rtl::{value::mask, Value};
+use hardsnap_util::prop::any;
+use hardsnap_util::prop_check;
+
+#[test]
+fn all_ops_respect_width_mask() {
+    prop_check!(
+        cases = 256,
+        seed = 0x3A5C_0DE5,
+        (a in any::<u64>(), b in any::<u64>(), w in 1u32..=64, sh in 0u64..80) => {
+            let x = Value::new(a, w);
+            let y = Value::new(b, w);
+            for v in [
+                x.wrapping_add(y),
+                x.wrapping_sub(y),
+                x.wrapping_mul(y),
+                x.and(y),
+                x.or(y),
+                x.xor(y),
+                x.not(),
+                x.neg(),
+                x.shl(sh),
+                x.shr(sh),
+            ] {
+                assert_eq!(v.width(), w);
+                assert_eq!(v.bits() & !mask(w), 0, "bits escaped width {w}: {v:?}");
+            }
+        }
+    );
+}
+
+#[test]
+fn boolean_algebra_identities() {
+    prop_check!(
+        cases = 256,
+        seed = 0xB001_EA45,
+        (a in any::<u64>(), b in any::<u64>(), w in 1u32..=64) => {
+            let x = Value::new(a, w);
+            let y = Value::new(b, w);
+            assert_eq!(x.xor(x), Value::zero(w));
+            assert_eq!(x.not().not(), x);
+            assert_eq!(x.and(y).or(x.and(y.not())), x, "absorption");
+            assert_eq!(x.wrapping_add(y).wrapping_sub(y), x, "add/sub inverse");
+            assert_eq!(x.wrapping_add(x.neg()), Value::zero(w), "x + (-x) = 0");
+        }
+    );
+}
+
+#[test]
+fn concat_then_slice_recovers_both_halves() {
+    prop_check!(
+        cases = 256,
+        seed = 0xC0CA_75ED,
+        (a in any::<u64>(), b in any::<u64>(), wh in 1u32..=32, wl in 1u32..=32) => {
+            let hi = Value::new(a, wh);
+            let lo = Value::new(b, wl);
+            let cat = hi.concat(lo);
+            assert_eq!(cat.width(), wh + wl);
+            assert_eq!(cat.slice(wl - 1, 0), lo);
+            assert_eq!(cat.slice(wh + wl - 1, wl), hi);
+        }
+    );
+}
+
+#[test]
+fn set_slice_then_slice_reads_back() {
+    prop_check!(
+        cases = 256,
+        seed = 0x5E7_511CE,
+        (a in any::<u64>(), v in any::<u64>(), w in 2u32..=64, lo in 0u32..63) => {
+            let lo = lo % (w - 1);
+            let hi = lo + ((v as u32) % (w - lo));
+            let base = Value::new(a, w);
+            let patch = Value::new(v, hi - lo + 1);
+            let out = base.set_slice(hi, lo, patch);
+            assert_eq!(out.width(), w);
+            assert_eq!(out.slice(hi, lo), patch, "patched bits read back");
+            if lo > 0 {
+                assert_eq!(out.slice(lo - 1, 0), base.slice(lo - 1, 0), "low bits intact");
+            }
+            if hi + 1 < w {
+                assert_eq!(out.slice(w - 1, hi + 1), base.slice(w - 1, hi + 1), "high bits intact");
+            }
+        }
+    );
+}
+
+#[test]
+fn reductions_match_bit_counts() {
+    prop_check!(
+        cases = 256,
+        seed = 0x4ED_C0DE,
+        (a in any::<u64>(), w in 1u32..=64) => {
+            let x = Value::new(a, w);
+            let bits = x.bits();
+            assert_eq!(x.reduce_and().is_true(), bits == mask(w));
+            assert_eq!(x.reduce_or().is_true(), bits != 0);
+            assert_eq!(x.reduce_xor().is_true(), bits.count_ones() % 2 == 1);
+        }
+    );
+}

@@ -136,11 +136,28 @@ mod tests {
     fn map() -> ChainMap {
         ChainMap {
             segments: vec![
-                ChainSegment { name: "a".into(), width: 4, msb_cell: 0 },
-                ChainSegment { name: "b".into(), width: 1, msb_cell: 4 },
-                ChainSegment { name: "c".into(), width: 8, msb_cell: 5 },
+                ChainSegment {
+                    name: "a".into(),
+                    width: 4,
+                    msb_cell: 0,
+                },
+                ChainSegment {
+                    name: "b".into(),
+                    width: 1,
+                    msb_cell: 4,
+                },
+                ChainSegment {
+                    name: "c".into(),
+                    width: 8,
+                    msb_cell: 5,
+                },
             ],
-            mems: vec![MemCollar { name: "ram".into(), width: 8, depth: 16, sel: 0 }],
+            mems: vec![MemCollar {
+                name: "ram".into(),
+                width: 8,
+                depth: 16,
+                sel: 0,
+            }],
         }
     }
 
@@ -165,7 +182,11 @@ mod tests {
         // Single 2-bit register with value 0b10: cells = [msb=1, lsb=0];
         // feed order reversed = [lsb, msb] = [false, true].
         let m = ChainMap {
-            segments: vec![ChainSegment { name: "r".into(), width: 2, msb_cell: 0 }],
+            segments: vec![ChainSegment {
+                name: "r".into(),
+                width: 2,
+                msb_cell: 0,
+            }],
             mems: vec![],
         };
         let stream = m.encode(&[0b10]).unwrap();
@@ -182,7 +203,11 @@ mod tests {
     #[test]
     fn values_wider_than_segment_are_masked_by_decode_roundtrip() {
         let m = ChainMap {
-            segments: vec![ChainSegment { name: "r".into(), width: 3, msb_cell: 0 }],
+            segments: vec![ChainSegment {
+                name: "r".into(),
+                width: 3,
+                msb_cell: 0,
+            }],
             mems: vec![],
         };
         // encode only looks at the low `width` bits.

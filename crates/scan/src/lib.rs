@@ -86,7 +86,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ScanError::NothingToInstrument("x.".into()).to_string().contains("x."));
-        assert!(ScanError::ShapeMismatch("10 vs 12".into()).to_string().contains("10 vs 12"));
+        assert!(ScanError::NothingToInstrument("x.".into())
+            .to_string()
+            .contains("x."));
+        assert!(ScanError::ShapeMismatch("10 vs 12".into())
+            .to_string()
+            .contains("10 vs 12"));
     }
 }

@@ -21,8 +21,7 @@
 use crate::chain::{ChainMap, ChainSegment, MemCollar};
 use crate::ScanError;
 use hardsnap_rtl::{
-    BinaryOp, ContAssign, Expr, LValue, MemId, Module, NetId, NetKind, PortDir, ProcessKind,
-    Stmt,
+    BinaryOp, ContAssign, Expr, LValue, MemId, Module, NetId, NetKind, PortDir, ProcessKind, Stmt,
 };
 
 /// Instrumentation port names inserted by the pass.
@@ -68,10 +67,7 @@ pub struct ScanOptions {
 ///   scope.
 /// * [`ScanError::Rtl`] — net-name collisions with the instrumentation
 ///   ports (the design already uses `scan_*` names).
-pub fn instrument(
-    module: &Module,
-    opts: &ScanOptions,
-) -> Result<(Module, ChainMap), ScanError> {
+pub fn instrument(module: &Module, opts: &ScanOptions) -> Result<(Module, ChainMap), ScanError> {
     let mut m = module.clone();
     let in_scope = |name: &str| match &opts.scope {
         Some(p) => name.starts_with(p.as_str()),
@@ -86,7 +82,9 @@ pub fn instrument(
         .collect();
     if regs.is_empty() {
         return Err(ScanError::NothingToInstrument(
-            opts.scope.clone().unwrap_or_else(|| "<whole design>".into()),
+            opts.scope
+                .clone()
+                .unwrap_or_else(|| "<whole design>".into()),
         ));
     }
     let mems: Vec<MemId> = if opts.skip_memories {
@@ -120,14 +118,22 @@ pub fn instrument(
             shift_src.push(Expr::Net(scan_in));
         } else {
             let prev = regs[i - 1];
-            shift_src.push(Expr::Slice { base: prev, hi: 0, lo: 0 });
+            shift_src.push(Expr::Slice {
+                base: prev,
+                hi: 0,
+                lo: 0,
+            });
         }
     }
     // scan_out = last register's LSB.
     let last = *regs.last().expect("non-empty");
     m.assigns.push(ContAssign {
         lv: LValue::Net(scan_out),
-        rhs: Expr::Slice { base: last, hi: 0, lo: 0 },
+        rhs: Expr::Slice {
+            base: last,
+            hi: 0,
+            lo: 0,
+        },
     });
 
     // --- memory collar ports -----------------------------------------------
@@ -138,19 +144,39 @@ pub fn instrument(
         let max_depth = mems.iter().map(|&id| m.memory(id).depth).max().unwrap();
         let addr_width = (32 - max_depth.saturating_sub(1).leading_zeros()).max(1);
         let en = m.add_net(ports::MEM_EN, 1, NetKind::Wire, Some(PortDir::Input))?;
-        let sel = m.add_net(ports::MEM_SEL, sel_width, NetKind::Wire, Some(PortDir::Input))?;
-        let addr =
-            m.add_net(ports::MEM_ADDR, addr_width, NetKind::Wire, Some(PortDir::Input))?;
+        let sel = m.add_net(
+            ports::MEM_SEL,
+            sel_width,
+            NetKind::Wire,
+            Some(PortDir::Input),
+        )?;
+        let addr = m.add_net(
+            ports::MEM_ADDR,
+            addr_width,
+            NetKind::Wire,
+            Some(PortDir::Input),
+        )?;
         let we = m.add_net(ports::MEM_WE, 1, NetKind::Wire, Some(PortDir::Input))?;
-        let wdata =
-            m.add_net(ports::MEM_WDATA, max_width, NetKind::Wire, Some(PortDir::Input))?;
-        let rdata =
-            m.add_net(ports::MEM_RDATA, max_width, NetKind::Wire, Some(PortDir::Output))?;
+        let wdata = m.add_net(
+            ports::MEM_WDATA,
+            max_width,
+            NetKind::Wire,
+            Some(PortDir::Input),
+        )?;
+        let rdata = m.add_net(
+            ports::MEM_RDATA,
+            max_width,
+            NetKind::Wire,
+            Some(PortDir::Output),
+        )?;
 
         // Combinational read mux across collared memories.
         let mut read_expr = Expr::constant(0, max_width);
         for (i, &id) in mems.iter().enumerate().rev() {
-            let mem_read = Expr::MemRead { mem: id, addr: Box::new(Expr::Net(addr)) };
+            let mem_read = Expr::MemRead {
+                mem: id,
+                addr: Box::new(Expr::Net(addr)),
+            };
             read_expr = Expr::Cond {
                 cond: Box::new(Expr::Binary {
                     op: BinaryOp::Eq,
@@ -168,7 +194,10 @@ pub fn instrument(
             });
         }
         chain.mems.reverse(); // iterate built them in reverse
-        m.assigns.push(ContAssign { lv: LValue::Net(rdata), rhs: read_expr });
+        m.assigns.push(ContAssign {
+            lv: LValue::Net(rdata),
+            rhs: read_expr,
+        });
         mem_ctl = Some((en, sel, addr, we, wdata));
     }
 
@@ -177,8 +206,7 @@ pub fn instrument(
     //   if (scan_enable)       { shift stmts for its in-chain regs }
     //   else if (scan_mem_en)  { collar writes for its collared mems }
     //   else                   { original body }
-    let chained: Vec<(NetId, Expr)> =
-        regs.iter().copied().zip(shift_src.into_iter()).collect();
+    let chained: Vec<(NetId, Expr)> = regs.iter().copied().zip(shift_src.into_iter()).collect();
 
     for pi in 0..m.processes.len() {
         if !matches!(m.processes[pi].kind, ProcessKind::Clocked { .. }) {
@@ -213,16 +241,26 @@ pub fn instrument(
             let rhs = if w == 1 {
                 src.clone()
             } else {
-                Expr::Concat(vec![src.clone(), Expr::Slice { base: *id, hi: w - 1, lo: 1 }])
+                Expr::Concat(vec![
+                    src.clone(),
+                    Expr::Slice {
+                        base: *id,
+                        hi: w - 1,
+                        lo: 1,
+                    },
+                ])
             };
-            shift_stmts.push(Stmt::Assign { lv: LValue::Net(*id), rhs, blocking: false });
+            shift_stmts.push(Stmt::Assign {
+                lv: LValue::Net(*id),
+                rhs,
+                blocking: false,
+            });
         }
 
         let mut collar_stmts = Vec::new();
         if let Some((_, sel, addr, we, wdata)) = &mem_ctl {
             for mid in &own_mems {
-                let Some(collar) = chain.mems.iter().find(|c| c.name == m.memory(*mid).name)
-                else {
+                let Some(collar) = chain.mems.iter().find(|c| c.name == m.memory(*mid).name) else {
                     continue; // out of scope
                 };
                 let sel_w = m.net(*sel).width;
@@ -237,7 +275,10 @@ pub fn instrument(
                         }),
                     },
                     then_s: vec![Stmt::Assign {
-                        lv: LValue::Mem { mem: *mid, addr: Expr::Net(*addr) },
+                        lv: LValue::Mem {
+                            mem: *mid,
+                            addr: Expr::Net(*addr),
+                        },
                         rhs: Expr::Net(*wdata),
                         blocking: false,
                     }],
@@ -262,9 +303,17 @@ pub fn instrument(
         let wrapped = if shift_stmts.is_empty() {
             // Out-of-scope (or memory-only) process: hold registers during
             // scan, but memory collar must still be reachable.
-            vec![Stmt::If { cond: Expr::Net(scan_enable), then_s: vec![], else_s: inner }]
+            vec![Stmt::If {
+                cond: Expr::Net(scan_enable),
+                then_s: vec![],
+                else_s: inner,
+            }]
         } else {
-            vec![Stmt::If { cond: Expr::Net(scan_enable), then_s: shift_stmts, else_s: inner }]
+            vec![Stmt::If {
+                cond: Expr::Net(scan_enable),
+                then_s: shift_stmts,
+                else_s: inner,
+            }]
         };
         m.processes[pi].body = wrapped;
     }
@@ -294,24 +343,47 @@ mod tests {
     /// Builds a small two-process module with a memory, directly in IR.
     fn sample() -> Module {
         let mut m = Module::new("dut");
-        let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let d = m.add_net("d", 8, NetKind::Wire, Some(PortDir::Input)).unwrap();
-        let q = m.add_net("q", 8, NetKind::Reg, Some(PortDir::Output)).unwrap();
+        let clk = m
+            .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let d = m
+            .add_net("d", 8, NetKind::Wire, Some(PortDir::Input))
+            .unwrap();
+        let q = m
+            .add_net("q", 8, NetKind::Reg, Some(PortDir::Output))
+            .unwrap();
         let flag = m.add_net("flag", 1, NetKind::Reg, None).unwrap();
         let ram = m.add_memory("ram", 16, 8).unwrap();
         m.processes.push(Process {
-            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            kind: ProcessKind::Clocked {
+                clock: clk,
+                edge: EdgeKind::Pos,
+            },
             body: vec![
-                Stmt::Assign { lv: LValue::Net(q), rhs: Expr::Net(d), blocking: false },
                 Stmt::Assign {
-                    lv: LValue::Mem { mem: ram, addr: Expr::Slice { base: d, hi: 2, lo: 0 } },
+                    lv: LValue::Net(q),
+                    rhs: Expr::Net(d),
+                    blocking: false,
+                },
+                Stmt::Assign {
+                    lv: LValue::Mem {
+                        mem: ram,
+                        addr: Expr::Slice {
+                            base: d,
+                            hi: 2,
+                            lo: 0,
+                        },
+                    },
                     rhs: Expr::Concat(vec![Expr::Net(d), Expr::Net(q)]),
                     blocking: false,
                 },
             ],
         });
         m.processes.push(Process {
-            kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+            kind: ProcessKind::Clocked {
+                clock: clk,
+                edge: EdgeKind::Pos,
+            },
             body: vec![Stmt::Assign {
                 lv: LValue::Net(flag),
                 rhs: Expr::Unary {
@@ -351,7 +423,10 @@ mod tests {
     fn scope_filters_registers() {
         let (_, chain) = instrument(
             &sample(),
-            &ScanOptions { scope: Some("q".into()), skip_memories: true },
+            &ScanOptions {
+                scope: Some("q".into()),
+                skip_memories: true,
+            },
         )
         .unwrap();
         assert_eq!(chain.segments.len(), 1);
@@ -363,7 +438,10 @@ mod tests {
     fn empty_scope_is_error() {
         let err = instrument(
             &sample(),
-            &ScanOptions { scope: Some("nonexistent.".into()), skip_memories: false },
+            &ScanOptions {
+                scope: Some("nonexistent.".into()),
+                skip_memories: false,
+            },
         )
         .unwrap_err();
         assert!(matches!(err, ScanError::NothingToInstrument(_)));
@@ -391,7 +469,12 @@ mod tests {
         for p in &m.processes {
             for s in &p.body {
                 s.for_each(&mut |s| {
-                    if let Stmt::Assign { lv: LValue::Net(n), rhs, .. } = s {
+                    if let Stmt::Assign {
+                        lv: LValue::Net(n),
+                        rhs,
+                        ..
+                    } = s
+                    {
                         if m.net(*n).name == "q" {
                             if let Expr::Concat(parts) = rhs {
                                 if parts.first() == Some(&Expr::Net(scan_in)) {
@@ -400,7 +483,12 @@ mod tests {
                             }
                         }
                         if m.net(*n).name == "flag"
-                            && *rhs == (Expr::Slice { base: q, hi: 0, lo: 0 })
+                            && *rhs
+                                == (Expr::Slice {
+                                    base: q,
+                                    hi: 0,
+                                    lo: 0,
+                                })
                         {
                             found_second = true;
                         }

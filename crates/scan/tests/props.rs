@@ -1,0 +1,95 @@
+//! Property tests for the scan-chain codec, including memory collars:
+//! the bit-stream layout must round-trip arbitrary register values, and
+//! shape mismatches (wrong value counts, wrong stream lengths) must be
+//! reported as `ScanError`, never a panic — the FPGA side hands this
+//! code raw shift-register captures.
+
+use hardsnap_scan::{ChainMap, ChainSegment, MemCollar};
+use hardsnap_util::prop::from_fn;
+use hardsnap_util::prop_check;
+use hardsnap_util::Rng;
+
+fn mask(w: u32) -> u64 {
+    if w == 64 {
+        u64::MAX
+    } else {
+        (1 << w) - 1
+    }
+}
+
+fn arb_chain(rng: &mut Rng) -> (ChainMap, Vec<u64>) {
+    let mut cells = 0u64;
+    let segments: Vec<ChainSegment> = (0..rng.gen_range(1usize..10))
+        .map(|i| {
+            let width = rng.gen_range(1u32..=64);
+            let seg = ChainSegment {
+                name: format!("r{i}"),
+                width,
+                msb_cell: cells,
+            };
+            cells += width as u64;
+            seg
+        })
+        .collect();
+    let mems = (0..rng.gen_range(0usize..3))
+        .map(|i| MemCollar {
+            name: format!("m{i}"),
+            width: rng.gen_range(8u32..=32),
+            depth: rng.gen_range(1u32..64),
+            sel: i as u32,
+        })
+        .collect();
+    let values = segments
+        .iter()
+        .map(|s| rng.next_u64() & mask(s.width))
+        .collect();
+    (ChainMap { segments, mems }, values)
+}
+
+#[test]
+fn roundtrip_with_mem_collars_and_bit_accounting() {
+    prop_check!(cases = 128, seed = 0x5CA4_B175, (cv in from_fn(arb_chain)) => {
+        let (chain, values) = cv;
+        let stream = chain.encode(&values).unwrap();
+        assert_eq!(stream.len() as u64, chain.chain_bits());
+        assert_eq!(
+            chain.chain_bits(),
+            chain.segments.iter().map(|s| s.width as u64).sum::<u64>()
+        );
+        assert_eq!(
+            chain.mem_words(),
+            chain.mems.iter().map(|m| m.depth as u64).sum::<u64>()
+        );
+        assert_eq!(chain.decode(&stream).unwrap(), values);
+    });
+}
+
+#[test]
+fn shape_mismatches_error_instead_of_panicking() {
+    prop_check!(cases = 128, seed = 0x5AFE_E44, (cv in from_fn(arb_chain)) => {
+        let (chain, values) = cv;
+        // One value too many and one too few.
+        let mut long = values.clone();
+        long.push(0);
+        assert!(chain.encode(&long).is_err());
+        assert!(chain.encode(&values[..values.len() - 1]).is_err());
+        // Wrong stream lengths.
+        let stream = chain.encode(&values).unwrap();
+        assert!(chain.decode(&stream[..stream.len() - 1]).is_err());
+        let mut padded = stream.clone();
+        padded.push(false);
+        assert!(chain.decode(&padded).is_err());
+    });
+}
+
+#[test]
+fn segment_lookup_finds_every_register() {
+    prop_check!(cases = 64, seed = 0x5E9_100C, (cv in from_fn(arb_chain)) => {
+        let (chain, _) = cv;
+        for seg in &chain.segments {
+            let found = chain.segment(&seg.name).expect("own segment resolves");
+            assert_eq!(found, seg);
+        }
+        assert!(chain.segment("no_such_register").is_none());
+    });
+}

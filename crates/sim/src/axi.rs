@@ -72,12 +72,7 @@ impl AxiLite {
     ///
     /// [`BusError::SlaveError`] on a non-OKAY response,
     /// [`BusError::Timeout`] if a handshake never completes.
-    pub fn write(
-        &self,
-        sim: &mut Simulator,
-        addr: u32,
-        data: u32,
-    ) -> Result<u64, BusError> {
+    pub fn write(&self, sim: &mut Simulator, addr: u32, data: u32) -> Result<u64, BusError> {
         let start = sim.cycle();
         let poke = |sim: &mut Simulator, id: NetId, v: u64| {
             let name = sim.module().net(id).name.clone();
@@ -97,7 +92,10 @@ impl AxiLite {
         let mut waited = 0u64;
         loop {
             if waited >= AXI_TIMEOUT_CYCLES {
-                return Err(BusError::Timeout { addr, cycles: sim.cycle() - start });
+                return Err(BusError::Timeout {
+                    addr,
+                    cycles: sim.cycle() - start,
+                });
             }
             let awr = sim.peek_id(self.awready).is_true();
             let wr = sim.peek_id(self.wready).is_true();
@@ -145,7 +143,10 @@ impl AxiLite {
         let mut waited = 0u64;
         loop {
             if waited >= AXI_TIMEOUT_CYCLES {
-                return Err(BusError::Timeout { addr, cycles: sim.cycle() - start });
+                return Err(BusError::Timeout {
+                    addr,
+                    cycles: sim.cycle() - start,
+                });
             }
             let arr = sim.peek_id(self.arready).is_true();
             let rv = sim.peek_id(self.rvalid).is_true();

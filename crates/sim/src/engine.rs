@@ -16,11 +16,11 @@
 //!   makes simulator-side hardware snapshots trivial and exact.
 
 use crate::SimError;
-use std::sync::Arc;
 use hardsnap_rtl::{
     check_module, eval_binary, eval_unary, CaseArm, Expr, LValue, MemId, Module, NetId,
     ProcessKind, Stmt, Value,
 };
+use std::sync::Arc;
 
 /// One combinational evaluation unit: a continuous assign or an
 /// `always @(*)` process.
@@ -105,7 +105,11 @@ impl Simulator {
         }
         check_module(&module).map_err(SimError::Rtl)?;
         for p in &module.processes {
-            if let ProcessKind::Clocked { edge: hardsnap_rtl::EdgeKind::Neg, .. } = p.kind {
+            if let ProcessKind::Clocked {
+                edge: hardsnap_rtl::EdgeKind::Neg,
+                ..
+            } = p.kind
+            {
                 return Err(SimError::Unsupported(
                     "negedge processes are not supported (single-edge corpus)".into(),
                 ));
@@ -122,7 +126,11 @@ impl Simulator {
             .collect();
 
         let nets = module.nets.iter().map(|n| Value::zero(n.width)).collect();
-        let mems = module.memories.iter().map(|m| vec![0u64; m.depth as usize]).collect();
+        let mems = module
+            .memories
+            .iter()
+            .map(|m| vec![0u64; m.depth as usize])
+            .collect();
         let mut sim = Simulator {
             module: Arc::new(module),
             nets,
@@ -194,7 +202,10 @@ impl Simulator {
         let mem = &self.mems[id.0 as usize];
         mem.get(addr as usize)
             .copied()
-            .ok_or_else(|| SimError::OutOfRange { name: name.to_string(), index: addr })
+            .ok_or_else(|| SimError::OutOfRange {
+                name: name.to_string(),
+                index: addr,
+            })
     }
 
     /// Writes one memory word.
@@ -211,7 +222,10 @@ impl Simulator {
         let mem = &mut self.mems[id.0 as usize];
         let slot = mem
             .get_mut(addr as usize)
-            .ok_or_else(|| SimError::OutOfRange { name: name.to_string(), index: addr })?;
+            .ok_or_else(|| SimError::OutOfRange {
+                name: name.to_string(),
+                index: addr,
+            })?;
         *slot = value & hardsnap_rtl::mask(width);
         self.comb_dirty = true;
         Ok(())
@@ -255,7 +269,9 @@ impl Simulator {
     }
 
     fn net_id(&self, name: &str) -> Result<NetId, SimError> {
-        self.module.find_net(name).ok_or_else(|| SimError::UnknownNet(name.to_string()))
+        self.module
+            .find_net(name)
+            .ok_or_else(|| SimError::UnknownNet(name.to_string()))
     }
 
     // ------------------------------------------------------------- internals
@@ -320,7 +336,11 @@ impl Simulator {
                     self.schedule_nba(module, lv, v);
                 }
             }
-            Stmt::If { cond, then_s, else_s } => {
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => {
                 let c = eval_expr(module, &self.nets, &self.mems, cond);
                 let branch = if c.is_true() { then_s } else { else_s };
                 for s in branch {
@@ -343,11 +363,13 @@ impl Simulator {
         match lv {
             LValue::Net(n) => {
                 let w = module.net(*n).width;
-                self.nba_nets.push((*n, hardsnap_rtl::mask(w), v.resize(w).bits()));
+                self.nba_nets
+                    .push((*n, hardsnap_rtl::mask(w), v.resize(w).bits()));
             }
             LValue::Slice { base, hi, lo } => {
                 let m = hardsnap_rtl::mask(hi - lo + 1) << lo;
-                self.nba_nets.push((*base, m, (v.resize(hi - lo + 1).bits()) << lo));
+                self.nba_nets
+                    .push((*base, m, (v.resize(hi - lo + 1).bits()) << lo));
             }
             LValue::Index { base, index } => {
                 let i = eval_expr(module, &self.nets, &self.mems, index).bits();
@@ -371,7 +393,11 @@ fn exec_comb_stmt(module: &Module, nets: &mut [Value], mems: &mut [Vec<u64>], s:
             let v = eval_expr(module, nets, mems, rhs);
             write_net_lvalue(module, nets, mems, lv, v);
         }
-        Stmt::If { cond, then_s, else_s } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             let c = eval_expr(module, nets, mems, cond);
             let branch = if c.is_true() { then_s } else { else_s };
             for s in branch {
@@ -423,11 +449,7 @@ fn write_net_lvalue(
 }
 
 /// Selects the matching case arm (or the default) for a selector value.
-fn select_case_arm<'a>(
-    sel: Value,
-    arms: &'a [CaseArm],
-    default: &'a [Stmt],
-) -> &'a [Stmt] {
+fn select_case_arm<'a>(sel: Value, arms: &'a [CaseArm], default: &'a [Stmt]) -> &'a [Stmt] {
     for arm in arms {
         if arm.labels.iter().any(|l| l.bits() == sel.bits()) {
             return &arm.body;
@@ -437,12 +459,7 @@ fn select_case_arm<'a>(
 }
 
 /// Pure expression evaluation against a net/memory state.
-pub(crate) fn eval_expr(
-    module: &Module,
-    nets: &[Value],
-    mems: &[Vec<u64>],
-    e: &Expr,
-) -> Value {
+pub(crate) fn eval_expr(module: &Module, nets: &[Value], mems: &[Vec<u64>], e: &Expr) -> Value {
     match e {
         Expr::Const(v) => *v,
         Expr::Net(n) => nets[n.0 as usize],
@@ -457,7 +474,11 @@ pub(crate) fn eval_expr(
             eval_expr(module, nets, mems, lhs),
             eval_expr(module, nets, mems, rhs),
         ),
-        Expr::Cond { cond, then_e, else_e } => {
+        Expr::Cond {
+            cond,
+            then_e,
+            else_e,
+        } => {
             // Width unification mirrors Expr::width (max of arms).
             let t = eval_expr(module, nets, mems, then_e);
             let f = eval_expr(module, nets, mems, else_e);
@@ -545,8 +566,7 @@ fn levelize(module: &Module) -> Result<Vec<CombNode>, SimError> {
 
     // Kahn: repeatedly emit nodes with no unresolved predecessors.
     let mut unresolved: Vec<usize> = preds.iter().map(|p| p.len()).collect();
-    let mut ready: Vec<usize> =
-        (0..nodes.len()).filter(|&i| unresolved[i] == 0).collect();
+    let mut ready: Vec<usize> = (0..nodes.len()).filter(|&i| unresolved[i] == 0).collect();
     // succ map
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     for (ni, ps) in preds.iter().enumerate() {
@@ -600,9 +620,7 @@ fn node_reads_own_full_target(module: &Module, node: &CombNode) -> bool {
 /// Nets written by a comb node.
 fn node_targets(module: &Module, node: &CombNode) -> Vec<NetId> {
     match node {
-        CombNode::Assign(ai) => {
-            module.assigns[*ai].lv.target_net().into_iter().collect()
-        }
+        CombNode::Assign(ai) => module.assigns[*ai].lv.target_net().into_iter().collect(),
         CombNode::Process(pi) => {
             let mut out = Vec::new();
             for s in &module.processes[*pi].body {
@@ -662,7 +680,11 @@ fn stmt_reads(s: &Stmt, push: &mut impl FnMut(NetId)) {
                 addr.for_each_net(push);
             }
         }
-        Stmt::If { cond, then_s, else_s } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             cond.for_each_net(push);
             for s in then_s.iter().chain(else_s) {
                 stmt_reads(s, push);
@@ -868,7 +890,10 @@ mod tests {
             "#,
             "m",
         );
-        assert!(matches!(s.peek_mem("ram", 4), Err(SimError::OutOfRange { .. })));
+        assert!(matches!(
+            s.peek_mem("ram", 4),
+            Err(SimError::OutOfRange { .. })
+        ));
         assert!(s.poke_mem("ram", 2, 0x55).is_ok());
         assert_eq!(s.peek_mem("ram", 2).unwrap(), 0x55);
         assert!(matches!(s.peek("nope"), Err(SimError::UnknownNet(_))));

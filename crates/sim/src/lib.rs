@@ -95,7 +95,10 @@ mod tests {
     fn errors_display() {
         let e = SimError::CombLoop(vec!["a".into(), "b".into()]);
         assert!(e.to_string().contains("a, b"));
-        let e = SimError::OutOfRange { name: "ram".into(), index: 9 };
+        let e = SimError::OutOfRange {
+            name: "ram".into(),
+            index: 9,
+        };
         assert!(e.to_string().contains("ram"));
     }
 }

@@ -35,9 +35,9 @@ pub struct SimTimeModel {
 impl Default for SimTimeModel {
     fn default() -> Self {
         SimTimeModel {
-            ns_per_cycle: 2_000,            // ~0.5 MHz effective
-            io_overhead_ns: 2_000,          // shared-memory hop
-            snapshot_fixed_ns: 20_000_000,  // 20 ms freeze + fork
+            ns_per_cycle: 2_000,           // ~0.5 MHz effective
+            io_overhead_ns: 2_000,         // shared-memory hop
+            snapshot_fixed_ns: 20_000_000, // 20 ms freeze + fork
             snapshot_ns_per_byte: 100,
         }
     }
@@ -86,14 +86,20 @@ impl SimTarget {
     /// # Errors
     ///
     /// Same as [`SimTarget::new`].
-    pub fn with_model(
-        module: hardsnap_rtl::Module,
-        model: SimTimeModel,
-    ) -> Result<Self, SimError> {
-        let irq_net = module.find_net(axi_ports::IRQ).map(|_| axi_ports::IRQ.to_string());
+    pub fn with_model(module: hardsnap_rtl::Module, model: SimTimeModel) -> Result<Self, SimError> {
+        let irq_net = module
+            .find_net(axi_ports::IRQ)
+            .map(|_| axi_ports::IRQ.to_string());
         let sim = Simulator::new(module)?;
         let axi = AxiLite::bind(&sim)?;
-        Ok(SimTarget { sim, axi, model, vtime_ns: 0, trace: None, irq_net })
+        Ok(SimTarget {
+            sim,
+            axi,
+            model,
+            vtime_ns: 0,
+            trace: None,
+            irq_net,
+        })
     }
 
     /// Enables full-trace recording (the simulator-only capability).
@@ -120,7 +126,9 @@ impl SimTarget {
     }
 
     fn charge_cycles(&mut self, cycles: u64) {
-        self.vtime_ns = self.vtime_ns.saturating_add(cycles * self.model.ns_per_cycle);
+        self.vtime_ns = self
+            .vtime_ns
+            .saturating_add(cycles * self.model.ns_per_cycle);
     }
 
     fn sample_trace(&mut self) {
@@ -150,7 +158,12 @@ impl SimTarget {
                 words: self.sim.mem_words(id).to_vec(),
             });
         }
-        HwSnapshot { design: module.name.clone(), cycle: self.sim.cycle(), regs, mems }
+        HwSnapshot {
+            design: module.name.clone(),
+            cycle: self.sim.cycle(),
+            regs,
+            mems,
+        }
     }
 }
 
@@ -238,9 +251,9 @@ impl HwTarget for SimTarget {
             });
         }
         for r in &snap.regs {
-            self.sim.poke(&r.name, r.bits).map_err(|e| {
-                TargetError::CorruptSnapshot(format!("register '{}': {e}", r.name))
-            })?;
+            self.sim
+                .poke(&r.name, r.bits)
+                .map_err(|e| TargetError::CorruptSnapshot(format!("register '{}': {e}", r.name)))?;
         }
         for m in &snap.mems {
             for (i, w) in m.words.iter().enumerate() {
@@ -391,7 +404,10 @@ mod tests {
         t.step(10);
         let vcd = t.take_trace().unwrap();
         assert!(vcd.contains("$enddefinitions"));
-        assert!(vcd.contains("count"), "trace should include internal registers");
+        assert!(
+            vcd.contains("count"),
+            "trace should include internal registers"
+        );
     }
 
     #[test]

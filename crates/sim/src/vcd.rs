@@ -31,13 +31,24 @@ impl VcdTrace {
         let mut ids = Vec::with_capacity(module.nets.len());
         for (i, net) in module.nets.iter().enumerate() {
             let id = code(i);
-            writeln!(buf, "$var wire {} {} {} $end", net.width, id, sanitize(&net.name))
-                .unwrap();
+            writeln!(
+                buf,
+                "$var wire {} {} {} $end",
+                net.width,
+                id,
+                sanitize(&net.name)
+            )
+            .unwrap();
             ids.push(id);
         }
         writeln!(buf, "$upscope $end").unwrap();
         writeln!(buf, "$enddefinitions $end").unwrap();
-        let mut t = VcdTrace { buf, last: vec![None; module.nets.len()], ids, time: 0 };
+        let mut t = VcdTrace {
+            buf,
+            last: vec![None; module.nets.len()],
+            ids,
+            time: 0,
+        };
         t.sample(sim);
         t
     }

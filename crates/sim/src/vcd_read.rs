@@ -83,9 +83,7 @@ impl VcdData {
                 let v = match chars.next() {
                     Some('0') => 0u64,
                     Some('1') => 1,
-                    other => {
-                        return Err(err(line, format!("bad scalar change '{other:?}'")))
-                    }
+                    other => return Err(err(line, format!("bad scalar change '{other:?}'"))),
                 };
                 let id: String = chars.collect();
                 let name = id_to_name
@@ -147,10 +145,7 @@ pub struct Divergence {
 /// differs; signals present in only one trace are ignored. Returns
 /// `None` when the traces agree over their common span.
 pub fn first_divergence(a: &VcdData, b: &VcdData) -> Option<Divergence> {
-    let mut commons: Vec<&str> = a
-        .signals()
-        .filter(|s| b.changes.contains_key(*s))
-        .collect();
+    let mut commons: Vec<&str> = a.signals().filter(|s| b.changes.contains_key(*s)).collect();
     commons.sort_unstable();
     let end = a.end_time().min(b.end_time());
     let mut best: Option<Divergence> = None;
@@ -173,7 +168,12 @@ pub fn first_divergence(a: &VcdData, b: &VcdData) -> Option<Divergence> {
                     Some(d) => t < d.time || (t == d.time && s < d.signal.as_str()),
                 };
                 if better {
-                    best = Some(Divergence { time: t, signal: s.to_string(), a: va, b: vb });
+                    best = Some(Divergence {
+                        time: t,
+                        signal: s.to_string(),
+                        a: va,
+                        b: vb,
+                    });
                 }
                 break;
             }

@@ -26,7 +26,13 @@ impl<'p> Blaster<'p> {
         let t = sat.new_var();
         let tru = Lit::pos(t);
         sat.add_clause(&[tru]);
-        Blaster { pool, sat, bits: HashMap::new(), var_bits: HashMap::new(), tru }
+        Blaster {
+            pool,
+            sat,
+            bits: HashMap::new(),
+            var_bits: HashMap::new(),
+            tru,
+        }
     }
 
     fn lit_const(&self, b: bool) -> Lit {
@@ -137,9 +143,9 @@ impl<'p> Blaster<'p> {
         }
         let w = self.pool.width(id) as usize;
         let result: Vec<Lit> = match self.pool.term(id).clone() {
-            Term::Const { value, .. } => {
-                (0..w).map(|i| self.lit_const((value >> i) & 1 == 1)).collect()
-            }
+            Term::Const { value, .. } => (0..w)
+                .map(|i| self.lit_const((value >> i) & 1 == 1))
+                .collect(),
             Term::Var { name, .. } => {
                 if let Some(b) = self.var_bits.get(&name) {
                     b.clone()
@@ -187,15 +193,17 @@ impl<'p> Blaster<'p> {
                         .zip(&bv)
                         .map(|(&x, &y)| self.and_gate(x, y))
                         .collect(),
-                    BinOp::Or => {
-                        av.iter().zip(&bv).map(|(&x, &y)| self.or_gate(x, y)).collect()
-                    }
-                    BinOp::Xor => {
-                        av.iter().zip(&bv).map(|(&x, &y)| self.xor_gate(x, y)).collect()
-                    }
-                    BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
-                        self.barrel_shift(op, &av, &bv)
-                    }
+                    BinOp::Or => av
+                        .iter()
+                        .zip(&bv)
+                        .map(|(&x, &y)| self.or_gate(x, y))
+                        .collect(),
+                    BinOp::Xor => av
+                        .iter()
+                        .zip(&bv)
+                        .map(|(&x, &y)| self.xor_gate(x, y))
+                        .collect(),
+                    BinOp::Shl | BinOp::Lshr | BinOp::Ashr => self.barrel_shift(op, &av, &bv),
                     BinOp::Eq => {
                         let mut acc = self.tru;
                         for (x, y) in av.iter().zip(&bv) {
@@ -220,7 +228,10 @@ impl<'p> Blaster<'p> {
                 let cv = self.blast(c)[0];
                 let tv = self.blast(t);
                 let ev = self.blast(e);
-                tv.iter().zip(&ev).map(|(&x, &y)| self.mux_gate(cv, x, y)).collect()
+                tv.iter()
+                    .zip(&ev)
+                    .map(|(&x, &y)| self.mux_gate(cv, x, y))
+                    .collect()
             }
             Term::Extract { a, hi: _, lo } => {
                 let av = self.blast(a);
@@ -246,7 +257,11 @@ impl<'p> Blaster<'p> {
 
     fn barrel_shift(&mut self, op: BinOp, a: &[Lit], sh: &[Lit]) -> Vec<Lit> {
         let w = a.len();
-        let fill_top = if op == BinOp::Ashr { a[w - 1] } else { self.lit_const(false) };
+        let fill_top = if op == BinOp::Ashr {
+            a[w - 1]
+        } else {
+            self.lit_const(false)
+        };
         let mut cur = a.to_vec();
         // Stages for shift-amount bits that are < bits needed to cover w.
         let stages = 64 - (w as u64 - 1).leading_zeros() as usize;
@@ -288,7 +303,11 @@ impl<'p> Blaster<'p> {
             high = self.or_gate(high, sbit);
         }
         if high != self.lit_const(false) {
-            let fill = if op == BinOp::Ashr { fill_top } else { self.lit_const(false) };
+            let fill = if op == BinOp::Ashr {
+                fill_top
+            } else {
+                self.lit_const(false)
+            };
             cur = cur.iter().map(|&b| self.mux_gate(high, fill, b)).collect();
         }
         cur
@@ -334,7 +353,11 @@ mod tests {
         let mut b = Blaster::new(pool);
         b.assert_true(assertion);
         let model = b.solve()?;
-        assert_eq!(pool.eval(assertion, &model), 1, "model must satisfy the formula");
+        assert_eq!(
+            pool.eval(assertion, &model),
+            1,
+            "model must satisfy the formula"
+        );
         Some(model)
     }
 
@@ -394,7 +417,11 @@ mod tests {
         let slt = p.binary(BinOp::Slt, x, c1);
         let both = p.and_cond(slt, ne0);
         let m = check(&p, both).expect("sat");
-        assert!(m["x"] >= 0x80 || m["x"] == 0, "negative 8-bit value, got {:#x}", m["x"]);
+        assert!(
+            m["x"] >= 0x80 || m["x"] == 0,
+            "negative 8-bit value, got {:#x}",
+            m["x"]
+        );
     }
 
     #[test]
@@ -459,16 +486,21 @@ mod tests {
 
     #[test]
     fn random_differential_against_eval() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = hardsnap_util::Rng::seed_from_u64(99);
         for _ in 0..20 {
             let mut p = TermPool::new();
             let x = p.var("x", 16);
             let y = p.var("y", 16);
             // Build a random expression tree of depth 3.
-            let build = |p: &mut TermPool, rng: &mut rand::rngs::StdRng| {
-                let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or,
-                           BinOp::Xor];
+            let build = |p: &mut TermPool, rng: &mut hardsnap_util::Rng| {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                ];
                 let mut t = if rng.gen_bool(0.5) { x } else { y };
                 for _ in 0..3 {
                     let op = ops[rng.gen_range(0..ops.len())];
@@ -498,7 +530,10 @@ mod tests {
             let et = p.binary(BinOp::Eq, t, cexp);
             let mut all = p.and_cond(ex, ey);
             all = p.and_cond(all, et);
-            assert!(check(&p, all).is_some(), "consistent assignment must be sat");
+            assert!(
+                check(&p, all).is_some(),
+                "consistent assignment must be sat"
+            );
         }
     }
 }

@@ -185,15 +185,15 @@ impl Executor {
         Some(line)
     }
 
-    fn bug(
-        &mut self,
-        state: &SymState,
-        kind: BugKind,
-        pc: u32,
-        description: String,
-    ) -> BugReport {
+    fn bug(&mut self, state: &SymState, kind: BugKind, pc: u32, description: String) -> BugReport {
         let testcase = self.testcase(state);
-        BugReport { kind, pc, state_id: state.id, testcase, description }
+        BugReport {
+            kind,
+            pc,
+            state_id: state.id,
+            testcase,
+            description,
+        }
     }
 
     /// Concretizes `term` under the state's constraints according to the
@@ -205,14 +205,13 @@ impl Executor {
             return vec![v];
         }
         match self.policy {
-            Concretization::Minimal => {
-                match self.solver.check(&self.pool, &state.constraints) {
-                    QueryResult::Sat(m) => vec![m.eval(&self.pool, term)],
-                    QueryResult::Unsat => vec![],
-                }
-            }
+            Concretization::Minimal => match self.solver.check(&self.pool, &state.constraints) {
+                QueryResult::Sat(m) => vec![m.eval(&self.pool, term)],
+                QueryResult::Unsat => vec![],
+            },
             Concretization::Exhaustive(n) => {
-                self.solver.solutions(&mut self.pool, &state.constraints, term, n)
+                self.solver
+                    .solutions(&mut self.pool, &state.constraints, term, n)
             }
         }
     }
@@ -232,7 +231,10 @@ impl Executor {
                 pc,
                 format!("control flow reached invalid pc {pc:#010x}"),
             );
-            return StepOutcome::Bug { report, continuation: None };
+            return StepOutcome::Bug {
+                report,
+                continuation: None,
+            };
         }
         let word_t = state.mem.load32(&mut self.pool, pc);
         let Some(word) = self.pool.as_const(word_t) else {
@@ -242,7 +244,10 @@ impl Executor {
                 pc,
                 "symbolic instruction word (self-modifying code?)".to_string(),
             );
-            return StepOutcome::Bug { report, continuation: None };
+            return StepOutcome::Bug {
+                report,
+                continuation: None,
+            };
         };
         let instr = match Instr::decode(word as u32) {
             Ok(i) => i,
@@ -253,7 +258,10 @@ impl Executor {
                     pc,
                     format!("illegal instruction: {e}"),
                 );
-                return StepOutcome::Bug { report, continuation: None };
+                return StepOutcome::Bug {
+                    report,
+                    continuation: None,
+                };
             }
         };
 
@@ -290,7 +298,12 @@ impl Executor {
                 let byte = matches!(instr, Instr::Stb { .. });
                 return self.exec_store(state, hw, rs2, rs1, off, byte, next_pc);
             }
-            Instr::Branch { cond, rs1, rs2, off } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                off,
+            } => {
                 let a = state.reg(rs1);
                 let b = state.reg(rs2);
                 let c = self.cond_term(cond, a, b);
@@ -381,7 +394,10 @@ impl Executor {
                             pc,
                             "assertion failed (concretely)".to_string(),
                         );
-                        return StepOutcome::Bug { report, continuation: None };
+                        return StepOutcome::Bug {
+                            report,
+                            continuation: None,
+                        };
                     }
                     Some(_) => return StepOutcome::ContinueWith(state),
                     None => {
@@ -409,7 +425,10 @@ impl Executor {
                             } else {
                                 None
                             };
-                            return StepOutcome::Bug { report, continuation };
+                            return StepOutcome::Bug {
+                                report,
+                                continuation,
+                            };
                         }
                         let not_zero = self.pool.not_cond(is_zero);
                         state.assume(not_zero);
@@ -424,7 +443,10 @@ impl Executor {
                     pc,
                     "fail marker reached".to_string(),
                 );
-                return StepOutcome::Bug { report, continuation: None };
+                return StepOutcome::Bug {
+                    report,
+                    continuation: None,
+                };
             }
             Instr::Putc { rs1 } => {
                 let v = state.reg(rs1);
@@ -498,12 +520,9 @@ impl Executor {
                             s.set_reg(rd, t);
                             Ok(())
                         }
-                        Err(e) => Err(this.bug(
-                            s,
-                            BugKind::Bus,
-                            pc,
-                            format!("bus error on load: {e}"),
-                        )),
+                        Err(e) => {
+                            Err(this.bug(s, BugKind::Bus, pc, format!("bus error on load: {e}")))
+                        }
                     }
                 }
                 None => Err(this.bug(
@@ -654,12 +673,9 @@ impl Executor {
                     }
                     match hw.mmio_write(s, addr, v0 as u32) {
                         Ok(()) => Ok(()),
-                        Err(e) => Err(this.bug(
-                            s,
-                            BugKind::Bus,
-                            pc,
-                            format!("bus error on store: {e}"),
-                        )),
+                        Err(e) => {
+                            Err(this.bug(s, BugKind::Bus, pc, format!("bus error on store: {e}")))
+                        }
                     }
                 }
                 None => Err(this.bug(
@@ -711,7 +727,10 @@ impl Executor {
             }
             return match f(self, &mut s, values[0]) {
                 Ok(()) => StepOutcome::ContinueWith(s),
-                Err(report) => StepOutcome::Bug { report, continuation: None },
+                Err(report) => StepOutcome::Bug {
+                    report,
+                    continuation: None,
+                },
             };
         }
         self.stats.forks += values.len() as u64 - 1;
@@ -828,7 +847,10 @@ mod tests {
                 StepOutcome::ContinueWith(s) => worklist.push(s),
                 StepOutcome::Fork(ss) => worklist.extend(ss),
                 StepOutcome::Halted(s) => halted.push(s),
-                StepOutcome::Bug { report, continuation } => {
+                StepOutcome::Bug {
+                    report,
+                    continuation,
+                } => {
                     bugs.push(report);
                     if let Some(c) = continuation {
                         worklist.push(c);
@@ -836,7 +858,11 @@ mod tests {
                 }
             }
         }
-        ExecRunResult { halted: halted.len(), bugs, executor: ex }
+        ExecRunResult {
+            halted: halted.len(),
+            bugs,
+            executor: ex,
+        }
     }
 
     struct ExecRunResult {
@@ -861,7 +887,10 @@ mod tests {
         );
         assert_eq!(r.halted, 1);
         assert!(r.bugs.is_empty());
-        assert_eq!(r.executor.solver.stats.queries, 0, "no solver use on concrete path");
+        assert_eq!(
+            r.executor.solver.stats.queries, 0,
+            "no solver use on concrete path"
+        );
     }
 
     #[test]
@@ -1062,10 +1091,7 @@ mod tests {
 
     #[test]
     fn console_output_is_captured() {
-        let prog = assemble(
-            ".org 0x100\nentry:\n movi r1, #65\n putc r1\n halt\n",
-        )
-        .unwrap();
+        let prog = assemble(".org 0x100\nentry:\n movi r1, #65\n putc r1\n halt\n").unwrap();
         let mut ex = Executor::new(Concretization::Minimal);
         let mut s = ex.initial_state(prog.image.clone(), prog.entry);
         let mut hw = NoSymMmio;

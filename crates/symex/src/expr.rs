@@ -206,7 +206,10 @@ impl TermPool {
 
     /// Interns a constant.
     pub fn constant(&mut self, value: u64, width: u32) -> TermId {
-        self.intern(Term::Const { value: value & mask(width), width })
+        self.intern(Term::Const {
+            value: value & mask(width),
+            width,
+        })
     }
 
     /// The 1-bit true constant.
@@ -223,12 +226,18 @@ impl TermPool {
     pub fn fresh_var(&mut self, base: &str, width: u32) -> TermId {
         let n = self.var_counter;
         self.var_counter += 1;
-        self.intern(Term::Var { name: format!("{base}_{n}"), width })
+        self.intern(Term::Var {
+            name: format!("{base}_{n}"),
+            width,
+        })
     }
 
     /// Interns a named variable (idempotent for the same name/width).
     pub fn var(&mut self, name: &str, width: u32) -> TermId {
-        self.intern(Term::Var { name: name.to_string(), width })
+        self.intern(Term::Var {
+            name: name.to_string(),
+            width,
+        })
     }
 
     /// Builds a unary operation (with folding).
@@ -242,7 +251,11 @@ impl TermPool {
             return self.constant(r, w);
         }
         // ~~x = x, -(-x) = x
-        if let Term::Unary { op: inner_op, a: inner } = self.term(a) {
+        if let Term::Unary {
+            op: inner_op,
+            a: inner,
+        } = self.term(a)
+        {
             if *inner_op == op {
                 return *inner;
             }
@@ -310,12 +323,8 @@ impl TermPool {
             (BinOp::Sub, _, Some(0)) => return a,
             (BinOp::Mul, Some(1), _) => return b,
             (BinOp::Mul, _, Some(1)) => return a,
-            (BinOp::Mul, Some(0), _) | (BinOp::Mul, _, Some(0)) => {
-                return self.constant(0, w)
-            }
-            (BinOp::And, Some(0), _) | (BinOp::And, _, Some(0)) => {
-                return self.constant(0, w)
-            }
+            (BinOp::Mul, Some(0), _) | (BinOp::Mul, _, Some(0)) => return self.constant(0, w),
+            (BinOp::And, Some(0), _) | (BinOp::And, _, Some(0)) => return self.constant(0, w),
             (BinOp::And, Some(m), _) if m == mask(w) => return b,
             (BinOp::And, _, Some(m)) if m == mask(w) => return a,
             (BinOp::Or, Some(0), _) => return b,

@@ -304,8 +304,7 @@ impl SatSolver {
         if learned.len() > 1 {
             let mut max_i = 1;
             for i in 2..learned.len() {
-                if self.level[learned[i].var() as usize]
-                    > self.level[learned[max_i].var() as usize]
+                if self.level[learned[i].var() as usize] > self.level[learned[max_i].var() as usize]
                 {
                     max_i = i;
                 }
@@ -341,7 +340,13 @@ impl SatSolver {
                 }
             }
         }
-        best.map(|v| if self.phase[v as usize] { Lit::pos(v) } else { Lit::neg(v) })
+        best.map(|v| {
+            if self.phase[v as usize] {
+                Lit::pos(v)
+            } else {
+                Lit::neg(v)
+            }
+        })
     }
 
     /// Solves the instance.
@@ -376,18 +381,13 @@ impl SatSolver {
                     }
                     if conflicts >= conflicts_until_restart {
                         conflicts = 0;
-                        conflicts_until_restart =
-                            (conflicts_until_restart as f64 * 1.5) as u64;
+                        conflicts_until_restart = (conflicts_until_restart as f64 * 1.5) as u64;
                         self.backtrack(0);
                     }
                 }
                 None => match self.pick_branch() {
                     None => {
-                        let model = self
-                            .assign
-                            .iter()
-                            .map(|&v| v == Val::True)
-                            .collect();
+                        let model = self.assign.iter().map(|&v| v == Val::True).collect();
                         return SatResult::Sat(model);
                     }
                     Some(l) => {
@@ -514,8 +514,7 @@ mod tests {
 
     #[test]
     fn random_3sat_instances_agree_with_brute_force() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = hardsnap_util::Rng::seed_from_u64(7);
         for round in 0..60 {
             let nvars = rng.gen_range(3..=10u32);
             let nclauses = rng.gen_range(3..=40);

@@ -23,7 +23,10 @@ impl SymMemory {
     /// Creates a memory over a concrete base image (the loaded firmware
     /// RAM).
     pub fn new(base: Arc<Vec<u8>>) -> Self {
-        SymMemory { base, overlay: HashMap::new() }
+        SymMemory {
+            base,
+            overlay: HashMap::new(),
+        }
     }
 
     /// Size of the addressable base image.

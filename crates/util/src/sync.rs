@@ -1,0 +1,123 @@
+//! `std::sync` wrappers with a `parking_lot`-shaped surface: infallible
+//! `lock()`/`read()`/`write()` that recover from poisoning instead of
+//! returning `Result`. A panic while holding one of these locks
+//! poisons only the std inner lock; since every guarded structure in
+//! this workspace is updated transactionally (field writes complete
+//! before the guard drops), recovering the inner value is safe.
+//!
+//! `std::sync::mpsc` is re-exported as [`mpsc`] to replace `crossbeam`
+//! channels, and [`scope`] re-exports `std::thread::scope` for scoped
+//! worker fan-out (`crossbeam::thread::scope` replacement).
+
+use std::sync::{self, LockResult};
+
+pub use std::sync::mpsc;
+pub use std::thread::scope;
+
+/// A mutex whose `lock()` never returns `Err` (poisoning is recovered).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, recovering from poisoning.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        unpoison(self.0.lock())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.0.get_mut())
+    }
+}
+
+/// A reader-writer lock whose `read()`/`write()` never return `Err`.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock guarding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Acquires a shared read guard, recovering from poisoning.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        unpoison(self.0.read())
+    }
+
+    /// Acquires an exclusive write guard, recovering from poisoning.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        unpoison(self.0.write())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.0.get_mut())
+    }
+}
+
+fn unpoison<G>(r: LockResult<G>) -> G {
+    r.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic_and_poison_recovery() {
+        let m = Arc::new(Mutex::new(0u32));
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+        // Poison it from a panicking thread; lock() must still work.
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        assert_eq!(*m.lock(), 5, "lock after poisoning still returns the value");
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(r1.len() + r2.len(), 6);
+        }
+        l.write().push(4);
+        assert_eq!(*l.read(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scoped_threads_and_channels() {
+        let (tx, rx) = mpsc::channel();
+        let total: u32 = scope(|s| {
+            for i in 0..4u32 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i * 10).unwrap());
+            }
+            drop(tx);
+            rx.iter().sum()
+        });
+        assert_eq!(total, 60);
+    }
+}

@@ -23,10 +23,35 @@ use hardsnap_rtl::{
 use std::collections::HashMap;
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "inout", "wire", "reg", "assign", "always",
-    "begin", "end", "if", "else", "case", "endcase", "default", "posedge", "negedge",
-    "parameter", "localparam", "or", "integer", "initial", "generate", "endgenerate", "genvar",
-    "function", "endfunction", "signed",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "endcase",
+    "default",
+    "posedge",
+    "negedge",
+    "parameter",
+    "localparam",
+    "or",
+    "integer",
+    "initial",
+    "generate",
+    "endgenerate",
+    "genvar",
+    "function",
+    "endfunction",
+    "signed",
 ];
 
 /// Parses one or more `module` definitions into a [`Design`].
@@ -156,7 +181,10 @@ impl Parser {
     fn parse_module(&mut self) -> Result<Module, VerilogError> {
         self.expect_kw("module")?;
         let name = self.expect_ident()?;
-        let mut ctx = ModCtx { module: Module::new(name), params: HashMap::new() };
+        let mut ctx = ModCtx {
+            module: Module::new(name),
+            params: HashMap::new(),
+        };
 
         // Optional parameter header: #(parameter A = 1, parameter B = 2)
         if self.eat(Tok::Hash) {
@@ -307,7 +335,11 @@ impl Parser {
         if self.peek_kw("signed") {
             return self.err("signed nets are not supported by the subset");
         }
-        let width = if matches!(self.peek(), Tok::LBracket) { self.parse_range(ctx)? } else { 1 };
+        let width = if matches!(self.peek(), Tok::LBracket) {
+            self.parse_range(ctx)?
+        } else {
+            1
+        };
         loop {
             let name = self.expect_ident()?;
             if matches!(self.peek(), Tok::LBracket) {
@@ -340,7 +372,10 @@ impl Parser {
                         return self.err("reg initializers are not supported (no initial blocks)");
                     }
                     let rhs = self.parse_expr(ctx)?;
-                    ctx.module.assigns.push(ContAssign { lv: LValue::Net(id), rhs });
+                    ctx.module.assigns.push(ContAssign {
+                        lv: LValue::Net(id),
+                        rhs,
+                    });
                 }
             }
             if !self.eat(Tok::Comma) {
@@ -368,13 +403,9 @@ impl Parser {
                     EdgeKind::Neg
                 };
                 let clk_name = self.expect_ident()?;
-                let clock = ctx
-                    .module
-                    .find_net(&clk_name)
-                    .ok_or_else(|| VerilogError::new(
-                        format!("undeclared clock '{clk_name}'"),
-                        self.here(),
-                    ))?;
+                let clock = ctx.module.find_net(&clk_name).ok_or_else(|| {
+                    VerilogError::new(format!("undeclared clock '{clk_name}'"), self.here())
+                })?;
                 if self.eat_kw("or") {
                     return self.err(
                         "multi-edge sensitivity (async reset) is not supported; \
@@ -428,9 +459,16 @@ impl Parser {
             let cond = self.parse_expr(ctx)?;
             self.expect(Tok::RParen)?;
             let then_s = self.parse_stmt_block(ctx)?;
-            let else_s =
-                if self.eat_kw("else") { self.parse_stmt_block(ctx)? } else { Vec::new() };
-            return Ok(vec![Stmt::If { cond, then_s, else_s }]);
+            let else_s = if self.eat_kw("else") {
+                self.parse_stmt_block(ctx)?
+            } else {
+                Vec::new()
+            };
+            return Ok(vec![Stmt::If {
+                cond,
+                then_s,
+                else_s,
+            }]);
         }
         if self.eat_kw("case") {
             self.expect(Tok::LParen)?;
@@ -481,7 +519,10 @@ impl Parser {
         } else if self.eat(Tok::Assign) {
             true
         } else {
-            return self.err(format!("expected '<=' or '=' after lvalue, found {}", self.peek()));
+            return self.err(format!(
+                "expected '<=' or '=' after lvalue, found {}",
+                self.peek()
+            ));
         };
         let rhs = self.parse_expr(ctx)?;
         self.expect(Tok::Semi)?;
@@ -508,13 +549,19 @@ impl Parser {
                 let hi = self.as_const(&first)?;
                 let lo = self.parse_const_expr(ctx)?;
                 self.expect(Tok::RBracket)?;
-                return Ok(LValue::Slice { base, hi: hi.bits() as u32, lo: lo.bits() as u32 });
+                return Ok(LValue::Slice {
+                    base,
+                    hi: hi.bits() as u32,
+                    lo: lo.bits() as u32,
+                });
             }
             self.expect(Tok::RBracket)?;
             return match &first {
-                Expr::Const(v) => {
-                    Ok(LValue::Slice { base, hi: v.bits() as u32, lo: v.bits() as u32 })
-                }
+                Expr::Const(v) => Ok(LValue::Slice {
+                    base,
+                    hi: v.bits() as u32,
+                    lo: v.bits() as u32,
+                }),
                 _ => Ok(LValue::Index { base, index: first }),
             };
         }
@@ -551,7 +598,12 @@ impl Parser {
             self.expect(Tok::RParen)?;
         }
         self.expect(Tok::Semi)?;
-        ctx.module.instances.push(Instance { name, module, conns, params: vec![] });
+        ctx.module.instances.push(Instance {
+            name,
+            module,
+            conns,
+            params: vec![],
+        });
         Ok(())
     }
 
@@ -679,9 +731,10 @@ impl Parser {
                     if count == 0 || count > 64 {
                         return self.err(format!("replication count {count} out of range"));
                     }
-                    return Ok(fold_concat(vec![
-                        Expr::Repeat { count: count as u32, arg: Box::new(inner) },
-                    ]));
+                    return Ok(fold_concat(vec![Expr::Repeat {
+                        count: count as u32,
+                        arg: Box::new(inner),
+                    }]));
                 }
                 let mut parts = vec![first];
                 while self.eat(Tok::Comma) {
@@ -703,7 +756,10 @@ impl Parser {
                     self.expect(Tok::LBracket)?;
                     let addr = self.parse_expr(ctx)?;
                     self.expect(Tok::RBracket)?;
-                    return Ok(Expr::MemRead { mem, addr: Box::new(addr) });
+                    return Ok(Expr::MemRead {
+                        mem,
+                        addr: Box::new(addr),
+                    });
                 }
                 let base = ctx.module.find_net(&name).ok_or_else(|| {
                     VerilogError::new(format!("undeclared identifier '{name}'"), self.here())
@@ -722,7 +778,10 @@ impl Parser {
                             let b = v.bits() as u32;
                             Ok(Expr::Slice { base, hi: b, lo: b })
                         }
-                        _ => Ok(Expr::Index { base, index: Box::new(first) }),
+                        _ => Ok(Expr::Index {
+                            base,
+                            index: Box::new(first),
+                        }),
                     };
                 }
                 Ok(Expr::Net(base))
@@ -741,21 +800,32 @@ fn fold_binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
     if let (Expr::Const(a), Expr::Const(b)) = (&lhs, &rhs) {
         return Expr::Const(eval_binary(op, *a, *b));
     }
-    Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
 }
 
 fn fold_unary(op: UnaryOp, arg: Expr) -> Expr {
     if let Expr::Const(a) = &arg {
         return Expr::Const(eval_unary(op, *a));
     }
-    Expr::Unary { op, arg: Box::new(arg) }
+    Expr::Unary {
+        op,
+        arg: Box::new(arg),
+    }
 }
 
 fn fold_cond(cond: Expr, then_e: Expr, else_e: Expr) -> Expr {
     if let Expr::Const(c) = &cond {
         return if c.is_true() { then_e } else { else_e };
     }
-    Expr::Cond { cond: Box::new(cond), then_e: Box::new(then_e), else_e: Box::new(else_e) }
+    Expr::Cond {
+        cond: Box::new(cond),
+        then_e: Box::new(then_e),
+        else_e: Box::new(else_e),
+    }
 }
 
 fn fold_concat(parts: Vec<Expr>) -> Expr {
@@ -875,8 +945,18 @@ mod tests {
             "#,
         );
         match &m.assigns[0].rhs {
-            Expr::Binary { op: BinaryOp::Or, rhs, .. } => {
-                assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinaryOp::And, .. }));
+            Expr::Binary {
+                op: BinaryOp::Or,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    rhs.as_ref(),
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("wrong tree: {other:?}"),
         }
@@ -955,10 +1035,8 @@ mod tests {
 
     #[test]
     fn undeclared_identifier_is_error_with_position() {
-        let err = parse_design(
-            "module m (input wire clk);\n  assign nope = clk;\nendmodule",
-        )
-        .unwrap_err();
+        let err = parse_design("module m (input wire clk);\n  assign nope = clk;\nendmodule")
+            .unwrap_err();
         assert!(err.to_string().contains("undeclared"));
         assert!(err.to_string().contains("2:"), "position missing: {err}");
     }
@@ -982,9 +1060,7 @@ mod tests {
             "module m (input wire [7:0] a, output wire [7:0] y); assign y = a / 8'd2; endmodule",
         )
         .is_err());
-        let m = parse_one(
-            "module m (output wire [7:0] y); assign y = 8'd6 / 8'd2; endmodule",
-        );
+        let m = parse_one("module m (output wire [7:0] y); assign y = 8'd6 / 8'd2; endmodule");
         assert!(matches!(&m.assigns[0].rhs, Expr::Const(v) if v.bits() == 3));
     }
 

@@ -7,9 +7,7 @@
 //! Hierarchical names produced by elaboration contain `.`; they are
 //! mangled to `__` so the output is always lexically valid Verilog.
 
-use hardsnap_rtl::{
-    CaseArm, EdgeKind, Expr, LValue, Module, NetKind, PortDir, ProcessKind, Stmt,
-};
+use hardsnap_rtl::{CaseArm, EdgeKind, Expr, LValue, Module, NetKind, PortDir, ProcessKind, Stmt};
 use std::fmt::Write;
 
 /// Renders `module` as Verilog source.
@@ -48,7 +46,13 @@ pub fn print_module(module: &Module) -> String {
             NetKind::Wire => "wire",
             NetKind::Reg => "reg",
         };
-        writeln!(w, "    {kind} {}{};", range_str(net.width), mangle(&net.name)).unwrap();
+        writeln!(
+            w,
+            "    {kind} {}{};",
+            range_str(net.width),
+            mangle(&net.name)
+        )
+        .unwrap();
     }
     for (_, mem) in module.iter_mems() {
         writeln!(
@@ -63,8 +67,13 @@ pub fn print_module(module: &Module) -> String {
 
     // Continuous assigns.
     for a in &module.assigns {
-        writeln!(w, "    assign {} = {};", lvalue_str(module, &a.lv), expr_str(module, &a.rhs))
-            .unwrap();
+        writeln!(
+            w,
+            "    assign {} = {};",
+            lvalue_str(module, &a.lv),
+            expr_str(module, &a.rhs)
+        )
+        .unwrap();
     }
 
     // Processes.
@@ -75,8 +84,12 @@ pub fn print_module(module: &Module) -> String {
                     EdgeKind::Pos => "posedge",
                     EdgeKind::Neg => "negedge",
                 };
-                writeln!(w, "    always @({e} {}) begin", mangle(&module.net(*clock).name))
-                    .unwrap();
+                writeln!(
+                    w,
+                    "    always @({e} {}) begin",
+                    mangle(&module.net(*clock).name)
+                )
+                .unwrap();
             }
             ProcessKind::Comb => writeln!(w, "    always @(*) begin").unwrap(),
         }
@@ -91,7 +104,13 @@ pub fn print_module(module: &Module) -> String {
         writeln!(w, "    {} {} (", mangle(&inst.module), mangle(&inst.name)).unwrap();
         for (i, (port, e)) in inst.conns.iter().enumerate() {
             let comma = if i + 1 == inst.conns.len() { "" } else { "," };
-            writeln!(w, "        .{}({}){comma}", mangle(port), expr_str(module, e)).unwrap();
+            writeln!(
+                w,
+                "        .{}({}){comma}",
+                mangle(port),
+                expr_str(module, e)
+            )
+            .unwrap();
         }
         writeln!(w, "    );").unwrap();
     }
@@ -125,7 +144,11 @@ fn print_stmt(w: &mut String, m: &Module, s: &Stmt, level: usize) {
             let op = if *blocking { "=" } else { "<=" };
             writeln!(w, "{} {op} {};", lvalue_str(m, lv), expr_str(m, rhs)).unwrap();
         }
-        Stmt::If { cond, then_s, else_s } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
             indent(w, level);
             writeln!(w, "if ({}) begin", expr_str(m, cond)).unwrap();
             for s in then_s {
@@ -148,8 +171,10 @@ fn print_stmt(w: &mut String, m: &Module, s: &Stmt, level: usize) {
             writeln!(w, "case ({})", expr_str(m, sel)).unwrap();
             for CaseArm { labels, body } in arms {
                 indent(w, level + 1);
-                let labels: Vec<String> =
-                    labels.iter().map(|v| format!("{}'h{:x}", v.width(), v.bits())).collect();
+                let labels: Vec<String> = labels
+                    .iter()
+                    .map(|v| format!("{}'h{:x}", v.width(), v.bits()))
+                    .collect();
                 writeln!(w, "{}: begin", labels.join(", ")).unwrap();
                 for s in body {
                     print_stmt(w, m, s, level + 2);
@@ -209,7 +234,11 @@ pub fn expr_str(m: &Module, e: &Expr) -> String {
         Expr::Binary { op, lhs, rhs } => {
             format!("({} {op} {})", expr_str(m, lhs), expr_str(m, rhs))
         }
-        Expr::Cond { cond, then_e, else_e } => format!(
+        Expr::Cond {
+            cond,
+            then_e,
+            else_e,
+        } => format!(
             "({} ? {} : {})",
             expr_str(m, cond),
             expr_str(m, then_e),
@@ -306,6 +335,9 @@ mod tests {
         .unwrap();
         let src = print_module(d.module("m").unwrap());
         let d2 = parse_design(&src).unwrap();
-        assert_eq!(d2.module("m").unwrap().state_bits(), d.module("m").unwrap().state_bits());
+        assert_eq!(
+            d2.module("m").unwrap().state_bits(),
+            d.module("m").unwrap().state_bits()
+        );
     }
 }

@@ -236,7 +236,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, VerilogError> {
                         break;
                     }
                 }
-                out.push(Spanned { tok: Tok::Ident(src[start..i].to_string()), pos });
+                out.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    pos,
+                });
             }
             c if c.is_ascii_digit() || c == '\'' => {
                 // Either: [size]'[base]digits  or plain decimal.
@@ -249,8 +252,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, VerilogError> {
                         i += 1;
                         col += 1;
                     }
-                    let digits: String =
-                        src[start..i].chars().filter(|&d| d != '_').collect();
+                    let digits: String = src[start..i].chars().filter(|&d| d != '_').collect();
                     let v: u64 = match digits.parse() {
                         Ok(v) => v,
                         Err(_) => err!("decimal literal '{digits}' out of range"),
@@ -261,7 +263,13 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, VerilogError> {
                         }
                         width = Some(v as u32);
                     } else {
-                        out.push(Spanned { tok: Tok::Number { width: None, value: v }, pos });
+                        out.push(Spanned {
+                            tok: Tok::Number {
+                                width: None,
+                                value: v,
+                            },
+                            pos,
+                        });
                         continue;
                     }
                 }
@@ -304,11 +312,18 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, VerilogError> {
                         err!("literal value {value:#x} does not fit in {w} bits");
                     }
                 }
-                out.push(Spanned { tok: Tok::Number { width, value }, pos });
+                out.push(Spanned {
+                    tok: Tok::Number { width, value },
+                    pos,
+                });
             }
             _ => {
                 // Operators and punctuation (longest match first).
-                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
                 let (tok, len) = match two {
                     "&&" => (Tok::AmpAmp, 2),
                     "||" => (Tok::PipePipe, 2),
@@ -357,7 +372,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, VerilogError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
     Ok(out)
 }
 
@@ -375,8 +393,14 @@ mod tests {
             toks("foo 42 8'hff"),
             vec![
                 Tok::Ident("foo".into()),
-                Tok::Number { width: None, value: 42 },
-                Tok::Number { width: Some(8), value: 0xff },
+                Tok::Number {
+                    width: None,
+                    value: 42
+                },
+                Tok::Number {
+                    width: Some(8),
+                    value: 0xff
+                },
                 Tok::Eof
             ]
         );
@@ -387,10 +411,22 @@ mod tests {
         assert_eq!(
             toks("4'b1_010 8'o17 16'd1_000 32'hdead_beef"),
             vec![
-                Tok::Number { width: Some(4), value: 0b1010 },
-                Tok::Number { width: Some(8), value: 0o17 },
-                Tok::Number { width: Some(16), value: 1000 },
-                Tok::Number { width: Some(32), value: 0xdead_beef },
+                Tok::Number {
+                    width: Some(4),
+                    value: 0b1010
+                },
+                Tok::Number {
+                    width: Some(8),
+                    value: 0o17
+                },
+                Tok::Number {
+                    width: Some(16),
+                    value: 1000
+                },
+                Tok::Number {
+                    width: Some(32),
+                    value: 0xdead_beef
+                },
                 Tok::Eof
             ]
         );

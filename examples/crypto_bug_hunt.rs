@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let target = Box::new(SimTarget::new(hardsnap_periph::soc()?)?);
         let mut engine = Engine::new(
             target,
-            EngineConfig { searcher: Searcher::Dfs, ..Default::default() },
+            EngineConfig {
+                searcher: Searcher::Dfs,
+                ..Default::default()
+            },
         );
         engine.load_firmware(&program);
         let result = engine.run();

@@ -13,26 +13,40 @@ fn campaign(reset: ResetStrategy) -> Result<hardsnap_fuzz::FuzzReport, Box<dyn s
     let mut fuzzer = Fuzzer::new(
         target,
         &program,
-        FuzzConfig { max_inputs: 3000, reset, seed: 42, tape_len: 2, ..Default::default() },
+        FuzzConfig {
+            max_inputs: 3000,
+            reset,
+            seed: 42,
+            tape_len: 2,
+            ..Default::default()
+        },
     )?;
     Ok(fuzzer.run())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (name, reset) in
-        [("snapshot", ResetStrategy::Snapshot), ("reboot", ResetStrategy::Reboot)]
-    {
+    for (name, reset) in [
+        ("snapshot", ResetStrategy::Snapshot),
+        ("reboot", ResetStrategy::Reboot),
+    ] {
         let r = campaign(reset)?;
         println!("--- {name} reset ---");
         println!("executions      : {}", r.execs);
         println!("coverage (PCs)  : {}", r.coverage);
-        println!("virtual hw time : {:.2} s", r.hw_virtual_time_ns as f64 / 1e9);
+        println!(
+            "virtual hw time : {:.2} s",
+            r.hw_virtual_time_ns as f64 / 1e9
+        );
         println!("virtual execs/s : {:.1}", r.virtual_execs_per_sec);
         for crash in &r.crashes {
             println!(
                 "crash: {} with input {:02x?}",
                 crash.fault,
-                crash.input.iter().map(|w| (w & 0xff) as u8).collect::<Vec<_>>()
+                crash
+                    .input
+                    .iter()
+                    .map(|w| (w & 0xff) as u8)
+                    .collect::<Vec<_>>()
             );
         }
         println!();

@@ -70,12 +70,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!();
-    println!("paths (vectors) completed: {}", result.metrics.paths_completed);
+    println!(
+        "paths (vectors) completed: {}",
+        result.metrics.paths_completed
+    );
     println!("hardware property violations observed:");
     for (name, state) in &engine.hw_violations {
         println!("  {name} violated by state {state:?}");
     }
-    assert_eq!(result.metrics.paths_completed, 8, "one vector per CTRL value");
+    assert_eq!(
+        result.metrics.paths_completed, 8,
+        "one vector per CTRL value"
+    );
     assert!(
         engine
             .hw_violations

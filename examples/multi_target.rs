@@ -33,15 +33,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     fpga.bus_write(soc::AES_BASE + regs::aes128::CTRL, regs::aes128::CTRL_START)?;
     fpga.step(4); // mid-encryption
-    println!("fpga: 1M cycles + AES start took {} ms of fabric time",
-        fpga.virtual_time_ns() / 1_000_000);
+    println!(
+        "fpga: 1M cycles + AES start took {} ms of fabric time",
+        fpga.virtual_time_ns() / 1_000_000
+    );
 
     // Phase 2: transfer to the simulator for full traces.
     let mut sim = SimTarget::new(hardsnap_periph::soc()?)?;
     sim.reset();
     sim.enable_trace();
     let snap = transfer_state(&mut fpga, &mut sim)?;
-    println!("transferred {} state bits mid-encryption", snap.state_bits());
+    println!(
+        "transferred {} state bits mid-encryption",
+        snap.state_bits()
+    );
 
     // Finish the encryption under the microscope.
     sim.step(20);
@@ -50,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         *c = sim.bus_read(soc::AES_BASE + regs::aes128::RESULT0 + 4 * i as u32)?;
     }
     let ct = golden::bytes_from_words(&cw);
-    assert_eq!(ct, golden::aes128_encrypt(&key, &pt), "bit-exact continuation");
+    assert_eq!(
+        ct,
+        golden::aes128_encrypt(&key, &pt),
+        "bit-exact continuation"
+    );
     println!("ciphertext (finished on the simulator) is bit-exact.");
 
     // The simulator recorded every internal signal since the transfer.
@@ -63,6 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // Peek an internal that the FPGA could never show us live:
     let round = sim.simulator().peek("u_aes.round")?;
-    println!("internal u_aes.round register (invisible on the fpga): {}", round.bits());
+    println!(
+        "internal u_aes.round register (invisible on the fpga): {}",
+        round.bits()
+    );
     Ok(())
 }

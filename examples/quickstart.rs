@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    timer with a path-specific value and asserting the readback.
     let asm = hardsnap::firmware::branching_firmware(3);
     let program = hardsnap_isa::assemble(&asm)?;
-    println!("firmware: {} bytes, entry {:#x}", program.image.len(), program.entry);
+    println!(
+        "firmware: {} bytes, entry {:#x}",
+        program.image.len(),
+        program.entry
+    );
 
     // 3. Analyze.
     let mut engine = Engine::new(target, EngineConfig::default());
@@ -36,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bugs found      : {}", result.bugs.len());
     println!("context switches: {}", result.metrics.context_switches);
     println!("snapshots saved : {}", result.metrics.snapshots_saved);
-    println!("hw virtual time : {} ms", result.hw_virtual_time_ns / 1_000_000);
+    println!(
+        "hw virtual time : {} ms",
+        result.hw_virtual_time_ns / 1_000_000
+    );
     println!("solver queries  : {}", engine.executor.solver.stats.queries);
     assert_eq!(result.metrics.paths_completed, 8);
     assert!(result.bugs.is_empty());

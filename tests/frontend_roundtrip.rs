@@ -2,14 +2,18 @@
 //! RTL modules are printed to Verilog, re-parsed, and co-simulated
 //! against the original under random stimulus. Print ∘ parse must be
 //! semantics-preserving — the property the instrumentation toolchain
-//! (instrument → emit → FPGA flow) depends on.
+//! (instrument → emit → FPGA flow) depends on. Ported to the seeded
+//! hardsnap-util harness: the generator is a plain recursive function
+//! over the deterministic [`Rng`] stream, so any failure reproduces
+//! from the printed case seed.
 
 use hardsnap_rtl::{
-    BinaryOp, EdgeKind, Expr, LValue, Module, NetId, NetKind, PortDir, Process, ProcessKind,
-    Stmt, UnaryOp, Value,
+    BinaryOp, EdgeKind, Expr, LValue, Module, NetId, NetKind, PortDir, Process, ProcessKind, Stmt,
+    UnaryOp, Value,
 };
 use hardsnap_sim::Simulator;
-use proptest::prelude::*;
+use hardsnap_util::prop::from_fn;
+use hardsnap_util::{prop_check, Rng};
 
 #[derive(Clone, Debug)]
 enum ExprSpec {
@@ -21,44 +25,56 @@ enum ExprSpec {
     SliceLow(usize),
 }
 
-fn arb_expr(depth: u32) -> BoxedStrategy<ExprSpec> {
-    let leaf = prop_oneof![
-        any::<u64>().prop_map(ExprSpec::Const),
-        (0usize..64).prop_map(ExprSpec::Net),
-        (0usize..64).prop_map(ExprSpec::SliceLow),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        let unops = prop_oneof![
-            Just(UnaryOp::Not),
-            Just(UnaryOp::Neg),
-            Just(UnaryOp::RedAnd),
-            Just(UnaryOp::RedOr),
-            Just(UnaryOp::RedXor),
-            Just(UnaryOp::LogicNot),
-        ];
-        let binops = prop_oneof![
-            Just(BinaryOp::Add),
-            Just(BinaryOp::Sub),
-            Just(BinaryOp::Mul),
-            Just(BinaryOp::And),
-            Just(BinaryOp::Or),
-            Just(BinaryOp::Xor),
-            Just(BinaryOp::Shl),
-            Just(BinaryOp::Shr),
-            Just(BinaryOp::Eq),
-            Just(BinaryOp::Ne),
-            Just(BinaryOp::Lt),
-            Just(BinaryOp::Ge),
-        ];
-        prop_oneof![
-            (unops, inner.clone()).prop_map(|(op, a)| ExprSpec::Unary(op, Box::new(a))),
-            (binops, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| ExprSpec::Binary(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| ExprSpec::Cond(Box::new(c), Box::new(t), Box::new(e))),
-        ]
-    })
-    .boxed()
+const UNOPS: [UnaryOp; 6] = [
+    UnaryOp::Not,
+    UnaryOp::Neg,
+    UnaryOp::RedAnd,
+    UnaryOp::RedOr,
+    UnaryOp::RedXor,
+    UnaryOp::LogicNot,
+];
+
+const BINOPS: [BinaryOp; 12] = [
+    BinaryOp::Add,
+    BinaryOp::Sub,
+    BinaryOp::Mul,
+    BinaryOp::And,
+    BinaryOp::Or,
+    BinaryOp::Xor,
+    BinaryOp::Shl,
+    BinaryOp::Shr,
+    BinaryOp::Eq,
+    BinaryOp::Ne,
+    BinaryOp::Lt,
+    BinaryOp::Ge,
+];
+
+fn arb_expr(rng: &mut Rng, depth: u32) -> ExprSpec {
+    // Leaves at depth 0; otherwise a mix biased toward compound nodes,
+    // mirroring the old proptest `prop_recursive(depth, …)` shape.
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..3) {
+            0 => ExprSpec::Const(rng.gen()),
+            1 => ExprSpec::Net(rng.gen_range(0..64)),
+            _ => ExprSpec::SliceLow(rng.gen_range(0..64)),
+        };
+    }
+    match rng.gen_range(0..3) {
+        0 => ExprSpec::Unary(
+            *rng.choose(&UNOPS).unwrap(),
+            Box::new(arb_expr(rng, depth - 1)),
+        ),
+        1 => ExprSpec::Binary(
+            *rng.choose(&BINOPS).unwrap(),
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+        ),
+        _ => ExprSpec::Cond(
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+        ),
+    }
 }
 
 /// Materializes a spec into an IR expression reading only `avail` nets,
@@ -79,7 +95,10 @@ fn build_expr(m: &Module, avail: &[NetId], spec: &ExprSpec, want: u32) -> Expr {
         }
         ExprSpec::Unary(op, a) => {
             let inner = build_expr(m, avail, a, want);
-            let e = Expr::Unary { op: *op, arg: Box::new(inner) };
+            let e = Expr::Unary {
+                op: *op,
+                arg: Box::new(inner),
+            };
             fit(m, e, want)
         }
         ExprSpec::Binary(op, a, b) => {
@@ -90,14 +109,22 @@ fn build_expr(m: &Module, avail: &[NetId], spec: &ExprSpec, want: u32) -> Expr {
             };
             let ea = build_expr(m, avail, a, aw);
             let eb = build_expr(m, avail, b, bw);
-            let e = Expr::Binary { op: *op, lhs: Box::new(ea), rhs: Box::new(eb) };
+            let e = Expr::Binary {
+                op: *op,
+                lhs: Box::new(ea),
+                rhs: Box::new(eb),
+            };
             fit(m, e, want)
         }
         ExprSpec::Cond(c, t, e) => {
             let ec = build_expr(m, avail, c, 1);
             let et = build_expr(m, avail, t, want);
             let ee = build_expr(m, avail, e, want);
-            let e = Expr::Cond { cond: Box::new(ec), then_e: Box::new(et), else_e: Box::new(ee) };
+            let e = Expr::Cond {
+                cond: Box::new(ec),
+                then_e: Box::new(et),
+                else_e: Box::new(ee),
+            };
             fit(m, e, want)
         }
     }
@@ -125,84 +152,121 @@ struct ModuleSpec {
     regs: Vec<(u32, ExprSpec)>,
 }
 
-fn arb_module() -> impl Strategy<Value = ModuleSpec> {
-    (
-        proptest::collection::vec(1u32..=32, 1..4),
-        proptest::collection::vec((1u32..=32, arb_expr(3)), 0..4),
-        proptest::collection::vec((1u32..=32, arb_expr(3)), 1..4),
-    )
-        .prop_map(|(input_widths, wires, regs)| ModuleSpec { input_widths, wires, regs })
+fn arb_module(rng: &mut Rng) -> ModuleSpec {
+    let input_widths = (0..rng.gen_range(1usize..4))
+        .map(|_| rng.gen_range(1u32..=32))
+        .collect();
+    let wires = (0..rng.gen_range(0usize..4))
+        .map(|_| (rng.gen_range(1u32..=32), arb_expr(rng, 3)))
+        .collect();
+    let regs = (0..rng.gen_range(1usize..4))
+        .map(|_| (rng.gen_range(1u32..=32), arb_expr(rng, 3)))
+        .collect();
+    ModuleSpec {
+        input_widths,
+        wires,
+        regs,
+    }
 }
 
 fn materialize(spec: &ModuleSpec) -> Module {
     let mut m = Module::new("prop_dut");
-    let clk = m.add_net("clk", 1, NetKind::Wire, Some(PortDir::Input)).unwrap();
+    let clk = m
+        .add_net("clk", 1, NetKind::Wire, Some(PortDir::Input))
+        .unwrap();
     let mut avail = Vec::new();
     for (i, w) in spec.input_widths.iter().enumerate() {
-        avail.push(m.add_net(format!("in{i}"), *w, NetKind::Wire, Some(PortDir::Input)).unwrap());
+        avail.push(
+            m.add_net(format!("in{i}"), *w, NetKind::Wire, Some(PortDir::Input))
+                .unwrap(),
+        );
     }
     // Wires: each reads only earlier nets (no comb loops by construction).
     for (i, (w, e)) in spec.wires.iter().enumerate() {
         let expr = build_expr(&m, &avail, e, *w);
-        let id = m.add_net(format!("w{i}"), *w, NetKind::Wire, Some(PortDir::Output)).unwrap();
-        m.assigns.push(hardsnap_rtl::ContAssign { lv: LValue::Net(id), rhs: expr });
+        let id = m
+            .add_net(format!("w{i}"), *w, NetKind::Wire, Some(PortDir::Output))
+            .unwrap();
+        m.assigns.push(hardsnap_rtl::ContAssign {
+            lv: LValue::Net(id),
+            rhs: expr,
+        });
         avail.push(id);
     }
     // Registers: can read everything (cycles through regs are fine).
     let mut body = Vec::new();
     let mut reg_ids = Vec::new();
     for (i, (w, _)) in spec.regs.iter().enumerate() {
-        reg_ids.push(m.add_net(format!("r{i}"), *w, NetKind::Reg, Some(PortDir::Output)).unwrap());
+        reg_ids.push(
+            m.add_net(format!("r{i}"), *w, NetKind::Reg, Some(PortDir::Output))
+                .unwrap(),
+        );
     }
-    let all: Vec<NetId> = avail.iter().copied().chain(reg_ids.iter().copied()).collect();
+    let all: Vec<NetId> = avail
+        .iter()
+        .copied()
+        .chain(reg_ids.iter().copied())
+        .collect();
     for (i, (w, e)) in spec.regs.iter().enumerate() {
         let expr = build_expr(&m, &all, e, *w);
-        body.push(Stmt::Assign { lv: LValue::Net(reg_ids[i]), rhs: expr, blocking: false });
+        body.push(Stmt::Assign {
+            lv: LValue::Net(reg_ids[i]),
+            rhs: expr,
+            blocking: false,
+        });
     }
     m.processes.push(Process {
-        kind: ProcessKind::Clocked { clock: clk, edge: EdgeKind::Pos },
+        kind: ProcessKind::Clocked {
+            clock: clk,
+            edge: EdgeKind::Pos,
+        },
         body,
     });
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn print_parse_roundtrip_is_semantics_preserving() {
+    prop_check!(
+        cases = 48,
+        seed = 0xF207_7E57,
+        (
+            spec in from_fn(arb_module),
+            stimulus in from_fn(|rng: &mut Rng| -> Vec<Vec<u64>> {
+                (0..rng.gen_range(1usize..12))
+                    .map(|_| (0..rng.gen_range(1usize..4)).map(|_| rng.gen()).collect())
+                    .collect()
+            }),
+        ) => {
+            let original = materialize(&spec);
+            hardsnap_rtl::check_module(&original).unwrap();
+            let printed = hardsnap_verilog::print_module(&original);
+            let reparsed_design = hardsnap_verilog::parse_design(&printed)
+                .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+            let reparsed = reparsed_design.iter().next().unwrap().clone();
 
-    #[test]
-    fn print_parse_roundtrip_is_semantics_preserving(
-        spec in arb_module(),
-        stimulus in proptest::collection::vec(
-            proptest::collection::vec(any::<u64>(), 1..4), 1..12),
-    ) {
-        let original = materialize(&spec);
-        hardsnap_rtl::check_module(&original).unwrap();
-        let printed = hardsnap_verilog::print_module(&original);
-        let reparsed_design = hardsnap_verilog::parse_design(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
-        let reparsed = reparsed_design.iter().next().unwrap().clone();
-
-        let mut a = Simulator::new(original.clone()).unwrap();
-        let mut b = Simulator::new(reparsed).unwrap();
-        for step in &stimulus {
-            for (i, v) in step.iter().enumerate().take(spec.input_widths.len()) {
-                a.poke(&format!("in{i}"), *v).unwrap();
-                b.poke(&format!("in{i}"), *v).unwrap();
-            }
-            a.step(1);
-            b.step(1);
-            // Compare every output net.
-            for (_, net) in original.iter_nets() {
-                if net.port == Some(PortDir::Output) {
-                    let va = a.peek(&net.name).unwrap();
-                    let vb = b.peek(&net.name).unwrap();
-                    prop_assert_eq!(
-                        va, vb,
-                        "net {} diverged after print/parse\n{}",
-                        net.name, printed
-                    );
+            let mut a = Simulator::new(original.clone()).unwrap();
+            let mut b = Simulator::new(reparsed).unwrap();
+            for step in &stimulus {
+                for (i, v) in step.iter().enumerate().take(spec.input_widths.len()) {
+                    a.poke(&format!("in{i}"), *v).unwrap();
+                    b.poke(&format!("in{i}"), *v).unwrap();
+                }
+                a.step(1);
+                b.step(1);
+                // Compare every output net.
+                for (_, net) in original.iter_nets() {
+                    if net.port == Some(PortDir::Output) {
+                        let va = a.peek(&net.name).unwrap();
+                        let vb = b.peek(&net.name).unwrap();
+                        assert_eq!(
+                            va, vb,
+                            "net {} diverged after print/parse\n{}",
+                            net.name, printed
+                        );
+                    }
                 }
             }
         }
-    }
+    );
 }

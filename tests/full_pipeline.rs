@@ -6,7 +6,7 @@ use hardsnap_fpga::{FpgaOptions, FpgaTarget};
 use hardsnap_periph::regs;
 use hardsnap_scan::{instrument, ScanOptions};
 use hardsnap_sim::SimTarget;
-use rand::{Rng, SeedableRng};
+use hardsnap_util::Rng;
 
 /// The instrumented SoC, printed back to Verilog and re-parsed, must
 /// behave identically to the in-memory instrumented module (the paper's
@@ -48,8 +48,13 @@ fn sim_and_fpga_targets_lockstep_under_random_stimulus() {
         FpgaTarget::new(hardsnap_periph::soc().unwrap(), &FpgaOptions::default()).unwrap();
     sim.reset();
     fpga.reset();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
-    let bases = [soc::TIMER_BASE, soc::SHA_BASE, soc::AES_BASE, soc::UART_BASE];
+    let mut rng = Rng::seed_from_u64(1234);
+    let bases = [
+        soc::TIMER_BASE,
+        soc::SHA_BASE,
+        soc::AES_BASE,
+        soc::UART_BASE,
+    ];
     let offsets = [0u32, 4, 8, 0x0c, 0x10];
     for i in 0..120 {
         let base = bases[rng.gen_range(0..bases.len())];
@@ -85,14 +90,19 @@ fn sim_and_fpga_targets_lockstep_under_random_stimulus() {
 /// at randomly chosen points of a timer+uart workload.
 #[test]
 fn cross_target_snapshot_restore_at_random_points() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     let mut sim = SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap();
     let mut fpga =
         FpgaTarget::new(hardsnap_periph::soc().unwrap(), &FpgaOptions::default()).unwrap();
     sim.reset();
     fpga.reset();
-    sim.bus_write(soc::TIMER_BASE + regs::timer::LOAD, 5000).unwrap();
-    sim.bus_write(soc::TIMER_BASE + regs::timer::CTRL, regs::timer::CTRL_ENABLE).unwrap();
+    sim.bus_write(soc::TIMER_BASE + regs::timer::LOAD, 5000)
+        .unwrap();
+    sim.bus_write(
+        soc::TIMER_BASE + regs::timer::CTRL,
+        regs::timer::CTRL_ENABLE,
+    )
+    .unwrap();
     for round in 0..5 {
         sim.step(rng.gen_range(1..500));
         let snap = sim.save_snapshot().unwrap();
@@ -115,11 +125,17 @@ fn scoped_instrumentation_limits_the_chain() {
     let (_, full_chain) = instrument(&soc, &ScanOptions::default()).unwrap();
     let (_, timer_chain) = instrument(
         &soc,
-        &ScanOptions { scope: Some("u_timer.".into()), skip_memories: false },
+        &ScanOptions {
+            scope: Some("u_timer.".into()),
+            skip_memories: false,
+        },
     )
     .unwrap();
     assert!(timer_chain.chain_bits() < full_chain.chain_bits() / 4);
-    assert!(timer_chain.segments.iter().all(|s| s.name.starts_with("u_timer.")));
+    assert!(timer_chain
+        .segments
+        .iter()
+        .all(|s| s.name.starts_with("u_timer.")));
     assert!(timer_chain.mems.is_empty(), "timer has no memories");
 }
 
@@ -135,13 +151,15 @@ fn trace_diff_pinpoints_the_corrupting_write() {
         t.reset();
         t.enable_trace();
         // REQ A: block word 0 = 0xAAAA0001.
-        t.bus_write(soc::SHA_BASE + regs::sha256::BLOCK0, 0xAAAA_0001).unwrap();
+        t.bus_write(soc::SHA_BASE + regs::sha256::BLOCK0, 0xAAAA_0001)
+            .unwrap();
         t.bus_write(soc::SHA_BASE + regs::sha256::CTRL, regs::sha256::CTRL_INIT)
             .unwrap();
         t.step(10);
         if inject_conflict {
             // The interleaved REQ B of the inconsistent schedule.
-            t.bus_write(soc::SHA_BASE + regs::sha256::BLOCK0, 0xBBBB_0002).unwrap();
+            t.bus_write(soc::SHA_BASE + regs::sha256::BLOCK0, 0xBBBB_0002)
+                .unwrap();
         } else {
             t.step(12); // keep the cycle counts comparable
         }
@@ -156,8 +174,10 @@ fn trace_diff_pinpoints_the_corrupting_write() {
     // The first diverging signals are the bus write channel carrying the
     // conflicting block data into the accelerator.
     assert!(
-        d.signal.contains("wdata") || d.signal.contains("awaddr")
-            || d.signal.contains("valid") || d.signal.contains("wready")
+        d.signal.contains("wdata")
+            || d.signal.contains("awaddr")
+            || d.signal.contains("valid")
+            || d.signal.contains("wready")
             || d.signal.contains("awready"),
         "unexpected first divergence: {d:?}"
     );
@@ -166,8 +186,14 @@ fn trace_diff_pinpoints_the_corrupting_write() {
     // (the VCD writer mangles hierarchical dots to `__`)
     let wa_clean = clean.value_at("u_sha__wa", end);
     let wa_corrupt = corrupted.value_at("u_sha__wa", end);
-    assert!(wa_clean.is_some() && wa_corrupt.is_some(), "signal u_sha__wa traced");
-    assert_ne!(wa_clean, wa_corrupt, "working variable must differ at the end");
+    assert!(
+        wa_clean.is_some() && wa_corrupt.is_some(),
+        "signal u_sha__wa traced"
+    );
+    assert_ne!(
+        wa_clean, wa_corrupt,
+        "working variable must differ at the end"
+    );
 }
 
 /// `skip_memories` leaves every memory out of the snapshot access paths.
@@ -176,11 +202,17 @@ fn skip_memories_option_excludes_collars() {
     let soc = hardsnap_periph::soc().unwrap();
     let (m, chain) = instrument(
         &soc,
-        &ScanOptions { scope: None, skip_memories: true },
+        &ScanOptions {
+            scope: None,
+            skip_memories: true,
+        },
     )
     .unwrap();
     assert!(chain.mems.is_empty());
-    assert!(m.find_net("scan_mem_en").is_none(), "no collar ports inserted");
+    assert!(
+        m.find_net("scan_mem_en").is_none(),
+        "no collar ports inserted"
+    );
     assert!(m.find_net("scan_enable").is_some());
 }
 
@@ -253,7 +285,8 @@ fn verilog_runtime_repeat_concat_case() {
 fn soc_snapshot_persists_through_bytes() {
     let mut t = SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap();
     t.reset();
-    t.bus_write(soc::TIMER_BASE + regs::timer::LOAD, 777).unwrap();
+    t.bus_write(soc::TIMER_BASE + regs::timer::LOAD, 777)
+        .unwrap();
     t.step(13);
     let snap = t.save_snapshot().unwrap();
     let bytes = snap.to_bytes();

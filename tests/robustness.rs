@@ -54,8 +54,10 @@ fn engine_fork_bomb_guard() {
         max_instructions: 100_000,
         ..Default::default()
     };
-    let mut engine =
-        Engine::new(Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap()), config);
+    let mut engine = Engine::new(
+        Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap()),
+        config,
+    );
     engine.load_firmware(&prog);
     let result = engine.run();
     assert!(result.metrics.states_dropped > 0, "guard must have fired");
@@ -65,13 +67,16 @@ fn engine_fork_bomb_guard() {
 /// The instruction budget must stop a runaway analysis.
 #[test]
 fn engine_instruction_budget() {
-    let prog = hardsnap_isa::assemble(
-        ".org 0x100\nentry:\nspin:\n  addi r1, r1, #1\n  j spin\n",
-    )
-    .unwrap();
-    let config = EngineConfig { max_instructions: 500, ..Default::default() };
-    let mut engine =
-        Engine::new(Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap()), config);
+    let prog =
+        hardsnap_isa::assemble(".org 0x100\nentry:\nspin:\n  addi r1, r1, #1\n  j spin\n").unwrap();
+    let config = EngineConfig {
+        max_instructions: 500,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(
+        Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap()),
+        config,
+    );
     engine.load_firmware(&prog);
     let result = engine.run();
     assert!(result.instructions <= 501);
@@ -137,7 +142,12 @@ fn corrupt_snapshot_rejected_cleanly() {
 /// snapshot machinery.
 #[test]
 fn quantum_one_stress() {
-    for searcher in [Searcher::Dfs, Searcher::Bfs, Searcher::RoundRobin, Searcher::Random(3)] {
+    for searcher in [
+        Searcher::Dfs,
+        Searcher::Bfs,
+        Searcher::RoundRobin,
+        Searcher::Random(3),
+    ] {
         let prog = hardsnap_isa::assemble(&firmware::branching_firmware(2)).unwrap();
         let config = EngineConfig {
             searcher,

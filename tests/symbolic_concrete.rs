@@ -38,11 +38,17 @@ fn symbolic_testcases_reproduce_concretely() {
         let target = Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap());
         let mut engine = Engine::new(
             target,
-            EngineConfig { searcher: Searcher::Dfs, ..Default::default() },
+            EngineConfig {
+                searcher: Searcher::Dfs,
+                ..Default::default()
+            },
         );
         engine.load_firmware(&program);
         let result = engine.run();
-        let report = result.bugs.first().unwrap_or_else(|| panic!("{}: no bug", bug.name()));
+        let report = result
+            .bugs
+            .first()
+            .unwrap_or_else(|| panic!("{}: no bug", bug.name()));
         let tc = report.testcase.as_ref().expect("testcase");
         // Input tape: variables are named sym<id>_<n> in execution
         // order; order by the trailing counter.
@@ -121,12 +127,14 @@ fn symbolic_and_concrete_agree_on_concrete_programs() {
 fn fuzz_crash_input_confirmed_by_symbolic_engine() {
     // The fuzzer finds ('X', 0x42); the symbolic engine must agree that
     // exactly this input detonates (its testcase matches).
-    let program =
-        hardsnap_isa::assemble(&hardsnap::firmware::uart_parser_firmware()).unwrap();
+    let program = hardsnap_isa::assemble(&hardsnap::firmware::uart_parser_firmware()).unwrap();
     let target = Box::new(SimTarget::new(hardsnap_periph::soc().unwrap()).unwrap());
     let mut engine = Engine::new(
         target,
-        EngineConfig { searcher: Searcher::Dfs, ..Default::default() },
+        EngineConfig {
+            searcher: Searcher::Dfs,
+            ..Default::default()
+        },
     );
     engine.load_firmware(&program);
     let result = engine.run();
@@ -136,8 +144,7 @@ fn fuzz_crash_input_confirmed_by_symbolic_engine() {
         .find(|b| b.kind == hardsnap::BugKind::FailHit)
         .expect("symbolic engine finds the parser crash");
     let tc = bug.testcase.as_ref().unwrap();
-    let mut vals: Vec<(String, u64)> =
-        tc.iter().map(|(k, v)| (k.to_string(), v)).collect();
+    let mut vals: Vec<(String, u64)> = tc.iter().map(|(k, v)| (k.to_string(), v)).collect();
     vals.sort();
     assert_eq!(vals[0].1 & 0xff, 0x58, "first command byte 'X'");
     assert_eq!(vals[1].1 & 0xff, 0x42, "second byte 0x42");
