@@ -13,4 +13,11 @@ cargo test -q --offline --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> parallel-engine worker-determinism guard"
+cargo test -q --offline -p hardsnap --test parallel
+
+echo "==> 2-worker analysis-speed smoke run"
+cargo run -q --release --offline -p hardsnap-bench --bin exp_analysis_speed -- \
+    --workers 1,2 --json target/BENCH_analysis_speed.smoke.json
+
 echo "==> OK"

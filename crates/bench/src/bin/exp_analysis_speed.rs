@@ -3,10 +3,16 @@
 //! Symbolic-execution throughput over branching firmware: HardSnap's
 //! snapshot context switches vs the naive-and-consistent reboot+replay
 //! baseline, sweeping the number of symbolic branches (paths = 2^k) and
-//! the length of the device init sequence.
+//! the length of the device init sequence. A second part sweeps the
+//! `ParallelEngine` worker count over a fork-heavy workload and records
+//! the scaling curve in `BENCH_analysis_speed.json`.
+//!
+//! Usage: `exp_analysis_speed [--workers 1,2,4,8] [--json PATH]`.
+//! With an explicit `--workers` list only the parallel sweep runs
+//! (the CI smoke mode); without arguments the full experiment runs.
 
 use hardsnap::firmware;
-use hardsnap::{ConsistencyMode, Engine, EngineConfig, Searcher};
+use hardsnap::{ConsistencyMode, Engine, EngineConfig, ParallelEngine, Searcher};
 use hardsnap_bench::{banner, fmt_ns, row};
 use hardsnap_bus::HwTarget;
 use hardsnap_fpga::{FpgaOptions, FpgaTarget};
@@ -41,7 +47,165 @@ fn run(mode: ConsistencyMode, src: &str, fpga: bool) -> (u64, u64, u64) {
     )
 }
 
+/// One row of the worker sweep.
+struct ScalePoint {
+    workers: usize,
+    instructions: u64,
+    paths: u64,
+    campaign_vtime_ns: u64,
+    sum_vtime_ns: u64,
+    digest: u64,
+    host_ms: u64,
+}
+
+/// Instructions per modeled second: the campaign clock is the slowest
+/// replica (boards run concurrently in a real deployment).
+fn throughput_ips(p: &ScalePoint) -> f64 {
+    p.instructions as f64 / (p.campaign_vtime_ns as f64 / 1e9)
+}
+
+/// Runs the fork-heavy workload on `workers` replicas.
+fn scale_point(asm: &str, workers: usize) -> ScalePoint {
+    let prog = hardsnap_isa::assemble(asm).unwrap();
+    let config = EngineConfig {
+        mode: ConsistencyMode::HardSnap,
+        searcher: Searcher::RoundRobin,
+        quantum: 4,
+        max_instructions: 3_000_000,
+        ..Default::default()
+    };
+    let soc = hardsnap_periph::soc().unwrap();
+    let proto = SimTarget::new(soc).unwrap();
+    let mut engine = ParallelEngine::new(&proto, workers, config).unwrap();
+    engine.load_firmware(&prog);
+    let r = engine.run();
+    assert!(r.bugs.is_empty(), "workers={workers}: {:?}", r.bugs);
+    ScalePoint {
+        workers,
+        instructions: r.instructions,
+        paths: r.metrics.paths_completed,
+        campaign_vtime_ns: engine.worker_vtimes_ns.iter().copied().max().unwrap_or(0),
+        sum_vtime_ns: r.hw_virtual_time_ns,
+        digest: r.canonical_digest(),
+        host_ms: r.host_time.as_millis() as u64,
+    }
+}
+
+/// Runs the worker sweep, prints the table and writes the JSON record.
+fn parallel_sweep(worker_counts: &[usize], json_path: &str) {
+    const FORK_K: u32 = 7; // 2^7 = 128 paths: fork-heavy.
+    println!();
+    println!("--- parallel scaling: ParallelEngine over branching firmware (k={FORK_K}) ---");
+    let widths = [8, 7, 13, 14, 14, 12, 9];
+    row(
+        &[
+            "workers",
+            "paths",
+            "instructions",
+            "campaign-time",
+            "throughput",
+            "speedup",
+            "digest",
+        ],
+        &widths,
+    );
+    let asm = firmware::branching_firmware(FORK_K);
+    let points: Vec<ScalePoint> = worker_counts
+        .iter()
+        .map(|&w| scale_point(&asm, w))
+        .collect();
+    let base = &points[0];
+    for p in &points {
+        assert_eq!(
+            p.digest, base.digest,
+            "workers={}: result diverged from workers={}",
+            p.workers, base.workers
+        );
+        row(
+            &[
+                &p.workers.to_string(),
+                &p.paths.to_string(),
+                &p.instructions.to_string(),
+                &fmt_ns(p.campaign_vtime_ns),
+                &format!("{:.0} instr/s", throughput_ips(p)),
+                &format!("{:.2}x", throughput_ips(p) / throughput_ips(base)),
+                &format!("{:08x}", p.digest as u32),
+            ],
+            &widths,
+        );
+    }
+    let mut entries = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workers\": {}, \"paths\": {}, \"instructions\": {}, \
+             \"campaign_vtime_ns\": {}, \"sum_vtime_ns\": {}, \
+             \"throughput_instr_per_s\": {:.1}, \"speedup_vs_first\": {:.3}, \
+             \"host_ms\": {}, \"digest\": \"{:016x}\"}}",
+            p.workers,
+            p.paths,
+            p.instructions,
+            p.campaign_vtime_ns,
+            p.sum_vtime_ns,
+            throughput_ips(p),
+            throughput_ips(p) / throughput_ips(base),
+            p.host_ms,
+            p.digest,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"analysis_speed_parallel_scaling\",\n  \
+         \"workload\": \"branching_firmware({FORK_K}), quantum 4, HardSnap, RoundRobin\",\n  \
+         \"metric\": \"instructions per modeled second; campaign time = max per-replica virtual time\",\n  \
+         \"points\": [\n{entries}\n  ]\n}}\n"
+    );
+    std::fs::write(json_path, json).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    println!();
+    println!("recorded {json_path}");
+    println!("note: throughput is instructions per modeled second (replicated");
+    println!("boards run concurrently, so the campaign clock is the slowest");
+    println!("replica's virtual time); host wall-clock additionally depends on");
+    println!("how many host cores back the worker threads.");
+}
+
 fn main() {
+    // Minimal flag parsing: --workers 1,2,4,8 / --json PATH.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut worker_counts: Option<Vec<usize>> = None;
+    let mut json_path = "BENCH_analysis_speed.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                let list = args.get(i).expect("--workers needs a comma-separated list");
+                worker_counts = Some(
+                    list.split(',')
+                        .map(|s| s.trim().parse().expect("worker count"))
+                        .collect(),
+                );
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).expect("--json needs a path").clone();
+            }
+            other => panic!("unknown argument {other:?} (try --workers 1,2,4,8)"),
+        }
+        i += 1;
+    }
+    if let Some(counts) = worker_counts {
+        // Smoke mode: just the parallel sweep.
+        banner(
+            "E3p",
+            "Parallel scaling sweep (smoke mode)",
+            "worker count changes the campaign clock, never the result",
+        );
+        parallel_sweep(&counts, &json_path);
+        return;
+    }
+
     banner(
         "E3",
         "Analysis speed: HardSnap vs naive-and-consistent reboots",
@@ -119,4 +283,6 @@ fn main() {
     println!("(~20 ms), so the advantage over a 100 ms reboot is a small factor;");
     println!("on the FPGA target the scan-chain snapshot costs ~70 us and the");
     println!("speedup is orders of magnitude — the shape the paper reports.");
+
+    parallel_sweep(&[1, 2, 4, 8], &json_path);
 }

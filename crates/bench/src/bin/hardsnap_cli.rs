@@ -142,6 +142,7 @@ fn cmd_instrument(args: &[String]) -> CliResult {
     let opts = ScanOptions {
         scope: flag(&flags, "scope").map(str::to_string),
         skip_memories: false,
+        ..ScanOptions::default()
     };
     let (instrumented, chain) = instrument(&m, &opts)?;
     std::fs::write(out, hardsnap_verilog::print_module(&instrumented))?;

@@ -50,7 +50,10 @@ pub struct TargetCaps {
 /// ([`HwTarget::virtual_time_ns`]), which is what the evaluation
 /// harnesses report: it reflects the modeled platform (FPGA clock, USB3
 /// link, scan shifting) rather than host wall-clock.
-pub trait HwTarget {
+///
+/// Targets are `Send` so the parallel engine can hand each worker
+/// thread a private replica (see [`HwTarget::fork_clean`]).
+pub trait HwTarget: Send {
     /// Human-readable target name for reports.
     fn name(&self) -> &str;
 
@@ -107,6 +110,22 @@ pub trait HwTarget {
     /// Virtual nanoseconds elapsed on this platform (cycles, link
     /// latencies, scan/readback operations — everything modeled).
     fn virtual_time_ns(&self) -> u64;
+
+    /// Creates an independent replica of this target in its power-on
+    /// state (the paper's replicated-device model: one physical board
+    /// per analysis worker). Replicas share immutable design data where
+    /// the platform allows it, but carry no runtime state of `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TargetError::Unsupported`] for platforms that cannot
+    /// be replicated (the default).
+    fn fork_clean(&self) -> Result<Box<dyn HwTarget>, TargetError> {
+        Err(TargetError::Unsupported(format!(
+            "fork_clean on target '{}'",
+            self.name()
+        )))
+    }
 }
 
 /// Transfers the live hardware state from one target to another

@@ -24,6 +24,14 @@ use hardsnap_symex::{
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 
+/// Whether `HARDSNAP_TRACE_IO` tracing is on, sampled once per process:
+/// the env lookup is a syscall and sits on the hottest path in the
+/// engine (every forwarded MMIO operation and every replayed one).
+pub(crate) fn trace_io() -> bool {
+    static TRACE_IO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *TRACE_IO.get_or_init(|| std::env::var_os("HARDSNAP_TRACE_IO").is_some())
+}
+
 /// State-consistency strategy (the three scenarios of paper Fig. 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConsistencyMode {
@@ -161,6 +169,71 @@ pub struct RunResult {
     pub sample_console: Vec<u8>,
 }
 
+impl RunResult {
+    /// Order-insensitive digest of the run's semantic payload: bugs,
+    /// completed paths, coverage and instruction count — everything a
+    /// schedule must not change. Timing (`host_time`,
+    /// `hw_virtual_time_ns`) and bookkeeping (`metrics`) are excluded:
+    /// the sequential and parallel engines legitimately differ there.
+    ///
+    /// All hashed fields are pool-independent (ids, PCs, console bytes,
+    /// solver models), so digests compare across engines whose term
+    /// pools interned in different orders. Sequential and parallel runs
+    /// of the same seed must produce equal digests whenever the run
+    /// completed inside its budgets; the determinism suite relies on
+    /// exactly that.
+    pub fn canonical_digest(&self) -> u64 {
+        // Serialize each item to bytes, sort the serializations (an
+        // order-insensitive canonical form), then FNV-1a the lot.
+        fn push_u64(buf: &mut Vec<u8>, v: u64) {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut items: Vec<Vec<u8>> = Vec::new();
+        for b in &self.bugs {
+            let mut e = vec![b'B', crate::parallel::kind_rank(b.kind)];
+            push_u64(&mut e, u64::from(b.pc));
+            push_u64(&mut e, b.state_id.0);
+            e.extend_from_slice(b.description.as_bytes());
+            if let Some(model) = &b.testcase {
+                let mut vars: Vec<(&str, u64)> = model.iter().collect();
+                vars.sort_unstable();
+                for (name, value) in vars {
+                    e.push(0);
+                    e.extend_from_slice(name.as_bytes());
+                    push_u64(&mut e, value);
+                }
+            }
+            items.push(e);
+        }
+        for s in &self.completed {
+            let mut e = vec![b'P'];
+            push_u64(&mut e, s.id.0);
+            push_u64(&mut e, u64::from(s.pc));
+            push_u64(&mut e, s.instret);
+            push_u64(&mut e, u64::from(s.sym_count));
+            push_u64(&mut e, s.constraints.len() as u64);
+            e.extend_from_slice(&s.console);
+            items.push(e);
+        }
+        items.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for e in &items {
+            eat(e);
+        }
+        eat(&(self.covered_pcs as u64).to_le_bytes());
+        eat(&self.instructions.to_le_bytes());
+        h
+    }
+}
+
 /// A hardware property checked against every snapshot the controller
 /// takes (the paper's "assertions ... relevant for the detection of
 /// peripherals misuse", applied at snapshot granularity).
@@ -227,7 +300,7 @@ impl SymMmio for TargetMmio<'_> {
     fn mmio_read(&mut self, _state: &SymState, addr: u32) -> Result<u32, BusError> {
         let at_age = self.age_now();
         let v = self.target.bus_read(addr)?;
-        if std::env::var_os("HARDSNAP_TRACE_IO").is_some() {
+        if trace_io() {
             eprintln!("live  R {addr:#010x} -> {v:#010x} @age {at_age}");
         }
         self.log.push(IoOp {
@@ -242,7 +315,7 @@ impl SymMmio for TargetMmio<'_> {
     fn mmio_write(&mut self, _state: &SymState, addr: u32, data: u32) -> Result<(), BusError> {
         let at_age = self.age_now();
         self.target.bus_write(addr, data)?;
-        if std::env::var_os("HARDSNAP_TRACE_IO").is_some() {
+        if trace_io() {
             eprintln!("live  W {addr:#010x} <- {data:#010x} @age {at_age}");
         }
         self.log.push(IoOp {
@@ -422,7 +495,7 @@ impl Engine {
                         if op.at_age > age_now {
                             self.target.step(op.at_age - age_now);
                         }
-                        if std::env::var_os("HARDSNAP_TRACE_IO").is_some() {
+                        if trace_io() {
                             eprintln!(
                                 "replay {} {:#010x} val {:#010x} @age {} (cycle_now {})",
                                 if op.is_write { "W" } else { "R" },

@@ -45,11 +45,13 @@
 
 pub mod engine;
 pub mod firmware;
+pub mod parallel;
 pub mod snapshots;
 
 pub use engine::{
     ConsistencyMode, Engine, EngineConfig, EngineMetrics, HwAssertion, IoOp, RunResult, Searcher,
 };
+pub use parallel::ParallelEngine;
 pub use snapshots::{SnapId, SnapshotStore};
 
 // Re-export the pieces users compose with.

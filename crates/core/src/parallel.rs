@@ -1,0 +1,512 @@
+//! Multi-worker Algorithm 1: parallel exploration over replicated
+//! hardware targets.
+//!
+//! The sequential [`Engine`](crate::Engine) time-multiplexes one
+//! hardware device between all symbolic states. Snapshots make that
+//! sound, but the device is still a serial bottleneck: only one state
+//! makes progress at a time. [`ParallelEngine`] removes the bottleneck
+//! by giving each of N worker threads a **private replica** of the
+//! target ([`HwTarget::fork_clean`]) while sharing one lock-sharded
+//! [`SnapshotStore`]. Workers pull `(state, snapshot)` work items from
+//! a shared deque, perform their own `RestoreState`/`UpdateState`
+//! context switches against their replica, and publish forked
+//! successors back with fresh private snapshots.
+//!
+//! ## Determinism by merge order
+//!
+//! Scheduling is racy on purpose (work-sharing deque), but the paper's
+//! context-switch discipline makes each state's execution a pure
+//! function of `(state, its snapshot)`: a quantum starts by restoring
+//! the state's private hardware image, so no worker ever observes
+//! another state's device. When exploration runs to completion the
+//! *set* of bugs, completed paths and covered PCs is therefore
+//! schedule-independent; the engine merges them **ordered by state id**
+//! (ids are themselves deterministic, derived from the fork tree — see
+//! `SymState::next_fork_id`), not by arrival order, so a given seed
+//! yields an identical [`RunResult`] regardless of worker count.
+//! [`RunResult::canonical_digest`] is the bit-equality check used by
+//! the regression tests. Budget truncation (`max_instructions`,
+//! `max_paths`, `max_states`) is the one schedule-dependent edge: which
+//! states are cut off depends on timing, so determinism is guaranteed
+//! for runs that finish inside their budgets.
+
+use crate::engine::{trace_io, ConsistencyMode, EngineConfig, EngineMetrics, RunResult};
+use crate::snapshots::{SnapId, SnapshotStore};
+use hardsnap_bus::{BusError, HwTarget, TargetError};
+use hardsnap_symex::{BugReport, Executor, PortableState, StepOutcome, SymMmio, SymState};
+use hardsnap_util::sync::{scope, Mutex};
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Condvar;
+
+/// A schedulable unit: one symbolic state detached from any term pool,
+/// plus its private hardware snapshot (`None` = power-on hardware).
+struct WorkItem {
+    state: PortableState,
+    snap: Option<SnapId>,
+}
+
+/// Queue state guarded by one mutex: the deque, the number of items
+/// currently being processed (for termination detection) and the stop
+/// flag raised on budget exhaustion.
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    inflight: usize,
+    stopped: bool,
+    dropped: u64,
+}
+
+/// Everything the workers share.
+struct Shared {
+    q: Mutex<QueueState>,
+    cv: Condvar,
+    store: SnapshotStore,
+    executed: AtomicU64,
+    paths: AtomicU64,
+}
+
+/// One worker's private results, merged deterministically after join.
+#[derive(Default)]
+struct WorkerOutput {
+    bugs: Vec<BugReport>,
+    completed: Vec<PortableState>,
+    covered: HashSet<u32>,
+    metrics: EngineMetrics,
+    vtime_ns: u64,
+}
+
+/// MMIO proxy over a worker's private replica. Unlike the sequential
+/// engine's proxy it keeps no I/O log: the parallel engine is
+/// HardSnap-only, and replay logs exist for the reboot baseline.
+struct ReplicaMmio<'a> {
+    target: &'a mut dyn HwTarget,
+}
+
+impl SymMmio for ReplicaMmio<'_> {
+    fn mmio_read(&mut self, _state: &SymState, addr: u32) -> Result<u32, BusError> {
+        let v = self.target.bus_read(addr)?;
+        if trace_io() {
+            eprintln!("par   R {addr:#010x} -> {v:#010x}");
+        }
+        Ok(v)
+    }
+
+    fn mmio_write(&mut self, _state: &SymState, addr: u32, data: u32) -> Result<(), BusError> {
+        self.target.bus_write(addr, data)?;
+        if trace_io() {
+            eprintln!("par   W {addr:#010x} <- {data:#010x}");
+        }
+        Ok(())
+    }
+}
+
+/// The parallel HardSnap engine: N workers, N target replicas, one
+/// shared snapshot store.
+pub struct ParallelEngine {
+    /// Merge-side executor: completed paths are imported into this pool
+    /// (sorted by state id) so callers can inspect them exactly as with
+    /// the sequential engine.
+    pub executor: Executor,
+    /// The shared, lock-sharded snapshot store.
+    pub store: SnapshotStore,
+    config: EngineConfig,
+    replicas: Vec<Box<dyn HwTarget>>,
+    roots: Vec<WorkItem>,
+    /// Merged metrics of the last run.
+    pub metrics: EngineMetrics,
+    /// Hardware virtual time accumulated by each worker's replica
+    /// during the last run. The replicas run concurrently on real
+    /// deployments, so the campaign's modeled wall clock is the *max*
+    /// of these (while [`RunResult::hw_virtual_time_ns`] stays the
+    /// schedule-invariant sum).
+    pub worker_vtimes_ns: Vec<u64>,
+}
+
+impl ParallelEngine {
+    /// Creates an engine with `workers` replicas forked from
+    /// `prototype` (clamped to ≥ 1). The prototype itself is not
+    /// driven; every worker gets a clean power-on copy.
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::Unsupported`] when the configuration is not
+    /// [`ConsistencyMode::HardSnap`] (the baselines intrinsically
+    /// serialize on one shared device) or the target cannot replicate
+    /// itself; any error from [`HwTarget::fork_clean`].
+    pub fn new(
+        prototype: &dyn HwTarget,
+        workers: usize,
+        config: EngineConfig,
+    ) -> Result<Self, TargetError> {
+        if config.mode != ConsistencyMode::HardSnap {
+            return Err(TargetError::Unsupported(
+                "parallel engine requires ConsistencyMode::HardSnap".into(),
+            ));
+        }
+        let replicas = (0..workers.max(1))
+            .map(|_| prototype.fork_clean())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ParallelEngine {
+            executor: Executor::new(config.policy),
+            store: SnapshotStore::new(),
+            config,
+            replicas,
+            roots: Vec::new(),
+            metrics: EngineMetrics::default(),
+            worker_vtimes_ns: Vec::new(),
+        })
+    }
+
+    /// Number of worker threads / target replicas.
+    pub fn workers(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Enqueues the initial state of `program` (power-on hardware; each
+    /// root is reset on the replica that first picks it up).
+    pub fn load_firmware(&mut self, program: &hardsnap_isa::Program) {
+        let s = self
+            .executor
+            .initial_state(program.image.clone(), program.entry);
+        self.roots.push(WorkItem {
+            state: PortableState::export(&self.executor.pool, &s),
+            snap: None,
+        });
+    }
+
+    /// Runs the analysis to completion (or budget exhaustion) across
+    /// all workers and merges the results in state-id order.
+    pub fn run(&mut self) -> RunResult {
+        let host_start = std::time::Instant::now();
+        let shared = Shared {
+            q: Mutex::new(QueueState {
+                items: self.roots.drain(..).collect(),
+                inflight: 0,
+                stopped: false,
+                dropped: 0,
+            }),
+            cv: Condvar::new(),
+            store: self.store.clone(),
+            executed: AtomicU64::new(0),
+            paths: AtomicU64::new(0),
+        };
+        let config = self.config.clone();
+        let mut outputs: Vec<WorkerOutput> = {
+            let shared = &shared;
+            let config = &config;
+            scope(|scp| {
+                let handles: Vec<_> = self
+                    .replicas
+                    .iter_mut()
+                    .map(|t| scp.spawn(move || run_worker(shared, t.as_mut(), config)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Deterministic merge: order by state id, never by arrival.
+        let mut bugs: Vec<BugReport> = outputs.iter_mut().flat_map(|o| o.bugs.drain(..)).collect();
+        bugs.sort_by(|a, b| {
+            (a.state_id.0, a.pc, kind_rank(a.kind), &a.description).cmp(&(
+                b.state_id.0,
+                b.pc,
+                kind_rank(b.kind),
+                &b.description,
+            ))
+        });
+        let mut completed_port: Vec<PortableState> = outputs
+            .iter_mut()
+            .flat_map(|o| o.completed.drain(..))
+            .collect();
+        completed_port.sort_by_key(|s| s.id.0);
+        completed_port.truncate(self.config.max_paths);
+        let completed: Vec<SymState> = completed_port
+            .iter()
+            .map(|p| p.import(&mut self.executor.pool))
+            .collect();
+        let mut covered: HashSet<u32> = HashSet::new();
+        let mut metrics = EngineMetrics::default();
+        let mut vtime: u64 = 0;
+        self.worker_vtimes_ns.clear();
+        for o in &outputs {
+            covered.extend(o.covered.iter().copied());
+            merge_metrics(&mut metrics, o.metrics);
+            vtime += o.vtime_ns;
+            self.worker_vtimes_ns.push(o.vtime_ns);
+        }
+        metrics.states_dropped += shared.q.lock().dropped;
+        self.metrics = metrics;
+
+        RunResult {
+            sample_console: completed
+                .first()
+                .map(|s| s.console.clone())
+                .unwrap_or_default(),
+            bugs,
+            completed,
+            metrics,
+            hw_virtual_time_ns: vtime,
+            host_time: host_start.elapsed(),
+            instructions: shared.executed.load(Ordering::Relaxed),
+            covered_pcs: covered.len(),
+        }
+    }
+}
+
+/// Stable ordering rank for [`hardsnap_symex::BugKind`] (merge + digest
+/// sort key).
+pub(crate) fn kind_rank(kind: hardsnap_symex::BugKind) -> u8 {
+    use hardsnap_symex::BugKind::*;
+    match kind {
+        AssertFailed => 0,
+        FailHit => 1,
+        Unmapped => 2,
+        Unaligned => 3,
+        IllegalInstruction => 4,
+        Bus => 5,
+        MmioByteAccess => 6,
+    }
+}
+
+fn merge_metrics(into: &mut EngineMetrics, m: EngineMetrics) {
+    into.context_switches += m.context_switches;
+    into.snapshots_saved += m.snapshots_saved;
+    into.snapshots_restored += m.snapshots_restored;
+    into.reboots += m.reboots;
+    into.replayed_ios += m.replayed_ios;
+    into.paths_completed += m.paths_completed;
+    into.states_dropped += m.states_dropped;
+    into.irqs_delivered += m.irqs_delivered;
+}
+
+/// Blocks until a work item is available; returns `None` on
+/// termination (queue drained with nothing in flight, or stop flag).
+fn next_item(shared: &Shared) -> Option<WorkItem> {
+    let mut g = shared.q.lock();
+    loop {
+        if g.stopped {
+            shared.cv.notify_all();
+            return None;
+        }
+        if let Some(it) = g.items.pop_front() {
+            g.inflight += 1;
+            return Some(it);
+        }
+        if g.inflight == 0 {
+            shared.cv.notify_all();
+            return None;
+        }
+        g = shared
+            .cv
+            .wait(g)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+    }
+}
+
+/// Publishes `successors` and retires the in-flight slot, raising the
+/// stop flag when a budget is exhausted and dropping successors beyond
+/// the fork-bomb guard.
+fn finish_item(shared: &Shared, successors: Vec<WorkItem>, config: &EngineConfig) {
+    let mut g = shared.q.lock();
+    g.inflight -= 1;
+    for s in successors {
+        if g.items.len() + g.inflight >= config.max_states {
+            g.dropped += 1;
+            if let Some(sid) = s.snap {
+                shared.store.remove(sid);
+            }
+            continue;
+        }
+        g.items.push_back(s);
+    }
+    if shared.executed.load(Ordering::Relaxed) >= config.max_instructions
+        || shared.paths.load(Ordering::Relaxed) >= config.max_paths as u64
+    {
+        g.stopped = true;
+    }
+    drop(g);
+    shared.cv.notify_all();
+}
+
+/// One worker: a private executor (term pool + solver) and a private
+/// target replica, looping over shared work items.
+fn run_worker(shared: &Shared, target: &mut dyn HwTarget, config: &EngineConfig) -> WorkerOutput {
+    let mut ex = Executor::new(config.policy);
+    let mut out = WorkerOutput::default();
+    let vtime_t0 = target.virtual_time_ns();
+    // Worker-local delta anchor (delta-snapshot mode): reused across
+    // forks while deltas against it stay small, exactly like the
+    // sequential engine's `last_base`. The anchor choice only affects
+    // storage representation, never snapshot content, so worker-local
+    // anchors do not perturb determinism.
+    let mut last_base: Option<SnapId> = None;
+    while let Some(item) = next_item(shared) {
+        let successors = run_quantum(
+            shared,
+            &mut ex,
+            target,
+            config,
+            item,
+            &mut out,
+            &mut last_base,
+        );
+        finish_item(shared, successors, config);
+    }
+    out.vtime_ns = target.virtual_time_ns() - vtime_t0;
+    out
+}
+
+/// Runs one work item for up to one quantum on the worker's replica:
+/// `RestoreState`, step/fork/halt, `UpdateState`. Returns the work
+/// items to publish back.
+fn run_quantum(
+    shared: &Shared,
+    ex: &mut Executor,
+    target: &mut dyn HwTarget,
+    config: &EngineConfig,
+    item: WorkItem,
+    out: &mut WorkerOutput,
+    last_base: &mut Option<SnapId>,
+) -> Vec<WorkItem> {
+    let mut state = item.state.import(&mut ex.pool);
+    // RestoreState: the item's private snapshot, or power-on hardware
+    // for a root state.
+    out.metrics.context_switches += 1;
+    match item.snap {
+        Some(sid) => {
+            let snap = shared
+                .store
+                .try_get(sid)
+                .unwrap_or_else(|e| panic!("state {:?}: {e}", state.id));
+            target.restore_snapshot(&snap).expect("snapshot restore");
+            out.metrics.snapshots_restored += 1;
+        }
+        None => target.reset(),
+    }
+
+    // UpdateState for a surviving continuation: save the live context
+    // into the state's private snapshot and requeue.
+    let save_continuation = |ex: &Executor,
+                             target: &mut dyn HwTarget,
+                             out: &mut WorkerOutput,
+                             s: &SymState|
+     -> WorkItem {
+        let snap = target.save_snapshot().expect("snapshot save");
+        out.metrics.snapshots_saved += 1;
+        let sid = match item.snap {
+            Some(sid) => {
+                shared.store.update(sid, snap);
+                sid
+            }
+            None => shared.store.insert(snap),
+        };
+        WorkItem {
+            state: PortableState::export(&ex.pool, s),
+            snap: Some(sid),
+        }
+    };
+
+    let mut remaining = config.quantum.max(1);
+    loop {
+        // ServePendingInterrupt: replica-local, so delivery depends
+        // only on the restored hardware state.
+        let lines = target.irq_lines();
+        if lines != 0 && ex.enter_irq(&mut state, lines).is_some() {
+            out.metrics.irqs_delivered += 1;
+        }
+
+        let state_id = state.id;
+        out.covered.insert(state.pc);
+        let mut proxy = ReplicaMmio { target };
+        let outcome = ex.step(state, &mut proxy);
+        let now = shared.executed.fetch_add(1, Ordering::Relaxed) + 1;
+        remaining -= 1;
+        target.step(config.cycles_per_instruction);
+
+        match outcome {
+            StepOutcome::ContinueWith(s) => {
+                if remaining == 0 || now >= config.max_instructions {
+                    return vec![save_continuation(ex, target, out, &s)];
+                }
+                state = s;
+            }
+            StepOutcome::Fork(succ) => {
+                // Every forked state gets a private, non-shared
+                // snapshot of the fork-point hardware.
+                let snap = target.save_snapshot().expect("snapshot save");
+                out.metrics.snapshots_saved += 1;
+                let base_id = if config.delta_snapshots {
+                    let reusable = last_base.filter(|&b| {
+                        shared
+                            .store
+                            .delta_size_vs(b, &snap)
+                            .map(|d| d * 4 < snap.byte_size())
+                            .unwrap_or(false)
+                    });
+                    Some(match reusable {
+                        Some(b) => b,
+                        None => {
+                            let b = shared.store.insert_base(snap.clone());
+                            *last_base = Some(b);
+                            b
+                        }
+                    })
+                } else {
+                    None
+                };
+                let mut items = Vec::with_capacity(succ.len());
+                for s in succ {
+                    let fresh = |store: &SnapshotStore| match base_id {
+                        Some(b) => store.insert_delta(b, snap.clone()),
+                        None => store.insert(snap.clone()),
+                    };
+                    let sid = if s.id == state_id {
+                        match item.snap {
+                            Some(sid) => {
+                                shared.store.update(sid, snap.clone());
+                                sid
+                            }
+                            None => fresh(&shared.store),
+                        }
+                    } else {
+                        fresh(&shared.store)
+                    };
+                    items.push(WorkItem {
+                        state: PortableState::export(&ex.pool, &s),
+                        snap: Some(sid),
+                    });
+                }
+                return items;
+            }
+            StepOutcome::Halted(s) => {
+                shared.paths.fetch_add(1, Ordering::Relaxed);
+                out.metrics.paths_completed += 1;
+                out.completed.push(PortableState::export(&ex.pool, &s));
+                if let Some(sid) = item.snap {
+                    shared.store.remove(sid);
+                }
+                return Vec::new();
+            }
+            StepOutcome::Bug {
+                report,
+                continuation,
+            } => {
+                out.bugs.push(report);
+                return match continuation {
+                    Some(s) => vec![save_continuation(ex, target, out, &s)],
+                    None => {
+                        shared.paths.fetch_add(1, Ordering::Relaxed);
+                        out.metrics.paths_completed += 1;
+                        if let Some(sid) = item.snap {
+                            shared.store.remove(sid);
+                        }
+                        Vec::new()
+                    }
+                };
+            }
+        }
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! Snapshots are "identified by a unique identifier"; the store is the
 //! persistent side of the controller (the paper's checkpoint files /
-//! snapshot SRAM). It is shared (`Arc` + lock) so diagnostic tooling can
-//! inspect snapshots while an analysis runs.
+//! snapshot SRAM). It is shared (`Arc` + locks) so diagnostic tooling
+//! can inspect snapshots while an analysis runs.
 //!
 //! Two storage representations are supported:
 //!
@@ -13,21 +13,44 @@
 //!   their fork point by a handful of registers, so delta storage cuts
 //!   the controller's memory footprint dramatically (measured by the
 //!   `exp_ablation` harness).
+//!
+//! ## Concurrency
+//!
+//! The store is **lock-sharded**: ids map to `id % N` shards, each
+//! behind its own `RwLock`, so the N workers of the parallel engine do
+//! not serialize on one store-wide lock. No operation ever holds two
+//! shard guards at once — delta chains are walked one locked hop at a
+//! time — which keeps the sharding deadlock-free by construction. Id
+//! allocation and byte accounting are lock-free atomics.
+//!
+//! ## Pinning
+//!
+//! Delta bases are refcounted. [`SnapshotStore::remove`] on a base that
+//! live deltas still reference is *deferred*: the entry is marked
+//! hidden and reclaimed when the last dependent goes away, so normal
+//! operation can never break a delta chain. The unconditional
+//! [`SnapshotStore::purge`] models external corruption/eviction and is
+//! what makes the [`SnapshotError::MissingBase`] path testable.
 
 use hardsnap_bus::{HwSnapshot, SnapshotDelta};
-use hardsnap_util::sync::RwLock;
+use hardsnap_util::sync::{ShardedRwLock, WatermarkCounter};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A snapshot identifier.
 pub type SnapId = u64;
 
+/// Number of independently locked shards.
+const SHARDS: usize = 16;
+
 /// Errors from snapshot lookup/reconstruction.
 ///
-/// A delta entry is only usable while its base image is alive; if the
-/// base was evicted (e.g. [`SnapshotStore::remove`] on a shared base id)
-/// the dependent delta is unrecoverable and lookups report exactly
-/// which link of the chain is broken instead of panicking.
+/// A delta entry is only usable while its base image is alive; pinning
+/// prevents the store itself from evicting a referenced base, but a
+/// [`SnapshotStore::purge`] (the external-corruption model) can still
+/// break a chain, and lookups then report exactly which link is broken
+/// instead of panicking.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SnapshotError {
     /// No entry under this id.
@@ -79,64 +102,43 @@ impl Entry {
     }
 }
 
-/// Thread-safe snapshot store.
-#[derive(Clone, Debug, Default)]
-pub struct SnapshotStore {
-    inner: Arc<RwLock<Inner>>,
+#[derive(Debug)]
+struct Stored {
+    entry: Entry,
+    /// Live delta entries referencing this id as their base (pin count).
+    refs: usize,
+    /// Kept alive only by `refs` (no direct owner): either registered
+    /// via [`SnapshotStore::insert_base`], or a deferred
+    /// [`SnapshotStore::remove`].
+    hidden: bool,
 }
 
 #[derive(Debug, Default)]
-struct Inner {
-    entries: HashMap<SnapId, Entry>,
-    /// Reference counts of ids used as delta bases; a base is freed when
-    /// its count drops to zero and it has no direct owner.
-    base_refs: HashMap<SnapId, usize>,
-    /// Ids that exist only as delta bases (not owned by a state).
-    hidden_bases: HashMap<SnapId, bool>,
-    next: SnapId,
-    bytes: usize,
-    peak_bytes: usize,
+struct Shard {
+    entries: HashMap<SnapId, Stored>,
 }
 
-impl Inner {
-    fn resolve(&self, id: SnapId) -> Option<HwSnapshot> {
-        self.try_resolve(id).ok()
-    }
+#[derive(Debug)]
+struct StoreInner {
+    shards: ShardedRwLock<Shard>,
+    next: AtomicU64,
+    bytes: WatermarkCounter,
+}
 
-    fn try_resolve(&self, id: SnapId) -> Result<HwSnapshot, SnapshotError> {
-        match self.entries.get(&id).ok_or(SnapshotError::Missing(id))? {
-            Entry::Full(s) => Ok(s.clone()),
-            Entry::Delta { base, delta } => {
-                let base_snap = self.try_resolve(*base).map_err(|e| match e {
-                    // The outermost id is what the caller asked for;
-                    // point at it, naming the first broken base link.
-                    SnapshotError::Missing(b) => SnapshotError::MissingBase { id, base: b },
-                    other => other,
-                })?;
-                delta
-                    .apply(&base_snap)
-                    .map_err(|_| SnapshotError::Corrupt { id })
-            }
-        }
-    }
+/// Thread-safe, lock-sharded snapshot store.
+#[derive(Clone, Debug)]
+pub struct SnapshotStore {
+    inner: Arc<StoreInner>,
+}
 
-    fn account(&mut self, delta_bytes: isize) {
-        self.bytes = (self.bytes as isize + delta_bytes).max(0) as usize;
-        self.peak_bytes = self.peak_bytes.max(self.bytes);
-    }
-
-    fn release_base(&mut self, base: SnapId) {
-        if let Some(c) = self.base_refs.get_mut(&base) {
-            *c -= 1;
-            if *c == 0 {
-                self.base_refs.remove(&base);
-                if self.hidden_bases.remove(&base).is_some() {
-                    if let Some(e) = self.entries.remove(&base) {
-                        let sz = e.byte_size() as isize;
-                        self.account(-sz);
-                    }
-                }
-            }
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        SnapshotStore {
+            inner: Arc::new(StoreInner {
+                shards: ShardedRwLock::new(SHARDS),
+                next: AtomicU64::new(0),
+                bytes: WatermarkCounter::new(),
+            }),
         }
     }
 }
@@ -147,46 +149,130 @@ impl SnapshotStore {
         SnapshotStore::default()
     }
 
+    fn alloc_id(&self) -> SnapId {
+        self.inner.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn install(&self, id: SnapId, entry: Entry, hidden: bool) {
+        let sz = entry.byte_size();
+        self.inner.shards.shard_for(id).write().entries.insert(
+            id,
+            Stored {
+                entry,
+                refs: 0,
+                hidden,
+            },
+        );
+        self.inner.bytes.add(sz);
+    }
+
+    /// Resolves `id` by walking its delta chain, locking one shard at a
+    /// time (never two at once).
+    fn try_resolve(&self, id: SnapId) -> Result<HwSnapshot, SnapshotError> {
+        let mut chain: Vec<(SnapId, SnapshotDelta)> = Vec::new();
+        let mut cur = id;
+        let base_snap = loop {
+            let shard = self.inner.shards.shard_for(cur);
+            let g = shard.read();
+            match g.entries.get(&cur) {
+                None => {
+                    return Err(match chain.last() {
+                        None => SnapshotError::Missing(id),
+                        Some(&(broken, _)) => SnapshotError::MissingBase {
+                            id: broken,
+                            base: cur,
+                        },
+                    });
+                }
+                Some(stored) => match &stored.entry {
+                    Entry::Full(s) => break s.clone(),
+                    Entry::Delta { base, delta } => {
+                        let b = *base;
+                        chain.push((cur, delta.clone()));
+                        drop(g);
+                        cur = b;
+                    }
+                },
+            }
+        };
+        let mut snap = base_snap;
+        for (eid, delta) in chain.iter().rev() {
+            snap = delta
+                .apply(&snap)
+                .map_err(|_| SnapshotError::Corrupt { id: *eid })?;
+        }
+        Ok(snap)
+    }
+
+    /// Increments the pin count of `base`; false if `base` is gone.
+    fn pin_base(&self, base: SnapId) -> bool {
+        let shard = self.inner.shards.shard_for(base);
+        let mut g = shard.write();
+        match g.entries.get_mut(&base) {
+            Some(stored) => {
+                stored.refs += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Decrements the pin count of `base`, reclaiming hidden entries
+    /// whose last dependent went away (iterating down chains).
+    fn release_base(&self, mut base: SnapId) {
+        loop {
+            let shard = self.inner.shards.shard_for(base);
+            let mut g = shard.write();
+            let Some(stored) = g.entries.get_mut(&base) else {
+                return;
+            };
+            stored.refs = stored.refs.saturating_sub(1);
+            if stored.refs == 0 && stored.hidden {
+                let stored = g.entries.remove(&base).expect("entry just seen");
+                drop(g);
+                self.inner.bytes.sub(stored.entry.byte_size());
+                if let Entry::Delta { base: next, .. } = stored.entry {
+                    base = next;
+                    continue;
+                }
+            }
+            return;
+        }
+    }
+
     /// Stores a full snapshot under a fresh id.
     pub fn insert(&self, snap: HwSnapshot) -> SnapId {
-        let mut g = self.inner.write();
-        let id = g.next;
-        g.next += 1;
-        let sz = snap.byte_size() as isize;
-        g.entries.insert(id, Entry::Full(snap));
-        g.account(sz);
+        let id = self.alloc_id();
+        self.install(id, Entry::Full(snap), false);
         id
     }
 
     /// Stores `snap` as a delta against the (immutable) snapshot under
     /// `base`; falls back to full storage if the delta would not save
-    /// space or the shapes differ. Marks `base` as referenced so it
-    /// outlives its dependents.
+    /// space or the shapes differ. Pins `base` so it outlives its
+    /// dependents.
     pub fn insert_delta(&self, base: SnapId, snap: HwSnapshot) -> SnapId {
-        let mut g = self.inner.write();
-        let id = g.next;
-        g.next += 1;
-        let entry = match g
-            .resolve(base)
+        let id = self.alloc_id();
+        let delta = self
+            .try_resolve(base)
+            .ok()
             .and_then(|b| SnapshotDelta::between(&b, &snap).ok())
-        {
-            Some(delta) if delta.byte_size() < snap.byte_size() => {
-                *g.base_refs.entry(base).or_insert(0) += 1;
-                Entry::Delta { base, delta }
-            }
+            .filter(|d| d.byte_size() < snap.byte_size());
+        let entry = match delta {
+            // Pin before installing the dependent: a concurrent remove
+            // of `base` then defers instead of breaking the chain.
+            Some(delta) if self.pin_base(base) => Entry::Delta { base, delta },
             _ => Entry::Full(snap),
         };
-        let sz = entry.byte_size() as isize;
-        g.entries.insert(id, entry);
-        g.account(sz);
+        self.install(id, entry, false);
         id
     }
 
     /// Registers a snapshot that exists only to serve as a delta base
     /// (freed automatically when the last dependent goes away).
     pub fn insert_base(&self, snap: HwSnapshot) -> SnapId {
-        let id = self.insert(snap);
-        self.inner.write().hidden_bases.insert(id, true);
+        let id = self.alloc_id();
+        self.install(id, Entry::Full(snap), true);
         id
     }
 
@@ -194,47 +280,70 @@ impl SnapshotStore {
     /// take, or `None` when the shapes are incompatible. Lets callers
     /// decide whether an existing base is still a good anchor.
     pub fn delta_size_vs(&self, base: SnapId, snap: &HwSnapshot) -> Option<usize> {
-        let g = self.inner.read();
-        let b = g.resolve(base)?;
+        let b = self.try_resolve(base).ok()?;
         SnapshotDelta::between(&b, snap).ok().map(|d| d.byte_size())
     }
 
     /// Overwrites the snapshot under `id` (the paper's `UpdateState`),
     /// preserving the entry's representation (delta entries stay deltas
-    /// against their base).
+    /// against their base) and keeping the pin count intact.
     pub fn update(&self, id: SnapId, snap: HwSnapshot) {
-        let mut g = self.inner.write();
-        let old_sz = g
-            .entries
-            .get(&id)
-            .map(|e| e.byte_size() as isize)
-            .unwrap_or(0);
-        let new_entry = match g.entries.get(&id) {
-            Some(Entry::Delta { base, .. }) => {
-                let base = *base;
-                match g
-                    .resolve(base)
+        let repr_base = {
+            let g = self.inner.shards.shard_for(id).read();
+            match g.entries.get(&id) {
+                Some(Stored {
+                    entry: Entry::Delta { base, .. },
+                    ..
+                }) => Some(*base),
+                _ => None,
+            }
+        };
+        let (new_entry, released_base) = match repr_base {
+            Some(base) => {
+                let delta = self
+                    .try_resolve(base)
+                    .ok()
                     .and_then(|b| SnapshotDelta::between(&b, &snap).ok())
-                {
-                    Some(delta) if delta.byte_size() < snap.byte_size() => {
-                        Entry::Delta { base, delta }
-                    }
-                    _ => {
-                        g.release_base(base);
-                        Entry::Full(snap)
-                    }
+                    .filter(|d| d.byte_size() < snap.byte_size());
+                match delta {
+                    Some(delta) => (Entry::Delta { base, delta }, None),
+                    None => (Entry::Full(snap), Some(base)),
                 }
             }
-            _ => Entry::Full(snap),
+            None => (Entry::Full(snap), None),
         };
-        let new_sz = new_entry.byte_size() as isize;
-        g.entries.insert(id, new_entry);
-        g.account(new_sz - old_sz);
+        let new_sz = new_entry.byte_size();
+        let old_sz = {
+            let mut g = self.inner.shards.shard_for(id).write();
+            match g.entries.get_mut(&id) {
+                Some(stored) => {
+                    let old = stored.entry.byte_size();
+                    stored.entry = new_entry;
+                    old
+                }
+                None => {
+                    g.entries.insert(
+                        id,
+                        Stored {
+                            entry: new_entry,
+                            refs: 0,
+                            hidden: false,
+                        },
+                    );
+                    0
+                }
+            }
+        };
+        self.inner.bytes.add(new_sz);
+        self.inner.bytes.sub(old_sz);
+        if let Some(base) = released_base {
+            self.release_base(base);
+        }
     }
 
     /// Fetches a snapshot by id (reconstructing deltas transparently).
     pub fn get(&self, id: SnapId) -> Option<HwSnapshot> {
-        self.inner.read().resolve(id)
+        self.try_resolve(id).ok()
     }
 
     /// Like [`SnapshotStore::get`], but reports *why* a snapshot cannot
@@ -245,42 +354,81 @@ impl SnapshotStore {
     ///
     /// [`SnapshotError`] naming the broken link of the chain.
     pub fn try_get(&self, id: SnapId) -> Result<HwSnapshot, SnapshotError> {
-        self.inner.read().try_resolve(id)
+        self.try_resolve(id)
     }
 
     /// Drops a snapshot (state terminated); frees its delta base when it
-    /// was the last dependent.
+    /// was the last dependent. Removal of an id that is itself a pinned
+    /// delta base is **deferred**: the entry is hidden and reclaimed
+    /// once its last dependent goes away, so the chain never breaks.
     pub fn remove(&self, id: SnapId) -> Option<HwSnapshot> {
-        let mut g = self.inner.write();
-        let resolved = g.resolve(id);
-        if let Some(e) = g.entries.remove(&id) {
-            let sz = e.byte_size() as isize;
-            g.account(-sz);
-            if let Entry::Delta { base, .. } = e {
-                g.release_base(base);
+        let resolved = self.try_resolve(id).ok();
+        let freed_base = {
+            let mut g = self.inner.shards.shard_for(id).write();
+            let stored = g.entries.get_mut(&id)?;
+            if stored.refs > 0 {
+                // Deferred: live deltas still need this image.
+                stored.hidden = true;
+                return resolved;
             }
+            let stored = g.entries.remove(&id).expect("entry just seen");
+            drop(g);
+            self.inner.bytes.sub(stored.entry.byte_size());
+            match stored.entry {
+                Entry::Delta { base, .. } => Some(base),
+                Entry::Full(_) => None,
+            }
+        };
+        if let Some(base) = freed_base {
+            self.release_base(base);
+        }
+        resolved
+    }
+
+    /// Unconditionally deletes `id`, **ignoring pins** — dependents are
+    /// left with a broken chain (subsequent lookups report
+    /// [`SnapshotError::MissingBase`]). This models external eviction
+    /// or corruption of the backing storage; analyses never call it.
+    pub fn purge(&self, id: SnapId) -> Option<HwSnapshot> {
+        let resolved = self.try_resolve(id).ok();
+        let freed_base = {
+            let mut g = self.inner.shards.shard_for(id).write();
+            let stored = g.entries.remove(&id)?;
+            drop(g);
+            self.inner.bytes.sub(stored.entry.byte_size());
+            match stored.entry {
+                Entry::Delta { base, .. } => Some(base),
+                Entry::Full(_) => None,
+            }
+        };
+        if let Some(base) = freed_base {
+            self.release_base(base);
         }
         resolved
     }
 
     /// Number of live entries (including hidden bases).
     pub fn len(&self) -> usize {
-        self.inner.read().entries.len()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().entries.len())
+            .sum()
     }
 
     /// True if no snapshots are stored.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().entries.is_empty()
+        self.len() == 0
     }
 
     /// Current bytes of stored images (full + delta representations).
     pub fn total_bytes(&self) -> usize {
-        self.inner.read().bytes
+        self.inner.bytes.current()
     }
 
     /// High-water mark of [`SnapshotStore::total_bytes`].
     pub fn peak_bytes(&self) -> usize {
-        self.inner.read().peak_bytes
+        self.inner.bytes.peak()
     }
 }
 
@@ -390,17 +538,46 @@ mod tests {
     }
 
     #[test]
-    fn delta_with_evicted_base_is_an_error_not_a_panic() {
+    fn remove_of_referenced_base_is_deferred_not_destructive() {
+        // The pinning regression: a base with live dependents survives
+        // "eviction pressure" (remove calls) until the last dependent
+        // goes away — delta chains can never break via remove().
         let store = SnapshotStore::new();
         let base_snap = snap(5);
-        // A *visible* base (plain insert) can be removed while deltas
-        // still reference it — the eviction scenario.
+        let base = store.insert(base_snap.clone());
+        let mut child_snap = base_snap.clone();
+        child_snap.regs[3].bits = 0xBAD;
+        let child = store.insert_delta(base, child_snap.clone());
+        // Eviction pressure: repeated removes of the referenced base.
+        for _ in 0..3 {
+            store.remove(base);
+        }
+        assert_eq!(
+            store.try_get(child).unwrap(),
+            child_snap,
+            "pinned base survives, chain intact"
+        );
+        assert!(
+            store.get(base).is_some(),
+            "base image still resolvable while pinned"
+        );
+        // The base is reclaimed with its last dependent.
+        store.remove(child);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.total_bytes(), 0);
+    }
+
+    #[test]
+    fn delta_with_purged_base_is_an_error_not_a_panic() {
+        let store = SnapshotStore::new();
+        let base_snap = snap(5);
         let base = store.insert(base_snap.clone());
         let mut child_snap = base_snap.clone();
         child_snap.regs[3].bits = 0xBAD;
         let child = store.insert_delta(base, child_snap.clone());
         assert_eq!(store.try_get(child).unwrap(), child_snap);
-        store.remove(base);
+        // purge() bypasses pinning — the external-corruption model.
+        store.purge(base);
         assert_eq!(store.get(child), None, "unrecoverable, but no panic");
         assert_eq!(
             store.try_get(child),
@@ -420,7 +597,7 @@ mod tests {
         s2.regs[1].bits = 22;
         let c = store.insert_delta(b, s2.clone());
         assert_eq!(store.try_get(c).unwrap(), s2);
-        store.remove(a);
+        store.purge(a);
         // c -> b (alive delta) -> a (gone): the broken link is b's base.
         assert_eq!(
             store.try_get(c),
@@ -435,5 +612,31 @@ mod tests {
         let other = store.clone();
         let id = store.insert(snap(7));
         assert_eq!(other.get(id).unwrap().cycle, 7);
+    }
+
+    #[test]
+    fn concurrent_workers_hammering_the_store_stay_consistent() {
+        use hardsnap_util::sync::scope;
+        let store = SnapshotStore::new();
+        let base = store.insert_base(snap(0));
+        scope(|s| {
+            for w in 0..4u64 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let mut img = snap(0);
+                        img.regs[(w as usize) % 32].bits = i;
+                        let id = store.insert_delta(base, img.clone());
+                        assert_eq!(store.get(id).unwrap(), img);
+                        store.update(id, snap(w * 100 + i));
+                        assert_eq!(store.get(id).unwrap().cycle, w * 100 + i);
+                        store.remove(id);
+                    }
+                });
+            }
+        });
+        // All workers' entries cleaned up; only the hidden base remains
+        // (it had no dependents left), or was already reclaimed.
+        assert!(store.len() <= 1);
     }
 }

@@ -70,14 +70,30 @@ impl Default for FpgaTimeModel {
 }
 
 /// Construction options.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct FpgaOptions {
-    /// Instrumentation scope/settings passed to the scan pass.
+    /// Instrumentation scope/settings passed to the scan pass. The
+    /// default uses a 32-lane chain (`ScanOptions::width = 32`): the
+    /// snapshot controller shifts whole 32-bit words per fabric cycle,
+    /// cutting scan time ~32× versus the bit-serial chain.
     pub scan: ScanOptions,
     /// Model a high-end FPGA with configuration readback support.
     pub readback: bool,
     /// Time model override.
     pub model: Option<FpgaTimeModel>,
+}
+
+impl Default for FpgaOptions {
+    fn default() -> Self {
+        FpgaOptions {
+            scan: ScanOptions {
+                width: 32,
+                ..ScanOptions::default()
+            },
+            readback: false,
+            model: None,
+        }
+    }
 }
 
 /// The FPGA hardware target.
@@ -195,41 +211,42 @@ impl FpgaTarget {
     }
 
     /// Shifts the whole chain once around (out and back in), returning
-    /// the observed bitstream; state is preserved.
-    fn scan_cycle_preserving(&mut self) -> Vec<bool> {
-        let n = self.chain.chain_bits();
-        let mut stream = Vec::with_capacity(n as usize);
+    /// the observed word stream; state is preserved. One whole
+    /// `lanes`-bit word moves per fabric cycle, so the pass costs
+    /// `shift_cycles()` cycles, not one per bit.
+    fn scan_cycle_preserving(&mut self) -> Vec<u64> {
+        let cycles = self.chain.shift_cycles();
+        let mut stream = Vec::with_capacity(cycles as usize);
         self.sim
             .poke(scan_ports::SCAN_ENABLE, 1)
             .expect("scan port exists");
-        for _ in 0..n {
-            let bit = self
+        for _ in 0..cycles {
+            let word = self
                 .sim
                 .peek(scan_ports::SCAN_OUT)
                 .expect("scan port")
-                .is_true();
-            stream.push(bit);
-            self.sim
-                .poke(scan_ports::SCAN_IN, bit as u64)
-                .expect("scan port");
+                .bits();
+            stream.push(word);
+            // Feeding the observed word straight back rotates the chain
+            // by one full turn over the pass: state is preserved.
+            self.sim.poke(scan_ports::SCAN_IN, word).expect("scan port");
             self.sim.step(1);
         }
         self.sim
             .poke(scan_ports::SCAN_ENABLE, 0)
             .expect("scan port");
-        self.charge_cycles(n);
+        self.charge_cycles(cycles);
         stream
     }
 
-    /// Shifts `stream` in (previous state is discarded).
-    fn scan_shift_in(&mut self, stream: &[bool]) {
+    /// Shifts `stream` in, one word per cycle (previous state is
+    /// discarded).
+    fn scan_shift_in(&mut self, stream: &[u64]) {
         self.sim
             .poke(scan_ports::SCAN_ENABLE, 1)
             .expect("scan port exists");
-        for &bit in stream {
-            self.sim
-                .poke(scan_ports::SCAN_IN, bit as u64)
-                .expect("scan port");
+        for &word in stream {
+            self.sim.poke(scan_ports::SCAN_IN, word).expect("scan port");
             self.sim.step(1);
         }
         self.sim
@@ -347,7 +364,7 @@ impl FpgaTarget {
         let stream = self.scan_cycle_preserving();
         let values = self
             .chain
-            .decode(&stream)
+            .decode_words(&stream)
             .expect("stream length matches chain");
         let regs = self
             .chain
@@ -437,7 +454,7 @@ impl HwTarget for FpgaTarget {
         let stream = self.scan_cycle_preserving();
         let values = self
             .chain
-            .decode(&stream)
+            .decode_words(&stream)
             .map_err(|e| TargetError::CorruptSnapshot(e.to_string()))?;
         let regs = self
             .chain
@@ -477,7 +494,7 @@ impl HwTarget for FpgaTarget {
         }
         let stream = self
             .chain
-            .encode(&values)
+            .encode_words(&values)
             .map_err(|e| TargetError::CorruptSnapshot(e.to_string()))?;
         self.scan_shift_in(&stream);
         self.collar_write_all(&snap.mems)?;
@@ -487,6 +504,24 @@ impl HwTarget for FpgaTarget {
 
     fn virtual_time_ns(&self) -> u64 {
         self.vtime_ns
+    }
+
+    fn fork_clean(&self) -> Result<Box<dyn HwTarget>, TargetError> {
+        // Replicating a fabric = loading the same bitstream onto another
+        // board: shares the elaborated netlist, starts at power-on.
+        let sim = self.sim.fork_clean();
+        let axi = AxiLite::bind(&sim)
+            .map_err(|e| TargetError::CorruptSnapshot(format!("replica AXI bind: {e}")))?;
+        Ok(Box::new(FpgaTarget {
+            sim,
+            axi,
+            chain: self.chain.clone(),
+            model: self.model,
+            vtime_ns: 0,
+            design: self.design.clone(),
+            readback: self.readback,
+            instrumented_name: self.instrumented_name.clone(),
+        }))
     }
 }
 
@@ -603,16 +638,101 @@ mod tests {
     }
 
     #[test]
-    fn virtual_time_scales_with_chain_length() {
+    fn virtual_time_scales_with_shift_cycles() {
         let mut t = fpga();
-        let bits = t.chain_map().chain_bits();
+        let cycles = t.chain_map().shift_cycles();
         let words = t.chain_map().mem_words();
         let m = t.model();
         let t0 = t.virtual_time_ns();
         let _ = t.save_snapshot().unwrap();
         let elapsed = t.virtual_time_ns() - t0;
-        let expected = (bits + words) * m.ns_per_cycle + m.scan_overhead_ns;
+        let expected = (cycles + words) * m.ns_per_cycle + m.scan_overhead_ns;
         assert_eq!(elapsed, expected);
+    }
+
+    #[test]
+    fn wide_chain_batches_whole_words_per_cycle() {
+        // The same design with a 1-lane and the default 32-lane chain:
+        // identical snapshots, ~32x fewer scan cycles per save.
+        let mut serial = FpgaTarget::new(
+            hardsnap_periph::soc().unwrap(),
+            &FpgaOptions {
+                scan: ScanOptions {
+                    width: 1,
+                    ..ScanOptions::default()
+                },
+                ..FpgaOptions::default()
+            },
+        )
+        .unwrap();
+        serial.reset();
+        let mut wide = fpga();
+        assert_eq!(wide.chain_map().lanes(), 32);
+        assert_eq!(
+            wide.chain_map().chain_bits(),
+            serial.chain_map().chain_bits(),
+            "lanes add pad cells, never chain segments"
+        );
+        assert_eq!(
+            wide.chain_map().shift_cycles(),
+            wide.chain_map().total_cells() / 32
+        );
+
+        use hardsnap_bus::map::soc as m;
+        for t in [&mut serial, &mut wide] {
+            t.bus_write(m::TIMER_BASE + regs::timer::LOAD, 1234)
+                .unwrap();
+            t.bus_write(m::TIMER_BASE + regs::timer::CTRL, regs::timer::CTRL_ENABLE)
+                .unwrap();
+            t.step(17);
+        }
+        let t0s = serial.virtual_time_ns();
+        let t0w = wide.virtual_time_ns();
+        let snap_serial = serial.save_snapshot().unwrap();
+        let snap_wide = wide.save_snapshot().unwrap();
+        assert!(
+            snap_serial.diff_regs(&snap_wide).is_empty(),
+            "lane count must not change snapshot content: {:?}",
+            snap_serial.diff_regs(&snap_wide)
+        );
+        // Scan portion shrinks by the lane factor (fixed overheads and
+        // collar words are unchanged).
+        let scan_serial = serial.virtual_time_ns() - t0s;
+        let scan_wide = wide.virtual_time_ns() - t0w;
+        assert!(
+            scan_wide < scan_serial,
+            "wide chain must be faster: {scan_wide} vs {scan_serial}"
+        );
+        let mdl = wide.model();
+        let saved = scan_serial - scan_wide;
+        let expected_saved = (serial.chain_map().shift_cycles() - wide.chain_map().shift_cycles())
+            * mdl.ns_per_cycle;
+        assert_eq!(saved, expected_saved);
+
+        // And the wide image restores exactly (pad bits are discarded).
+        wide.step(5000);
+        wide.restore_snapshot(&snap_wide).unwrap();
+        let back = wide.save_snapshot().unwrap();
+        assert!(back.diff_regs(&snap_wide).is_empty());
+    }
+
+    #[test]
+    fn fork_clean_replicates_the_fabric() {
+        use hardsnap_bus::map::soc as m;
+        let mut t = fpga();
+        t.bus_write(m::TIMER_BASE + regs::timer::LOAD, 77).unwrap();
+        let mut r = t.fork_clean().unwrap();
+        assert_eq!(r.cycle(), 0, "replica starts at power-on");
+        r.reset();
+        assert_eq!(
+            r.bus_read(m::TIMER_BASE + regs::timer::VALUE).unwrap(),
+            0,
+            "replica state is independent of the parent"
+        );
+        // Snapshots interchange between parent and replica.
+        let snap = t.save_snapshot().unwrap();
+        r.restore_snapshot(&snap).unwrap();
+        assert_eq!(r.bus_read(m::TIMER_BASE + regs::timer::VALUE).unwrap(), 77);
     }
 
     #[test]

@@ -17,6 +17,20 @@
 //! `N-1-t`; the bit observed on `scan_out` at cycle `t` is the original
 //! content of cell `N-1-t`. Both streams are the reversed cell listing,
 //! which [`ChainMap::encode`] / [`ChainMap::decode`] implement.
+//!
+//! ## Multi-lane chains
+//!
+//! With `W = lanes > 1` the instrumentation widens `scan_in`/`scan_out`
+//! to `W` bits and every scan cycle moves the chain by `W` cells:
+//! `new_cell[i] = old_cell[i-W]`, the first `W` cells load from
+//! `scan_in` (MSB → cell 0), and `scan_out` exposes the last `W` cells
+//! (MSB = cell `N'-W`). A zero-fill pad of [`ChainMap::pad_bits`] cells
+//! after the last register makes the total `N'` a whole number of
+//! lanes, so a full pass takes `N'/W` cycles ([`ChainMap::shift_cycles`])
+//! instead of `N`. The word streams ([`ChainMap::encode_words`] /
+//! [`ChainMap::decode_words`]) are the cell listing chopped into
+//! `W`-cell rows with the row order reversed — for `W = 1` exactly the
+//! classic bit streams.
 
 use crate::ScanError;
 
@@ -53,12 +67,35 @@ pub struct ChainMap {
     pub segments: Vec<ChainSegment>,
     /// Memory collars in selector order.
     pub mems: Vec<MemCollar>,
+    /// Shift lanes (`scan_in`/`scan_out` width). `0` means a legacy
+    /// single-lane chain (same as `1`); use [`ChainMap::lanes`].
+    pub lanes: u32,
+    /// Zero-fill cells appended after the last register so the cell
+    /// count is a whole number of lanes (excluded from
+    /// [`ChainMap::segments`], so snapshots stay target-interchangeable).
+    pub pad_bits: u64,
 }
 
 impl ChainMap {
-    /// Total number of scan cells (= shift cycles per save/restore pass).
+    /// Total number of register scan cells (excluding pad).
     pub fn chain_bits(&self) -> u64 {
         self.segments.iter().map(|s| s.width as u64).sum()
+    }
+
+    /// Shift lanes, normalized (`0` → `1` for maps built before lanes
+    /// existed, including `ChainMap::default()`).
+    pub fn lanes(&self) -> u32 {
+        self.lanes.max(1)
+    }
+
+    /// Total cells including the zero-fill pad.
+    pub fn total_cells(&self) -> u64 {
+        self.chain_bits() + self.pad_bits
+    }
+
+    /// Scan cycles per full save/restore pass: `total_cells / lanes`.
+    pub fn shift_cycles(&self) -> u64 {
+        self.total_cells().div_ceil(u64::from(self.lanes()))
     }
 
     /// Total memory words behind collars (= collar cycles per pass).
@@ -123,6 +160,92 @@ impl ChainMap {
         Ok(out)
     }
 
+    /// Cell listing (segment values MSB→LSB, then the zero pad).
+    fn cell_listing(&self, values: &[u64]) -> Result<Vec<bool>, ScanError> {
+        if values.len() != self.segments.len() {
+            return Err(ScanError::ShapeMismatch(format!(
+                "{} values for {} chain segments",
+                values.len(),
+                self.segments.len()
+            )));
+        }
+        let mut cells = Vec::with_capacity(self.total_cells() as usize);
+        for (seg, &v) in self.segments.iter().zip(values) {
+            for bit in (0..seg.width).rev() {
+                cells.push((v >> bit) & 1 == 1);
+            }
+        }
+        cells.resize(self.total_cells() as usize, false);
+        Ok(cells)
+    }
+
+    /// Encodes register values (in segment order) into the word stream
+    /// to feed a `lanes`-bit `scan_in`, one word per shift cycle (low
+    /// `lanes` bits used, first cell of the word at the MSB).
+    ///
+    /// # Errors
+    ///
+    /// [`ScanError::ShapeMismatch`] on a wrong-length value vector, or
+    /// when [`ChainMap::pad_bits`] does not complete the last word.
+    pub fn encode_words(&self, values: &[u64]) -> Result<Vec<u64>, ScanError> {
+        let w = u64::from(self.lanes());
+        let cells = self.cell_listing(values)?;
+        if cells.len() as u64 % w != 0 {
+            return Err(ScanError::ShapeMismatch(format!(
+                "{} cells do not fill whole {w}-bit words",
+                cells.len()
+            )));
+        }
+        let rows = cells.len() as u64 / w;
+        let mut words = Vec::with_capacity(rows as usize);
+        for r in (0..rows).rev() {
+            let mut word = 0u64;
+            for j in 0..w {
+                word = (word << 1) | u64::from(cells[(r * w + j) as usize]);
+            }
+            words.push(word);
+        }
+        Ok(words)
+    }
+
+    /// Decodes the word stream observed on a `lanes`-bit `scan_out`
+    /// (one word per shift cycle) back into register values in segment
+    /// order; pad cells are discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`ScanError::ShapeMismatch`] on a wrong-length stream.
+    pub fn decode_words(&self, stream: &[u64]) -> Result<Vec<u64>, ScanError> {
+        let w = u64::from(self.lanes());
+        if stream.len() as u64 != self.shift_cycles() || self.total_cells() % w != 0 {
+            return Err(ScanError::ShapeMismatch(format!(
+                "stream of {} words for a chain of {} {w}-bit shift cycles",
+                stream.len(),
+                self.shift_cycles()
+            )));
+        }
+        let mut cells = vec![false; self.total_cells() as usize];
+        for (t, &word) in stream.iter().enumerate() {
+            let row = stream.len() - 1 - t;
+            for j in 0..w as usize {
+                cells[row * w as usize + j] = (word >> (w as usize - 1 - j)) & 1 == 1;
+            }
+        }
+        let mut out = Vec::with_capacity(self.segments.len());
+        let mut idx = 0usize;
+        for seg in &self.segments {
+            let mut v = 0u64;
+            for bit in (0..seg.width).rev() {
+                if cells[idx] {
+                    v |= 1 << bit;
+                }
+                idx += 1;
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
     /// Finds a segment by register name.
     pub fn segment(&self, name: &str) -> Option<&ChainSegment> {
         self.segments.iter().find(|s| s.name == name)
@@ -158,6 +281,7 @@ mod tests {
                 depth: 16,
                 sel: 0,
             }],
+            ..ChainMap::default()
         }
     }
 
@@ -188,6 +312,7 @@ mod tests {
                 msb_cell: 0,
             }],
             mems: vec![],
+            ..ChainMap::default()
         };
         let stream = m.encode(&[0b10]).unwrap();
         assert_eq!(stream, vec![false, true]);
@@ -209,6 +334,7 @@ mod tests {
                 msb_cell: 0,
             }],
             mems: vec![],
+            ..ChainMap::default()
         };
         // encode only looks at the low `width` bits.
         let stream = m.encode(&[0xff]).unwrap();

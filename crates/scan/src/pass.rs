@@ -47,13 +47,29 @@ pub mod ports {
 }
 
 /// Options controlling the instrumentation.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScanOptions {
     /// Only instrument registers/memories whose hierarchical name starts
     /// with this prefix (`None` = whole design).
     pub scope: Option<String>,
     /// Skip memory collars entirely (registers only).
     pub skip_memories: bool,
+    /// Shift lanes: the width of `scan_in`/`scan_out`. Every scan cycle
+    /// moves the whole chain by `width` cells, so a full save/restore
+    /// pass takes `⌈N/width⌉` cycles instead of `N` (batched shifting;
+    /// the snapshot controller streams whole words per cycle). Clamped
+    /// to `1..=64`. Default `1` — the classic serial chain.
+    pub width: u32,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            scope: None,
+            skip_memories: false,
+            width: 1,
+        }
+    }
 }
 
 /// Instruments `module` with a scan chain and memory collars.
@@ -97,16 +113,15 @@ pub fn instrument(module: &Module, opts: &ScanOptions) -> Result<(Module, ChainM
     };
 
     // --- insert ports ------------------------------------------------------
+    let lanes = opts.width.clamp(1, 64);
     let scan_enable = m.add_net(ports::SCAN_ENABLE, 1, NetKind::Wire, Some(PortDir::Input))?;
-    let scan_in = m.add_net(ports::SCAN_IN, 1, NetKind::Wire, Some(PortDir::Input))?;
-    let scan_out = m.add_net(ports::SCAN_OUT, 1, NetKind::Wire, Some(PortDir::Output))?;
+    let scan_in = m.add_net(ports::SCAN_IN, lanes, NetKind::Wire, Some(PortDir::Input))?;
+    let scan_out = m.add_net(ports::SCAN_OUT, lanes, NetKind::Wire, Some(PortDir::Output))?;
 
-    // --- build the chain map and per-register shift-in sources --------------
+    // --- build the chain map ------------------------------------------------
     let mut chain = ChainMap::default();
     let mut msb_cell = 0u64;
-    // shift_src[i]: expression feeding register i's MSB during scan.
-    let mut shift_src: Vec<Expr> = Vec::with_capacity(regs.len());
-    for (i, &id) in regs.iter().enumerate() {
+    for &id in &regs {
         let net = m.net(id);
         chain.segments.push(ChainSegment {
             name: net.name.clone(),
@@ -114,26 +129,85 @@ pub fn instrument(module: &Module, opts: &ScanOptions) -> Result<(Module, ChainM
             msb_cell,
         });
         msb_cell += net.width as u64;
-        if i == 0 {
-            shift_src.push(Expr::Net(scan_in));
-        } else {
-            let prev = regs[i - 1];
-            shift_src.push(Expr::Slice {
-                base: prev,
-                hi: 0,
-                lo: 0,
-            });
+    }
+    chain.lanes = lanes;
+    chain.pad_bits = (u64::from(lanes) - msb_cell % u64::from(lanes)) % u64::from(lanes);
+    // Zero-fill pad register occupying the last cells, so the chain is a
+    // whole number of lanes. Not a chain segment: its content is
+    // discarded, keeping snapshots interchangeable with unpadded
+    // targets.
+    let pad_net = if chain.pad_bits > 0 {
+        Some(m.add_net("scan_pad", chain.pad_bits as u32, NetKind::Reg, None)?)
+    } else {
+        None
+    };
+
+    // cell index -> (owning net, bit within that net). Cell `base + k`
+    // of a register is its bit `width-1-k`.
+    let mut cell_owner: Vec<(NetId, u32)> = Vec::with_capacity(chain.total_cells() as usize);
+    for &id in &regs {
+        let w = m.net(id).width;
+        for k in 0..w {
+            cell_owner.push((id, w - 1 - k));
         }
     }
-    // scan_out = last register's LSB.
-    let last = *regs.last().expect("non-empty");
+    if let Some(p) = pad_net {
+        let w = chain.pad_bits as u32;
+        for k in 0..w {
+            cell_owner.push((p, w - 1 - k));
+        }
+    }
+    // After one scan cycle, cell `i` holds: scan_in bit `lanes-1-i` for
+    // the first `lanes` cells, else cell `i - lanes`.
+    let src_of = |i: u64| -> (NetId, u32) {
+        if i < u64::from(lanes) {
+            (scan_in, lanes - 1 - i as u32)
+        } else {
+            cell_owner[(i - u64::from(lanes)) as usize]
+        }
+    };
+    // MSB-first concatenation of per-cell sources, with consecutive
+    // descending bit runs of one net coalesced into slices (and
+    // full-width slices collapsed to the net itself).
+    let build_rhs = |m: &Module, parts: &[(NetId, u32)]| -> Expr {
+        let slice = |base: NetId, hi: u32, lo: u32| {
+            if lo == 0 && hi + 1 == m.net(base).width {
+                Expr::Net(base)
+            } else {
+                Expr::Slice { base, hi, lo }
+            }
+        };
+        let mut exprs: Vec<Expr> = Vec::new();
+        let mut run: Option<(NetId, u32, u32)> = None;
+        for &(net, bit) in parts {
+            run = Some(match run {
+                Some((n, hi, lo)) if n == net && bit + 1 == lo => (n, hi, bit),
+                Some((n, hi, lo)) => {
+                    exprs.push(slice(n, hi, lo));
+                    (net, bit, bit)
+                }
+                None => (net, bit, bit),
+            });
+        }
+        if let Some((n, hi, lo)) = run {
+            exprs.push(slice(n, hi, lo));
+        }
+        if exprs.len() == 1 {
+            exprs.pop().expect("non-empty")
+        } else {
+            Expr::Concat(exprs)
+        }
+    };
+
+    // scan_out = the last `lanes` cells (MSB = earliest cell).
+    let out_parts: Vec<(NetId, u32)> = (chain.total_cells() - u64::from(lanes)
+        ..chain.total_cells())
+        .map(|i| cell_owner[i as usize])
+        .collect();
+    let scan_out_rhs = build_rhs(&m, &out_parts);
     m.assigns.push(ContAssign {
         lv: LValue::Net(scan_out),
-        rhs: Expr::Slice {
-            base: last,
-            hi: 0,
-            lo: 0,
-        },
+        rhs: scan_out_rhs,
     });
 
     // --- memory collar ports -----------------------------------------------
@@ -206,7 +280,23 @@ pub fn instrument(module: &Module, opts: &ScanOptions) -> Result<(Module, ChainM
     //   if (scan_enable)       { shift stmts for its in-chain regs }
     //   else if (scan_mem_en)  { collar writes for its collared mems }
     //   else                   { original body }
-    let chained: Vec<(NetId, Expr)> = regs.iter().copied().zip(shift_src.into_iter()).collect();
+    let chained: Vec<(NetId, u64, u32)> = chain
+        .segments
+        .iter()
+        .zip(&regs)
+        .map(|(seg, &id)| (id, seg.msb_cell, seg.width))
+        .collect();
+    // The pad shifts like any other register; its statement rides in the
+    // first clocked process (single-clock designs) since the pad has no
+    // owner of its own.
+    let mut pad_stmt = pad_net.map(|p| {
+        let parts: Vec<(NetId, u32)> = (msb_cell..chain.total_cells()).map(src_of).collect();
+        Stmt::Assign {
+            lv: LValue::Net(p),
+            rhs: build_rhs(&m, &parts),
+            blocking: false,
+        }
+    });
 
     for pi in 0..m.processes.len() {
         if !matches!(m.processes[pi].kind, ProcessKind::Clocked { .. }) {
@@ -233,28 +323,22 @@ pub fn instrument(module: &Module, opts: &ScanOptions) -> Result<(Module, ChainM
         }
 
         let mut shift_stmts = Vec::new();
-        for (id, src) in &chained {
-            if !own_regs.contains(id) {
+        for &(id, base_cell, w) in &chained {
+            if !own_regs.contains(&id) {
                 continue;
             }
-            let w = m.net(*id).width;
-            let rhs = if w == 1 {
-                src.clone()
-            } else {
-                Expr::Concat(vec![
-                    src.clone(),
-                    Expr::Slice {
-                        base: *id,
-                        hi: w - 1,
-                        lo: 1,
-                    },
-                ])
-            };
+            // New register content after one scan cycle: the sources of
+            // its cells, MSB first.
+            let parts: Vec<(NetId, u32)> =
+                (base_cell..base_cell + u64::from(w)).map(src_of).collect();
             shift_stmts.push(Stmt::Assign {
-                lv: LValue::Net(*id),
-                rhs,
+                lv: LValue::Net(id),
+                rhs: build_rhs(&m, &parts),
                 blocking: false,
             });
+        }
+        if let Some(pad) = pad_stmt.take() {
+            shift_stmts.push(pad);
         }
 
         let mut collar_stmts = Vec::new();
@@ -426,6 +510,7 @@ mod tests {
             &ScanOptions {
                 scope: Some("q".into()),
                 skip_memories: true,
+                ..ScanOptions::default()
             },
         )
         .unwrap();
@@ -441,6 +526,7 @@ mod tests {
             &ScanOptions {
                 scope: Some("nonexistent.".into()),
                 skip_memories: false,
+                ..ScanOptions::default()
             },
         )
         .unwrap_err();

@@ -43,7 +43,18 @@ fn arb_chain(rng: &mut Rng) -> (ChainMap, Vec<u64>) {
         .iter()
         .map(|s| rng.next_u64() & mask(s.width))
         .collect();
-    (ChainMap { segments, mems }, values)
+    // Random lane count with the matching pad, as the pass would build.
+    let lanes = rng.gen_range(1u32..=64);
+    let pad_bits = (u64::from(lanes) - cells % u64::from(lanes)) % u64::from(lanes);
+    (
+        ChainMap {
+            segments,
+            mems,
+            lanes,
+            pad_bits,
+        },
+        values,
+    )
 }
 
 #[test]
@@ -61,6 +72,26 @@ fn roundtrip_with_mem_collars_and_bit_accounting() {
             chain.mems.iter().map(|m| m.depth as u64).sum::<u64>()
         );
         assert_eq!(chain.decode(&stream).unwrap(), values);
+        // Word codec: one word per shift cycle, same values back, and
+        // the cell accounting includes exactly the pad.
+        let words = chain.encode_words(&values).unwrap();
+        assert_eq!(words.len() as u64, chain.shift_cycles());
+        assert_eq!(chain.total_cells(), chain.chain_bits() + chain.pad_bits);
+        assert_eq!(chain.total_cells() % u64::from(chain.lanes()), 0);
+        assert_eq!(chain.decode_words(&words).unwrap(), values);
+    });
+}
+
+#[test]
+fn single_lane_word_codec_matches_bit_codec() {
+    prop_check!(cases = 64, seed = 0x1A4E_0001, (cv in from_fn(arb_chain)) => {
+        let (mut chain, values) = cv;
+        chain.lanes = 1;
+        chain.pad_bits = 0;
+        let bits = chain.encode(&values).unwrap();
+        let words = chain.encode_words(&values).unwrap();
+        assert_eq!(words.len(), bits.len());
+        assert!(words.iter().zip(&bits).all(|(&w, &b)| w == u64::from(b)));
     });
 }
 

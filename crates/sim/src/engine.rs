@@ -151,6 +151,39 @@ impl Simulator {
         &self.module
     }
 
+    /// Creates an independent simulator over the same elaborated module
+    /// in its power-on state. The `Arc<Module>` and the levelized
+    /// combinational order are shared/copied, so replication skips
+    /// elaboration checks and re-levelization entirely — this is what
+    /// makes per-worker target replicas cheap.
+    pub fn fork_clean(&self) -> Self {
+        let nets = self
+            .module
+            .nets
+            .iter()
+            .map(|n| Value::zero(n.width))
+            .collect();
+        let mems = self
+            .module
+            .memories
+            .iter()
+            .map(|m| vec![0u64; m.depth as usize])
+            .collect();
+        let mut sim = Simulator {
+            module: self.module.clone(),
+            nets,
+            mems,
+            comb_order: self.comb_order.clone(),
+            clocked: self.clocked.clone(),
+            nba_nets: Vec::new(),
+            nba_mems: Vec::new(),
+            cycle: 0,
+            comb_dirty: true,
+        };
+        sim.settle();
+        sim
+    }
+
     /// Elapsed clock cycles.
     pub fn cycle(&self) -> u64 {
         self.cycle

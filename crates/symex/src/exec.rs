@@ -130,7 +130,6 @@ pub struct Executor {
     pub policy: Concretization,
     /// Statistics.
     pub stats: ExecStats,
-    next_id: u64,
 }
 
 impl Executor {
@@ -141,19 +140,12 @@ impl Executor {
             solver: BvSolver::new(),
             policy,
             stats: ExecStats::default(),
-            next_id: 1,
         }
     }
 
     /// Creates the initial state for a program image.
     pub fn initial_state(&mut self, image: Vec<u8>, entry: u32) -> SymState {
         SymState::initial(&mut self.pool, std::sync::Arc::new(image), entry)
-    }
-
-    fn fresh_id(&mut self) -> StateId {
-        let id = self.next_id;
-        self.next_id += 1;
-        StateId(id)
     }
 
     /// Extracts a concrete input assignment satisfying the state's path.
@@ -324,13 +316,14 @@ impl Executor {
                     match (sat_t, sat_f) {
                         (true, true) => {
                             self.stats.forks += 1;
+                            let fall_id = state.next_fork_id();
                             let mut taken = state.clone();
                             taken.assume(c);
                             taken.pc = taken_pc;
                             let mut fall = state;
                             fall.assume(not_c);
                             fall.pc = pc.wrapping_add(4);
-                            fall.id = self.fresh_id();
+                            fall.id = fall_id;
                             return StepOutcome::Fork(vec![taken, fall]);
                         }
                         (true, false) => {
@@ -580,6 +573,8 @@ impl Executor {
                     }
                     if vals.len() > 1 {
                         self.stats.forks += vals.len() as u64 - 1;
+                        let extra_ids: Vec<StateId> =
+                            (1..vals.len()).map(|_| state.next_fork_id()).collect();
                         let mut successors = Vec::with_capacity(vals.len());
                         for (i, &v) in vals.iter().enumerate() {
                             let mut s2 = state.clone();
@@ -608,7 +603,7 @@ impl Executor {
                             } else {
                                 // Re-execute the store when scheduled.
                                 s2.pc = pc;
-                                s2.id = self.fresh_id();
+                                s2.id = extra_ids[i - 1];
                             }
                             successors.push(s2);
                         }
@@ -706,7 +701,7 @@ impl Executor {
     /// Fork helper with executor access and per-branch bug reporting.
     fn fork_on_values_with(
         &mut self,
-        state: SymState,
+        mut state: SymState,
         term: TermId,
         values: Vec<u64>,
         mut f: impl FnMut(&mut Self, &mut SymState, u64) -> Result<(), BugReport>,
@@ -734,12 +729,13 @@ impl Executor {
             };
         }
         self.stats.forks += values.len() as u64 - 1;
+        let extra_ids: Vec<StateId> = (1..values.len()).map(|_| state.next_fork_id()).collect();
         let mut successors = Vec::new();
         let mut first_bug = None;
         for (i, &v) in values.iter().enumerate() {
             let mut s = state.clone();
             if i > 0 {
-                s.id = self.fresh_id();
+                s.id = extra_ids[i - 1];
             }
             let w = self.pool.width(term);
             let cv = self.pool.constant(v, w);

@@ -51,6 +51,7 @@
 pub mod blast;
 pub mod exec;
 pub mod expr;
+pub mod portable;
 pub mod sat;
 pub mod solver;
 pub mod state;
@@ -60,6 +61,7 @@ pub use exec::{
     BugKind, BugReport, Concretization, ExecStats, Executor, NoSymMmio, StepOutcome, SymMmio,
 };
 pub use expr::{BinOp, Term, TermId, TermPool, UnOp};
+pub use portable::{PortableState, PortableTerm};
 pub use sat::{Lit, SatResult, SatSolver};
 pub use solver::{BvSolver, Model, QueryResult, SolverStats};
 pub use state::{StateId, SymMemory, SymState};

@@ -1,0 +1,402 @@
+//! Pool-independent symbolic states for cross-thread transfer.
+//!
+//! [`TermId`]s are indices into one executor's private [`TermPool`], so
+//! a [`SymState`] cannot cross a thread boundary on its own. A
+//! [`PortableState`] is the closure of a state's live terms (registers,
+//! memory overlay, path constraints) flattened into a self-contained
+//! vector with *local* child indices; importing it into another pool
+//! rebuilds the terms through the pool's smart constructors.
+//!
+//! The round trip is structure-preserving: every term in a pool was
+//! itself produced by the smart constructors, so it is a fixed point of
+//! them, and rebuilding structurally identical children yields
+//! structurally identical parents. Executor and solver behaviour depend
+//! only on term *structure* (never on raw [`TermId`] values), so a state
+//! behaves identically after transfer — the property the parallel
+//! engine's determinism guarantee rests on.
+
+use crate::expr::{BinOp, Term, TermId, TermPool, UnOp};
+use crate::state::{StateId, SymMemory, SymState};
+use hardsnap_bus::MemoryMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One flattened term node; child references are indices into the
+/// containing [`PortableState::terms`] vector (always smaller than the
+/// node's own index, i.e. the vector is topologically ordered).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PortableTerm {
+    /// Constant.
+    Const {
+        /// Value (normalized to the width).
+        value: u64,
+        /// Width in bits.
+        width: u32,
+    },
+    /// Free variable.
+    Var {
+        /// Unique name.
+        name: String,
+        /// Width in bits.
+        width: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand index.
+        a: u32,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand index.
+        a: u32,
+        /// Right operand index.
+        b: u32,
+    },
+    /// If-then-else.
+    Ite {
+        /// Condition index.
+        c: u32,
+        /// Then index.
+        t: u32,
+        /// Else index.
+        e: u32,
+    },
+    /// Bit extraction.
+    Extract {
+        /// Source index.
+        a: u32,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+    },
+    /// Concatenation.
+    Concat {
+        /// More-significant index.
+        hi: u32,
+        /// Less-significant index.
+        lo: u32,
+    },
+    /// Zero extension.
+    ZExt {
+        /// Source index.
+        a: u32,
+        /// Result width.
+        width: u32,
+    },
+}
+
+/// A [`SymState`] detached from its [`TermPool`]: safe to move between
+/// threads (the concrete memory base stays shared via `Arc`).
+#[derive(Clone, Debug)]
+pub struct PortableState {
+    /// State id.
+    pub id: StateId,
+    /// Register terms as indices into [`PortableState::terms`].
+    pub regs: [u32; 16],
+    /// Program counter.
+    pub pc: u32,
+    /// Saved PC for `iret`.
+    pub epc: u32,
+    /// Global interrupt enable.
+    pub irq_enabled: bool,
+    /// Servicing an interrupt.
+    pub in_isr: bool,
+    /// Executed `halt`.
+    pub halted: bool,
+    /// Shared concrete memory base image.
+    pub mem_base: Arc<Vec<u8>>,
+    /// Memory overlay as `(addr, term index)`, sorted by address.
+    pub overlay: Vec<(u32, u32)>,
+    /// Path constraints as term indices (in original order).
+    pub constraints: Vec<u32>,
+    /// Flattened term closure, topologically ordered.
+    pub terms: Vec<PortableTerm>,
+    /// Owned hardware snapshot id.
+    pub hw_snapshot: Option<u64>,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Console bytes.
+    pub console: Vec<u8>,
+    /// `sym` hypercall count.
+    pub sym_count: u32,
+    /// Last checkpoint hint.
+    pub last_checkpoint: Option<u16>,
+    /// Memory map.
+    pub map: MemoryMap,
+    /// Fork counter (see [`SymState::next_fork_id`]).
+    pub fork_nonce: u64,
+}
+
+impl PortableState {
+    /// Flattens `state` out of `pool` into a self-contained value.
+    pub fn export(pool: &TermPool, state: &SymState) -> PortableState {
+        let mut overlay: Vec<(u32, TermId)> = state.mem.overlay_entries().collect();
+        overlay.sort_unstable_by_key(|&(a, _)| a);
+
+        // Collect the reachable closure. TermIds are topologically
+        // ordered (children are interned before parents), so sorting the
+        // closure by TermId gives a valid emission order.
+        let mut seen: Vec<TermId> = Vec::new();
+        let mut on_stack: HashMap<TermId, ()> = HashMap::new();
+        let mut work: Vec<TermId> = Vec::new();
+        let roots = state
+            .regs
+            .iter()
+            .copied()
+            .chain(overlay.iter().map(|&(_, t)| t))
+            .chain(state.constraints.iter().copied());
+        for r in roots {
+            work.push(r);
+        }
+        while let Some(t) = work.pop() {
+            if on_stack.insert(t, ()).is_some() {
+                continue;
+            }
+            seen.push(t);
+            match *pool.term(t) {
+                Term::Const { .. } | Term::Var { .. } => {}
+                Term::Unary { a, .. } | Term::Extract { a, .. } | Term::ZExt { a, .. } => {
+                    work.push(a);
+                }
+                Term::Binary { a, b, .. } => {
+                    work.push(a);
+                    work.push(b);
+                }
+                Term::Ite { c, t, e } => {
+                    work.push(c);
+                    work.push(t);
+                    work.push(e);
+                }
+                Term::Concat { hi, lo } => {
+                    work.push(hi);
+                    work.push(lo);
+                }
+            }
+        }
+        seen.sort_unstable();
+
+        let mut local: HashMap<TermId, u32> = HashMap::with_capacity(seen.len());
+        for (i, &t) in seen.iter().enumerate() {
+            local.insert(t, i as u32);
+        }
+        let ix = |local: &HashMap<TermId, u32>, t: TermId| local[&t];
+        let terms: Vec<PortableTerm> = seen
+            .iter()
+            .map(|&t| match pool.term(t) {
+                Term::Const { value, width } => PortableTerm::Const {
+                    value: *value,
+                    width: *width,
+                },
+                Term::Var { name, width } => PortableTerm::Var {
+                    name: name.clone(),
+                    width: *width,
+                },
+                Term::Unary { op, a } => PortableTerm::Unary {
+                    op: *op,
+                    a: ix(&local, *a),
+                },
+                Term::Binary { op, a, b } => PortableTerm::Binary {
+                    op: *op,
+                    a: ix(&local, *a),
+                    b: ix(&local, *b),
+                },
+                Term::Ite { c, t, e } => PortableTerm::Ite {
+                    c: ix(&local, *c),
+                    t: ix(&local, *t),
+                    e: ix(&local, *e),
+                },
+                Term::Extract { a, hi, lo } => PortableTerm::Extract {
+                    a: ix(&local, *a),
+                    hi: *hi,
+                    lo: *lo,
+                },
+                Term::Concat { hi, lo } => PortableTerm::Concat {
+                    hi: ix(&local, *hi),
+                    lo: ix(&local, *lo),
+                },
+                Term::ZExt { a, width } => PortableTerm::ZExt {
+                    a: ix(&local, *a),
+                    width: *width,
+                },
+            })
+            .collect();
+
+        PortableState {
+            id: state.id,
+            regs: state.regs.map(|r| ix(&local, r)),
+            pc: state.pc,
+            epc: state.epc,
+            irq_enabled: state.irq_enabled,
+            in_isr: state.in_isr,
+            halted: state.halted,
+            mem_base: state.mem.base_image(),
+            overlay: overlay
+                .into_iter()
+                .map(|(a, t)| (a, ix(&local, t)))
+                .collect(),
+            constraints: state.constraints.iter().map(|&t| ix(&local, t)).collect(),
+            terms,
+            hw_snapshot: state.hw_snapshot,
+            instret: state.instret,
+            console: state.console.clone(),
+            sym_count: state.sym_count,
+            last_checkpoint: state.last_checkpoint,
+            map: state.map.clone(),
+            fork_nonce: state.fork_nonce,
+        }
+    }
+
+    /// Rebuilds the state inside `pool` (typically another executor's).
+    pub fn import(&self, pool: &mut TermPool) -> SymState {
+        let mut ids: Vec<TermId> = Vec::with_capacity(self.terms.len());
+        for t in &self.terms {
+            let id = match t {
+                PortableTerm::Const { value, width } => pool.constant(*value, *width),
+                PortableTerm::Var { name, width } => pool.var(name, *width),
+                PortableTerm::Unary { op, a } => pool.unary(*op, ids[*a as usize]),
+                PortableTerm::Binary { op, a, b } => {
+                    pool.binary(*op, ids[*a as usize], ids[*b as usize])
+                }
+                PortableTerm::Ite { c, t, e } => {
+                    pool.ite(ids[*c as usize], ids[*t as usize], ids[*e as usize])
+                }
+                PortableTerm::Extract { a, hi, lo } => pool.extract(ids[*a as usize], *hi, *lo),
+                PortableTerm::Concat { hi, lo } => {
+                    pool.concat(ids[*hi as usize], ids[*lo as usize])
+                }
+                PortableTerm::ZExt { a, width } => pool.zext(ids[*a as usize], *width),
+            };
+            ids.push(id);
+        }
+        let mut mem = SymMemory::new(self.mem_base.clone());
+        for &(addr, t) in &self.overlay {
+            mem.store8(addr, ids[t as usize]);
+        }
+        SymState {
+            id: self.id,
+            regs: self.regs.map(|r| ids[r as usize]),
+            pc: self.pc,
+            epc: self.epc,
+            irq_enabled: self.irq_enabled,
+            in_isr: self.in_isr,
+            halted: self.halted,
+            mem,
+            constraints: self.constraints.iter().map(|&t| ids[t as usize]).collect(),
+            hw_snapshot: self.hw_snapshot,
+            instret: self.instret,
+            console: self.console.clone(),
+            sym_count: self.sym_count,
+            last_checkpoint: self.last_checkpoint,
+            map: self.map.clone(),
+            fork_nonce: self.fork_nonce,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Concretization, Executor, NoSymMmio, StepOutcome};
+    use hardsnap_isa::assemble;
+
+    #[test]
+    fn roundtrip_preserves_scalars_and_term_structure() {
+        let mut pool = TermPool::new();
+        let mut s = SymState::initial(&mut pool, Arc::new(vec![0u8; 64]), 0x100);
+        let x = pool.var("x", 32);
+        let five = pool.constant(5, 32);
+        let sum = pool.binary(BinOp::Add, x, five);
+        s.set_reg(1, sum);
+        let b = pool.extract(sum, 7, 0);
+        s.mem.store8(3, b);
+        let zero = pool.constant(0, 32);
+        let c = pool.binary(BinOp::Eq, sum, zero);
+        s.assume(c);
+        s.pc = 0x104;
+        s.sym_count = 2;
+        s.fork_nonce = 7;
+
+        let p = PortableState::export(&pool, &s);
+        let mut pool2 = TermPool::new();
+        let s2 = p.import(&mut pool2);
+
+        assert_eq!(s2.id, s.id);
+        assert_eq!(s2.pc, 0x104);
+        assert_eq!(s2.sym_count, 2);
+        assert_eq!(s2.fork_nonce, 7);
+        assert_eq!(s2.constraints.len(), 1);
+        // Same structure: evaluating under the same environment agrees.
+        let mut env = HashMap::new();
+        env.insert("x".to_string(), 37u64);
+        assert_eq!(pool2.eval(s2.reg(1), &env), pool.eval(s.reg(1), &env));
+        let m = s2.mem.load8(&mut pool2, 3);
+        let m0 = s.mem.load8(&mut pool, 3);
+        assert_eq!(pool2.eval(m, &env), pool.eval(m0, &env));
+        assert_eq!(pool2.eval(s2.constraints[0], &env), 0);
+    }
+
+    #[test]
+    fn import_into_populated_pool_is_structure_preserving() {
+        // Exporting and re-importing into the *same* pool must map every
+        // term back to itself (fixed point of the smart constructors).
+        let mut pool = TermPool::new();
+        let mut s = SymState::initial(&mut pool, Arc::new(vec![0u8; 16]), 0x100);
+        let x = pool.var("x", 32);
+        let y = pool.var("y", 32);
+        let m = pool.binary(BinOp::Mul, x, y);
+        let lo = pool.extract(m, 15, 0);
+        let z = pool.zext(lo, 32);
+        s.set_reg(2, z);
+        let t = pool.binary(BinOp::Ult, z, x);
+        s.assume(t);
+        let p = PortableState::export(&pool, &s);
+        let s2 = p.import(&mut pool);
+        assert_eq!(s2.reg(2), s.reg(2));
+        assert_eq!(s2.constraints, s.constraints);
+    }
+
+    #[test]
+    fn executed_state_transfers_and_keeps_solving_identically() {
+        let prog = assemble(
+            r#"
+            .org 0x100
+            entry:
+                sym r1, #0
+                movi r2, #42
+                beq r1, r2, hit
+                halt
+            hit:
+                halt
+            "#,
+        )
+        .unwrap();
+        let mut ex = Executor::new(Concretization::Minimal);
+        let mut s = ex.initial_state(prog.image.clone(), prog.entry);
+        let mut hw = NoSymMmio;
+        // Step to the fork.
+        let forked = loop {
+            match ex.step(s, &mut hw) {
+                StepOutcome::ContinueWith(n) => s = n,
+                StepOutcome::Fork(ss) => break ss,
+                other => panic!("{other:?}"),
+            }
+        };
+        // Transfer the taken path to a second executor and solve there.
+        let taken = &forked[0];
+        let p = PortableState::export(&ex.pool, taken);
+        let mut ex2 = Executor::new(Concretization::Minimal);
+        let t2 = p.import(&mut ex2.pool);
+        let model = ex2.testcase(&t2).expect("path is feasible");
+        let (_, v) = model.iter().next().expect("one input");
+        assert_eq!(v, 42);
+        // The original executor agrees.
+        let m0 = ex.testcase(taken).expect("feasible");
+        let (_, v0) = m0.iter().next().unwrap();
+        assert_eq!(v0, 42);
+    }
+}

@@ -34,6 +34,16 @@ impl SymMemory {
         self.base.len() as u32
     }
 
+    /// The shared concrete base image (cheap `Arc` handle).
+    pub fn base_image(&self) -> Arc<Vec<u8>> {
+        self.base.clone()
+    }
+
+    /// Iterates the overlay (written) bytes in unspecified order.
+    pub fn overlay_entries(&self) -> impl Iterator<Item = (u32, TermId)> + '_ {
+        self.overlay.iter().map(|(&a, &t)| (a, t))
+    }
+
     /// Number of overlay (written) bytes — a cheap state-size metric.
     pub fn overlay_len(&self) -> usize {
         self.overlay.len()
@@ -110,6 +120,10 @@ pub struct SymState {
     pub last_checkpoint: Option<u16>,
     /// Memory map (RAM/MMIO routing).
     pub map: MemoryMap,
+    /// Per-state fork counter feeding [`SymState::next_fork_id`]. It
+    /// evolves only with this state's own execution history, so the ids
+    /// it derives are independent of scheduling order or worker count.
+    pub fork_nonce: u64,
 }
 
 impl SymState {
@@ -133,7 +147,27 @@ impl SymState {
             sym_count: 0,
             last_checkpoint: None,
             map: MemoryMap::default_soc(),
+            fork_nonce: 0,
         }
+    }
+
+    /// Derives the id for the next forked successor of this state.
+    ///
+    /// The id is a splitmix64-style mix of the parent id and a per-state
+    /// fork counter, so it is a pure function of the path that produced
+    /// the fork — never of executor instance, scheduling order, or
+    /// worker count. Call this *before* cloning the parent so every
+    /// successor (including the one that keeps the parent id) observes
+    /// the advanced counter and future forks cannot collide.
+    pub fn next_fork_id(&mut self) -> StateId {
+        self.fork_nonce += 1;
+        let mut z = self
+            .id
+            .0
+            .wrapping_add(self.fork_nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StateId(z ^ (z >> 31))
     }
 
     /// Reads a register term (`r0` is the zero constant).

@@ -75,6 +75,93 @@ fn unpoison<G>(r: LockResult<G>) -> G {
     r.unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// A fixed array of independently locked shards, selected by key.
+///
+/// Contention on one hot structure (e.g. the snapshot store under N
+/// analysis workers) is split across `shards()` locks; operations that
+/// touch a single key lock only that key's shard. Callers must never
+/// hold two shard guards at once (lock-order freedom is what makes the
+/// sharding deadlock-free).
+#[derive(Debug)]
+pub struct ShardedRwLock<T> {
+    shards: Vec<RwLock<T>>,
+}
+
+impl<T: Default> ShardedRwLock<T> {
+    /// Creates `n` default-initialized shards (`n` is clamped to ≥ 1).
+    pub fn new(n: usize) -> Self {
+        ShardedRwLock {
+            shards: (0..n.max(1)).map(|_| RwLock::default()).collect(),
+        }
+    }
+}
+
+impl<T> ShardedRwLock<T> {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `key` (stable mapping: `key % shards`).
+    pub fn shard_for(&self, key: u64) -> &RwLock<T> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Iterates all shards (for whole-structure scans; lock one at a
+    /// time).
+    pub fn iter(&self) -> impl Iterator<Item = &RwLock<T>> {
+        self.shards.iter()
+    }
+}
+
+/// A lock-free running total with a high-water mark (byte accounting
+/// for the sharded snapshot store).
+#[derive(Debug, Default)]
+pub struct WatermarkCounter {
+    current: sync::atomic::AtomicUsize,
+    peak: sync::atomic::AtomicUsize,
+}
+
+impl WatermarkCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        WatermarkCounter::default()
+    }
+
+    /// Adds `n`, updating the high-water mark.
+    pub fn add(&self, n: usize) {
+        use sync::atomic::Ordering::Relaxed;
+        let v = self.current.fetch_add(n, Relaxed) + n;
+        self.peak.fetch_max(v, Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    pub fn sub(&self, n: usize) {
+        use sync::atomic::Ordering::Relaxed;
+        let mut cur = self.current.load(Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .current
+                .compare_exchange_weak(cur, next, Relaxed, Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current total.
+    pub fn current(&self) -> usize {
+        self.current.load(sync::atomic::Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`WatermarkCounter::current`].
+    pub fn peak(&self) -> usize {
+        self.peak.load(sync::atomic::Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +192,35 @@ mod tests {
         }
         l.write().push(4);
         assert_eq!(*l.read(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sharded_lock_routes_keys_stably() {
+        let l: ShardedRwLock<Vec<u64>> = ShardedRwLock::new(4);
+        assert_eq!(l.shards(), 4);
+        for k in 0..100u64 {
+            l.shard_for(k).write().push(k);
+        }
+        // Same key always maps to the same shard.
+        assert!(l.shard_for(7).read().contains(&7));
+        let total: usize = l.iter().map(|s| s.read().len()).sum();
+        assert_eq!(total, 100);
+        // Zero shard count is clamped rather than panicking.
+        let one: ShardedRwLock<u32> = ShardedRwLock::new(0);
+        assert_eq!(one.shards(), 1);
+    }
+
+    #[test]
+    fn watermark_counter_tracks_peak_and_saturates() {
+        let c = WatermarkCounter::new();
+        c.add(100);
+        c.add(50);
+        c.sub(120);
+        assert_eq!(c.current(), 30);
+        assert_eq!(c.peak(), 150);
+        c.sub(1000);
+        assert_eq!(c.current(), 0, "saturating at zero");
+        assert_eq!(c.peak(), 150);
     }
 
     #[test]

@@ -128,6 +128,7 @@ fn scoped_instrumentation_limits_the_chain() {
         &ScanOptions {
             scope: Some("u_timer.".into()),
             skip_memories: false,
+            ..ScanOptions::default()
         },
     )
     .unwrap();
@@ -205,6 +206,7 @@ fn skip_memories_option_excludes_collars() {
         &ScanOptions {
             scope: None,
             skip_memories: true,
+            ..ScanOptions::default()
         },
     )
     .unwrap();

@@ -33,6 +33,7 @@ fn arb_chain(rng: &mut Rng) -> (ChainMap, Vec<u64>) {
         ChainMap {
             segments,
             mems: vec![],
+            ..ChainMap::default()
         },
         values,
     )
