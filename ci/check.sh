@@ -20,4 +20,11 @@ echo "==> 2-worker analysis-speed smoke run"
 cargo run -q --release --offline -p hardsnap-bench --bin exp_analysis_speed -- \
     --workers 1,2 --json target/BENCH_analysis_speed.smoke.json
 
+echo "==> chaos gate: 2-worker smoke under a 10% fault rate"
+# exp_fault_recovery asserts internally that every faulted point's
+# canonical digest is bit-identical to the fault-free run and that the
+# zero-budget hang plan quarantines at least one replica.
+cargo run -q --release --offline -p hardsnap-bench --bin exp_fault_recovery -- \
+    --smoke --json target/BENCH_fault_recovery.smoke.json
+
 echo "==> OK"

@@ -5,6 +5,7 @@
 //! hardsnap-cli instrument <design.v> [--top NAME] [--scope PREFIX] -o <out.v>
 //! hardsnap-cli sim <design.v> [--top NAME] --cycles N [--vcd out.vcd]
 //! hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
+//!                      [--fault-rate R [--fault-seed N]]
 //! hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
 //! hardsnap-cli soc-stats
 //! ```
@@ -14,7 +15,7 @@
 //! any Verilog file in the supported subset.
 
 use hardsnap::{ConsistencyMode, Engine, EngineConfig, Searcher};
-use hardsnap_bus::HwTarget;
+use hardsnap_bus::{FaultPlan, FaultyTarget, HwTarget};
 use hardsnap_fpga::{FpgaOptions, FpgaTarget};
 use hardsnap_fuzz::{FuzzConfig, Fuzzer, ResetStrategy};
 use hardsnap_scan::{instrument, ScanOptions};
@@ -200,6 +201,20 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         "shared" => ConsistencyMode::NaiveInconsistent,
         other => return Err(format!("unknown mode '{other}'").into()),
     };
+    // --fault-rate injects deterministic link faults (seeded by
+    // --fault-seed) between the engine and the target; recovery stats
+    // land in the summary below.
+    let target: Box<dyn HwTarget> = match flag(&flags, "fault-rate") {
+        Some(r) => {
+            let rate: f64 = r.parse().map_err(|_| format!("bad --fault-rate '{r}'"))?;
+            let seed: u64 = match flag(&flags, "fault-seed") {
+                Some(s) => s.parse().map_err(|_| format!("bad --fault-seed '{s}'"))?,
+                None => 1,
+            };
+            Box::new(FaultyTarget::new(target, FaultPlan::uniform(seed, rate)))
+        }
+        None => target,
+    };
     let mut engine = Engine::new(
         target,
         EngineConfig {
@@ -215,6 +230,16 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     println!("context switches: {}", result.metrics.context_switches);
     println!("hw virtual time : {} us", result.hw_virtual_time_ns / 1000);
     println!("solver queries  : {}", engine.executor.solver.stats.queries);
+    println!(
+        "faults          : injected {} / retried {} / recovered {} / quarantined {}",
+        result.faults.injected,
+        result.faults.retried,
+        result.faults.recovered,
+        result.faults.quarantined
+    );
+    for entry in &result.fault_log {
+        println!("  fault: {entry}");
+    }
     println!("bugs            : {}", result.bugs.len());
     for b in &result.bugs {
         println!(

@@ -1,0 +1,727 @@
+//! Deterministic fault injection for hardware targets.
+//!
+//! The real HardSnap drives its FPGA over a physical USB3/JTAG link
+//! (paper §III-B) where handshake timeouts, dropped scan bits and board
+//! hangs are routine. [`FaultyTarget`] models that unreliable transport:
+//! it wraps any [`HwTarget`] and injects faults drawn from a seeded PRNG
+//! ([`hardsnap_util::rng`]) according to a [`FaultPlan`], so a faulted
+//! run replays bit-exactly from its seed. The supervision layer in
+//! `hardsnap-core` is tested against this decorator: recovery must make
+//! the analysis result identical to the fault-free run.
+//!
+//! Fault taxonomy (each class has its own rate):
+//!
+//! * **Bus timeouts** — an AXI read/write fails with
+//!   [`BusError::Timeout`] *before* reaching the design, so a retry of
+//!   the same transaction observes the same device state (important for
+//!   non-idempotent registers such as FIFO ports).
+//! * **Scan-chain bit flips** — a capture succeeds but one register
+//!   image carries a bit above its declared width, exactly what a
+//!   dropped/duplicated scan cell produces. Detectable via
+//!   [`HwSnapshot::validate`].
+//! * **Truncated captures** — trailing registers fall off the image
+//!   (a scan-out cut short). Detectable by comparing
+//!   [`HwSnapshot::shape_hash`] against the target's own
+//!   [`HwTarget::snapshot_shape`].
+//! * **Restore-link timeouts** — a restore fails before any state is
+//!   written; restores are idempotent, so retrying is always safe.
+//! * **Hangs** — the target wedges: every fallible operation fails with
+//!   [`BusError::NotReady`] until [`HwTarget::reset`] is called.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hardsnap_util::rng::{splitmix64, Rng};
+
+use crate::{BusError, HwSnapshot, HwTarget, TargetCaps, TargetError};
+
+/// Modeled extra link latency charged (in virtual nanoseconds) for each
+/// injected fault: the cost of the failed handshake itself, before any
+/// supervisor backoff.
+const FAULT_LINK_NS: u64 = 2_000;
+
+/// Cycle budget reported in injected [`BusError::Timeout`]s, mirroring
+/// the watchdog budget honest targets report.
+const TIMEOUT_CYCLES: u64 = 256;
+
+/// One class of injected fault, recorded in schedule order so tests can
+/// assert two same-seed runs drew the identical schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An AXI handshake timeout injected before the transaction.
+    BusTimeout,
+    /// A captured register image gained a bit above its width.
+    ScanBitFlip,
+    /// A captured image lost trailing registers/memories.
+    TruncatedCapture,
+    /// A restore failed on the link before writing any state.
+    RestoreTimeout,
+    /// The target wedged until the next reset.
+    Hang,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::BusTimeout => "bus-timeout",
+            FaultKind::ScanBitFlip => "scan-bit-flip",
+            FaultKind::TruncatedCapture => "truncated-capture",
+            FaultKind::RestoreTimeout => "restore-timeout",
+            FaultKind::Hang => "hang",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A replayable fault schedule: per-class probabilities plus the PRNG
+/// seed every draw derives from. Two targets configured with equal
+/// plans inject the identical fault sequence for the identical
+/// operation sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault PRNG; forked replicas derive their own seeds
+    /// from this one (see [`FaultyTarget`]'s `fork_clean`).
+    pub seed: u64,
+    /// Probability an AXI read/write times out.
+    pub bus_fault_rate: f64,
+    /// Probability a capture suffers a scan-chain bit flip.
+    pub scan_fault_rate: f64,
+    /// Probability a capture comes back truncated.
+    pub snapshot_fault_rate: f64,
+    /// Probability a restore times out on the link.
+    pub restore_fault_rate: f64,
+    /// Probability any fallible operation wedges the whole target
+    /// (cleared only by reset). Checked before the per-class rates.
+    pub hang_rate: f64,
+    /// When a fault fires, up to `max_burst - 1` immediately following
+    /// fallible operations also fail (correlated link glitches). `0`
+    /// and `1` both mean single isolated faults.
+    pub max_burst: u32,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the honest transport).
+    pub fn off() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            bus_fault_rate: 0.0,
+            scan_fault_rate: 0.0,
+            snapshot_fault_rate: 0.0,
+            restore_fault_rate: 0.0,
+            hang_rate: 0.0,
+            max_burst: 0,
+        }
+    }
+
+    /// A plan injecting every recoverable class at probability `rate`,
+    /// with occasional hangs at `rate / 20` and short bursts — the
+    /// configuration the chaos tests sweep.
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            bus_fault_rate: rate,
+            scan_fault_rate: rate,
+            snapshot_fault_rate: rate,
+            restore_fault_rate: rate,
+            hang_rate: rate / 20.0,
+            max_burst: 2,
+        }
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.bus_fault_rate > 0.0
+            || self.scan_fault_rate > 0.0
+            || self.snapshot_fault_rate > 0.0
+            || self.restore_fault_rate > 0.0
+            || self.hang_rate > 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::off()
+    }
+}
+
+/// Counters of injected faults by class (what the injector *did*, as
+/// opposed to what the supervisor recovered).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Injected bus handshake timeouts.
+    pub bus_timeouts: u64,
+    /// Injected scan-chain bit flips.
+    pub scan_flips: u64,
+    /// Injected truncated captures.
+    pub truncations: u64,
+    /// Injected restore-link timeouts.
+    pub restore_timeouts: u64,
+    /// Injected hangs (each wedges the target until reset).
+    pub hangs: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults across all classes.
+    pub fn injected(&self) -> u64 {
+        self.bus_timeouts + self.scan_flips + self.truncations + self.restore_timeouts + self.hangs
+    }
+
+    /// Component-wise sum (for aggregating across replicas).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.bus_timeouts += other.bus_timeouts;
+        self.scan_flips += other.scan_flips;
+        self.truncations += other.truncations;
+        self.restore_timeouts += other.restore_timeouts;
+        self.hangs += other.hangs;
+    }
+}
+
+/// Outcome of one fault draw.
+enum Drawn {
+    /// No fault; perform the operation honestly.
+    Clean,
+    /// Inject a fault of the operation's class.
+    Fault,
+    /// The target is (or just became) wedged.
+    Hung,
+}
+
+/// An [`HwTarget`] decorator injecting a deterministic, seed-driven
+/// fault schedule into every fallible operation of the wrapped target.
+///
+/// Faults never change the *semantics* visible after recovery: bus and
+/// restore faults fire before the operation reaches the design, capture
+/// corruption damages only the returned image (the design state is
+/// untouched, so a re-capture yields the honest image), and a hang is
+/// cleared by [`HwTarget::reset`]. That property is what allows the
+/// supervision layer to recover transparently and is checked by the
+/// fault-determinism test suites.
+pub struct FaultyTarget<T: HwTarget> {
+    inner: T,
+    label: String,
+    plan: FaultPlan,
+    rng: Rng,
+    hung: bool,
+    pending_burst: u32,
+    extra_ns: u64,
+    stats: FaultStats,
+    schedule: Vec<FaultKind>,
+    forks: AtomicU64,
+}
+
+impl<T: HwTarget> FaultyTarget<T> {
+    /// Wraps `inner` with the fault schedule described by `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> FaultyTarget<T> {
+        let label = format!("{}+faults", inner.name());
+        FaultyTarget {
+            rng: Rng::seed_from_u64(plan.seed),
+            inner,
+            label,
+            plan,
+            hung: false,
+            pending_burst: 0,
+            extra_ns: 0,
+            stats: FaultStats::default(),
+            schedule: Vec::new(),
+            forks: AtomicU64::new(0),
+        }
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injected-fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The injected faults in schedule order (for determinism tests).
+    pub fn schedule(&self) -> &[FaultKind] {
+        &self.schedule
+    }
+
+    /// Whether the target is currently wedged (cleared by reset).
+    pub fn is_hung(&self) -> bool {
+        self.hung
+    }
+
+    /// Unwraps the decorator, discarding the fault state.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Shared read access to the wrapped target.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Draws the fate of the next fallible operation of a class with
+    /// probability `rate`. Order matters and is fixed: wedged targets
+    /// fail unconditionally, then burst continuations, then a fresh
+    /// hang draw, then the per-class draw.
+    fn draw(&mut self, rate: f64) -> Drawn {
+        if self.hung {
+            return Drawn::Hung;
+        }
+        if self.pending_burst > 0 {
+            self.pending_burst -= 1;
+            return Drawn::Fault;
+        }
+        if self.plan.hang_rate > 0.0 && self.rng.gen_bool(self.plan.hang_rate) {
+            self.hung = true;
+            self.stats.hangs += 1;
+            self.schedule.push(FaultKind::Hang);
+            return Drawn::Hung;
+        }
+        if rate > 0.0 && self.rng.gen_bool(rate) {
+            if self.plan.max_burst > 1 {
+                self.pending_burst = self.rng.gen_range(0..self.plan.max_burst);
+            }
+            return Drawn::Fault;
+        }
+        Drawn::Clean
+    }
+
+    /// Records an injected fault: schedule entry, class counter (via
+    /// `count`), and the modeled link latency of the failed handshake.
+    fn record(&mut self, kind: FaultKind, count: impl FnOnce(&mut FaultStats)) {
+        count(&mut self.stats);
+        self.schedule.push(kind);
+        self.extra_ns += FAULT_LINK_NS;
+    }
+}
+
+/// Damages a captured image the way a dropped scan cell does: one
+/// register with spare headroom gains a bit just above its width. Falls
+/// back to truncation when every register is already 64 bits wide.
+fn flip_scan_bit(snap: &mut HwSnapshot, rng: &mut Rng) {
+    let candidates: Vec<usize> = snap
+        .regs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.width < 64)
+        .map(|(i, _)| i)
+        .collect();
+    if let Some(&i) = rng.choose(&candidates) {
+        let r = &mut snap.regs[i];
+        r.bits |= 1 << r.width;
+    } else {
+        truncate_capture(snap, rng);
+    }
+}
+
+/// Damages a captured image the way a scan-out cut short does: trailing
+/// registers (or the last memory) disappear. An empty image gets its
+/// design label damaged instead — still a shape mismatch.
+fn truncate_capture(snap: &mut HwSnapshot, rng: &mut Rng) {
+    if !snap.regs.is_empty() {
+        let keep = rng.gen_range(0..snap.regs.len());
+        snap.regs.truncate(keep);
+    } else if !snap.mems.is_empty() {
+        snap.mems.pop();
+    } else {
+        snap.design.push('?');
+    }
+}
+
+impl<T: HwTarget> HwTarget for FaultyTarget<T> {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn caps(&self) -> TargetCaps {
+        self.inner.caps()
+    }
+
+    fn design_name(&self) -> &str {
+        self.inner.design_name()
+    }
+
+    fn reset(&mut self) {
+        // A reset un-wedges the link and clears any burst in progress;
+        // the PRNG keeps its position so the schedule stays a pure
+        // function of (seed, operation sequence).
+        self.hung = false;
+        self.pending_burst = 0;
+        self.inner.reset();
+    }
+
+    fn step(&mut self, cycles: u64) {
+        self.inner.step(cycles);
+    }
+
+    fn cycle(&self) -> u64 {
+        self.inner.cycle()
+    }
+
+    fn bus_read(&mut self, addr: u32) -> Result<u32, BusError> {
+        match self.draw(self.plan.bus_fault_rate) {
+            Drawn::Hung => Err(BusError::NotReady),
+            Drawn::Fault => {
+                self.record(FaultKind::BusTimeout, |s| s.bus_timeouts += 1);
+                Err(BusError::Timeout {
+                    addr,
+                    cycles: TIMEOUT_CYCLES,
+                })
+            }
+            Drawn::Clean => self.inner.bus_read(addr),
+        }
+    }
+
+    fn bus_write(&mut self, addr: u32, data: u32) -> Result<(), BusError> {
+        match self.draw(self.plan.bus_fault_rate) {
+            Drawn::Hung => Err(BusError::NotReady),
+            Drawn::Fault => {
+                self.record(FaultKind::BusTimeout, |s| s.bus_timeouts += 1);
+                Err(BusError::Timeout {
+                    addr,
+                    cycles: TIMEOUT_CYCLES,
+                })
+            }
+            Drawn::Clean => self.inner.bus_write(addr, data),
+        }
+    }
+
+    fn irq_lines(&mut self) -> u32 {
+        self.inner.irq_lines()
+    }
+
+    fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
+        // Draw both capture corruptions up front so the schedule is a
+        // fixed function of the draw sequence, then capture honestly
+        // and damage only the returned image: the design state is
+        // untouched and a re-capture observes the honest bits.
+        let flip = match self.draw(self.plan.scan_fault_rate) {
+            Drawn::Hung => return Err(TargetError::Bus(BusError::NotReady)),
+            Drawn::Fault => true,
+            Drawn::Clean => false,
+        };
+        let truncate = match self.draw(self.plan.snapshot_fault_rate) {
+            Drawn::Hung => return Err(TargetError::Bus(BusError::NotReady)),
+            Drawn::Fault => true,
+            Drawn::Clean => false,
+        };
+        let mut snap = self.inner.save_snapshot()?;
+        if flip {
+            self.record(FaultKind::ScanBitFlip, |s| s.scan_flips += 1);
+            flip_scan_bit(&mut snap, &mut self.rng);
+        }
+        if truncate {
+            self.record(FaultKind::TruncatedCapture, |s| s.truncations += 1);
+            truncate_capture(&mut snap, &mut self.rng);
+        }
+        Ok(snap)
+    }
+
+    fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
+        match self.draw(self.plan.restore_fault_rate) {
+            Drawn::Hung => Err(TargetError::Bus(BusError::NotReady)),
+            Drawn::Fault => {
+                self.record(FaultKind::RestoreTimeout, |s| s.restore_timeouts += 1);
+                Err(TargetError::Bus(BusError::Timeout {
+                    addr: 0,
+                    cycles: TIMEOUT_CYCLES,
+                }))
+            }
+            Drawn::Clean => self.inner.restore_snapshot(snap),
+        }
+    }
+
+    fn virtual_time_ns(&self) -> u64 {
+        self.inner.virtual_time_ns() + self.extra_ns
+    }
+
+    fn fork_clean(&self) -> Result<Box<dyn HwTarget>, TargetError> {
+        let inner = self.inner.fork_clean()?;
+        // Derive a distinct but reproducible seed per fork: the n-th
+        // fork of a given plan always gets the same stream.
+        let n = self.forks.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.plan.seed ^ (n.wrapping_add(1).wrapping_mul(0xa076_1d64_78bd_642f));
+        let plan = FaultPlan {
+            seed: splitmix64(&mut s),
+            ..self.plan
+        };
+        Ok(Box::new(FaultyTarget::new(inner, plan)))
+    }
+
+    fn snapshot_shape(&self) -> u64 {
+        self.inner.snapshot_shape()
+    }
+
+    fn fault_stats(&self) -> Option<FaultStats> {
+        let mut total = self.stats;
+        if let Some(inner) = self.inner.fault_stats() {
+            total.merge(&inner);
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegImage;
+
+    /// Honest in-memory target: bus ops always succeed, snapshots carry
+    /// two registers, and the shape hash is self-computed.
+    struct Honest {
+        reg: u64,
+        cycle: u64,
+        resets: u64,
+    }
+
+    impl Honest {
+        fn new() -> Honest {
+            Honest {
+                reg: 0,
+                cycle: 0,
+                resets: 0,
+            }
+        }
+        fn image(&self) -> HwSnapshot {
+            HwSnapshot {
+                design: "honest".into(),
+                cycle: self.cycle,
+                regs: vec![
+                    RegImage {
+                        name: "a".into(),
+                        width: 8,
+                        bits: self.reg & 0xff,
+                    },
+                    RegImage {
+                        name: "b".into(),
+                        width: 16,
+                        bits: (self.reg >> 8) & 0xffff,
+                    },
+                ],
+                mems: vec![],
+            }
+        }
+    }
+
+    impl HwTarget for Honest {
+        fn name(&self) -> &str {
+            "honest"
+        }
+        fn caps(&self) -> TargetCaps {
+            TargetCaps {
+                kind: crate::TargetKind::Simulator,
+                full_visibility: true,
+                readback: false,
+                clock_hz: 1_000_000,
+            }
+        }
+        fn design_name(&self) -> &str {
+            "honest"
+        }
+        fn reset(&mut self) {
+            self.reg = 0;
+            self.cycle = 0;
+            self.resets += 1;
+        }
+        fn step(&mut self, cycles: u64) {
+            self.cycle += cycles;
+        }
+        fn cycle(&self) -> u64 {
+            self.cycle
+        }
+        fn bus_read(&mut self, addr: u32) -> Result<u32, BusError> {
+            Ok(addr ^ self.reg as u32)
+        }
+        fn bus_write(&mut self, _addr: u32, data: u32) -> Result<(), BusError> {
+            self.reg = data as u64;
+            Ok(())
+        }
+        fn irq_lines(&mut self) -> u32 {
+            0
+        }
+        fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
+            Ok(self.image())
+        }
+        fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
+            self.reg = snap.reg("a").unwrap_or(0) | (snap.reg("b").unwrap_or(0) << 8);
+            Ok(())
+        }
+        fn virtual_time_ns(&self) -> u64 {
+            self.cycle * 1000
+        }
+        fn fork_clean(&self) -> Result<Box<dyn HwTarget>, TargetError> {
+            Ok(Box::new(Honest::new()))
+        }
+        fn snapshot_shape(&self) -> u64 {
+            self.image().shape_hash()
+        }
+    }
+
+    fn drive(t: &mut dyn HwTarget, ops: u32) -> Vec<bool> {
+        // A fixed op sequence; returns the per-op success pattern.
+        let mut pattern = Vec::new();
+        for i in 0..ops {
+            match i % 4 {
+                0 => pattern.push(t.bus_read(0x4000_0000 + i).is_ok()),
+                1 => pattern.push(t.bus_write(0x4000_0000 + i, i).is_ok()),
+                2 => pattern.push(t.save_snapshot().is_ok_and(|s| s.validate().is_ok())),
+                _ => {
+                    let s = HwSnapshot {
+                        design: "honest".into(),
+                        cycle: 0,
+                        regs: vec![
+                            RegImage {
+                                name: "a".into(),
+                                width: 8,
+                                bits: 1,
+                            },
+                            RegImage {
+                                name: "b".into(),
+                                width: 16,
+                                bits: 2,
+                            },
+                        ],
+                        mems: vec![],
+                    };
+                    pattern.push(t.restore_snapshot(&s).is_ok());
+                }
+            }
+            if !pattern.last().copied().unwrap_or(true) {
+                t.reset(); // clear hangs so the sequence continues
+            }
+        }
+        pattern
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultyTarget::new(Honest::new(), FaultPlan::uniform(42, 0.2));
+        let mut b = FaultyTarget::new(Honest::new(), FaultPlan::uniform(42, 0.2));
+        let pa = drive(&mut a, 200);
+        let pb = drive(&mut b, 200);
+        assert_eq!(pa, pb);
+        assert_eq!(a.schedule(), b.schedule());
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().injected() > 0, "a 20% plan must inject something");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultyTarget::new(Honest::new(), FaultPlan::uniform(1, 0.2));
+        let mut b = FaultyTarget::new(Honest::new(), FaultPlan::uniform(2, 0.2));
+        let pa = drive(&mut a, 300);
+        let pb = drive(&mut b, 300);
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn off_plan_is_transparent() {
+        let mut t = FaultyTarget::new(Honest::new(), FaultPlan::off());
+        let pattern = drive(&mut t, 100);
+        assert!(pattern.iter().all(|&ok| ok));
+        assert_eq!(t.stats().injected(), 0);
+        assert!(t.schedule().is_empty());
+        assert!(!FaultPlan::off().is_active());
+        assert!(FaultPlan::uniform(0, 0.1).is_active());
+    }
+
+    #[test]
+    fn hang_wedges_until_reset() {
+        let plan = FaultPlan {
+            hang_rate: 1.0,
+            ..FaultPlan::off()
+        };
+        let mut t = FaultyTarget::new(Honest::new(), plan);
+        assert_eq!(t.bus_read(0), Err(BusError::NotReady));
+        assert!(t.is_hung());
+        // Everything fallible fails while wedged.
+        assert_eq!(t.bus_write(0, 1), Err(BusError::NotReady));
+        assert!(t.save_snapshot().is_err());
+        assert_eq!(t.stats().hangs, 1, "a wedged target draws no new hangs");
+        t.reset();
+        assert!(!t.is_hung());
+        assert_eq!(t.inner().resets, 1);
+        // Immediately wedges again (rate 1.0), proving reset cleared it.
+        assert_eq!(t.bus_read(0), Err(BusError::NotReady));
+        assert_eq!(t.stats().hangs, 2);
+    }
+
+    #[test]
+    fn capture_corruption_is_detectable_and_recapturable() {
+        let plan = FaultPlan {
+            scan_fault_rate: 1.0,
+            ..FaultPlan::off()
+        };
+        let mut t = FaultyTarget::new(Honest::new(), plan);
+        let shape = t.snapshot_shape();
+        let corrupt = t.save_snapshot().unwrap();
+        assert!(
+            corrupt.validate().is_err() || corrupt.shape_hash() != shape,
+            "injected capture corruption must be detectable"
+        );
+        // The design itself is untouched: an honest capture of the same
+        // state still exists underneath.
+        assert_eq!(t.inner().image().shape_hash(), shape);
+        assert!(t.inner().image().validate().is_ok());
+
+        let plan = FaultPlan {
+            snapshot_fault_rate: 1.0,
+            ..FaultPlan::off()
+        };
+        let mut t = FaultyTarget::new(Honest::new(), plan);
+        let truncated = t.save_snapshot().unwrap();
+        assert_ne!(truncated.shape_hash(), shape, "truncation changes shape");
+    }
+
+    #[test]
+    fn bus_faults_fire_before_the_design_sees_them() {
+        let plan = FaultPlan {
+            bus_fault_rate: 1.0,
+            max_burst: 0,
+            ..FaultPlan::off()
+        };
+        let mut t = FaultyTarget::new(Honest::new(), plan);
+        assert!(matches!(t.bus_write(0, 77), Err(BusError::Timeout { .. })));
+        // The write never reached the register.
+        assert_eq!(t.inner().reg, 0);
+    }
+
+    #[test]
+    fn faults_charge_virtual_link_time() {
+        let plan = FaultPlan {
+            bus_fault_rate: 1.0,
+            max_burst: 0,
+            ..FaultPlan::off()
+        };
+        let mut t = FaultyTarget::new(Honest::new(), plan);
+        let before = t.virtual_time_ns();
+        let _ = t.bus_read(0);
+        assert!(t.virtual_time_ns() > before);
+    }
+
+    #[test]
+    fn forks_get_distinct_deterministic_seeds() {
+        let proto = FaultyTarget::new(Honest::new(), FaultPlan::uniform(7, 0.3));
+        let mut f1 = proto.fork_clean().unwrap();
+        let mut f2 = proto.fork_clean().unwrap();
+        let p1 = drive(f1.as_mut(), 200);
+        let p2 = drive(f2.as_mut(), 200);
+        assert_ne!(p1, p2, "sibling forks draw uncorrelated schedules");
+
+        // Re-forking from an identical prototype reproduces the exact
+        // same per-fork streams.
+        let proto2 = FaultyTarget::new(Honest::new(), FaultPlan::uniform(7, 0.3));
+        let mut g1 = proto2.fork_clean().unwrap();
+        let q1 = drive(g1.as_mut(), 200);
+        assert_eq!(p1, q1);
+        // Forks report their injected faults through the trait.
+        assert!(f1.fault_stats().is_some());
+    }
+
+    #[test]
+    fn stats_flow_through_the_trait() {
+        let mut t = FaultyTarget::new(Honest::new(), FaultPlan::uniform(3, 0.5));
+        let _ = drive(&mut t, 100);
+        let via_trait = HwTarget::fault_stats(&t).unwrap();
+        assert_eq!(via_trait, t.stats());
+        let honest = Honest::new();
+        assert!(honest.fault_stats().is_none());
+    }
+}

@@ -15,12 +15,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod map;
 pub mod snapshot;
 pub mod target;
 
+pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyTarget};
 pub use map::{MemoryMap, Region, RegionKind};
-pub use snapshot::{HwSnapshot, MemImage, RegImage, SnapshotDelta};
+pub use snapshot::{shape_hash_parts, HwSnapshot, MemImage, RegImage, SnapshotDelta};
 pub use target::{transfer_state, HwTarget, TargetCaps, TargetKind};
 
 use std::error::Error;

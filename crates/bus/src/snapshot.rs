@@ -52,7 +52,45 @@ pub struct HwSnapshot {
     pub mems: Vec<MemImage>,
 }
 
-const MAGIC: &[u8; 8] = b"HSNAPv1\0";
+const MAGIC: &[u8; 8] = b"HSNAPv2\0";
+
+/// FNV-1a over a byte slice (the workspace's standard cheap digest).
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fingerprint of a snapshot *shape* — the design name plus the ordered
+/// register `(name, width)` and memory `(name, width, depth)` layout,
+/// with all values excluded. A target that knows its own design can
+/// compute the same fingerprint without any reference snapshot (see
+/// `HwTarget::snapshot_shape`), which is what lets a supervision layer
+/// detect truncated or misassembled images at **capture** time: an image
+/// whose shape hash differs from the design's was damaged in transit.
+pub fn shape_hash_parts<'a>(
+    design: &str,
+    regs: impl Iterator<Item = (&'a str, u32)>,
+    mems: impl Iterator<Item = (&'a str, u32, usize)>,
+) -> u64 {
+    let mut h = fnv1a(design.as_bytes(), FNV_OFFSET);
+    for (name, width) in regs {
+        h = fnv1a(b"R", h);
+        h = fnv1a(name.as_bytes(), h);
+        h = fnv1a(&width.to_le_bytes(), h);
+    }
+    for (name, width, depth) in mems {
+        h = fnv1a(b"M", h);
+        h = fnv1a(name.as_bytes(), h);
+        h = fnv1a(&width.to_le_bytes(), h);
+        h = fnv1a(&(depth as u64).to_le_bytes(), h);
+    }
+    h
+}
 
 impl HwSnapshot {
     /// Total architectural state bits captured.
@@ -95,8 +133,82 @@ impl HwSnapshot {
             .collect()
     }
 
+    /// Shape fingerprint of this image (see [`shape_hash_parts`]).
+    pub fn shape_hash(&self) -> u64 {
+        shape_hash_parts(
+            &self.design,
+            self.regs.iter().map(|r| (r.name.as_str(), r.width)),
+            self.mems
+                .iter()
+                .map(|m| (m.name.as_str(), m.width, m.words.len())),
+        )
+    }
+
+    /// Content fingerprint: shape plus every register bit and memory
+    /// word. The capture-time `cycle` counter is deliberately excluded
+    /// so that two captures of the same hardware state hash equal even
+    /// when the second capture happened later (e.g. a re-capture after
+    /// a corrupted scan-out).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = self.shape_hash();
+        for r in &self.regs {
+            h = fnv1a(&r.bits.to_le_bytes(), h);
+        }
+        for m in &self.mems {
+            for w in &m.words {
+                h = fnv1a(&w.to_le_bytes(), h);
+            }
+        }
+        h
+    }
+
+    /// Checks the structural invariants every honestly captured image
+    /// satisfies: register/memory widths in `1..=64` and every value
+    /// normalized to its declared width. A scan chain that dropped or
+    /// gained a bit misaligns everything downstream, so some register
+    /// image ends up carrying bits outside its width — exactly what
+    /// this check catches without needing a reference image.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for r in &self.regs {
+            if r.width == 0 || r.width > 64 {
+                return Err(format!(
+                    "register '{}' has invalid width {}",
+                    r.name, r.width
+                ));
+            }
+            if r.width < 64 && r.bits >> r.width != 0 {
+                return Err(format!(
+                    "register '{}' carries bits outside its {}-bit width ({:#x})",
+                    r.name, r.width, r.bits
+                ));
+            }
+        }
+        for m in &self.mems {
+            if m.width == 0 || m.width > 64 {
+                return Err(format!("memory '{}' has invalid width {}", m.name, m.width));
+            }
+            if m.width < 64 {
+                for (i, w) in m.words.iter().enumerate() {
+                    if w >> m.width != 0 {
+                        return Err(format!(
+                            "memory '{}'[{i}] carries bits outside its {}-bit width ({w:#x})",
+                            m.name, m.width
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes to the on-disk image format (the CRIU-checkpoint
-    /// analogue). The format is self-describing and versioned.
+    /// analogue). The format is self-describing, versioned, and ends
+    /// with an FNV-1a checksum of the preceding bytes, so bit rot or
+    /// truncation of a stored image is detected on load.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.regs.len() * 24);
         out.extend_from_slice(MAGIC);
@@ -117,6 +229,8 @@ impl HwSnapshot {
                 out.extend_from_slice(&w.to_le_bytes());
             }
         }
+        let sum = fnv1a(&out, FNV_OFFSET);
+        out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
@@ -127,7 +241,15 @@ impl HwSnapshot {
     /// Returns a description of the first structural problem found
     /// (bad magic, truncation, or count overflow).
     pub fn from_bytes(data: &[u8]) -> Result<HwSnapshot, String> {
-        let mut cur = Cursor { data, pos: 0 };
+        if data.len() < 8 {
+            return Err("truncated snapshot: missing checksum".into());
+        }
+        let (body, tail) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        if fnv1a(body, FNV_OFFSET) != stored {
+            return Err("snapshot checksum mismatch".into());
+        }
+        let mut cur = Cursor { data: body, pos: 0 };
         let magic = cur.take(8)?;
         if magic != MAGIC {
             return Err("bad snapshot magic".into());
@@ -180,7 +302,8 @@ impl HwSnapshot {
     /// Size of the serialized image in bytes (without serializing);
     /// drives the simulator-target save/restore cost model.
     pub fn byte_size(&self) -> usize {
-        let mut n = 8 + 4 + self.design.len() + 8 + 4 + 4;
+        // Magic + design + cycle + counts + trailing checksum.
+        let mut n = 8 + 4 + self.design.len() + 8 + 4 + 4 + 8;
         for r in &self.regs {
             n += 4 + r.name.len() + 4 + 8;
         }
@@ -304,6 +427,54 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn bit_rot_rejected_by_checksum() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let err = HwSnapshot::from_bytes(&bytes).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn shape_hash_detects_truncation_and_relabeling() {
+        let s = sample();
+        let mut truncated = s.clone();
+        truncated.regs.pop();
+        assert_ne!(s.shape_hash(), truncated.shape_hash());
+        let mut relabeled = s.clone();
+        relabeled.design = "other".into();
+        assert_ne!(s.shape_hash(), relabeled.shape_hash());
+        // Values do not affect the shape, only the content hash.
+        let mut mutated = s.clone();
+        mutated.regs[0].bits ^= 1;
+        assert_eq!(s.shape_hash(), mutated.shape_hash());
+        assert_ne!(s.content_hash(), mutated.content_hash());
+    }
+
+    #[test]
+    fn content_hash_ignores_cycle() {
+        let s = sample();
+        let mut later = s.clone();
+        later.cycle += 1000;
+        assert_eq!(s.content_hash(), later.content_hash());
+    }
+
+    #[test]
+    fn validate_catches_out_of_width_bits() {
+        let s = sample();
+        assert!(s.validate().is_ok());
+        let mut bad = s.clone();
+        bad.regs[0].bits = 1 << bad.regs[0].width; // one bit above the width
+        assert!(bad.validate().unwrap_err().contains("u_uart.txfifo_head"));
+        let mut bad = s.clone();
+        bad.mems[0].words[1] = 1 << 33; // 32-bit memory word
+        assert!(bad.validate().unwrap_err().contains("u_sha.w_mem"));
+        let mut bad = s;
+        bad.regs[1].width = 65;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -126,6 +126,77 @@ pub trait HwTarget: Send {
             self.name()
         )))
     }
+
+    /// Shape fingerprint of the snapshots this target produces (see
+    /// `hardsnap_bus::shape_hash_parts`), computed from the target's own
+    /// design knowledge rather than from any captured image. A
+    /// supervision layer compares a captured image's
+    /// `HwSnapshot::shape_hash` against this value to detect truncated
+    /// or misassembled captures before they are ever stored. `0` (the
+    /// default) means the target cannot predict its shape and the check
+    /// is skipped.
+    fn snapshot_shape(&self) -> u64 {
+        0
+    }
+
+    /// Injected-fault counters when this target (or a target it wraps)
+    /// is a fault injector like [`crate::FaultyTarget`]; `None` for an
+    /// honest transport. Lets the engines report injected counts
+    /// without downcasting trait objects.
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        None
+    }
+}
+
+// Boxed targets forward the whole contract, so decorators like
+// `FaultyTarget` can wrap either a concrete target or the boxed trait
+// object that `fork_clean` hands back.
+impl<T: HwTarget + ?Sized> HwTarget for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn caps(&self) -> TargetCaps {
+        (**self).caps()
+    }
+    fn design_name(&self) -> &str {
+        (**self).design_name()
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+    fn step(&mut self, cycles: u64) {
+        (**self).step(cycles);
+    }
+    fn cycle(&self) -> u64 {
+        (**self).cycle()
+    }
+    fn bus_read(&mut self, addr: u32) -> Result<u32, BusError> {
+        (**self).bus_read(addr)
+    }
+    fn bus_write(&mut self, addr: u32, data: u32) -> Result<(), BusError> {
+        (**self).bus_write(addr, data)
+    }
+    fn irq_lines(&mut self) -> u32 {
+        (**self).irq_lines()
+    }
+    fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
+        (**self).save_snapshot()
+    }
+    fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
+        (**self).restore_snapshot(snap)
+    }
+    fn virtual_time_ns(&self) -> u64 {
+        (**self).virtual_time_ns()
+    }
+    fn fork_clean(&self) -> Result<Box<dyn HwTarget>, TargetError> {
+        (**self).fork_clean()
+    }
+    fn snapshot_shape(&self) -> u64 {
+        (**self).snapshot_shape()
+    }
+    fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        (**self).fault_stats()
+    }
 }
 
 /// Transfers the live hardware state from one target to another

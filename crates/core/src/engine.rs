@@ -18,7 +18,8 @@
 //!   (fast but wrong — the mode used by prior hardware-in-the-loop DSE).
 
 use crate::snapshots::{SnapId, SnapshotStore};
-use hardsnap_bus::{BusError, HwSnapshot, HwTarget};
+use crate::supervise::{FaultSummary, RetryPolicy, Supervisor};
+use hardsnap_bus::{BusError, HwSnapshot, HwTarget, TargetError};
 use hardsnap_symex::{
     BugReport, Concretization, Executor, StateId, StepOutcome, SymMmio, SymState,
 };
@@ -86,6 +87,9 @@ pub struct EngineConfig {
     /// Store fork snapshots as deltas against the fork-point image
     /// (storage ablation; see `SnapshotStore`).
     pub delta_snapshots: bool,
+    /// Retry/backoff/quarantine policy for fallible target operations
+    /// (see [`crate::supervise`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +105,7 @@ impl Default for EngineConfig {
             quantum: 32,
             reboot_cost_ns: 100_000_000,
             delta_snapshots: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -167,6 +172,14 @@ pub struct RunResult {
     pub covered_pcs: usize,
     /// Console output of the first completed path (diagnostics).
     pub sample_console: Vec<u8>,
+    /// Fault-injection / recovery summary (injected, retried,
+    /// recovered, quarantined). Deliberately excluded from
+    /// [`RunResult::canonical_digest`]: recovery must not change the
+    /// semantic result.
+    pub faults: FaultSummary,
+    /// Human-readable records of unrecoverable target faults, each
+    /// naming the symbolic state it killed. Empty on a clean run.
+    pub fault_log: Vec<String>,
 }
 
 impl RunResult {
@@ -277,6 +290,10 @@ pub struct Engine {
     hw_assertions: Vec<HwAssertion>,
     /// Violations of hardware assertions: (assertion name, state id).
     pub hw_violations: Vec<(String, StateId)>,
+    /// Retry supervision over the target's fallible operations.
+    supervisor: Supervisor,
+    /// Unrecoverable-fault records, each naming the state it killed.
+    fault_log: Vec<String>,
 }
 
 /// MMIO proxy handed to the executor: forwards to the live target and
@@ -284,6 +301,10 @@ pub struct Engine {
 struct TargetMmio<'a> {
     target: &'a mut dyn HwTarget,
     log: &'a mut Vec<IoOp>,
+    /// Retry supervision: transient bus faults are absorbed here, so
+    /// only deterministic design errors (or exhausted retries) reach
+    /// the executor as bugs.
+    sup: &'a mut Supervisor,
     /// The owning state's device age at window start.
     age_base: u64,
     /// The target's cycle counter at window start.
@@ -299,7 +320,7 @@ impl TargetMmio<'_> {
 impl SymMmio for TargetMmio<'_> {
     fn mmio_read(&mut self, _state: &SymState, addr: u32) -> Result<u32, BusError> {
         let at_age = self.age_now();
-        let v = self.target.bus_read(addr)?;
+        let v = self.sup.bus_read(self.target, addr)?;
         if trace_io() {
             eprintln!("live  R {addr:#010x} -> {v:#010x} @age {at_age}");
         }
@@ -314,7 +335,7 @@ impl SymMmio for TargetMmio<'_> {
 
     fn mmio_write(&mut self, _state: &SymState, addr: u32, data: u32) -> Result<(), BusError> {
         let at_age = self.age_now();
-        self.target.bus_write(addr, data)?;
+        self.sup.bus_write(self.target, addr, data)?;
         if trace_io() {
             eprintln!("live  W {addr:#010x} <- {data:#010x} @age {at_age}");
         }
@@ -335,6 +356,7 @@ impl Engine {
             Searcher::Random(seed) => seed | 1,
             _ => 1,
         };
+        let retry = config.retry;
         Engine {
             executor: Executor::new(config.policy),
             target,
@@ -352,6 +374,8 @@ impl Engine {
             covered_pcs: HashSet::new(),
             hw_assertions: Vec::new(),
             hw_violations: Vec::new(),
+            supervisor: Supervisor::new(retry),
+            fault_log: Vec::new(),
         }
     }
 
@@ -400,7 +424,9 @@ impl Engine {
     /// Transfers the analysis to another hardware target mid-run — the
     /// paper's multi-target orchestration (§III-B). The live hardware
     /// state is moved onto the new target; stored snapshots remain valid
-    /// because both targets share the canonical snapshot format.
+    /// because both targets share the canonical snapshot format. Both
+    /// sides of the handoff run supervised (transient link faults are
+    /// retried, the captured image is integrity-checked).
     ///
     /// # Errors
     ///
@@ -410,8 +436,9 @@ impl Engine {
         &mut self,
         mut new_target: Box<dyn HwTarget>,
     ) -> Result<(), hardsnap_bus::TargetError> {
-        let snap = self.target.save_snapshot()?;
-        new_target.restore_snapshot(&snap)?;
+        let snap = self.supervisor.save_snapshot(self.target.as_mut())?;
+        self.supervisor
+            .restore_snapshot(new_target.as_mut(), &snap)?;
         self.metrics.snapshots_saved += 1;
         self.metrics.snapshots_restored += 1;
         self.target = new_target;
@@ -439,22 +466,43 @@ impl Engine {
 
     /// Hardware context switch (paper lines 5-9): `UpdateState(prev)`
     /// then `RestoreState(next)`.
-    fn context_switch(&mut self, next: &SymState) {
+    ///
+    /// Transient link faults are retried by the supervisor. If
+    /// `UpdateState(prev)` still fails, `prev`'s context is lost past
+    /// its last snapshot — the state is killed (named in the fault log)
+    /// and serving `next` proceeds. If `RestoreState(next)` still
+    /// fails, the error is returned so the caller can kill `next`.
+    fn context_switch(&mut self, next: &SymState) -> Result<(), TargetError> {
         if self.current_owner == Some(next.id) {
-            return;
+            return Ok(());
         }
         self.metrics.context_switches += 1;
         match self.config.mode {
             ConsistencyMode::HardSnap => {
                 if let Some(prev) = self.current_owner {
-                    let snap = self.target.save_snapshot().expect("snapshot save");
-                    self.check_hw_assertions(&snap, prev);
-                    self.metrics.snapshots_saved += 1;
-                    match self.snap_of.get(&prev) {
-                        Some(&sid) => self.store.update(sid, snap),
-                        None => {
-                            let sid = self.store.insert(snap);
-                            self.snap_of.insert(prev, sid);
+                    match self.supervisor.save_snapshot(self.target.as_mut()) {
+                        Ok(snap) => {
+                            self.check_hw_assertions(&snap, prev);
+                            self.metrics.snapshots_saved += 1;
+                            match self.snap_of.get(&prev) {
+                                Some(&sid) => self.store.update(sid, snap),
+                                None => {
+                                    let sid = self.store.insert(snap);
+                                    self.snap_of.insert(prev, sid);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // The live context advanced past prev's last
+                            // snapshot; it cannot be reconstructed. Kill
+                            // prev, keep serving next.
+                            self.fault_log
+                                .push(format!("state {prev:?} killed: UpdateState failed: {e}"));
+                            self.metrics.states_dropped += 1;
+                            self.active.retain(|s| s.id != prev);
+                            self.current_owner = None;
+                            self.retire_state(prev);
+                            self.target.reset();
                         }
                     }
                 }
@@ -464,13 +512,11 @@ impl Engine {
                         // chain cannot break; if the store is ever
                         // corrupted, fail with the precise broken link
                         // rather than a bare unwrap.
-                        let snap = self
-                            .store
-                            .try_get(sid)
-                            .unwrap_or_else(|e| panic!("state {:?}: {e}", next.id));
-                        self.target
-                            .restore_snapshot(&snap)
-                            .expect("snapshot restore");
+                        let snap = self.store.try_get(sid).map_err(|e| {
+                            TargetError::CorruptSnapshot(format!("state {:?}: {e}", next.id))
+                        })?;
+                        self.supervisor
+                            .restore_snapshot(self.target.as_mut(), &snap)?;
                         self.metrics.snapshots_restored += 1;
                     }
                     None => {
@@ -525,6 +571,7 @@ impl Engine {
             }
         }
         self.current_owner = Some(next.id);
+        Ok(())
     }
 
     fn check_hw_assertions(&mut self, snap: &HwSnapshot, owner: StateId) {
@@ -542,7 +589,15 @@ impl Engine {
 
     /// Gives every freshly forked state its own non-shared hardware
     /// snapshot (paper §IV-B last paragraph).
-    fn snapshot_forked(&mut self, parent: StateId, successors: &[SymState]) {
+    ///
+    /// The supervised save happens before any store mutation, so a
+    /// terminal fault leaves the store untouched and the caller can
+    /// kill the fork family cleanly.
+    fn snapshot_forked(
+        &mut self,
+        parent: StateId,
+        successors: &[SymState],
+    ) -> Result<(), TargetError> {
         let age = self.hw_age.get(&parent).copied().unwrap_or(0);
         if self.config.mode != ConsistencyMode::HardSnap {
             // Baselines: children inherit the parent's I/O log and age.
@@ -551,9 +606,9 @@ impl Engine {
                 self.io_logs.entry(s.id).or_insert_with(|| log.clone());
                 self.hw_age.entry(s.id).or_insert(age);
             }
-            return;
+            return Ok(());
         }
-        let snap = self.target.save_snapshot().expect("snapshot save");
+        let snap = self.supervisor.save_snapshot(self.target.as_mut())?;
         self.check_hw_assertions(&snap, parent);
         self.metrics.snapshots_saved += 1;
         let log = self.io_logs.get(&parent).cloned().unwrap_or_default();
@@ -601,6 +656,7 @@ impl Engine {
                 self.snap_of.insert(s.id, sid);
             }
         }
+        Ok(())
     }
 
     fn retire_state(&mut self, id: StateId) {
@@ -642,7 +698,18 @@ impl Engine {
             }
             // Lines 5-9: hardware context switch when the schedule moves
             // to a different state.
-            self.context_switch(&state);
+            if let Err(e) = self.context_switch(&state) {
+                // RestoreState(next) exhausted its retries: next's
+                // hardware context is unreachable. Kill it, record the
+                // casualty by name, and move on with healthy hardware.
+                self.fault_log
+                    .push(format!("state {:?} killed: {e}", state.id));
+                self.metrics.states_dropped += 1;
+                self.current_owner = None;
+                self.retire_state(state.id);
+                self.target.reset();
+                continue;
+            }
 
             // Run the selected state for up to one quantum (KLEE-style
             // batching keeps context switches bounded).
@@ -666,6 +733,7 @@ impl Engine {
                 let mut proxy = TargetMmio {
                     target: self.target.as_mut(),
                     log,
+                    sup: &mut self.supervisor,
                     age_base: window_age,
                     cycle_base: window_cycle,
                 };
@@ -684,7 +752,24 @@ impl Engine {
                         state = s;
                     }
                     StepOutcome::Fork(successors) => {
-                        self.snapshot_forked(state_id, &successors);
+                        if let Err(e) = self.snapshot_forked(state_id, &successors) {
+                            // The fork-point snapshot is gone; neither
+                            // the parent nor the children can ever be
+                            // restored. Kill the whole fork family.
+                            self.fault_log.push(format!(
+                                "state {state_id:?} killed with {} fork children: \
+                                 fork snapshot failed: {e}",
+                                successors.len()
+                            ));
+                            self.metrics.states_dropped += successors.len() as u64;
+                            for s in &successors {
+                                self.retire_state(s.id);
+                            }
+                            self.retire_state(state_id);
+                            self.current_owner = None;
+                            self.target.reset();
+                            break 'quantum;
+                        }
                         for s in successors {
                             if self.active.len() >= self.config.max_states {
                                 self.metrics.states_dropped += 1;
@@ -738,11 +823,20 @@ impl Engine {
             bugs,
             completed,
             metrics: self.metrics,
-            hw_virtual_time_ns: self.target.virtual_time_ns() - hw_t0 + self.extra_time_ns,
+            hw_virtual_time_ns: self.target.virtual_time_ns() - hw_t0
+                + self.extra_time_ns
+                + self.supervisor.extra_vtime_ns,
             covered_pcs: self.covered_pcs.len(),
             host_time: host_start.elapsed(),
             instructions: executed,
             sample_console,
+            faults: FaultSummary {
+                injected: self.target.fault_stats().map(|s| s.injected()).unwrap_or(0),
+                retried: self.supervisor.retried,
+                recovered: self.supervisor.recovered,
+                quarantined: 0,
+            },
+            fault_log: std::mem::take(&mut self.fault_log),
         }
     }
 }

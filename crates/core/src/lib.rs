@@ -47,13 +47,17 @@ pub mod engine;
 pub mod firmware;
 pub mod parallel;
 pub mod snapshots;
+pub mod supervise;
 
 pub use engine::{
     ConsistencyMode, Engine, EngineConfig, EngineMetrics, HwAssertion, IoOp, RunResult, Searcher,
 };
 pub use parallel::ParallelEngine;
 pub use snapshots::{SnapId, SnapshotStore};
+pub use supervise::{FaultSummary, RetryPolicy, Supervisor};
 
 // Re-export the pieces users compose with.
-pub use hardsnap_bus::{transfer_state, HwSnapshot, HwTarget, TargetCaps, TargetKind};
+pub use hardsnap_bus::{
+    transfer_state, FaultPlan, FaultyTarget, HwSnapshot, HwTarget, TargetCaps, TargetKind,
+};
 pub use hardsnap_symex::{BugKind, BugReport, Concretization};

@@ -32,6 +32,7 @@
 
 use crate::engine::{trace_io, ConsistencyMode, EngineConfig, EngineMetrics, RunResult};
 use crate::snapshots::{SnapId, SnapshotStore};
+use crate::supervise::{FaultSummary, Supervisor};
 use hardsnap_bus::{BusError, HwTarget, TargetError};
 use hardsnap_symex::{BugReport, Executor, PortableState, StepOutcome, SymMmio, SymState};
 use hardsnap_util::sync::{scope, Mutex};
@@ -41,6 +42,14 @@ use std::sync::Condvar;
 
 /// A schedulable unit: one symbolic state detached from any term pool,
 /// plus its private hardware snapshot (`None` = power-on hardware).
+///
+/// A work item is re-runnable: a quantum is a pure function of
+/// `(state, snapshot)` and publishes nothing until its last fallible
+/// target operation has succeeded, so an attempt that dies to a
+/// transport fault can simply be replayed — on the same replica after a
+/// reset, or on a replacement after a quarantine — and produces
+/// bit-identical successors (fork ids derive from the state's own fork
+/// nonce, never from executor instance or timing).
 struct WorkItem {
     state: PortableState,
     snap: Option<SnapId>,
@@ -63,6 +72,10 @@ struct Shared {
     store: SnapshotStore,
     executed: AtomicU64,
     paths: AtomicU64,
+    /// Spare target taken by the first worker whose replica cannot
+    /// rebuild itself (`fork_clean` unsupported) after a quarantine —
+    /// typically a simulator standing in for a failed FPGA board.
+    failover: Mutex<Option<Box<dyn HwTarget>>>,
 }
 
 /// One worker's private results, merged deterministically after join.
@@ -73,18 +86,52 @@ struct WorkerOutput {
     covered: HashSet<u32>,
     metrics: EngineMetrics,
     vtime_ns: u64,
+    /// Recovery counters: retries/recoveries from this worker's
+    /// supervisor, quarantines it performed, faults injected across
+    /// every replica it drove (including replaced ones).
+    faults: FaultSummary,
+    /// Unrecoverable-fault records, each naming the state it killed.
+    fatal: Vec<String>,
+}
+
+/// Per-attempt scratch: results a quantum produces before its success
+/// is known. Merged into the worker's output only when the attempt
+/// completes; an aborted attempt discards it (and un-counts its
+/// instructions from the shared budget) so the replay cannot
+/// double-report anything.
+#[derive(Default)]
+struct Attempt {
+    bugs: Vec<BugReport>,
+    completed: Vec<PortableState>,
+    executed: u64,
 }
 
 /// MMIO proxy over a worker's private replica. Unlike the sequential
 /// engine's proxy it keeps no I/O log: the parallel engine is
 /// HardSnap-only, and replay logs exist for the reboot baseline.
+///
+/// Transient bus failures are retried by the supervisor; if one still
+/// exhausts its retries the proxy raises `abort` so the quantum is torn
+/// down and replayed, rather than letting a link fault masquerade as a
+/// firmware bus bug. Deterministic `SlaveError`s pass through to the
+/// executor exactly as on an honest transport.
 struct ReplicaMmio<'a> {
     target: &'a mut dyn HwTarget,
+    sup: &'a mut Supervisor,
+    abort: Option<BusError>,
 }
 
 impl SymMmio for ReplicaMmio<'_> {
     fn mmio_read(&mut self, _state: &SymState, addr: u32) -> Result<u32, BusError> {
-        let v = self.target.bus_read(addr)?;
+        let v = match self.sup.bus_read(self.target, addr) {
+            Ok(v) => v,
+            Err(e) => {
+                if matches!(e, BusError::Timeout { .. } | BusError::NotReady) {
+                    self.abort = Some(e.clone());
+                }
+                return Err(e);
+            }
+        };
         if trace_io() {
             eprintln!("par   R {addr:#010x} -> {v:#010x}");
         }
@@ -92,7 +139,12 @@ impl SymMmio for ReplicaMmio<'_> {
     }
 
     fn mmio_write(&mut self, _state: &SymState, addr: u32, data: u32) -> Result<(), BusError> {
-        self.target.bus_write(addr, data)?;
+        if let Err(e) = self.sup.bus_write(self.target, addr, data) {
+            if matches!(e, BusError::Timeout { .. } | BusError::NotReady) {
+                self.abort = Some(e.clone());
+            }
+            return Err(e);
+        }
         if trace_io() {
             eprintln!("par   W {addr:#010x} <- {data:#010x}");
         }
@@ -111,6 +163,10 @@ pub struct ParallelEngine {
     pub store: SnapshotStore,
     config: EngineConfig,
     replicas: Vec<Box<dyn HwTarget>>,
+    /// Optional spare target handed to the first quarantining worker
+    /// whose replica cannot rebuild itself (see
+    /// [`ParallelEngine::set_failover`]).
+    failover: Option<Box<dyn HwTarget>>,
     roots: Vec<WorkItem>,
     /// Merged metrics of the last run.
     pub metrics: EngineMetrics,
@@ -151,6 +207,7 @@ impl ParallelEngine {
             store: SnapshotStore::new(),
             config,
             replicas,
+            failover: None,
             roots: Vec::new(),
             metrics: EngineMetrics::default(),
             worker_vtimes_ns: Vec::new(),
@@ -160,6 +217,17 @@ impl ParallelEngine {
     /// Number of worker threads / target replicas.
     pub fn workers(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// Installs a spare target used for failover: when a quarantined
+    /// replica cannot rebuild itself via [`HwTarget::fork_clean`], the
+    /// first worker in that situation takes this spare instead of
+    /// soldiering on with a reset of the faulty device. Snapshots are
+    /// portable across targets sharing the canonical format (paper
+    /// §III-B), so the spare may be a different platform — typically a
+    /// simulator standing in for a failed FPGA board.
+    pub fn set_failover(&mut self, target: Box<dyn HwTarget>) {
+        self.failover = Some(target);
     }
 
     /// Enqueues the initial state of `program` (power-on hardware; each
@@ -189,6 +257,7 @@ impl ParallelEngine {
             store: self.store.clone(),
             executed: AtomicU64::new(0),
             paths: AtomicU64::new(0),
+            failover: Mutex::new(self.failover.take()),
         };
         let config = self.config.clone();
         let mut outputs: Vec<WorkerOutput> = {
@@ -198,7 +267,7 @@ impl ParallelEngine {
                 let handles: Vec<_> = self
                     .replicas
                     .iter_mut()
-                    .map(|t| scp.spawn(move || run_worker(shared, t.as_mut(), config)))
+                    .map(|t| scp.spawn(move || run_worker(shared, t, config)))
                     .collect();
                 handles
                     .into_iter()
@@ -206,6 +275,8 @@ impl ParallelEngine {
                     .collect()
             })
         };
+        // Unused spare survives for the next run.
+        self.failover = shared.failover.lock().take();
 
         // Deterministic merge: order by state id, never by arrival.
         let mut bugs: Vec<BugReport> = outputs.iter_mut().flat_map(|o| o.bugs.drain(..)).collect();
@@ -230,12 +301,16 @@ impl ParallelEngine {
         let mut covered: HashSet<u32> = HashSet::new();
         let mut metrics = EngineMetrics::default();
         let mut vtime: u64 = 0;
+        let mut faults = FaultSummary::default();
+        let mut fault_log: Vec<String> = Vec::new();
         self.worker_vtimes_ns.clear();
-        for o in &outputs {
+        for o in &mut outputs {
             covered.extend(o.covered.iter().copied());
             merge_metrics(&mut metrics, o.metrics);
             vtime += o.vtime_ns;
             self.worker_vtimes_ns.push(o.vtime_ns);
+            faults.merge(&o.faults);
+            fault_log.append(&mut o.fatal);
         }
         metrics.states_dropped += shared.q.lock().dropped;
         self.metrics = metrics;
@@ -252,6 +327,8 @@ impl ParallelEngine {
             host_time: host_start.elapsed(),
             instructions: shared.executed.load(Ordering::Relaxed),
             covered_pcs: covered.len(),
+            faults,
+            fault_log,
         }
     }
 }
@@ -333,44 +410,151 @@ fn finish_item(shared: &Shared, successors: Vec<WorkItem>, config: &EngineConfig
 
 /// One worker: a private executor (term pool + solver) and a private
 /// target replica, looping over shared work items.
-fn run_worker(shared: &Shared, target: &mut dyn HwTarget, config: &EngineConfig) -> WorkerOutput {
+///
+/// Each item runs as an **attempt**: a quantum that publishes nothing
+/// until every fallible target operation has succeeded. When an attempt
+/// dies to a transport fault the worker un-counts its instructions,
+/// resets the replica and replays the item — deterministically, since a
+/// quantum is a pure function of `(state, snapshot)`. A replica that
+/// burns through its fault budget is quarantined: the worker rebuilds a
+/// fresh replica ([`HwTarget::fork_clean`], falling back to the shared
+/// failover spare) and re-queues the item, so in-flight work survives a
+/// dead board. Only after `max_item_attempts` total failures is the
+/// state abandoned (and named in the fault log).
+fn run_worker(
+    shared: &Shared,
+    replica: &mut Box<dyn HwTarget>,
+    config: &EngineConfig,
+) -> WorkerOutput {
     let mut ex = Executor::new(config.policy);
     let mut out = WorkerOutput::default();
-    let vtime_t0 = target.virtual_time_ns();
+    let mut sup = Supervisor::new(config.retry);
+    // Virtual time accumulates across replica replacements: the base
+    // resets whenever a fresh replica (with a fresh clock) is installed.
+    let mut vtime_accum: u64 = 0;
+    let mut vtime_base = replica.virtual_time_ns();
+    // Terminal quantum failures since this replica was (re)built.
+    let mut health_faults: u32 = 0;
     // Worker-local delta anchor (delta-snapshot mode): reused across
     // forks while deltas against it stay small, exactly like the
     // sequential engine's `last_base`. The anchor choice only affects
     // storage representation, never snapshot content, so worker-local
     // anchors do not perturb determinism.
     let mut last_base: Option<SnapId> = None;
-    while let Some(item) = next_item(shared) {
-        let successors = run_quantum(
-            shared,
-            &mut ex,
-            target,
-            config,
-            item,
-            &mut out,
-            &mut last_base,
-        );
-        finish_item(shared, successors, config);
+    'items: while let Some(item) = next_item(shared) {
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            let mut scratch = Attempt::default();
+            let outcome = run_quantum(
+                shared,
+                &mut ex,
+                replica.as_mut(),
+                config,
+                &item,
+                &mut scratch,
+                &mut out,
+                &mut last_base,
+                &mut sup,
+            );
+            match outcome {
+                Ok(successors) => {
+                    out.bugs.append(&mut scratch.bugs);
+                    out.completed.append(&mut scratch.completed);
+                    finish_item(shared, successors, config);
+                    continue 'items;
+                }
+                Err(e) => {
+                    // Make the aborted attempt invisible: the replay
+                    // re-counts these instructions (they feed the
+                    // canonical digest and the stop condition).
+                    shared
+                        .executed
+                        .fetch_sub(scratch.executed, Ordering::Relaxed);
+                    health_faults += 1;
+                    if attempts >= config.retry.max_item_attempts {
+                        out.fatal.push(format!(
+                            "state {:?} killed after {attempts} attempts: {e}",
+                            item.state.id
+                        ));
+                        out.metrics.states_dropped += 1;
+                        if let Some(sid) = item.snap {
+                            shared.store.remove(sid);
+                        }
+                        finish_item(shared, Vec::new(), config);
+                        continue 'items;
+                    }
+                    if health_faults > config.retry.replica_fault_budget {
+                        // Quarantine: this replica has exceeded its
+                        // fault budget. Rebuild a clean replacement and
+                        // re-queue the item — another (healthy) worker
+                        // may pick it up first. Re-queuing cannot trip
+                        // the fork-bomb drop guard: finish_item frees
+                        // this item's in-flight slot before re-adding
+                        // it, so the total never grows.
+                        out.faults.quarantined += 1;
+                        let fresh = match replica.fork_clean() {
+                            Ok(t) => Some(t),
+                            Err(_) => shared.failover.lock().take(),
+                        };
+                        match fresh {
+                            Some(t) => {
+                                // Retire the old replica's books before
+                                // it is dropped.
+                                if let Some(stats) = replica.fault_stats() {
+                                    out.faults.injected += stats.injected();
+                                }
+                                vtime_accum += replica.virtual_time_ns().saturating_sub(vtime_base);
+                                *replica = t;
+                                vtime_base = replica.virtual_time_ns();
+                            }
+                            None => {
+                                // No way to rebuild: keep the device,
+                                // full reset, hope for the best.
+                                replica.reset();
+                            }
+                        }
+                        health_faults = 0;
+                        finish_item(shared, vec![item], config);
+                        continue 'items;
+                    }
+                    // Within budget: reset the wedged replica and replay
+                    // the item locally.
+                    replica.reset();
+                }
+            }
+        }
     }
-    out.vtime_ns = target.virtual_time_ns() - vtime_t0;
+    out.vtime_ns =
+        vtime_accum + replica.virtual_time_ns().saturating_sub(vtime_base) + sup.extra_vtime_ns;
+    out.faults.retried = sup.retried;
+    out.faults.recovered = sup.recovered;
+    out.faults.injected += replica.fault_stats().map(|s| s.injected()).unwrap_or(0);
     out
 }
 
 /// Runs one work item for up to one quantum on the worker's replica:
 /// `RestoreState`, step/fork/halt, `UpdateState`. Returns the work
 /// items to publish back.
+///
+/// **Abort safety:** every path through this function mutates the
+/// shared store only *after* its last fallible target operation, and
+/// buffers bugs/completed paths in `scratch`. An `Err` return therefore
+/// leaves the store exactly as the attempt found it, and replaying the
+/// same `(state, snapshot)` item reproduces the identical outcome —
+/// including fork ids, which derive from the state's own fork nonce.
+#[allow(clippy::too_many_arguments)]
 fn run_quantum(
     shared: &Shared,
     ex: &mut Executor,
     target: &mut dyn HwTarget,
     config: &EngineConfig,
-    item: WorkItem,
+    item: &WorkItem,
+    scratch: &mut Attempt,
     out: &mut WorkerOutput,
     last_base: &mut Option<SnapId>,
-) -> Vec<WorkItem> {
+    sup: &mut Supervisor,
+) -> Result<Vec<WorkItem>, TargetError> {
     let mut state = item.state.import(&mut ex.pool);
     // RestoreState: the item's private snapshot, or power-on hardware
     // for a root state.
@@ -380,21 +564,23 @@ fn run_quantum(
             let snap = shared
                 .store
                 .try_get(sid)
-                .unwrap_or_else(|e| panic!("state {:?}: {e}", state.id));
-            target.restore_snapshot(&snap).expect("snapshot restore");
+                .map_err(|e| TargetError::CorruptSnapshot(format!("state {:?}: {e}", state.id)))?;
+            sup.restore_snapshot(target, &snap)?;
             out.metrics.snapshots_restored += 1;
         }
         None => target.reset(),
     }
 
     // UpdateState for a surviving continuation: save the live context
-    // into the state's private snapshot and requeue.
+    // into the state's private snapshot and requeue. The store mutation
+    // happens only after the supervised save has succeeded.
     let save_continuation = |ex: &Executor,
                              target: &mut dyn HwTarget,
                              out: &mut WorkerOutput,
+                             sup: &mut Supervisor,
                              s: &SymState|
-     -> WorkItem {
-        let snap = target.save_snapshot().expect("snapshot save");
+     -> Result<WorkItem, TargetError> {
+        let snap = sup.save_snapshot(target)?;
         out.metrics.snapshots_saved += 1;
         let sid = match item.snap {
             Some(sid) => {
@@ -403,10 +589,10 @@ fn run_quantum(
             }
             None => shared.store.insert(snap),
         };
-        WorkItem {
+        Ok(WorkItem {
             state: PortableState::export(&ex.pool, s),
             snap: Some(sid),
-        }
+        })
     };
 
     let mut remaining = config.quantum.max(1);
@@ -420,8 +606,20 @@ fn run_quantum(
 
         let state_id = state.id;
         out.covered.insert(state.pc);
-        let mut proxy = ReplicaMmio { target };
+        let mut proxy = ReplicaMmio {
+            target: &mut *target,
+            sup: &mut *sup,
+            abort: None,
+        };
         let outcome = ex.step(state, &mut proxy);
+        if let Some(e) = proxy.abort.take() {
+            // A transient bus fault exhausted its retries mid-step. The
+            // executor saw it as a bus error, but it is a transport
+            // casualty, not a firmware bug: tear the attempt down
+            // before it can publish anything.
+            return Err(TargetError::Bus(e));
+        }
+        scratch.executed += 1;
         let now = shared.executed.fetch_add(1, Ordering::Relaxed) + 1;
         remaining -= 1;
         target.step(config.cycles_per_instruction);
@@ -429,14 +627,14 @@ fn run_quantum(
         match outcome {
             StepOutcome::ContinueWith(s) => {
                 if remaining == 0 || now >= config.max_instructions {
-                    return vec![save_continuation(ex, target, out, &s)];
+                    return Ok(vec![save_continuation(ex, target, out, sup, &s)?]);
                 }
                 state = s;
             }
             StepOutcome::Fork(succ) => {
                 // Every forked state gets a private, non-shared
                 // snapshot of the fork-point hardware.
-                let snap = target.save_snapshot().expect("snapshot save");
+                let snap = sup.save_snapshot(target)?;
                 out.metrics.snapshots_saved += 1;
                 let base_id = if config.delta_snapshots {
                     let reusable = last_base.filter(|&b| {
@@ -479,31 +677,35 @@ fn run_quantum(
                         snap: Some(sid),
                     });
                 }
-                return items;
+                return Ok(items);
             }
             StepOutcome::Halted(s) => {
+                // Success exit: no fallible op remains, so the shared
+                // counters/store may be touched directly.
                 shared.paths.fetch_add(1, Ordering::Relaxed);
                 out.metrics.paths_completed += 1;
-                out.completed.push(PortableState::export(&ex.pool, &s));
+                scratch.completed.push(PortableState::export(&ex.pool, &s));
                 if let Some(sid) = item.snap {
                     shared.store.remove(sid);
                 }
-                return Vec::new();
+                return Ok(Vec::new());
             }
             StepOutcome::Bug {
                 report,
                 continuation,
             } => {
-                out.bugs.push(report);
+                // Buffer the report: the continuation save below can
+                // still fail, and the replay must not double-report.
+                scratch.bugs.push(report);
                 return match continuation {
-                    Some(s) => vec![save_continuation(ex, target, out, &s)],
+                    Some(s) => Ok(vec![save_continuation(ex, target, out, sup, &s)?]),
                     None => {
                         shared.paths.fetch_add(1, Ordering::Relaxed);
                         out.metrics.paths_completed += 1;
                         if let Some(sid) = item.snap {
                             shared.store.remove(sid);
                         }
-                        Vec::new()
+                        Ok(Vec::new())
                     }
                 };
             }

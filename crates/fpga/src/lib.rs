@@ -523,6 +523,22 @@ impl HwTarget for FpgaTarget {
             instrumented_name: self.instrumented_name.clone(),
         }))
     }
+
+    fn snapshot_shape(&self) -> u64 {
+        // Mirrors `save_snapshot` exactly: registers in chain-segment
+        // order, memories in collar order with their declared depths.
+        hardsnap_bus::shape_hash_parts(
+            &self.design,
+            self.chain
+                .segments
+                .iter()
+                .map(|seg| (seg.name.as_str(), seg.width)),
+            self.chain
+                .mems
+                .iter()
+                .map(|c| (c.name.as_str(), c.width, c.depth as usize)),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -210,11 +210,16 @@ impl ChainMap {
 
     /// Decodes the word stream observed on a `lanes`-bit `scan_out`
     /// (one word per shift cycle) back into register values in segment
-    /// order; pad cells are discarded.
+    /// order. Pad cells carry no register state but are still checked:
+    /// they are zero-filled on every shift-in and zeroed by reset, so a
+    /// `1` observed in a pad cell means the chain slipped a bit in
+    /// transit — the decode refuses rather than silently returning
+    /// misaligned register values.
     ///
     /// # Errors
     ///
-    /// [`ScanError::ShapeMismatch`] on a wrong-length stream.
+    /// [`ScanError::ShapeMismatch`] on a wrong-length stream or a
+    /// nonzero pad cell.
     pub fn decode_words(&self, stream: &[u64]) -> Result<Vec<u64>, ScanError> {
         let w = u64::from(self.lanes());
         if stream.len() as u64 != self.shift_cycles() || self.total_cells() % w != 0 {
@@ -230,6 +235,12 @@ impl ChainMap {
             for j in 0..w as usize {
                 cells[row * w as usize + j] = (word >> (w as usize - 1 - j)) & 1 == 1;
             }
+        }
+        if let Some(p) = cells[self.chain_bits() as usize..].iter().position(|&c| c) {
+            return Err(ScanError::ShapeMismatch(format!(
+                "nonzero pad cell {} on scan-out: chain misaligned in transit",
+                self.chain_bits() + p as u64
+            )));
         }
         let mut out = Vec::with_capacity(self.segments.len());
         let mut idx = 0usize;
@@ -339,6 +350,22 @@ mod tests {
         // encode only looks at the low `width` bits.
         let stream = m.encode(&[0xff]).unwrap();
         assert_eq!(m.decode(&stream).unwrap(), vec![0b111]);
+    }
+
+    #[test]
+    fn nonzero_pad_cell_is_rejected() {
+        // 13 chain bits over 4 lanes → 3 pad cells, 4 shift cycles.
+        let m = ChainMap {
+            lanes: 4,
+            pad_bits: 3,
+            ..map()
+        };
+        let mut stream = m.encode_words(&[0xa, 0x1, 0x5c]).unwrap();
+        assert_eq!(m.decode_words(&stream).unwrap(), vec![0xa, 0x1, 0x5c]);
+        // Pad cell 13 sits at row 3, lane 1 → word 0, bit 2.
+        stream[0] |= 1 << 2;
+        let err = m.decode_words(&stream).unwrap_err();
+        assert!(err.to_string().contains("pad"), "{err}");
     }
 
     #[test]

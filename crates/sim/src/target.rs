@@ -285,6 +285,23 @@ impl HwTarget for SimTarget {
             irq_net: self.irq_net.clone(),
         }))
     }
+
+    fn snapshot_shape(&self) -> u64 {
+        // Must iterate exactly as `capture` does so honest captures
+        // always hash equal to the design's own shape.
+        let module = self.sim.module();
+        let reg_ids = module.clocked_regs();
+        hardsnap_bus::shape_hash_parts(
+            &module.name,
+            reg_ids.iter().map(|&id| {
+                let net = module.net(id);
+                (net.name.as_str(), net.width)
+            }),
+            module
+                .iter_mems()
+                .map(|(id, mem)| (mem.name.as_str(), mem.width, self.sim.mem_words(id).len())),
+        )
+    }
 }
 
 #[cfg(test)]
