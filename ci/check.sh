@@ -20,6 +20,25 @@ echo "==> 2-worker analysis-speed smoke run"
 cargo run -q --release --offline -p hardsnap-bench --bin exp_analysis_speed -- \
     --workers 1,2 --json target/BENCH_analysis_speed.smoke.json
 
+echo "==> telemetry gate: traced 2-worker run, valid trace + digest equality"
+# A traced run must produce a well-formed Chrome trace (non-empty,
+# monotonically ordered per-track events) and a canonical digest
+# bit-identical to the untraced run: telemetry is observe-only.
+cargo run -q --release --offline -p hardsnap-bench --bin hardsnap-cli -- \
+    analyze demo --workers 2 --trace-out target/trace.smoke.json \
+    > target/analyze.traced.txt
+cargo run -q --release --offline -p hardsnap-bench --bin hardsnap-cli -- \
+    trace-check target/trace.smoke.json
+cargo run -q --release --offline -p hardsnap-bench --bin hardsnap-cli -- \
+    analyze demo --workers 2 > target/analyze.plain.txt
+traced_digest=$(grep 'canonical digest' target/analyze.traced.txt | awk '{print $NF}')
+plain_digest=$(grep 'canonical digest' target/analyze.plain.txt | awk '{print $NF}')
+if [ "$traced_digest" != "$plain_digest" ] || [ -z "$traced_digest" ]; then
+    echo "telemetry perturbed the result: traced=$traced_digest plain=$plain_digest"
+    exit 1
+fi
+echo "    digests match: $traced_digest"
+
 echo "==> chaos gate: 2-worker smoke under a 10% fault rate"
 # exp_fault_recovery asserts internally that every faulted point's
 # canonical digest is bit-identical to the fault-free run and that the

@@ -12,7 +12,7 @@
 //! (the CI smoke mode); without arguments the full experiment runs.
 
 use hardsnap::firmware;
-use hardsnap::{ConsistencyMode, Engine, EngineConfig, ParallelEngine, Searcher};
+use hardsnap::{ConsistencyMode, Engine, EngineConfig, ParallelEngine, Searcher, TelemetryConfig};
 use hardsnap_bench::{banner, fmt_ns, row};
 use hardsnap_bus::HwTarget;
 use hardsnap_fpga::{FpgaOptions, FpgaTarget};
@@ -56,6 +56,7 @@ struct ScalePoint {
     sum_vtime_ns: u64,
     digest: u64,
     host_ms: u64,
+    host_secs: f64,
 }
 
 /// Instructions per modeled second: the campaign clock is the slowest
@@ -66,12 +67,17 @@ fn throughput_ips(p: &ScalePoint) -> f64 {
 
 /// Runs the fork-heavy workload on `workers` replicas.
 fn scale_point(asm: &str, workers: usize) -> ScalePoint {
+    scale_point_telemetry(asm, workers, TelemetryConfig::OFF)
+}
+
+fn scale_point_telemetry(asm: &str, workers: usize, telemetry: TelemetryConfig) -> ScalePoint {
     let prog = hardsnap_isa::assemble(asm).unwrap();
     let config = EngineConfig {
         mode: ConsistencyMode::HardSnap,
         searcher: Searcher::RoundRobin,
         quantum: 4,
         max_instructions: 3_000_000,
+        telemetry,
         ..Default::default()
     };
     let soc = hardsnap_periph::soc().unwrap();
@@ -88,6 +94,7 @@ fn scale_point(asm: &str, workers: usize) -> ScalePoint {
         sum_vtime_ns: r.hw_virtual_time_ns,
         digest: r.canonical_digest(),
         host_ms: r.host_time.as_millis() as u64,
+        host_secs: r.host_time.as_secs_f64(),
     }
 }
 
@@ -162,12 +169,46 @@ fn parallel_sweep(worker_counts: &[usize], json_path: &str) {
          \"points\": [\n{entries}\n  ]\n}}\n"
     );
     std::fs::write(json_path, json).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    telemetry_overhead(&asm, *worker_counts.last().unwrap());
     println!();
     println!("recorded {json_path}");
     println!("note: throughput is instructions per modeled second (replicated");
     println!("boards run concurrently, so the campaign clock is the slowest");
     println!("replica's virtual time); host wall-clock additionally depends on");
     println!("how many host cores back the worker threads.");
+}
+
+/// Telemetry observer-effect check: the same workload with the
+/// recorder disabled vs enabled must produce an identical canonical
+/// digest, and the disabled path must cost nothing measurable (the
+/// disabled recorder is one `None` branch per hook — the target is
+/// ≤ 1% wall-clock delta; best-of-3 damps scheduler noise).
+fn telemetry_overhead(asm: &str, workers: usize) {
+    const REPS: usize = 5;
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut digest_off = 0u64;
+    let mut digest_on = 0u64;
+    for _ in 0..REPS {
+        let p = scale_point_telemetry(asm, workers, TelemetryConfig::OFF);
+        best_off = best_off.min(p.host_secs);
+        digest_off = p.digest;
+        let p = scale_point_telemetry(asm, workers, TelemetryConfig::ON);
+        best_on = best_on.min(p.host_secs);
+        digest_on = p.digest;
+    }
+    assert_eq!(
+        digest_off, digest_on,
+        "telemetry must not perturb the analysis result"
+    );
+    let delta = (best_on / best_off - 1.0) * 100.0;
+    println!();
+    println!(
+        "telemetry overhead (workers={workers}, best of {REPS}): disabled {:.1} ms, \
+         enabled {:.1} ms ({delta:+.1}%); digests identical",
+        best_off * 1e3,
+        best_on * 1e3,
+    );
 }
 
 fn main() {

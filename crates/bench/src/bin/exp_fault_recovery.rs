@@ -13,7 +13,10 @@
 //! Usage: `exp_fault_recovery [--smoke] [--json PATH]`.
 
 use hardsnap::firmware;
-use hardsnap::{ConsistencyMode, EngineConfig, FaultPlan, FaultyTarget, ParallelEngine, Searcher};
+use hardsnap::{
+    ConsistencyMode, EngineConfig, FaultPlan, FaultyTarget, MetricsSnapshot, ParallelEngine,
+    Searcher, TelemetryConfig,
+};
 use hardsnap_bench::{banner, fmt_ns, row};
 use hardsnap_sim::SimTarget;
 
@@ -25,8 +28,44 @@ fn config() -> EngineConfig {
         searcher: Searcher::RoundRobin,
         quantum: 4,
         max_instructions: 3_000_000,
+        // Telemetry on: the per-fault-class recovery histograms below
+        // come from it, and running the digest invariant with telemetry
+        // enabled doubles as an observer-effect regression test.
+        telemetry: TelemetryConfig {
+            enabled: true,
+            trace_io: false,
+        },
         ..Default::default()
     }
+}
+
+/// Per-fault-class recovery latency summary, extracted from the
+/// telemetry histograms (`recovery_vtime_ns.<class>` ×
+/// `recovery_retries.<class>`).
+struct Recovery {
+    class: String,
+    episodes: u64,
+    p50_vtime_ns: u64,
+    p99_vtime_ns: u64,
+    p99_retries: u64,
+}
+
+fn recovery_stats(t: Option<&MetricsSnapshot>) -> Vec<Recovery> {
+    let Some(t) = t else { return Vec::new() };
+    let mut out = Vec::new();
+    for h in &t.hists {
+        if let Some(class) = h.name.strip_prefix("recovery_vtime_ns.") {
+            let retries = t.hist(&format!("recovery_retries.{class}"));
+            out.push(Recovery {
+                class: class.to_string(),
+                episodes: h.count(),
+                p50_vtime_ns: h.approx_quantile(0.5),
+                p99_vtime_ns: h.approx_quantile(0.99),
+                p99_retries: retries.map(|r| r.approx_quantile(0.99)).unwrap_or(0),
+            });
+        }
+    }
+    out
 }
 
 /// One fault-rate point of the sweep.
@@ -39,6 +78,7 @@ struct Point {
     vtime_ns: u64,
     digest: u64,
     host_ms: u64,
+    recovery: Vec<Recovery>,
 }
 
 fn run_point(asm: &str, rate: f64, config: &EngineConfig) -> Point {
@@ -69,6 +109,7 @@ fn run_point(asm: &str, rate: f64, config: &EngineConfig) -> Point {
         vtime_ns: r.hw_virtual_time_ns,
         digest: r.canonical_digest(),
         host_ms: r.host_time.as_millis() as u64,
+        recovery: recovery_stats(r.telemetry.as_ref()),
     }
 }
 
@@ -99,6 +140,7 @@ fn run_quarantine(asm: &str, config: &EngineConfig) -> Point {
         vtime_ns: r.hw_virtual_time_ns,
         digest: r.canonical_digest(),
         host_ms: r.host_time.as_millis() as u64,
+        recovery: recovery_stats(r.telemetry.as_ref()),
     }
 }
 
@@ -191,16 +233,70 @@ fn main() {
         "the zero-budget hang plan must quarantine at least one replica"
     );
 
+    println!();
+    println!("--- per-fault-class recovery latency (telemetry histograms) ---");
+    let rwidths = [7, 16, 9, 13, 13, 12];
+    row(
+        &[
+            "rate",
+            "class",
+            "episodes",
+            "p50 latency",
+            "p99 latency",
+            "p99 retries",
+        ],
+        &rwidths,
+    );
+    for (i, p) in points.iter().enumerate() {
+        let tag = if i == points.len() - 1 {
+            format!("q@{:.2}", p.rate)
+        } else {
+            format!("{:.2}", p.rate)
+        };
+        for rec in &p.recovery {
+            row(
+                &[
+                    &tag,
+                    &rec.class,
+                    &rec.episodes.to_string(),
+                    &fmt_ns(rec.p50_vtime_ns),
+                    &fmt_ns(rec.p99_vtime_ns),
+                    &rec.p99_retries.to_string(),
+                ],
+                &rwidths,
+            );
+        }
+    }
+    assert!(
+        points
+            .iter()
+            .skip(1)
+            .any(|p| p.recovery.iter().any(|r| r.episodes > 0)),
+        "faulted points must produce per-class recovery histograms"
+    );
+
     let mut entries = String::new();
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             entries.push_str(",\n");
         }
+        let recovery = p
+            .recovery
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"class\": \"{}\", \"episodes\": {}, \"p50_vtime_ns\": {}, \
+                     \"p99_vtime_ns\": {}, \"p99_retries\": {}}}",
+                    r.class, r.episodes, r.p50_vtime_ns, r.p99_vtime_ns, r.p99_retries
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         entries.push_str(&format!(
             "    {{\"rate\": {:.2}, \"zero_budget_quarantine\": {}, \"injected\": {}, \
              \"retried\": {}, \"recovered\": {}, \"quarantined\": {}, \
              \"hw_vtime_ns\": {}, \"overhead_vs_clean\": {:.4}, \
-             \"host_ms\": {}, \"digest\": \"{:016x}\"}}",
+             \"host_ms\": {}, \"digest\": \"{:016x}\", \"recovery\": [{recovery}]}}",
             p.rate,
             i == points.len() - 1,
             p.injected,

@@ -5,7 +5,9 @@
 //! hardsnap-cli instrument <design.v> [--top NAME] [--scope PREFIX] -o <out.v>
 //! hardsnap-cli sim <design.v> [--top NAME] --cycles N [--vcd out.vcd]
 //! hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
-//!                      [--fault-rate R [--fault-seed N]]
+//!                      [--fault-rate R [--fault-seed N]] [--workers N]
+//!                      [--trace-out trace.json] [--metrics-out metrics.json]
+//! hardsnap-cli trace-check <trace.json>
 //! hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
 //! hardsnap-cli soc-stats
 //! ```
@@ -14,7 +16,7 @@
 //! hardware for `analyze` and `fuzz`; `stats`/`instrument`/`sim` accept
 //! any Verilog file in the supported subset.
 
-use hardsnap::{ConsistencyMode, Engine, EngineConfig, Searcher};
+use hardsnap::{ConsistencyMode, Engine, EngineConfig, ParallelEngine, RunResult, Searcher};
 use hardsnap_bus::{FaultPlan, FaultyTarget, HwTarget};
 use hardsnap_fpga::{FpgaOptions, FpgaTarget};
 use hardsnap_fuzz::{FuzzConfig, Fuzzer, ResetStrategy};
@@ -46,6 +48,7 @@ fn run(args: &[String]) -> CliResult {
         "instrument" => cmd_instrument(rest),
         "sim" => cmd_sim(rest),
         "analyze" => cmd_analyze(rest),
+        "trace-check" => cmd_trace_check(rest),
         "fuzz" => cmd_fuzz(rest),
         "soc-stats" => cmd_soc_stats(),
         "help" | "--help" | "-h" => {
@@ -68,7 +71,15 @@ USAGE:
   hardsnap-cli sim <design.v> [--top NAME] --cycles N [--vcd out.vcd]
       Simulate a design for N cycles (inputs held at reset values).
   hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
+                       [--workers N] [--trace-out trace.json] [--metrics-out metrics.json]
       Symbolically analyze HS32 firmware against the built-in SoC.
+      --workers N > 1 runs the parallel engine (HardSnap mode only);
+      --trace-out / --metrics-out switch telemetry on and export a
+      Chrome trace_event file (Perfetto / chrome://tracing) or a
+      machine-readable metrics dump.
+  hardsnap-cli trace-check <trace.json>
+      Validate a Chrome trace file: well-formed JSON, non-empty, with
+      monotonically ordered events on every track.
   hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
       Coverage-guided fuzzing of HS32 firmware against the built-in SoC.
   hardsnap-cli soc-stats
@@ -187,7 +198,16 @@ fn cmd_sim(args: &[String]) -> CliResult {
 fn cmd_analyze(args: &[String]) -> CliResult {
     let (pos, flags) = parse_flags(args)?;
     let path = pos.first().ok_or("analyze: missing <firmware.s>")?;
-    let src = std::fs::read_to_string(path)?;
+    // `demo` / `demo:K` runs the built-in branching firmware (2^K
+    // paths) — no firmware file needed, used by the CI telemetry gate.
+    let src = match path.strip_prefix("demo") {
+        Some("") => hardsnap::firmware::branching_firmware(3),
+        Some(rest) => match rest.strip_prefix(':').map(str::parse) {
+            Some(Ok(k)) => hardsnap::firmware::branching_firmware(k),
+            _ => return Err(format!("bad demo firmware spec '{path}' (want demo[:K])").into()),
+        },
+        None => std::fs::read_to_string(path)?,
+    };
     let program = hardsnap_isa::assemble(&src).map_err(|e| format!("{path}:{e}"))?;
     let soc = hardsnap_periph::soc()?;
     let target: Box<dyn HwTarget> = match flag(&flags, "target").unwrap_or("sim") {
@@ -215,21 +235,43 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         }
         None => target,
     };
-    let mut engine = Engine::new(
-        target,
-        EngineConfig {
-            mode,
-            searcher: Searcher::RoundRobin,
-            ..Default::default()
-        },
-    );
-    engine.load_firmware(&program);
-    let result = engine.run();
+    let workers: usize = match flag(&flags, "workers") {
+        Some(w) => w.parse().map_err(|_| format!("bad --workers '{w}'"))?,
+        None => 1,
+    };
+    let trace_out = flag(&flags, "trace-out");
+    let metrics_out = flag(&flags, "metrics-out");
+    let mut config = EngineConfig {
+        mode,
+        searcher: Searcher::RoundRobin,
+        ..Default::default()
+    };
+    if trace_out.is_some() || metrics_out.is_some() {
+        config.telemetry.enabled = true;
+    }
+    let (result, queries): (RunResult, Option<u64>) = if workers > 1 {
+        let mut engine = ParallelEngine::new(target.as_ref(), workers, config)?;
+        engine.load_firmware(&program);
+        (engine.run(), None)
+    } else {
+        let mut engine = Engine::new(target, config);
+        engine.load_firmware(&program);
+        let r = engine.run();
+        let q = engine.executor.solver.stats.queries;
+        (r, Some(q))
+    };
     println!("paths completed : {}", result.metrics.paths_completed);
     println!("instructions    : {}", result.instructions);
     println!("context switches: {}", result.metrics.context_switches);
     println!("hw virtual time : {} us", result.hw_virtual_time_ns / 1000);
-    println!("solver queries  : {}", engine.executor.solver.stats.queries);
+    println!(
+        "host time       : {:.3} ms",
+        result.host_time.as_secs_f64() * 1e3
+    );
+    println!("canonical digest: {:#018x}", result.canonical_digest());
+    if let Some(q) = queries {
+        println!("solver queries  : {q}");
+    }
     println!(
         "faults          : injected {} / retried {} / recovered {} / quarantined {}",
         result.faults.injected,
@@ -255,6 +297,73 @@ fn cmd_analyze(args: &[String]) -> CliResult {
             }
         }
     }
+    if let Some(t) = &result.telemetry {
+        println!();
+        println!("{}", t.summary_table());
+        if let Some(path) = trace_out {
+            std::fs::write(path, t.chrome_trace_json())?;
+            println!("chrome trace written to {path} (load in Perfetto / chrome://tracing)");
+        }
+        if let Some(path) = metrics_out {
+            std::fs::write(path, t.metrics_json())?;
+            println!("metrics written to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Validates a Chrome `trace_event` JSON file: parses with the in-tree
+/// JSON reader, requires a non-empty `traceEvents` array whose events
+/// carry the required keys, and checks timestamps are monotonically
+/// ordered within every track (`tid`).
+fn cmd_trace_check(args: &[String]) -> CliResult {
+    let (pos, _) = parse_flags(args)?;
+    let path = pos.first().ok_or("trace-check: missing <trace.json>")?;
+    let src = std::fs::read_to_string(path)?;
+    let v = hardsnap_util::json::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .ok_or("trace-check: missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("trace-check: traceEvents is empty".into());
+    }
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    let mut checked = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| format!("trace-check: event {i} missing ph"))?;
+        ev.get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| format!("trace-check: event {i} missing name"))?;
+        if ph == "M" {
+            continue; // metadata (thread names) carries no timestamp
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(hardsnap_util::json::Value::as_u64)
+            .ok_or_else(|| format!("trace-check: event {i} missing tid"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(hardsnap_util::json::Value::as_f64)
+            .ok_or_else(|| format!("trace-check: event {i} missing ts"))?;
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "trace-check: event {i} on track {tid} goes back in time ({ts} < {prev})"
+                )
+                .into());
+            }
+        }
+        last_ts.insert(tid, ts);
+        checked += 1;
+    }
+    println!(
+        "{path}: OK ({checked} events across {} tracks)",
+        last_ts.len()
+    );
     Ok(())
 }
 

@@ -30,6 +30,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use hardsnap_telemetry::{Counter, Recorder};
 use hardsnap_util::rng::{splitmix64, Rng};
 
 use crate::{BusError, HwSnapshot, HwTarget, TargetCaps, TargetError};
@@ -57,6 +58,20 @@ pub enum FaultKind {
     RestoreTimeout,
     /// The target wedged until the next reset.
     Hang,
+}
+
+impl FaultKind {
+    /// Telemetry instant-event name for an injection of this kind
+    /// (static so the hot path allocates nothing).
+    fn inject_event(self) -> &'static str {
+        match self {
+            FaultKind::BusTimeout => "inject:bus-timeout",
+            FaultKind::ScanBitFlip => "inject:scan-bit-flip",
+            FaultKind::TruncatedCapture => "inject:truncated-capture",
+            FaultKind::RestoreTimeout => "inject:restore-timeout",
+            FaultKind::Hang => "inject:hang",
+        }
+    }
 }
 
 impl std::fmt::Display for FaultKind {
@@ -206,6 +221,7 @@ pub struct FaultyTarget<T: HwTarget> {
     stats: FaultStats,
     schedule: Vec<FaultKind>,
     forks: AtomicU64,
+    rec: Recorder,
 }
 
 impl<T: HwTarget> FaultyTarget<T> {
@@ -223,6 +239,7 @@ impl<T: HwTarget> FaultyTarget<T> {
             stats: FaultStats::default(),
             schedule: Vec::new(),
             forks: AtomicU64::new(0),
+            rec: Recorder::disabled(),
         }
     }
 
@@ -272,6 +289,8 @@ impl<T: HwTarget> FaultyTarget<T> {
             self.hung = true;
             self.stats.hangs += 1;
             self.schedule.push(FaultKind::Hang);
+            self.rec.count(Counter::FaultsInjected);
+            self.rec.instant("fault", FaultKind::Hang.inject_event(), 0);
             return Drawn::Hung;
         }
         if rate > 0.0 && self.rng.gen_bool(rate) {
@@ -289,6 +308,8 @@ impl<T: HwTarget> FaultyTarget<T> {
         count(&mut self.stats);
         self.schedule.push(kind);
         self.extra_ns += FAULT_LINK_NS;
+        self.rec.count(Counter::FaultsInjected);
+        self.rec.instant("fault", kind.inject_event(), 0);
     }
 }
 
@@ -455,6 +476,11 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
             total.merge(&inner);
         }
         Some(total)
+    }
+
+    fn attach_recorder(&mut self, rec: &Recorder) {
+        self.rec = rec.clone();
+        self.inner.attach_recorder(rec);
     }
 }
 

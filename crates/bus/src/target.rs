@@ -146,6 +146,14 @@ pub trait HwTarget: Send {
     fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
         None
     }
+
+    /// Hands the target a telemetry recorder so it can emit
+    /// capture/restore/scan spans and virtual-time histograms onto its
+    /// worker's track. The default ignores it (a target is free to stay
+    /// silent); decorators forward to the wrapped target. Telemetry is
+    /// observe-only — implementations must not let it influence
+    /// behavior or virtual time.
+    fn attach_recorder(&mut self, _rec: &hardsnap_telemetry::Recorder) {}
 }
 
 // Boxed targets forward the whole contract, so decorators like
@@ -196,6 +204,9 @@ impl<T: HwTarget + ?Sized> HwTarget for Box<T> {
     }
     fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
         (**self).fault_stats()
+    }
+    fn attach_recorder(&mut self, rec: &hardsnap_telemetry::Recorder) {
+        (**self).attach_recorder(rec);
     }
 }
 

@@ -23,14 +23,16 @@ use hardsnap_bus::{BusError, HwSnapshot, HwTarget, TargetError};
 use hardsnap_symex::{
     BugReport, Concretization, Executor, StateId, StepOutcome, SymMmio, SymState,
 };
+use hardsnap_telemetry::{Counter, Metric, MetricsSnapshot, Recorder, TelemetryConfig};
 use std::collections::{HashMap, HashSet, VecDeque};
 
-/// Whether `HARDSNAP_TRACE_IO` tracing is on, sampled once per process:
-/// the env lookup is a syscall and sits on the hottest path in the
-/// engine (every forwarded MMIO operation and every replayed one).
+/// Whether per-operation I/O tracing is on, sampled once per process
+/// (it sits on the hottest path in the engine: every forwarded MMIO
+/// operation and every replayed one). Controlled by the unified
+/// `HARDSNAP_TELEMETRY=io` switch; the legacy `HARDSNAP_TRACE_IO`
+/// variable keeps working (see [`hardsnap_telemetry::TelemetryConfig`]).
 pub(crate) fn trace_io() -> bool {
-    static TRACE_IO: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *TRACE_IO.get_or_init(|| std::env::var_os("HARDSNAP_TRACE_IO").is_some())
+    hardsnap_telemetry::global().trace_io
 }
 
 /// State-consistency strategy (the three scenarios of paper Fig. 1).
@@ -90,6 +92,10 @@ pub struct EngineConfig {
     /// Retry/backoff/quarantine policy for fallible target operations
     /// (see [`crate::supervise`]).
     pub retry: RetryPolicy,
+    /// Telemetry switches (spans/counters/histograms + I/O tracing).
+    /// Defaults to the process-wide `HARDSNAP_TELEMETRY` configuration;
+    /// telemetry is observe-only and never perturbs the analysis.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +112,7 @@ impl Default for EngineConfig {
             reboot_cost_ns: 100_000_000,
             delta_snapshots: false,
             retry: RetryPolicy::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -180,6 +187,11 @@ pub struct RunResult {
     /// Human-readable records of unrecoverable target faults, each
     /// naming the symbolic state it killed. Empty on a clean run.
     pub fault_log: Vec<String>,
+    /// Telemetry captured during the run (`None` when telemetry is
+    /// disabled). Like `metrics`/timing, excluded from
+    /// [`RunResult::canonical_digest`]: observation must never change
+    /// the semantic result.
+    pub telemetry: Option<MetricsSnapshot>,
 }
 
 impl RunResult {
@@ -294,6 +306,9 @@ pub struct Engine {
     supervisor: Supervisor,
     /// Unrecoverable-fault records, each naming the state it killed.
     fault_log: Vec<String>,
+    /// Telemetry sink (track 0, "engine"); shared with the supervisor
+    /// and attached to the target. Disabled = a single `None` branch.
+    recorder: Recorder,
 }
 
 /// MMIO proxy handed to the executor: forwards to the live target and
@@ -351,12 +366,16 @@ impl SymMmio for TargetMmio<'_> {
 
 impl Engine {
     /// Creates an engine over a hardware target.
-    pub fn new(target: Box<dyn HwTarget>, config: EngineConfig) -> Self {
+    pub fn new(mut target: Box<dyn HwTarget>, config: EngineConfig) -> Self {
         let rng_state = match config.searcher {
             Searcher::Random(seed) => seed | 1,
             _ => 1,
         };
         let retry = config.retry;
+        let recorder = Recorder::from_config(&config.telemetry, 0, "engine");
+        target.attach_recorder(&recorder);
+        let mut supervisor = Supervisor::new(retry);
+        supervisor.recorder = recorder.clone();
         Engine {
             executor: Executor::new(config.policy),
             target,
@@ -374,8 +393,9 @@ impl Engine {
             covered_pcs: HashSet::new(),
             hw_assertions: Vec::new(),
             hw_violations: Vec::new(),
-            supervisor: Supervisor::new(retry),
+            supervisor,
             fault_log: Vec::new(),
+            recorder,
         }
     }
 
@@ -436,11 +456,14 @@ impl Engine {
         &mut self,
         mut new_target: Box<dyn HwTarget>,
     ) -> Result<(), hardsnap_bus::TargetError> {
+        let _span = self.recorder.span("engine", "switch-target");
         let snap = self.supervisor.save_snapshot(self.target.as_mut())?;
+        new_target.attach_recorder(&self.recorder);
         self.supervisor
             .restore_snapshot(new_target.as_mut(), &snap)?;
         self.metrics.snapshots_saved += 1;
         self.metrics.snapshots_restored += 1;
+        self.recorder.count(Counter::ContextSwitches);
         self.target = new_target;
         Ok(())
     }
@@ -477,6 +500,8 @@ impl Engine {
             return Ok(());
         }
         self.metrics.context_switches += 1;
+        self.recorder.count(Counter::ContextSwitches);
+        let _span = self.recorder.span("engine", "context-switch");
         match self.config.mode {
             ConsistencyMode::HardSnap => {
                 if let Some(prev) = self.current_owner {
@@ -533,6 +558,7 @@ impl Engine {
                 // running timer) end up in the wrong phase.
                 self.target.reset();
                 self.metrics.reboots += 1;
+                self.recorder.count(Counter::Reboots);
                 self.extra_time_ns += self.config.reboot_cost_ns;
                 let base = self.target.cycle();
                 if let Some(log) = self.io_logs.get(&next.id).cloned() {
@@ -714,6 +740,9 @@ impl Engine {
             // Run the selected state for up to one quantum (KLEE-style
             // batching keeps context switches bounded).
             let mut remaining = self.config.quantum.max(1);
+            let quantum_budget = remaining;
+            self.recorder.count(Counter::Quanta);
+            let mut qspan = self.recorder.span("engine", "quantum");
             let window_age = self.hw_age.get(&state.id).copied().unwrap_or(0);
             let window_cycle = self.target.cycle();
             // All in-quantum continuations keep the same state id, so
@@ -724,6 +753,7 @@ impl Engine {
                 let lines = self.target.irq_lines();
                 if lines != 0 && self.executor.enter_irq(&mut state, lines).is_some() {
                     self.metrics.irqs_delivered += 1;
+                    self.recorder.count(Counter::IrqsDelivered);
                 }
 
                 // Lines 12-14: step and collect successors.
@@ -814,10 +844,25 @@ impl Engine {
                     }
                 }
             }
+            let ran = quantum_budget - remaining;
+            qspan.set_arg(ran);
+            drop(qspan);
+            self.recorder.observe(Metric::QuantumInstructions, ran);
             let elapsed = self.target.cycle() - window_cycle;
             let entry = self.hw_age.entry(window_owner).or_insert(window_age);
             *entry = window_age + elapsed;
         }
+
+        // The store's always-on counters are folded into the telemetry
+        // snapshot only here, in the export side-channel.
+        let telemetry = self.recorder.snapshot().map(|mut t| {
+            let st = self.store.stats();
+            t.add_counter("store_hits", st.hits);
+            t.add_counter("store_misses", st.misses);
+            t.add_counter("store_evictions", st.evictions);
+            t.add_counter("store_deferred", st.deferred);
+            t
+        });
 
         RunResult {
             bugs,
@@ -837,6 +882,7 @@ impl Engine {
                 quarantined: 0,
             },
             fault_log: std::mem::take(&mut self.fault_log),
+            telemetry,
         }
     }
 }

@@ -53,7 +53,7 @@ pub use engine::{
     ConsistencyMode, Engine, EngineConfig, EngineMetrics, HwAssertion, IoOp, RunResult, Searcher,
 };
 pub use parallel::ParallelEngine;
-pub use snapshots::{SnapId, SnapshotStore};
+pub use snapshots::{SnapId, SnapshotStore, StoreStats};
 pub use supervise::{FaultSummary, RetryPolicy, Supervisor};
 
 // Re-export the pieces users compose with.
@@ -61,3 +61,4 @@ pub use hardsnap_bus::{
     transfer_state, FaultPlan, FaultyTarget, HwSnapshot, HwTarget, TargetCaps, TargetKind,
 };
 pub use hardsnap_symex::{BugKind, BugReport, Concretization};
+pub use hardsnap_telemetry::{MetricsSnapshot, Recorder, TelemetryConfig};

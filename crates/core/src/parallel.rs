@@ -35,6 +35,7 @@ use crate::snapshots::{SnapId, SnapshotStore};
 use crate::supervise::{FaultSummary, Supervisor};
 use hardsnap_bus::{BusError, HwTarget, TargetError};
 use hardsnap_symex::{BugReport, Executor, PortableState, StepOutcome, SymMmio, SymState};
+use hardsnap_telemetry::{Counter, Metric, MetricsSnapshot, Recorder};
 use hardsnap_util::sync::{scope, Mutex};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,6 +93,9 @@ struct WorkerOutput {
     faults: FaultSummary,
     /// Unrecoverable-fault records, each naming the state it killed.
     fatal: Vec<String>,
+    /// This worker's telemetry (its own trace track), `None` when
+    /// telemetry is disabled.
+    telemetry: Option<MetricsSnapshot>,
 }
 
 /// Per-attempt scratch: results a quantum produces before its success
@@ -267,7 +271,8 @@ impl ParallelEngine {
                 let handles: Vec<_> = self
                     .replicas
                     .iter_mut()
-                    .map(|t| scp.spawn(move || run_worker(shared, t, config)))
+                    .enumerate()
+                    .map(|(w, t)| scp.spawn(move || run_worker(shared, w, t, config)))
                     .collect();
                 handles
                     .into_iter()
@@ -303,6 +308,9 @@ impl ParallelEngine {
         let mut vtime: u64 = 0;
         let mut faults = FaultSummary::default();
         let mut fault_log: Vec<String> = Vec::new();
+        // Telemetry merges in replica order (outputs are joined in spawn
+        // order), so track ids and labels are stable across runs.
+        let mut telemetry: Option<MetricsSnapshot> = None;
         self.worker_vtimes_ns.clear();
         for o in &mut outputs {
             covered.extend(o.covered.iter().copied());
@@ -311,6 +319,19 @@ impl ParallelEngine {
             self.worker_vtimes_ns.push(o.vtime_ns);
             faults.merge(&o.faults);
             fault_log.append(&mut o.fatal);
+            if let Some(t) = o.telemetry.take() {
+                match &mut telemetry {
+                    Some(acc) => acc.merge(t),
+                    None => telemetry = Some(t),
+                }
+            }
+        }
+        if let Some(t) = &mut telemetry {
+            let st = self.store.stats();
+            t.add_counter("store_hits", st.hits);
+            t.add_counter("store_misses", st.misses);
+            t.add_counter("store_evictions", st.evictions);
+            t.add_counter("store_deferred", st.deferred);
         }
         metrics.states_dropped += shared.q.lock().dropped;
         self.metrics = metrics;
@@ -329,6 +350,7 @@ impl ParallelEngine {
             covered_pcs: covered.len(),
             faults,
             fault_log,
+            telemetry,
         }
     }
 }
@@ -423,12 +445,18 @@ fn finish_item(shared: &Shared, successors: Vec<WorkItem>, config: &EngineConfig
 /// state abandoned (and named in the fault log).
 fn run_worker(
     shared: &Shared,
+    widx: usize,
     replica: &mut Box<dyn HwTarget>,
     config: &EngineConfig,
 ) -> WorkerOutput {
     let mut ex = Executor::new(config.policy);
     let mut out = WorkerOutput::default();
     let mut sup = Supervisor::new(config.retry);
+    // One trace track per worker replica; all workers share the process
+    // epoch, so their tracks line up on one timeline.
+    let rec = Recorder::from_config(&config.telemetry, widx as u32, format!("worker-{widx}"));
+    replica.attach_recorder(&rec);
+    sup.recorder = rec.clone();
     // Virtual time accumulates across replica replacements: the base
     // resets whenever a fresh replica (with a fresh clock) is installed.
     let mut vtime_accum: u64 = 0;
@@ -456,9 +484,11 @@ fn run_worker(
                 &mut out,
                 &mut last_base,
                 &mut sup,
+                &rec,
             );
             match outcome {
                 Ok(successors) => {
+                    rec.observe(Metric::QuantumInstructions, scratch.executed);
                     out.bugs.append(&mut scratch.bugs);
                     out.completed.append(&mut scratch.completed);
                     finish_item(shared, successors, config);
@@ -493,6 +523,8 @@ fn run_worker(
                         // this item's in-flight slot before re-adding
                         // it, so the total never grows.
                         out.faults.quarantined += 1;
+                        rec.count(Counter::Quarantines);
+                        rec.instant("fault", "quarantine", u64::from(attempts));
                         let fresh = match replica.fork_clean() {
                             Ok(t) => Some(t),
                             Err(_) => shared.failover.lock().take(),
@@ -506,6 +538,7 @@ fn run_worker(
                                 }
                                 vtime_accum += replica.virtual_time_ns().saturating_sub(vtime_base);
                                 *replica = t;
+                                replica.attach_recorder(&rec);
                                 vtime_base = replica.virtual_time_ns();
                             }
                             None => {
@@ -530,6 +563,7 @@ fn run_worker(
     out.faults.retried = sup.retried;
     out.faults.recovered = sup.recovered;
     out.faults.injected += replica.fault_stats().map(|s| s.injected()).unwrap_or(0);
+    out.telemetry = rec.snapshot();
     out
 }
 
@@ -554,11 +588,15 @@ fn run_quantum(
     out: &mut WorkerOutput,
     last_base: &mut Option<SnapId>,
     sup: &mut Supervisor,
+    rec: &Recorder,
 ) -> Result<Vec<WorkItem>, TargetError> {
     let mut state = item.state.import(&mut ex.pool);
+    let _qspan = rec.span("engine", "quantum");
+    rec.count(Counter::Quanta);
     // RestoreState: the item's private snapshot, or power-on hardware
     // for a root state.
     out.metrics.context_switches += 1;
+    rec.count(Counter::ContextSwitches);
     match item.snap {
         Some(sid) => {
             let snap = shared
@@ -602,6 +640,7 @@ fn run_quantum(
         let lines = target.irq_lines();
         if lines != 0 && ex.enter_irq(&mut state, lines).is_some() {
             out.metrics.irqs_delivered += 1;
+            rec.count(Counter::IrqsDelivered);
         }
 
         let state_id = state.id;

@@ -118,11 +118,36 @@ struct Shard {
     entries: HashMap<SnapId, Stored>,
 }
 
+/// Always-on store activity counters (relaxed atomics — cheap enough to
+/// keep unconditionally; the telemetry layer folds them into its
+/// snapshot at the end of a run).
+#[derive(Debug, Default)]
+struct StoreCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    deferred: AtomicU64,
+}
+
+/// Point-in-time copy of the store's activity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that produced a snapshot.
+    pub hits: u64,
+    /// Lookups that failed (missing id or broken delta chain).
+    pub misses: u64,
+    /// Entries actually reclaimed by `remove`/`purge`.
+    pub evictions: u64,
+    /// `remove` calls deferred because live deltas pin the entry.
+    pub deferred: u64,
+}
+
 #[derive(Debug)]
 struct StoreInner {
     shards: ShardedRwLock<Shard>,
     next: AtomicU64,
     bytes: WatermarkCounter,
+    counters: StoreCounters,
 }
 
 /// Thread-safe, lock-sharded snapshot store.
@@ -138,6 +163,7 @@ impl Default for SnapshotStore {
                 shards: ShardedRwLock::new(SHARDS),
                 next: AtomicU64::new(0),
                 bytes: WatermarkCounter::new(),
+                counters: StoreCounters::default(),
             }),
         }
     }
@@ -341,9 +367,21 @@ impl SnapshotStore {
         }
     }
 
+    /// Records a lookup outcome in the activity counters.
+    fn note_lookup(&self, hit: bool) {
+        let c = &self.inner.counters;
+        if hit {
+            c.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Fetches a snapshot by id (reconstructing deltas transparently).
     pub fn get(&self, id: SnapId) -> Option<HwSnapshot> {
-        self.try_resolve(id).ok()
+        let got = self.try_resolve(id).ok();
+        self.note_lookup(got.is_some());
+        got
     }
 
     /// Like [`SnapshotStore::get`], but reports *why* a snapshot cannot
@@ -354,7 +392,9 @@ impl SnapshotStore {
     ///
     /// [`SnapshotError`] naming the broken link of the chain.
     pub fn try_get(&self, id: SnapId) -> Result<HwSnapshot, SnapshotError> {
-        self.try_resolve(id)
+        let got = self.try_resolve(id);
+        self.note_lookup(got.is_ok());
+        got
     }
 
     /// Drops a snapshot (state terminated); frees its delta base when it
@@ -369,11 +409,17 @@ impl SnapshotStore {
             if stored.refs > 0 {
                 // Deferred: live deltas still need this image.
                 stored.hidden = true;
+                drop(g);
+                self.inner.counters.deferred.fetch_add(1, Ordering::Relaxed);
                 return resolved;
             }
             let stored = g.entries.remove(&id).expect("entry just seen");
             drop(g);
             self.inner.bytes.sub(stored.entry.byte_size());
+            self.inner
+                .counters
+                .evictions
+                .fetch_add(1, Ordering::Relaxed);
             match stored.entry {
                 Entry::Delta { base, .. } => Some(base),
                 Entry::Full(_) => None,
@@ -396,6 +442,10 @@ impl SnapshotStore {
             let stored = g.entries.remove(&id)?;
             drop(g);
             self.inner.bytes.sub(stored.entry.byte_size());
+            self.inner
+                .counters
+                .evictions
+                .fetch_add(1, Ordering::Relaxed);
             match stored.entry {
                 Entry::Delta { base, .. } => Some(base),
                 Entry::Full(_) => None,
@@ -429,6 +479,17 @@ impl SnapshotStore {
     /// High-water mark of [`SnapshotStore::total_bytes`].
     pub fn peak_bytes(&self) -> usize {
         self.inner.bytes.peak()
+    }
+
+    /// Point-in-time copy of the store's activity counters.
+    pub fn stats(&self) -> StoreStats {
+        let c = &self.inner.counters;
+        StoreStats {
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            deferred: c.deferred.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -535,6 +596,26 @@ mod tests {
         assert_eq!(store.total_bytes(), 0);
         assert_eq!(store.peak_bytes(), peak1, "peak is a high-water mark");
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn store_stats_track_activity() {
+        let store = SnapshotStore::new();
+        let a = store.insert(snap(1));
+        assert!(store.get(a).is_some());
+        assert!(store.get(999).is_none());
+        let b = store.insert(snap(2));
+        let mut child = snap(2);
+        child.regs[0].bits = 77;
+        let c = store.insert_delta(b, child);
+        store.remove(b); // deferred: c pins it
+        store.remove(c); // evicts c, then reclaims hidden b
+        store.remove(a);
+        let s = store.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.deferred, 1);
+        assert_eq!(s.evictions, 2, "c and a evicted via remove()");
     }
 
     #[test]

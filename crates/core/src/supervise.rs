@@ -28,6 +28,7 @@
 //! result digest.
 
 use hardsnap_bus::{BusError, HwSnapshot, HwTarget, TargetError};
+use hardsnap_telemetry::{Counter, FaultClass, Metric, Recorder, SpanGuard};
 
 /// Retry/backoff/quarantine policy knobs, carried in `EngineConfig`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -106,12 +107,24 @@ pub struct Supervisor {
     /// Virtual nanoseconds of backoff charged so far (added to the
     /// run's `hw_virtual_time_ns`, never to the design clock).
     pub extra_vtime_ns: u64,
+    /// Telemetry sink: retry spans plus per-fault-class recovery
+    /// histograms (attempts × charged vtime). Disabled by default;
+    /// the owning engine installs its worker's recorder.
+    pub recorder: Recorder,
 }
 
 /// Whether a bus failure is transient (link-level, worth retrying) as
 /// opposed to a deterministic property of the design.
 fn transient_bus(e: &BusError) -> bool {
     matches!(e, BusError::Timeout { .. } | BusError::NotReady)
+}
+
+/// Telemetry class for a transient bus failure.
+fn classify_bus(e: &BusError) -> FaultClass {
+    match e {
+        BusError::Timeout { .. } => FaultClass::BusTimeout,
+        _ => FaultClass::NotReady,
+    }
 }
 
 impl Supervisor {
@@ -135,35 +148,69 @@ impl Supervisor {
     /// Generic retry loop: `op` runs up to `max_attempts` times as long
     /// as `retryable` says the failure is worth another try and the
     /// per-op backoff budget (`op_deadline_ns`) is not exhausted.
+    ///
+    /// `classify` buckets a *transient* failure for the per-fault-class
+    /// recovery histograms; it is only consulted for retryable errors,
+    /// and the class of an operation's recovery is the class of its
+    /// first transient failure. The clean path records nothing.
     fn with_retries<T, E>(
         &mut self,
         mut op: impl FnMut() -> Result<T, E>,
         retryable: impl Fn(&E) -> bool,
+        classify: impl Fn(&E) -> FaultClass,
     ) -> Result<T, E> {
         let mut attempt: u32 = 0;
         let mut charged: u64 = 0;
+        let mut fault: Option<(FaultClass, SpanGuard)> = None;
         loop {
             match op() {
                 Ok(v) => {
                     if attempt > 0 {
                         self.recovered += 1;
+                        self.recorder.count(Counter::Recovered);
+                        self.finish_recovery(fault.take(), attempt, charged);
                     }
                     return Ok(v);
                 }
                 Err(e) => {
                     attempt += 1;
+                    let transient = retryable(&e);
+                    if transient && fault.is_none() {
+                        let class = classify(&e);
+                        fault = Some((class, self.recorder.span("fault", class.span_name())));
+                    }
                     if attempt >= self.policy.max_attempts
                         || charged >= self.policy.op_deadline_ns
-                        || !retryable(&e)
+                        || !transient
                     {
+                        self.finish_recovery(fault.take(), attempt, charged);
                         return Err(e);
                     }
                     let pause = self.backoff_ns(attempt);
                     charged += pause;
                     self.extra_vtime_ns += pause;
                     self.retried += 1;
+                    self.recorder.count(Counter::Retries);
+                    self.recorder.observe(Metric::BackoffNs, pause);
                 }
             }
+        }
+    }
+
+    /// Closes out one operation's recovery episode: the retry span gets
+    /// its attempt count, and the per-class histograms record attempts
+    /// and the *virtual-time* latency the episode charged.
+    fn finish_recovery(
+        &self,
+        fault: Option<(FaultClass, SpanGuard)>,
+        attempts: u32,
+        charged_ns: u64,
+    ) {
+        if let Some((class, mut span)) = fault {
+            span.set_arg(u64::from(attempts));
+            self.recorder
+                .observe(class.retries_metric(), u64::from(attempts));
+            self.recorder.observe(class.latency_metric(), charged_ns);
         }
     }
 
@@ -174,7 +221,7 @@ impl Supervisor {
     /// The last failure once retries exhaust, or immediately for a
     /// non-transient [`BusError::SlaveError`].
     pub fn bus_read(&mut self, target: &mut dyn HwTarget, addr: u32) -> Result<u32, BusError> {
-        self.with_retries(|| target.bus_read(addr), transient_bus)
+        self.with_retries(|| target.bus_read(addr), transient_bus, classify_bus)
     }
 
     /// Supervised AXI write.
@@ -188,7 +235,7 @@ impl Supervisor {
         addr: u32,
         data: u32,
     ) -> Result<(), BusError> {
-        self.with_retries(|| target.bus_write(addr, data), transient_bus)
+        self.with_retries(|| target.bus_write(addr, data), transient_bus, classify_bus)
     }
 
     /// Supervised snapshot capture: the image is accepted only when it
@@ -219,6 +266,11 @@ impl Supervisor {
                 TargetError::Bus(b) => transient_bus(b),
                 _ => false,
             },
+            |e| match e {
+                TargetError::CorruptSnapshot(_) => FaultClass::CorruptCapture,
+                TargetError::Bus(b) => classify_bus(b),
+                _ => FaultClass::CorruptCapture,
+            },
         )
     }
 
@@ -239,6 +291,13 @@ impl Supervisor {
             |e| match e {
                 TargetError::Bus(b) => transient_bus(b),
                 _ => false,
+            },
+            // Everything retried during a restore is a restore-path
+            // fault, except an explicit "not ready" handshake which
+            // keeps its own class across operations.
+            |e| match e {
+                TargetError::Bus(BusError::NotReady) => FaultClass::NotReady,
+                _ => FaultClass::Restore,
             },
         )
     }

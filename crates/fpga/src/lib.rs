@@ -36,6 +36,7 @@ use hardsnap_bus::{
 use hardsnap_rtl::Module;
 use hardsnap_scan::{instrument, ports as scan_ports, ChainMap, ScanOptions};
 use hardsnap_sim::{AxiLite, SimError, Simulator};
+use hardsnap_telemetry::{Counter, Metric, Recorder};
 
 /// Virtual-time cost model of the FPGA platform.
 ///
@@ -122,6 +123,7 @@ pub struct FpgaTarget {
     design: String,
     readback: bool,
     instrumented_name: String,
+    rec: Recorder,
 }
 
 impl FpgaTarget {
@@ -150,6 +152,7 @@ impl FpgaTarget {
             design,
             readback: opts.readback,
             instrumented_name,
+            rec: Recorder::disabled(),
         })
     }
 
@@ -216,6 +219,10 @@ impl FpgaTarget {
     /// `shift_cycles()` cycles, not one per bit.
     fn scan_cycle_preserving(&mut self) -> Vec<u64> {
         let cycles = self.chain.shift_cycles();
+        let mut span = self.rec.span("scan", "scan-shift-out");
+        span.set_arg(self.chain.shift_plan().cells);
+        self.rec.count(Counter::ScanShifts);
+        self.rec.observe(Metric::ScanShiftCycles, cycles);
         let mut stream = Vec::with_capacity(cycles as usize);
         self.sim
             .poke(scan_ports::SCAN_ENABLE, 1)
@@ -242,6 +249,11 @@ impl FpgaTarget {
     /// Shifts `stream` in, one word per cycle (previous state is
     /// discarded).
     fn scan_shift_in(&mut self, stream: &[u64]) {
+        let mut span = self.rec.span("scan", "scan-shift-in");
+        span.set_arg(self.chain.shift_plan().cells);
+        self.rec.count(Counter::ScanShifts);
+        self.rec
+            .observe(Metric::ScanShiftCycles, stream.len() as u64);
         self.sim
             .poke(scan_ports::SCAN_ENABLE, 1)
             .expect("scan port exists");
@@ -430,6 +442,7 @@ impl HwTarget for FpgaTarget {
     }
 
     fn bus_read(&mut self, addr: u32) -> Result<u32, BusError> {
+        self.rec.count(Counter::BusReads);
         let (v, cycles) = self.axi.read(&mut self.sim, addr)?;
         self.charge_cycles(cycles);
         self.vtime_ns += self.model.usb_latency_ns;
@@ -437,6 +450,7 @@ impl HwTarget for FpgaTarget {
     }
 
     fn bus_write(&mut self, addr: u32, data: u32) -> Result<(), BusError> {
+        self.rec.count(Counter::BusWrites);
         let cycles = self.axi.write(&mut self.sim, addr, data)?;
         self.charge_cycles(cycles);
         self.vtime_ns += self.model.usb_latency_ns;
@@ -451,6 +465,8 @@ impl HwTarget for FpgaTarget {
     }
 
     fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
+        let span = self.rec.span("snapshot", "capture");
+        let vtime_before = self.vtime_ns;
         let stream = self.scan_cycle_preserving();
         let values = self
             .chain
@@ -469,6 +485,10 @@ impl HwTarget for FpgaTarget {
             .collect();
         let mems = self.collar_read_all();
         self.vtime_ns += self.model.scan_overhead_ns;
+        self.rec.count(Counter::SnapshotsSaved);
+        self.rec
+            .observe(Metric::CaptureVtimeNs, self.vtime_ns - vtime_before);
+        drop(span);
         Ok(HwSnapshot {
             design: self.design.clone(),
             cycle: self.sim.cycle(),
@@ -478,6 +498,8 @@ impl HwTarget for FpgaTarget {
     }
 
     fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
+        let span = self.rec.span("snapshot", "restore");
+        let vtime_before = self.vtime_ns;
         if snap.design != self.design {
             return Err(TargetError::DesignMismatch {
                 expected: snap.design.clone(),
@@ -499,6 +521,10 @@ impl HwTarget for FpgaTarget {
         self.scan_shift_in(&stream);
         self.collar_write_all(&snap.mems)?;
         self.vtime_ns += self.model.scan_overhead_ns;
+        self.rec.count(Counter::SnapshotsRestored);
+        self.rec
+            .observe(Metric::RestoreVtimeNs, self.vtime_ns - vtime_before);
+        drop(span);
         Ok(())
     }
 
@@ -521,6 +547,9 @@ impl HwTarget for FpgaTarget {
             design: self.design.clone(),
             readback: self.readback,
             instrumented_name: self.instrumented_name.clone(),
+            // Replicas go to other workers; each worker attaches its
+            // own track's recorder.
+            rec: Recorder::disabled(),
         }))
     }
 
@@ -538,6 +567,10 @@ impl HwTarget for FpgaTarget {
                 .iter()
                 .map(|c| (c.name.as_str(), c.width, c.depth as usize)),
         )
+    }
+
+    fn attach_recorder(&mut self, rec: &Recorder) {
+        self.rec = rec.clone();
     }
 }
 

@@ -76,6 +76,22 @@ pub struct ChainMap {
     pub pad_bits: u64,
 }
 
+/// What one full scan pass over a chain costs, independent of the data
+/// being shifted. Produced by [`ChainMap::shift_plan`]; the FPGA
+/// backend stamps these numbers onto its scan-shift telemetry spans so
+/// a trace shows *why* a capture took the cycles it did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShiftPlan {
+    /// Shift lanes (normalized; never 0).
+    pub lanes: u32,
+    /// Scan cycles per full pass.
+    pub cycles: u64,
+    /// Total cells moved per pass (registers + pad).
+    pub cells: u64,
+    /// Memory words drained through collars per pass.
+    pub mem_words: u64,
+}
+
 impl ChainMap {
     /// Total number of register scan cells (excluding pad).
     pub fn chain_bits(&self) -> u64 {
@@ -101,6 +117,18 @@ impl ChainMap {
     /// Total memory words behind collars (= collar cycles per pass).
     pub fn mem_words(&self) -> u64 {
         self.mems.iter().map(|m| m.depth as u64).sum()
+    }
+
+    /// The fixed per-pass cost summary of this chain, for telemetry
+    /// annotation and capacity planning. Pure layout arithmetic — a
+    /// `ShiftPlan` never changes between passes of the same design.
+    pub fn shift_plan(&self) -> ShiftPlan {
+        ShiftPlan {
+            lanes: self.lanes(),
+            cycles: self.shift_cycles(),
+            cells: self.total_cells(),
+            mem_words: self.mem_words(),
+        }
     }
 
     /// Encodes register values (in segment order) into the serial

@@ -35,7 +35,7 @@
 pub mod chain;
 pub mod pass;
 
-pub use chain::{ChainMap, ChainSegment, MemCollar};
+pub use chain::{ChainMap, ChainSegment, MemCollar, ShiftPlan};
 pub use pass::{instrument, ports, validate_instrumented, ScanOptions};
 
 use std::error::Error;

@@ -13,6 +13,7 @@ use hardsnap_bus::{
     axi_ports, BusError, HwSnapshot, HwTarget, MemImage, RegImage, TargetCaps, TargetError,
     TargetKind,
 };
+use hardsnap_telemetry::{Counter, Metric, Recorder};
 
 /// Virtual-time cost model of the simulator platform.
 ///
@@ -68,6 +69,7 @@ pub struct SimTarget {
     vtime_ns: u64,
     trace: Option<VcdTrace>,
     irq_net: Option<String>,
+    rec: Recorder,
 }
 
 impl SimTarget {
@@ -99,6 +101,7 @@ impl SimTarget {
             vtime_ns: 0,
             trace: None,
             irq_net,
+            rec: Recorder::disabled(),
         })
     }
 
@@ -214,6 +217,7 @@ impl HwTarget for SimTarget {
     }
 
     fn bus_read(&mut self, addr: u32) -> Result<u32, BusError> {
+        self.rec.count(Counter::BusReads);
         let (v, cycles) = self.axi.read(&mut self.sim, addr)?;
         self.charge_cycles(cycles);
         self.vtime_ns += self.model.io_overhead_ns;
@@ -222,6 +226,7 @@ impl HwTarget for SimTarget {
     }
 
     fn bus_write(&mut self, addr: u32, data: u32) -> Result<(), BusError> {
+        self.rec.count(Counter::BusWrites);
         let cycles = self.axi.write(&mut self.sim, addr, data)?;
         self.charge_cycles(cycles);
         self.vtime_ns += self.model.io_overhead_ns;
@@ -237,13 +242,20 @@ impl HwTarget for SimTarget {
     }
 
     fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
+        let mut span = self.rec.span("snapshot", "capture");
         let snap = self.capture();
-        self.vtime_ns += self.model.snapshot_fixed_ns
+        let charged = self.model.snapshot_fixed_ns
             + snap.byte_size() as u64 * self.model.snapshot_ns_per_byte;
+        self.vtime_ns += charged;
+        span.set_arg(snap.byte_size() as u64);
+        self.rec.count(Counter::SnapshotsSaved);
+        self.rec.observe(Metric::CaptureVtimeNs, charged);
         Ok(snap)
     }
 
     fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
+        let mut span = self.rec.span("snapshot", "restore");
+        span.set_arg(snap.byte_size() as u64);
         if snap.design != self.sim.module().name {
             return Err(TargetError::DesignMismatch {
                 expected: snap.design.clone(),
@@ -262,8 +274,11 @@ impl HwTarget for SimTarget {
                 })?;
             }
         }
-        self.vtime_ns += self.model.snapshot_fixed_ns
+        let charged = self.model.snapshot_fixed_ns
             + snap.byte_size() as u64 * self.model.snapshot_ns_per_byte;
+        self.vtime_ns += charged;
+        self.rec.count(Counter::SnapshotsRestored);
+        self.rec.observe(Metric::RestoreVtimeNs, charged);
         self.sample_trace();
         Ok(())
     }
@@ -283,6 +298,9 @@ impl HwTarget for SimTarget {
             vtime_ns: 0,
             trace: None,
             irq_net: self.irq_net.clone(),
+            // Replicas go to other workers; each worker attaches its
+            // own track's recorder.
+            rec: Recorder::disabled(),
         }))
     }
 
@@ -301,6 +319,10 @@ impl HwTarget for SimTarget {
                 .iter_mems()
                 .map(|(id, mem)| (mem.name.as_str(), mem.width, self.sim.mem_words(id).len())),
         )
+    }
+
+    fn attach_recorder(&mut self, rec: &Recorder) {
+        self.rec = rec.clone();
     }
 }
 

@@ -1,0 +1,318 @@
+//! Exportable, mergeable metrics snapshots and the three exporters:
+//! human summary table, machine JSON dump, Chrome `trace_event` JSON.
+
+use crate::recorder::{bucket_lower_bound, HistSnapshot, SpanEvent};
+
+/// Everything one run collected, merged across worker recorders.
+/// Lives in `RunResult::telemetry`; purely observational — the
+/// canonical digest never includes it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(track id, label)` per worker recorder, sorted by id.
+    pub tracks: Vec<(u32, String)>,
+    /// Named counters, sorted by name, zero entries omitted.
+    pub counters: Vec<(String, u64)>,
+    /// Named histograms, sorted by name, empty ones omitted.
+    pub hists: Vec<HistSnapshot>,
+    /// All spans from all tracks (exporters sort per track).
+    pub spans: Vec<SpanEvent>,
+}
+
+impl MetricsSnapshot {
+    /// A snapshot with nothing in it.
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Add `v` to the named counter (creating it if new).
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        if v == 0 {
+            return;
+        }
+        match self
+            .counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            Ok(i) => self.counters[i].1 += v,
+            Err(i) => self.counters.insert(i, (name.to_string(), v)),
+        }
+    }
+
+    /// Value of a named counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The named histogram, if any observations were recorded.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Fold another worker's snapshot into this one. Counters and
+    /// histogram buckets add; tracks and spans append. Deterministic
+    /// given a deterministic merge order (callers merge workers in
+    /// replica order).
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        for (t, l) in other.tracks {
+            if !self.tracks.iter().any(|(id, _)| *id == t) {
+                self.tracks.push((t, l));
+            }
+        }
+        self.tracks.sort();
+        for (name, v) in other.counters {
+            self.add_counter(&name, v);
+        }
+        for h in other.hists {
+            match self.hists.iter_mut().find(|mine| mine.name == h.name) {
+                Some(mine) => mine.merge(&h),
+                None => {
+                    self.hists.push(h);
+                    self.hists.sort_by(|a, b| a.name.cmp(&b.name));
+                }
+            }
+        }
+        self.spans.extend(other.spans);
+    }
+
+    /// Human-readable end-of-run summary: counters, then histogram
+    /// count/p50/p99/max rows.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("telemetry summary\n");
+        let labels: Vec<String> = self.tracks.iter().map(|(_, l)| l.clone()).collect();
+        out.push_str(&format!(
+            "  tracks    : {}\n",
+            if labels.is_empty() {
+                "(none)".to_string()
+            } else {
+                labels.join(", ")
+            }
+        ));
+        out.push_str(&format!("  spans     : {}\n", self.spans.len()));
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("    {name:<34} {v:>12}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("  histograms (log2 buckets; quantiles are bucket lower bounds):\n");
+            out.push_str(&format!(
+                "    {:<34} {:>8} {:>12} {:>12} {:>12}\n",
+                "metric", "count", "~p50", "~p99", "max<"
+            ));
+            for h in &self.hists {
+                let top = h
+                    .buckets
+                    .iter()
+                    .rposition(|&n| n != 0)
+                    .map(|i| {
+                        if i + 1 < h.buckets.len() {
+                            bucket_lower_bound(i + 1).to_string()
+                        } else {
+                            "inf".to_string()
+                        }
+                    })
+                    .unwrap_or_else(|| "0".to_string());
+                out.push_str(&format!(
+                    "    {:<34} {:>8} {:>12} {:>12} {:>12}\n",
+                    h.name,
+                    h.count(),
+                    h.approx_quantile(0.5),
+                    h.approx_quantile(0.99),
+                    top,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable metrics dump (schema
+    /// `hardsnap-telemetry-v1`). Histograms list only non-empty
+    /// buckets as `[lower_bound, count]` pairs.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"hardsnap-telemetry-v1\",\n");
+        out.push_str("  \"tracks\": [");
+        for (i, (id, label)) in self.tracks.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{{\"id\": {id}, \"label\": {}}}", json_str(label)));
+        }
+        out.push_str("],\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {v}", json_str(name)));
+        }
+        out.push_str("},\n  \"histograms\": [\n");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n != 0)
+                .map(|(b, &n)| format!("[{}, {n}]", bucket_lower_bound(b)))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"count\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                json_str(&h.name),
+                h.count(),
+                h.approx_quantile(0.5),
+                h.approx_quantile(0.99),
+                buckets.join(", ")
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"span_count\": {}\n}}\n",
+            self.spans.len()
+        ));
+        out
+    }
+
+    /// Chrome `trace_event`-format JSON: complete (`ph:"X"`) events in
+    /// microseconds, one `tid` per worker track with `thread_name`
+    /// metadata, events sorted per track by start time. Load in
+    /// Perfetto (ui.perfetto.dev) or `about://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events: Vec<&SpanEvent> = self.spans.iter().collect();
+        events.sort_by_key(|e| (e.track, e.ts_ns, e.dur_ns));
+        let mut lines = Vec::with_capacity(self.tracks.len() + events.len());
+        for (id, label) in &self.tracks {
+            lines.push(format!(
+                "  {{\"ph\": \"M\", \"pid\": 1, \"tid\": {id}, \"name\": \"thread_name\", \
+                 \"args\": {{\"name\": {}}}}}",
+                json_str(label)
+            ));
+        }
+        for e in events {
+            let ph = if e.dur_ns == 0 { "i" } else { "X" };
+            let mut line = format!(
+                "  {{\"ph\": \"{ph}\", \"pid\": 1, \"tid\": {}, \"name\": {}, \"cat\": {}, \
+                 \"ts\": {:.3}",
+                e.track,
+                json_str(e.name),
+                json_str(e.cat),
+                e.ts_ns as f64 / 1000.0,
+            );
+            if e.dur_ns != 0 {
+                line.push_str(&format!(", \"dur\": {:.3}", e.dur_ns as f64 / 1000.0));
+            } else {
+                line.push_str(", \"s\": \"t\"");
+            }
+            line.push_str(&format!(", \"args\": {{\"v\": {}}}}}", e.arg));
+            lines.push(line);
+        }
+        format!(
+            "{{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n{}\n]}}\n",
+            lines.join(",\n")
+        )
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::new();
+    hardsnap_util::json::write_escaped(s, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Counter, Metric, Recorder};
+    use hardsnap_util::json;
+
+    fn sample() -> MetricsSnapshot {
+        let r0 = Recorder::enabled(0, "worker-0");
+        let r1 = Recorder::enabled(1, "worker-1");
+        r0.count(Counter::ContextSwitches);
+        r0.observe(Metric::CaptureVtimeNs, 20_000_000);
+        r1.add(Counter::ContextSwitches, 2);
+        r1.observe(Metric::CaptureVtimeNs, 19_000_000);
+        drop(r0.span("snapshot", "capture"));
+        drop(r1.span("snapshot", "restore"));
+        drop(r1.span("engine", "quantum"));
+        let mut snap = r0.snapshot().unwrap();
+        snap.merge(r1.snapshot().unwrap());
+        snap
+    }
+
+    #[test]
+    fn merge_sums_and_orders() {
+        let snap = sample();
+        assert_eq!(
+            snap.tracks,
+            vec![(0, "worker-0".into()), (1, "worker-1".into())]
+        );
+        assert_eq!(snap.counter("context_switches"), 3);
+        assert_eq!(snap.hist("capture_vtime_ns").unwrap().count(), 2);
+        assert_eq!(snap.spans.len(), 3);
+    }
+
+    #[test]
+    fn summary_table_mentions_everything() {
+        let table = sample().summary_table();
+        assert!(table.contains("context_switches"));
+        assert!(table.contains("capture_vtime_ns"));
+        assert!(table.contains("worker-1"));
+    }
+
+    #[test]
+    fn metrics_json_parses() {
+        let v = json::parse(&sample().metrics_json()).unwrap();
+        assert_eq!(
+            v.get("schema").unwrap().as_str(),
+            Some("hardsnap-telemetry-v1")
+        );
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("context_switches")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        let hists = v.get("histograms").unwrap().as_arr().unwrap();
+        assert_eq!(
+            hists[0].get("name").unwrap().as_str(),
+            Some("capture_vtime_ns")
+        );
+        assert_eq!(hists[0].get("count").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_is_per_track_monotonic() {
+        let trace = sample().chrome_trace_json();
+        let v = json::parse(&trace).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events.len() >= 5, "2 metadata + 3 spans");
+        let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
+        let mut names = Vec::new();
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            let tid = e.get("tid").unwrap().as_u64().unwrap();
+            match ph {
+                "M" => {
+                    assert_eq!(e.get("name").unwrap().as_str(), Some("thread_name"));
+                }
+                "X" | "i" => {
+                    let ts = e.get("ts").unwrap().as_f64().unwrap();
+                    let prev = last_ts.insert(tid, ts).unwrap_or(f64::MIN);
+                    assert!(ts >= prev, "track {tid} not monotonic");
+                    names.push(e.get("name").unwrap().as_str().unwrap().to_string());
+                }
+                other => panic!("unexpected ph {other:?}"),
+            }
+        }
+        for expected in ["capture", "restore", "quantum"] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+}

@@ -19,11 +19,15 @@
 //!   re-exports;
 //! * [`bench`] — `Instant`-based micro-bench timers (warmup +
 //!   median-of-k) with a criterion-shaped facade so bench files only
-//!   change their imports.
+//!   change their imports;
+//! * [`json`] — a minimal JSON reader/writer so tests and CI can
+//!   validate the artifacts the workspace emits (Chrome traces,
+//!   metrics dumps, `BENCH_*.json`) without `serde_json`.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod sync;
