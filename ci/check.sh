@@ -16,6 +16,37 @@ cargo fmt --check
 echo "==> parallel-engine worker-determinism guard"
 cargo test -q --offline -p hardsnap --test parallel
 
+echo "==> sim-engine differential guard (bytecode vs interpreter)"
+# Random designs under random stimulus: the compiled bytecode engine
+# must match the reference interpreter on every net, memory word and
+# snapshot image, every cycle.
+cargo test -q --offline -p hardsnap-sim --test differential
+cargo test -q --offline -p hardsnap --test sim_engines
+
+echo "==> sim-engine digest gate: analyze demo, all engines x workers {1,2}"
+# End-to-end: the full analysis pipeline must produce one canonical
+# digest no matter which RTL evaluation backend runs underneath.
+engine_digest=""
+for eng in interp bytecode; do
+    for w in 1 2; do
+        cargo run -q --release --offline -p hardsnap-bench --bin hardsnap-cli -- \
+            analyze demo --workers "$w" --sim-engine "$eng" \
+            > "target/analyze.$eng.$w.txt"
+        d=$(grep 'canonical digest' "target/analyze.$eng.$w.txt" | awk '{print $NF}')
+        if [ -z "$d" ]; then
+            echo "no digest from --sim-engine $eng --workers $w"
+            exit 1
+        fi
+        if [ -z "$engine_digest" ]; then
+            engine_digest="$d"
+        elif [ "$d" != "$engine_digest" ]; then
+            echo "digest diverged: --sim-engine $eng --workers $w gave $d, want $engine_digest"
+            exit 1
+        fi
+    done
+done
+echo "    digests match across engines: $engine_digest"
+
 echo "==> 2-worker analysis-speed smoke run"
 cargo run -q --release --offline -p hardsnap-bench --bin exp_analysis_speed -- \
     --workers 1,2 --json target/BENCH_analysis_speed.smoke.json

@@ -5,6 +5,7 @@
 //! hardsnap-cli instrument <design.v> [--top NAME] [--scope PREFIX] -o <out.v>
 //! hardsnap-cli sim <design.v> [--top NAME] --cycles N [--vcd out.vcd]
 //! hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
+//!                      [--sim-engine bytecode|bytecode-full|interp]
 //!                      [--fault-rate R [--fault-seed N]] [--workers N]
 //!                      [--trace-out trace.json] [--metrics-out metrics.json]
 //! hardsnap-cli trace-check <trace.json>
@@ -21,7 +22,7 @@ use hardsnap_bus::{FaultPlan, FaultyTarget, HwTarget};
 use hardsnap_fpga::{FpgaOptions, FpgaTarget};
 use hardsnap_fuzz::{FuzzConfig, Fuzzer, ResetStrategy};
 use hardsnap_scan::{instrument, ScanOptions};
-use hardsnap_sim::SimTarget;
+use hardsnap_sim::{SimEngine, SimTarget};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -71,8 +72,11 @@ USAGE:
   hardsnap-cli sim <design.v> [--top NAME] --cycles N [--vcd out.vcd]
       Simulate a design for N cycles (inputs held at reset values).
   hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
-                       [--workers N] [--trace-out trace.json] [--metrics-out metrics.json]
+                       [--sim-engine bytecode|bytecode-full|interp] [--workers N]
+                       [--trace-out trace.json] [--metrics-out metrics.json]
       Symbolically analyze HS32 firmware against the built-in SoC.
+      --sim-engine selects the RTL evaluation backend (sim target only;
+      all three produce bit-identical results — the digest proves it);
       --workers N > 1 runs the parallel engine (HardSnap mode only);
       --trace-out / --metrics-out switch telemetry on and export a
       Chrome trace_event file (Perfetto / chrome://tracing) or a
@@ -210,8 +214,17 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     };
     let program = hardsnap_isa::assemble(&src).map_err(|e| format!("{path}:{e}"))?;
     let soc = hardsnap_periph::soc()?;
+    let sim_engine = match flag(&flags, "sim-engine") {
+        Some(name) => SimEngine::from_name(name).ok_or_else(|| {
+            format!("unknown --sim-engine '{name}' (want bytecode|bytecode-full|interp)")
+        })?,
+        None => SimEngine::Bytecode,
+    };
     let target: Box<dyn HwTarget> = match flag(&flags, "target").unwrap_or("sim") {
-        "sim" => Box::new(SimTarget::new(soc)?),
+        "sim" => Box::new(SimTarget::with_engine(soc, sim_engine)?),
+        "fpga" if flag(&flags, "sim-engine").is_some() => {
+            return Err("--sim-engine only applies to --target sim".into())
+        }
         "fpga" => Box::new(FpgaTarget::new(soc, &FpgaOptions::default())?),
         other => return Err(format!("unknown target '{other}'").into()),
     };
@@ -300,6 +313,14 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     if let Some(t) = &result.telemetry {
         println!();
         println!("{}", t.summary_table());
+        let exec = t.counter("sim.ops_executed");
+        let skip = t.counter("sim.ops_skipped");
+        if exec + skip > 0 {
+            println!(
+                "dirty-cone hit rate: {:.1}% of comb ops skipped ({skip} skipped, {exec} executed)",
+                100.0 * skip as f64 / (exec + skip) as f64
+            );
+        }
         if let Some(path) = trace_out {
             std::fs::write(path, t.chrome_trace_json())?;
             println!("chrome trace written to {path} (load in Perfetto / chrome://tracing)");

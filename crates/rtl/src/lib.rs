@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod compile;
 pub mod elaborate;
 pub mod eval;
 pub mod expr;
@@ -55,6 +56,7 @@ pub mod stats;
 pub mod value;
 
 pub use check::{check_module, Lint};
+pub use compile::{comb_schedule, compile, Block, CombUnit, CompileError, CompiledProgram, Op};
 pub use elaborate::elaborate;
 pub use eval::{eval_binary, eval_unary};
 pub use expr::{BinaryOp, Expr, UnaryOp};

@@ -74,10 +74,7 @@ impl AxiLite {
     /// [`BusError::Timeout`] if a handshake never completes.
     pub fn write(&self, sim: &mut Simulator, addr: u32, data: u32) -> Result<u64, BusError> {
         let start = sim.cycle();
-        let poke = |sim: &mut Simulator, id: NetId, v: u64| {
-            let name = sim.module().net(id).name.clone();
-            sim.poke(&name, v).expect("bound port vanished");
-        };
+        let poke = |sim: &mut Simulator, id: NetId, v: u64| sim.poke_id(id, v);
         poke(sim, self.awvalid, 1);
         poke(sim, self.awaddr, addr as u64);
         poke(sim, self.wvalid, 1);
@@ -128,10 +125,7 @@ impl AxiLite {
     /// Same conditions as [`AxiLite::write`].
     pub fn read(&self, sim: &mut Simulator, addr: u32) -> Result<(u32, u64), BusError> {
         let start = sim.cycle();
-        let poke = |sim: &mut Simulator, id: NetId, v: u64| {
-            let name = sim.module().net(id).name.clone();
-            sim.poke(&name, v).expect("bound port vanished");
-        };
+        let poke = |sim: &mut Simulator, id: NetId, v: u64| sim.poke_id(id, v);
         poke(sim, self.arvalid, 1);
         poke(sim, self.araddr, addr as u64);
         poke(sim, self.rready, 1);

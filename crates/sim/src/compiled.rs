@@ -1,0 +1,525 @@
+//! Bytecode execution backend: runs a [`CompiledProgram`] with
+//! activity-driven (dirty-cone) scheduling.
+//!
+//! State is raw normalized `u64` slots (one per net) plus memory word
+//! arrays — no [`hardsnap_rtl::Value`] construction anywhere on the hot
+//! path. A per-comb-block dirty flag plus the program's net→readers /
+//! mem→readers maps let `settle()` re-execute only blocks in the
+//! fan-out cone of nets that actually changed; a quiescent design costs
+//! two flag tests per cycle.
+//!
+//! ## Why dirty-cone settling is bit-exact
+//!
+//! The interpreter's `settle()` runs *every* comb unit once, in
+//! levelized order, whenever anything is dirty. Skipping a block whose
+//! inputs did not change is exact because (a) full-target self-reads
+//! are rejected as comb loops, so every ordinary block is a pure
+//! function of its read set and re-running it with unchanged inputs
+//! rewrites unchanged outputs; and (b) Kahn order places every reader
+//! of a net after all of its drivers, so one forward pass propagates a
+//! change through the whole cone. Two non-pure cases are handled
+//! specially:
+//!
+//! * Blocks reading a net they *partially* drive (`self_rmw`) shift
+//!   state on every executed settle; they are re-marked exactly when
+//!   the interpreter's global dirty flag would be set (`global_dirty`).
+//! * An external poke smashes a comb-driven net, so the poked net's
+//!   *drivers* are marked too — re-running them rewrites the derived
+//!   value exactly as a full interpreter settle would.
+
+use hardsnap_rtl::{mask, BinaryOp, Block, CompiledProgram, Module, Op, UnaryOp};
+use std::sync::Arc;
+
+/// Change journal for VCD tracing: per-net "changed since last drain"
+/// bit plus the list of changed slots.
+#[derive(Debug)]
+struct Journal {
+    changed: Vec<bool>,
+    list: Vec<u32>,
+}
+
+/// Bytecode simulator state for one replica.
+#[derive(Debug)]
+pub(crate) struct CompiledSim {
+    prog: Arc<CompiledProgram>,
+    st: ExecState,
+}
+
+#[derive(Debug)]
+struct ExecState {
+    nets: Vec<u64>,
+    mems: Vec<Vec<u64>>,
+    stack: Vec<u64>,
+    tmps: Vec<u64>,
+    /// Pending non-blocking net writes: (slot, mask, bits).
+    nba_nets: Vec<(u32, u64, u64)>,
+    /// Pending non-blocking memory writes: (mem, addr, value).
+    nba_mems: Vec<(u32, u64, u64)>,
+    /// Per-comb-block dirty flag (indices match `prog.comb_blocks`).
+    dirty: Vec<bool>,
+    any_dirty: bool,
+    /// Mirrors the interpreter's global `comb_dirty` cadence; consumed
+    /// by `settle()` to re-mark `self_rmw` blocks.
+    global_dirty: bool,
+    /// Comb block currently executing in the settle pass (u32::MAX
+    /// outside it); a block never re-marks itself mid-settle, matching
+    /// the interpreter's run-each-node-once-per-settle rule.
+    cur_block: u32,
+    /// Whether activity scheduling is on (off = full re-evaluation of
+    /// every block per dirty settle, for benchmarking the win).
+    activity: bool,
+    /// Whether settle() currently charges the activity counters (only
+    /// during `step`, so driver peeks don't skew the hit rate).
+    account: bool,
+    ops_executed: u64,
+    ops_skipped: u64,
+    journal: Option<Journal>,
+}
+
+impl CompiledSim {
+    pub(crate) fn new(prog: Arc<CompiledProgram>, module: &Module) -> Self {
+        let st = ExecState {
+            nets: vec![0; prog.net_widths.len()],
+            mems: module
+                .memories
+                .iter()
+                .map(|m| vec![0u64; m.depth as usize])
+                .collect(),
+            stack: Vec::with_capacity(32),
+            tmps: vec![0; prog.tmp_slots],
+            nba_nets: Vec::new(),
+            nba_mems: Vec::new(),
+            dirty: vec![true; prog.comb_blocks.len()],
+            any_dirty: true,
+            global_dirty: true,
+            cur_block: u32::MAX,
+            activity: true,
+            account: false,
+            ops_executed: 0,
+            ops_skipped: 0,
+            journal: None,
+        };
+        CompiledSim { prog, st }
+    }
+
+    /// Fresh power-on replica sharing the compiled program (keeps the
+    /// activity setting; drops journal and counters).
+    pub(crate) fn fork(&self, module: &Module) -> Self {
+        let mut f = CompiledSim::new(Arc::clone(&self.prog), module);
+        f.st.activity = self.st.activity;
+        f
+    }
+
+    pub(crate) fn set_activity(&mut self, on: bool) {
+        self.st.activity = on;
+    }
+
+    pub(crate) fn activity(&self) -> bool {
+        self.st.activity
+    }
+
+    pub(crate) fn ops_executed(&self) -> u64 {
+        self.st.ops_executed
+    }
+
+    pub(crate) fn ops_skipped(&self) -> u64 {
+        self.st.ops_skipped
+    }
+
+    pub(crate) fn peek_raw(&self, slot: usize) -> u64 {
+        self.st.nets[slot]
+    }
+
+    pub(crate) fn mem_words(&self, mem: usize) -> &[u64] {
+        &self.st.mems[mem]
+    }
+
+    pub(crate) fn settle(&mut self) {
+        self.st.settle(&self.prog);
+    }
+
+    /// One posedge: settle, clock edge with NBA commit, re-settle.
+    /// Mirrors the interpreter's `step()` body exactly.
+    pub(crate) fn step_one(&mut self) {
+        self.st.account = true;
+        self.st.settle(&self.prog);
+        self.st.clock_edge(&self.prog);
+        self.st.global_dirty = true;
+        self.st.settle(&self.prog);
+        self.st.account = false;
+    }
+
+    pub(crate) fn poke(&mut self, slot: u32, value: u64) {
+        self.st.poke(&self.prog, slot, value);
+    }
+
+    /// Writes one memory word; returns false when out of range.
+    pub(crate) fn poke_mem(&mut self, mem: usize, addr: usize, value: u64) -> bool {
+        self.st.poke_mem(&self.prog, mem, addr, value)
+    }
+
+    pub(crate) fn clear_state(&mut self) {
+        self.st.clear_state(&self.prog);
+    }
+
+    pub(crate) fn enable_journal(&mut self) {
+        if self.st.journal.is_none() {
+            self.st.journal = Some(Journal {
+                changed: vec![false; self.st.nets.len()],
+                list: Vec::new(),
+            });
+        }
+    }
+
+    /// Drains the set of nets whose value changed since the last drain
+    /// into `out` (ascending slot order). Returns false when no journal
+    /// is enabled (caller must fall back to a full scan).
+    pub(crate) fn drain_changes(&mut self, out: &mut Vec<u32>) -> bool {
+        match &mut self.st.journal {
+            None => false,
+            Some(j) => {
+                out.clear();
+                out.extend_from_slice(&j.list);
+                out.sort_unstable();
+                for &s in out.iter() {
+                    j.changed[s as usize] = false;
+                }
+                j.list.clear();
+                true
+            }
+        }
+    }
+}
+
+impl ExecState {
+    /// Marks the readers of a changed net dirty and journals the
+    /// change. `self.cur_block` is skipped: a block never re-queues
+    /// itself within one settle (see module docs on `self_rmw`).
+    #[inline]
+    fn on_net_change(&mut self, prog: &CompiledProgram, slot: u32) {
+        if let Some(j) = &mut self.journal {
+            if !j.changed[slot as usize] {
+                j.changed[slot as usize] = true;
+                j.list.push(slot);
+            }
+        }
+        for &bi in &prog.net_readers[slot as usize] {
+            if bi != self.cur_block && !self.dirty[bi as usize] {
+                self.dirty[bi as usize] = true;
+                self.any_dirty = true;
+            }
+        }
+    }
+
+    #[inline]
+    fn on_mem_change(&mut self, prog: &CompiledProgram, mem: u32) {
+        for &bi in &prog.mem_readers[mem as usize] {
+            if bi != self.cur_block && !self.dirty[bi as usize] {
+                self.dirty[bi as usize] = true;
+                self.any_dirty = true;
+            }
+        }
+    }
+
+    fn settle(&mut self, prog: &CompiledProgram) {
+        if self.global_dirty {
+            self.global_dirty = false;
+            for &bi in &prog.self_rmw {
+                if !self.dirty[bi as usize] {
+                    self.dirty[bi as usize] = true;
+                    self.any_dirty = true;
+                }
+            }
+            if !self.activity {
+                // Full-evaluation mode: a dirty settle runs everything,
+                // exactly like the interpreter's global flag.
+                for d in self.dirty.iter_mut() {
+                    *d = true;
+                }
+                self.any_dirty = !self.dirty.is_empty();
+            }
+        }
+        if !self.any_dirty {
+            if self.account {
+                self.ops_skipped += prog.total_comb_ops;
+            }
+            return;
+        }
+        for bi in 0..prog.comb_blocks.len() {
+            if self.dirty[bi] {
+                self.dirty[bi] = false;
+                self.cur_block = bi as u32;
+                let b = prog.comb_blocks[bi];
+                self.exec_block(prog, b);
+                if self.account {
+                    self.ops_executed += b.len() as u64;
+                }
+            } else if self.account {
+                self.ops_skipped += prog.comb_blocks[bi].len() as u64;
+            }
+        }
+        self.cur_block = u32::MAX;
+        self.any_dirty = false;
+    }
+
+    fn clock_edge(&mut self, prog: &CompiledProgram) {
+        debug_assert!(self.nba_nets.is_empty() && self.nba_mems.is_empty());
+        for bi in 0..prog.clocked_blocks.len() {
+            let b = prog.clocked_blocks[bi];
+            self.exec_block(prog, b);
+        }
+        // Commit NBA writes in program order. The scratch Vecs are
+        // drained in place so their capacity survives across cycles.
+        for k in 0..self.nba_nets.len() {
+            let (slot, m, bits) = self.nba_nets[k];
+            let s = slot as usize;
+            let nv = (self.nets[s] & !m) | (bits & m);
+            if self.nets[s] != nv {
+                self.nets[s] = nv;
+                self.on_net_change(prog, slot);
+            }
+        }
+        self.nba_nets.clear();
+        for k in 0..self.nba_mems.len() {
+            let (mem, addr, value) = self.nba_mems[k];
+            let nv = value & prog.mem_masks[mem as usize];
+            if let Some(slot) = self.mems[mem as usize].get_mut(addr as usize) {
+                if *slot != nv {
+                    *slot = nv;
+                    self.on_mem_change(prog, mem);
+                }
+            }
+        }
+        self.nba_mems.clear();
+    }
+
+    fn poke(&mut self, prog: &CompiledProgram, slot: u32, value: u64) {
+        let s = slot as usize;
+        let v = value & mask(prog.net_widths[s]);
+        self.global_dirty = true;
+        if self.nets[s] != v {
+            self.nets[s] = v;
+            self.on_net_change(prog, slot);
+            // Re-derive a poked combinational net at the next settle,
+            // exactly as the interpreter's full re-evaluation would.
+            for &bi in &prog.net_drivers[s] {
+                if !self.dirty[bi as usize] {
+                    self.dirty[bi as usize] = true;
+                    self.any_dirty = true;
+                }
+            }
+        }
+    }
+
+    fn poke_mem(&mut self, prog: &CompiledProgram, mem: usize, addr: usize, value: u64) -> bool {
+        let nv = value & prog.mem_masks[mem];
+        self.global_dirty = true;
+        match self.mems[mem].get_mut(addr) {
+            None => false,
+            Some(slot) => {
+                if *slot != nv {
+                    *slot = nv;
+                    self.on_mem_change(prog, mem as u32);
+                }
+                true
+            }
+        }
+    }
+
+    fn clear_state(&mut self, prog: &CompiledProgram) {
+        for slot in 0..self.nets.len() {
+            if self.nets[slot] != 0 {
+                self.nets[slot] = 0;
+                if let Some(j) = &mut self.journal {
+                    if !j.changed[slot] {
+                        j.changed[slot] = true;
+                        j.list.push(slot as u32);
+                    }
+                }
+            }
+        }
+        for mem in &mut self.mems {
+            mem.iter_mut().for_each(|w| *w = 0);
+        }
+        for d in self.dirty.iter_mut() {
+            *d = true;
+        }
+        self.any_dirty = !prog.comb_blocks.is_empty();
+        self.global_dirty = true;
+    }
+
+    fn exec_block(&mut self, prog: &CompiledProgram, b: Block) {
+        let ops = &prog.ops;
+        let mut pc = b.start as usize;
+        let end = b.end as usize;
+        while pc < end {
+            match ops[pc] {
+                Op::Const(k) => self.stack.push(k),
+                Op::Load(slot) => self.stack.push(self.nets[slot as usize]),
+                Op::LoadSlice { slot, lo, mask } => {
+                    self.stack.push((self.nets[slot as usize] >> lo) & mask);
+                }
+                Op::LoadBit { slot, width } => {
+                    let i = self.stack.pop().expect("stack underflow");
+                    let v = if i < width as u64 {
+                        (self.nets[slot as usize] >> i) & 1
+                    } else {
+                        0
+                    };
+                    self.stack.push(v);
+                }
+                Op::LoadMem { mem } => {
+                    let a = self.stack.pop().expect("stack underflow");
+                    let v = self.mems[mem as usize]
+                        .get(a as usize)
+                        .copied()
+                        .unwrap_or(0);
+                    self.stack.push(v);
+                }
+                Op::Unary { op, mask } => {
+                    let a = self.stack.pop().expect("stack underflow");
+                    let r = match op {
+                        UnaryOp::Not => !a & mask,
+                        UnaryOp::Neg => a.wrapping_neg() & mask,
+                        UnaryOp::LogicNot => (a == 0) as u64,
+                        UnaryOp::RedAnd => (a == mask) as u64,
+                        UnaryOp::RedOr => (a != 0) as u64,
+                        UnaryOp::RedXor => (a.count_ones() & 1) as u64,
+                    };
+                    self.stack.push(r);
+                }
+                Op::Binary { op, mask, lw } => {
+                    let b = self.stack.pop().expect("stack underflow");
+                    let a = self.stack.pop().expect("stack underflow");
+                    let r = match op {
+                        BinaryOp::Add => a.wrapping_add(b) & mask,
+                        BinaryOp::Sub => a.wrapping_sub(b) & mask,
+                        BinaryOp::Mul => a.wrapping_mul(b) & mask,
+                        BinaryOp::And => a & b,
+                        BinaryOp::Or => a | b,
+                        BinaryOp::Xor => a ^ b,
+                        BinaryOp::Shl => {
+                            if b >= lw as u64 {
+                                0
+                            } else {
+                                (a << b) & mask
+                            }
+                        }
+                        BinaryOp::Shr => {
+                            if b >= lw as u64 {
+                                0
+                            } else {
+                                a >> b
+                            }
+                        }
+                        BinaryOp::Eq => (a == b) as u64,
+                        BinaryOp::Ne => (a != b) as u64,
+                        BinaryOp::Lt => (a < b) as u64,
+                        BinaryOp::Le => (a <= b) as u64,
+                        BinaryOp::Gt => (a > b) as u64,
+                        BinaryOp::Ge => (a >= b) as u64,
+                        BinaryOp::LogicAnd => (a != 0 && b != 0) as u64,
+                        BinaryOp::LogicOr => (a != 0 || b != 0) as u64,
+                    };
+                    self.stack.push(r);
+                }
+                Op::Concat { shift } => {
+                    let low = self.stack.pop().expect("stack underflow");
+                    let high = self.stack.pop().expect("stack underflow");
+                    self.stack.push((high << shift) | low);
+                }
+                Op::Repeat { count, width } => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    let mut acc = v;
+                    for _ in 1..count {
+                        acc = (acc << width) | v;
+                    }
+                    self.stack.push(acc);
+                }
+                Op::Jump(t) => {
+                    pc = t as usize;
+                    continue;
+                }
+                Op::JumpIfZero(t) => {
+                    if self.stack.pop().expect("stack underflow") == 0 {
+                        pc = t as usize;
+                        continue;
+                    }
+                }
+                Op::SetTmp(i) => {
+                    self.tmps[i as usize] = self.stack.pop().expect("stack underflow");
+                }
+                Op::JumpTmpEq { tmp, label, target } => {
+                    if self.tmps[tmp as usize] == label {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::Store { slot, mask } => {
+                    let v = self.stack.pop().expect("stack underflow") & mask;
+                    let s = slot as usize;
+                    if self.nets[s] != v {
+                        self.nets[s] = v;
+                        self.on_net_change(prog, slot);
+                    }
+                }
+                Op::StoreSlice { slot, lo, mask } => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    let s = slot as usize;
+                    let m = mask << lo;
+                    let nv = (self.nets[s] & !m) | ((v & mask) << lo);
+                    if self.nets[s] != nv {
+                        self.nets[s] = nv;
+                        self.on_net_change(prog, slot);
+                    }
+                }
+                Op::StoreBit { slot, width } => {
+                    let i = self.stack.pop().expect("stack underflow");
+                    let v = self.stack.pop().expect("stack underflow");
+                    if i < width as u64 {
+                        let s = slot as usize;
+                        let m = 1u64 << i;
+                        let nv = (self.nets[s] & !m) | ((v & 1) << i);
+                        if self.nets[s] != nv {
+                            self.nets[s] = nv;
+                            self.on_net_change(prog, slot);
+                        }
+                    }
+                }
+                Op::StoreMem { mem, mask } => {
+                    let a = self.stack.pop().expect("stack underflow");
+                    let v = self.stack.pop().expect("stack underflow");
+                    let nv = v & mask;
+                    if let Some(slot) = self.mems[mem as usize].get_mut(a as usize) {
+                        if *slot != nv {
+                            *slot = nv;
+                            self.on_mem_change(prog, mem);
+                        }
+                    }
+                }
+                Op::NbaStore { slot, mask } => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    self.nba_nets.push((slot, mask, v & mask));
+                }
+                Op::NbaStoreSlice { slot, lo, mask } => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    self.nba_nets.push((slot, mask << lo, (v & mask) << lo));
+                }
+                Op::NbaStoreBit { slot, width } => {
+                    let i = self.stack.pop().expect("stack underflow");
+                    let v = self.stack.pop().expect("stack underflow");
+                    if i < width as u64 {
+                        self.nba_nets.push((slot, 1u64 << i, (v & 1) << i));
+                    }
+                }
+                Op::NbaStoreMem { mem } => {
+                    let a = self.stack.pop().expect("stack underflow");
+                    let v = self.stack.pop().expect("stack underflow");
+                    self.nba_mems.push((mem, a, v));
+                }
+            }
+            pc += 1;
+        }
+        debug_assert!(self.stack.is_empty(), "unbalanced stack after block");
+    }
+}

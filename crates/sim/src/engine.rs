@@ -1,4 +1,4 @@
-//! Cycle-accurate interpreter for flat RTL modules.
+//! Cycle-accurate simulator for flat RTL modules.
 //!
 //! Semantics match the synthesizable-Verilog expectations the corpus is
 //! written against:
@@ -14,20 +14,65 @@
 //! * Full visibility: any net or memory word can be peeked or poked by
 //!   hierarchical name at any time — the property (paper §III-A) that
 //!   makes simulator-side hardware snapshots trivial and exact.
+//!
+//! Two execution backends share these semantics bit-exactly:
+//!
+//! * **Bytecode** (the default, [`SimEngine::Bytecode`]): the module is
+//!   lowered once by [`hardsnap_rtl::compile`] into a levelized op
+//!   array over raw `u64` slots and executed by the activity-driven
+//!   engine in [`crate::compiled`] — only comb blocks in the fan-out
+//!   cone of changed nets re-run each cycle (Verilator-style).
+//! * **Interpreter** ([`SimEngine::Interpreter`]): the original
+//!   tree-walking evaluator, retained as the semantic reference for
+//!   differential testing.
 
+use crate::compiled::CompiledSim;
 use crate::SimError;
 use hardsnap_rtl::{
-    check_module, eval_binary, eval_unary, CaseArm, Expr, LValue, MemId, Module, NetId,
-    ProcessKind, Stmt, Value,
+    check_module, eval_binary, eval_unary, CaseArm, CombUnit, CompileError, Expr, LValue, MemId,
+    Module, NetId, ProcessKind, Stmt, Value,
 };
+use hardsnap_telemetry::{Counter, Metric, Recorder};
 use std::sync::Arc;
 
-/// One combinational evaluation unit: a continuous assign or an
-/// `always @(*)` process.
-#[derive(Clone, Debug)]
-enum CombNode {
-    Assign(usize),
-    Process(usize),
+/// Which execution backend a [`Simulator`] runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimEngine {
+    /// Compiled bytecode with activity-driven (dirty-cone) scheduling —
+    /// the default.
+    Bytecode,
+    /// Compiled bytecode, but every dirty settle re-runs all comb
+    /// blocks (isolates the compilation win from the scheduling win in
+    /// benchmarks).
+    BytecodeFullEval,
+    /// The tree-walking reference interpreter.
+    Interpreter,
+}
+
+impl SimEngine {
+    /// Parses an engine name as used by CLI flags.
+    pub fn from_name(name: &str) -> Option<SimEngine> {
+        match name {
+            "bytecode" => Some(SimEngine::Bytecode),
+            "bytecode-full" => Some(SimEngine::BytecodeFullEval),
+            "interp" | "interpreter" => Some(SimEngine::Interpreter),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (inverse of [`SimEngine::from_name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimEngine::Bytecode => "bytecode",
+            SimEngine::BytecodeFullEval => "bytecode-full",
+            SimEngine::Interpreter => "interp",
+        }
+    }
+}
+
+enum Backend {
+    Compiled(CompiledSim),
+    Interp(InterpSim),
 }
 
 /// A cycle-accurate simulator for one flat module.
@@ -58,36 +103,27 @@ pub struct Simulator {
     module: Arc<Module>,
     // (Debug is implemented manually below: dumping every net value
     // would be unusable for large designs.)
-    /// Current value of every net (index = NetId).
-    nets: Vec<Value>,
-    /// Current contents of every memory (index = MemId).
-    mems: Vec<Vec<u64>>,
-    /// Combinational nodes in evaluation order.
-    comb_order: Vec<CombNode>,
-    /// Indices of clocked processes.
-    clocked: Vec<usize>,
-    /// Pending non-blocking register writes: (net, mask, bits).
-    nba_nets: Vec<(NetId, u64, u64)>,
-    /// Pending non-blocking memory writes: (mem, addr, value).
-    nba_mems: Vec<(MemId, u64, u64)>,
+    backend: Backend,
     cycle: u64,
-    comb_dirty: bool,
+    rec: Recorder,
 }
 
 impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("module", &self.module.name)
+            .field("engine", &self.engine().name())
             .field("cycle", &self.cycle)
-            .field("nets", &self.nets.len())
-            .field("memories", &self.mems.len())
+            .field("nets", &self.module.nets.len())
+            .field("memories", &self.module.memories.len())
             .finish()
     }
 }
 
 impl Simulator {
     /// Builds a simulator for `module`, which must be flat (no
-    /// instances).
+    /// instances). Runs on the bytecode engine; see
+    /// [`Simulator::with_engine`] for the interpreter.
     ///
     /// # Errors
     ///
@@ -97,50 +133,35 @@ impl Simulator {
     /// * [`SimError::Unsupported`] — `negedge` processes (the corpus is
     ///   single-edge) or other out-of-scope constructs.
     pub fn new(module: Module) -> Result<Self, SimError> {
-        if !module.instances.is_empty() {
-            return Err(SimError::Rtl(hardsnap_rtl::RtlError::Elab(format!(
-                "module '{}' still has instances; run elaborate() first",
-                module.name
-            ))));
-        }
-        check_module(&module).map_err(SimError::Rtl)?;
-        for p in &module.processes {
-            if let ProcessKind::Clocked {
-                edge: hardsnap_rtl::EdgeKind::Neg,
-                ..
-            } = p.kind
-            {
-                return Err(SimError::Unsupported(
-                    "negedge processes are not supported (single-edge corpus)".into(),
-                ));
+        Simulator::with_engine(module, SimEngine::Bytecode)
+    }
+
+    /// Builds a simulator on a specific execution backend. All backends
+    /// are bit-exact against each other; the interpreter exists as the
+    /// differential-testing reference and the full-eval bytecode mode
+    /// for benchmarking the activity-scheduling win in isolation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::new`].
+    pub fn with_engine(module: Module, engine: SimEngine) -> Result<Self, SimError> {
+        validate(&module)?;
+        let backend = match engine {
+            SimEngine::Bytecode | SimEngine::BytecodeFullEval => {
+                let prog = hardsnap_rtl::compile(&module).map_err(compile_err)?;
+                let mut c = CompiledSim::new(Arc::new(prog), &module);
+                c.set_activity(engine == SimEngine::Bytecode);
+                Backend::Compiled(c)
             }
-        }
-
-        let comb_order = levelize(&module)?;
-        let clocked = module
-            .processes
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| matches!(p.kind, ProcessKind::Clocked { .. }))
-            .map(|(i, _)| i)
-            .collect();
-
-        let nets = module.nets.iter().map(|n| Value::zero(n.width)).collect();
-        let mems = module
-            .memories
-            .iter()
-            .map(|m| vec![0u64; m.depth as usize])
-            .collect();
+            SimEngine::Interpreter => {
+                Backend::Interp(InterpSim::new(&module).map_err(compile_err)?)
+            }
+        };
         let mut sim = Simulator {
             module: Arc::new(module),
-            nets,
-            mems,
-            comb_order,
-            clocked,
-            nba_nets: Vec::new(),
-            nba_mems: Vec::new(),
+            backend,
             cycle: 0,
-            comb_dirty: true,
+            rec: Recorder::disabled(),
         };
         sim.settle();
         Ok(sim)
@@ -151,34 +172,48 @@ impl Simulator {
         &self.module
     }
 
+    /// The backend this simulator executes on.
+    pub fn engine(&self) -> SimEngine {
+        match &self.backend {
+            Backend::Compiled(c) if c.activity() => SimEngine::Bytecode,
+            Backend::Compiled(_) => SimEngine::BytecodeFullEval,
+            Backend::Interp(_) => SimEngine::Interpreter,
+        }
+    }
+
+    /// Attaches a telemetry recorder; each subsequent [`Simulator::step`]
+    /// on a bytecode backend reports `sim.ops_executed` /
+    /// `sim.ops_skipped` counters and the per-step comb-activity
+    /// histogram through it.
+    pub fn attach_recorder(&mut self, rec: &Recorder) {
+        self.rec = rec.clone();
+    }
+
+    /// Lifetime totals of combinational ops `(executed, skipped)` by the
+    /// activity scheduler during `step`s. Both zero on the interpreter.
+    pub fn comb_activity(&self) -> (u64, u64) {
+        match &self.backend {
+            Backend::Compiled(c) => (c.ops_executed(), c.ops_skipped()),
+            Backend::Interp(_) => (0, 0),
+        }
+    }
+
     /// Creates an independent simulator over the same elaborated module
-    /// in its power-on state. The `Arc<Module>` and the levelized
-    /// combinational order are shared/copied, so replication skips
-    /// elaboration checks and re-levelization entirely — this is what
-    /// makes per-worker target replicas cheap.
+    /// in its power-on state. The `Arc<Module>` and the compiled program
+    /// (or levelized order) are shared, so replication skips elaboration
+    /// checks, re-levelization and re-compilation entirely — this is
+    /// what makes per-worker target replicas cheap. The engine choice is
+    /// inherited; the recorder is not.
     pub fn fork_clean(&self) -> Self {
-        let nets = self
-            .module
-            .nets
-            .iter()
-            .map(|n| Value::zero(n.width))
-            .collect();
-        let mems = self
-            .module
-            .memories
-            .iter()
-            .map(|m| vec![0u64; m.depth as usize])
-            .collect();
+        let backend = match &self.backend {
+            Backend::Compiled(c) => Backend::Compiled(c.fork(&self.module)),
+            Backend::Interp(i) => Backend::Interp(i.fork(&self.module)),
+        };
         let mut sim = Simulator {
             module: self.module.clone(),
-            nets,
-            mems,
-            comb_order: self.comb_order.clone(),
-            clocked: self.clocked.clone(),
-            nba_nets: Vec::new(),
-            nba_mems: Vec::new(),
+            backend,
             cycle: 0,
-            comb_dirty: true,
+            rec: Recorder::disabled(),
         };
         sim.settle();
         sim
@@ -197,13 +232,13 @@ impl Simulator {
     pub fn peek(&mut self, name: &str) -> Result<Value, SimError> {
         let id = self.net_id(name)?;
         self.settle();
-        Ok(self.nets[id.0 as usize])
+        Ok(self.net_value_at(id.0 as usize))
     }
 
     /// Reads a net by id (no settle; internal fast path for drivers that
     /// just stepped).
     pub fn peek_id(&self, id: NetId) -> Value {
-        self.nets[id.0 as usize]
+        self.net_value_at(id.0 as usize)
     }
 
     /// Forces a net to a value. Intended for input ports (stimulus) and
@@ -215,10 +250,21 @@ impl Simulator {
     /// Returns [`SimError::UnknownNet`] for unknown names.
     pub fn poke(&mut self, name: &str, value: u64) -> Result<(), SimError> {
         let id = self.net_id(name)?;
-        let w = self.module.net(id).width;
-        self.nets[id.0 as usize] = Value::new(value, w);
-        self.comb_dirty = true;
+        self.poke_id(id, value);
         Ok(())
+    }
+
+    /// Forces a net to a value by id (infallible fast path for bus
+    /// drivers that resolved the port id once at bind time).
+    pub fn poke_id(&mut self, id: NetId, value: u64) {
+        match &mut self.backend {
+            Backend::Compiled(c) => c.poke(id.0, value),
+            Backend::Interp(i) => {
+                let w = self.module.net(id).width;
+                i.nets[id.0 as usize] = Value::new(value, w);
+                i.comb_dirty = true;
+            }
+        }
     }
 
     /// Reads one memory word.
@@ -232,8 +278,8 @@ impl Simulator {
             .module
             .find_mem(name)
             .ok_or_else(|| SimError::UnknownNet(name.to_string()))?;
-        let mem = &self.mems[id.0 as usize];
-        mem.get(addr as usize)
+        self.mem_words(id)
+            .get(addr as usize)
             .copied()
             .ok_or_else(|| SimError::OutOfRange {
                 name: name.to_string(),
@@ -251,17 +297,28 @@ impl Simulator {
             .module
             .find_mem(name)
             .ok_or_else(|| SimError::UnknownNet(name.to_string()))?;
-        let width = self.module.memory(id).width;
-        let mem = &mut self.mems[id.0 as usize];
-        let slot = mem
-            .get_mut(addr as usize)
-            .ok_or_else(|| SimError::OutOfRange {
+        let in_range = match &mut self.backend {
+            Backend::Compiled(c) => c.poke_mem(id.0 as usize, addr as usize, value),
+            Backend::Interp(i) => {
+                let width = self.module.memory(id).width;
+                match i.mems[id.0 as usize].get_mut(addr as usize) {
+                    None => false,
+                    Some(slot) => {
+                        *slot = value & hardsnap_rtl::mask(width);
+                        i.comb_dirty = true;
+                        true
+                    }
+                }
+            }
+        };
+        if in_range {
+            Ok(())
+        } else {
+            Err(SimError::OutOfRange {
                 name: name.to_string(),
                 index: addr,
-            })?;
-        *slot = value & hardsnap_rtl::mask(width);
-        self.comb_dirty = true;
-        Ok(())
+            })
+        }
     }
 
     /// Returns all net values and memory contents to the power-on state
@@ -269,36 +326,38 @@ impl Simulator {
     /// synchronous reset logic only initializes registers, while a power
     /// cycle also clears SRAM contents.
     pub fn clear_state(&mut self) {
-        for (i, net) in self.module.nets.iter().enumerate() {
-            self.nets[i] = Value::zero(net.width);
+        match &mut self.backend {
+            Backend::Compiled(c) => c.clear_state(),
+            Backend::Interp(i) => i.clear_state(&self.module),
         }
-        for mem in &mut self.mems {
-            mem.iter_mut().for_each(|w| *w = 0);
-        }
-        self.comb_dirty = true;
     }
 
     /// Advances the clock by `cycles` posedges.
     pub fn step(&mut self, cycles: u64) {
         for _ in 0..cycles {
-            self.settle();
-            self.clock_edge();
-            self.comb_dirty = true;
-            self.settle();
+            match &mut self.backend {
+                Backend::Compiled(c) => {
+                    let (e0, s0) = (c.ops_executed(), c.ops_skipped());
+                    c.step_one();
+                    if self.rec.is_enabled() {
+                        let de = c.ops_executed() - e0;
+                        self.rec.add(Counter::SimOpsExecuted, de);
+                        self.rec.add(Counter::SimOpsSkipped, c.ops_skipped() - s0);
+                        self.rec.observe(Metric::SimCombOpsPerStep, de);
+                    }
+                }
+                Backend::Interp(i) => i.step_one(&self.module),
+            }
             self.cycle += 1;
         }
     }
 
-    /// Direct access to all net values in id order (used by the VCD
-    /// writer and the snapshot path).
-    pub fn net_values(&mut self) -> &[Value] {
-        self.settle();
-        &self.nets
-    }
-
     /// Direct access to one memory's words by id.
     pub fn mem_words(&self, id: MemId) -> &[u64] {
-        &self.mems[id.0 as usize]
+        match &self.backend {
+            Backend::Compiled(c) => c.mem_words(id.0 as usize),
+            Backend::Interp(i) => &i.mems[id.0 as usize],
+        }
     }
 
     fn net_id(&self, name: &str) -> Result<NetId, SimError> {
@@ -309,23 +368,175 @@ impl Simulator {
 
     // ------------------------------------------------------------- internals
 
-    /// Re-evaluates the combinational fabric in levelized order.
+    /// One net's current value by index, no settle (callers settle
+    /// first when they need post-combinational values).
+    pub(crate) fn net_value_at(&self, i: usize) -> Value {
+        match &self.backend {
+            Backend::Compiled(c) => Value::new(c.peek_raw(i), self.module.nets[i].width),
+            Backend::Interp(it) => it.nets[i],
+        }
+    }
+
+    /// Settles the combinational fabric (used by the VCD writer before
+    /// sampling).
+    pub(crate) fn settle_for_trace(&mut self) {
+        self.settle();
+    }
+
+    /// Turns on the net-change journal (bytecode backends only) so
+    /// [`Simulator::drain_changed_nets`] can report exactly which nets
+    /// changed since the last drain.
+    pub(crate) fn enable_change_journal(&mut self) {
+        if let Backend::Compiled(c) = &mut self.backend {
+            c.enable_journal();
+        }
+    }
+
+    /// Drains changed-net ids (ascending) into `out`; false when no
+    /// journal is available (interpreter) and the caller must scan all
+    /// nets.
+    pub(crate) fn drain_changed_nets(&mut self, out: &mut Vec<u32>) -> bool {
+        match &mut self.backend {
+            Backend::Compiled(c) => c.drain_changes(out),
+            Backend::Interp(_) => false,
+        }
+    }
+
     fn settle(&mut self) {
+        match &mut self.backend {
+            Backend::Compiled(c) => c.settle(),
+            Backend::Interp(i) => i.settle(&self.module),
+        }
+    }
+}
+
+/// Shared construction-time validation (both backends).
+fn validate(module: &Module) -> Result<(), SimError> {
+    if !module.instances.is_empty() {
+        return Err(SimError::Rtl(hardsnap_rtl::RtlError::Elab(format!(
+            "module '{}' still has instances; run elaborate() first",
+            module.name
+        ))));
+    }
+    check_module(module).map_err(SimError::Rtl)?;
+    for p in &module.processes {
+        if let ProcessKind::Clocked {
+            edge: hardsnap_rtl::EdgeKind::Neg,
+            ..
+        } = p.kind
+        {
+            return Err(SimError::Unsupported(
+                "negedge processes are not supported (single-edge corpus)".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn compile_err(e: CompileError) -> SimError {
+    match e {
+        CompileError::CombLoop(nets) => SimError::CombLoop(nets),
+        CompileError::Unsupported(m) => SimError::Unsupported(m),
+    }
+}
+
+// ===================================================================
+// Tree-walking reference interpreter
+// ===================================================================
+
+/// The original AST-walking backend. Kept as the semantic reference the
+/// bytecode engine is differentially tested against.
+struct InterpSim {
+    /// Current value of every net (index = NetId).
+    nets: Vec<Value>,
+    /// Current contents of every memory (index = MemId).
+    mems: Vec<Vec<u64>>,
+    /// Combinational nodes in evaluation order (shared across forks).
+    comb_order: Arc<Vec<CombUnit>>,
+    /// Indices of clocked processes.
+    clocked: Vec<usize>,
+    /// Pending non-blocking register writes: (net, mask, bits). Reused
+    /// across cycles — drained in place, never reallocated.
+    nba_nets: Vec<(NetId, u64, u64)>,
+    /// Pending non-blocking memory writes: (mem, addr, value).
+    nba_mems: Vec<(MemId, u64, u64)>,
+    comb_dirty: bool,
+}
+
+impl InterpSim {
+    fn new(module: &Module) -> Result<Self, CompileError> {
+        let comb_order = Arc::new(hardsnap_rtl::comb_schedule(module)?);
+        let clocked = module
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.kind, ProcessKind::Clocked { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        Ok(InterpSim {
+            nets: module.nets.iter().map(|n| Value::zero(n.width)).collect(),
+            mems: module
+                .memories
+                .iter()
+                .map(|m| vec![0u64; m.depth as usize])
+                .collect(),
+            comb_order,
+            clocked,
+            nba_nets: Vec::new(),
+            nba_mems: Vec::new(),
+            comb_dirty: true,
+        })
+    }
+
+    fn fork(&self, module: &Module) -> Self {
+        InterpSim {
+            nets: module.nets.iter().map(|n| Value::zero(n.width)).collect(),
+            mems: module
+                .memories
+                .iter()
+                .map(|m| vec![0u64; m.depth as usize])
+                .collect(),
+            comb_order: Arc::clone(&self.comb_order),
+            clocked: self.clocked.clone(),
+            nba_nets: Vec::new(),
+            nba_mems: Vec::new(),
+            comb_dirty: true,
+        }
+    }
+
+    fn clear_state(&mut self, module: &Module) {
+        for (i, net) in module.nets.iter().enumerate() {
+            self.nets[i] = Value::zero(net.width);
+        }
+        for mem in &mut self.mems {
+            mem.iter_mut().for_each(|w| *w = 0);
+        }
+        self.comb_dirty = true;
+    }
+
+    fn step_one(&mut self, module: &Module) {
+        self.settle(module);
+        self.clock_edge(module);
+        self.comb_dirty = true;
+        self.settle(module);
+    }
+
+    /// Re-evaluates the combinational fabric in levelized order.
+    fn settle(&mut self, module: &Module) {
         if !self.comb_dirty {
             return;
         }
         self.comb_dirty = false;
-        let module = Arc::clone(&self.module);
-        for node in &self.comb_order {
+        for node in self.comb_order.iter() {
             match *node {
-                CombNode::Assign(ai) => {
+                CombUnit::Assign(ai) => {
                     let a = &module.assigns[ai];
-                    let v = eval_expr(&module, &self.nets, &self.mems, &a.rhs);
-                    write_net_lvalue(&module, &mut self.nets, &mut self.mems, &a.lv, v);
+                    let v = eval_expr(module, &self.nets, &self.mems, &a.rhs);
+                    write_net_lvalue(module, &mut self.nets, &mut self.mems, &a.lv, v);
                 }
-                CombNode::Process(pi) => {
+                CombUnit::Process(pi) => {
                     for s in &module.processes[pi].body {
-                        exec_comb_stmt(&module, &mut self.nets, &mut self.mems, s);
+                        exec_comb_stmt(module, &mut self.nets, &mut self.mems, s);
                     }
                 }
             }
@@ -333,30 +544,31 @@ impl Simulator {
     }
 
     /// Executes one clock edge with NBA semantics.
-    fn clock_edge(&mut self) {
+    fn clock_edge(&mut self, module: &Module) {
         debug_assert!(self.nba_nets.is_empty() && self.nba_mems.is_empty());
-        let module = Arc::clone(&self.module);
-        let clocked = std::mem::take(&mut self.clocked);
-        for &pi in &clocked {
+        for k in 0..self.clocked.len() {
+            let pi = self.clocked[k];
             for s in &module.processes[pi].body {
-                self.exec_clocked_stmt(&module, s);
+                self.exec_clocked_stmt(module, s);
             }
         }
-        self.clocked = clocked;
-        // Commit NBA writes in program order.
-        let writes = std::mem::take(&mut self.nba_nets);
-        for (net, mask, bits) in writes {
+        // Commit NBA writes in program order. The scratch Vecs are
+        // drained in place so their capacity survives across cycles.
+        for k in 0..self.nba_nets.len() {
+            let (net, mask, bits) = self.nba_nets[k];
             let cur = self.nets[net.0 as usize];
             self.nets[net.0 as usize] =
                 Value::new((cur.bits() & !mask) | (bits & mask), cur.width());
         }
-        let mem_writes = std::mem::take(&mut self.nba_mems);
-        for (mem, addr, value) in mem_writes {
-            let width = self.module.memory(mem).width;
+        self.nba_nets.clear();
+        for k in 0..self.nba_mems.len() {
+            let (mem, addr, value) = self.nba_mems[k];
+            let width = module.memory(mem).width;
             if let Some(slot) = self.mems[mem.0 as usize].get_mut(addr as usize) {
                 *slot = value & hardsnap_rtl::mask(width);
             }
         }
+        self.nba_mems.clear();
     }
 
     fn exec_clocked_stmt(&mut self, module: &Module, s: &Stmt) {
@@ -546,193 +758,6 @@ pub(crate) fn eval_expr(module: &Module, nets: &[Value], mems: &[Vec<u64>], e: &
             let width = module.memory(*mem).width;
             let word = mems[mem.0 as usize].get(a as usize).copied().unwrap_or(0);
             Value::new(word, width)
-        }
-    }
-}
-
-/// Builds the levelized combinational evaluation order (Kahn's
-/// algorithm over net dependencies).
-fn levelize(module: &Module) -> Result<Vec<CombNode>, SimError> {
-    // Collect nodes.
-    let mut nodes: Vec<CombNode> = Vec::new();
-    for (i, _) in module.assigns.iter().enumerate() {
-        nodes.push(CombNode::Assign(i));
-    }
-    for (i, p) in module.processes.iter().enumerate() {
-        if matches!(p.kind, ProcessKind::Comb) {
-            nodes.push(CombNode::Process(i));
-        }
-    }
-
-    // net -> list of comb nodes driving it.
-    let mut drivers: Vec<Vec<usize>> = vec![Vec::new(); module.nets.len()];
-    for (ni, node) in nodes.iter().enumerate() {
-        for target in node_targets(module, node) {
-            drivers[target.0 as usize].push(ni);
-        }
-    }
-
-    // Edges: node A -> node B when B reads a net driven by A.
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-    let mut out_deg: Vec<usize> = vec![0; nodes.len()];
-    for (ni, node) in nodes.iter().enumerate() {
-        let mut reads = Vec::new();
-        node_reads(module, node, &mut reads);
-        for r in reads {
-            for &d in &drivers[r.0 as usize] {
-                preds[ni].push(d);
-            }
-        }
-        preds[ni].sort_unstable();
-        preds[ni].dedup();
-        // A node driving a net it also reads is a combinational loop,
-        // except the benign read-modify-write of partial lvalues, which
-        // we permit by not counting a node as its own predecessor when
-        // the only overlap comes from a partial write to the same net.
-        preds[ni].retain(|&p| p != ni || node_reads_own_full_target(module, node));
-    }
-    for p in preds.iter() {
-        for &d in p {
-            out_deg[d] += 1;
-        }
-    }
-
-    // Kahn: repeatedly emit nodes with no unresolved predecessors.
-    let mut unresolved: Vec<usize> = preds.iter().map(|p| p.len()).collect();
-    let mut ready: Vec<usize> = (0..nodes.len()).filter(|&i| unresolved[i] == 0).collect();
-    // succ map
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-    for (ni, ps) in preds.iter().enumerate() {
-        for &p in ps {
-            succs[p].push(ni);
-        }
-    }
-    let mut order = Vec::with_capacity(nodes.len());
-    while let Some(n) = ready.pop() {
-        order.push(n);
-        for &s in &succs[n] {
-            unresolved[s] -= 1;
-            if unresolved[s] == 0 {
-                ready.push(s);
-            }
-        }
-    }
-    if order.len() != nodes.len() {
-        let stuck: Vec<String> = (0..nodes.len())
-            .filter(|&i| unresolved[i] > 0)
-            .flat_map(|i| {
-                node_targets(module, &nodes[i])
-                    .into_iter()
-                    .map(|n| module.net(n).name.clone())
-            })
-            .collect();
-        return Err(SimError::CombLoop(stuck));
-    }
-    // `order` is emitted in reverse-ready order; restore determinism by
-    // sorting stable over the topological levels: re-run to compute
-    // levels is overkill — Kahn order is already a valid topo order.
-    Ok(order.into_iter().map(|i| nodes[i].clone()).collect())
-}
-
-/// True when a comb node reads the *same whole net* it fully drives —
-/// a genuine feedback loop (as opposed to partial-lvalue RMW).
-fn node_reads_own_full_target(module: &Module, node: &CombNode) -> bool {
-    let targets = node_targets(module, node);
-    let full_targets: Vec<NetId> = match node {
-        CombNode::Assign(ai) => match &module.assigns[*ai].lv {
-            LValue::Net(n) => vec![*n],
-            _ => vec![],
-        },
-        CombNode::Process(_) => targets, // comb processes: any self-read is a loop
-    };
-    let mut reads = Vec::new();
-    node_reads(module, node, &mut reads);
-    full_targets.iter().any(|t| reads.contains(t))
-}
-
-/// Nets written by a comb node.
-fn node_targets(module: &Module, node: &CombNode) -> Vec<NetId> {
-    match node {
-        CombNode::Assign(ai) => module.assigns[*ai].lv.target_net().into_iter().collect(),
-        CombNode::Process(pi) => {
-            let mut out = Vec::new();
-            for s in &module.processes[*pi].body {
-                s.for_each(&mut |s| {
-                    if let Stmt::Assign { lv, .. } = s {
-                        if let Some(n) = lv.target_net() {
-                            if !out.contains(&n) {
-                                out.push(n);
-                            }
-                        }
-                    }
-                });
-            }
-            out
-        }
-    }
-}
-
-/// Nets read by a comb node (RHS, conditions, selectors, indices).
-fn node_reads(module: &Module, node: &CombNode, out: &mut Vec<NetId>) {
-    let mut push = |n: NetId| {
-        if !out.contains(&n) {
-            out.push(n);
-        }
-    };
-    match node {
-        CombNode::Assign(ai) => {
-            let a = &module.assigns[*ai];
-            a.rhs.for_each_net(&mut push);
-            if let LValue::Index { index, .. } = &a.lv {
-                index.for_each_net(&mut push);
-            }
-            if let LValue::Mem { addr, .. } = &a.lv {
-                addr.for_each_net(&mut push);
-            }
-        }
-        CombNode::Process(pi) => {
-            // Conservative: everything read anywhere in the body,
-            // including targets of other branches' RMW via partial
-            // writes — handled by treating partial comb targets as reads
-            // only when they appear on a RHS.
-            for s in &module.processes[*pi].body {
-                stmt_reads(s, &mut push);
-            }
-        }
-    }
-}
-
-fn stmt_reads(s: &Stmt, push: &mut impl FnMut(NetId)) {
-    match s {
-        Stmt::Assign { lv, rhs, .. } => {
-            rhs.for_each_net(push);
-            if let LValue::Index { index, .. } = lv {
-                index.for_each_net(push);
-            }
-            if let LValue::Mem { addr, .. } = lv {
-                addr.for_each_net(push);
-            }
-        }
-        Stmt::If {
-            cond,
-            then_s,
-            else_s,
-        } => {
-            cond.for_each_net(push);
-            for s in then_s.iter().chain(else_s) {
-                stmt_reads(s, push);
-            }
-        }
-        Stmt::Case { sel, arms, default } => {
-            sel.for_each_net(push);
-            for arm in arms {
-                for s in &arm.body {
-                    stmt_reads(s, push);
-                }
-            }
-            for s in default {
-                stmt_reads(s, push);
-            }
         }
     }
 }
@@ -928,6 +953,10 @@ mod tests {
             Err(SimError::OutOfRange { .. })
         ));
         assert!(s.poke_mem("ram", 2, 0x55).is_ok());
+        assert!(matches!(
+            s.poke_mem("ram", 4, 0x55),
+            Err(SimError::OutOfRange { .. })
+        ));
         assert_eq!(s.peek_mem("ram", 2).unwrap(), 0x55);
         assert!(matches!(s.peek("nope"), Err(SimError::UnknownNet(_))));
     }
@@ -992,5 +1021,70 @@ mod tests {
         s.step(1);
         assert_eq!(s.peek("q").unwrap().bits(), 1);
         assert_eq!(s.peek("s0.q").unwrap().bits(), 1);
+    }
+
+    #[test]
+    fn engines_agree_on_mixed_design() {
+        let src = r#"
+            module mix (input wire clk, input wire rst, input wire [7:0] x,
+                        output reg [7:0] acc, output wire [7:0] y);
+                wire [7:0] t;
+                assign t = x ^ acc;
+                assign y = t + 8'd3;
+                always @(posedge clk) begin
+                    if (rst) acc <= 8'd0;
+                    else acc <= acc + y;
+                end
+            endmodule
+        "#;
+        let mk = |engine| {
+            let d = parse_design(src).unwrap();
+            let flat = hardsnap_rtl::elaborate(&d, "mix").unwrap();
+            Simulator::with_engine(flat, engine).unwrap()
+        };
+        let mut a = mk(SimEngine::Bytecode);
+        let mut b = mk(SimEngine::Interpreter);
+        let mut c = mk(SimEngine::BytecodeFullEval);
+        for i in 0..64u64 {
+            for s in [&mut a, &mut b, &mut c] {
+                s.poke("rst", (i == 0) as u64).unwrap();
+                s.poke("x", i.wrapping_mul(37)).unwrap();
+                s.step(1);
+            }
+            assert_eq!(a.peek("acc").unwrap(), b.peek("acc").unwrap(), "cycle {i}");
+            assert_eq!(a.peek("y").unwrap(), b.peek("y").unwrap(), "cycle {i}");
+            assert_eq!(c.peek("acc").unwrap(), b.peek("acc").unwrap(), "cycle {i}");
+        }
+        let (exec, skip) = a.comb_activity();
+        assert!(exec > 0);
+        let (fe_exec, fe_skip) = c.comb_activity();
+        assert!(fe_exec >= exec, "full eval must execute at least as much");
+        assert_eq!(fe_skip, 0, "full eval never skips on an active design");
+        let _ = skip;
+    }
+
+    #[test]
+    fn quiescent_design_skips_comb_work() {
+        // No input changes after reset: the dirty-cone scheduler should
+        // skip essentially all comb work once the design is quiescent.
+        let mut s = sim(
+            r#"
+            module quiet (input wire clk, input wire [7:0] x, output wire [7:0] y);
+                wire [7:0] a;
+                wire [7:0] b;
+                assign a = x + 8'd1;
+                assign b = a ^ 8'h5a;
+                assign y = b;
+            endmodule
+            "#,
+            "quiet",
+        );
+        s.poke("x", 7).unwrap();
+        s.step(1);
+        let (_, skip0) = s.comb_activity();
+        s.step(100);
+        let (_, skip1) = s.comb_activity();
+        assert!(skip1 > skip0, "quiescent cycles must skip comb blocks");
+        assert_eq!(s.peek("y").unwrap().bits(), (7u64 + 1) ^ 0x5a);
     }
 }

@@ -4,10 +4,13 @@
 //! the stand-in for the paper's Verilator-generated simulator with a
 //! remote bus interface (§IV-A, path A of Fig. 3).
 //!
-//! * [`Simulator`] interprets a flat [`hardsnap_rtl::Module`] with
-//!   levelized combinational evaluation and correct non-blocking clocked
-//!   semantics, and offers **full visibility**: peek/poke of any net or
-//!   memory word by hierarchical name.
+//! * [`Simulator`] executes a flat [`hardsnap_rtl::Module`] on a
+//!   compiled, levelized bytecode program with activity-driven
+//!   (dirty-cone) scheduling — Verilator-style — with correct
+//!   non-blocking clocked semantics, and offers **full visibility**:
+//!   peek/poke of any net or memory word by hierarchical name. The
+//!   original tree-walking interpreter is retained behind
+//!   [`SimEngine::Interpreter`] as the differential-testing reference.
 //! * [`AxiLite`] drives the design's AXI4-Lite slave ports with real
 //!   multi-cycle handshakes (the "memory bus abstraction layer").
 //! * [`VcdTrace`] records full execution traces (the simulator's selling
@@ -19,13 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod axi;
+mod compiled;
 pub mod engine;
 pub mod target;
 pub mod vcd;
 pub mod vcd_read;
 
 pub use axi::{AxiLite, AXI_TIMEOUT_CYCLES};
-pub use engine::Simulator;
+pub use engine::{SimEngine, Simulator};
 pub use target::{SimTarget, SimTimeModel};
 pub use vcd::VcdTrace;
 pub use vcd_read::{first_divergence, Divergence, VcdData, VcdParseError};

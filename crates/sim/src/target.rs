@@ -8,7 +8,7 @@
 //! time, and a per-cycle host cost reflecting that HDL simulation is
 //! orders of magnitude slower than the FPGA fabric.
 
-use crate::{AxiLite, SimError, Simulator, VcdTrace};
+use crate::{AxiLite, SimEngine, SimError, Simulator, VcdTrace};
 use hardsnap_bus::{
     axi_ports, BusError, HwSnapshot, HwTarget, MemImage, RegImage, TargetCaps, TargetError,
     TargetKind,
@@ -80,7 +80,17 @@ impl SimTarget {
     ///
     /// Propagates simulator construction errors and missing-port errors.
     pub fn new(module: hardsnap_rtl::Module) -> Result<Self, SimError> {
-        Self::with_model(module, SimTimeModel::default())
+        Self::with_model_and_engine(module, SimTimeModel::default(), SimEngine::Bytecode)
+    }
+
+    /// Builds a target on a specific simulator backend (bit-exact
+    /// alternatives; see [`SimEngine`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimTarget::new`].
+    pub fn with_engine(module: hardsnap_rtl::Module, engine: SimEngine) -> Result<Self, SimError> {
+        Self::with_model_and_engine(module, SimTimeModel::default(), engine)
     }
 
     /// Builds a target with an explicit time model.
@@ -89,10 +99,23 @@ impl SimTarget {
     ///
     /// Same as [`SimTarget::new`].
     pub fn with_model(module: hardsnap_rtl::Module, model: SimTimeModel) -> Result<Self, SimError> {
+        Self::with_model_and_engine(module, model, SimEngine::Bytecode)
+    }
+
+    /// Builds a target with an explicit time model and engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimTarget::new`].
+    pub fn with_model_and_engine(
+        module: hardsnap_rtl::Module,
+        model: SimTimeModel,
+        engine: SimEngine,
+    ) -> Result<Self, SimError> {
         let irq_net = module
             .find_net(axi_ports::IRQ)
             .map(|_| axi_ports::IRQ.to_string());
-        let sim = Simulator::new(module)?;
+        let sim = Simulator::with_engine(module, engine)?;
         let axi = AxiLite::bind(&sim)?;
         Ok(SimTarget {
             sim,
@@ -323,6 +346,8 @@ impl HwTarget for SimTarget {
 
     fn attach_recorder(&mut self, rec: &Recorder) {
         self.rec = rec.clone();
+        // The simulator reports comb-activity counters on its own.
+        self.sim.attach_recorder(rec);
     }
 }
 

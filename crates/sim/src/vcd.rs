@@ -5,6 +5,11 @@
 //! multi-target orchestration exists precisely so an analysis can run
 //! fast on the FPGA and then transfer to the simulator *to get this
 //! trace*. The writer emits standard VCD consumable by GTKWave.
+//!
+//! Emission is change-driven: on bytecode backends the simulator's
+//! net-change journal reports exactly which nets changed since the last
+//! sample, so a sample costs O(changes), not O(total nets). The
+//! interpreter backend has no journal and falls back to a full scan.
 
 use crate::Simulator;
 use hardsnap_rtl::Value;
@@ -18,11 +23,14 @@ pub struct VcdTrace {
     last: Vec<Option<Value>>,
     ids: Vec<String>,
     time: u64,
+    /// Scratch for journal drains (reused across samples).
+    changed: Vec<u32>,
 }
 
 impl VcdTrace {
     /// Starts a trace of `sim`'s design: writes the VCD header and the
-    /// initial dump of all nets.
+    /// initial dump of all nets, and turns on the simulator's net-change
+    /// journal so subsequent samples only touch changed signals.
     pub fn new(sim: &mut Simulator) -> Self {
         let module = sim.module().clone();
         let mut buf = String::new();
@@ -48,32 +56,51 @@ impl VcdTrace {
             last: vec![None; module.nets.len()],
             ids,
             time: 0,
+            changed: Vec::new(),
         };
+        // Initial dump is a full scan (the journal is enabled only
+        // afterwards, so it records exactly the changes since time 0).
         t.sample(sim);
+        sim.enable_change_journal();
         t
     }
 
     /// Records the current state; call once per clock cycle.
     pub fn sample(&mut self, sim: &mut Simulator) {
+        sim.settle_for_trace();
         let mut header_written = false;
-        let n = sim.net_values().len();
-        for i in 0..n {
-            let v = sim.net_values()[i];
-            if self.last[i] == Some(v) {
-                continue;
+        let mut changed = std::mem::take(&mut self.changed);
+        if sim.drain_changed_nets(&mut changed) {
+            for &i in &changed {
+                self.emit(
+                    i as usize,
+                    sim.net_value_at(i as usize),
+                    &mut header_written,
+                );
             }
-            if !header_written {
-                writeln!(self.buf, "#{}", self.time).unwrap();
-                header_written = true;
+        } else {
+            for i in 0..self.last.len() {
+                self.emit(i, sim.net_value_at(i), &mut header_written);
             }
-            if v.width() == 1 {
-                writeln!(self.buf, "{}{}", v.bits(), self.ids[i]).unwrap();
-            } else {
-                writeln!(self.buf, "b{:b} {}", v.bits(), self.ids[i]).unwrap();
-            }
-            self.last[i] = Some(v);
         }
+        self.changed = changed;
         self.time += 1;
+    }
+
+    fn emit(&mut self, i: usize, v: Value, header_written: &mut bool) {
+        if self.last[i] == Some(v) {
+            return;
+        }
+        if !*header_written {
+            writeln!(self.buf, "#{}", self.time).unwrap();
+            *header_written = true;
+        }
+        if v.width() == 1 {
+            writeln!(self.buf, "{}{}", v.bits(), self.ids[i]).unwrap();
+        } else {
+            writeln!(self.buf, "b{:b} {}", v.bits(), self.ids[i]).unwrap();
+        }
+        self.last[i] = Some(v);
     }
 
     /// The trace so far, as VCD text.
@@ -112,6 +139,7 @@ fn sanitize(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimEngine;
     use hardsnap_verilog::parse_design;
 
     #[test]
@@ -161,6 +189,32 @@ mod tests {
         let timestamps = vcd.lines().filter(|l| l.starts_with('#')).count();
         assert_eq!(timestamps, 1, "{vcd}");
         assert_eq!(trace.samples(), 11);
+    }
+
+    #[test]
+    fn journal_and_full_scan_traces_are_identical() {
+        let src = r#"
+            module t (input wire clk, input wire rst, output reg [7:0] q,
+                      output wire [7:0] y);
+                assign y = q ^ 8'h0f;
+                always @(posedge clk) begin
+                    if (rst) q <= 8'd0; else q <= q + 8'd3;
+                end
+            endmodule
+        "#;
+        let run = |engine| {
+            let d = parse_design(src).unwrap();
+            let flat = hardsnap_rtl::elaborate(&d, "t").unwrap();
+            let mut sim = Simulator::with_engine(flat, engine).unwrap();
+            let mut trace = VcdTrace::new(&mut sim);
+            for i in 0..12u64 {
+                sim.poke("rst", (i < 2) as u64).unwrap();
+                sim.step(1);
+                trace.sample(&mut sim);
+            }
+            trace.into_string()
+        };
+        assert_eq!(run(SimEngine::Bytecode), run(SimEngine::Interpreter));
     }
 
     #[test]

@@ -102,6 +102,10 @@ enum_metric! {
         Quarantines => "quarantines",
         /// Faults injected by a `FaultyTarget` transport.
         FaultsInjected => "faults_injected",
+        /// Bytecode-simulator comb ops executed (dirty blocks only).
+        SimOpsExecuted => "sim.ops_executed",
+        /// Bytecode-simulator comb ops skipped by activity scheduling.
+        SimOpsSkipped => "sim.ops_skipped",
     }
 }
 
@@ -136,6 +140,9 @@ enum_metric! {
         RecoveryRetriesCorruptCapture => "recovery_retries.corrupt_capture",
         /// Attempts needed to recover from restore-path faults.
         RecoveryRetriesRestore => "recovery_retries.restore",
+        /// Comb ops executed per simulator `step()` (dirty-cone
+        /// activity; 0 for a fully quiescent cycle).
+        SimCombOpsPerStep => "sim.comb_ops_per_step",
     }
 }
 

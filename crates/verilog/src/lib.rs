@@ -42,10 +42,12 @@
 
 #![warn(missing_docs)]
 
+pub mod genmod;
 pub mod parser;
 pub mod printer;
 pub mod token;
 
+pub use genmod::gen_module;
 pub use parser::parse_design;
 pub use printer::{expr_str, print_module};
 pub use token::{lex, Pos, Spanned, Tok};
