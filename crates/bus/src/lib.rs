@@ -22,7 +22,9 @@ pub mod target;
 
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyTarget};
 pub use map::{MemoryMap, Region, RegionKind};
-pub use snapshot::{shape_hash_parts, HwSnapshot, MemImage, RegImage, SnapshotDelta};
+pub use snapshot::{
+    shape_hash_parts, HwSnapshot, MemImage, RegImage, SnapshotCapture, SnapshotDelta,
+};
 pub use target::{transfer_state, HwTarget, TargetCaps, TargetKind};
 
 use std::error::Error;

@@ -581,6 +581,138 @@ impl SnapshotDelta {
     pub fn byte_size(&self) -> usize {
         8 + self.regs.len() * 12 + self.mem_words.len() * 16
     }
+
+    /// Validates this delta against the base it claims to patch, in
+    /// O(delta): every register index must exist in the base and carry
+    /// no bits outside that register's width, and every memory word
+    /// reference must be in range and normalized. This is the capture
+    /// supervision check for delta-native images — the full-image
+    /// analogue is [`HwSnapshot::validate`] plus the shape hash, but a
+    /// delta shares its base's shape by construction, so only the
+    /// patched entries need inspection.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn validate_against(&self, base: &HwSnapshot) -> Result<(), String> {
+        for &(i, bits) in &self.regs {
+            let r = base
+                .regs
+                .get(i as usize)
+                .ok_or_else(|| format!("delta register index {i} out of range"))?;
+            if r.width < 64 && bits >> r.width != 0 {
+                return Err(format!(
+                    "delta for register '{}' carries bits outside its {}-bit width ({bits:#x})",
+                    r.name, r.width
+                ));
+            }
+        }
+        for &(mi, wi, v) in &self.mem_words {
+            let m = base
+                .mems
+                .get(mi as usize)
+                .ok_or_else(|| format!("delta memory index {mi} out of range"))?;
+            if wi as usize >= m.words.len() {
+                return Err(format!(
+                    "delta word index {wi} out of range for memory '{}'",
+                    m.name
+                ));
+            }
+            if m.width < 64 && v >> m.width != 0 {
+                return Err(format!(
+                    "delta for memory '{}'[{wi}] carries bits outside its {}-bit width ({v:#x})",
+                    m.name, m.width
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A capture as a target emits it: either a complete image, or a
+/// copy-on-write delta against a shared immutable base the target and
+/// its driver both hold. This is the Firecracker full-vs-diff snapshot
+/// split applied to hardware state: a target in delta mode tracks which
+/// registers and memory words it dirtied since its base capture and
+/// ships only those, so capture cost is proportional to activity, not
+/// design size. [`SnapshotCapture::materialize`] recovers the full
+/// image bit-identically, which is what keeps the canonical result
+/// digest invariant under the delta/full choice.
+#[derive(Clone, Debug)]
+pub enum SnapshotCapture {
+    /// A complete image (also the base for subsequent deltas).
+    Full(std::sync::Arc<HwSnapshot>),
+    /// Only what changed since `base` was captured.
+    Delta {
+        /// The shared immutable base image this delta patches.
+        base: std::sync::Arc<HwSnapshot>,
+        /// The changed registers and memory words.
+        delta: SnapshotDelta,
+    },
+}
+
+impl SnapshotCapture {
+    /// The design the capture was taken from.
+    pub fn design(&self) -> &str {
+        match self {
+            SnapshotCapture::Full(s) => &s.design,
+            SnapshotCapture::Delta { base, .. } => &base.design,
+        }
+    }
+
+    /// Target cycle counter at capture time.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            SnapshotCapture::Full(s) => s.cycle,
+            SnapshotCapture::Delta { delta, .. } => delta.cycle,
+        }
+    }
+
+    /// Bytes this capture costs to transfer/store: the full image size,
+    /// or just the delta's — the quantity the save cost models scale
+    /// with.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            SnapshotCapture::Full(s) => s.byte_size(),
+            SnapshotCapture::Delta { delta, .. } => delta.byte_size(),
+        }
+    }
+
+    /// Shape fingerprint (a delta shares its base's shape).
+    pub fn shape_hash(&self) -> u64 {
+        match self {
+            SnapshotCapture::Full(s) => s.shape_hash(),
+            SnapshotCapture::Delta { base, .. } => base.shape_hash(),
+        }
+    }
+
+    /// Structural validation: [`HwSnapshot::validate`] for a full image,
+    /// [`SnapshotDelta::validate_against`] (O(delta)) for a delta.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            SnapshotCapture::Full(s) => s.validate(),
+            SnapshotCapture::Delta { base, delta } => delta.validate_against(base),
+        }
+    }
+
+    /// Recovers the complete image: a no-op clone for a full capture,
+    /// [`SnapshotDelta::apply`] for a delta. Bit-identical to what a
+    /// full capture of the same hardware state would have produced.
+    ///
+    /// # Errors
+    ///
+    /// Delta indices out of range (an image that would fail
+    /// [`SnapshotCapture::validate`]).
+    pub fn materialize(&self) -> Result<HwSnapshot, String> {
+        match self {
+            SnapshotCapture::Full(s) => Ok((**s).clone()),
+            SnapshotCapture::Delta { base, delta } => delta.apply(base),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -637,6 +769,59 @@ mod delta_tests {
         let mut o = base();
         o.regs.pop();
         assert!(SnapshotDelta::between(&b, &o).is_err());
+    }
+
+    #[test]
+    fn validate_against_checks_ranges_and_widths() {
+        let b = base();
+        let ok = SnapshotDelta {
+            regs: vec![(3, 0xdead)],
+            mem_words: vec![(0, 7, 42)],
+            cycle: 1,
+        };
+        assert!(ok.validate_against(&b).is_ok());
+        let bad_idx = SnapshotDelta {
+            regs: vec![(99, 0)],
+            ..Default::default()
+        };
+        assert!(bad_idx.validate_against(&b).is_err());
+        let bad_word = SnapshotDelta {
+            mem_words: vec![(0, 999, 0)],
+            ..Default::default()
+        };
+        assert!(bad_word.validate_against(&b).is_err());
+        let wide = SnapshotDelta {
+            regs: vec![(0, 1 << 33)], // 32-bit register
+            ..Default::default()
+        };
+        assert!(wide.validate_against(&b).unwrap_err().contains("width"));
+        let wide_mem = SnapshotDelta {
+            mem_words: vec![(0, 0, 1 << 40)], // 32-bit memory
+            ..Default::default()
+        };
+        assert!(wide_mem.validate_against(&b).is_err());
+    }
+
+    #[test]
+    fn capture_materializes_bit_identically() {
+        let b = base();
+        let mut n = b.clone();
+        n.cycle = 77;
+        n.regs[5].bits = 9;
+        n.mems[0].words[2] = 3;
+        let d = SnapshotDelta::between(&b, &n).unwrap();
+        let cap = SnapshotCapture::Delta {
+            base: std::sync::Arc::new(b.clone()),
+            delta: d,
+        };
+        assert_eq!(cap.materialize().unwrap(), n);
+        assert_eq!(cap.shape_hash(), n.shape_hash());
+        assert_eq!(cap.cycle(), 77);
+        assert!(cap.byte_size() < b.byte_size() / 4);
+        assert!(cap.validate().is_ok());
+        let full = SnapshotCapture::Full(std::sync::Arc::new(n.clone()));
+        assert_eq!(full.materialize().unwrap(), n);
+        assert_eq!(full.byte_size(), n.byte_size());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! transfer state between them mid-analysis. `HwTarget` is that
 //! mechanism.
 
-use crate::{BusError, HwSnapshot, TargetError};
+use crate::{BusError, HwSnapshot, SnapshotCapture, TargetError};
+use std::sync::Arc;
 
 /// Which physical platform a target models.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -154,6 +155,31 @@ pub trait HwTarget: Send {
     /// observe-only — implementations must not let it influence
     /// behavior or virtual time.
     fn attach_recorder(&mut self, _rec: &hardsnap_telemetry::Recorder) {}
+
+    /// Switches activity-proportional (delta) snapshotting on or off.
+    /// In delta mode the target tracks which registers and memory words
+    /// it dirties, so [`HwTarget::save_snapshot_delta`] can emit a
+    /// copy-on-write capture against its last full base instead of a
+    /// complete image. The default ignores the request — such a target
+    /// simply keeps answering with full captures, which is always
+    /// correct (delta mode is purely a cost optimization).
+    fn set_delta_snapshots(&mut self, _on: bool) {}
+
+    /// Suspends execution and captures the hardware state as a
+    /// [`SnapshotCapture`]: a delta against the target's current base
+    /// when delta mode is on and a base exists, a full image otherwise.
+    /// Materializing the capture must be bit-identical to what
+    /// [`HwTarget::save_snapshot`] would have returned at the same
+    /// point. The default simply wraps a full capture, so every target
+    /// supports the delta-native driver path.
+    ///
+    /// # Errors
+    ///
+    /// As [`HwTarget::save_snapshot`].
+    fn save_snapshot_delta(&mut self) -> Result<SnapshotCapture, TargetError> {
+        self.save_snapshot()
+            .map(|s| SnapshotCapture::Full(Arc::new(s)))
+    }
 }
 
 // Boxed targets forward the whole contract, so decorators like
@@ -207,6 +233,12 @@ impl<T: HwTarget + ?Sized> HwTarget for Box<T> {
     }
     fn attach_recorder(&mut self, rec: &hardsnap_telemetry::Recorder) {
         (**self).attach_recorder(rec);
+    }
+    fn set_delta_snapshots(&mut self, on: bool) {
+        (**self).set_delta_snapshots(on);
+    }
+    fn save_snapshot_delta(&mut self) -> Result<SnapshotCapture, TargetError> {
+        (**self).save_snapshot_delta()
     }
 }
 

@@ -19,12 +19,13 @@
 
 use crate::snapshots::{SnapId, SnapshotStore};
 use crate::supervise::{FaultSummary, RetryPolicy, Supervisor};
-use hardsnap_bus::{BusError, HwSnapshot, HwTarget, TargetError};
+use hardsnap_bus::{BusError, HwSnapshot, HwTarget, SnapshotCapture, SnapshotDelta, TargetError};
 use hardsnap_symex::{
     BugReport, Concretization, Executor, StateId, StepOutcome, SymMmio, SymState,
 };
 use hardsnap_telemetry::{Counter, Metric, MetricsSnapshot, Recorder, TelemetryConfig};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Whether per-operation I/O tracing is on, sampled once per process
 /// (it sits on the hottest path in the engine: every forwarded MMIO
@@ -296,6 +297,10 @@ pub struct Engine {
     rng_state: u64,
     /// Most recent shared delta base (delta-snapshot mode).
     last_base: Option<SnapId>,
+    /// The target's live delta base mapped to its store id: native
+    /// deltas whose base `Arc` matches are installed without re-diffing
+    /// or materializing (delta-snapshot mode).
+    target_base: Option<(SnapId, Arc<HwSnapshot>)>,
     /// Distinct firmware PCs executed across all states.
     covered_pcs: HashSet<u32>,
     /// Hardware property assertions.
@@ -374,6 +379,9 @@ impl Engine {
         let retry = config.retry;
         let recorder = Recorder::from_config(&config.telemetry, 0, "engine");
         target.attach_recorder(&recorder);
+        if config.delta_snapshots {
+            target.set_delta_snapshots(true);
+        }
         let mut supervisor = Supervisor::new(retry);
         supervisor.recorder = recorder.clone();
         Engine {
@@ -390,6 +398,7 @@ impl Engine {
             extra_time_ns: 0,
             rng_state,
             last_base: None,
+            target_base: None,
             covered_pcs: HashSet::new(),
             hw_assertions: Vec::new(),
             hw_violations: Vec::new(),
@@ -459,12 +468,16 @@ impl Engine {
         let _span = self.recorder.span("engine", "switch-target");
         let snap = self.supervisor.save_snapshot(self.target.as_mut())?;
         new_target.attach_recorder(&self.recorder);
+        new_target.set_delta_snapshots(self.config.delta_snapshots);
         self.supervisor
             .restore_snapshot(new_target.as_mut(), &snap)?;
         self.metrics.snapshots_saved += 1;
         self.metrics.snapshots_restored += 1;
         self.recorder.count(Counter::ContextSwitches);
         self.target = new_target;
+        // The new target starts with no delta base of its own; its next
+        // capture ships a fresh full image.
+        self.target_base = None;
         Ok(())
     }
 
@@ -505,18 +518,32 @@ impl Engine {
         match self.config.mode {
             ConsistencyMode::HardSnap => {
                 if let Some(prev) = self.current_owner {
-                    match self.supervisor.save_snapshot(self.target.as_mut()) {
-                        Ok(snap) => {
-                            self.check_hw_assertions(&snap, prev);
-                            self.metrics.snapshots_saved += 1;
-                            match self.snap_of.get(&prev) {
-                                Some(&sid) => self.store.update(sid, snap),
-                                None => {
-                                    let sid = self.store.insert(snap);
-                                    self.snap_of.insert(prev, sid);
+                    let saved = if self.config.delta_snapshots {
+                        self.supervisor
+                            .save_capture(self.target.as_mut())
+                            .map(|cap| {
+                                // Materializing just for assertion checks
+                                // would defeat O(changed): skip it when
+                                // no assertions are registered.
+                                if !self.hw_assertions.is_empty() {
+                                    if let Ok(full) = cap.materialize() {
+                                        self.check_hw_assertions(&full, prev);
+                                    }
                                 }
-                            }
-                        }
+                                self.metrics.snapshots_saved += 1;
+                                self.store_capture(prev, cap);
+                            })
+                    } else {
+                        self.supervisor
+                            .save_snapshot(self.target.as_mut())
+                            .map(|snap| {
+                                self.check_hw_assertions(&snap, prev);
+                                self.metrics.snapshots_saved += 1;
+                                self.store_full(prev, snap);
+                            })
+                    };
+                    match saved {
+                        Ok(()) => {}
                         Err(e) => {
                             // The live context advanced past prev's last
                             // snapshot; it cannot be reconstructed. Kill
@@ -613,6 +640,91 @@ impl Engine {
         }
     }
 
+    /// Stores a full snapshot as `owner`'s private image (update in
+    /// place when the state already has one).
+    fn store_full(&mut self, owner: StateId, snap: HwSnapshot) {
+        match self.snap_of.get(&owner) {
+            Some(&sid) => self.store.update(sid, snap),
+            None => {
+                let sid = self.store.insert(snap);
+                self.snap_of.insert(owner, sid);
+            }
+        }
+    }
+
+    /// Stores a delta against `bid` as `owner`'s private image without
+    /// materializing; falls back to a full store only if the store
+    /// refuses the native install (base vanished — cannot happen for
+    /// engine-pinned bases, but never silently lose a snapshot).
+    fn store_delta(
+        &mut self,
+        owner: StateId,
+        bid: SnapId,
+        delta: SnapshotDelta,
+        base: &Arc<HwSnapshot>,
+    ) {
+        let installed = match self.snap_of.get(&owner) {
+            Some(&sid) => self.store.update_delta_native(sid, bid, delta.clone()),
+            None => match self.store.insert_delta_native(bid, delta.clone()) {
+                Some(sid) => {
+                    self.snap_of.insert(owner, sid);
+                    true
+                }
+                None => false,
+            },
+        };
+        if !installed {
+            let full = delta
+                .apply(base)
+                .expect("delta produced against this exact base");
+            self.store_full(owner, full);
+        }
+    }
+
+    /// Stores a target capture (full or native delta) as `owner`'s
+    /// private image, maintaining the shared-base bookkeeping.
+    fn store_capture(&mut self, owner: StateId, cap: SnapshotCapture) {
+        match cap {
+            SnapshotCapture::Full(arc) => {
+                // Fresh base epoch: install the full image as the shared
+                // base and record owner as an empty delta against it, so
+                // the target's subsequent native deltas (expressed
+                // against this exact Arc) install in O(delta).
+                let bid = self.store.insert_base((*arc).clone());
+                self.last_base = Some(bid);
+                let empty = SnapshotDelta {
+                    regs: Vec::new(),
+                    mem_words: Vec::new(),
+                    cycle: arc.cycle,
+                };
+                self.store_delta(owner, bid, empty, &arc);
+                self.target_base = Some((bid, arc));
+            }
+            SnapshotCapture::Delta { base, delta } => {
+                match &self.target_base {
+                    Some((bid, tracked)) if Arc::ptr_eq(tracked, &base) => {
+                        let bid = *bid;
+                        self.store_delta(owner, bid, delta, &base);
+                    }
+                    _ => {
+                        // The target rebased (or switched) without the
+                        // engine seeing the new base as a Full capture;
+                        // resolve once and store full.
+                        match delta.apply(&base) {
+                            Ok(full) => self.store_full(owner, full),
+                            Err(e) => {
+                                // Shape-checked by the supervisor; keep a
+                                // loud record if it ever happens.
+                                self.fault_log
+                                    .push(format!("state {owner:?}: delta capture unusable: {e}"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Gives every freshly forked state its own non-shared hardware
     /// snapshot (paper §IV-B last paragraph).
     ///
@@ -634,53 +746,69 @@ impl Engine {
             }
             return Ok(());
         }
+        let log = self.io_logs.get(&parent).cloned().unwrap_or_default();
+        // Delta mode: the target hands back a native capture — either a
+        // fresh full base or an O(changed) delta against the shared
+        // immutable base `Arc`. Children are stored as copy-on-write
+        // deltas, so long analyses keep roughly one full image plus
+        // per-state diffs in the store, with no post-hoc re-diffing.
+        if self.config.delta_snapshots {
+            let cap = self.supervisor.save_capture(self.target.as_mut())?;
+            if !self.hw_assertions.is_empty() {
+                if let Ok(full) = cap.materialize() {
+                    self.check_hw_assertions(&full, parent);
+                }
+            }
+            self.metrics.snapshots_saved += 1;
+            enum Resolved {
+                Native(SnapId, SnapshotDelta, Arc<HwSnapshot>),
+                Full(HwSnapshot),
+            }
+            let resolved = match cap {
+                SnapshotCapture::Full(arc) => {
+                    let bid = self.store.insert_base((*arc).clone());
+                    self.last_base = Some(bid);
+                    self.target_base = Some((bid, arc.clone()));
+                    let empty = SnapshotDelta {
+                        regs: Vec::new(),
+                        mem_words: Vec::new(),
+                        cycle: arc.cycle,
+                    };
+                    Resolved::Native(bid, empty, arc)
+                }
+                SnapshotCapture::Delta { base, delta } => match &self.target_base {
+                    Some((bid, tracked)) if Arc::ptr_eq(tracked, &base) => {
+                        Resolved::Native(*bid, delta, base)
+                    }
+                    _ => match delta.apply(&base) {
+                        Ok(full) => Resolved::Full(full),
+                        Err(e) => {
+                            return Err(TargetError::CorruptSnapshot(format!(
+                                "fork capture for {parent:?}: {e}"
+                            )))
+                        }
+                    },
+                },
+            };
+            for s in successors {
+                self.io_logs.entry(s.id).or_insert_with(|| log.clone());
+                self.hw_age.entry(s.id).or_insert(age);
+                match &resolved {
+                    Resolved::Native(bid, delta, base) => {
+                        self.store_delta(s.id, *bid, delta.clone(), base)
+                    }
+                    Resolved::Full(full) => self.store_full(s.id, full.clone()),
+                }
+            }
+            return Ok(());
+        }
         let snap = self.supervisor.save_snapshot(self.target.as_mut())?;
         self.check_hw_assertions(&snap, parent);
         self.metrics.snapshots_saved += 1;
-        let log = self.io_logs.get(&parent).cloned().unwrap_or_default();
-        // Delta mode: children are stored as deltas against a shared
-        // immutable base. The base is reused across forks while deltas
-        // stay small, so long analyses keep roughly one full image plus
-        // per-state diffs in the store.
-        let base_id = if self.config.delta_snapshots {
-            let reusable = self.last_base.filter(|&b| {
-                self.store
-                    .delta_size_vs(b, &snap)
-                    .map(|d| d * 4 < snap.byte_size())
-                    .unwrap_or(false)
-            });
-            Some(match reusable {
-                Some(b) => b,
-                None => {
-                    let b = self.store.insert_base(snap.clone());
-                    self.last_base = Some(b);
-                    b
-                }
-            })
-        } else {
-            None
-        };
         for s in successors {
             self.io_logs.entry(s.id).or_insert_with(|| log.clone());
             self.hw_age.entry(s.id).or_insert(age);
-            if s.id == parent {
-                match self.snap_of.get(&parent) {
-                    Some(&sid) => self.store.update(sid, snap.clone()),
-                    None => {
-                        let sid = match base_id {
-                            Some(b) => self.store.insert_delta(b, snap.clone()),
-                            None => self.store.insert(snap.clone()),
-                        };
-                        self.snap_of.insert(parent, sid);
-                    }
-                }
-            } else {
-                let sid = match base_id {
-                    Some(b) => self.store.insert_delta(b, snap.clone()),
-                    None => self.store.insert(snap.clone()),
-                };
-                self.snap_of.insert(s.id, sid);
-            }
+            self.store_full(s.id, snap.clone());
         }
         Ok(())
     }

@@ -33,12 +33,13 @@
 use crate::engine::{trace_io, ConsistencyMode, EngineConfig, EngineMetrics, RunResult};
 use crate::snapshots::{SnapId, SnapshotStore};
 use crate::supervise::{FaultSummary, Supervisor};
-use hardsnap_bus::{BusError, HwTarget, TargetError};
+use hardsnap_bus::{BusError, HwSnapshot, HwTarget, SnapshotCapture, SnapshotDelta, TargetError};
 use hardsnap_symex::{BugReport, Executor, PortableState, StepOutcome, SymMmio, SymState};
 use hardsnap_telemetry::{Counter, Metric, MetricsSnapshot, Recorder};
 use hardsnap_util::sync::{scope, Mutex};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::sync::Condvar;
 
 /// A schedulable unit: one symbolic state detached from any term pool,
@@ -381,6 +382,80 @@ fn merge_metrics(into: &mut EngineMetrics, m: EngineMetrics) {
     into.irqs_delivered += m.irqs_delivered;
 }
 
+/// A capture resolved into its store-ready form: either a native delta
+/// against a base already registered in the shared store, or a full
+/// image (anchor mismatch, or delta mode off).
+enum Stored {
+    Native(SnapId, SnapshotDelta, Arc<HwSnapshot>),
+    Full(HwSnapshot),
+}
+
+/// Resolves a target capture against the worker-local base anchor,
+/// registering fresh full captures as shared bases. A delta whose base
+/// `Arc` is not the anchored one (target rebased without the worker
+/// seeing the full image) is materialized once and stored full.
+fn resolve_capture(
+    store: &SnapshotStore,
+    anchor: &mut Option<(SnapId, Arc<HwSnapshot>)>,
+    cap: SnapshotCapture,
+) -> Result<Stored, TargetError> {
+    match cap {
+        SnapshotCapture::Full(arc) => {
+            let bid = store.insert_base((*arc).clone());
+            *anchor = Some((bid, arc.clone()));
+            let empty = SnapshotDelta {
+                regs: Vec::new(),
+                mem_words: Vec::new(),
+                cycle: arc.cycle,
+            };
+            Ok(Stored::Native(bid, empty, arc))
+        }
+        SnapshotCapture::Delta { base, delta } => match anchor {
+            Some((bid, tracked)) if Arc::ptr_eq(tracked, &base) => {
+                Ok(Stored::Native(*bid, delta, base))
+            }
+            _ => match delta.apply(&base) {
+                Ok(full) => Ok(Stored::Full(full)),
+                Err(e) => Err(TargetError::CorruptSnapshot(format!(
+                    "native delta unusable: {e}"
+                ))),
+            },
+        },
+    }
+}
+
+/// Installs a resolved capture into the shared store, updating
+/// `existing` in place when the state already owns a snapshot id.
+/// Native installs are O(delta); if the anchored base vanished from the
+/// store (all dependents retired), falls back to a one-time full
+/// materialization rather than losing the snapshot.
+fn install_stored(store: &SnapshotStore, stored: &Stored, existing: Option<SnapId>) -> SnapId {
+    match stored {
+        Stored::Native(bid, delta, base) => match existing {
+            Some(sid) => {
+                if !store.update_delta_native(sid, *bid, delta.clone()) {
+                    let full = delta.apply(base).expect("delta built against this base");
+                    store.update(sid, full);
+                }
+                sid
+            }
+            None => store
+                .insert_delta_native(*bid, delta.clone())
+                .unwrap_or_else(|| {
+                    let full = delta.apply(base).expect("delta built against this base");
+                    store.insert(full)
+                }),
+        },
+        Stored::Full(full) => match existing {
+            Some(sid) => {
+                store.update(sid, full.clone());
+                sid
+            }
+            None => store.insert(full.clone()),
+        },
+    }
+}
+
 /// Blocks until a work item is available; returns `None` on
 /// termination (queue drained with nothing in flight, or stop flag).
 fn next_item(shared: &Shared) -> Option<WorkItem> {
@@ -456,6 +531,9 @@ fn run_worker(
     // epoch, so their tracks line up on one timeline.
     let rec = Recorder::from_config(&config.telemetry, widx as u32, format!("worker-{widx}"));
     replica.attach_recorder(&rec);
+    if config.delta_snapshots {
+        replica.set_delta_snapshots(true);
+    }
     sup.recorder = rec.clone();
     // Virtual time accumulates across replica replacements: the base
     // resets whenever a fresh replica (with a fresh clock) is installed.
@@ -463,12 +541,12 @@ fn run_worker(
     let mut vtime_base = replica.virtual_time_ns();
     // Terminal quantum failures since this replica was (re)built.
     let mut health_faults: u32 = 0;
-    // Worker-local delta anchor (delta-snapshot mode): reused across
-    // forks while deltas against it stay small, exactly like the
-    // sequential engine's `last_base`. The anchor choice only affects
-    // storage representation, never snapshot content, so worker-local
-    // anchors do not perturb determinism.
-    let mut last_base: Option<SnapId> = None;
+    // Worker-local delta anchor (delta-snapshot mode): the replica's
+    // live base `Arc` mapped to its shared-store id, so native deltas
+    // install in O(delta). The anchor choice only affects storage
+    // representation, never snapshot content, so worker-local anchors
+    // do not perturb determinism.
+    let mut anchor: Option<(SnapId, Arc<HwSnapshot>)> = None;
     'items: while let Some(item) = next_item(shared) {
         let mut attempts: u32 = 0;
         loop {
@@ -482,7 +560,7 @@ fn run_worker(
                 &item,
                 &mut scratch,
                 &mut out,
-                &mut last_base,
+                &mut anchor,
                 &mut sup,
                 &rec,
             );
@@ -539,6 +617,12 @@ fn run_worker(
                                 vtime_accum += replica.virtual_time_ns().saturating_sub(vtime_base);
                                 *replica = t;
                                 replica.attach_recorder(&rec);
+                                if config.delta_snapshots {
+                                    replica.set_delta_snapshots(true);
+                                }
+                                // The replacement has no live base; its
+                                // first capture re-anchors.
+                                anchor = None;
                                 vtime_base = replica.virtual_time_ns();
                             }
                             None => {
@@ -586,7 +670,7 @@ fn run_quantum(
     item: &WorkItem,
     scratch: &mut Attempt,
     out: &mut WorkerOutput,
-    last_base: &mut Option<SnapId>,
+    anchor: &mut Option<(SnapId, Arc<HwSnapshot>)>,
     sup: &mut Supervisor,
     rec: &Recorder,
 ) -> Result<Vec<WorkItem>, TargetError> {
@@ -615,17 +699,25 @@ fn run_quantum(
     let save_continuation = |ex: &Executor,
                              target: &mut dyn HwTarget,
                              out: &mut WorkerOutput,
+                             anchor: &mut Option<(SnapId, Arc<HwSnapshot>)>,
                              sup: &mut Supervisor,
                              s: &SymState|
      -> Result<WorkItem, TargetError> {
-        let snap = sup.save_snapshot(target)?;
-        out.metrics.snapshots_saved += 1;
-        let sid = match item.snap {
-            Some(sid) => {
-                shared.store.update(sid, snap);
-                sid
+        let sid = if config.delta_snapshots {
+            let cap = sup.save_capture(target)?;
+            out.metrics.snapshots_saved += 1;
+            let stored = resolve_capture(&shared.store, anchor, cap)?;
+            install_stored(&shared.store, &stored, item.snap)
+        } else {
+            let snap = sup.save_snapshot(target)?;
+            out.metrics.snapshots_saved += 1;
+            match item.snap {
+                Some(sid) => {
+                    shared.store.update(sid, snap);
+                    sid
+                }
+                None => shared.store.insert(snap),
             }
-            None => shared.store.insert(snap),
         };
         Ok(WorkItem {
             state: PortableState::export(&ex.pool, s),
@@ -666,51 +758,29 @@ fn run_quantum(
         match outcome {
             StepOutcome::ContinueWith(s) => {
                 if remaining == 0 || now >= config.max_instructions {
-                    return Ok(vec![save_continuation(ex, target, out, sup, &s)?]);
+                    return Ok(vec![save_continuation(ex, target, out, anchor, sup, &s)?]);
                 }
                 state = s;
             }
             StepOutcome::Fork(succ) => {
                 // Every forked state gets a private, non-shared
-                // snapshot of the fork-point hardware.
-                let snap = sup.save_snapshot(target)?;
-                out.metrics.snapshots_saved += 1;
-                let base_id = if config.delta_snapshots {
-                    let reusable = last_base.filter(|&b| {
-                        shared
-                            .store
-                            .delta_size_vs(b, &snap)
-                            .map(|d| d * 4 < snap.byte_size())
-                            .unwrap_or(false)
-                    });
-                    Some(match reusable {
-                        Some(b) => b,
-                        None => {
-                            let b = shared.store.insert_base(snap.clone());
-                            *last_base = Some(b);
-                            b
-                        }
-                    })
+                // snapshot of the fork-point hardware. In delta mode
+                // the target emits a native O(changed) capture and each
+                // child becomes a copy-on-write delta entry against the
+                // shared base.
+                let stored = if config.delta_snapshots {
+                    let cap = sup.save_capture(target)?;
+                    out.metrics.snapshots_saved += 1;
+                    resolve_capture(&shared.store, anchor, cap)?
                 } else {
-                    None
+                    let snap = sup.save_snapshot(target)?;
+                    out.metrics.snapshots_saved += 1;
+                    Stored::Full(snap)
                 };
                 let mut items = Vec::with_capacity(succ.len());
                 for s in succ {
-                    let fresh = |store: &SnapshotStore| match base_id {
-                        Some(b) => store.insert_delta(b, snap.clone()),
-                        None => store.insert(snap.clone()),
-                    };
-                    let sid = if s.id == state_id {
-                        match item.snap {
-                            Some(sid) => {
-                                shared.store.update(sid, snap.clone());
-                                sid
-                            }
-                            None => fresh(&shared.store),
-                        }
-                    } else {
-                        fresh(&shared.store)
-                    };
+                    let existing = if s.id == state_id { item.snap } else { None };
+                    let sid = install_stored(&shared.store, &stored, existing);
                     items.push(WorkItem {
                         state: PortableState::export(&ex.pool, &s),
                         snap: Some(sid),
@@ -737,7 +807,7 @@ fn run_quantum(
                 // still fail, and the replay must not double-report.
                 scratch.bugs.push(report);
                 return match continuation {
-                    Some(s) => Ok(vec![save_continuation(ex, target, out, sup, &s)?]),
+                    Some(s) => Ok(vec![save_continuation(ex, target, out, anchor, sup, &s)?]),
                     None => {
                         shared.paths.fetch_add(1, Ordering::Relaxed);
                         out.metrics.paths_completed += 1;

@@ -294,6 +294,66 @@ impl SnapshotStore {
         id
     }
 
+    /// Stores a delta the target emitted natively (already expressed
+    /// against the snapshot under `base`) — no O(design) re-diff, the
+    /// store cost is O(delta). Pins `base`; `None` if `base` is gone
+    /// (the caller must fall back to materializing a full image).
+    pub fn insert_delta_native(&self, base: SnapId, delta: SnapshotDelta) -> Option<SnapId> {
+        if !self.pin_base(base) {
+            return None;
+        }
+        let id = self.alloc_id();
+        self.install(id, Entry::Delta { base, delta }, false);
+        Some(id)
+    }
+
+    /// Overwrites the snapshot under `id` with a natively-emitted delta
+    /// against `base` — the O(delta) counterpart of
+    /// [`SnapshotStore::update`]. Pins the new base and releases the
+    /// entry's previous base (if its old representation was a delta);
+    /// false if `base` is gone and the caller must fall back.
+    pub fn update_delta_native(&self, id: SnapId, base: SnapId, delta: SnapshotDelta) -> bool {
+        if !self.pin_base(base) {
+            return false;
+        }
+        let new_entry = Entry::Delta { base, delta };
+        let new_sz = new_entry.byte_size();
+        let (old_sz, released) = {
+            let mut g = self.inner.shards.shard_for(id).write();
+            match g.entries.get_mut(&id) {
+                Some(stored) => {
+                    let old = stored.entry.byte_size();
+                    // The old representation's pin is dropped after the
+                    // new pin is in place, so a same-base update nets
+                    // out to one held pin.
+                    let released = match &stored.entry {
+                        Entry::Delta { base: b, .. } => Some(*b),
+                        Entry::Full(_) => None,
+                    };
+                    stored.entry = new_entry;
+                    (old, released)
+                }
+                None => {
+                    g.entries.insert(
+                        id,
+                        Stored {
+                            entry: new_entry,
+                            refs: 0,
+                            hidden: false,
+                        },
+                    );
+                    (0, None)
+                }
+            }
+        };
+        self.inner.bytes.add(new_sz);
+        self.inner.bytes.sub(old_sz);
+        if let Some(b) = released {
+            self.release_base(b);
+        }
+        true
+    }
+
     /// Registers a snapshot that exists only to serve as a delta base
     /// (freed automatically when the last dependent goes away).
     pub fn insert_base(&self, snap: HwSnapshot) -> SnapId {

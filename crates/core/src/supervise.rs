@@ -27,7 +27,7 @@
 //! which is one of the reasons recovery is invisible in the canonical
 //! result digest.
 
-use hardsnap_bus::{BusError, HwSnapshot, HwTarget, TargetError};
+use hardsnap_bus::{BusError, HwSnapshot, HwTarget, SnapshotCapture, TargetError};
 use hardsnap_telemetry::{Counter, FaultClass, Metric, Recorder, SpanGuard};
 
 /// Retry/backoff/quarantine policy knobs, carried in `EngineConfig`.
@@ -260,6 +260,45 @@ impl Supervisor {
                     ));
                 }
                 Ok(snap)
+            },
+            |e| match e {
+                TargetError::CorruptSnapshot(_) => true,
+                TargetError::Bus(b) => transient_bus(b),
+                _ => false,
+            },
+            |e| match e {
+                TargetError::CorruptSnapshot(_) => FaultClass::CorruptCapture,
+                TargetError::Bus(b) => classify_bus(b),
+                _ => FaultClass::CorruptCapture,
+            },
+        )
+    }
+
+    /// Supervised delta-aware snapshot capture: the activity-
+    /// proportional sibling of [`Supervisor::save_snapshot`]. A full
+    /// capture is validated exactly as there; a delta capture is
+    /// validated in O(delta) against its own base (index ranges, width
+    /// fits) plus the base's shape hash — no materialization on the hot
+    /// path. Corrupt images are re-captured.
+    ///
+    /// # Errors
+    ///
+    /// As [`Supervisor::save_snapshot`].
+    pub fn save_capture(
+        &mut self,
+        target: &mut dyn HwTarget,
+    ) -> Result<SnapshotCapture, TargetError> {
+        let shape = target.snapshot_shape();
+        self.with_retries(
+            || {
+                let cap = target.save_snapshot_delta()?;
+                cap.validate().map_err(TargetError::CorruptSnapshot)?;
+                if shape != 0 && cap.shape_hash() != shape {
+                    return Err(TargetError::CorruptSnapshot(
+                        "captured image does not match the design's snapshot shape".into(),
+                    ));
+                }
+                Ok(cap)
             },
             |e| match e {
                 TargetError::CorruptSnapshot(_) => true,

@@ -30,13 +30,14 @@
 #![warn(missing_docs)]
 
 use hardsnap_bus::{
-    axi_ports, BusError, HwSnapshot, HwTarget, MemImage, RegImage, TargetCaps, TargetError,
-    TargetKind,
+    axi_ports, BusError, HwSnapshot, HwTarget, MemImage, RegImage, SnapshotCapture, SnapshotDelta,
+    TargetCaps, TargetError, TargetKind,
 };
-use hardsnap_rtl::Module;
+use hardsnap_rtl::{Module, NetId};
 use hardsnap_scan::{instrument, ports as scan_ports, ChainMap, ScanOptions};
 use hardsnap_sim::{AxiLite, SimError, Simulator};
 use hardsnap_telemetry::{Counter, Metric, Recorder};
+use std::sync::Arc;
 
 /// Virtual-time cost model of the FPGA platform.
 ///
@@ -123,6 +124,14 @@ pub struct FpgaTarget {
     design: String,
     readback: bool,
     instrumented_name: String,
+    /// IRQ port resolved once at construction: `None` means the design
+    /// genuinely has no IRQ output, so a failed peek is never silently
+    /// read as "no interrupt".
+    irq_net: Option<NetId>,
+    /// Golden base image the snapshot controller diffs against when
+    /// delta captures are enabled.
+    base: Option<Arc<HwSnapshot>>,
+    delta_mode: bool,
     rec: Recorder,
 }
 
@@ -143,6 +152,7 @@ impl FpgaTarget {
         let instrumented_name = instrumented.name.clone();
         let sim = Simulator::new(instrumented)?;
         let axi = AxiLite::bind(&sim)?;
+        let irq_net = sim.module().find_net(axi_ports::IRQ);
         Ok(FpgaTarget {
             sim,
             axi,
@@ -152,6 +162,9 @@ impl FpgaTarget {
             design,
             readback: opts.readback,
             instrumented_name,
+            irq_net,
+            base: None,
+            delta_mode: false,
             rec: Recorder::disabled(),
         })
     }
@@ -210,7 +223,7 @@ impl FpgaTarget {
     fn charge_cycles(&mut self, cycles: u64) {
         self.vtime_ns = self
             .vtime_ns
-            .saturating_add(cycles * self.model.ns_per_cycle);
+            .saturating_add(cycles.saturating_mul(self.model.ns_per_cycle));
     }
 
     /// Shifts the whole chain once around (out and back in), returning
@@ -399,6 +412,73 @@ impl FpgaTarget {
             mems,
         }
     }
+
+    /// Checks a restore image against the chain layout — registers
+    /// present with in-range values, memories present with the right
+    /// depth and normalized words — without touching the fabric. An
+    /// image that passes cannot fail mid-shift.
+    fn validate_restore_image(&self, snap: &HwSnapshot) -> Result<Vec<u64>, TargetError> {
+        let mut values = Vec::with_capacity(self.chain.segments.len());
+        for seg in &self.chain.segments {
+            let bits = snap.reg(&seg.name).ok_or_else(|| {
+                TargetError::CorruptSnapshot(format!("missing register '{}'", seg.name))
+            })?;
+            if seg.width < 64 && bits >> seg.width != 0 {
+                return Err(TargetError::CorruptSnapshot(format!(
+                    "register '{}' value {bits:#x} exceeds its {} bits",
+                    seg.name, seg.width
+                )));
+            }
+            values.push(bits);
+        }
+        for collar in &self.chain.mems {
+            let img = snap.mem(&collar.name).ok_or_else(|| {
+                TargetError::CorruptSnapshot(format!("missing memory '{}'", collar.name))
+            })?;
+            if img.words.len() != collar.depth as usize {
+                return Err(TargetError::CorruptSnapshot(format!(
+                    "memory '{}' has {} words, design expects {}",
+                    collar.name,
+                    img.words.len(),
+                    collar.depth
+                )));
+            }
+            if collar.width < 64 {
+                let msk = (1u64 << collar.width) - 1;
+                if let Some(wi) = img.words.iter().position(|&w| w & !msk != 0) {
+                    return Err(TargetError::CorruptSnapshot(format!(
+                        "memory '{}'[{wi}] value exceeds its {} bits",
+                        collar.name, collar.width
+                    )));
+                }
+            }
+        }
+        Ok(values)
+    }
+}
+
+/// Which chain segments and how many collar words differ between the
+/// currently-loaded state and a target image (both keyed by the chain
+/// layout) — the activity a partial scan pass has to move.
+fn diff_activity(cur: &HwSnapshot, want: &HwSnapshot, chain: &ChainMap) -> (Vec<bool>, u64) {
+    let dirty_segs: Vec<bool> = chain
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(i, seg)| want.reg(&seg.name) != Some(cur.regs[i].bits))
+        .collect();
+    let mut dirty_words = 0u64;
+    for (mi, collar) in chain.mems.iter().enumerate() {
+        if let Some(img) = want.mem(&collar.name) {
+            dirty_words += cur.mems[mi]
+                .words
+                .iter()
+                .zip(&img.words)
+                .filter(|(a, b)| a != b)
+                .count() as u64;
+        }
+    }
+    (dirty_segs, dirty_words)
 }
 
 impl HwTarget for FpgaTarget {
@@ -458,10 +538,17 @@ impl HwTarget for FpgaTarget {
     }
 
     fn irq_lines(&mut self) -> u32 {
-        self.sim
-            .peek(axi_ports::IRQ)
-            .map(|v| v.bits() as u32)
-            .unwrap_or(0)
+        // 0 only when the design genuinely has no IRQ port (resolved at
+        // construction); for a design that has one, a failed peek is a
+        // wiring bug and must be loud, never read as "no interrupt".
+        match self.irq_net {
+            Some(_) => self
+                .sim
+                .peek(axi_ports::IRQ)
+                .expect("irq port resolved at construction")
+                .bits() as u32,
+            None => 0,
+        }
     }
 
     fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
@@ -497,6 +584,84 @@ impl HwTarget for FpgaTarget {
         })
     }
 
+    fn set_delta_snapshots(&mut self, on: bool) {
+        if self.delta_mode != on {
+            self.delta_mode = on;
+            // A mode change invalidates the golden base; the next
+            // delta-mode capture ships a fresh full image.
+            self.base = None;
+        }
+    }
+
+    fn save_snapshot_delta(&mut self) -> Result<SnapshotCapture, TargetError> {
+        if !self.delta_mode {
+            return self
+                .save_snapshot()
+                .map(|s| SnapshotCapture::Full(Arc::new(s)));
+        }
+        let base = match &self.base {
+            Some(b) => b.clone(),
+            None => {
+                // First capture establishes the golden base: full pass.
+                let snap = Arc::new(self.save_snapshot()?);
+                self.base = Some(snap.clone());
+                return Ok(SnapshotCapture::Full(snap));
+            }
+        };
+        let span = self.rec.span("snapshot", "capture_delta");
+        let vtime_before = self.vtime_ns;
+        // The controller observes state against its golden base and
+        // ships only dirty segments / collar words; the modeled cost is
+        // a partial-chain pass over exactly that activity.
+        let cur = self.capture_via_scan_paths_silently();
+        let mut dirty_segs = vec![false; self.chain.segments.len()];
+        let mut delta = SnapshotDelta {
+            regs: Vec::new(),
+            mem_words: Vec::new(),
+            cycle: cur.cycle,
+        };
+        for (i, (c, b)) in cur.regs.iter().zip(&base.regs).enumerate() {
+            if c.bits != b.bits {
+                dirty_segs[i] = true;
+                delta.regs.push((i as u32, c.bits));
+            }
+        }
+        for (mi, (cm, bm)) in cur.mems.iter().zip(&base.mems).enumerate() {
+            for (wi, (&cw, &bw)) in cm.words.iter().zip(&bm.words).enumerate() {
+                if cw != bw {
+                    delta.mem_words.push((mi as u32, wi as u32, cw));
+                }
+            }
+        }
+        if delta.byte_size() * 4 >= base.byte_size() {
+            // The delta stopped paying for itself: promote the current
+            // image to a new golden base, charged as a full pass.
+            self.charge_cycles(self.chain.shift_cycles() + self.chain.mem_words());
+            self.vtime_ns += self.model.scan_overhead_ns;
+            let snap = Arc::new(cur);
+            self.base = Some(snap.clone());
+            self.rec.count(Counter::SnapshotsSaved);
+            self.rec
+                .observe(Metric::CaptureVtimeNs, self.vtime_ns - vtime_before);
+            drop(span);
+            return Ok(SnapshotCapture::Full(snap));
+        }
+        let dirty_words = delta.mem_words.len() as u64;
+        self.charge_cycles(self.chain.partial_shift_cycles(&dirty_segs) + dirty_words);
+        self.vtime_ns += self.model.scan_overhead_ns;
+        self.rec.count(Counter::SnapshotsSaved);
+        self.rec.count(Counter::DeltaSnapshotsSaved);
+        let full = base.byte_size().max(1);
+        self.rec.observe(
+            Metric::SnapshotDirtyPermille,
+            (delta.byte_size().min(full) * 1000 / full) as u64,
+        );
+        self.rec
+            .observe(Metric::CaptureVtimeNs, self.vtime_ns - vtime_before);
+        drop(span);
+        Ok(SnapshotCapture::Delta { base, delta })
+    }
+
     fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
         let span = self.rec.span("snapshot", "restore");
         let vtime_before = self.vtime_ns;
@@ -506,20 +671,31 @@ impl HwTarget for FpgaTarget {
                 found: self.design.clone(),
             });
         }
-        // Order register values by chain segment.
-        let mut values = Vec::with_capacity(self.chain.segments.len());
-        for seg in &self.chain.segments {
-            let bits = snap.reg(&seg.name).ok_or_else(|| {
-                TargetError::CorruptSnapshot(format!("missing register '{}'", seg.name))
-            })?;
-            values.push(bits);
-        }
+        // Validate everything up front — registers AND memories — so the
+        // restore is all-or-nothing: once shifting starts nothing below
+        // can fail and leave the fabric half-loaded.
+        let values = self.validate_restore_image(snap)?;
         let stream = self
             .chain
             .encode_words(&values)
             .map_err(|e| TargetError::CorruptSnapshot(e.to_string()))?;
-        self.scan_shift_in(&stream);
-        self.collar_write_all(&snap.mems)?;
+        if self.delta_mode {
+            // Partial-chain restore: diff the loaded state against the
+            // requested image, shift only dirty segments through their
+            // bypass muxes and rewrite only dirty collar words. The
+            // state transfer itself is exact (full image in, modeled
+            // silently); only the charged time is partial.
+            let cur = self.capture_via_scan_paths_silently();
+            let (dirty_segs, dirty_words) = diff_activity(&cur, snap, &self.chain);
+            let saved_vtime = self.vtime_ns;
+            self.scan_shift_in(&stream);
+            self.collar_write_all(&snap.mems)?;
+            self.vtime_ns = saved_vtime;
+            self.charge_cycles(self.chain.partial_shift_cycles(&dirty_segs) + dirty_words);
+        } else {
+            self.scan_shift_in(&stream);
+            self.collar_write_all(&snap.mems)?;
+        }
         self.vtime_ns += self.model.scan_overhead_ns;
         self.rec.count(Counter::SnapshotsRestored);
         self.rec
@@ -547,6 +723,11 @@ impl HwTarget for FpgaTarget {
             design: self.design.clone(),
             readback: self.readback,
             instrumented_name: self.instrumented_name.clone(),
+            irq_net: self.irq_net,
+            // Replicas inherit the capture mode but start from power-on
+            // with no golden base.
+            base: None,
+            delta_mode: self.delta_mode,
             // Replicas go to other workers; each worker attaches its
             // own track's recorder.
             rec: Recorder::disabled(),
@@ -763,6 +944,113 @@ mod tests {
         wide.restore_snapshot(&snap_wide).unwrap();
         let back = wide.save_snapshot().unwrap();
         assert!(back.diff_regs(&snap_wide).is_empty());
+    }
+
+    #[test]
+    fn charge_cycles_saturates_instead_of_overflowing() {
+        let mut t = FpgaTarget::new(
+            hardsnap_periph::soc().unwrap(),
+            &FpgaOptions {
+                model: Some(FpgaTimeModel {
+                    ns_per_cycle: u64::MAX,
+                    ..FpgaTimeModel::default()
+                }),
+                ..FpgaOptions::default()
+            },
+        )
+        .unwrap();
+        // reset() charges 5 cycles; 5 * u64::MAX must clamp, not wrap
+        // (or panic in debug builds).
+        t.reset();
+        assert_eq!(t.virtual_time_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn restore_is_all_or_nothing() {
+        use hardsnap_bus::map::soc as m;
+        let mut t = fpga();
+        t.bus_write(m::TIMER_BASE + regs::timer::LOAD, 4321)
+            .unwrap();
+        let good = t.save_snapshot().unwrap();
+        t.step(100);
+        let before = t.save_snapshot().unwrap();
+
+        // An out-of-range register value is rejected up front...
+        let mut bad = good.clone();
+        let w = bad.regs[0].width;
+        bad.regs[0].bits = 1u64 << w.min(63);
+        assert!(matches!(
+            t.restore_snapshot(&bad),
+            Err(TargetError::CorruptSnapshot(_))
+        ));
+        // ...as is a truncated memory image...
+        let mut bad2 = good.clone();
+        bad2.mems[0].words.pop();
+        assert!(matches!(
+            t.restore_snapshot(&bad2),
+            Err(TargetError::CorruptSnapshot(_))
+        ));
+        // ...and in both cases the fabric was left untouched.
+        let after = t.save_snapshot().unwrap();
+        assert!(after.diff_regs(&before).is_empty());
+        assert_eq!(after.mems, before.mems);
+    }
+
+    #[test]
+    fn delta_mode_shifts_only_dirty_scan_segments() {
+        use hardsnap_bus::map::soc as m;
+        let mut t = fpga();
+        t.set_delta_snapshots(true);
+        t.bus_write(m::TIMER_BASE + regs::timer::LOAD, 100_000)
+            .unwrap();
+        t.bus_write(m::TIMER_BASE + regs::timer::CTRL, regs::timer::CTRL_ENABLE)
+            .unwrap();
+
+        // First capture ships the full golden base.
+        let first = t.save_snapshot_delta().unwrap();
+        assert!(matches!(first, SnapshotCapture::Full(_)));
+        let mdl = t.model();
+        let full_cost = (t.chain_map().shift_cycles() + t.chain_map().mem_words())
+            * mdl.ns_per_cycle
+            + mdl.scan_overhead_ns;
+
+        // A few quiet cycles only tick the timer: the next capture is a
+        // small delta, and its modeled vtime is a partial-chain pass —
+        // far below the full pass.
+        t.step(3);
+        let v0 = t.virtual_time_ns();
+        let cap = t.save_snapshot_delta().unwrap();
+        let delta_cost = t.virtual_time_ns() - v0;
+        match &cap {
+            SnapshotCapture::Delta { delta, .. } => {
+                assert!(!delta.regs.is_empty(), "timer ticked, so something changed");
+                assert!(
+                    delta_cost < full_cost,
+                    "partial pass {delta_cost} must beat full pass {full_cost}"
+                );
+            }
+            SnapshotCapture::Full(_) => panic!("3 quiet cycles must not force a rebase"),
+        }
+
+        // Materializing the delta is bit-identical to a full save taken
+        // at the same point.
+        let img = cap.materialize().unwrap();
+        let full = t.save_snapshot().unwrap();
+        assert!(
+            img.diff_regs(&full).is_empty(),
+            "diff: {:?}",
+            img.diff_regs(&full)
+        );
+        assert_eq!(img.mems, full.mems);
+
+        // A delta-mode restore from a nearby state also charges a
+        // partial pass.
+        t.step(50);
+        let v1 = t.virtual_time_ns();
+        t.restore_snapshot(&img).unwrap();
+        assert!(t.virtual_time_ns() - v1 < full_cost);
+        let back = t.save_snapshot().unwrap();
+        assert!(back.diff_regs(&img).is_empty());
     }
 
     #[test]

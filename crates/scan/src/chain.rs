@@ -119,6 +119,25 @@ impl ChainMap {
         self.mems.iter().map(|m| m.depth as u64).sum()
     }
 
+    /// Scan cycles for a partial pass that shifts only the flagged
+    /// segments (`dirty[i]` ↔ `segments[i]`). Models per-segment chain
+    /// bypass: each dirty segment is shifted through its own slice of
+    /// the lanes while clean segments hold via their bypass mux, so the
+    /// cost is the sum of per-segment `width / lanes` rounds — no pad
+    /// bits, and a fully-clean design costs zero cycles.
+    ///
+    /// Flags beyond `segments.len()` are ignored; missing flags mean
+    /// clean.
+    pub fn partial_shift_cycles(&self, dirty: &[bool]) -> u64 {
+        let lanes = u64::from(self.lanes());
+        self.segments
+            .iter()
+            .zip(dirty.iter().copied().chain(std::iter::repeat(false)))
+            .filter(|&(_, d)| d)
+            .map(|(s, _)| u64::from(s.width).div_ceil(lanes))
+            .sum()
+    }
+
     /// The fixed per-pass cost summary of this chain, for telemetry
     /// annotation and capacity planning. Pure layout arithmetic — a
     /// `ShiftPlan` never changes between passes of the same design.
@@ -329,6 +348,24 @@ mod tests {
         let m = map();
         assert_eq!(m.chain_bits(), 13);
         assert_eq!(m.mem_words(), 16);
+    }
+
+    #[test]
+    fn partial_shift_counts_only_dirty_segments() {
+        let mut m = map();
+        // Single lane: cost is just the dirty widths.
+        assert_eq!(m.partial_shift_cycles(&[false, false, false]), 0);
+        assert_eq!(m.partial_shift_cycles(&[true, false, false]), 4);
+        assert_eq!(m.partial_shift_cycles(&[true, true, true]), 13);
+        // Short or empty flag slices mean "rest is clean".
+        assert_eq!(m.partial_shift_cycles(&[false, true]), 1);
+        assert_eq!(m.partial_shift_cycles(&[]), 0);
+        // Multi-lane: each segment rounds up to whole lane rounds, so a
+        // full-dirty partial pass can exceed the padded full pass only
+        // by per-segment rounding, never by pad bits.
+        m.lanes = 4;
+        assert_eq!(m.partial_shift_cycles(&[true, true, true]), 1 + 1 + 2);
+        assert!(m.partial_shift_cycles(&[false, true, false]) <= m.shift_cycles());
     }
 
     #[test]

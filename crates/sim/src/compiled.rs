@@ -38,6 +38,21 @@ struct Journal {
     list: Vec<u32>,
 }
 
+/// Dirty journal for activity-proportional snapshots: which nets and
+/// which individual memory words changed since the last drain.
+/// Independent of the VCD [`Journal`] — tracing and snapshot capture
+/// drain at their own cadences, and enabling one must not perturb the
+/// other.
+#[derive(Debug)]
+struct SnapJournal {
+    net_changed: Vec<bool>,
+    nets: Vec<u32>,
+    /// Per-memory per-word "changed" bit (indices match `st.mems`).
+    mem_changed: Vec<Vec<bool>>,
+    /// Changed words as (mem index, word index).
+    mem_words: Vec<(u32, u32)>,
+}
+
 /// Bytecode simulator state for one replica.
 #[derive(Debug)]
 pub(crate) struct CompiledSim {
@@ -74,6 +89,7 @@ struct ExecState {
     ops_executed: u64,
     ops_skipped: u64,
     journal: Option<Journal>,
+    snap_journal: Option<SnapJournal>,
 }
 
 impl CompiledSim {
@@ -98,6 +114,7 @@ impl CompiledSim {
             ops_executed: 0,
             ops_skipped: 0,
             journal: None,
+            snap_journal: None,
         };
         CompiledSim { prog, st }
     }
@@ -171,6 +188,52 @@ impl CompiledSim {
         }
     }
 
+    /// Enables the snapshot dirty journal (idempotent). The journal
+    /// starts empty: the caller is expected to take a full base capture
+    /// at the same moment, so "changed since enable" equals "changed
+    /// since the base".
+    pub(crate) fn enable_snap_journal(&mut self) {
+        if self.st.snap_journal.is_none() {
+            self.st.snap_journal = Some(SnapJournal {
+                net_changed: vec![false; self.st.nets.len()],
+                nets: Vec::new(),
+                mem_changed: self.st.mems.iter().map(|m| vec![false; m.len()]).collect(),
+                mem_words: Vec::new(),
+            });
+        }
+    }
+
+    /// Drains the snapshot journal: nets whose value changed since the
+    /// last drain into `nets_out` (ascending), changed memory words
+    /// into `mems_out` (ascending (mem, word)). Returns false when the
+    /// journal is not enabled (caller must fall back to a full scan).
+    pub(crate) fn drain_snap_changes(
+        &mut self,
+        nets_out: &mut Vec<u32>,
+        mems_out: &mut Vec<(u32, u32)>,
+    ) -> bool {
+        match &mut self.st.snap_journal {
+            None => false,
+            Some(j) => {
+                nets_out.clear();
+                nets_out.extend_from_slice(&j.nets);
+                nets_out.sort_unstable();
+                for &s in nets_out.iter() {
+                    j.net_changed[s as usize] = false;
+                }
+                j.nets.clear();
+                mems_out.clear();
+                mems_out.extend_from_slice(&j.mem_words);
+                mems_out.sort_unstable();
+                for &(m, w) in mems_out.iter() {
+                    j.mem_changed[m as usize][w as usize] = false;
+                }
+                j.mem_words.clear();
+                true
+            }
+        }
+    }
+
     /// Drains the set of nets whose value changed since the last drain
     /// into `out` (ascending slot order). Returns false when no journal
     /// is enabled (caller must fall back to a full scan).
@@ -203,6 +266,12 @@ impl ExecState {
                 j.list.push(slot);
             }
         }
+        if let Some(j) = &mut self.snap_journal {
+            if !j.net_changed[slot as usize] {
+                j.net_changed[slot as usize] = true;
+                j.nets.push(slot);
+            }
+        }
         for &bi in &prog.net_readers[slot as usize] {
             if bi != self.cur_block && !self.dirty[bi as usize] {
                 self.dirty[bi as usize] = true;
@@ -212,7 +281,13 @@ impl ExecState {
     }
 
     #[inline]
-    fn on_mem_change(&mut self, prog: &CompiledProgram, mem: u32) {
+    fn on_mem_change(&mut self, prog: &CompiledProgram, mem: u32, addr: u64) {
+        if let Some(j) = &mut self.snap_journal {
+            if !j.mem_changed[mem as usize][addr as usize] {
+                j.mem_changed[mem as usize][addr as usize] = true;
+                j.mem_words.push((mem, addr as u32));
+            }
+        }
         for &bi in &prog.mem_readers[mem as usize] {
             if bi != self.cur_block && !self.dirty[bi as usize] {
                 self.dirty[bi as usize] = true;
@@ -286,7 +361,7 @@ impl ExecState {
             if let Some(slot) = self.mems[mem as usize].get_mut(addr as usize) {
                 if *slot != nv {
                     *slot = nv;
-                    self.on_mem_change(prog, mem);
+                    self.on_mem_change(prog, mem, addr);
                 }
             }
         }
@@ -319,7 +394,7 @@ impl ExecState {
             Some(slot) => {
                 if *slot != nv {
                     *slot = nv;
-                    self.on_mem_change(prog, mem as u32);
+                    self.on_mem_change(prog, mem as u32, addr as u64);
                 }
                 true
             }
@@ -336,10 +411,26 @@ impl ExecState {
                         j.list.push(slot as u32);
                     }
                 }
+                if let Some(j) = &mut self.snap_journal {
+                    if !j.net_changed[slot] {
+                        j.net_changed[slot] = true;
+                        j.nets.push(slot as u32);
+                    }
+                }
             }
         }
-        for mem in &mut self.mems {
-            mem.iter_mut().for_each(|w| *w = 0);
+        for (mi, mem) in self.mems.iter_mut().enumerate() {
+            for (wi, w) in mem.iter_mut().enumerate() {
+                if *w != 0 {
+                    *w = 0;
+                    if let Some(j) = &mut self.snap_journal {
+                        if !j.mem_changed[mi][wi] {
+                            j.mem_changed[mi][wi] = true;
+                            j.mem_words.push((mi as u32, wi as u32));
+                        }
+                    }
+                }
+            }
         }
         for d in self.dirty.iter_mut() {
             *d = true;
@@ -493,7 +584,7 @@ impl ExecState {
                     if let Some(slot) = self.mems[mem as usize].get_mut(a as usize) {
                         if *slot != nv {
                             *slot = nv;
-                            self.on_mem_change(prog, mem);
+                            self.on_mem_change(prog, mem, a);
                         }
                     }
                 }

@@ -402,6 +402,50 @@ impl Simulator {
         }
     }
 
+    /// Turns on the snapshot dirty journal (bytecode backends only) so
+    /// delta captures can report exactly which nets and memory words
+    /// changed since the last capture. Independent of the VCD change
+    /// journal — the two drain at their own cadences.
+    pub(crate) fn enable_snapshot_journal(&mut self) {
+        if let Backend::Compiled(c) = &mut self.backend {
+            c.enable_snap_journal();
+        }
+    }
+
+    /// Drains the snapshot journal: changed net ids (ascending) into
+    /// `nets_out` and changed `(mem, word)` pairs (ascending) into
+    /// `mems_out`. Returns false when no journal is available
+    /// (interpreter) — the caller must fall back to a full diff.
+    pub(crate) fn drain_snapshot_changes(
+        &mut self,
+        nets_out: &mut Vec<u32>,
+        mems_out: &mut Vec<(u32, u32)>,
+    ) -> bool {
+        match &mut self.backend {
+            Backend::Compiled(c) => c.drain_snap_changes(nets_out, mems_out),
+            Backend::Interp(_) => false,
+        }
+    }
+
+    /// Writes one memory word by resolved id (infallible fast path for
+    /// bulk snapshot restores that resolved the memory ids once at
+    /// construction). Out-of-range addresses are ignored — callers are
+    /// expected to have validated the shape up front.
+    pub fn poke_mem_id(&mut self, id: MemId, addr: u32, value: u64) {
+        match &mut self.backend {
+            Backend::Compiled(c) => {
+                c.poke_mem(id.0 as usize, addr as usize, value);
+            }
+            Backend::Interp(i) => {
+                let width = self.module.memory(id).width;
+                if let Some(slot) = i.mems[id.0 as usize].get_mut(addr as usize) {
+                    *slot = value & hardsnap_rtl::mask(width);
+                    i.comb_dirty = true;
+                }
+            }
+        }
+    }
+
     fn settle(&mut self) {
         match &mut self.backend {
             Backend::Compiled(c) => c.settle(),

@@ -24,12 +24,14 @@
 pub mod axi;
 mod compiled;
 pub mod engine;
+pub mod snapshot;
 pub mod target;
 pub mod vcd;
 pub mod vcd_read;
 
 pub use axi::{AxiLite, AXI_TIMEOUT_CYCLES};
 pub use engine::{SimEngine, Simulator};
+pub use snapshot::{RestoreStats, SnapshotTracker};
 pub use target::{SimTarget, SimTimeModel};
 pub use vcd::VcdTrace;
 pub use vcd_read::{first_divergence, Divergence, VcdData, VcdParseError};

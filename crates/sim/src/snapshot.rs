@@ -1,0 +1,487 @@
+//! Activity-proportional snapshot capture for the simulator backend.
+//!
+//! [`SnapshotTracker`] makes capture and restore O(changed) instead of
+//! O(design): it resolves every clocked register and memory to its
+//! simulator id once, keeps a shared immutable [`Arc`] base image, and
+//! accumulates the bytecode engine's snapshot journal into cumulative
+//! dirty-since-base sets. A delta capture then touches only journalled
+//! locations, and a restore pokes only the locations whose value differs
+//! from the requested image. On the interpreter backend (no journal) the
+//! tracker falls back to a full index-aligned scan, producing the exact
+//! same delta bit-for-bit — only the host cost differs, never the image.
+//!
+//! The tracker deliberately lives at the [`Simulator`] level rather than
+//! inside [`crate::SimTarget`] so designs without AXI ports (e.g. the
+//! random modules used by property tests) can exercise delta capture
+//! directly.
+
+use crate::Simulator;
+use hardsnap_bus::{HwSnapshot, MemImage, RegImage, SnapshotCapture, SnapshotDelta};
+use hardsnap_rtl::{MemId, NetId};
+use std::sync::Arc;
+
+/// Rebase when a delta grows to at least this fraction (1/N) of the full
+/// image: shipping the delta would no longer be meaningfully cheaper and
+/// every later delta would only grow from there.
+const REBASE_DIVISOR: usize = 4;
+
+/// Tracks dirty state between captures and emits copy-on-write delta
+/// images against a shared immutable base.
+pub struct SnapshotTracker {
+    /// Clocked register net ids, in canonical capture (scan-chain) order.
+    reg_ids: Vec<NetId>,
+    /// Net slot -> index into `reg_ids` (`u32::MAX` = not a captured
+    /// register, e.g. a combinational net or input port).
+    slot_to_reg: Vec<u32>,
+    /// Memory ids, in canonical capture order.
+    mem_ids: Vec<MemId>,
+    /// The shared base image deltas are expressed against. `None` until
+    /// the first capture (or after [`SnapshotTracker::reset`]).
+    base: Option<Arc<HwSnapshot>>,
+    /// Cumulative dirty-since-base register flags + list (journal path).
+    reg_dirty: Vec<bool>,
+    reg_dirty_list: Vec<u32>,
+    /// Cumulative dirty-since-base memory-word flags + list.
+    mem_dirty: Vec<Vec<bool>>,
+    mem_dirty_list: Vec<(u32, u32)>,
+    /// Journal drain scratch (reused across captures).
+    nets_scratch: Vec<u32>,
+    mems_scratch: Vec<(u32, u32)>,
+}
+
+/// What a [`SnapshotTracker::restore_diff`] actually had to touch —
+/// drives the activity-proportional restore cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Registers whose value differed and were poked.
+    pub regs_changed: usize,
+    /// Memory words whose value differed and were poked.
+    pub words_changed: usize,
+}
+
+impl RestoreStats {
+    /// Delta-equivalent byte volume of the restore (same accounting as
+    /// [`SnapshotDelta::byte_size`]).
+    pub fn byte_size(&self) -> usize {
+        8 + self.regs_changed * 12 + self.words_changed * 16
+    }
+}
+
+impl SnapshotTracker {
+    /// Resolves capture-order register and memory ids for `sim`'s design.
+    pub fn new(sim: &Simulator) -> Self {
+        let module = sim.module();
+        let reg_ids = module.clocked_regs();
+        let mut slot_to_reg = vec![u32::MAX; module.iter_nets().count()];
+        for (ri, id) in reg_ids.iter().enumerate() {
+            slot_to_reg[id.0 as usize] = ri as u32;
+        }
+        let mem_ids: Vec<MemId> = module.iter_mems().map(|(id, _)| id).collect();
+        let mem_dirty = mem_ids
+            .iter()
+            .map(|&id| vec![false; sim.mem_words(id).len()])
+            .collect();
+        SnapshotTracker {
+            reg_dirty: vec![false; reg_ids.len()],
+            reg_dirty_list: Vec::new(),
+            mem_dirty,
+            mem_dirty_list: Vec::new(),
+            nets_scratch: Vec::new(),
+            mems_scratch: Vec::new(),
+            reg_ids,
+            slot_to_reg,
+            mem_ids,
+            base: None,
+        }
+    }
+
+    /// Drops the base and all dirty state; the next capture is full.
+    pub fn reset(&mut self) {
+        self.base = None;
+        self.clear_dirty();
+    }
+
+    /// The current base image, if a capture has established one.
+    pub fn base(&self) -> Option<&Arc<HwSnapshot>> {
+        self.base.as_ref()
+    }
+
+    fn clear_dirty(&mut self) {
+        for &ri in &self.reg_dirty_list {
+            self.reg_dirty[ri as usize] = false;
+        }
+        self.reg_dirty_list.clear();
+        for &(mi, wi) in &self.mem_dirty_list {
+            self.mem_dirty[mi as usize][wi as usize] = false;
+        }
+        self.mem_dirty_list.clear();
+    }
+
+    /// Builds the canonical full snapshot by scanning every resolved
+    /// register and memory, in capture order.
+    pub fn capture_full(&self, sim: &Simulator) -> HwSnapshot {
+        let module = sim.module();
+        let regs = self
+            .reg_ids
+            .iter()
+            .map(|&id| {
+                let net = module.net(id);
+                RegImage {
+                    name: net.name.clone(),
+                    width: net.width,
+                    bits: sim.peek_id(id).bits(),
+                }
+            })
+            .collect();
+        let mems = self
+            .mem_ids
+            .iter()
+            .map(|&id| {
+                let mem = module.memory(id);
+                MemImage {
+                    name: mem.name.clone(),
+                    width: mem.width,
+                    words: sim.mem_words(id).to_vec(),
+                }
+            })
+            .collect();
+        HwSnapshot {
+            design: module.name.clone(),
+            cycle: sim.cycle(),
+            regs,
+            mems,
+        }
+    }
+
+    /// Captures the current state as a delta against the shared base, or
+    /// as a new full base when none exists yet / the delta has grown past
+    /// the rebase threshold. Materializing the returned capture is
+    /// guaranteed bit-identical to [`SnapshotTracker::capture_full`].
+    pub fn capture(&mut self, sim: &mut Simulator) -> SnapshotCapture {
+        let base = match &self.base {
+            Some(b) => b.clone(),
+            None => {
+                // Journal from this moment on; everything journalled
+                // before the base existed is already inside the base.
+                sim.enable_snapshot_journal();
+                let snap = Arc::new(self.capture_full(sim));
+                sim.drain_snapshot_changes(&mut self.nets_scratch, &mut self.mems_scratch);
+                self.nets_scratch.clear();
+                self.mems_scratch.clear();
+                self.clear_dirty();
+                self.base = Some(snap.clone());
+                return SnapshotCapture::Full(snap);
+            }
+        };
+
+        let mut delta = SnapshotDelta {
+            regs: Vec::new(),
+            mem_words: Vec::new(),
+            cycle: sim.cycle(),
+        };
+        if sim.drain_snapshot_changes(&mut self.nets_scratch, &mut self.mems_scratch) {
+            // Bytecode path: fold the journal into the cumulative
+            // dirty-since-base sets, then emit only locations that still
+            // differ from the base. Locations that changed back are
+            // dropped from the lists — any later change re-journals them.
+            for i in 0..self.nets_scratch.len() {
+                let ri = self.slot_to_reg[self.nets_scratch[i] as usize];
+                if ri != u32::MAX && !self.reg_dirty[ri as usize] {
+                    self.reg_dirty[ri as usize] = true;
+                    self.reg_dirty_list.push(ri);
+                }
+            }
+            for i in 0..self.mems_scratch.len() {
+                let (mi, wi) = self.mems_scratch[i];
+                if !self.mem_dirty[mi as usize][wi as usize] {
+                    self.mem_dirty[mi as usize][wi as usize] = true;
+                    self.mem_dirty_list.push((mi, wi));
+                }
+            }
+            let mut list = std::mem::take(&mut self.reg_dirty_list);
+            list.retain(|&ri| {
+                let cur = sim.peek_id(self.reg_ids[ri as usize]).bits();
+                if cur != base.regs[ri as usize].bits {
+                    delta.regs.push((ri, cur));
+                    true
+                } else {
+                    self.reg_dirty[ri as usize] = false;
+                    false
+                }
+            });
+            self.reg_dirty_list = list;
+            let mut mlist = std::mem::take(&mut self.mem_dirty_list);
+            mlist.retain(|&(mi, wi)| {
+                let cur = sim.mem_words(self.mem_ids[mi as usize])[wi as usize];
+                if cur != base.mems[mi as usize].words[wi as usize] {
+                    delta.mem_words.push((mi, wi, cur));
+                    true
+                } else {
+                    self.mem_dirty[mi as usize][wi as usize] = false;
+                    false
+                }
+            });
+            self.mem_dirty_list = mlist;
+            delta.regs.sort_unstable_by_key(|&(i, _)| i);
+            delta.mem_words.sort_unstable_by_key(|&(m, w, _)| (m, w));
+        } else {
+            // Interpreter fallback: full index-aligned scan against the
+            // base. Host cost is O(design), but the emitted image is the
+            // same delta the journal path would produce.
+            for (ri, &id) in self.reg_ids.iter().enumerate() {
+                let cur = sim.peek_id(id).bits();
+                if cur != base.regs[ri].bits {
+                    delta.regs.push((ri as u32, cur));
+                }
+            }
+            for (mi, &id) in self.mem_ids.iter().enumerate() {
+                let words = sim.mem_words(id);
+                let base_words = &base.mems[mi].words;
+                for (wi, (&cur, &b)) in words.iter().zip(base_words).enumerate() {
+                    if cur != b {
+                        delta.mem_words.push((mi as u32, wi as u32, cur));
+                    }
+                }
+            }
+        }
+
+        if delta.byte_size() * REBASE_DIVISOR >= base.byte_size() {
+            // The delta stopped paying for itself: promote the current
+            // state to a new shared base (journal already drained above).
+            let snap = Arc::new(self.capture_full(sim));
+            self.clear_dirty();
+            self.base = Some(snap.clone());
+            return SnapshotCapture::Full(snap);
+        }
+        SnapshotCapture::Delta { base, delta }
+    }
+
+    /// Validates that `snap` matches the design's shape exactly — same
+    /// registers (name, width, order), same memories (name, width,
+    /// depth), all values normalized to their width — WITHOUT touching
+    /// simulator state. A snapshot that passes cannot fail mid-restore,
+    /// which is what makes [`SnapshotTracker::restore_diff`]
+    /// all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn validate_shape(&self, sim: &Simulator, snap: &HwSnapshot) -> Result<(), String> {
+        let module = sim.module();
+        if snap.regs.len() != self.reg_ids.len() {
+            return Err(format!(
+                "register count mismatch: snapshot has {}, design has {}",
+                snap.regs.len(),
+                self.reg_ids.len()
+            ));
+        }
+        for (&id, r) in self.reg_ids.iter().zip(&snap.regs) {
+            let net = module.net(id);
+            if r.name != net.name || r.width != net.width {
+                return Err(format!(
+                    "register mismatch: snapshot has '{}' ({} bits), design has '{}' ({} bits)",
+                    r.name, r.width, net.name, net.width
+                ));
+            }
+            if r.width < 64 && r.bits >> r.width != 0 {
+                return Err(format!(
+                    "register '{}' value {:#x} exceeds its {} bits",
+                    r.name, r.bits, r.width
+                ));
+            }
+        }
+        if snap.mems.len() != self.mem_ids.len() {
+            return Err(format!(
+                "memory count mismatch: snapshot has {}, design has {}",
+                snap.mems.len(),
+                self.mem_ids.len()
+            ));
+        }
+        for (&id, m) in self.mem_ids.iter().zip(&snap.mems) {
+            let mem = module.memory(id);
+            if m.name != mem.name || m.width != mem.width {
+                return Err(format!(
+                    "memory mismatch: snapshot has '{}' ({} bits), design has '{}' ({} bits)",
+                    m.name, m.width, mem.name, mem.width
+                ));
+            }
+            let depth = sim.mem_words(id).len();
+            if m.words.len() != depth {
+                return Err(format!(
+                    "memory '{}' depth mismatch: snapshot has {} words, design has {}",
+                    m.name,
+                    m.words.len(),
+                    depth
+                ));
+            }
+            if m.width < 64 {
+                let msk = hardsnap_rtl::mask(m.width);
+                if let Some(wi) = m.words.iter().position(|&w| w & !msk != 0) {
+                    return Err(format!(
+                        "memory '{}'[{}] value exceeds its {} bits",
+                        m.name, wi, m.width
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores `snap` by poking only the registers and memory words
+    /// whose current value differs — O(changed) between the loaded state
+    /// and the requested snapshot. The shape is validated up front (see
+    /// [`SnapshotTracker::validate_shape`]), so the restore either
+    /// happens completely or leaves the simulator untouched.
+    ///
+    /// Pokes flow through the engine's normal write paths, so on the
+    /// bytecode backend they land in the snapshot journal and the
+    /// cumulative dirty sets stay sound for the next delta capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape-validation error; on `Err` no state was written.
+    pub fn restore_diff(
+        &mut self,
+        sim: &mut Simulator,
+        snap: &HwSnapshot,
+    ) -> Result<RestoreStats, String> {
+        self.validate_shape(sim, snap)?;
+        let mut stats = RestoreStats::default();
+        for (&id, r) in self.reg_ids.iter().zip(&snap.regs) {
+            if sim.peek_id(id).bits() != r.bits {
+                sim.poke_id(id, r.bits);
+                stats.regs_changed += 1;
+            }
+        }
+        for (&id, m) in self.mem_ids.iter().zip(&snap.mems) {
+            // Bulk fast path: untouched memories (the common case for
+            // quiescent peripherals) are skipped with one slice compare.
+            if sim.mem_words(id) == &m.words[..] {
+                continue;
+            }
+            for (wi, &w) in m.words.iter().enumerate() {
+                if sim.mem_words(id)[wi] != w {
+                    sim.poke_mem_id(id, wi as u32, w);
+                    stats.words_changed += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimEngine;
+    use hardsnap_verilog::parse_design;
+
+    const TOY: &str = r#"
+    module toy (input wire clk, input wire rst, input wire [7:0] d,
+                output reg [7:0] q);
+        reg [7:0] shadow;
+        reg [7:0] mem [0:15];
+        always @(posedge clk) begin
+            if (rst) begin
+                q <= 8'd0; shadow <= 8'd0;
+            end else begin
+                q <= d; shadow <= q;
+                mem[d[3:0]] <= q;
+            end
+        end
+    endmodule
+    "#;
+
+    fn sim(engine: SimEngine) -> Simulator {
+        let d = parse_design(TOY).unwrap();
+        let flat = hardsnap_rtl::elaborate(&d, "toy").unwrap();
+        Simulator::with_engine(flat, engine).unwrap()
+    }
+
+    fn run_a_bit(s: &mut Simulator, seed: u64) {
+        for i in 0..8u64 {
+            s.poke("d", (seed.wrapping_mul(31).wrapping_add(i)) & 0xff)
+                .unwrap();
+            s.step(1);
+        }
+    }
+
+    #[test]
+    fn delta_capture_materializes_identically_to_full() {
+        for engine in [SimEngine::Bytecode, SimEngine::Interpreter] {
+            let mut s = sim(engine);
+            let mut tr = SnapshotTracker::new(&s);
+            run_a_bit(&mut s, 1);
+            let first = tr.capture(&mut s);
+            assert!(matches!(first, SnapshotCapture::Full(_)));
+            run_a_bit(&mut s, 2);
+            let cap = tr.capture(&mut s);
+            let full = tr.capture_full(&s);
+            assert_eq!(
+                cap.materialize().unwrap().content_hash(),
+                full.content_hash()
+            );
+            assert_eq!(cap.materialize().unwrap(), full);
+        }
+    }
+
+    #[test]
+    fn restore_diff_rewinds_exactly_and_reports_activity() {
+        let mut s = sim(SimEngine::Bytecode);
+        let mut tr = SnapshotTracker::new(&s);
+        run_a_bit(&mut s, 3);
+        let snap = tr.capture_full(&s);
+        run_a_bit(&mut s, 4);
+        let stats = tr.restore_diff(&mut s, &snap).unwrap();
+        assert!(stats.regs_changed > 0 || stats.words_changed > 0);
+        assert_eq!(tr.capture_full(&s).content_hash(), snap.content_hash());
+        // Restoring the state we're already in touches nothing.
+        let stats2 = tr.restore_diff(&mut s, &snap).unwrap();
+        assert_eq!(stats2, RestoreStats::default());
+    }
+
+    #[test]
+    fn restore_diff_rejects_bad_shapes_without_touching_state() {
+        let mut s = sim(SimEngine::Bytecode);
+        let mut tr = SnapshotTracker::new(&s);
+        run_a_bit(&mut s, 5);
+        let good = tr.capture_full(&s);
+        let mut bad = good.clone();
+        bad.regs[0].bits = 1 << 20; // exceeds the 8-bit width
+        assert!(tr.restore_diff(&mut s, &bad).is_err());
+        // The failed restore wrote nothing.
+        assert_eq!(tr.capture_full(&s).content_hash(), good.content_hash());
+        let mut bad2 = good.clone();
+        bad2.regs.remove(0);
+        assert!(tr.restore_diff(&mut s, &bad2).is_err());
+        let mut bad3 = good;
+        bad3.mems[0].words.pop();
+        assert!(tr.restore_diff(&mut s, &bad3).is_err());
+    }
+
+    #[test]
+    fn deltas_rebase_once_they_stop_paying() {
+        let mut s = sim(SimEngine::Bytecode);
+        let mut tr = SnapshotTracker::new(&s);
+        let first = tr.capture(&mut s);
+        let base_hash = match &first {
+            SnapshotCapture::Full(b) => b.content_hash(),
+            _ => unreachable!(),
+        };
+        // Touch essentially every word of state.
+        for round in 0..32u64 {
+            run_a_bit(&mut s, round.wrapping_mul(7919).wrapping_add(13));
+        }
+        let cap = tr.capture(&mut s);
+        match cap {
+            SnapshotCapture::Full(b) => assert_ne!(b.content_hash(), base_hash),
+            SnapshotCapture::Delta {
+                ref base,
+                ref delta,
+            } => {
+                // If it stayed a delta it must still be cheap.
+                assert!(delta.byte_size() * REBASE_DIVISOR < base.byte_size());
+            }
+        }
+    }
+}

@@ -8,12 +8,13 @@
 //! time, and a per-cycle host cost reflecting that HDL simulation is
 //! orders of magnitude slower than the FPGA fabric.
 
-use crate::{AxiLite, SimEngine, SimError, Simulator, VcdTrace};
+use crate::{AxiLite, SimEngine, SimError, Simulator, SnapshotTracker, VcdTrace};
 use hardsnap_bus::{
-    axi_ports, BusError, HwSnapshot, HwTarget, MemImage, RegImage, TargetCaps, TargetError,
-    TargetKind,
+    axi_ports, BusError, HwSnapshot, HwTarget, SnapshotCapture, TargetCaps, TargetError, TargetKind,
 };
+use hardsnap_rtl::NetId;
 use hardsnap_telemetry::{Counter, Metric, Recorder};
+use std::sync::Arc;
 
 /// Virtual-time cost model of the simulator platform.
 ///
@@ -31,6 +32,10 @@ pub struct SimTimeModel {
     pub snapshot_fixed_ns: u64,
     /// Incremental cost per byte of checkpoint image.
     pub snapshot_ns_per_byte: u64,
+    /// Fixed overhead of a delta (dirty-page style) capture or restore:
+    /// no fork of the full image, just a soft-dirty scan — two orders of
+    /// magnitude below the full freeze.
+    pub delta_snapshot_fixed_ns: u64,
 }
 
 impl Default for SimTimeModel {
@@ -40,6 +45,7 @@ impl Default for SimTimeModel {
             io_overhead_ns: 2_000,         // shared-memory hop
             snapshot_fixed_ns: 20_000_000, // 20 ms freeze + fork
             snapshot_ns_per_byte: 100,
+            delta_snapshot_fixed_ns: 200_000, // soft-dirty walk, no fork
         }
     }
 }
@@ -68,7 +74,12 @@ pub struct SimTarget {
     model: SimTimeModel,
     vtime_ns: u64,
     trace: Option<VcdTrace>,
-    irq_net: Option<String>,
+    /// IRQ net resolved once at construction: `None` means the design
+    /// genuinely has no IRQ output (id-based peeks cannot fail, so a
+    /// raised line is never silently misread as 0).
+    irq_net: Option<NetId>,
+    tracker: SnapshotTracker,
+    delta_mode: bool,
     rec: Recorder,
 }
 
@@ -112,11 +123,10 @@ impl SimTarget {
         model: SimTimeModel,
         engine: SimEngine,
     ) -> Result<Self, SimError> {
-        let irq_net = module
-            .find_net(axi_ports::IRQ)
-            .map(|_| axi_ports::IRQ.to_string());
         let sim = Simulator::with_engine(module, engine)?;
         let axi = AxiLite::bind(&sim)?;
+        let irq_net = sim.module().find_net(axi_ports::IRQ);
+        let tracker = SnapshotTracker::new(&sim);
         Ok(SimTarget {
             sim,
             axi,
@@ -124,6 +134,8 @@ impl SimTarget {
             vtime_ns: 0,
             trace: None,
             irq_net,
+            tracker,
+            delta_mode: false,
             rec: Recorder::disabled(),
         })
     }
@@ -154,7 +166,7 @@ impl SimTarget {
     fn charge_cycles(&mut self, cycles: u64) {
         self.vtime_ns = self
             .vtime_ns
-            .saturating_add(cycles * self.model.ns_per_cycle);
+            .saturating_add(cycles.saturating_mul(self.model.ns_per_cycle));
     }
 
     fn sample_trace(&mut self) {
@@ -164,32 +176,10 @@ impl SimTarget {
     }
 
     /// Builds the canonical snapshot from the simulator's full-visibility
-    /// state: all clocked registers plus all memories.
+    /// state: all clocked registers plus all memories (ids resolved once
+    /// at construction by the tracker).
     fn capture(&mut self) -> HwSnapshot {
-        let module = self.sim.module().clone();
-        let mut regs = Vec::new();
-        for id in module.clocked_regs() {
-            let net = module.net(id);
-            regs.push(RegImage {
-                name: net.name.clone(),
-                width: net.width,
-                bits: self.sim.peek_id(id).bits(),
-            });
-        }
-        let mut mems = Vec::new();
-        for (id, mem) in module.iter_mems() {
-            mems.push(MemImage {
-                name: mem.name.clone(),
-                width: mem.width,
-                words: self.sim.mem_words(id).to_vec(),
-            });
-        }
-        HwSnapshot {
-            design: module.name.clone(),
-            cycle: self.sim.cycle(),
-            regs,
-            mems,
-        }
+        self.tracker.capture_full(&self.sim)
     }
 }
 
@@ -258,8 +248,14 @@ impl HwTarget for SimTarget {
     }
 
     fn irq_lines(&mut self) -> u32 {
-        match &self.irq_net {
-            Some(n) => self.sim.peek(n).map(|v| v.bits() as u32).unwrap_or(0),
+        // 0 only when the design genuinely has no IRQ output; with the
+        // net resolved at construction the peek itself cannot fail, so a
+        // raised line can never be silently swallowed as "no IRQ".
+        match self.irq_net {
+            Some(id) => {
+                self.sim.settle_for_trace();
+                self.sim.peek_id(id).bits() as u32
+            }
             None => 0,
         }
     }
@@ -276,6 +272,51 @@ impl HwTarget for SimTarget {
         Ok(snap)
     }
 
+    fn set_delta_snapshots(&mut self, on: bool) {
+        if self.delta_mode != on {
+            self.delta_mode = on;
+            // A mode change invalidates the shared base: the next
+            // delta-mode capture starts from a fresh full image.
+            self.tracker.reset();
+        }
+    }
+
+    fn save_snapshot_delta(&mut self) -> Result<SnapshotCapture, TargetError> {
+        if !self.delta_mode {
+            return self
+                .save_snapshot()
+                .map(|s| SnapshotCapture::Full(Arc::new(s)));
+        }
+        let mut span = self.rec.span("snapshot", "capture_delta");
+        let cap = self.tracker.capture(&mut self.sim);
+        let charged = match &cap {
+            // A full capture (first, or a rebase) pays the full
+            // freeze-and-dump cost.
+            SnapshotCapture::Full(s) => {
+                self.model.snapshot_fixed_ns
+                    + s.byte_size() as u64 * self.model.snapshot_ns_per_byte
+            }
+            SnapshotCapture::Delta { delta, .. } => {
+                self.model.delta_snapshot_fixed_ns
+                    + delta.byte_size() as u64 * self.model.snapshot_ns_per_byte
+            }
+        };
+        self.vtime_ns = self.vtime_ns.saturating_add(charged);
+        span.set_arg(cap.byte_size() as u64);
+        self.rec.count(Counter::SnapshotsSaved);
+        if matches!(cap, SnapshotCapture::Delta { .. }) {
+            self.rec.count(Counter::DeltaSnapshotsSaved);
+        }
+        if let Some(full_bytes) = self.tracker.base().map(|b| b.byte_size()) {
+            if full_bytes > 0 {
+                let permille = (cap.byte_size().min(full_bytes) * 1000 / full_bytes) as u64;
+                self.rec.observe(Metric::SnapshotDirtyPermille, permille);
+            }
+        }
+        self.rec.observe(Metric::CaptureVtimeNs, charged);
+        Ok(cap)
+    }
+
     fn restore_snapshot(&mut self, snap: &HwSnapshot) -> Result<(), TargetError> {
         let mut span = self.rec.span("snapshot", "restore");
         span.set_arg(snap.byte_size() as u64);
@@ -285,21 +326,22 @@ impl HwTarget for SimTarget {
                 found: self.sim.module().name.clone(),
             });
         }
-        for r in &snap.regs {
-            self.sim
-                .poke(&r.name, r.bits)
-                .map_err(|e| TargetError::CorruptSnapshot(format!("register '{}': {e}", r.name)))?;
-        }
-        for m in &snap.mems {
-            for (i, w) in m.words.iter().enumerate() {
-                self.sim.poke_mem(&m.name, i as u32, *w).map_err(|e| {
-                    TargetError::CorruptSnapshot(format!("memory '{}'[{i}]: {e}", m.name))
-                })?;
-            }
-        }
-        let charged = self.model.snapshot_fixed_ns
-            + snap.byte_size() as u64 * self.model.snapshot_ns_per_byte;
-        self.vtime_ns += charged;
+        // Shape is validated up front (all-or-nothing: a corrupt image
+        // leaves the target untouched), then only the registers and
+        // memory words that differ from the loaded state are written.
+        let stats = self
+            .tracker
+            .restore_diff(&mut self.sim, snap)
+            .map_err(TargetError::CorruptSnapshot)?;
+        let charged = if self.delta_mode {
+            // Dirty-page restore: fixed soft-dirty walk plus only the
+            // bytes that actually differed.
+            self.model.delta_snapshot_fixed_ns
+                + stats.byte_size() as u64 * self.model.snapshot_ns_per_byte
+        } else {
+            self.model.snapshot_fixed_ns + snap.byte_size() as u64 * self.model.snapshot_ns_per_byte
+        };
+        self.vtime_ns = self.vtime_ns.saturating_add(charged);
         self.rec.count(Counter::SnapshotsRestored);
         self.rec.observe(Metric::RestoreVtimeNs, charged);
         self.sample_trace();
@@ -314,13 +356,18 @@ impl HwTarget for SimTarget {
         let sim = self.sim.fork_clean();
         let axi = AxiLite::bind(&sim)
             .map_err(|e| TargetError::CorruptSnapshot(format!("replica AXI bind: {e}")))?;
+        let tracker = SnapshotTracker::new(&sim);
         Ok(Box::new(SimTarget {
             sim,
             axi,
             model: self.model,
             vtime_ns: 0,
             trace: None,
-            irq_net: self.irq_net.clone(),
+            irq_net: self.irq_net,
+            tracker,
+            // Replicas inherit the capture mode (power-on state, fresh
+            // base on their first delta capture).
+            delta_mode: self.delta_mode,
             // Replicas go to other workers; each worker attaches its
             // own track's recorder.
             rec: Recorder::disabled(),
@@ -520,6 +567,105 @@ mod tests {
         r.restore_snapshot(&parent_snap).unwrap();
         let back = r.save_snapshot().unwrap();
         assert_eq!(back.reg("count"), parent_snap.reg("count"));
+    }
+
+    #[test]
+    fn charge_cycles_saturates_instead_of_overflowing() {
+        let d = parse_design(COUNTDOWN).unwrap();
+        let flat = hardsnap_rtl::elaborate(&d, "countdown").unwrap();
+        let model = SimTimeModel {
+            ns_per_cycle: u64::MAX,
+            ..SimTimeModel::default()
+        };
+        let mut t = SimTarget::with_model(flat, model).unwrap();
+        // reset() charges 5 cycles; 5 * u64::MAX must clamp, not wrap
+        // (or panic in debug builds).
+        t.reset();
+        assert_eq!(t.virtual_time_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn restore_is_all_or_nothing() {
+        let mut t = target();
+        t.bus_write(0x00, 500).unwrap();
+        t.step(5);
+        let good = t.save_snapshot().unwrap();
+        t.step(50);
+        let before = t.capture();
+
+        // A value wider than its register must be rejected up front...
+        let mut bad = good.clone();
+        let w = bad.regs[0].width;
+        bad.regs[0].bits = 1u64 << w.min(63);
+        assert!(matches!(
+            t.restore_snapshot(&bad),
+            Err(TargetError::CorruptSnapshot(_))
+        ));
+        // ...as must a missing register...
+        let mut bad2 = good.clone();
+        bad2.regs.remove(0);
+        assert!(matches!(
+            t.restore_snapshot(&bad2),
+            Err(TargetError::CorruptSnapshot(_))
+        ));
+        // ...and in both cases the failed restore wrote NOTHING.
+        assert_eq!(t.capture().content_hash(), before.content_hash());
+
+        // The untampered snapshot still restores fine afterwards.
+        t.restore_snapshot(&good).unwrap();
+        assert_eq!(t.capture().content_hash(), good.content_hash());
+    }
+
+    #[test]
+    fn delta_mode_captures_and_restores_are_activity_proportional() {
+        let mut t = target();
+        let m = t.model();
+        t.set_delta_snapshots(true);
+        t.bus_write(0x00, 20000).unwrap();
+
+        // First capture in delta mode establishes the full base.
+        let first = t.save_snapshot_delta().unwrap();
+        assert!(matches!(first, SnapshotCapture::Full(_)));
+
+        // A few quiet cycles only tick the countdown: the capture ships
+        // as a small delta and is charged the delta cost exactly.
+        t.step(3);
+        let v0 = t.virtual_time_ns();
+        let cap = t.save_snapshot_delta().unwrap();
+        match &cap {
+            SnapshotCapture::Delta { delta, .. } => {
+                let expect =
+                    m.delta_snapshot_fixed_ns + delta.byte_size() as u64 * m.snapshot_ns_per_byte;
+                assert_eq!(t.virtual_time_ns() - v0, expect);
+                assert!(
+                    expect < m.snapshot_fixed_ns,
+                    "delta must be cheaper than full"
+                );
+            }
+            SnapshotCapture::Full(_) => panic!("3 quiet cycles must not force a rebase"),
+        }
+
+        // Materializing the delta is bit-identical to a direct full scan.
+        assert_eq!(
+            cap.materialize().unwrap().content_hash(),
+            t.capture().content_hash()
+        );
+
+        // Restoring it from a later state touches only what changed and
+        // charges the delta restore cost (< full fixed cost).
+        let img = cap.materialize().unwrap();
+        t.step(100);
+        let v1 = t.virtual_time_ns();
+        t.restore_snapshot(&img).unwrap();
+        assert!(t.virtual_time_ns() - v1 < m.snapshot_fixed_ns);
+        assert_eq!(t.capture().content_hash(), img.content_hash());
+
+        // And the next delta capture after the restore is still sound.
+        let cap2 = t.save_snapshot_delta().unwrap();
+        assert_eq!(
+            cap2.materialize().unwrap().content_hash(),
+            t.capture().content_hash()
+        );
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Property: activity-proportional (delta) capture is observationally
+//! identical to full capture on randomly generated designs under
+//! random stimulus — every delta materializes to the exact full image,
+//! on both the journaling bytecode engine and the scan-fallback
+//! interpreter, and `restore_diff` rewinds the simulator bit-exactly
+//! to any earlier capture.
+
+use hardsnap_bus::SnapshotCapture;
+use hardsnap_rtl::{Module, PortDir};
+use hardsnap_sim::{SimEngine, Simulator, SnapshotTracker};
+use hardsnap_util::prop::from_fn;
+use hardsnap_util::prop_check;
+use hardsnap_util::Rng;
+use hardsnap_verilog::gen_module;
+
+/// Random stimulus for one phase: input pokes, occasional memory pokes
+/// and state clears, then `cycles` steps. Mirrors the differential
+/// test's driver so delta tracking sees every state-mutation path.
+fn drive(module: &Module, sim: &mut Simulator, rng: &mut Rng, cycles: u32) {
+    let inputs: Vec<_> = module
+        .ports()
+        .filter(|(_, n)| n.port == Some(PortDir::Input) && n.name != "clk")
+        .map(|(id, _)| id)
+        .collect();
+    let mems: Vec<_> = module
+        .iter_mems()
+        .map(|(id, m)| (m.name.clone(), id))
+        .collect();
+    for _ in 0..cycles {
+        for &id in &inputs {
+            if rng.gen_bool(0.7) {
+                sim.poke_id(id, rng.next_u64());
+            }
+        }
+        if let Some((name, id)) = rng.choose(&mems) {
+            if rng.gen_bool(0.1) {
+                let addr = rng.gen_range(0..sim.mem_words(*id).len() as u32);
+                sim.poke_mem(name, addr, rng.next_u64()).unwrap();
+            }
+        }
+        if rng.gen_bool(0.02) {
+            sim.clear_state();
+        }
+        sim.step(1);
+    }
+}
+
+#[test]
+fn delta_captures_match_full_captures_on_random_designs() {
+    prop_check!(cases = 32, seed = 0xDE17_A5A9, (case_seed in from_fn(|rng: &mut Rng| rng.next_u64())) => {
+        for engine in [SimEngine::Bytecode, SimEngine::Interpreter] {
+            let mut rng = Rng::seed_from_u64(case_seed);
+            let module = gen_module(&mut rng, "fuzz");
+            let mut sim = Simulator::with_engine(module.clone(), engine)
+                .unwrap_or_else(|e| panic!("seed {case_seed:#x}: {engine:?}: {e}"));
+            let mut tracker = SnapshotTracker::new(&sim);
+            let mut stim = Rng::seed_from_u64(case_seed ^ 0x0DE1_7A00);
+            for phase in 0..6u32 {
+                drive(&module, &mut sim, &mut stim, 9);
+                let cap = tracker.capture(&mut sim);
+                let full = tracker.capture_full(&sim);
+                let materialized = cap
+                    .materialize()
+                    .unwrap_or_else(|e| panic!("seed {case_seed:#x} phase {phase}: {e}"));
+                assert_eq!(
+                    materialized, full,
+                    "seed {case_seed:#x} phase {phase} ({engine:?}): \
+                     delta capture diverged from full capture"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn restore_diff_rewinds_to_any_earlier_capture() {
+    prop_check!(cases = 16, seed = 0xBAC6_0E5C, (case_seed in from_fn(|rng: &mut Rng| rng.next_u64())) => {
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let module = gen_module(&mut rng, "fuzz");
+        let mut sim = Simulator::with_engine(module.clone(), SimEngine::Bytecode).unwrap();
+        let mut tracker = SnapshotTracker::new(&sim);
+        let mut stim = Rng::seed_from_u64(case_seed ^ 0x7E57_0001);
+        let mut history = Vec::new();
+        for _ in 0..5u32 {
+            drive(&module, &mut sim, &mut stim, 11);
+            let cap = tracker.capture(&mut sim);
+            history.push(cap.materialize().unwrap());
+        }
+        // Rewind to each point in history (newest first, then jumping
+        // back and forth) and prove the live state matches bit-exactly.
+        let order = [3usize, 1, 4, 0, 2];
+        for &i in &order {
+            tracker
+                .restore_diff(&mut sim, &history[i])
+                .unwrap_or_else(|e| panic!("seed {case_seed:#x} restore {i}: {e}"));
+            let now = tracker.capture_full(&sim);
+            assert_eq!(
+                now.content_hash(),
+                history[i].content_hash(),
+                "seed {case_seed:#x}: restore to capture {i} diverged"
+            );
+            // Delta tracking stays sound across restores: the next
+            // delta capture must still materialize exactly.
+            let cap = tracker.capture(&mut sim);
+            if let SnapshotCapture::Delta { .. } = &cap {
+                assert_eq!(
+                    cap.materialize().unwrap().content_hash(),
+                    history[i].content_hash(),
+                    "seed {case_seed:#x}: post-restore delta capture diverged"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn engines_agree_on_delta_capture_streams() {
+    // The journaling bytecode path and the interpreter's full-scan
+    // fallback must produce byte-identical materialized streams for
+    // the same seed.
+    for case_seed in [5u64, 23, 77] {
+        let run = |engine: SimEngine| {
+            let mut rng = Rng::seed_from_u64(case_seed);
+            let module = gen_module(&mut rng, "fuzz");
+            let mut sim = Simulator::with_engine(module.clone(), engine).unwrap();
+            let mut tracker = SnapshotTracker::new(&sim);
+            let mut stim = Rng::seed_from_u64(case_seed ^ 0x5EED);
+            let mut stream = Vec::new();
+            for _ in 0..4u32 {
+                drive(&module, &mut sim, &mut stim, 13);
+                stream.push(tracker.capture(&mut sim).materialize().unwrap());
+            }
+            stream
+        };
+        let bytecode = run(SimEngine::Bytecode);
+        let interp = run(SimEngine::Interpreter);
+        assert_eq!(
+            bytecode, interp,
+            "seed {case_seed}: engines disagree on materialized capture stream"
+        );
+    }
+}

@@ -82,6 +82,9 @@ enum_metric! {
         SnapshotsSaved => "snapshots_saved",
         /// Hardware snapshot restores (RestoreState).
         SnapshotsRestored => "snapshots_restored",
+        /// Captures that shipped as a delta against a shared base
+        /// instead of a full image.
+        DeltaSnapshotsSaved => "delta_snapshots_saved",
         /// Scheduler quanta executed.
         Quanta => "quanta",
         /// MMIO reads forwarded to the target.
@@ -118,6 +121,9 @@ enum_metric! {
         CaptureVtimeNs => "capture_vtime_ns",
         /// Virtual nanoseconds charged per snapshot restore.
         RestoreVtimeNs => "restore_vtime_ns",
+        /// Per-capture dirty fraction: delta bytes as a permille of the
+        /// full image size (1000 = a full capture).
+        SnapshotDirtyPermille => "snapshot_dirty_permille",
         /// Scan-chain cycles per shift pass (FPGA backend).
         ScanShiftCycles => "scan_shift_cycles",
         /// Instructions retired per scheduler quantum.
