@@ -51,6 +51,47 @@ for delta in off on; do
 done
 echo "    digests match across delta x engines x workers: $engine_digest"
 
+echo "==> persistence gate: save -> fresh-process resume, digest bit-identical"
+# An instruction-budget-interrupted campaign checkpointed to disk and
+# resumed by a *fresh process* must report exactly the digest of one
+# uninterrupted run, whatever engine, worker count, or snapshot
+# representation produced the checkpoint. Every snapshot artifact the
+# save wrote must also pass deep validation standalone.
+for delta in off on; do
+    for eng in interp bytecode; do
+        for w in 1 2 4; do
+            dir="target/campaign.$delta.$eng.$w"
+            rm -rf "$dir"
+            cargo run -q --release --offline -p hardsnap-bench --bin hardsnap-cli -- \
+                analyze demo --workers "$w" --sim-engine "$eng" --delta-snapshots "$delta" \
+                --max-instructions 40 --save-snapshots "$dir" > /dev/null
+            cargo run -q --release --offline -p hardsnap-bench --bin hardsnap-cli -- \
+                analyze demo --workers "$w" --sim-engine "$eng" --delta-snapshots "$delta" \
+                --resume "$dir" > "target/resume.$delta.$eng.$w.txt"
+            d=$(grep 'canonical digest' "target/resume.$delta.$eng.$w.txt" | awk '{print $NF}')
+            if [ "$d" != "$engine_digest" ]; then
+                echo "resume diverged: --delta-snapshots $delta --sim-engine $eng --workers $w gave '$d', want $engine_digest"
+                exit 1
+            fi
+            for f in "$dir"/*.hsnap; do
+                [ -e "$f" ] || continue
+                cargo run -q --release --offline -p hardsnap-bench --bin hardsnap-cli -- \
+                    snapshot validate --deep "$f" > /dev/null
+            done
+        done
+    done
+done
+echo "    resumed digests match across delta x engines x workers: $engine_digest"
+
+echo "==> snapshot-persistence smoke run (lazy restore + RAM budget + campaign resume)"
+# exp_snapshot_persist asserts internally that a quiescent lazy resume
+# pages in zero sections and beats the eager restore >= 5x on sim, that
+# a 4x over-committed store spills and stays under budget with the
+# digest unchanged, and that save -> fresh-engine resume reproduces the
+# uninterrupted digest.
+cargo run -q --release --offline -p hardsnap-bench --bin exp_snapshot_persist -- \
+    --smoke --json target/BENCH_snapshot_persist.smoke.json
+
 echo "==> 2-worker analysis-speed smoke run"
 cargo run -q --release --offline -p hardsnap-bench --bin exp_analysis_speed -- \
     --workers 1,2 --json target/BENCH_analysis_speed.smoke.json

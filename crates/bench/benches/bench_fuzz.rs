@@ -22,7 +22,7 @@ fn campaign(reset: ResetStrategy) -> usize {
         },
     )
     .unwrap();
-    f.run().coverage
+    f.run().unwrap().coverage
 }
 
 fn bench_fuzz(c: &mut Criterion) {

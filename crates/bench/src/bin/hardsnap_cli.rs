@@ -7,10 +7,15 @@
 //! hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
 //!                      [--sim-engine bytecode|bytecode-full|interp]
 //!                      [--fault-rate R [--fault-seed N]] [--workers N]
-//!                      [--delta-snapshots on|off]
+//!                      [--delta-snapshots on|off] [--max-instructions N]
+//!                      [--snapshot-mem-budget BYTES]
+//!                      [--save-snapshots DIR] [--resume DIR]
 //!                      [--trace-out trace.json] [--metrics-out metrics.json]
 //! hardsnap-cli trace-check <trace.json>
 //! hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
+//!                   [--delta-snapshots on|off]
+//! hardsnap-cli snapshot inspect <file.hsnap>
+//! hardsnap-cli snapshot validate [--deep] <file.hsnap>
 //! hardsnap-cli soc-stats
 //! ```
 //!
@@ -18,12 +23,16 @@
 //! hardware for `analyze` and `fuzz`; `stats`/`instrument`/`sim` accept
 //! any Verilog file in the supported subset.
 
-use hardsnap::{ConsistencyMode, Engine, EngineConfig, ParallelEngine, RunResult, Searcher};
-use hardsnap_bus::{FaultPlan, FaultyTarget, HwTarget};
+use hardsnap::{
+    resume_parallel, resume_sequential, snapshot_parallel, snapshot_sequential, ConsistencyMode,
+    Engine, EngineConfig, ParallelEngine, RunResult, Searcher, StoreStats,
+};
+use hardsnap_bus::{FaultPlan, FaultyTarget, HwTarget, SnapshotFile};
 use hardsnap_fpga::{FpgaOptions, FpgaTarget};
 use hardsnap_fuzz::{FuzzConfig, Fuzzer, ResetStrategy};
 use hardsnap_scan::{instrument, ScanOptions};
 use hardsnap_sim::{SimEngine, SimTarget};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -52,6 +61,7 @@ fn run(args: &[String]) -> CliResult {
         "analyze" => cmd_analyze(rest),
         "trace-check" => cmd_trace_check(rest),
         "fuzz" => cmd_fuzz(rest),
+        "snapshot" => cmd_snapshot(rest),
         "soc-stats" => cmd_soc_stats(),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -74,7 +84,9 @@ USAGE:
       Simulate a design for N cycles (inputs held at reset values).
   hardsnap-cli analyze <firmware.s> [--target sim|fpga] [--mode hardsnap|reboot|shared]
                        [--sim-engine bytecode|bytecode-full|interp] [--workers N]
-                       [--delta-snapshots on|off]
+                       [--delta-snapshots on|off] [--max-instructions N]
+                       [--snapshot-mem-budget BYTES]
+                       [--save-snapshots DIR] [--resume DIR]
                        [--trace-out trace.json] [--metrics-out metrics.json]
       Symbolically analyze HS32 firmware against the built-in SoC.
       --sim-engine selects the RTL evaluation backend (sim target only;
@@ -82,6 +94,11 @@ USAGE:
       --workers N > 1 runs the parallel engine (HardSnap mode only);
       --delta-snapshots on makes capture/restore O(changed state) with
       copy-on-write delta images (bit-identical digests either way);
+      --snapshot-mem-budget caps resident snapshot bytes — cold entries
+      spill to disk and page back in transparently;
+      --save-snapshots checkpoints an interrupted campaign into DIR and
+      --resume continues one in a fresh process (HardSnap mode only;
+      the combined digest equals one uninterrupted run's);
       --trace-out / --metrics-out switch telemetry on and export a
       Chrome trace_event file (Perfetto / chrome://tracing) or a
       machine-readable metrics dump.
@@ -89,7 +106,12 @@ USAGE:
       Validate a Chrome trace file: well-formed JSON, non-empty, with
       monotonically ordered events on every track.
   hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
+                    [--delta-snapshots on|off]
       Coverage-guided fuzzing of HS32 firmware against the built-in SoC.
+  hardsnap-cli snapshot inspect <file.hsnap>
+      Print a persistent snapshot image's metadata and section table.
+  hardsnap-cli snapshot validate [--deep] <file.hsnap>
+      Validate an image; --deep re-verifies every payload checksum.
   hardsnap-cli soc-stats
       Print statistics of the built-in 4-peripheral SoC."
     );
@@ -263,25 +285,58 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     };
     let trace_out = flag(&flags, "trace-out");
     let metrics_out = flag(&flags, "metrics-out");
+    let save_dir = flag(&flags, "save-snapshots");
+    let resume_dir = flag(&flags, "resume");
+    if (save_dir.is_some() || resume_dir.is_some()) && mode != ConsistencyMode::HardSnap {
+        return Err("--save-snapshots/--resume require --mode hardsnap".into());
+    }
     let mut config = EngineConfig {
         mode,
         searcher: Searcher::RoundRobin,
         delta_snapshots,
         ..Default::default()
     };
+    if let Some(n) = flag(&flags, "max-instructions") {
+        config.max_instructions = n
+            .parse()
+            .map_err(|_| format!("bad --max-instructions '{n}'"))?;
+    }
+    if let Some(b) = flag(&flags, "snapshot-mem-budget") {
+        let bytes: usize = b
+            .parse()
+            .map_err(|_| format!("bad --snapshot-mem-budget '{b}'"))?;
+        config.snapshot_mem_budget = Some(bytes);
+    }
     if trace_out.is_some() || metrics_out.is_some() {
         config.telemetry.enabled = true;
     }
-    let (result, queries): (RunResult, Option<u64>) = if workers > 1 {
+    let (result, queries, store): (RunResult, Option<u64>, (StoreStats, usize)) = if workers > 1 {
         let mut engine = ParallelEngine::new(target.as_ref(), workers, config)?;
-        engine.load_firmware(&program);
-        (engine.run(), None)
+        match resume_dir {
+            Some(dir) => resume_parallel(Path::new(dir), &mut engine)?,
+            None => engine.load_firmware(&program),
+        }
+        let r = engine.run();
+        if let Some(dir) = save_dir {
+            snapshot_parallel(Path::new(dir), &mut engine, &r)?;
+            println!("campaign saved to {dir}/");
+        }
+        let st = (engine.store.stats(), engine.store.peak_bytes());
+        (r, None, st)
     } else {
         let mut engine = Engine::new(target, config);
-        engine.load_firmware(&program);
+        match resume_dir {
+            Some(dir) => resume_sequential(Path::new(dir), &mut engine)?,
+            None => engine.load_firmware(&program),
+        }
         let r = engine.run();
+        if let Some(dir) = save_dir {
+            snapshot_sequential(Path::new(dir), &mut engine, &r)?;
+            println!("campaign saved to {dir}/");
+        }
         let q = engine.executor.solver.stats.queries;
-        (r, Some(q))
+        let st = (engine.store.stats(), engine.store.peak_bytes());
+        (r, Some(q), st)
     };
     println!("paths completed : {}", result.metrics.paths_completed);
     println!("instructions    : {}", result.instructions);
@@ -292,6 +347,11 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         result.host_time.as_secs_f64() * 1e3
     );
     println!("canonical digest: {:#018x}", result.canonical_digest());
+    let (st, peak) = store;
+    println!(
+        "snapshot store  : spills {} / page-ins {} / resident peak {} bytes",
+        st.spills, st.page_ins, peak
+    );
     if let Some(q) = queries {
         println!("solver queries  : {q}");
     }
@@ -398,6 +458,62 @@ fn cmd_trace_check(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `snapshot inspect|validate` — poke at persistent snapshot images.
+fn cmd_snapshot(args: &[String]) -> CliResult {
+    let sub = args
+        .first()
+        .ok_or("snapshot: missing subcommand (inspect|validate)")?;
+    // Parsed by hand: `validate` takes a boolean `--deep`, which the
+    // generic flag parser (every --flag eats a value) cannot express.
+    let mut deep = false;
+    let mut file = None;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--deep" => deep = true,
+            other if !other.starts_with('-') => file = Some(other),
+            other => return Err(format!("snapshot {sub}: unknown flag '{other}'").into()),
+        }
+    }
+    let file = file.ok_or_else(|| format!("snapshot {sub}: missing <file.hsnap>"))?;
+    match sub.as_str() {
+        "inspect" => {
+            let f = SnapshotFile::open(Path::new(file))?;
+            let meta = f.meta()?;
+            println!("file         : {file} ({} bytes)", f.file_len());
+            println!("kind         : {:?}", f.kind());
+            println!("design       : {}", meta.design);
+            println!("cycle        : {}", meta.cycle);
+            println!("shape hash   : {:#018x}", meta.shape_hash);
+            println!("content hash : {:#018x}", meta.content_hash);
+            println!("regs / mems  : {} / {}", meta.n_regs, meta.n_mems);
+            if !meta.base_ref.is_empty() {
+                println!("base ref     : {}", meta.base_ref);
+            }
+            println!("sections     :");
+            for s in f.sections() {
+                println!(
+                    "  {:?}[{}] offset {} len {} checksum {:#018x} content {:#018x}",
+                    s.tag, s.index, s.offset, s.len, s.checksum, s.content_hash
+                );
+            }
+            Ok(())
+        }
+        "validate" => {
+            let f = SnapshotFile::open(Path::new(file))?;
+            f.validate(deep)?;
+            println!(
+                "{file}: OK ({} validation, {} sections)",
+                if deep { "deep" } else { "shallow" },
+                f.sections().len()
+            );
+            Ok(())
+        }
+        other => {
+            Err(format!("unknown snapshot subcommand '{other}' (want inspect|validate)").into())
+        }
+    }
+}
+
 fn cmd_fuzz(args: &[String]) -> CliResult {
     let (pos, flags) = parse_flags(args)?;
     let path = pos.first().ok_or("fuzz: missing <firmware.s>")?;
@@ -409,6 +525,11 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         "reboot" => ResetStrategy::Reboot,
         other => return Err(format!("unknown reset strategy '{other}'").into()),
     };
+    let delta_snapshots = match flag(&flags, "delta-snapshots") {
+        Some("on") => true,
+        Some("off") | None => false,
+        Some(other) => return Err(format!("bad --delta-snapshots '{other}' (want on|off)").into()),
+    };
     let target = Box::new(SimTarget::new(hardsnap_periph::soc()?)?);
     let mut fuzzer = Fuzzer::new(
         target,
@@ -416,10 +537,11 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         FuzzConfig {
             max_inputs: inputs,
             reset,
+            delta_snapshots,
             ..Default::default()
         },
     )?;
-    let r = fuzzer.run();
+    let r = fuzzer.run()?;
     println!("executions      : {}", r.execs);
     println!("coverage (PCs)  : {}", r.coverage);
     println!("virtual hw time : {} ms", r.hw_virtual_time_ns / 1_000_000);

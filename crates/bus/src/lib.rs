@@ -17,15 +17,20 @@
 
 pub mod fault;
 pub mod map;
+pub mod persist;
 pub mod snapshot;
 pub mod target;
 
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyTarget};
 pub use map::{MemoryMap, Region, RegionKind};
+pub use persist::{
+    mem_words_hash, regs_values_hash, ImageKind, PersistError, PersistMeta, PersistedImage,
+    SectionEntry, SectionTag, SnapshotFile,
+};
 pub use snapshot::{
     shape_hash_parts, HwSnapshot, MemImage, RegImage, SnapshotCapture, SnapshotDelta,
 };
-pub use target::{transfer_state, HwTarget, TargetCaps, TargetKind};
+pub use target::{transfer_state, HwTarget, LazyRestore, TargetCaps, TargetKind};
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,1118 @@
+//! Versioned on-disk snapshot images: TLV section framing with per-section
+//! and whole-file checksums.
+//!
+//! [`HwSnapshot::to_bytes`] is a monolithic image: reading any of it means
+//! reading (and checksumming) all of it. This module is the durable tier
+//! on top — the aero-snapshot-style container that makes snapshots a
+//! bounded, resumable resource instead of process-lifetime RAM objects:
+//!
+//! * **magic + version header** so format evolution is detectable, never
+//!   silently misparsed;
+//! * **TLV section framing** — one section for the register file and one
+//!   per memory region, in canonical (scan-chain) order, each carrying its
+//!   own FNV-1a payload checksum *and* a content hash of just the values,
+//!   so a lazy restore can decide "this section already matches the live
+//!   state" from the 40-byte table entry alone;
+//! * a **table checksum** covering header + section table, verified on
+//!   [`SnapshotFile::open`], so a lazily opened file with a corrupt index
+//!   fails before any payload is trusted;
+//! * a **trailing whole-file checksum** so an eager load (or
+//!   `snapshot validate --deep`) detects any single flipped byte anywhere
+//!   in the image;
+//! * both [`SnapshotCapture::Full`] and [`SnapshotCapture::Delta`] kinds,
+//!   so a delta chain survives serialization: a delta image names its base
+//!   by an opaque reference string and pins the base's shape/content
+//!   hashes, and applying it against the wrong base is a typed error.
+//!
+//! All errors are the typed [`PersistError`]; no path in here panics on
+//! malformed input.
+
+use crate::snapshot::{fnv1a, put_str, Cursor, FNV_OFFSET};
+use crate::{HwSnapshot, MemImage, RegImage, SnapshotDelta};
+use std::fmt;
+use std::path::Path;
+
+/// Container magic: distinct from the monolithic `HSNAPv2` image magic.
+pub const TLV_MAGIC: &[u8; 8] = b"HSTLV01\0";
+/// Current container format version.
+pub const TLV_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 16;
+const TABLE_ENTRY_LEN: usize = 40;
+const MAX_SECTIONS: usize = (1 << 20) + 4;
+
+/// Section type tags in the TLV table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionTag {
+    /// Image metadata: design, cycle, shape/content hashes, base ref.
+    Meta = 1,
+    /// The whole register file (one section, scan-chain order).
+    Regs = 2,
+    /// One memory region; `index` is the memory's position in the shape.
+    Mem = 3,
+    /// Changed registers of a delta image.
+    DeltaRegs = 4,
+    /// Changed memory words of a delta image.
+    DeltaMem = 5,
+}
+
+impl SectionTag {
+    fn from_u32(v: u32) -> Option<SectionTag> {
+        match v {
+            1 => Some(SectionTag::Meta),
+            2 => Some(SectionTag::Regs),
+            3 => Some(SectionTag::Mem),
+            4 => Some(SectionTag::DeltaRegs),
+            5 => Some(SectionTag::DeltaMem),
+            _ => None,
+        }
+    }
+
+    /// Short human name used by `snapshot inspect`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionTag::Meta => "META",
+            SectionTag::Regs => "REGS",
+            SectionTag::Mem => "MEM",
+            SectionTag::DeltaRegs => "DELTA_REGS",
+            SectionTag::DeltaMem => "DELTA_MEM",
+        }
+    }
+}
+
+/// Whether an image holds a complete state or a delta against a base.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImageKind {
+    /// A complete image (also a valid delta base).
+    Full,
+    /// Only what changed since the referenced base.
+    Delta,
+}
+
+impl fmt::Display for ImageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ImageKind::Full => "full",
+            ImageKind::Delta => "delta",
+        })
+    }
+}
+
+/// Errors from writing, opening, or loading on-disk snapshot images.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// Filesystem I/O failed; carries the path and the OS error text.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying error, stringified.
+        error: String,
+    },
+    /// The file does not start with [`TLV_MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The file ended before a structure was complete.
+    Truncated {
+        /// Byte offset at which data ran out.
+        at: usize,
+    },
+    /// A checksum did not match the stored value.
+    ChecksumMismatch {
+        /// Which checksum failed: `"table"`, `"file"`, or a section name.
+        what: String,
+    },
+    /// Structurally invalid content (bad tag, count overflow, bad UTF-8,
+    /// out-of-width values, ...).
+    Malformed(String),
+    /// A delta image was applied against a base with the wrong identity.
+    BaseMismatch {
+        /// The base reference recorded in the delta image.
+        reference: String,
+        /// What was wrong about the supplied base.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, error } => write!(f, "i/o on '{path}': {error}"),
+            PersistError::BadMagic => write!(f, "not a TLV snapshot image (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot image version {v}")
+            }
+            PersistError::Truncated { at } => write!(f, "truncated image at offset {at}"),
+            PersistError::ChecksumMismatch { what } => write!(f, "{what} checksum mismatch"),
+            PersistError::Malformed(m) => write!(f, "malformed image: {m}"),
+            PersistError::BaseMismatch { reference, detail } => {
+                write!(f, "delta base '{reference}' mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl PersistError {
+    /// Wraps an `std::io::Error` with the path it happened on.
+    pub fn io(path: &Path, e: std::io::Error) -> PersistError {
+        PersistError::Io {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        }
+    }
+}
+
+/// Parsed META section of an image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PersistMeta {
+    /// Design the state belongs to.
+    pub design: String,
+    /// Target cycle counter of the captured state (the delta's cycle for
+    /// a delta image).
+    pub cycle: u64,
+    /// Shape hash of the full image (for a delta: of its base).
+    pub shape_hash: u64,
+    /// Content hash of the full image (for a delta: of its base — the
+    /// reader uses it to reject application against the wrong base).
+    pub content_hash: u64,
+    /// Register count of the (base) shape.
+    pub n_regs: u32,
+    /// Memory count of the (base) shape.
+    pub n_mems: u32,
+    /// Opaque reference naming the base image a delta patches; empty for
+    /// a full image. Campaign manifests use sibling file names, the spill
+    /// tier uses in-store snapshot ids.
+    pub base_ref: String,
+}
+
+/// One entry of the section table.
+#[derive(Clone, Debug)]
+pub struct SectionEntry {
+    /// Section type.
+    pub tag: SectionTag,
+    /// Per-tag index (memory position for [`SectionTag::Mem`], else 0).
+    pub index: u32,
+    /// Absolute payload offset in the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a over the payload bytes.
+    pub checksum: u64,
+    /// FNV-1a over just the section's *values* (register bits / memory
+    /// words) — comparable against a hash of live target state without
+    /// reading the payload.
+    pub content_hash: u64,
+}
+
+/// Hash of a register file's values only, in scan-chain order — the
+/// live-state counterpart of a [`SectionTag::Regs`] entry's
+/// `content_hash`.
+pub fn regs_values_hash(bits: impl Iterator<Item = u64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bits {
+        h = fnv1a(&b.to_le_bytes(), h);
+    }
+    h
+}
+
+/// Hash of one memory's words — the live-state counterpart of a
+/// [`SectionTag::Mem`] entry's `content_hash`.
+pub fn mem_words_hash(words: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        h = fnv1a(&w.to_le_bytes(), h);
+    }
+    h
+}
+
+struct Builder {
+    kind: ImageKind,
+    payloads: Vec<(SectionTag, u32, u64, Vec<u8>)>,
+}
+
+impl Builder {
+    fn new(kind: ImageKind) -> Builder {
+        Builder {
+            kind,
+            payloads: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, tag: SectionTag, index: u32, content_hash: u64, payload: Vec<u8>) {
+        self.payloads.push((tag, index, content_hash, payload));
+    }
+
+    fn finish(self) -> Vec<u8> {
+        let n = self.payloads.len();
+        let mut out = Vec::with_capacity(
+            HEADER_LEN
+                + n * TABLE_ENTRY_LEN
+                + 16
+                + self.payloads.iter().map(|p| p.3.len()).sum::<usize>(),
+        );
+        out.extend_from_slice(TLV_MAGIC);
+        out.extend_from_slice(&TLV_VERSION.to_le_bytes());
+        out.push(match self.kind {
+            ImageKind::Full => 0,
+            ImageKind::Delta => 1,
+        });
+        out.push(0); // reserved
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        let mut offset = (HEADER_LEN + n * TABLE_ENTRY_LEN + 8) as u64;
+        for (tag, index, content_hash, payload) in &self.payloads {
+            out.extend_from_slice(&(*tag as u32).to_le_bytes());
+            out.extend_from_slice(&index.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a(payload, FNV_OFFSET).to_le_bytes());
+            out.extend_from_slice(&content_hash.to_le_bytes());
+            offset += payload.len() as u64;
+        }
+        let table_sum = fnv1a(&out, FNV_OFFSET);
+        out.extend_from_slice(&table_sum.to_le_bytes());
+        for (_, _, _, payload) in &self.payloads {
+            out.extend_from_slice(payload);
+        }
+        let file_sum = fnv1a(&out, FNV_OFFSET);
+        out.extend_from_slice(&file_sum.to_le_bytes());
+        out
+    }
+}
+
+fn meta_payload(m: &PersistMeta) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64 + m.design.len() + m.base_ref.len());
+    put_str(&mut p, &m.design);
+    p.extend_from_slice(&m.cycle.to_le_bytes());
+    p.extend_from_slice(&m.shape_hash.to_le_bytes());
+    p.extend_from_slice(&m.content_hash.to_le_bytes());
+    p.extend_from_slice(&m.n_regs.to_le_bytes());
+    p.extend_from_slice(&m.n_mems.to_le_bytes());
+    put_str(&mut p, &m.base_ref);
+    p
+}
+
+/// Serializes a full snapshot into the TLV container: META, then the
+/// register file, then one section per memory, in canonical order.
+pub fn write_full(snap: &HwSnapshot) -> Vec<u8> {
+    let mut b = Builder::new(ImageKind::Full);
+    b.push(
+        SectionTag::Meta,
+        0,
+        0,
+        meta_payload(&PersistMeta {
+            design: snap.design.clone(),
+            cycle: snap.cycle,
+            shape_hash: snap.shape_hash(),
+            content_hash: snap.content_hash(),
+            n_regs: snap.regs.len() as u32,
+            n_mems: snap.mems.len() as u32,
+            base_ref: String::new(),
+        }),
+    );
+    let mut regs = Vec::with_capacity(4 + snap.regs.len() * 24);
+    regs.extend_from_slice(&(snap.regs.len() as u32).to_le_bytes());
+    for r in &snap.regs {
+        put_str(&mut regs, &r.name);
+        regs.extend_from_slice(&r.width.to_le_bytes());
+        regs.extend_from_slice(&r.bits.to_le_bytes());
+    }
+    b.push(
+        SectionTag::Regs,
+        0,
+        regs_values_hash(snap.regs.iter().map(|r| r.bits)),
+        regs,
+    );
+    for (k, m) in snap.mems.iter().enumerate() {
+        let mut p = Vec::with_capacity(12 + m.name.len() + 8 * m.words.len());
+        put_str(&mut p, &m.name);
+        p.extend_from_slice(&m.width.to_le_bytes());
+        p.extend_from_slice(&(m.words.len() as u32).to_le_bytes());
+        for w in &m.words {
+            p.extend_from_slice(&w.to_le_bytes());
+        }
+        b.push(SectionTag::Mem, k as u32, mem_words_hash(&m.words), p);
+    }
+    b.finish()
+}
+
+/// Serializes a delta capture into the TLV container. `base_ref` is the
+/// opaque name under which the base can be found again (a sibling file
+/// name for campaign manifests, a snapshot id for the spill tier); the
+/// base's shape and content hashes are pinned in META so a later apply
+/// against the wrong base is rejected.
+pub fn write_delta(base: &HwSnapshot, delta: &SnapshotDelta, base_ref: &str) -> Vec<u8> {
+    let mut b = Builder::new(ImageKind::Delta);
+    b.push(
+        SectionTag::Meta,
+        0,
+        0,
+        meta_payload(&PersistMeta {
+            design: base.design.clone(),
+            cycle: delta.cycle,
+            shape_hash: base.shape_hash(),
+            content_hash: base.content_hash(),
+            n_regs: base.regs.len() as u32,
+            n_mems: base.mems.len() as u32,
+            base_ref: base_ref.to_string(),
+        }),
+    );
+    let mut dr = Vec::with_capacity(4 + delta.regs.len() * 12);
+    dr.extend_from_slice(&(delta.regs.len() as u32).to_le_bytes());
+    for &(i, bits) in &delta.regs {
+        dr.extend_from_slice(&i.to_le_bytes());
+        dr.extend_from_slice(&bits.to_le_bytes());
+    }
+    b.push(
+        SectionTag::DeltaRegs,
+        0,
+        regs_values_hash(delta.regs.iter().map(|&(_, b)| b)),
+        dr,
+    );
+    let mut dm = Vec::with_capacity(4 + delta.mem_words.len() * 16);
+    dm.extend_from_slice(&(delta.mem_words.len() as u32).to_le_bytes());
+    for &(mi, wi, v) in &delta.mem_words {
+        dm.extend_from_slice(&mi.to_le_bytes());
+        dm.extend_from_slice(&wi.to_le_bytes());
+        dm.extend_from_slice(&v.to_le_bytes());
+    }
+    b.push(
+        SectionTag::DeltaMem,
+        0,
+        mem_words_hash(
+            &delta
+                .mem_words
+                .iter()
+                .map(|&(_, _, v)| v)
+                .collect::<Vec<_>>(),
+        ),
+        dm,
+    );
+    b.finish()
+}
+
+/// An image read eagerly, whole-file checksum verified first.
+#[derive(Clone, Debug)]
+pub enum PersistedImage {
+    /// A complete snapshot.
+    Full(HwSnapshot),
+    /// A delta plus everything needed to find and verify its base.
+    Delta {
+        /// Name of the base image (see [`write_delta`]).
+        base_ref: String,
+        /// The base's shape hash at write time.
+        base_shape_hash: u64,
+        /// The base's content hash at write time.
+        base_content_hash: u64,
+        /// The changed state.
+        delta: SnapshotDelta,
+    },
+}
+
+impl PersistedImage {
+    /// Reads an image eagerly: the whole-file checksum is verified before
+    /// anything is parsed, so *any* single flipped byte in the image is a
+    /// typed [`PersistError`], never a wrong restore.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] the image deserves.
+    pub fn from_bytes(data: &[u8]) -> Result<PersistedImage, PersistError> {
+        let file = SnapshotFile::parse(data.to_vec(), true)?;
+        file.materialize()
+    }
+
+    /// Reads an image file eagerly (see [`PersistedImage::from_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and any [`PersistError`] the content deserves.
+    pub fn read(path: &Path) -> Result<PersistedImage, PersistError> {
+        let data = std::fs::read(path).map_err(|e| PersistError::io(path, e))?;
+        PersistedImage::from_bytes(&data)
+    }
+}
+
+/// A lazily opened TLV image: [`SnapshotFile::open`] verifies only the
+/// header + section-table checksum, and each section's payload checksum
+/// is verified when (and only when) that section is loaded — the on-disk
+/// analogue of demand paging. `validate(deep)` escalates to the
+/// whole-file checksum plus every section.
+#[derive(Clone, Debug)]
+pub struct SnapshotFile {
+    data: Vec<u8>,
+    kind: ImageKind,
+    sections: Vec<SectionEntry>,
+}
+
+impl SnapshotFile {
+    /// Opens an image, verifying magic, version, and the table checksum
+    /// only.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, bad magic/version, truncation, or a corrupt table.
+    pub fn open(path: &Path) -> Result<SnapshotFile, PersistError> {
+        let data = std::fs::read(path).map_err(|e| PersistError::io(path, e))?;
+        SnapshotFile::parse(data, false)
+    }
+
+    /// Opens an image from bytes already in memory (see
+    /// [`SnapshotFile::open`]).
+    ///
+    /// # Errors
+    ///
+    /// Bad magic/version, truncation, or a corrupt table.
+    pub fn from_bytes(data: Vec<u8>) -> Result<SnapshotFile, PersistError> {
+        SnapshotFile::parse(data, false)
+    }
+
+    fn parse(data: Vec<u8>, check_file_sum: bool) -> Result<SnapshotFile, PersistError> {
+        if check_file_sum {
+            if data.len() < 8 {
+                return Err(PersistError::Truncated { at: data.len() });
+            }
+            let (body, tail) = data.split_at(data.len() - 8);
+            let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+            if fnv1a(body, FNV_OFFSET) != stored {
+                return Err(PersistError::ChecksumMismatch {
+                    what: "file".into(),
+                });
+            }
+        }
+        if data.len() < HEADER_LEN {
+            return Err(PersistError::Truncated { at: data.len() });
+        }
+        if &data[0..8] != TLV_MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = u16::from_le_bytes([data[8], data[9]]);
+        if version != TLV_VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let kind = match data[10] {
+            0 => ImageKind::Full,
+            1 => ImageKind::Delta,
+            k => return Err(PersistError::Malformed(format!("unknown image kind {k}"))),
+        };
+        if data[11] != 0 {
+            return Err(PersistError::Malformed("nonzero reserved byte".into()));
+        }
+        let n = u32::from_le_bytes([data[12], data[13], data[14], data[15]]) as usize;
+        if n > MAX_SECTIONS {
+            return Err(PersistError::Malformed(format!(
+                "implausible section count {n}"
+            )));
+        }
+        let table_end = HEADER_LEN + n * TABLE_ENTRY_LEN;
+        if data.len() < table_end + 8 {
+            return Err(PersistError::Truncated { at: data.len() });
+        }
+        let stored_table_sum = u64::from_le_bytes(
+            data[table_end..table_end + 8]
+                .try_into()
+                .expect("8-byte table checksum"),
+        );
+        if fnv1a(&data[..table_end], FNV_OFFSET) != stored_table_sum {
+            return Err(PersistError::ChecksumMismatch {
+                what: "table".into(),
+            });
+        }
+        let mut sections = Vec::with_capacity(n);
+        for i in 0..n {
+            let e = &data[HEADER_LEN + i * TABLE_ENTRY_LEN..HEADER_LEN + (i + 1) * TABLE_ENTRY_LEN];
+            let tag_raw = u32::from_le_bytes(e[0..4].try_into().expect("4 bytes"));
+            let tag = SectionTag::from_u32(tag_raw)
+                .ok_or_else(|| PersistError::Malformed(format!("unknown section tag {tag_raw}")))?;
+            let entry = SectionEntry {
+                tag,
+                index: u32::from_le_bytes(e[4..8].try_into().expect("4 bytes")),
+                offset: u64::from_le_bytes(e[8..16].try_into().expect("8 bytes")),
+                len: u64::from_le_bytes(e[16..24].try_into().expect("8 bytes")),
+                checksum: u64::from_le_bytes(e[24..32].try_into().expect("8 bytes")),
+                content_hash: u64::from_le_bytes(e[32..40].try_into().expect("8 bytes")),
+            };
+            let end = entry.offset.checked_add(entry.len);
+            match end {
+                Some(end) if end as usize <= data.len().saturating_sub(8) => {}
+                _ => {
+                    return Err(PersistError::Malformed(format!(
+                        "section {} extends past the payload area",
+                        tag.name()
+                    )))
+                }
+            }
+            sections.push(entry);
+        }
+        Ok(SnapshotFile {
+            data,
+            kind,
+            sections,
+        })
+    }
+
+    /// Whether this image is a full state or a delta.
+    pub fn kind(&self) -> ImageKind {
+        self.kind
+    }
+
+    /// The verified section table.
+    pub fn sections(&self) -> &[SectionEntry] {
+        &self.sections
+    }
+
+    /// Total file size in bytes.
+    pub fn file_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn find(&self, tag: SectionTag, index: u32) -> Result<&SectionEntry, PersistError> {
+        self.sections
+            .iter()
+            .find(|s| s.tag == tag && s.index == index)
+            .ok_or_else(|| {
+                PersistError::Malformed(format!("missing {} section (index {index})", tag.name()))
+            })
+    }
+
+    /// Loads one section's payload, verifying its checksum — the unit of
+    /// demand paging.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::ChecksumMismatch`] naming the section on payload
+    /// corruption.
+    pub fn section_payload(&self, entry: &SectionEntry) -> Result<&[u8], PersistError> {
+        let payload = &self.data[entry.offset as usize..(entry.offset + entry.len) as usize];
+        if fnv1a(payload, FNV_OFFSET) != entry.checksum {
+            return Err(PersistError::ChecksumMismatch {
+                what: format!("section {}", entry.tag.name()),
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Parses the META section.
+    ///
+    /// # Errors
+    ///
+    /// Missing/corrupt META.
+    pub fn meta(&self) -> Result<PersistMeta, PersistError> {
+        let entry = self.find(SectionTag::Meta, 0)?;
+        let payload = self.section_payload(entry)?;
+        let mut cur = Cursor {
+            data: payload,
+            pos: 0,
+        };
+        let meta = (|| -> Result<PersistMeta, String> {
+            Ok(PersistMeta {
+                design: cur.get_str()?,
+                cycle: cur.get_u64()?,
+                shape_hash: cur.get_u64()?,
+                content_hash: cur.get_u64()?,
+                n_regs: cur.get_u32()?,
+                n_mems: cur.get_u32()?,
+                base_ref: cur.get_str()?,
+            })
+        })()
+        .map_err(PersistError::Malformed)?;
+        if cur.pos != payload.len() {
+            return Err(PersistError::Malformed("trailing bytes in META".into()));
+        }
+        Ok(meta)
+    }
+
+    /// Loads the register-file section of a full image.
+    ///
+    /// # Errors
+    ///
+    /// Missing/corrupt/malformed REGS.
+    pub fn load_regs(&self) -> Result<Vec<RegImage>, PersistError> {
+        let entry = self.find(SectionTag::Regs, 0)?;
+        let payload = self.section_payload(entry)?;
+        let mut cur = Cursor {
+            data: payload,
+            pos: 0,
+        };
+        let regs = (|| -> Result<Vec<RegImage>, String> {
+            let n = cur.get_u32()? as usize;
+            if n > 1 << 24 {
+                return Err(format!("implausible register count {n}"));
+            }
+            let mut regs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = cur.get_str()?;
+                let width = cur.get_u32()?;
+                let bits = cur.get_u64()?;
+                if width == 0 || width > 64 {
+                    return Err(format!("register '{name}' has invalid width {width}"));
+                }
+                regs.push(RegImage { name, width, bits });
+            }
+            Ok(regs)
+        })()
+        .map_err(PersistError::Malformed)?;
+        if cur.pos != payload.len() {
+            return Err(PersistError::Malformed("trailing bytes in REGS".into()));
+        }
+        Ok(regs)
+    }
+
+    /// Loads memory section `index` of a full image.
+    ///
+    /// # Errors
+    ///
+    /// Missing/corrupt/malformed MEM section.
+    pub fn load_mem(&self, index: u32) -> Result<MemImage, PersistError> {
+        let entry = self.find(SectionTag::Mem, index)?;
+        let payload = self.section_payload(entry)?;
+        let mut cur = Cursor {
+            data: payload,
+            pos: 0,
+        };
+        let mem = (|| -> Result<MemImage, String> {
+            let name = cur.get_str()?;
+            let width = cur.get_u32()?;
+            let depth = cur.get_u32()? as usize;
+            if width == 0 || width > 64 {
+                return Err(format!("memory '{name}' has invalid width {width}"));
+            }
+            if depth > 1 << 28 {
+                return Err(format!("implausible memory depth {depth}"));
+            }
+            let mut words = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                words.push(cur.get_u64()?);
+            }
+            Ok(MemImage { name, width, words })
+        })()
+        .map_err(PersistError::Malformed)?;
+        if cur.pos != payload.len() {
+            return Err(PersistError::Malformed("trailing bytes in MEM".into()));
+        }
+        Ok(mem)
+    }
+
+    /// Loads the delta sections of a delta image.
+    ///
+    /// # Errors
+    ///
+    /// Missing/corrupt/malformed delta sections, or calling this on a
+    /// full image.
+    pub fn load_delta(&self) -> Result<SnapshotDelta, PersistError> {
+        if self.kind != ImageKind::Delta {
+            return Err(PersistError::Malformed(
+                "full image has no delta sections".into(),
+            ));
+        }
+        let meta = self.meta()?;
+        let mut delta = SnapshotDelta {
+            cycle: meta.cycle,
+            ..Default::default()
+        };
+        let entry = self.find(SectionTag::DeltaRegs, 0)?;
+        let payload = self.section_payload(entry)?;
+        let mut cur = Cursor {
+            data: payload,
+            pos: 0,
+        };
+        (|| -> Result<(), String> {
+            let n = cur.get_u32()? as usize;
+            if n > 1 << 24 {
+                return Err(format!("implausible delta register count {n}"));
+            }
+            for _ in 0..n {
+                let i = cur.get_u32()?;
+                let bits = cur.get_u64()?;
+                delta.regs.push((i, bits));
+            }
+            Ok(())
+        })()
+        .map_err(PersistError::Malformed)?;
+        if cur.pos != payload.len() {
+            return Err(PersistError::Malformed(
+                "trailing bytes in DELTA_REGS".into(),
+            ));
+        }
+        let entry = self.find(SectionTag::DeltaMem, 0)?;
+        let payload = self.section_payload(entry)?;
+        let mut cur = Cursor {
+            data: payload,
+            pos: 0,
+        };
+        (|| -> Result<(), String> {
+            let n = cur.get_u32()? as usize;
+            if n > 1 << 28 {
+                return Err(format!("implausible delta word count {n}"));
+            }
+            for _ in 0..n {
+                let mi = cur.get_u32()?;
+                let wi = cur.get_u32()?;
+                let v = cur.get_u64()?;
+                delta.mem_words.push((mi, wi, v));
+            }
+            Ok(())
+        })()
+        .map_err(PersistError::Malformed)?;
+        if cur.pos != payload.len() {
+            return Err(PersistError::Malformed(
+                "trailing bytes in DELTA_MEM".into(),
+            ));
+        }
+        Ok(delta)
+    }
+
+    /// Materializes the image's content eagerly: every section loaded and
+    /// parsed (each payload checksum verified along the way).
+    ///
+    /// # Errors
+    ///
+    /// Any section problem found.
+    pub fn materialize(&self) -> Result<PersistedImage, PersistError> {
+        let meta = self.meta()?;
+        match self.kind {
+            ImageKind::Full => {
+                let regs = self.load_regs()?;
+                if regs.len() != meta.n_regs as usize {
+                    return Err(PersistError::Malformed(format!(
+                        "META claims {} registers, REGS holds {}",
+                        meta.n_regs,
+                        regs.len()
+                    )));
+                }
+                let mut mems = Vec::with_capacity(meta.n_mems as usize);
+                for k in 0..meta.n_mems {
+                    mems.push(self.load_mem(k)?);
+                }
+                let snap = HwSnapshot {
+                    design: meta.design,
+                    cycle: meta.cycle,
+                    regs,
+                    mems,
+                };
+                if snap.shape_hash() != meta.shape_hash {
+                    return Err(PersistError::Malformed(
+                        "reassembled shape hash differs from META".into(),
+                    ));
+                }
+                if snap.content_hash() != meta.content_hash {
+                    return Err(PersistError::ChecksumMismatch {
+                        what: "content".into(),
+                    });
+                }
+                snap.validate().map_err(PersistError::Malformed)?;
+                Ok(PersistedImage::Full(snap))
+            }
+            ImageKind::Delta => {
+                let delta = self.load_delta()?;
+                Ok(PersistedImage::Delta {
+                    base_ref: meta.base_ref,
+                    base_shape_hash: meta.shape_hash,
+                    base_content_hash: meta.content_hash,
+                    delta,
+                })
+            }
+        }
+    }
+
+    /// Validates the image. Shallow (`deep == false`) re-checks the
+    /// header/table invariants and META; deep additionally verifies the
+    /// trailing whole-file checksum, every section payload checksum, the
+    /// per-section content hashes, and full structural validation of the
+    /// reassembled state.
+    ///
+    /// # Errors
+    ///
+    /// The first problem found.
+    pub fn validate(&self, deep: bool) -> Result<(), PersistError> {
+        let meta = self.meta()?;
+        if !deep {
+            return Ok(());
+        }
+        if self.data.len() < 8 {
+            return Err(PersistError::Truncated {
+                at: self.data.len(),
+            });
+        }
+        let (body, tail) = self.data.split_at(self.data.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a(body, FNV_OFFSET) != stored {
+            return Err(PersistError::ChecksumMismatch {
+                what: "file".into(),
+            });
+        }
+        match self.materialize()? {
+            PersistedImage::Full(snap) => {
+                let entry = self.find(SectionTag::Regs, 0)?;
+                if regs_values_hash(snap.regs.iter().map(|r| r.bits)) != entry.content_hash {
+                    return Err(PersistError::ChecksumMismatch {
+                        what: "REGS content hash".into(),
+                    });
+                }
+                for (k, m) in snap.mems.iter().enumerate() {
+                    let entry = self.find(SectionTag::Mem, k as u32)?;
+                    if mem_words_hash(&m.words) != entry.content_hash {
+                        return Err(PersistError::ChecksumMismatch {
+                            what: format!("MEM[{k}] content hash"),
+                        });
+                    }
+                }
+            }
+            PersistedImage::Delta { delta, .. } => {
+                if meta.base_ref.is_empty() {
+                    return Err(PersistError::Malformed(
+                        "delta image with empty base reference".into(),
+                    ));
+                }
+                for &(i, _) in &delta.regs {
+                    if i >= meta.n_regs {
+                        return Err(PersistError::Malformed(format!(
+                            "delta register index {i} outside base shape ({} regs)",
+                            meta.n_regs
+                        )));
+                    }
+                }
+                for &(mi, _, _) in &delta.mem_words {
+                    if mi >= meta.n_mems {
+                        return Err(PersistError::Malformed(format!(
+                            "delta memory index {mi} outside base shape ({} mems)",
+                            meta.n_mems
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a delta image to its base, after verifying the base's
+    /// identity against the hashes pinned at write time.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BaseMismatch`] when `base` is not the image's
+    /// recorded base; otherwise any load error.
+    pub fn apply_to_base(&self, base: &HwSnapshot) -> Result<HwSnapshot, PersistError> {
+        let meta = self.meta()?;
+        if self.kind != ImageKind::Delta {
+            return Err(PersistError::Malformed(
+                "apply_to_base on a full image".into(),
+            ));
+        }
+        if base.shape_hash() != meta.shape_hash {
+            return Err(PersistError::BaseMismatch {
+                reference: meta.base_ref.clone(),
+                detail: "shape hash differs".into(),
+            });
+        }
+        if base.content_hash() != meta.content_hash {
+            return Err(PersistError::BaseMismatch {
+                reference: meta.base_ref.clone(),
+                detail: "content hash differs".into(),
+            });
+        }
+        let delta = self.load_delta()?;
+        delta.apply(base).map_err(PersistError::Malformed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample() -> HwSnapshot {
+        HwSnapshot {
+            design: "soc_top".into(),
+            cycle: 4242,
+            regs: (0..10)
+                .map(|i| RegImage {
+                    name: format!("u_p.r{i}"),
+                    width: 32,
+                    bits: i * 3,
+                })
+                .collect(),
+            mems: vec![
+                MemImage {
+                    name: "u_p.ram".into(),
+                    width: 32,
+                    words: (0..64).collect(),
+                },
+                MemImage {
+                    name: "u_p.fifo".into(),
+                    width: 16,
+                    words: vec![7; 8],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn full_roundtrip_eager() {
+        let s = sample();
+        let bytes = write_full(&s);
+        match PersistedImage::from_bytes(&bytes).unwrap() {
+            PersistedImage::Full(got) => assert_eq!(got, s),
+            _ => panic!("expected full image"),
+        }
+        // Serialization is deterministic.
+        assert_eq!(bytes, write_full(&s));
+    }
+
+    #[test]
+    fn full_roundtrip_lazy_sections() {
+        let s = sample();
+        let file = SnapshotFile::from_bytes(write_full(&s)).unwrap();
+        assert_eq!(file.kind(), ImageKind::Full);
+        let meta = file.meta().unwrap();
+        assert_eq!(meta.design, "soc_top");
+        assert_eq!(meta.n_regs, 10);
+        assert_eq!(meta.n_mems, 2);
+        assert!(meta.base_ref.is_empty());
+        let regs = file.load_regs().unwrap();
+        assert_eq!(regs, s.regs);
+        assert_eq!(file.load_mem(1).unwrap(), s.mems[1]);
+        file.validate(true).unwrap();
+    }
+
+    #[test]
+    fn delta_roundtrip_and_base_pinning() {
+        let base = sample();
+        let mut new = base.clone();
+        new.cycle = 5000;
+        new.regs[3].bits = 0xffff;
+        new.mems[0].words[9] = 0xabcd;
+        let delta = SnapshotDelta::between(&base, &new).unwrap();
+        let bytes = write_delta(&base, &delta, "base-0001");
+        let file = SnapshotFile::from_bytes(bytes.clone()).unwrap();
+        assert_eq!(file.kind(), ImageKind::Delta);
+        assert_eq!(file.meta().unwrap().base_ref, "base-0001");
+        assert_eq!(file.apply_to_base(&base).unwrap(), new);
+        file.validate(true).unwrap();
+        // The wrong base is rejected by content hash.
+        let mut wrong = base.clone();
+        wrong.regs[0].bits ^= 1;
+        match file.apply_to_base(&wrong) {
+            Err(PersistError::BaseMismatch { .. }) => {}
+            other => panic!("expected BaseMismatch, got {other:?}"),
+        }
+        match PersistedImage::from_bytes(&bytes).unwrap() {
+            PersistedImage::Delta {
+                base_ref, delta: d, ..
+            } => {
+                assert_eq!(base_ref, "base-0001");
+                assert_eq!(d, delta);
+            }
+            _ => panic!("expected delta image"),
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_a_typed_error() {
+        let s = sample();
+        let bytes = write_full(&s);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                PersistedImage::from_bytes(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_open_catches_table_corruption() {
+        let s = sample();
+        let bytes = write_full(&s);
+        // Flip a byte inside the section table: caught at open time.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 4] ^= 1;
+        assert!(matches!(
+            SnapshotFile::from_bytes(bad),
+            Err(PersistError::ChecksumMismatch { .. }) | Err(PersistError::Malformed(_))
+        ));
+        // Flip a payload byte: open succeeds (lazy), loading that section
+        // fails, deep validation fails.
+        let file_ok = SnapshotFile::from_bytes(bytes.clone()).unwrap();
+        let regs_entry = file_ok.find(SectionTag::Regs, 0).unwrap();
+        let mut bad = bytes.clone();
+        bad[regs_entry.offset as usize + 6] ^= 1;
+        let file = SnapshotFile::from_bytes(bad).unwrap();
+        assert!(matches!(
+            file.load_regs(),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+        assert!(file.validate(true).is_err());
+        assert!(file.load_mem(0).is_ok(), "untouched sections still load");
+    }
+
+    #[test]
+    fn truncation_and_magic_and_version_errors() {
+        let s = sample();
+        let bytes = write_full(&s);
+        assert!(matches!(
+            SnapshotFile::from_bytes(bytes[..10].to_vec()),
+            Err(PersistError::Truncated { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            SnapshotFile::from_bytes(bad),
+            Err(PersistError::BadMagic)
+        ));
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        // Version bump also breaks the table checksum; re-sign the table
+        // to prove the version check itself fires.
+        let n = s.mems.len() + 2;
+        let table_end = HEADER_LEN + n * TABLE_ENTRY_LEN;
+        let sum = fnv1a(&bad[..table_end], FNV_OFFSET);
+        bad[table_end..table_end + 8].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            SnapshotFile::from_bytes(bad),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn content_hashes_enable_section_skip_decisions() {
+        let s = sample();
+        let file = SnapshotFile::from_bytes(write_full(&s)).unwrap();
+        let regs_entry = file.find(SectionTag::Regs, 0).unwrap();
+        assert_eq!(
+            regs_entry.content_hash,
+            regs_values_hash(s.regs.iter().map(|r| r.bits))
+        );
+        let mem0 = file.find(SectionTag::Mem, 0).unwrap();
+        assert_eq!(mem0.content_hash, mem_words_hash(&s.mems[0].words));
+        // A live state with one changed word hashes differently.
+        let mut live = s.mems[0].words.clone();
+        live[3] ^= 1;
+        assert_ne!(mem0.content_hash, mem_words_hash(&live));
+    }
+
+    #[test]
+    fn capture_round_trips_through_files() {
+        let base = Arc::new(sample());
+        let mut new = (*base).clone();
+        new.regs[1].bits = 999;
+        let delta = SnapshotDelta::between(&base, &new).unwrap();
+        let cap = crate::SnapshotCapture::Delta {
+            base: base.clone(),
+            delta: delta.clone(),
+        };
+        let base_bytes = write_full(&base);
+        let delta_bytes = write_delta(&base, &delta, "b");
+        let base_file = SnapshotFile::from_bytes(base_bytes).unwrap();
+        let delta_file = SnapshotFile::from_bytes(delta_bytes).unwrap();
+        let base_back = match base_file.materialize().unwrap() {
+            PersistedImage::Full(s) => s,
+            _ => panic!(),
+        };
+        let got = delta_file.apply_to_base(&base_back).unwrap();
+        assert_eq!(got, cap.materialize().unwrap());
+    }
+}

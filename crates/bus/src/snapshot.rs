@@ -55,7 +55,7 @@ pub struct HwSnapshot {
 const MAGIC: &[u8; 8] = b"HSNAPv2\0";
 
 /// FNV-1a over a byte slice (the workspace's standard cheap digest).
-fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -63,7 +63,7 @@ fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
     h
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Fingerprint of a snapshot *shape* — the design name plus the ordered
 /// register `(name, width)` and memory `(name, width, depth)` layout,
@@ -314,18 +314,18 @@ impl HwSnapshot {
     }
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         if self.pos + n > self.data.len() {
             return Err(format!("truncated snapshot at offset {}", self.pos));
         }
@@ -334,15 +334,15 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn get_u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn get_u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn get_u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn get_u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn get_str(&mut self) -> Result<String, String> {
+    pub(crate) fn get_str(&mut self) -> Result<String, String> {
         let len = self.get_u32()? as usize;
         if len > 1 << 16 {
             return Err(format!("implausible string length {len}"));

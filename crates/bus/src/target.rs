@@ -6,8 +6,26 @@
 //! transfer state between them mid-analysis. `HwTarget` is that
 //! mechanism.
 
+use crate::persist::{ImageKind, PersistedImage, SnapshotFile};
 use crate::{BusError, HwSnapshot, SnapshotCapture, TargetError};
 use std::sync::Arc;
+
+/// Outcome of a lazy (demand-paged) restore from a snapshot file: how
+/// much of the file actually had to be loaded and applied. Targets that
+/// implement the sectioned path report `sections_loaded <
+/// sections_total` whenever part of the saved state already matches the
+/// live design, which is what makes time-to-first-quantum on a resumed
+/// campaign scale with *touched* state rather than design size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LazyRestore {
+    /// Data sections (register files + memory regions) in the file.
+    pub sections_total: usize,
+    /// Sections whose payload was loaded and applied because their
+    /// content differed from the live state.
+    pub sections_loaded: usize,
+    /// Payload bytes read for the loaded sections.
+    pub bytes_loaded: u64,
+}
 
 /// Which physical platform a target models.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -180,6 +198,63 @@ pub trait HwTarget: Send {
         self.save_snapshot()
             .map(|s| SnapshotCapture::Full(Arc::new(s)))
     }
+
+    /// Restores hardware state from an open snapshot *file*, loading
+    /// only the sections whose content differs from the live design
+    /// where the platform supports it. The file must hold a **full**
+    /// image (delta files are resolved against their base by the layer
+    /// that owns the chain, e.g. the campaign loader). After the call
+    /// the target's state is bit-identical to
+    /// [`HwTarget::restore_snapshot`] of the materialized image — lazy
+    /// loading is purely a cost optimization, reflected in virtual
+    /// time and in the returned [`LazyRestore`] stats.
+    ///
+    /// The default implementation is the eager fallback: materialize
+    /// the whole file and restore it, reporting every section as
+    /// loaded. `SimTarget` and `FpgaTarget` override it with sectioned
+    /// paths (per-section content-hash comparison; the FPGA charges a
+    /// partial-chain shift per dirty scan segment).
+    ///
+    /// # Errors
+    ///
+    /// [`TargetError::Unsupported`] for a delta file,
+    /// [`TargetError::CorruptSnapshot`] if the file fails validation,
+    /// plus everything [`HwTarget::restore_snapshot`] can return.
+    fn restore_snapshot_lazy(&mut self, file: &SnapshotFile) -> Result<LazyRestore, TargetError> {
+        if file.kind() != ImageKind::Full {
+            return Err(TargetError::Unsupported(
+                "lazy restore needs a full snapshot file; resolve the delta chain first".into(),
+            ));
+        }
+        let snap = match file
+            .materialize()
+            .map_err(|e| TargetError::CorruptSnapshot(e.to_string()))?
+        {
+            PersistedImage::Full(s) => s,
+            PersistedImage::Delta { .. } => {
+                return Err(TargetError::Unsupported(
+                    "lazy restore needs a full snapshot file".into(),
+                ))
+            }
+        };
+        let data: Vec<&crate::persist::SectionEntry> = file
+            .sections()
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.tag,
+                    crate::persist::SectionTag::Regs | crate::persist::SectionTag::Mem
+                )
+            })
+            .collect();
+        let bytes: u64 = data.iter().map(|s| s.len).sum();
+        self.restore_snapshot(&snap)?;
+        Ok(LazyRestore {
+            sections_total: data.len(),
+            sections_loaded: data.len(),
+            bytes_loaded: bytes,
+        })
+    }
 }
 
 // Boxed targets forward the whole contract, so decorators like
@@ -239,6 +314,9 @@ impl<T: HwTarget + ?Sized> HwTarget for Box<T> {
     }
     fn save_snapshot_delta(&mut self) -> Result<SnapshotCapture, TargetError> {
         (**self).save_snapshot_delta()
+    }
+    fn restore_snapshot_lazy(&mut self, file: &SnapshotFile) -> Result<LazyRestore, TargetError> {
+        (**self).restore_snapshot_lazy(file)
     }
 }
 
@@ -373,6 +451,34 @@ mod tests {
         assert!(matches!(
             b.restore_snapshot(&snap),
             Err(TargetError::DesignMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn default_lazy_restore_is_the_eager_fallback() {
+        let mut t = FakeTarget {
+            name: "t".into(),
+            reg: 0,
+            cycle: 0,
+            vtime: 0,
+        };
+        t.step(7);
+        let snap = t.save_snapshot().unwrap();
+        let file = SnapshotFile::from_bytes(crate::persist::write_full(&snap)).unwrap();
+        t.step(5);
+        let stats = t.restore_snapshot_lazy(&file).unwrap();
+        // The fallback loads everything: one Regs section, no mems.
+        assert_eq!(stats.sections_total, 1);
+        assert_eq!(stats.sections_loaded, 1);
+        assert!(stats.bytes_loaded > 0);
+        assert_eq!(t.bus_read(0).unwrap(), 7);
+        // A delta file is rejected by the contract.
+        let delta = crate::SnapshotDelta::between(&snap, &snap).unwrap();
+        let dfile =
+            SnapshotFile::from_bytes(crate::persist::write_delta(&snap, &delta, "base")).unwrap();
+        assert!(matches!(
+            t.restore_snapshot_lazy(&dfile),
+            Err(TargetError::Unsupported(_))
         ));
     }
 

@@ -21,7 +21,7 @@ use crate::snapshots::{SnapId, SnapshotStore};
 use crate::supervise::{FaultSummary, RetryPolicy, Supervisor};
 use hardsnap_bus::{BusError, HwSnapshot, HwTarget, SnapshotCapture, SnapshotDelta, TargetError};
 use hardsnap_symex::{
-    BugReport, Concretization, Executor, StateId, StepOutcome, SymMmio, SymState,
+    BugReport, Concretization, Executor, PortableState, StateId, StepOutcome, SymMmio, SymState,
 };
 use hardsnap_telemetry::{Counter, Metric, MetricsSnapshot, Recorder, TelemetryConfig};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -90,6 +90,13 @@ pub struct EngineConfig {
     /// Store fork snapshots as deltas against the fork-point image
     /// (storage ablation; see `SnapshotStore`).
     pub delta_snapshots: bool,
+    /// Resident-byte budget for the snapshot store (`None` =
+    /// unbudgeted). Under a budget the store spills least-recently-used
+    /// cold snapshots to a spool directory and pages them back in on
+    /// demand, bounding the analysis' snapshot RAM high-water mark
+    /// without changing its semantic result. Surfaced as `analyze
+    /// --snapshot-mem-budget BYTES`.
+    pub snapshot_mem_budget: Option<usize>,
     /// Retry/backoff/quarantine policy for fallible target operations
     /// (see [`crate::supervise`]).
     pub retry: RetryPolicy,
@@ -112,6 +119,7 @@ impl Default for EngineConfig {
             quantum: 32,
             reboot_cost_ns: 100_000_000,
             delta_snapshots: false,
+            snapshot_mem_budget: None,
             retry: RetryPolicy::default(),
             telemetry: TelemetryConfig::default(),
         }
@@ -311,6 +319,13 @@ pub struct Engine {
     supervisor: Supervisor,
     /// Unrecoverable-fault records, each naming the state it killed.
     fault_log: Vec<String>,
+    /// Results carried in from a saved campaign ([`Engine::seed_prior`]):
+    /// folded into the next `run()`'s budgets and result so a
+    /// save → resume split reports exactly what one uninterrupted run
+    /// would have.
+    carry_bugs: Vec<BugReport>,
+    carry_completed: Vec<SymState>,
+    carry_instructions: u64,
     /// Telemetry sink (track 0, "engine"); shared with the supervisor
     /// and attached to the target. Disabled = a single `None` branch.
     recorder: Recorder,
@@ -384,10 +399,12 @@ impl Engine {
         }
         let mut supervisor = Supervisor::new(retry);
         supervisor.recorder = recorder.clone();
+        let store = SnapshotStore::new();
+        store.set_mem_budget(config.snapshot_mem_budget);
         Engine {
             executor: Executor::new(config.policy),
             target,
-            store: SnapshotStore::new(),
+            store,
             config,
             active: VecDeque::new(),
             current_owner: None,
@@ -404,6 +421,9 @@ impl Engine {
             hw_violations: Vec::new(),
             supervisor,
             fault_log: Vec::new(),
+            carry_bugs: Vec::new(),
+            carry_completed: Vec::new(),
+            carry_instructions: 0,
             recorder,
         }
     }
@@ -674,10 +694,15 @@ impl Engine {
             },
         };
         if !installed {
-            let full = delta
-                .apply(base)
-                .expect("delta produced against this exact base");
-            self.store_full(owner, full);
+            // The delta was produced against this exact base, so apply
+            // can only fail on store corruption; record it loudly
+            // instead of panicking (the owner keeps its previous image).
+            match delta.apply(base) {
+                Ok(full) => self.store_full(owner, full),
+                Err(e) => self.fault_log.push(format!(
+                    "state {owner:?}: delta unusable against its base: {e}"
+                )),
+            }
         }
     }
 
@@ -839,17 +864,27 @@ impl Engine {
     pub fn run(&mut self) -> RunResult {
         let host_start = std::time::Instant::now();
         let hw_t0 = self.target.virtual_time_ns();
-        let mut bugs = Vec::new();
-        let mut completed: Vec<SymState> = Vec::new();
-        let mut sample_console = Vec::new();
-        let mut executed: u64 = 0;
+        let mut bugs = std::mem::take(&mut self.carry_bugs);
+        let mut completed: Vec<SymState> = std::mem::take(&mut self.carry_completed);
+        let mut sample_console = completed
+            .first()
+            .map(|s| s.console.clone())
+            .unwrap_or_default();
+        let mut executed: u64 = std::mem::take(&mut self.carry_instructions);
 
-        while let Some(mut state) = self.select_next_state() {
+        loop {
+            // Budgets are checked before popping, so a state selected at
+            // the budget boundary stays in the frontier instead of
+            // being silently dropped (a saved campaign must account for
+            // every live state).
             if executed >= self.config.max_instructions
                 || self.metrics.paths_completed >= self.config.max_paths as u64
             {
                 break;
             }
+            let Some(mut state) = self.select_next_state() else {
+                break;
+            };
             // Lines 5-9: hardware context switch when the schedule moves
             // to a different state.
             if let Err(e) = self.context_switch(&state) {
@@ -989,6 +1024,9 @@ impl Engine {
             t.add_counter("store_misses", st.misses);
             t.add_counter("store_evictions", st.evictions);
             t.add_counter("store_deferred", st.deferred);
+            t.add_counter("store_spills", st.spills);
+            t.add_counter("store_page_ins", st.page_ins);
+            t.add_counter("store_resident_bytes_hwm", self.store.peak_bytes() as u64);
             t
         });
 
@@ -1012,5 +1050,94 @@ impl Engine {
             fault_log: std::mem::take(&mut self.fault_log),
             telemetry,
         }
+    }
+
+    /// The set of distinct firmware PCs covered so far (campaign
+    /// checkpointing persists the set itself; `RunResult` only carries
+    /// its size).
+    pub fn covered_set(&self) -> &HashSet<u32> {
+        &self.covered_pcs
+    }
+
+    /// Drains the active frontier for campaign checkpointing: every
+    /// still-schedulable state leaves as a portable serialization plus
+    /// the id of its private snapshot in [`Engine::store`] (`None` for a
+    /// state that still runs from power-on hardware).
+    ///
+    /// The state owning the live hardware context is saved first —
+    /// exactly the `UpdateState` half of a context switch — so no
+    /// hardware state exists only on the target when the store is
+    /// serialized. HardSnap mode only (the baselines keep their context
+    /// in replay logs, which a fresh process cannot reconstruct).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the supervised save failure for the live context; the
+    /// frontier is left untouched in that case.
+    pub fn take_frontier(&mut self) -> Result<Vec<(PortableState, Option<SnapId>)>, TargetError> {
+        if self.config.mode != ConsistencyMode::HardSnap {
+            return Err(TargetError::Unsupported(
+                "campaign checkpointing requires HardSnap mode".into(),
+            ));
+        }
+        if let Some(prev) = self.current_owner {
+            if self.active.iter().any(|s| s.id == prev) {
+                if self.config.delta_snapshots {
+                    let cap = self.supervisor.save_capture(self.target.as_mut())?;
+                    self.metrics.snapshots_saved += 1;
+                    self.store_capture(prev, cap);
+                } else {
+                    let snap = self.supervisor.save_snapshot(self.target.as_mut())?;
+                    self.metrics.snapshots_saved += 1;
+                    self.store_full(prev, snap);
+                }
+            }
+            self.current_owner = None;
+        }
+        let states: Vec<SymState> = self.active.drain(..).collect();
+        let mut out = Vec::with_capacity(states.len());
+        for s in states {
+            let snap = self.snap_of.get(&s.id).copied();
+            out.push((PortableState::export(&self.executor.pool, &s), snap));
+        }
+        Ok(out)
+    }
+
+    /// Enqueues a frontier exported by [`Engine::take_frontier`] (with
+    /// snapshot ids re-mapped to this engine's store by the campaign
+    /// loader), in order, after resetting the hardware to power-on.
+    pub fn resume_frontier(&mut self, frontier: Vec<(PortableState, Option<SnapId>)>) {
+        self.target.reset();
+        for (ps, snap) in frontier {
+            let s = ps.import(&mut self.executor.pool);
+            self.io_logs.entry(s.id).or_default();
+            if let Some(sid) = snap {
+                self.snap_of.insert(s.id, sid);
+            }
+            self.active.push_back(s);
+        }
+    }
+
+    /// Seeds the engine with the results of the run that produced a
+    /// saved campaign, so the next [`Engine::run`] folds them into its
+    /// budgets (instruction and path caps continue where the saved run
+    /// stopped) and into its `RunResult` — making save → resume report
+    /// exactly what one uninterrupted run would have.
+    pub fn seed_prior(
+        &mut self,
+        instructions: u64,
+        paths_completed: u64,
+        covered: impl IntoIterator<Item = u32>,
+        bugs: Vec<BugReport>,
+        completed: Vec<PortableState>,
+    ) {
+        self.carry_instructions = instructions;
+        self.metrics.paths_completed += paths_completed;
+        self.covered_pcs.extend(covered);
+        self.carry_bugs = bugs;
+        self.carry_completed = completed
+            .iter()
+            .map(|p| p.import(&mut self.executor.pool))
+            .collect();
     }
 }

@@ -43,17 +43,22 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod engine;
 pub mod firmware;
 pub mod parallel;
 pub mod snapshots;
 pub mod supervise;
 
+pub use campaign::{
+    load_campaign, resume_parallel, resume_sequential, save_campaign, snapshot_parallel,
+    snapshot_sequential, CampaignError, Checkpoint,
+};
 pub use engine::{
     ConsistencyMode, Engine, EngineConfig, EngineMetrics, HwAssertion, IoOp, RunResult, Searcher,
 };
 pub use parallel::ParallelEngine;
-pub use snapshots::{SnapId, SnapshotStore, StoreStats};
+pub use snapshots::{PersistEntry, SnapId, SnapshotStore, StoreStats};
 pub use supervise::{FaultSummary, RetryPolicy, Supervisor};
 
 // Re-export the pieces users compose with.

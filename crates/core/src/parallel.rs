@@ -173,6 +173,20 @@ pub struct ParallelEngine {
     /// [`ParallelEngine::set_failover`]).
     failover: Option<Box<dyn HwTarget>>,
     roots: Vec<WorkItem>,
+    /// Work items still queued when the last run stopped on a budget:
+    /// the schedulable frontier, preserved for campaign checkpointing.
+    leftover: Vec<WorkItem>,
+    /// Union of covered PCs across runs (campaign checkpointing
+    /// persists the set itself; `RunResult` only carries its size).
+    covered: HashSet<u32>,
+    /// Results carried in from a saved campaign
+    /// ([`ParallelEngine::seed_prior`]): folded into the next `run()`'s
+    /// budgets and result so a save → resume split reports exactly what
+    /// one uninterrupted run would have.
+    carry_bugs: Vec<BugReport>,
+    carry_completed: Vec<PortableState>,
+    carry_instructions: u64,
+    carry_paths: u64,
     /// Merged metrics of the last run.
     pub metrics: EngineMetrics,
     /// Hardware virtual time accumulated by each worker's replica
@@ -207,13 +221,21 @@ impl ParallelEngine {
         let replicas = (0..workers.max(1))
             .map(|_| prototype.fork_clean())
             .collect::<Result<Vec<_>, _>>()?;
+        let store = SnapshotStore::new();
+        store.set_mem_budget(config.snapshot_mem_budget);
         Ok(ParallelEngine {
             executor: Executor::new(config.policy),
-            store: SnapshotStore::new(),
+            store,
             config,
             replicas,
             failover: None,
             roots: Vec::new(),
+            leftover: Vec::new(),
+            covered: HashSet::new(),
+            carry_bugs: Vec::new(),
+            carry_completed: Vec::new(),
+            carry_instructions: 0,
+            carry_paths: 0,
             metrics: EngineMetrics::default(),
             worker_vtimes_ns: Vec::new(),
         })
@@ -251,17 +273,29 @@ impl ParallelEngine {
     /// all workers and merges the results in state-id order.
     pub fn run(&mut self) -> RunResult {
         let host_start = std::time::Instant::now();
+        // A resumed campaign continues where the saved run stopped: the
+        // shared budget counters start from the carried-in totals, and
+        // if those already exhaust a budget the queue starts stopped so
+        // the frontier survives untouched for the next checkpoint.
+        let carry_instructions = std::mem::take(&mut self.carry_instructions);
+        let carry_paths = std::mem::take(&mut self.carry_paths);
+        let exhausted = carry_instructions >= self.config.max_instructions
+            || carry_paths >= self.config.max_paths as u64;
         let shared = Shared {
             q: Mutex::new(QueueState {
-                items: self.roots.drain(..).collect(),
+                items: self
+                    .leftover
+                    .drain(..)
+                    .chain(self.roots.drain(..))
+                    .collect(),
                 inflight: 0,
-                stopped: false,
+                stopped: exhausted,
                 dropped: 0,
             }),
             cv: Condvar::new(),
             store: self.store.clone(),
-            executed: AtomicU64::new(0),
-            paths: AtomicU64::new(0),
+            executed: AtomicU64::new(carry_instructions),
+            paths: AtomicU64::new(carry_paths),
             failover: Mutex::new(self.failover.take()),
         };
         let config = self.config.clone();
@@ -283,9 +317,16 @@ impl ParallelEngine {
         };
         // Unused spare survives for the next run.
         self.failover = shared.failover.lock().take();
+        // Whatever the stop flag stranded in the queue is the
+        // still-schedulable frontier: keep it (and its snapshots) for
+        // campaign checkpointing instead of dropping it on the floor.
+        self.leftover = shared.q.lock().items.drain(..).collect();
 
         // Deterministic merge: order by state id, never by arrival.
+        // Carried-in results from a resumed campaign merge exactly like
+        // another worker's output.
         let mut bugs: Vec<BugReport> = outputs.iter_mut().flat_map(|o| o.bugs.drain(..)).collect();
+        bugs.append(&mut self.carry_bugs);
         bugs.sort_by(|a, b| {
             (a.state_id.0, a.pc, kind_rank(a.kind), &a.description).cmp(&(
                 b.state_id.0,
@@ -298,13 +339,13 @@ impl ParallelEngine {
             .iter_mut()
             .flat_map(|o| o.completed.drain(..))
             .collect();
+        completed_port.append(&mut self.carry_completed);
         completed_port.sort_by_key(|s| s.id.0);
         completed_port.truncate(self.config.max_paths);
         let completed: Vec<SymState> = completed_port
             .iter()
             .map(|p| p.import(&mut self.executor.pool))
             .collect();
-        let mut covered: HashSet<u32> = HashSet::new();
         let mut metrics = EngineMetrics::default();
         let mut vtime: u64 = 0;
         let mut faults = FaultSummary::default();
@@ -314,7 +355,7 @@ impl ParallelEngine {
         let mut telemetry: Option<MetricsSnapshot> = None;
         self.worker_vtimes_ns.clear();
         for o in &mut outputs {
-            covered.extend(o.covered.iter().copied());
+            self.covered.extend(o.covered.iter().copied());
             merge_metrics(&mut metrics, o.metrics);
             vtime += o.vtime_ns;
             self.worker_vtimes_ns.push(o.vtime_ns);
@@ -333,8 +374,12 @@ impl ParallelEngine {
             t.add_counter("store_misses", st.misses);
             t.add_counter("store_evictions", st.evictions);
             t.add_counter("store_deferred", st.deferred);
+            t.add_counter("store_spills", st.spills);
+            t.add_counter("store_page_ins", st.page_ins);
+            t.add_counter("store_resident_bytes_hwm", self.store.peak_bytes() as u64);
         }
         metrics.states_dropped += shared.q.lock().dropped;
+        metrics.paths_completed += carry_paths;
         self.metrics = metrics;
 
         RunResult {
@@ -348,11 +393,65 @@ impl ParallelEngine {
             hw_virtual_time_ns: vtime,
             host_time: host_start.elapsed(),
             instructions: shared.executed.load(Ordering::Relaxed),
-            covered_pcs: covered.len(),
+            covered_pcs: self.covered.len(),
             faults,
             fault_log,
             telemetry,
         }
+    }
+
+    /// The set of distinct firmware PCs covered so far (campaign
+    /// checkpointing persists the set itself; `RunResult` only carries
+    /// its size).
+    pub fn covered_set(&self) -> &HashSet<u32> {
+        &self.covered
+    }
+
+    /// Drains the schedulable frontier for campaign checkpointing:
+    /// every work item stranded by a budget stop (plus any never-run
+    /// roots) leaves as a portable state plus the id of its private
+    /// snapshot in [`ParallelEngine::store`] (`None` for a power-on
+    /// root). Sorted by state id so the checkpoint is byte-stable
+    /// regardless of which worker last touched the queue.
+    pub fn take_frontier(&mut self) -> Vec<(PortableState, Option<SnapId>)> {
+        let mut out: Vec<(PortableState, Option<SnapId>)> = self
+            .leftover
+            .drain(..)
+            .chain(self.roots.drain(..))
+            .map(|it| (it.state, it.snap))
+            .collect();
+        out.sort_by_key(|(s, _)| s.id.0);
+        out
+    }
+
+    /// Enqueues a frontier exported by a previous engine's
+    /// `take_frontier` (with snapshot ids re-mapped to this engine's
+    /// store by the campaign loader).
+    pub fn resume_frontier(&mut self, frontier: Vec<(PortableState, Option<SnapId>)>) {
+        for (state, snap) in frontier {
+            self.roots.push(WorkItem { state, snap });
+        }
+    }
+
+    /// Seeds the engine with the results of the run that produced a
+    /// saved campaign, so the next [`ParallelEngine::run`] folds them
+    /// into its budgets (instruction and path caps continue where the
+    /// saved run stopped) and into its `RunResult` — making
+    /// save → resume report exactly what one uninterrupted run would
+    /// have.
+    pub fn seed_prior(
+        &mut self,
+        instructions: u64,
+        paths_completed: u64,
+        covered: impl IntoIterator<Item = u32>,
+        bugs: Vec<BugReport>,
+        completed: Vec<PortableState>,
+    ) {
+        self.carry_instructions = instructions;
+        self.carry_paths = paths_completed;
+        self.covered.extend(covered);
+        self.carry_bugs = bugs;
+        self.carry_completed = completed;
     }
 }
 
@@ -429,22 +528,37 @@ fn resolve_capture(
 /// Native installs are O(delta); if the anchored base vanished from the
 /// store (all dependents retired), falls back to a one-time full
 /// materialization rather than losing the snapshot.
-fn install_stored(store: &SnapshotStore, stored: &Stored, existing: Option<SnapId>) -> SnapId {
-    match stored {
+///
+/// # Errors
+///
+/// [`TargetError::CorruptSnapshot`] when the fallback materialization
+/// fails — the target handed back a delta that no longer applies to
+/// the base it was captured against, so the snapshot content is gone
+/// and the attempt must be torn down and replayed.
+fn install_stored(
+    store: &SnapshotStore,
+    stored: &Stored,
+    existing: Option<SnapId>,
+) -> Result<SnapId, TargetError> {
+    let materialize = |delta: &SnapshotDelta, base: &Arc<HwSnapshot>| {
+        delta.apply(base).map_err(|e| {
+            TargetError::CorruptSnapshot(format!(
+                "capture delta no longer applies to its base: {e}"
+            ))
+        })
+    };
+    Ok(match stored {
         Stored::Native(bid, delta, base) => match existing {
             Some(sid) => {
                 if !store.update_delta_native(sid, *bid, delta.clone()) {
-                    let full = delta.apply(base).expect("delta built against this base");
-                    store.update(sid, full);
+                    store.update(sid, materialize(delta, base)?);
                 }
                 sid
             }
-            None => store
-                .insert_delta_native(*bid, delta.clone())
-                .unwrap_or_else(|| {
-                    let full = delta.apply(base).expect("delta built against this base");
-                    store.insert(full)
-                }),
+            None => match store.insert_delta_native(*bid, delta.clone()) {
+                Some(sid) => sid,
+                None => store.insert(materialize(delta, base)?),
+            },
         },
         Stored::Full(full) => match existing {
             Some(sid) => {
@@ -453,7 +567,7 @@ fn install_stored(store: &SnapshotStore, stored: &Stored, existing: Option<SnapI
             }
             None => store.insert(full.clone()),
         },
-    }
+    })
 }
 
 /// Blocks until a work item is available; returns `None` on
@@ -707,7 +821,7 @@ fn run_quantum(
             let cap = sup.save_capture(target)?;
             out.metrics.snapshots_saved += 1;
             let stored = resolve_capture(&shared.store, anchor, cap)?;
-            install_stored(&shared.store, &stored, item.snap)
+            install_stored(&shared.store, &stored, item.snap)?
         } else {
             let snap = sup.save_snapshot(target)?;
             out.metrics.snapshots_saved += 1;
@@ -780,7 +894,7 @@ fn run_quantum(
                 let mut items = Vec::with_capacity(succ.len());
                 for s in succ {
                     let existing = if s.id == state_id { item.snap } else { None };
-                    let sid = install_stored(&shared.store, &stored, existing);
+                    let sid = install_stored(&shared.store, &stored, existing)?;
                     items.push(WorkItem {
                         state: PortableState::export(&ex.pool, &s),
                         snap: Some(sid),

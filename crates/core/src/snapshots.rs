@@ -14,14 +14,35 @@
 //!   the controller's memory footprint dramatically (measured by the
 //!   `exp_ablation` harness).
 //!
+//! ## Tiering
+//!
+//! The store is additionally **RAM-budgeted**: when a resident-byte
+//! budget is configured ([`SnapshotStore::set_mem_budget`], surfaced as
+//! `EngineConfig::snapshot_mem_budget` / `analyze
+//! --snapshot-mem-budget`), admitting a new image first spills the
+//! least-recently-used cold entries to a spool directory — serialized in
+//! the checksummed TLV container of `hardsnap_bus::persist` — until the
+//! newcomer fits. Spilled entries are paged back in transparently on
+//! lookup (`get`/`try_get`), so the budget bounds the *resident* high
+//! water mark while the id space and delta-chain semantics stay exactly
+//! as if everything were in RAM. Entries that are refcounted as delta
+//! bases (or hidden bases) are never spill candidates, so a base can
+//! never leave RAM out from under a delta mid-operation; spill/page I/O
+//! failures are typed [`SnapshotError`]s (or soft-fail the spill,
+//! leaving the entry resident), never panics.
+//!
 //! ## Concurrency
 //!
 //! The store is **lock-sharded**: ids map to `id % N` shards, each
 //! behind its own `RwLock`, so the N workers of the parallel engine do
 //! not serialize on one store-wide lock. No operation ever holds two
 //! shard guards at once — delta chains are walked one locked hop at a
-//! time — which keeps the sharding deadlock-free by construction. Id
-//! allocation and byte accounting are lock-free atomics.
+//! time, and spilling serializes the victim *outside* any lock and
+//! re-checks (via a per-entry generation counter) before swapping —
+//! which keeps the sharding deadlock-free by construction. Id
+//! allocation and byte accounting are lock-free atomics; budget
+//! admission serializes on one small gate mutex that is never held
+//! across I/O or another lock.
 //!
 //! ## Pinning
 //!
@@ -32,10 +53,12 @@
 //! [`SnapshotStore::purge`] models external corruption/eviction and is
 //! what makes the [`SnapshotError::MissingBase`] path testable.
 
+use hardsnap_bus::persist::{write_delta, write_full, PersistedImage};
 use hardsnap_bus::{HwSnapshot, SnapshotDelta};
-use hardsnap_util::sync::{ShardedRwLock, WatermarkCounter};
+use hardsnap_util::sync::{Mutex, ShardedRwLock, WatermarkCounter};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A snapshot identifier.
@@ -50,7 +73,9 @@ const SHARDS: usize = 16;
 /// prevents the store itself from evicting a referenced base, but a
 /// [`SnapshotStore::purge`] (the external-corruption model) can still
 /// break a chain, and lookups then report exactly which link is broken
-/// instead of panicking.
+/// instead of panicking. Spilled entries add an I/O failure mode: a
+/// spool file that cannot be read back (or fails its checksums) is
+/// reported as [`SnapshotError::Spill`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SnapshotError {
     /// No entry under this id.
@@ -69,6 +94,14 @@ pub enum SnapshotError {
         /// The id whose delta failed to apply.
         id: SnapId,
     },
+    /// A spilled entry could not be paged back in from the spool
+    /// directory (I/O failure, or the spool file failed its checksums).
+    Spill {
+        /// The id whose page-in failed.
+        id: SnapId,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -81,6 +114,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Corrupt { id } => {
                 write!(f, "snapshot {id}: delta does not apply to its base")
             }
+            SnapshotError::Spill { id, detail } => {
+                write!(f, "snapshot {id}: page-in from spool failed: {detail}")
+            }
         }
     }
 }
@@ -90,14 +126,46 @@ impl std::error::Error for SnapshotError {}
 #[derive(Debug)]
 enum Entry {
     Full(HwSnapshot),
-    Delta { base: SnapId, delta: SnapshotDelta },
+    Delta {
+        base: SnapId,
+        delta: SnapshotDelta,
+    },
+    /// A full image spilled to the spool directory; `ram_bytes` is the
+    /// resident size it returns to when paged back in.
+    SpilledFull {
+        path: PathBuf,
+        ram_bytes: usize,
+    },
+    /// A delta spilled to the spool directory; keeps its base pinned
+    /// (the pin taken at install time is not released by spilling).
+    SpilledDelta {
+        base: SnapId,
+        path: PathBuf,
+        ram_bytes: usize,
+    },
 }
 
 impl Entry {
+    /// Resident bytes: spilled entries cost no RAM.
     fn byte_size(&self) -> usize {
         match self {
             Entry::Full(s) => s.byte_size(),
             Entry::Delta { delta, .. } => delta.byte_size(),
+            Entry::SpilledFull { .. } | Entry::SpilledDelta { .. } => 0,
+        }
+    }
+
+    fn pinned_base(&self) -> Option<SnapId> {
+        match self {
+            Entry::Delta { base, .. } | Entry::SpilledDelta { base, .. } => Some(*base),
+            _ => None,
+        }
+    }
+
+    fn spill_path(&self) -> Option<&PathBuf> {
+        match self {
+            Entry::SpilledFull { path, .. } | Entry::SpilledDelta { path, .. } => Some(path),
+            _ => None,
         }
     }
 }
@@ -111,6 +179,11 @@ struct Stored {
     /// via [`SnapshotStore::insert_base`], or a deferred
     /// [`SnapshotStore::remove`].
     hidden: bool,
+    /// Logical LRU timestamp (global clock tick of the last use).
+    touch: AtomicU64,
+    /// Bumped on every content mutation; a spill aborts if the entry
+    /// changed between serialization and the swap to the spilled repr.
+    generation: u64,
 }
 
 #[derive(Debug, Default)]
@@ -127,6 +200,27 @@ struct StoreCounters {
     misses: AtomicU64,
     evictions: AtomicU64,
     deferred: AtomicU64,
+    spills: AtomicU64,
+    page_ins: AtomicU64,
+    spill_fails: AtomicU64,
+}
+
+/// The stored representation of one snapshot, as handed to a
+/// serializer: either a self-contained full image or a delta plus the id
+/// of the base it applies to. Campaign checkpointing uses this to write
+/// delta chains to disk *as chains* instead of flattening every entry
+/// to a full image.
+#[derive(Clone, Debug)]
+pub enum PersistEntry {
+    /// Self-contained image.
+    Full(HwSnapshot),
+    /// Delta against the store entry `base`.
+    Delta {
+        /// Store id of the base image the delta applies to.
+        base: SnapId,
+        /// The delta itself.
+        delta: SnapshotDelta,
+    },
 }
 
 /// Point-in-time copy of the store's activity counters.
@@ -140,6 +234,20 @@ pub struct StoreStats {
     pub evictions: u64,
     /// `remove` calls deferred because live deltas pin the entry.
     pub deferred: u64,
+    /// Entries written out to the spool directory under budget pressure.
+    pub spills: u64,
+    /// Spilled entries paged back into RAM on lookup.
+    pub page_ins: u64,
+    /// Spill attempts abandoned on I/O failure (entry stayed resident).
+    pub spill_fails: u64,
+}
+
+#[derive(Debug)]
+struct Spool {
+    dir: Option<PathBuf>,
+    /// True when the store invented a temp directory itself (removed on
+    /// drop); caller-provided directories are left alone.
+    owned: bool,
 }
 
 #[derive(Debug)]
@@ -148,7 +256,29 @@ struct StoreInner {
     next: AtomicU64,
     bytes: WatermarkCounter,
     counters: StoreCounters,
+    /// Resident-byte budget; `usize::MAX` means unbudgeted.
+    budget: AtomicUsize,
+    /// Serializes budget check + byte reservation (never held across
+    /// I/O or another lock).
+    gate: Mutex<()>,
+    /// Logical clock for LRU touch stamps.
+    clock: AtomicU64,
+    spool: Mutex<Spool>,
 }
+
+impl Drop for StoreInner {
+    fn drop(&mut self) {
+        let spool = self.spool.lock();
+        if spool.owned {
+            if let Some(dir) = &spool.dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+    }
+}
+
+/// Sequence for unique store-owned spool directory names.
+static SPOOL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Thread-safe, lock-sharded snapshot store.
 #[derive(Clone, Debug)]
@@ -164,6 +294,13 @@ impl Default for SnapshotStore {
                 next: AtomicU64::new(0),
                 bytes: WatermarkCounter::new(),
                 counters: StoreCounters::default(),
+                budget: AtomicUsize::new(usize::MAX),
+                gate: Mutex::new(()),
+                clock: AtomicU64::new(0),
+                spool: Mutex::new(Spool {
+                    dir: None,
+                    owned: false,
+                }),
             }),
         }
     }
@@ -175,25 +312,292 @@ impl SnapshotStore {
         SnapshotStore::default()
     }
 
+    /// Sets (or clears, with `None`) the resident-byte budget. While a
+    /// budget is set, admitting new bytes spills LRU cold entries first,
+    /// so [`SnapshotStore::peak_bytes`] stays at or under the budget as
+    /// long as enough unpinned entries exist to spill.
+    pub fn set_mem_budget(&self, budget: Option<usize>) {
+        self.inner
+            .budget
+            .store(budget.unwrap_or(usize::MAX), Ordering::Relaxed);
+    }
+
+    /// Directs spill files to `dir` (created on first use) instead of a
+    /// store-owned temp directory. Caller-provided directories are not
+    /// deleted when the store drops.
+    pub fn set_spool_dir(&self, dir: &Path) {
+        let mut spool = self.inner.spool.lock();
+        spool.dir = Some(dir.to_path_buf());
+        spool.owned = false;
+    }
+
     fn alloc_id(&self) -> SnapId {
         self.inner.next.fetch_add(1, Ordering::Relaxed)
     }
 
+    fn tick(&self) -> u64 {
+        self.inner.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Returns the spool directory, inventing (and creating) a unique
+    /// temp directory on first need.
+    fn spool_dir(&self) -> Result<PathBuf, String> {
+        let mut spool = self.inner.spool.lock();
+        let dir = match &spool.dir {
+            Some(dir) => dir.clone(),
+            None => {
+                let seq = SPOOL_SEQ.fetch_add(1, Ordering::Relaxed);
+                let dir = std::env::temp_dir().join(format!(
+                    "hardsnap-spool-{}-{}",
+                    std::process::id(),
+                    seq
+                ));
+                spool.dir = Some(dir.clone());
+                spool.owned = true;
+                dir
+            }
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create '{}': {e}", dir.display()))?;
+        Ok(dir)
+    }
+
+    /// Reserves `incoming` resident bytes, spilling LRU cold entries
+    /// first while over budget. Always succeeds — if nothing (more) can
+    /// be spilled the bytes are admitted over budget, because refusing
+    /// an image would break analysis correctness.
+    fn reserve(&self, incoming: usize) {
+        let budget = self.inner.budget.load(Ordering::Relaxed);
+        if budget == usize::MAX {
+            self.inner.bytes.add(incoming);
+            return;
+        }
+        let mut attempts = 0usize;
+        loop {
+            {
+                let _g = self.inner.gate.lock();
+                if self.inner.bytes.current() + incoming <= budget {
+                    self.inner.bytes.add(incoming);
+                    return;
+                }
+            }
+            // Over budget: spill the coldest eligible entry and retry.
+            // The attempt cap bounds pathological races; at worst the
+            // bytes are admitted over budget.
+            attempts += 1;
+            if attempts > self.len() + 8 || !self.spill_one() {
+                self.inner.bytes.add(incoming);
+                return;
+            }
+        }
+    }
+
+    /// Picks and spills the least-recently-used cold entry. Returns
+    /// false when no eligible victim exists (everything resident is
+    /// pinned, hidden, or already spilled).
+    fn spill_one(&self) -> bool {
+        let mut best: Option<(u64, SnapId)> = None;
+        for shard in self.inner.shards.iter() {
+            let g = shard.read();
+            for (&id, s) in &g.entries {
+                if s.refs == 0 && !s.hidden && s.entry.byte_size() > 0 {
+                    let t = s.touch.load(Ordering::Relaxed);
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, id));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, id)) => self.spill(id),
+            None => false,
+        }
+    }
+
+    /// Spills one entry to the spool directory. Serialization and file
+    /// I/O happen with no locks held; the swap to the spilled
+    /// representation re-checks the entry's generation so a concurrent
+    /// update can never be clobbered by a stale file. On I/O failure the
+    /// entry stays resident (soft failure — the store must keep working
+    /// without a disk).
+    fn spill(&self, id: SnapId) -> bool {
+        enum Payload {
+            Full(HwSnapshot),
+            Delta(SnapId, SnapshotDelta),
+        }
+        let (generation, payload) = {
+            let shard = self.inner.shards.shard_for(id);
+            let g = shard.read();
+            let Some(s) = g.entries.get(&id) else {
+                return false;
+            };
+            if s.refs != 0 || s.hidden {
+                return false;
+            }
+            match &s.entry {
+                Entry::Full(snap) => (s.generation, Payload::Full(snap.clone())),
+                Entry::Delta { base, delta } => {
+                    (s.generation, Payload::Delta(*base, delta.clone()))
+                }
+                _ => return false,
+            }
+        };
+        let image = match &payload {
+            Payload::Full(snap) => write_full(snap),
+            Payload::Delta(base, delta) => match self.try_resolve(*base) {
+                Ok(base_snap) => write_delta(&base_snap, delta, &format!("snap:{base}")),
+                Err(_) => return false,
+            },
+        };
+        let written = self.spool_dir().and_then(|dir| {
+            let path = dir.join(format!("snap-{id}.hsnap"));
+            std::fs::write(&path, &image)
+                .map_err(|e| format!("write '{}': {e}", path.display()))?;
+            Ok(path)
+        });
+        let path = match written {
+            Ok(p) => p,
+            Err(_) => {
+                self.inner
+                    .counters
+                    .spill_fails
+                    .fetch_add(1, Ordering::Relaxed);
+                // Re-stamp the victim so the next pick moves on instead
+                // of hammering the same failing entry.
+                let shard = self.inner.shards.shard_for(id);
+                if let Some(s) = shard.read().entries.get(&id) {
+                    s.touch.store(self.tick(), Ordering::Relaxed);
+                }
+                return false;
+            }
+        };
+        let freed = {
+            let shard = self.inner.shards.shard_for(id);
+            let mut g = shard.write();
+            let Some(s) = g.entries.get_mut(&id) else {
+                drop(g);
+                let _ = std::fs::remove_file(&path);
+                return false;
+            };
+            let sz = s.entry.byte_size();
+            if s.generation != generation || s.refs != 0 || s.hidden || sz == 0 {
+                drop(g);
+                let _ = std::fs::remove_file(&path);
+                return false;
+            }
+            s.entry = match payload {
+                Payload::Full(_) => Entry::SpilledFull {
+                    path,
+                    ram_bytes: sz,
+                },
+                Payload::Delta(base, _) => Entry::SpilledDelta {
+                    base,
+                    path,
+                    ram_bytes: sz,
+                },
+            };
+            sz
+        };
+        self.inner.bytes.sub(freed);
+        self.inner.counters.spills.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Pages a spilled entry back into RAM, verifying the spool file's
+    /// checksums along the way.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Spill`] on I/O or integrity failure (the entry
+    /// stays spilled), [`SnapshotError::Missing`] if it raced removal.
+    fn page_in(&self, id: SnapId) -> Result<(), SnapshotError> {
+        let (path, ram_bytes) = {
+            let shard = self.inner.shards.shard_for(id);
+            let g = shard.read();
+            match g.entries.get(&id) {
+                None => return Err(SnapshotError::Missing(id)),
+                Some(s) => match &s.entry {
+                    Entry::SpilledFull { path, ram_bytes }
+                    | Entry::SpilledDelta {
+                        path, ram_bytes, ..
+                    } => (path.clone(), *ram_bytes),
+                    // Raced: another thread already paged it in.
+                    _ => return Ok(()),
+                },
+            }
+        };
+        self.reserve(ram_bytes);
+        let spill_err = |detail: String| SnapshotError::Spill { id, detail };
+        let loaded = std::fs::read(&path)
+            .map_err(|e| spill_err(format!("read '{}': {e}", path.display())))
+            .and_then(|data| {
+                PersistedImage::from_bytes(&data).map_err(|e| spill_err(e.to_string()))
+            })
+            .and_then(|img| match img {
+                PersistedImage::Full(snap) => Ok(Entry::Full(snap)),
+                PersistedImage::Delta {
+                    base_ref, delta, ..
+                } => base_ref
+                    .strip_prefix("snap:")
+                    .and_then(|s| s.parse::<SnapId>().ok())
+                    .map(|base| Entry::Delta { base, delta })
+                    .ok_or_else(|| spill_err(format!("bad base reference '{base_ref}'"))),
+            });
+        let entry = match loaded {
+            Ok(e) => e,
+            Err(e) => {
+                self.inner.bytes.sub(ram_bytes);
+                return Err(e);
+            }
+        };
+        let actual = entry.byte_size();
+        let swapped = {
+            let shard = self.inner.shards.shard_for(id);
+            let mut g = shard.write();
+            match g.entries.get_mut(&id) {
+                None => false,
+                Some(s) => match &s.entry {
+                    Entry::SpilledFull { .. } | Entry::SpilledDelta { .. } => {
+                        s.entry = entry;
+                        s.touch.store(self.tick(), Ordering::Relaxed);
+                        true
+                    }
+                    _ => false,
+                },
+            }
+        };
+        if !swapped {
+            // Raced a concurrent page-in or removal: undo the
+            // reservation, keep whatever state won the race.
+            self.inner.bytes.sub(ram_bytes);
+            return Ok(());
+        }
+        if actual > ram_bytes {
+            self.inner.bytes.add(actual - ram_bytes);
+        } else {
+            self.inner.bytes.sub(ram_bytes - actual);
+        }
+        let _ = std::fs::remove_file(&path);
+        self.inner.counters.page_ins.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn install(&self, id: SnapId, entry: Entry, hidden: bool) {
         let sz = entry.byte_size();
+        self.reserve(sz);
         self.inner.shards.shard_for(id).write().entries.insert(
             id,
             Stored {
                 entry,
                 refs: 0,
                 hidden,
+                touch: AtomicU64::new(self.tick()),
+                generation: 0,
             },
         );
-        self.inner.bytes.add(sz);
     }
 
     /// Resolves `id` by walking its delta chain, locking one shard at a
-    /// time (never two at once).
+    /// time (never two at once); spilled links page back in on the way.
     fn try_resolve(&self, id: SnapId) -> Result<HwSnapshot, SnapshotError> {
         let mut chain: Vec<(SnapId, SnapshotDelta)> = Vec::new();
         let mut cur = id;
@@ -210,15 +614,23 @@ impl SnapshotStore {
                         },
                     });
                 }
-                Some(stored) => match &stored.entry {
-                    Entry::Full(s) => break s.clone(),
-                    Entry::Delta { base, delta } => {
-                        let b = *base;
-                        chain.push((cur, delta.clone()));
-                        drop(g);
-                        cur = b;
+                Some(stored) => {
+                    stored.touch.store(self.tick(), Ordering::Relaxed);
+                    match &stored.entry {
+                        Entry::Full(s) => break s.clone(),
+                        Entry::Delta { base, delta } => {
+                            let b = *base;
+                            chain.push((cur, delta.clone()));
+                            drop(g);
+                            cur = b;
+                        }
+                        Entry::SpilledFull { .. } | Entry::SpilledDelta { .. } => {
+                            drop(g);
+                            self.page_in(cur)?;
+                            // Re-examine `cur` now that it is resident.
+                        }
                     }
-                },
+                }
             }
         };
         let mut snap = base_snap;
@@ -254,15 +666,24 @@ impl SnapshotStore {
             };
             stored.refs = stored.refs.saturating_sub(1);
             if stored.refs == 0 && stored.hidden {
-                let stored = g.entries.remove(&base).expect("entry just seen");
-                drop(g);
-                self.inner.bytes.sub(stored.entry.byte_size());
-                if let Entry::Delta { base: next, .. } = stored.entry {
-                    base = next;
-                    continue;
+                if let Some(stored) = g.entries.remove(&base) {
+                    drop(g);
+                    self.discard(&stored);
+                    if let Some(next) = stored.entry.pinned_base() {
+                        base = next;
+                        continue;
+                    }
                 }
             }
             return;
+        }
+    }
+
+    /// Accounting + spool cleanup for an entry detached from the map.
+    fn discard(&self, stored: &Stored) {
+        self.inner.bytes.sub(stored.entry.byte_size());
+        if let Some(path) = stored.entry.spill_path() {
+            let _ = std::fs::remove_file(path);
         }
     }
 
@@ -318,7 +739,8 @@ impl SnapshotStore {
         }
         let new_entry = Entry::Delta { base, delta };
         let new_sz = new_entry.byte_size();
-        let (old_sz, released) = {
+        self.reserve(new_sz);
+        let (old_sz, released, stale_file) = {
             let mut g = self.inner.shards.shard_for(id).write();
             match g.entries.get_mut(&id) {
                 Some(stored) => {
@@ -326,12 +748,12 @@ impl SnapshotStore {
                     // The old representation's pin is dropped after the
                     // new pin is in place, so a same-base update nets
                     // out to one held pin.
-                    let released = match &stored.entry {
-                        Entry::Delta { base: b, .. } => Some(*b),
-                        Entry::Full(_) => None,
-                    };
+                    let released = stored.entry.pinned_base();
+                    let stale = stored.entry.spill_path().cloned();
                     stored.entry = new_entry;
-                    (old, released)
+                    stored.generation += 1;
+                    stored.touch.store(self.tick(), Ordering::Relaxed);
+                    (old, released, stale)
                 }
                 None => {
                     g.entries.insert(
@@ -340,14 +762,18 @@ impl SnapshotStore {
                             entry: new_entry,
                             refs: 0,
                             hidden: false,
+                            touch: AtomicU64::new(self.tick()),
+                            generation: 0,
                         },
                     );
-                    (0, None)
+                    (0, None, None)
                 }
             }
         };
-        self.inner.bytes.add(new_sz);
         self.inner.bytes.sub(old_sz);
+        if let Some(path) = stale_file {
+            let _ = std::fs::remove_file(path);
+        }
         if let Some(b) = released {
             self.release_base(b);
         }
@@ -376,13 +802,7 @@ impl SnapshotStore {
     pub fn update(&self, id: SnapId, snap: HwSnapshot) {
         let repr_base = {
             let g = self.inner.shards.shard_for(id).read();
-            match g.entries.get(&id) {
-                Some(Stored {
-                    entry: Entry::Delta { base, .. },
-                    ..
-                }) => Some(*base),
-                _ => None,
-            }
+            g.entries.get(&id).and_then(|s| s.entry.pinned_base())
         };
         let (new_entry, released_base) = match repr_base {
             Some(base) => {
@@ -399,13 +819,17 @@ impl SnapshotStore {
             None => (Entry::Full(snap), None),
         };
         let new_sz = new_entry.byte_size();
-        let old_sz = {
+        self.reserve(new_sz);
+        let (old_sz, stale_file) = {
             let mut g = self.inner.shards.shard_for(id).write();
             match g.entries.get_mut(&id) {
                 Some(stored) => {
                     let old = stored.entry.byte_size();
+                    let stale = stored.entry.spill_path().cloned();
                     stored.entry = new_entry;
-                    old
+                    stored.generation += 1;
+                    stored.touch.store(self.tick(), Ordering::Relaxed);
+                    (old, stale)
                 }
                 None => {
                     g.entries.insert(
@@ -414,14 +838,18 @@ impl SnapshotStore {
                             entry: new_entry,
                             refs: 0,
                             hidden: false,
+                            touch: AtomicU64::new(self.tick()),
+                            generation: 0,
                         },
                     );
-                    0
+                    (0, None)
                 }
             }
         };
-        self.inner.bytes.add(new_sz);
         self.inner.bytes.sub(old_sz);
+        if let Some(path) = stale_file {
+            let _ = std::fs::remove_file(path);
+        }
         if let Some(base) = released_base {
             self.release_base(base);
         }
@@ -437,7 +865,8 @@ impl SnapshotStore {
         }
     }
 
-    /// Fetches a snapshot by id (reconstructing deltas transparently).
+    /// Fetches a snapshot by id (reconstructing deltas and paging in
+    /// spilled entries transparently).
     pub fn get(&self, id: SnapId) -> Option<HwSnapshot> {
         let got = self.try_resolve(id).ok();
         self.note_lookup(got.is_some());
@@ -445,8 +874,8 @@ impl SnapshotStore {
     }
 
     /// Like [`SnapshotStore::get`], but reports *why* a snapshot cannot
-    /// be produced: missing id, delta chain with an evicted base, or a
-    /// delta that no longer applies.
+    /// be produced: missing id, delta chain with an evicted base, a
+    /// delta that no longer applies, or a spool page-in failure.
     ///
     /// # Errors
     ///
@@ -465,25 +894,30 @@ impl SnapshotStore {
         let resolved = self.try_resolve(id).ok();
         let freed_base = {
             let mut g = self.inner.shards.shard_for(id).write();
-            let stored = g.entries.get_mut(&id)?;
-            if stored.refs > 0 {
-                // Deferred: live deltas still need this image.
-                stored.hidden = true;
+            let defer = match g.entries.get_mut(&id) {
+                None => return None,
+                Some(stored) if stored.refs > 0 => {
+                    // Deferred: live deltas still need this image.
+                    stored.hidden = true;
+                    true
+                }
+                Some(_) => false,
+            };
+            if defer {
                 drop(g);
                 self.inner.counters.deferred.fetch_add(1, Ordering::Relaxed);
                 return resolved;
             }
-            let stored = g.entries.remove(&id).expect("entry just seen");
+            let Some(stored) = g.entries.remove(&id) else {
+                return resolved;
+            };
             drop(g);
-            self.inner.bytes.sub(stored.entry.byte_size());
+            self.discard(&stored);
             self.inner
                 .counters
                 .evictions
                 .fetch_add(1, Ordering::Relaxed);
-            match stored.entry {
-                Entry::Delta { base, .. } => Some(base),
-                Entry::Full(_) => None,
-            }
+            stored.entry.pinned_base()
         };
         if let Some(base) = freed_base {
             self.release_base(base);
@@ -501,15 +935,12 @@ impl SnapshotStore {
             let mut g = self.inner.shards.shard_for(id).write();
             let stored = g.entries.remove(&id)?;
             drop(g);
-            self.inner.bytes.sub(stored.entry.byte_size());
+            self.discard(&stored);
             self.inner
                 .counters
                 .evictions
                 .fetch_add(1, Ordering::Relaxed);
-            match stored.entry {
-                Entry::Delta { base, .. } => Some(base),
-                Entry::Full(_) => None,
-            }
+            stored.entry.pinned_base()
         };
         if let Some(base) = freed_base {
             self.release_base(base);
@@ -517,7 +948,8 @@ impl SnapshotStore {
         resolved
     }
 
-    /// Number of live entries (including hidden bases).
+    /// Number of live entries (including hidden bases and spilled
+    /// entries).
     pub fn len(&self) -> usize {
         self.inner
             .shards
@@ -531,14 +963,52 @@ impl SnapshotStore {
         self.len() == 0
     }
 
-    /// Current bytes of stored images (full + delta representations).
+    /// Current *resident* bytes of stored images (full + delta
+    /// representations; spilled entries cost nothing here).
     pub fn total_bytes(&self) -> usize {
         self.inner.bytes.current()
     }
 
-    /// High-water mark of [`SnapshotStore::total_bytes`].
+    /// High-water mark of [`SnapshotStore::total_bytes`] — the number
+    /// the `--snapshot-mem-budget` cap bounds.
     pub fn peak_bytes(&self) -> usize {
         self.inner.bytes.peak()
+    }
+
+    /// Returns the entry's *stored representation* for serialization —
+    /// a delta entry comes back as `(base, delta)` rather than a
+    /// flattened image, so an on-disk campaign preserves the chain.
+    /// Spilled entries are paged back in first.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Missing`] for an unknown id,
+    /// [`SnapshotError::Spill`] if a spilled entry cannot be paged in.
+    pub fn export_entry(&self, id: SnapId) -> Result<PersistEntry, SnapshotError> {
+        loop {
+            {
+                let shard = self.inner.shards.shard_for(id);
+                let g = shard.read();
+                match g.entries.get(&id) {
+                    None => return Err(SnapshotError::Missing(id)),
+                    Some(stored) => {
+                        stored.touch.store(self.tick(), Ordering::Relaxed);
+                        match &stored.entry {
+                            Entry::Full(s) => return Ok(PersistEntry::Full(s.clone())),
+                            Entry::Delta { base, delta } => {
+                                return Ok(PersistEntry::Delta {
+                                    base: *base,
+                                    delta: delta.clone(),
+                                })
+                            }
+                            Entry::SpilledFull { .. } | Entry::SpilledDelta { .. } => {}
+                        }
+                    }
+                }
+            }
+            // Spilled: bring it back and re-examine.
+            self.page_in(id)?;
+        }
     }
 
     /// Point-in-time copy of the store's activity counters.
@@ -549,6 +1019,9 @@ impl SnapshotStore {
             misses: c.misses.load(Ordering::Relaxed),
             evictions: c.evictions.load(Ordering::Relaxed),
             deferred: c.deferred.load(Ordering::Relaxed),
+            spills: c.spills.load(Ordering::Relaxed),
+            page_ins: c.page_ins.load(Ordering::Relaxed),
+            spill_fails: c.spill_fails.load(Ordering::Relaxed),
         }
     }
 }
@@ -779,5 +1252,138 @@ mod tests {
         // All workers' entries cleaned up; only the hidden base remains
         // (it had no dependents left), or was already reclaimed.
         assert!(store.len() <= 1);
+    }
+
+    fn test_spool(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hardsnap-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn budget_spills_lru_and_pages_back_in() {
+        let spool = test_spool("spill-basic");
+        let store = SnapshotStore::new();
+        store.set_spool_dir(&spool);
+        let one = snap(0).byte_size();
+        // Room for ~3 images; insert 6.
+        store.set_mem_budget(Some(3 * one + one / 2));
+        let ids: Vec<_> = (0..6).map(|v| store.insert(snap(v))).collect();
+        assert!(
+            store.peak_bytes() <= 3 * one + one / 2,
+            "resident peak {} must stay under the budget",
+            store.peak_bytes()
+        );
+        let s = store.stats();
+        assert!(s.spills >= 3, "expected spills, got {s:?}");
+        // Every snapshot still resolves bit-exactly, paging in on demand.
+        for (v, &id) in ids.iter().enumerate() {
+            assert_eq!(store.try_get(id).unwrap(), snap(v as u64));
+        }
+        assert!(store.stats().page_ins >= 3);
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn pinned_bases_never_spill_under_pressure() {
+        let spool = test_spool("spill-pinned");
+        let store = SnapshotStore::new();
+        store.set_spool_dir(&spool);
+        let base_snap = snap(1);
+        let base = store.insert_base(base_snap.clone());
+        let mut child_snap = base_snap.clone();
+        child_snap.regs[0].bits = 0xAA;
+        let child = store.insert_delta(base, child_snap.clone());
+        // Budget far below one image: everything eligible spills, but
+        // the pinned base must stay resident and the chain intact.
+        store.set_mem_budget(Some(64));
+        for v in 10..16 {
+            store.insert(snap(v));
+        }
+        assert_eq!(store.try_get(child).unwrap(), child_snap);
+        assert_eq!(store.try_get(base).unwrap(), base_snap);
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn delta_entries_spill_and_chain_survives_serialization() {
+        let spool = test_spool("spill-delta");
+        let store = SnapshotStore::new();
+        store.set_spool_dir(&spool);
+        let base_snap = snap(1);
+        let base = store.insert_base(base_snap.clone());
+        let mut child_snap = base_snap.clone();
+        child_snap.regs[3].bits = 0x77;
+        let child = store.insert_delta(base, child_snap.clone());
+        // Make the delta cold, then pressure the budget so it spills.
+        store.set_mem_budget(Some(base_snap.byte_size() + 64));
+        let hot = store.insert(snap(9));
+        assert_eq!(store.get(hot).unwrap(), snap(9));
+        let s = store.stats();
+        assert!(s.spills >= 1, "delta should have spilled: {s:?}");
+        // Paged back in, the delta still applies to its pinned base.
+        assert_eq!(store.try_get(child).unwrap(), child_snap);
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn spill_io_failure_is_soft_never_a_panic() {
+        // Point the spool at a path that cannot be a directory.
+        let blocker = std::env::temp_dir().join(format!(
+            "hardsnap-test-spool-blocker-{}",
+            std::process::id()
+        ));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let store = SnapshotStore::new();
+        store.set_spool_dir(&blocker.join("sub"));
+        store.set_mem_budget(Some(64));
+        let ids: Vec<_> = (0..4).map(|v| store.insert(snap(v))).collect();
+        // Nothing spilled (I/O fails), but the store still works and
+        // the failures are counted, not panicked.
+        for (v, &id) in ids.iter().enumerate() {
+            assert_eq!(store.try_get(id).unwrap(), snap(v as u64));
+        }
+        assert!(store.stats().spill_fails > 0);
+        assert_eq!(store.stats().spills, 0);
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn corrupted_spool_file_is_a_typed_error() {
+        let spool = test_spool("spill-corrupt");
+        let store = SnapshotStore::new();
+        store.set_spool_dir(&spool);
+        store.set_mem_budget(Some(snap(0).byte_size() + 64));
+        let cold = store.insert(snap(1));
+        let _hot = store.insert(snap(2)); // forces `cold` out
+        assert!(store.stats().spills >= 1);
+        // Corrupt the spilled file on disk.
+        let path = spool.join(format!("snap-{cold}.hsnap"));
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x20;
+        std::fs::write(&path, &data).unwrap();
+        match store.try_get(cold) {
+            Err(SnapshotError::Spill { id, .. }) => assert_eq!(id, cold),
+            other => panic!("expected Spill error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn removing_a_spilled_entry_cleans_its_spool_file() {
+        let spool = test_spool("spill-remove");
+        let store = SnapshotStore::new();
+        store.set_spool_dir(&spool);
+        store.set_mem_budget(Some(snap(0).byte_size() + 64));
+        let cold = store.insert(snap(1));
+        let _hot = store.insert(snap(2));
+        let path = spool.join(format!("snap-{cold}.hsnap"));
+        assert!(path.exists(), "cold entry should be on disk");
+        // remove() resolves (paging in) and deletes; the file goes away
+        // on page-in already.
+        assert_eq!(store.remove(cold).unwrap(), snap(1));
+        assert!(!path.exists(), "spool file cleaned up");
+        let _ = std::fs::remove_dir_all(&spool);
     }
 }

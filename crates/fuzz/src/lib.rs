@@ -28,7 +28,7 @@
 //!     seed: 7,
 //!     ..Default::default()
 //! })?;
-//! let report = fuzzer.run();
+//! let report = fuzzer.run()?;
 //! assert!(report.execs == 200);
 //! # Ok(())
 //! # }
@@ -84,6 +84,11 @@ pub struct FuzzConfig {
     pub tape_len: usize,
     /// RNG seed (runs are deterministic).
     pub seed: u64,
+    /// Capture/restore in O(changed state): the target tracks dirty
+    /// state against the baseline and each per-input restore writes
+    /// back only what the input touched (identical results either way;
+    /// only the modeled restore cost drops).
+    pub delta_snapshots: bool,
 }
 
 impl Default for FuzzConfig {
@@ -95,6 +100,7 @@ impl Default for FuzzConfig {
             reboot_cost_ns: 100_000_000,
             tape_len: 4,
             seed: 0xF0CC_5EED,
+            delta_snapshots: false,
         }
     }
 }
@@ -158,6 +164,12 @@ impl Fuzzer {
         config: FuzzConfig,
     ) -> Result<Self, hardsnap_bus::TargetError> {
         target.reset();
+        if config.delta_snapshots {
+            // Enabled before the baseline capture so the target anchors
+            // its dirty tracking on the baseline itself: every restore
+            // afterwards is a diff against exactly what we restore to.
+            target.set_delta_snapshots(true);
+        }
         let baseline_cpu = Cpu::new(program);
         let baseline_hw = target.save_snapshot()?;
         let mut corpus = vec![vec![0u32; config.tape_len]];
@@ -207,25 +219,37 @@ impl Fuzzer {
     }
 
     /// Prepares target + CPU for the next input per the reset strategy.
-    fn reset_for_input(&mut self) -> Cpu {
+    ///
+    /// # Errors
+    ///
+    /// Propagates a failed baseline restore — the device no longer
+    /// accepts the snapshot it produced at startup, so the campaign
+    /// cannot continue on consistent state.
+    fn reset_for_input(&mut self) -> Result<Cpu, hardsnap_bus::TargetError> {
         match self.config.reset {
             ResetStrategy::Snapshot => {
-                self.target
-                    .restore_snapshot(&self.baseline_hw)
-                    .expect("baseline restore");
-                self.baseline_cpu.clone()
+                self.target.restore_snapshot(&self.baseline_hw)?;
+                Ok(self.baseline_cpu.clone())
             }
             ResetStrategy::Reboot => {
                 self.target.reset();
                 self.extra_time_ns += self.config.reboot_cost_ns;
-                Cpu::new(&self.program)
+                Ok(Cpu::new(&self.program))
             }
         }
     }
 
     /// Runs one input; returns new-coverage flag and optional crash.
-    fn run_one(&mut self, tape: &[u32]) -> (bool, Option<CpuFault>) {
-        let mut cpu = self.reset_for_input();
+    ///
+    /// # Errors
+    ///
+    /// Propagates a failed per-input reset (see
+    /// [`Fuzzer::reset_for_input`]).
+    fn run_one(
+        &mut self,
+        tape: &[u32],
+    ) -> Result<(bool, Option<CpuFault>), hardsnap_bus::TargetError> {
+        let mut cpu = self.reset_for_input()?;
         cpu.set_input_tape(tape.to_vec());
         let mut new_cov = false;
         let mut fault = None;
@@ -248,7 +272,7 @@ impl Fuzzer {
             }
             self.target.step(4);
         }
-        (new_cov, fault)
+        Ok((new_cov, fault))
     }
 
     /// Produces the next input: deterministic byte sweep of fresh
@@ -283,14 +307,19 @@ impl Fuzzer {
     }
 
     /// Runs the campaign.
-    pub fn run(&mut self) -> FuzzReport {
+    ///
+    /// # Errors
+    ///
+    /// Propagates a failed per-input reset; everything else an input
+    /// does wrong is a [`Crash`], not an error.
+    pub fn run(&mut self) -> Result<FuzzReport, hardsnap_bus::TargetError> {
         let host_start = std::time::Instant::now();
         let hw_t0 = self.target.virtual_time_ns();
         let mut crashes: Vec<Crash> = Vec::new();
         let mut execs = 0u64;
         while execs < self.config.max_inputs {
             let tape = self.next_input(execs);
-            let (new_cov, fault) = self.run_one(&tape);
+            let (new_cov, fault) = self.run_one(&tape)?;
             execs += 1;
             if new_cov {
                 self.corpus.push(tape.clone());
@@ -306,14 +335,14 @@ impl Fuzzer {
             }
         }
         let hw_ns = self.target.virtual_time_ns() - hw_t0 + self.extra_time_ns;
-        FuzzReport {
+        Ok(FuzzReport {
             execs,
             coverage: self.coverage.len(),
             crashes,
             hw_virtual_time_ns: hw_ns,
             host_time: host_start.elapsed(),
             virtual_execs_per_sec: execs as f64 / (hw_ns as f64 / 1e9).max(1e-9),
-        }
+        })
     }
 
     /// Current corpus size.
@@ -356,7 +385,7 @@ pub fn parallel_campaign(
             };
             handles.push(scope.spawn(move || {
                 let mut f = Fuzzer::new(make_target(), program, cfg)?;
-                let report = f.run();
+                let report = f.run()?;
                 let coverage: HashSet<u32> = f.coverage_set().clone();
                 Ok::<_, hardsnap_bus::TargetError>((report, coverage))
             }));
@@ -418,7 +447,7 @@ mod tests {
     #[test]
     fn snapshot_fuzzing_finds_the_crash() {
         let mut f = fuzzer(ResetStrategy::Snapshot, 8000);
-        let report = f.run();
+        let report = f.run().unwrap();
         assert_eq!(report.execs, 8000);
         assert!(report.coverage > 10);
         let crash = report
@@ -436,9 +465,9 @@ mod tests {
     #[test]
     fn snapshot_reset_beats_reboot_in_virtual_time() {
         let mut snap = fuzzer(ResetStrategy::Snapshot, 150);
-        let r_snap = snap.run();
+        let r_snap = snap.run().unwrap();
         let mut reboot = fuzzer(ResetStrategy::Reboot, 150);
-        let r_reboot = reboot.run();
+        let r_reboot = reboot.run().unwrap();
         assert!(
             r_snap.hw_virtual_time_ns < r_reboot.hw_virtual_time_ns,
             "snapshot {} ns must beat reboot {} ns",
@@ -449,9 +478,43 @@ mod tests {
     }
 
     #[test]
+    fn delta_snapshots_same_results_cheaper_restores() {
+        let mk = |delta: bool| {
+            let soc = hardsnap_periph::soc().unwrap();
+            let target = Box::new(SimTarget::new(soc).unwrap());
+            let prog = hardsnap_isa::assemble(&firmware::uart_parser_firmware()).unwrap();
+            Fuzzer::new(
+                target,
+                &prog,
+                FuzzConfig {
+                    max_inputs: 200,
+                    seed: 42,
+                    tape_len: 2,
+                    delta_snapshots: delta,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let full = mk(false).run().unwrap();
+        let delta = mk(true).run().unwrap();
+        // Identical campaign, cheaper resets: only the modeled restore
+        // cost may differ.
+        assert_eq!(full.execs, delta.execs);
+        assert_eq!(full.coverage, delta.coverage);
+        assert_eq!(full.crashes.len(), delta.crashes.len());
+        assert!(
+            delta.hw_virtual_time_ns < full.hw_virtual_time_ns,
+            "delta restores ({} ns) must undercut full restores ({} ns)",
+            delta.hw_virtual_time_ns,
+            full.hw_virtual_time_ns
+        );
+    }
+
+    #[test]
     fn runs_are_deterministic() {
-        let r1 = fuzzer(ResetStrategy::Snapshot, 300).run();
-        let r2 = fuzzer(ResetStrategy::Snapshot, 300).run();
+        let r1 = fuzzer(ResetStrategy::Snapshot, 300).run().unwrap();
+        let r2 = fuzzer(ResetStrategy::Snapshot, 300).run().unwrap();
         assert_eq!(r1.coverage, r2.coverage);
         assert_eq!(r1.crashes.len(), r2.crashes.len());
     }
@@ -477,11 +540,11 @@ mod tests {
         )
         .unwrap();
         for _ in 0..40 {
-            let (_, fault) = f.run_one(&[0x57, 0xAA]); // 'W' 0xAA
+            let (_, fault) = f.run_one(&[0x57, 0xAA]).unwrap(); // 'W' 0xAA
             assert!(fault.is_none());
         }
         // After a restore, the TX fifo must not be full.
-        let cpu = f.reset_for_input();
+        let cpu = f.reset_for_input().unwrap();
         drop(cpu);
         let st = f
             .target

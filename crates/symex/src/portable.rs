@@ -298,6 +298,490 @@ impl PortableState {
     }
 }
 
+// ---------------------------------------------------------------------
+// Wire format
+//
+// Campaign checkpoints persist frontier states across process exits, so
+// PortableState needs a byte encoding whose discriminants are stable —
+// independent of enum layout — and whose decoder is total (any byte
+// sequence yields Ok or a typed error, never a panic).
+// ---------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.data.len() {
+            return Err(format!("truncated state at offset {}", self.pos));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?
+                .try_into()
+                .map_err(|_| "bad u16".to_string())?,
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?
+                .try_into()
+                .map_err(|_| "bad u32".to_string())?,
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?
+                .try_into()
+                .map_err(|_| "bad u64".to_string())?,
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        if len > 1 << 20 {
+            return Err(format!("implausible string length {len}"));
+        }
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| "non-UTF-8 string".to_string())
+    }
+}
+
+fn unop_code(op: UnOp) -> u8 {
+    match op {
+        UnOp::Not => 0,
+        UnOp::Neg => 1,
+    }
+}
+
+fn unop_from(code: u8) -> Result<UnOp, String> {
+    match code {
+        0 => Ok(UnOp::Not),
+        1 => Ok(UnOp::Neg),
+        c => Err(format!("unknown unary op code {c}")),
+    }
+}
+
+fn binop_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::And => 3,
+        BinOp::Or => 4,
+        BinOp::Xor => 5,
+        BinOp::Shl => 6,
+        BinOp::Lshr => 7,
+        BinOp::Ashr => 8,
+        BinOp::Eq => 9,
+        BinOp::Ult => 10,
+        BinOp::Slt => 11,
+    }
+}
+
+fn binop_from(code: u8) -> Result<BinOp, String> {
+    Ok(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::And,
+        4 => BinOp::Or,
+        5 => BinOp::Xor,
+        6 => BinOp::Shl,
+        7 => BinOp::Lshr,
+        8 => BinOp::Ashr,
+        9 => BinOp::Eq,
+        10 => BinOp::Ult,
+        11 => BinOp::Slt,
+        c => return Err(format!("unknown binary op code {c}")),
+    })
+}
+
+impl PortableState {
+    /// Serializes to a self-contained little-endian byte image with
+    /// stable discriminants (safe to persist across builds).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.mem_base.len() + self.terms.len() * 8);
+        out.extend_from_slice(&self.id.0.to_le_bytes());
+        for r in self.regs {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&self.pc.to_le_bytes());
+        out.extend_from_slice(&self.epc.to_le_bytes());
+        let flags = u8::from(self.irq_enabled)
+            | (u8::from(self.in_isr) << 1)
+            | (u8::from(self.halted) << 2);
+        out.push(flags);
+        out.extend_from_slice(&(self.mem_base.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.mem_base);
+        out.extend_from_slice(&(self.overlay.len() as u32).to_le_bytes());
+        for &(a, t) in &self.overlay {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.constraints.len() as u32).to_le_bytes());
+        for &c in &self.constraints {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.terms.len() as u32).to_le_bytes());
+        for t in &self.terms {
+            match t {
+                PortableTerm::Const { value, width } => {
+                    out.push(0);
+                    out.extend_from_slice(&value.to_le_bytes());
+                    out.extend_from_slice(&width.to_le_bytes());
+                }
+                PortableTerm::Var { name, width } => {
+                    out.push(1);
+                    put_str(&mut out, name);
+                    out.extend_from_slice(&width.to_le_bytes());
+                }
+                PortableTerm::Unary { op, a } => {
+                    out.push(2);
+                    out.push(unop_code(*op));
+                    out.extend_from_slice(&a.to_le_bytes());
+                }
+                PortableTerm::Binary { op, a, b } => {
+                    out.push(3);
+                    out.push(binop_code(*op));
+                    out.extend_from_slice(&a.to_le_bytes());
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+                PortableTerm::Ite { c, t, e } => {
+                    out.push(4);
+                    out.extend_from_slice(&c.to_le_bytes());
+                    out.extend_from_slice(&t.to_le_bytes());
+                    out.extend_from_slice(&e.to_le_bytes());
+                }
+                PortableTerm::Extract { a, hi, lo } => {
+                    out.push(5);
+                    out.extend_from_slice(&a.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                    out.extend_from_slice(&lo.to_le_bytes());
+                }
+                PortableTerm::Concat { hi, lo } => {
+                    out.push(6);
+                    out.extend_from_slice(&hi.to_le_bytes());
+                    out.extend_from_slice(&lo.to_le_bytes());
+                }
+                PortableTerm::ZExt { a, width } => {
+                    out.push(7);
+                    out.extend_from_slice(&a.to_le_bytes());
+                    out.extend_from_slice(&width.to_le_bytes());
+                }
+            }
+        }
+        match self.hw_snapshot {
+            Some(id) => {
+                out.push(1);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&self.instret.to_le_bytes());
+        out.extend_from_slice(&(self.console.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.console);
+        out.extend_from_slice(&self.sym_count.to_le_bytes());
+        match self.last_checkpoint {
+            Some(cp) => {
+                out.push(1);
+                out.extend_from_slice(&cp.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        let regions: Vec<_> = self.map.iter().collect();
+        out.extend_from_slice(&(regions.len() as u32).to_le_bytes());
+        for r in regions {
+            put_str(&mut out, &r.name);
+            out.extend_from_slice(&r.base.to_le_bytes());
+            out.extend_from_slice(&r.size.to_le_bytes());
+            out.push(match r.kind {
+                hardsnap_bus::RegionKind::Ram => 0,
+                hardsnap_bus::RegionKind::Rom => 1,
+                hardsnap_bus::RegionKind::Mmio => 2,
+            });
+        }
+        out.extend_from_slice(&self.fork_nonce.to_le_bytes());
+        out
+    }
+
+    /// Deserializes an image produced by [`PortableState::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural problem found (truncation,
+    /// unknown discriminant, dangling term index, invalid memory map).
+    pub fn from_bytes(data: &[u8]) -> Result<PortableState, String> {
+        let mut r = Reader { data, pos: 0 };
+        let id = StateId(r.u64()?);
+        let mut regs = [0u32; 16];
+        for slot in &mut regs {
+            *slot = r.u32()?;
+        }
+        let pc = r.u32()?;
+        let epc = r.u32()?;
+        let flags = r.u8()?;
+        if flags & !0x7 != 0 {
+            return Err(format!("unknown state flags {flags:#x}"));
+        }
+        let mem_len = r.u32()? as usize;
+        if mem_len > 1 << 28 {
+            return Err(format!("implausible memory size {mem_len}"));
+        }
+        let mem_base = Arc::new(r.take(mem_len)?.to_vec());
+        let n_overlay = r.u32()? as usize;
+        if n_overlay > 1 << 24 {
+            return Err(format!("implausible overlay count {n_overlay}"));
+        }
+        let mut overlay = Vec::with_capacity(n_overlay);
+        for _ in 0..n_overlay {
+            let a = r.u32()?;
+            let t = r.u32()?;
+            overlay.push((a, t));
+        }
+        let n_constraints = r.u32()? as usize;
+        if n_constraints > 1 << 24 {
+            return Err(format!("implausible constraint count {n_constraints}"));
+        }
+        let mut constraints = Vec::with_capacity(n_constraints);
+        for _ in 0..n_constraints {
+            constraints.push(r.u32()?);
+        }
+        let n_terms = r.u32()? as usize;
+        if n_terms > 1 << 26 {
+            return Err(format!("implausible term count {n_terms}"));
+        }
+        let mut terms = Vec::with_capacity(n_terms);
+        for i in 0..n_terms {
+            // A well-formed closure is topologically ordered: children
+            // strictly precede parents.
+            let child = |t: u32| -> Result<u32, String> {
+                if (t as usize) < i {
+                    Ok(t)
+                } else {
+                    Err(format!("term {i} references non-preceding term {t}"))
+                }
+            };
+            let term = match r.u8()? {
+                0 => PortableTerm::Const {
+                    value: r.u64()?,
+                    width: r.u32()?,
+                },
+                1 => PortableTerm::Var {
+                    name: r.string()?,
+                    width: r.u32()?,
+                },
+                2 => PortableTerm::Unary {
+                    op: unop_from(r.u8()?)?,
+                    a: child(r.u32()?)?,
+                },
+                3 => PortableTerm::Binary {
+                    op: binop_from(r.u8()?)?,
+                    a: child(r.u32()?)?,
+                    b: child(r.u32()?)?,
+                },
+                4 => PortableTerm::Ite {
+                    c: child(r.u32()?)?,
+                    t: child(r.u32()?)?,
+                    e: child(r.u32()?)?,
+                },
+                5 => PortableTerm::Extract {
+                    a: child(r.u32()?)?,
+                    hi: r.u32()?,
+                    lo: r.u32()?,
+                },
+                6 => PortableTerm::Concat {
+                    hi: child(r.u32()?)?,
+                    lo: child(r.u32()?)?,
+                },
+                7 => PortableTerm::ZExt {
+                    a: child(r.u32()?)?,
+                    width: r.u32()?,
+                },
+                c => return Err(format!("unknown term tag {c}")),
+            };
+            terms.push(term);
+        }
+        let term_ok = |t: u32| -> Result<u32, String> {
+            if (t as usize) < terms.len() {
+                Ok(t)
+            } else {
+                Err(format!("dangling term index {t}"))
+            }
+        };
+        for slot in &mut regs {
+            *slot = term_ok(*slot)?;
+        }
+        for (_, t) in &overlay {
+            term_ok(*t)?;
+        }
+        for c in &constraints {
+            term_ok(*c)?;
+        }
+        let hw_snapshot = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            c => return Err(format!("bad option tag {c}")),
+        };
+        let instret = r.u64()?;
+        let console_len = r.u32()? as usize;
+        if console_len > 1 << 24 {
+            return Err(format!("implausible console length {console_len}"));
+        }
+        let console = r.take(console_len)?.to_vec();
+        let sym_count = r.u32()?;
+        let last_checkpoint = match r.u8()? {
+            0 => None,
+            1 => Some(r.u16()?),
+            c => return Err(format!("bad option tag {c}")),
+        };
+        let n_regions = r.u32()? as usize;
+        if n_regions > 1 << 16 {
+            return Err(format!("implausible region count {n_regions}"));
+        }
+        let mut map = MemoryMap::new();
+        for _ in 0..n_regions {
+            let name = r.string()?;
+            let base = r.u32()?;
+            let size = r.u32()?;
+            let kind = match r.u8()? {
+                0 => hardsnap_bus::RegionKind::Ram,
+                1 => hardsnap_bus::RegionKind::Rom,
+                2 => hardsnap_bus::RegionKind::Mmio,
+                c => return Err(format!("unknown region kind {c}")),
+            };
+            map.add(hardsnap_bus::Region {
+                name,
+                base,
+                size,
+                kind,
+            })?;
+        }
+        let fork_nonce = r.u64()?;
+        if r.pos != data.len() {
+            return Err(format!("trailing bytes after state (offset {})", r.pos));
+        }
+        Ok(PortableState {
+            id,
+            regs,
+            pc,
+            epc,
+            irq_enabled: flags & 1 != 0,
+            in_isr: flags & 2 != 0,
+            halted: flags & 4 != 0,
+            mem_base,
+            overlay,
+            constraints,
+            terms,
+            hw_snapshot,
+            instret,
+            console,
+            sym_count,
+            last_checkpoint,
+            map,
+            fork_nonce,
+        })
+    }
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use crate::exec::{Concretization, Executor, NoSymMmio, StepOutcome};
+
+    fn sample_state(ex: &mut Executor) -> SymState {
+        let prog = hardsnap_isa::assemble(
+            r#"
+            .org 0x100
+            entry:
+                sym r1, #0
+                movi r2, #42
+                beq r1, r2, hit
+                halt
+            hit:
+                halt
+            "#,
+        )
+        .unwrap();
+        let mut s = ex.initial_state(prog.image.clone(), prog.entry);
+        let mut hw = NoSymMmio;
+        loop {
+            match ex.step(s, &mut hw) {
+                StepOutcome::ContinueWith(n) => s = n,
+                StepOutcome::Fork(mut ss) => break ss.remove(0),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_is_identity_on_reimport() {
+        let mut ex = Executor::new(Concretization::Minimal);
+        let mut s = sample_state(&mut ex);
+        s.hw_snapshot = Some(17);
+        s.console = b"boot\n".to_vec();
+        s.map = MemoryMap::default_soc();
+        let p = PortableState::export(&ex.pool, &s);
+        let bytes = p.to_bytes();
+        let p2 = PortableState::from_bytes(&bytes).unwrap();
+        assert_eq!(p2.id, p.id);
+        assert_eq!(p2.regs, p.regs);
+        assert_eq!(p2.pc, p.pc);
+        assert_eq!(p2.overlay, p.overlay);
+        assert_eq!(p2.constraints, p.constraints);
+        assert_eq!(p2.terms, p.terms);
+        assert_eq!(p2.hw_snapshot, Some(17));
+        assert_eq!(p2.console, b"boot\n");
+        assert_eq!(p2.map, p.map);
+        assert_eq!(*p2.mem_base, *p.mem_base);
+        // Re-serialization is byte-identical (deterministic format).
+        assert_eq!(p2.to_bytes(), bytes);
+        // And the reimported state solves identically.
+        let mut ex2 = Executor::new(Concretization::Minimal);
+        let s2 = p2.import(&mut ex2.pool);
+        let model = ex2.testcase(&s2).expect("feasible");
+        let (_, v) = model.iter().next().unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn wire_decoder_is_total_under_corruption() {
+        let mut ex = Executor::new(Concretization::Minimal);
+        let s = sample_state(&mut ex);
+        let p = PortableState::export(&ex.pool, &s);
+        let bytes = p.to_bytes();
+        // Truncations never panic.
+        for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+            let _ = PortableState::from_bytes(&bytes[..cut]);
+        }
+        // Arbitrary single-byte corruption never panics (it may decode
+        // to a different-but-structurally-valid state, which checksums
+        // at the container layer catch).
+        for i in (0..bytes.len()).step_by(3) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            let _ = PortableState::from_bytes(&bad);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

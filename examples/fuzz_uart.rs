@@ -21,7 +21,7 @@ fn campaign(reset: ResetStrategy) -> Result<hardsnap_fuzz::FuzzReport, Box<dyn s
             ..Default::default()
         },
     )?;
-    Ok(fuzzer.run())
+    Ok(fuzzer.run()?)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
