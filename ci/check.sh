@@ -129,4 +129,81 @@ echo "==> chaos gate: 2-worker smoke under a 10% fault rate"
 cargo run -q --release --offline -p hardsnap-bench --bin exp_fault_recovery -- \
     --smoke --json target/BENCH_fault_recovery.smoke.json
 
+echo "==> serve smoke run (pool contention, admission, over-budget resume, SIGKILL recovery)"
+# exp_serve asserts internally that concurrent jobs sharing a bounded
+# replica pool reproduce the reference digest, that admission control
+# rejects an over-wide job and a full queue with a typed error, that a
+# vtime-budgeted job stops over-budget and resumes to the reference
+# digest, and that SIGKILL-ing the live daemon mid-checkpoint loses
+# nothing after restart.
+cargo run -q --release --offline -p hardsnap-bench --bin exp_serve -- \
+    --smoke --json target/BENCH_serve.smoke.json
+
+echo "==> serve gate: daemon, concurrent verdict exit codes, kill -9 + restart"
+# Drives the real daemon binary over its unix socket with the CLI
+# verbs, checking the full exit-code contract:
+#   0 completed/stable, 2 saturated, 3 flaky, 4 cancelled/over-budget.
+SERVE=target/release/hardsnap-serve
+CLI=target/release/hardsnap-cli
+SDIR=target/serve-ci
+SOCK=$SDIR/serve.sock
+SERVE_LOG=target/serve-ci.log
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+rm -rf "$SDIR"
+"$SERVE" --state-dir "$SDIR" --socket "$SOCK" --pool 2 --queue-max 8 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+
+# Three concurrent jobs on a 2-replica pool: a clean run, an
+# over-budget run, and a flaky run (same parameters the serve crate's
+# unit tests pin down as deterministically stable/flaky).
+ok_id=$("$CLI" submit demo:5 --socket "$SOCK" --name ok | awk '{print $3}')
+ob_id=$("$CLI" submit demo:5 --socket "$SOCK" --name over-budget \
+    --max-vtime-ns 50000 | awk '{print $3}')
+fl_id=$("$CLI" submit demo:3 --socket "$SOCK" --name flaky \
+    --fault-rate 0.6 --repeat 3 | awk '{print $3}')
+rc_ok=0; "$CLI" wait "$ok_id" --socket "$SOCK" > target/serve.ok.txt || rc_ok=$?
+rc_ob=0; "$CLI" wait "$ob_id" --socket "$SOCK" > /dev/null || rc_ob=$?
+rc_fl=0; "$CLI" wait "$fl_id" --socket "$SOCK" > /dev/null || rc_fl=$?
+if [ "$rc_ok" != 0 ] || [ "$rc_ob" != 4 ] || [ "$rc_fl" != 3 ]; then
+    echo "serve exit codes wrong: ok=$rc_ok (want 0) over-budget=$rc_ob (want 4) flaky=$rc_fl (want 3)"
+    exit 1
+fi
+ok_digest=$(awk '{print $(NF-1)}' target/serve.ok.txt)
+
+# Admission control: a job wider than the whole pool is a typed
+# saturation rejection (exit 2), not an error or a hang.
+rc_sat=0; "$CLI" submit demo:3 --socket "$SOCK" --workers 3 > /dev/null 2>&1 || rc_sat=$?
+if [ "$rc_sat" != 2 ]; then
+    echo "saturation returned exit $rc_sat, want 2"
+    exit 1
+fi
+
+# Crash safety: submit a job that checkpoints every 32 instructions,
+# SIGKILL the daemon inside the run, restart on the same state dir,
+# and the recovered job must complete with the clean run's digest.
+kill_id=$("$CLI" submit demo:5 --socket "$SOCK" --name kill-me \
+    --leg-instructions 32 | awk '{print $3}')
+for _ in $(seq 1 2000); do
+    if [ -e "$SDIR/jobs/$kill_id/checkpoint/campaign.hscamp" ] \
+        && [ ! -e "$SDIR/jobs/$kill_id/result.json" ]; then
+        break
+    fi
+    sleep 0.01
+done
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+"$SERVE" --state-dir "$SDIR" --socket "$SOCK" --pool 2 --queue-max 8 >> "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+rc_kill=0; "$CLI" wait "$kill_id" --socket "$SOCK" > target/serve.recovered.txt || rc_kill=$?
+rec_digest=$(awk '{print $(NF-1)}' target/serve.recovered.txt)
+if [ "$rc_kill" != 0 ] || [ "$rec_digest" != "$ok_digest" ] || [ -z "$ok_digest" ]; then
+    echo "recovery failed: exit=$rc_kill digest=$rec_digest want=$ok_digest"
+    exit 1
+fi
+"$CLI" cancel daemon --socket "$SOCK" > /dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "    verdict exit codes + SIGKILL recovery OK, digest $rec_digest"
+
 echo "==> OK"

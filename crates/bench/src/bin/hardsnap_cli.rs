@@ -37,6 +37,21 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The campaign-service verbs carry CI-meaningful exit codes
+    // (0 completed/stable, 1 error, 2 saturated, 3 flaky,
+    // 4 cancelled/over-budget), so they dispatch before the plain
+    // ok/fail commands.
+    if let Some(cmd @ ("serve" | "submit" | "status" | "cancel" | "wait")) =
+        args.first().map(String::as_str)
+    {
+        return match cmd_serve_family(cmd, &args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                serve_error_code(&e)
+            }
+        };
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -113,7 +128,29 @@ USAGE:
   hardsnap-cli snapshot validate [--deep] <file.hsnap>
       Validate an image; --deep re-verifies every payload checksum.
   hardsnap-cli soc-stats
-      Print statistics of the built-in 4-peripheral SoC."
+      Print statistics of the built-in 4-peripheral SoC.
+  hardsnap-cli serve [--state-dir DIR] [--socket PATH] [--pool N] [--queue-max N]
+      Run the campaign daemon: many concurrent jobs over a bounded pool
+      of target replicas, with hard budgets, admission control and
+      crash-safe resume (kill -9 + restart loses nothing).
+  hardsnap-cli submit <firmware> [--socket PATH] [--name S] [--workers N]
+                      [--fault-rate R] [--fault-seed N] [--repeat N]
+                      [--max-instructions N] [--max-vtime-ns N] [--max-quanta N]
+                      [--wall-ms N] [--snapshot-mem-budget BYTES]
+                      [--delta-snapshots on|off] [--leg-instructions N]
+                      [--wait SECS]
+      Submit a job. With --wait SECS, block until the terminal verdict
+      and exit with its code. Exit codes: 0 completed/stable, 1 error,
+      2 saturated (rejected at admission), 3 flaky, 4 cancelled or
+      over-budget. --repeat N re-executes a completed job N times total
+      with re-seeded fault plans and reports stable vs flaky.
+  hardsnap-cli status [JOB-ID] [--socket PATH]
+      Print one job (exits with its verdict code) or the whole table.
+  hardsnap-cli cancel <job-id | daemon> [--socket PATH]
+      Cooperatively cancel a job (it stops at the next quantum boundary
+      with a resumable checkpoint), or shut the daemon down.
+  hardsnap-cli wait <job-id> [--timeout SECS] [--socket PATH]
+      Block until a job is terminal; exit with its verdict code."
     );
 }
 
@@ -561,4 +598,227 @@ fn cmd_soc_stats() -> CliResult {
         let _ = name;
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-service verbs (serve / submit / status / cancel / wait).
+//
+// These return real exit codes so CI can branch on the outcome:
+//   0  completed / stable        3  flaky
+//   1  error                     4  cancelled / over-budget
+//   2  saturated (rejected at admission)
+
+type ServeResult = Result<ExitCode, hardsnap_serve::ServeError>;
+
+fn serve_error_code(e: &hardsnap_serve::ServeError) -> ExitCode {
+    match e {
+        hardsnap_serve::ServeError::Saturated { .. } => ExitCode::from(2),
+        _ => ExitCode::FAILURE,
+    }
+}
+
+fn cmd_serve_family(cmd: &str, args: &[String]) -> ServeResult {
+    let proto = |m: String| hardsnap_serve::ServeError::Protocol(m);
+    let (pos, flags) = parse_flags(args).map_err(|e| proto(format!("{cmd}: {e}")))?;
+    match cmd {
+        "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&pos, &flags),
+        "status" => cmd_status(&pos, &flags),
+        "cancel" => cmd_cancel(&pos, &flags),
+        "wait" => cmd_wait(&pos, &flags),
+        _ => unreachable!("dispatched in main"),
+    }
+}
+
+fn serve_socket(flags: &[(&str, &str)]) -> std::path::PathBuf {
+    std::path::PathBuf::from(flag(flags, "socket").unwrap_or("hardsnap-serve-state/serve.sock"))
+}
+
+fn connect(flags: &[(&str, &str)]) -> Result<hardsnap_serve::Client, hardsnap_serve::ServeError> {
+    hardsnap_serve::Client::connect_retry(&serve_socket(flags), std::time::Duration::from_secs(5))
+}
+
+/// Runs the daemon in-process (same engine as the `hardsnap-serve`
+/// binary): recover, watchdog, unix-socket loop until `shutdown`.
+fn cmd_serve(flags: &[(&str, &str)]) -> ServeResult {
+    use hardsnap_serve::{Daemon, DaemonConfig, ServeError};
+    let bad = |m: String| ServeError::Protocol(m);
+    let mut cfg = DaemonConfig::default();
+    if let Some(d) = flag(flags, "state-dir") {
+        cfg.state_dir = std::path::PathBuf::from(d);
+    }
+    if let Some(n) = flag(flags, "pool") {
+        cfg.pool_replicas = n.parse().map_err(|_| bad(format!("bad --pool '{n}'")))?;
+    }
+    if let Some(n) = flag(flags, "queue-max") {
+        cfg.queue_max = n
+            .parse()
+            .map_err(|_| bad(format!("bad --queue-max '{n}'")))?;
+    }
+    let socket = flag(flags, "socket")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| cfg.state_dir.join("serve.sock"));
+    let daemon = Daemon::new(cfg)?;
+    let resumed = daemon.recover()?;
+    if resumed > 0 {
+        eprintln!("serve: resumed {resumed} unfinished job(s)");
+    }
+    daemon.spawn_watchdog(std::time::Duration::from_millis(50));
+    eprintln!("serve: listening on {}", socket.display());
+    daemon.serve_unix(&socket)?;
+    daemon.wait_idle(std::time::Duration::from_millis(500));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_job_spec(
+    pos: &[&str],
+    flags: &[(&str, &str)],
+) -> Result<hardsnap_serve::JobSpec, hardsnap_serve::ServeError> {
+    let bad = |m: String| hardsnap_serve::ServeError::Protocol(m);
+    let mut spec = hardsnap_serve::JobSpec {
+        firmware: pos
+            .first()
+            .ok_or_else(|| bad("submit: missing <firmware> (e.g. demo:4)".into()))?
+            .to_string(),
+        ..hardsnap_serve::JobSpec::default()
+    };
+    if let Some(n) = flag(flags, "name") {
+        spec.name = n.to_string();
+    }
+    let num = |name: &str, slot: &mut u64| -> Result<(), hardsnap_serve::ServeError> {
+        if let Some(v) = flag(flags, name) {
+            *slot = v.parse().map_err(|_| bad(format!("bad --{name} '{v}'")))?;
+        }
+        Ok(())
+    };
+    num("fault-seed", &mut spec.fault_seed)?;
+    num("max-instructions", &mut spec.max_instructions)?;
+    num("max-vtime-ns", &mut spec.max_vtime_ns)?;
+    num("max-quanta", &mut spec.max_quanta)?;
+    num("wall-ms", &mut spec.wall_ms)?;
+    num("snapshot-mem-budget", &mut spec.snapshot_mem_budget)?;
+    num("leg-instructions", &mut spec.leg_instructions)?;
+    if let Some(v) = flag(flags, "workers") {
+        spec.workers = v.parse().map_err(|_| bad(format!("bad --workers '{v}'")))?;
+    }
+    if let Some(v) = flag(flags, "fault-rate") {
+        spec.fault_rate = v
+            .parse()
+            .map_err(|_| bad(format!("bad --fault-rate '{v}'")))?;
+    }
+    if let Some(v) = flag(flags, "repeat") {
+        spec.repeat = v.parse().map_err(|_| bad(format!("bad --repeat '{v}'")))?;
+    }
+    match flag(flags, "delta-snapshots") {
+        Some("on") => spec.delta_snapshots = true,
+        Some("off") | None => {}
+        Some(other) => {
+            return Err(bad(format!(
+                "bad --delta-snapshots '{other}' (want on|off)"
+            )))
+        }
+    }
+    Ok(spec)
+}
+
+fn print_summary(s: &hardsnap_serve::JobSummary) {
+    let verdict = s
+        .verdict
+        .as_ref()
+        .map(|v| v.as_str().to_string())
+        .unwrap_or_else(|| "-".into());
+    println!(
+        "job {:>4}  {:<8}  {:<11}  instr {:>9}  paths {:>5}  bugs {:>3}  wait {:>5} ms  run {:>6} ms  {}  {}",
+        s.id,
+        s.state.as_str(),
+        verdict,
+        s.instructions,
+        s.paths,
+        s.bugs,
+        s.queue_wait_ms,
+        s.run_ms,
+        s.digest.as_deref().unwrap_or("-"),
+        s.name,
+    );
+}
+
+fn summary_exit(s: &hardsnap_serve::JobSummary) -> ExitCode {
+    match &s.verdict {
+        Some(v) => ExitCode::from(v.exit_code()),
+        None => ExitCode::SUCCESS, // still queued/running: status is informational
+    }
+}
+
+fn cmd_submit(pos: &[&str], flags: &[(&str, &str)]) -> ServeResult {
+    let spec = parse_job_spec(pos, flags)?;
+    let mut client = connect(flags)?;
+    let id = client.submit(&spec)?;
+    println!("submitted job {id}");
+    if let Some(secs) = flag(flags, "wait") {
+        let timeout = std::time::Duration::from_secs(secs.parse().map_err(|_| {
+            hardsnap_serve::ServeError::Protocol(format!("bad --wait '{secs}' (want seconds)"))
+        })?);
+        let s = client.wait(id, timeout)?;
+        print_summary(&s);
+        return Ok(summary_exit(&s));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_status(pos: &[&str], flags: &[(&str, &str)]) -> ServeResult {
+    let bad = |m: String| hardsnap_serve::ServeError::Protocol(m);
+    let id = match pos.first() {
+        Some(s) => Some(s.parse().map_err(|_| bad(format!("bad job id '{s}'")))?),
+        None => None,
+    };
+    let mut client = connect(flags)?;
+    let jobs = client.status(id)?;
+    if let Some(id) = id {
+        if jobs.is_empty() {
+            return Err(hardsnap_serve::ServeError::Job(format!("unknown job {id}")));
+        }
+    }
+    for s in &jobs {
+        print_summary(s);
+    }
+    match (id, jobs.first()) {
+        (Some(_), Some(s)) => Ok(summary_exit(s)),
+        _ => Ok(ExitCode::SUCCESS),
+    }
+}
+
+fn cmd_cancel(pos: &[&str], flags: &[(&str, &str)]) -> ServeResult {
+    let bad = |m: String| hardsnap_serve::ServeError::Protocol(m);
+    let what = pos
+        .first()
+        .ok_or_else(|| bad("cancel: missing <job-id | daemon>".into()))?;
+    let mut client = connect(flags)?;
+    if *what == "daemon" {
+        client.shutdown()?;
+        println!("daemon shutdown requested");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let id: u64 = what.parse().map_err(|_| bad("cancel: bad job id".into()))?;
+    client.cancel(id)?;
+    println!("cancel requested for job {id}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_wait(pos: &[&str], flags: &[(&str, &str)]) -> ServeResult {
+    let bad = |m: String| hardsnap_serve::ServeError::Protocol(m);
+    let id: u64 = pos
+        .first()
+        .ok_or_else(|| bad("wait: missing <job-id>".into()))?
+        .parse()
+        .map_err(|_| bad("wait: bad job id".into()))?;
+    let timeout = match flag(flags, "timeout") {
+        Some(s) => std::time::Duration::from_secs(
+            s.parse().map_err(|_| bad(format!("bad --timeout '{s}'")))?,
+        ),
+        None => std::time::Duration::from_secs(600),
+    };
+    let mut client = connect(flags)?;
+    let s = client.wait(id, timeout)?;
+    print_summary(&s);
+    Ok(summary_exit(&s))
 }

@@ -23,8 +23,22 @@
 //!   (a scan-out cut short). Detectable by comparing
 //!   [`HwSnapshot::shape_hash`] against the target's own
 //!   [`HwTarget::snapshot_shape`].
+//! * **Partial readbacks** — the scan-out stops early but the driver
+//!   still assembles a full-shaped image, padding the missing tail with
+//!   zeros. Shape and width validation both pass; only the checksum
+//!   trailer the scan controller computed over the full chain
+//!   ([`HwTarget::capture_checksum`]) exposes the damage.
 //! * **Restore-link timeouts** — a restore fails before any state is
 //!   written; restores are idempotent, so retrying is always safe.
+//! * **IRQ glitches** — a poll of the interrupt lines observes a
+//!   spurious, dropped or stale (delayed) bitmask. The line settles
+//!   immediately: at least the next two polls are honest, so a reader
+//!   that insists on two consecutive agreeing samples always converges
+//!   on the true value.
+//! * **Clock drift** — each replica's reported virtual time runs a few
+//!   ppm fast (board oscillators never quite agree); the design itself
+//!   steps exactly the requested cycles, so drift is visible only in
+//!   [`HwTarget::virtual_time_ns`].
 //! * **Hangs** — the target wedges: every fallible operation fails with
 //!   [`BusError::NotReady`] until [`HwTarget::reset`] is called.
 
@@ -54,8 +68,13 @@ pub enum FaultKind {
     ScanBitFlip,
     /// A captured image lost trailing registers/memories.
     TruncatedCapture,
+    /// A capture kept its shape but the scan-out stopped early: the
+    /// tail of the chain arrived as zeros.
+    PartialReadback,
     /// A restore failed on the link before writing any state.
     RestoreTimeout,
+    /// An IRQ-line poll observed a glitched bitmask.
+    IrqGlitch,
     /// The target wedged until the next reset.
     Hang,
 }
@@ -68,7 +87,9 @@ impl FaultKind {
             FaultKind::BusTimeout => "inject:bus-timeout",
             FaultKind::ScanBitFlip => "inject:scan-bit-flip",
             FaultKind::TruncatedCapture => "inject:truncated-capture",
+            FaultKind::PartialReadback => "inject:partial-readback",
             FaultKind::RestoreTimeout => "inject:restore-timeout",
+            FaultKind::IrqGlitch => "inject:irq-glitch",
             FaultKind::Hang => "inject:hang",
         }
     }
@@ -80,7 +101,9 @@ impl std::fmt::Display for FaultKind {
             FaultKind::BusTimeout => "bus-timeout",
             FaultKind::ScanBitFlip => "scan-bit-flip",
             FaultKind::TruncatedCapture => "truncated-capture",
+            FaultKind::PartialReadback => "partial-readback",
             FaultKind::RestoreTimeout => "restore-timeout",
+            FaultKind::IrqGlitch => "irq-glitch",
             FaultKind::Hang => "hang",
         };
         f.write_str(s)
@@ -102,8 +125,20 @@ pub struct FaultPlan {
     pub scan_fault_rate: f64,
     /// Probability a capture comes back truncated.
     pub snapshot_fault_rate: f64,
+    /// Probability a capture keeps its shape but the scan-out stops
+    /// early, leaving the tail of the chain zeroed.
+    pub readback_fault_rate: f64,
     /// Probability a restore times out on the link.
     pub restore_fault_rate: f64,
+    /// Probability an IRQ-line poll observes a glitched bitmask
+    /// (spurious, dropped or stale). Glitches never burst: the two
+    /// polls after an injection are always honest.
+    pub irq_fault_rate: f64,
+    /// Oscillator-tolerance of the modeled board in parts per million.
+    /// Each target (and each fork) derives its own effective drift in
+    /// `[0, 2 * drift_ppm]` from its seed and reports virtual time
+    /// faster by that factor; design state is never affected.
+    pub drift_ppm: u32,
     /// Probability any fallible operation wedges the whole target
     /// (cleared only by reset). Checked before the per-class rates.
     pub hang_rate: f64,
@@ -121,7 +156,10 @@ impl FaultPlan {
             bus_fault_rate: 0.0,
             scan_fault_rate: 0.0,
             snapshot_fault_rate: 0.0,
+            readback_fault_rate: 0.0,
             restore_fault_rate: 0.0,
+            irq_fault_rate: 0.0,
+            drift_ppm: 0,
             hang_rate: 0.0,
             max_burst: 0,
         }
@@ -136,7 +174,10 @@ impl FaultPlan {
             bus_fault_rate: rate,
             scan_fault_rate: rate,
             snapshot_fault_rate: rate,
+            readback_fault_rate: rate,
             restore_fault_rate: rate,
+            irq_fault_rate: rate,
+            drift_ppm: (rate * 10_000.0) as u32,
             hang_rate: rate / 20.0,
             max_burst: 2,
         }
@@ -147,7 +188,10 @@ impl FaultPlan {
         self.bus_fault_rate > 0.0
             || self.scan_fault_rate > 0.0
             || self.snapshot_fault_rate > 0.0
+            || self.readback_fault_rate > 0.0
             || self.restore_fault_rate > 0.0
+            || self.irq_fault_rate > 0.0
+            || self.drift_ppm > 0
             || self.hang_rate > 0.0
     }
 }
@@ -168,8 +212,12 @@ pub struct FaultStats {
     pub scan_flips: u64,
     /// Injected truncated captures.
     pub truncations: u64,
+    /// Injected zero-padded partial readbacks.
+    pub partial_readbacks: u64,
     /// Injected restore-link timeouts.
     pub restore_timeouts: u64,
+    /// Injected IRQ-line glitches.
+    pub irq_glitches: u64,
     /// Injected hangs (each wedges the target until reset).
     pub hangs: u64,
 }
@@ -177,7 +225,13 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total injected faults across all classes.
     pub fn injected(&self) -> u64 {
-        self.bus_timeouts + self.scan_flips + self.truncations + self.restore_timeouts + self.hangs
+        self.bus_timeouts
+            + self.scan_flips
+            + self.truncations
+            + self.partial_readbacks
+            + self.restore_timeouts
+            + self.irq_glitches
+            + self.hangs
     }
 
     /// Component-wise sum (for aggregating across replicas).
@@ -185,7 +239,9 @@ impl FaultStats {
         self.bus_timeouts += other.bus_timeouts;
         self.scan_flips += other.scan_flips;
         self.truncations += other.truncations;
+        self.partial_readbacks += other.partial_readbacks;
         self.restore_timeouts += other.restore_timeouts;
+        self.irq_glitches += other.irq_glitches;
         self.hangs += other.hangs;
     }
 }
@@ -217,6 +273,13 @@ pub struct FaultyTarget<T: HwTarget> {
     rng: Rng,
     hung: bool,
     pending_burst: u32,
+    /// Honest IRQ polls still owed after a glitch (see `irq_lines`).
+    irq_refractory: u32,
+    /// Last honestly observed IRQ bitmask (what a delayed sample shows).
+    last_irq: u32,
+    /// Effective oscillator drift of *this* replica in ppm, drawn once
+    /// from the seed in `[0, 2 * plan.drift_ppm]`.
+    drift_ppm_eff: u64,
     extra_ns: u64,
     stats: FaultStats,
     schedule: Vec<FaultKind>,
@@ -228,6 +291,12 @@ impl<T: HwTarget> FaultyTarget<T> {
     /// Wraps `inner` with the fault schedule described by `plan`.
     pub fn new(inner: T, plan: FaultPlan) -> FaultyTarget<T> {
         let label = format!("{}+faults", inner.name());
+        let drift_ppm_eff = if plan.drift_ppm > 0 {
+            let mut s = plan.seed ^ 0x9e37_79b9_7f4a_7c15;
+            splitmix64(&mut s) % (2 * u64::from(plan.drift_ppm) + 1)
+        } else {
+            0
+        };
         FaultyTarget {
             rng: Rng::seed_from_u64(plan.seed),
             inner,
@@ -235,6 +304,9 @@ impl<T: HwTarget> FaultyTarget<T> {
             plan,
             hung: false,
             pending_burst: 0,
+            irq_refractory: 0,
+            last_irq: 0,
+            drift_ppm_eff,
             extra_ns: 0,
             stats: FaultStats::default(),
             schedule: Vec::new(),
@@ -332,6 +404,29 @@ fn flip_scan_bit(snap: &mut HwSnapshot, rng: &mut Rng) {
     }
 }
 
+/// Damages a captured image the way a scan-out that *stops early* does
+/// when the driver still assembles a full-shaped image: every cell
+/// after a random prefix point arrives as zeros. Unlike
+/// [`truncate_capture`], shape and width validation both pass — only
+/// the checksum trailer the scan controller computed over the full
+/// chain ([`HwTarget::capture_checksum`]) can expose the damage.
+fn zero_tail_readback(snap: &mut HwSnapshot, rng: &mut Rng) {
+    let sections = snap.regs.len() + snap.mems.len();
+    if sections == 0 {
+        return;
+    }
+    let keep = rng.gen_range(0..sections);
+    let nregs = snap.regs.len();
+    for r in snap.regs.iter_mut().skip(keep) {
+        r.bits = 0;
+    }
+    for m in snap.mems.iter_mut().skip(keep.saturating_sub(nregs)) {
+        for w in &mut m.words {
+            *w = 0;
+        }
+    }
+}
+
 /// Damages a captured image the way a scan-out cut short does: trailing
 /// registers (or the last memory) disappear. An empty image gets its
 /// design label damaged instead — still a shape mismatch.
@@ -365,6 +460,8 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
         // function of (seed, operation sequence).
         self.hung = false;
         self.pending_burst = 0;
+        self.irq_refractory = 0;
+        self.last_irq = 0;
         self.inner.reset();
     }
 
@@ -405,7 +502,33 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
     }
 
     fn irq_lines(&mut self) -> u32 {
-        self.inner.irq_lines()
+        // IRQ polls stay honest while the link is wedged (the lines are
+        // wired to the design, not to the scan/bus transport) and for
+        // the two polls after a glitch — the refractory window is what
+        // guarantees a two-consecutive-agreeing-samples reader always
+        // converges on the honest bitmask.
+        let honest = self.inner.irq_lines();
+        if self.hung || self.plan.irq_fault_rate <= 0.0 {
+            self.last_irq = honest;
+            return honest;
+        }
+        if self.irq_refractory > 0 {
+            self.irq_refractory -= 1;
+            self.last_irq = honest;
+            return honest;
+        }
+        if self.rng.gen_bool(self.plan.irq_fault_rate) {
+            self.record(FaultKind::IrqGlitch, |s| s.irq_glitches += 1);
+            self.irq_refractory = 2;
+            let stale = self.last_irq;
+            return match self.rng.gen_range(0..3u32) {
+                0 => honest | (1 << self.rng.gen_range(0..8u32)), // spurious
+                1 => 0,                                           // dropped
+                _ => stale,                                       // delayed
+            };
+        }
+        self.last_irq = honest;
+        honest
     }
 
     fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
@@ -423,6 +546,11 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
             Drawn::Fault => true,
             Drawn::Clean => false,
         };
+        let readback = match self.draw(self.plan.readback_fault_rate) {
+            Drawn::Hung => return Err(TargetError::Bus(BusError::NotReady)),
+            Drawn::Fault => true,
+            Drawn::Clean => false,
+        };
         let mut snap = self.inner.save_snapshot()?;
         if flip {
             self.record(FaultKind::ScanBitFlip, |s| s.scan_flips += 1);
@@ -431,6 +559,10 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
         if truncate {
             self.record(FaultKind::TruncatedCapture, |s| s.truncations += 1);
             truncate_capture(&mut snap, &mut self.rng);
+        }
+        if readback {
+            self.record(FaultKind::PartialReadback, |s| s.partial_readbacks += 1);
+            zero_tail_readback(&mut snap, &mut self.rng);
         }
         Ok(snap)
     }
@@ -450,7 +582,12 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
     }
 
     fn virtual_time_ns(&self) -> u64 {
-        self.inner.virtual_time_ns() + self.extra_ns
+        // A drifting oscillator reports time fast by a fixed per-replica
+        // factor. Applied to the inner clock only (never to `step`), so
+        // design state and the analysis digest are unaffected.
+        let base = self.inner.virtual_time_ns();
+        let drift = (u128::from(base) * u128::from(self.drift_ppm_eff) / 1_000_000) as u64;
+        base + drift + self.extra_ns
     }
 
     fn fork_clean(&self) -> Result<Box<dyn HwTarget>, TargetError> {
@@ -468,6 +605,14 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
 
     fn snapshot_shape(&self) -> u64 {
         self.inner.snapshot_shape()
+    }
+
+    fn capture_checksum(&self) -> u64 {
+        // The checksum trailer is computed by the target-side controller
+        // over the full honest chain and arrives intact even when the
+        // data payload does not — that asymmetry is exactly what makes
+        // partial readbacks detectable.
+        self.inner.capture_checksum()
     }
 
     fn fault_stats(&self) -> Option<FaultStats> {
@@ -501,6 +646,11 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
             Drawn::Fault => true,
             Drawn::Clean => false,
         };
+        let readback = match self.draw(self.plan.readback_fault_rate) {
+            Drawn::Hung => return Err(TargetError::Bus(BusError::NotReady)),
+            Drawn::Fault => true,
+            Drawn::Clean => false,
+        };
         let mut cap = self.inner.save_snapshot_delta()?;
         if flip {
             self.record(FaultKind::ScanBitFlip, |s| s.scan_flips += 1);
@@ -509,6 +659,17 @@ impl<T: HwTarget> HwTarget for FaultyTarget<T> {
         if truncate {
             self.record(FaultKind::TruncatedCapture, |s| s.truncations += 1);
             truncate_any_capture(&mut cap, &mut self.rng);
+        }
+        // A partial readback only exists on the full-chain scan path; a
+        // delta travels the differential protocol, whose cut-short
+        // transfers are the `TruncatedCapture` class above. The draw is
+        // still consumed so the schedule stays a pure function of the
+        // operation sequence.
+        if readback {
+            if let crate::SnapshotCapture::Full(s) = &mut cap {
+                self.record(FaultKind::PartialReadback, |st| st.partial_readbacks += 1);
+                zero_tail_readback(std::sync::Arc::make_mut(s), &mut self.rng);
+            }
         }
         Ok(cap)
     }
@@ -655,6 +816,11 @@ mod tests {
         }
         fn snapshot_shape(&self) -> u64 {
             self.image().shape_hash()
+        }
+        fn capture_checksum(&self) -> u64 {
+            // Capture damage never touches the design, so the live
+            // image *is* what the controller checksummed.
+            self.image().content_hash()
         }
     }
 
@@ -817,6 +983,94 @@ mod tests {
         assert_eq!(p1, q1);
         // Forks report their injected faults through the trait.
         assert!(f1.fault_stats().is_some());
+    }
+
+    #[test]
+    fn irq_glitches_settle_and_a_voting_reader_converges() {
+        let plan = FaultPlan {
+            irq_fault_rate: 1.0,
+            ..FaultPlan::off()
+        };
+        let mut t = FaultyTarget::new(Honest::new(), plan);
+        // Even at rate 1.0 the refractory window forces the pattern
+        // glitch, honest, honest, glitch, ... so a reader that demands
+        // two consecutive agreeing samples always lands on the honest
+        // bitmask (0 for this fixture) within four polls.
+        for _ in 0..50 {
+            let mut prev = t.irq_lines();
+            let mut polls = 1;
+            loop {
+                let next = t.irq_lines();
+                polls += 1;
+                if next == prev {
+                    break;
+                }
+                prev = next;
+                assert!(polls <= 4, "voting reader failed to converge");
+            }
+            assert_eq!(prev, 0, "voting must land on the honest bitmask");
+        }
+        assert!(t.stats().irq_glitches > 0);
+
+        // Same seed, same glitch schedule.
+        let mut a = FaultyTarget::new(Honest::new(), plan);
+        let mut b = FaultyTarget::new(Honest::new(), plan);
+        let sa: Vec<u32> = (0..100).map(|_| a.irq_lines()).collect();
+        let sb: Vec<u32> = (0..100).map(|_| b.irq_lines()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn partial_readback_keeps_shape_but_breaks_the_checksum() {
+        let plan = FaultPlan {
+            readback_fault_rate: 1.0,
+            ..FaultPlan::off()
+        };
+        let mut t = FaultyTarget::new(Honest::new(), plan);
+        // Make the tail of the chain nonzero so zeroing it is visible.
+        t.bus_write(0, 0x00ab_cdef).unwrap();
+        let shape = t.snapshot_shape();
+        let snap = t.save_snapshot().unwrap();
+        // The damaged image is structurally perfect...
+        assert!(snap.validate().is_ok());
+        assert_eq!(snap.shape_hash(), shape);
+        // ...but disagrees with the checksum trailer the controller
+        // computed over the full chain.
+        assert_ne!(snap.content_hash(), t.capture_checksum());
+        assert_eq!(t.stats().partial_readbacks, 1);
+        // The design is untouched: an honest re-capture matches the
+        // trailer again (recovery is a plain retry).
+        assert_eq!(t.inner().image().content_hash(), t.capture_checksum());
+    }
+
+    #[test]
+    fn clock_drift_skews_reported_time_only() {
+        let plan = FaultPlan {
+            seed: 11,
+            drift_ppm: 10_000,
+            ..FaultPlan::off()
+        };
+        let mut t = FaultyTarget::new(Honest::new(), plan);
+        t.step(1_000_000);
+        let honest_ns = 1_000_000u64 * 1000;
+        let v = t.virtual_time_ns();
+        assert!(v >= honest_ns, "drift only runs fast");
+        assert!(v <= honest_ns + honest_ns / 50, "bounded by 2 * ppm");
+        // The design itself stepped exactly the requested cycles.
+        assert_eq!(t.cycle(), 1_000_000);
+        // Same seed, same drift; sibling forks drift differently.
+        let mut t2 = FaultyTarget::new(Honest::new(), plan);
+        t2.step(1_000_000);
+        assert_eq!(t2.virtual_time_ns(), v);
+        let mut f1 = t.fork_clean().unwrap();
+        let mut f2 = t.fork_clean().unwrap();
+        f1.step(1_000_000);
+        f2.step(1_000_000);
+        assert_ne!(
+            f1.virtual_time_ns(),
+            f2.virtual_time_ns(),
+            "replicas drift apart"
+        );
     }
 
     #[test]

@@ -158,6 +158,19 @@ pub trait HwTarget: Send {
         0
     }
 
+    /// Content checksum ([`HwSnapshot::content_hash`]) that the
+    /// target-side scan/readback controller computed over the *full*
+    /// chain during the most recent capture — the checksum trailer of
+    /// the readback stream, which arrives intact even when the data
+    /// payload does not. A supervision layer compares the image it
+    /// received against this value to detect partial readbacks: a
+    /// prefix of the chain padded with zeros has the right shape and
+    /// validates, but carries the wrong checksum. `0` (the default)
+    /// means the target has no trailer and the check is skipped.
+    fn capture_checksum(&self) -> u64 {
+        0
+    }
+
     /// Injected-fault counters when this target (or a target it wraps)
     /// is a fault injector like [`crate::FaultyTarget`]; `None` for an
     /// honest transport. Lets the engines report injected counts
@@ -302,6 +315,9 @@ impl<T: HwTarget + ?Sized> HwTarget for Box<T> {
     }
     fn snapshot_shape(&self) -> u64 {
         (**self).snapshot_shape()
+    }
+    fn capture_checksum(&self) -> u64 {
+        (**self).capture_checksum()
     }
     fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
         (**self).fault_stats()

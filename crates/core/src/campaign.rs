@@ -34,7 +34,13 @@ use std::path::{Path, PathBuf};
 pub const MANIFEST: &str = "campaign.hscamp";
 
 /// Manifest magic: 8 bytes, version-suffixed like the snapshot TLV.
-const MAGIC: &[u8; 8] = b"HSCAMP1\0";
+/// Version 2 added the consumed virtual-time and quantum budgets; older
+/// manifests are refused with a version error rather than misread.
+const MAGIC: &[u8; 8] = b"HSCAMP2\0";
+
+/// The previous manifest version, recognized only to produce a clear
+/// "too old" error instead of a generic bad-magic one.
+const MAGIC_V1: &[u8; 8] = b"HSCAMP1\0";
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -62,6 +68,16 @@ pub enum CampaignError {
     Corrupt(String),
     /// A frontier snapshot image failed to load or verify.
     Persist(PersistError),
+    /// A named snapshot file in the campaign directory is truncated or
+    /// corrupt — the typed face of "the manifest points at a snapshot
+    /// that did not survive the crash". `--resume` surfaces this with
+    /// the offending file name; it must never panic.
+    Snapshot {
+        /// The offending snapshot file (relative to the campaign dir).
+        file: String,
+        /// What was wrong with it.
+        error: PersistError,
+    },
     /// An engine-side failure while draining or restoring state.
     Target(TargetError),
 }
@@ -74,6 +90,9 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::Corrupt(m) => write!(f, "corrupt campaign manifest: {m}"),
             CampaignError::Persist(e) => write!(f, "campaign snapshot image: {e}"),
+            CampaignError::Snapshot { file, error } => {
+                write!(f, "campaign snapshot '{file}': {error}")
+            }
             CampaignError::Target(e) => write!(f, "campaign target operation: {e}"),
         }
     }
@@ -83,6 +102,7 @@ impl Error for CampaignError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CampaignError::Persist(e) => Some(e),
+            CampaignError::Snapshot { error, .. } => Some(error),
             CampaignError::Target(e) => Some(e),
             _ => None,
         }
@@ -118,6 +138,13 @@ pub struct Checkpoint {
     pub instructions: u64,
     /// Paths completed by the saved run.
     pub paths_completed: u64,
+    /// Hardware virtual time consumed by the saved run (ns), carried
+    /// forward so a resumed run keeps honouring the original
+    /// `max_vtime_ns` budget.
+    pub vtime_ns: u64,
+    /// Scheduling quanta consumed by the saved run (`max_quanta`
+    /// budget).
+    pub quanta: u64,
     /// Covered PCs, sorted ascending.
     pub covered: Vec<u32>,
     /// Bug reports, in the saved run's merge order.
@@ -213,6 +240,8 @@ fn encode_manifest(cp: &Checkpoint, snap_files: &HashMap<SnapId, String>) -> Vec
     };
     w.u64(cp.instructions);
     w.u64(cp.paths_completed);
+    w.u64(cp.vtime_ns);
+    w.u64(cp.quanta);
     w.u32(cp.covered.len() as u32);
     for &pc in &cp.covered {
         w.u32(pc);
@@ -264,6 +293,13 @@ fn decode_manifest(data: &[u8]) -> Result<(Checkpoint, Vec<Option<String>>), Cam
         )));
     }
     if &data[..MAGIC.len()] != MAGIC {
+        if &data[..MAGIC_V1.len()] == MAGIC_V1 {
+            return Err(CampaignError::Corrupt(
+                "manifest version HSCAMP1 is too old (budget fields missing); \
+                 re-save the campaign with this version"
+                    .into(),
+            ));
+        }
         return Err(CampaignError::Corrupt("bad magic".into()));
     }
     let (body, tail) = data.split_at(data.len() - 8);
@@ -280,6 +316,8 @@ fn decode_manifest(data: &[u8]) -> Result<(Checkpoint, Vec<Option<String>>), Cam
     };
     let instructions = r.u64()?;
     let paths_completed = r.u64()?;
+    let vtime_ns = r.u64()?;
+    let quanta = r.u64()?;
     let n = r.u32()? as usize;
     let mut covered = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -350,6 +388,8 @@ fn decode_manifest(data: &[u8]) -> Result<(Checkpoint, Vec<Option<String>>), Cam
         Checkpoint {
             instructions,
             paths_completed,
+            vtime_ns,
+            quanta,
             covered,
             bugs,
             completed,
@@ -362,6 +402,33 @@ fn decode_manifest(data: &[u8]) -> Result<(Checkpoint, Vec<Option<String>>), Cam
 // ---------------------------------------------------------------------
 // Save
 // ---------------------------------------------------------------------
+
+/// Writes `bytes` to `path` crash-atomically: the content goes to a
+/// `.tmp` sibling first, is fsynced, renamed over `path`, and the
+/// directory entry is fsynced last. A crash at any instant leaves
+/// either the old file or the complete new one — never a truncated
+/// hybrid — so a manifest can never point at a half-written snapshot
+/// from the *same* save (snapshots are committed before the manifest
+/// rename, which is the checkpoint's single commit point).
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CampaignError> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; failure to fsync a directory is
+        // not worth failing the save over (the data is already safe on
+        // any crash that doesn't also lose the rename).
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
 
 /// Writes `cp` (frontier snapshot ids referring to `store`) into `dir`,
 /// creating it if needed. Snapshots stored as deltas are persisted as
@@ -386,7 +453,7 @@ pub fn save_campaign(
     }
     let manifest = encode_manifest(cp, &snap_files);
     let path = dir.join(MANIFEST);
-    std::fs::write(&path, manifest).map_err(|e| io_err(&path, e))?;
+    write_atomic(&path, &manifest)?;
     Ok(())
 }
 
@@ -425,7 +492,7 @@ fn write_snapshot_file(
         }
     };
     let path = dir.join(&name);
-    std::fs::write(&path, image).map_err(|e| io_err(&path, e))?;
+    write_atomic(&path, &image)?;
     files.insert(sid, name.clone());
     Ok(name)
 }
@@ -458,6 +525,17 @@ pub fn load_campaign(dir: &Path, store: &SnapshotStore) -> Result<Checkpoint, Ca
     Ok(cp)
 }
 
+/// Reads one snapshot image, converting every persistence failure
+/// (truncation, checksum mismatch, bad TLV) into
+/// [`CampaignError::Snapshot`] so the caller's error names the exact
+/// file that did not survive.
+fn read_snapshot_image(path: &Path, name: &str) -> Result<PersistedImage, CampaignError> {
+    PersistedImage::read(path).map_err(|error| CampaignError::Snapshot {
+        file: name.to_string(),
+        error,
+    })
+}
+
 fn load_base(
     dir: &Path,
     store: &SnapshotStore,
@@ -468,7 +546,7 @@ fn load_base(
         return Ok((*sid, snap.clone()));
     }
     let path = dir.join(name);
-    match PersistedImage::read(&path)? {
+    match read_snapshot_image(&path, name)? {
         PersistedImage::Full(snap) => {
             let sid = store.insert_base(snap.clone());
             bases.insert(name.to_string(), (sid, snap.clone()));
@@ -487,7 +565,7 @@ fn load_snapshot_file(
     bases: &mut HashMap<String, (SnapId, HwSnapshot)>,
 ) -> Result<SnapId, CampaignError> {
     let path = dir.join(name);
-    match PersistedImage::read(&path)? {
+    match read_snapshot_image(&path, name)? {
         PersistedImage::Full(snap) => Ok(store.insert(snap)),
         PersistedImage::Delta {
             base_ref,
@@ -543,6 +621,8 @@ pub fn checkpoint_sequential(
     Ok(Checkpoint {
         instructions: result.instructions,
         paths_completed: result.metrics.paths_completed,
+        vtime_ns: result.hw_virtual_time_ns,
+        quanta: result.metrics.quanta,
         covered,
         bugs: result.bugs.clone(),
         completed,
@@ -564,6 +644,8 @@ pub fn checkpoint_parallel(engine: &mut ParallelEngine, result: &RunResult) -> C
     Checkpoint {
         instructions: result.instructions,
         paths_completed: result.metrics.paths_completed,
+        vtime_ns: result.hw_virtual_time_ns,
+        quanta: result.metrics.quanta,
         covered,
         bugs: result.bugs.clone(),
         completed,
@@ -613,6 +695,8 @@ pub fn resume_sequential(dir: &Path, engine: &mut Engine) -> Result<(), Campaign
     engine.seed_prior(
         cp.instructions,
         cp.paths_completed,
+        cp.vtime_ns,
+        cp.quanta,
         cp.covered,
         cp.bugs,
         cp.completed,
@@ -632,6 +716,8 @@ pub fn resume_parallel(dir: &Path, engine: &mut ParallelEngine) -> Result<(), Ca
     engine.seed_prior(
         cp.instructions,
         cp.paths_completed,
+        cp.vtime_ns,
+        cp.quanta,
         cp.covered,
         cp.bugs,
         cp.completed,
@@ -730,6 +816,73 @@ mod tests {
         let resumed = engine.run();
         assert_eq!(resumed.metrics.paths_completed, 8);
         assert_eq!(resumed.canonical_digest(), want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_snapshot_file_is_a_typed_error_naming_it() {
+        // A crash between the snapshot writes and the manifest rename
+        // cannot happen (the manifest commits last), but a snapshot
+        // truncated *after* the save — torn disk, partial copy — must
+        // surface on resume as a typed error naming the file, never a
+        // panic.
+        let prog = hardsnap_isa::assemble(&firmware::branching_firmware(3)).unwrap();
+        let config = EngineConfig {
+            mode: ConsistencyMode::HardSnap,
+            max_instructions: 40,
+            ..EngineConfig::default()
+        };
+        let dir = tmp("truncsnap");
+        let mut engine = soc_engine(config);
+        engine.load_firmware(&prog);
+        let partial = engine.run();
+        snapshot_sequential(&dir, &mut engine, &partial).unwrap();
+        let snap_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|e| e == "hsnap"))
+            .expect("an interrupted run must checkpoint at least one snapshot");
+        let full = std::fs::read(&snap_path).unwrap();
+        std::fs::write(&snap_path, &full[..full.len() / 2]).unwrap();
+
+        let store = SnapshotStore::new();
+        let err = match load_campaign(&dir, &store) {
+            Ok(_) => panic!("truncated snapshot must fail the load"),
+            Err(e) => e,
+        };
+        let name = snap_path.file_name().unwrap().to_str().unwrap();
+        match &err {
+            CampaignError::Snapshot { file, .. } => assert_eq!(file, name),
+            other => panic!("expected CampaignError::Snapshot, got {other:?}"),
+        }
+        assert!(
+            err.to_string().contains(name),
+            "error must name the bad file: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_save() {
+        let prog = hardsnap_isa::assemble(&firmware::branching_firmware(2)).unwrap();
+        let config = EngineConfig {
+            mode: ConsistencyMode::HardSnap,
+            max_instructions: 30,
+            ..EngineConfig::default()
+        };
+        let dir = tmp("notmp");
+        let mut engine = soc_engine(config);
+        engine.load_firmware(&prog);
+        let partial = engine.run();
+        snapshot_sequential(&dir, &mut engine, &partial).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            assert!(
+                p.extension().map(|e| e != "tmp").unwrap_or(true),
+                "stray temp file after save: {}",
+                p.display()
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

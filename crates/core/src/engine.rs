@@ -47,6 +47,89 @@ pub enum ConsistencyMode {
     NaiveInconsistent,
 }
 
+/// Cooperative cancellation handle shared between an engine run and an
+/// outside controller (the serve daemon's watchdog, a signal handler, a
+/// test harness). Cancelling is a *request*, honoured at the next
+/// quantum boundary: the engine stops exactly as it does for a budget —
+/// frontier intact, partial [`RunResult`] valid, campaign checkpoint
+/// resumable — rather than being killed mid-quantum.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+/// Why a run stopped. Carried on [`RunResult`] but deliberately
+/// excluded from [`RunResult::canonical_digest`]: *where* a run was cut
+/// is schedule, not semantics — a budget-exhausted run resumed to
+/// completion must digest identically to an uninterrupted one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Frontier drained: every path ran to completion.
+    Complete,
+    /// Instruction budget (`max_instructions`) exhausted.
+    Instructions,
+    /// Path budget (`max_paths`) exhausted.
+    Paths,
+    /// Virtual-time budget (`max_vtime_ns`) exhausted.
+    VirtualTime,
+    /// Quantum budget (`max_quanta`) exhausted.
+    Quanta,
+    /// Wall-clock deadline (`wall_deadline`) passed.
+    WallClock,
+    /// Cancelled via [`CancelToken`].
+    Cancelled,
+}
+
+impl StopReason {
+    /// Stable wire name (serve protocol, JSON reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::Complete => "complete",
+            StopReason::Instructions => "instructions",
+            StopReason::Paths => "paths",
+            StopReason::VirtualTime => "vtime",
+            StopReason::Quanta => "quanta",
+            StopReason::WallClock => "wall-clock",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire name back (serve protocol round-trips).
+    pub fn parse(s: &str) -> Option<StopReason> {
+        Some(match s {
+            "complete" => StopReason::Complete,
+            "instructions" => StopReason::Instructions,
+            "paths" => StopReason::Paths,
+            "vtime" => StopReason::VirtualTime,
+            "quanta" => StopReason::Quanta,
+            "wall-clock" => StopReason::WallClock,
+            "cancelled" => StopReason::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// State-selection heuristic (`SelectNextState`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Searcher {
@@ -97,6 +180,21 @@ pub struct EngineConfig {
     /// without changing its semantic result. Surfaced as `analyze
     /// --snapshot-mem-budget BYTES`.
     pub snapshot_mem_budget: Option<usize>,
+    /// Stop after this much hardware virtual time has been consumed
+    /// (ns), including modeled reboot penalties and supervised-retry
+    /// backoff. `u64::MAX` = unbudgeted.
+    pub max_vtime_ns: u64,
+    /// Stop after this many scheduling quanta. `u64::MAX` = unbudgeted.
+    pub max_quanta: u64,
+    /// Hard wall-clock deadline: the run stops at the first quantum
+    /// boundary past this instant. `None` = no deadline. Checked, like
+    /// all budgets, *between* quanta, so the partial result and any
+    /// campaign checkpoint taken afterwards are always valid.
+    pub wall_deadline: Option<std::time::Instant>,
+    /// Cooperative cancellation: an outside controller (serve watchdog,
+    /// signal handler) flips the token and the run stops at the next
+    /// quantum boundary with [`StopReason::Cancelled`].
+    pub cancel: CancelToken,
     /// Retry/backoff/quarantine policy for fallible target operations
     /// (see [`crate::supervise`]).
     pub retry: RetryPolicy,
@@ -120,6 +218,10 @@ impl Default for EngineConfig {
             reboot_cost_ns: 100_000_000,
             delta_snapshots: false,
             snapshot_mem_budget: None,
+            max_vtime_ns: u64::MAX,
+            max_quanta: u64::MAX,
+            wall_deadline: None,
+            cancel: CancelToken::new(),
             retry: RetryPolicy::default(),
             telemetry: TelemetryConfig::default(),
         }
@@ -166,6 +268,10 @@ pub struct EngineMetrics {
     pub states_dropped: u64,
     /// Interrupts delivered.
     pub irqs_delivered: u64,
+    /// Scheduling quanta executed (budget unit for `max_quanta`; a
+    /// resumed campaign carries its consumed quanta forward so the
+    /// combined run respects the original budget).
+    pub quanta: u64,
 }
 
 /// Result of a finished analysis run.
@@ -201,6 +307,10 @@ pub struct RunResult {
     /// [`RunResult::canonical_digest`]: observation must never change
     /// the semantic result.
     pub telemetry: Option<MetricsSnapshot>,
+    /// Why the run stopped. Excluded from
+    /// [`RunResult::canonical_digest`] — where a run was cut is
+    /// schedule, not semantics.
+    pub stop: StopReason,
 }
 
 impl RunResult {
@@ -268,6 +378,41 @@ impl RunResult {
     }
 }
 
+/// First exceeded budget in the canonical priority order
+/// (cancel → wall-clock → instructions → paths → virtual time →
+/// quanta), or `None` while every budget still has headroom. Shared by
+/// the sequential and parallel engines so "which budget tripped" is
+/// reported identically regardless of worker count.
+pub(crate) fn budget_stop(
+    config: &EngineConfig,
+    executed: u64,
+    paths: u64,
+    vtime_ns: u64,
+    quanta: u64,
+) -> Option<StopReason> {
+    if config.cancel.is_cancelled() {
+        return Some(StopReason::Cancelled);
+    }
+    if let Some(deadline) = config.wall_deadline {
+        if std::time::Instant::now() >= deadline {
+            return Some(StopReason::WallClock);
+        }
+    }
+    if executed >= config.max_instructions {
+        return Some(StopReason::Instructions);
+    }
+    if paths >= config.max_paths as u64 {
+        return Some(StopReason::Paths);
+    }
+    if vtime_ns >= config.max_vtime_ns {
+        return Some(StopReason::VirtualTime);
+    }
+    if quanta >= config.max_quanta {
+        return Some(StopReason::Quanta);
+    }
+    None
+}
+
 /// A hardware property checked against every snapshot the controller
 /// takes (the paper's "assertions ... relevant for the detection of
 /// peripherals misuse", applied at snapshot granularity).
@@ -326,6 +471,7 @@ pub struct Engine {
     carry_bugs: Vec<BugReport>,
     carry_completed: Vec<SymState>,
     carry_instructions: u64,
+    carry_vtime_ns: u64,
     /// Telemetry sink (track 0, "engine"); shared with the supervisor
     /// and attached to the target. Disabled = a single `None` branch.
     recorder: Recorder,
@@ -424,6 +570,7 @@ impl Engine {
             carry_bugs: Vec::new(),
             carry_completed: Vec::new(),
             carry_instructions: 0,
+            carry_vtime_ns: 0,
             recorder,
         }
     }
@@ -871,19 +1018,30 @@ impl Engine {
             .map(|s| s.console.clone())
             .unwrap_or_default();
         let mut executed: u64 = std::mem::take(&mut self.carry_instructions);
+        let carry_vtime = std::mem::take(&mut self.carry_vtime_ns);
 
-        loop {
+        let stop = loop {
             // Budgets are checked before popping, so a state selected at
             // the budget boundary stays in the frontier instead of
             // being silently dropped (a saved campaign must account for
-            // every live state).
-            if executed >= self.config.max_instructions
-                || self.metrics.paths_completed >= self.config.max_paths as u64
-            {
-                break;
+            // every live state). Cancellation and the wall deadline win
+            // over "also out of budget" ties (they are the serve
+            // daemon's watchdog hooks).
+            let consumed_vtime = (self.target.virtual_time_ns() - hw_t0)
+                + self.extra_time_ns
+                + self.supervisor.extra_vtime_ns
+                + carry_vtime;
+            if let Some(why) = budget_stop(
+                &self.config,
+                executed,
+                self.metrics.paths_completed,
+                consumed_vtime,
+                self.metrics.quanta,
+            ) {
+                break why;
             }
             let Some(mut state) = self.select_next_state() else {
-                break;
+                break StopReason::Complete;
             };
             // Lines 5-9: hardware context switch when the schedule moves
             // to a different state.
@@ -904,6 +1062,7 @@ impl Engine {
             // batching keeps context switches bounded).
             let mut remaining = self.config.quantum.max(1);
             let quantum_budget = remaining;
+            self.metrics.quanta += 1;
             self.recorder.count(Counter::Quanta);
             let mut qspan = self.recorder.span("engine", "quantum");
             let window_age = self.hw_age.get(&state.id).copied().unwrap_or(0);
@@ -912,8 +1071,12 @@ impl Engine {
             // the window's cycles are attributed to the selected state.
             let window_owner = state.id;
             'quantum: loop {
-                // Line 11: ServePendingInterrupt.
-                let lines = self.target.irq_lines();
+                // Line 11: ServePendingInterrupt. Supervised: a glitched
+                // IRQ read (EMI on the interrupt net) is re-sampled
+                // until two consecutive reads agree, so spurious /
+                // dropped / delayed lines never change which interrupt
+                // the executor actually delivers.
+                let lines = self.supervisor.irq_lines(self.target.as_mut());
                 if lines != 0 && self.executor.enter_irq(&mut state, lines).is_some() {
                     self.metrics.irqs_delivered += 1;
                     self.recorder.count(Counter::IrqsDelivered);
@@ -1014,7 +1177,7 @@ impl Engine {
             let elapsed = self.target.cycle() - window_cycle;
             let entry = self.hw_age.entry(window_owner).or_insert(window_age);
             *entry = window_age + elapsed;
-        }
+        };
 
         // The store's always-on counters are folded into the telemetry
         // snapshot only here, in the export side-channel.
@@ -1036,7 +1199,8 @@ impl Engine {
             metrics: self.metrics,
             hw_virtual_time_ns: self.target.virtual_time_ns() - hw_t0
                 + self.extra_time_ns
-                + self.supervisor.extra_vtime_ns,
+                + self.supervisor.extra_vtime_ns
+                + carry_vtime,
             covered_pcs: self.covered_pcs.len(),
             host_time: host_start.elapsed(),
             instructions: executed,
@@ -1049,6 +1213,7 @@ impl Engine {
             },
             fault_log: std::mem::take(&mut self.fault_log),
             telemetry,
+            stop,
         }
     }
 
@@ -1127,11 +1292,15 @@ impl Engine {
         &mut self,
         instructions: u64,
         paths_completed: u64,
+        vtime_ns: u64,
+        quanta: u64,
         covered: impl IntoIterator<Item = u32>,
         bugs: Vec<BugReport>,
         completed: Vec<PortableState>,
     ) {
         self.carry_instructions = instructions;
+        self.carry_vtime_ns = vtime_ns;
+        self.metrics.quanta += quanta;
         self.metrics.paths_completed += paths_completed;
         self.covered_pcs.extend(covered);
         self.carry_bugs = bugs;

@@ -55,7 +55,8 @@ pub use campaign::{
     snapshot_sequential, CampaignError, Checkpoint,
 };
 pub use engine::{
-    ConsistencyMode, Engine, EngineConfig, EngineMetrics, HwAssertion, IoOp, RunResult, Searcher,
+    CancelToken, ConsistencyMode, Engine, EngineConfig, EngineMetrics, HwAssertion, IoOp,
+    RunResult, Searcher, StopReason,
 };
 pub use parallel::ParallelEngine;
 pub use snapshots::{PersistEntry, SnapId, SnapshotStore, StoreStats};

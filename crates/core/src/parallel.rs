@@ -30,7 +30,9 @@
 //! states are cut off depends on timing, so determinism is guaranteed
 //! for runs that finish inside their budgets.
 
-use crate::engine::{trace_io, ConsistencyMode, EngineConfig, EngineMetrics, RunResult};
+use crate::engine::{
+    budget_stop, trace_io, ConsistencyMode, EngineConfig, EngineMetrics, RunResult, StopReason,
+};
 use crate::snapshots::{SnapId, SnapshotStore};
 use crate::supervise::{FaultSummary, Supervisor};
 use hardsnap_bus::{BusError, HwSnapshot, HwTarget, SnapshotCapture, SnapshotDelta, TargetError};
@@ -55,6 +57,13 @@ use std::sync::Condvar;
 struct WorkItem {
     state: PortableState,
     snap: Option<SnapId>,
+    /// Failed attempts carried across quarantine re-queues, so a state
+    /// whose quantum keeps dying counts toward `max_item_attempts` no
+    /// matter how many fresh replicas pick it up. Without this, an item
+    /// poisoned by a persistent fault (e.g. an unreadable snapshot)
+    /// cycles re-queue → fail → quarantine → re-queue forever once no
+    /// budget is left to trip.
+    strikes: u32,
 }
 
 /// Queue state guarded by one mutex: the deque, the number of items
@@ -65,6 +74,10 @@ struct QueueState {
     inflight: usize,
     stopped: bool,
     dropped: u64,
+    /// Why the stop flag was raised (first budget to trip, in the
+    /// canonical priority order); `None` while running or when the
+    /// queue drained normally.
+    why: Option<StopReason>,
 }
 
 /// Everything the workers share.
@@ -74,6 +87,13 @@ struct Shared {
     store: SnapshotStore,
     executed: AtomicU64,
     paths: AtomicU64,
+    /// Hardware virtual time consumed across all workers (per-attempt
+    /// deltas, including supervised-retry backoff), for the
+    /// `max_vtime_ns` budget.
+    vtime: AtomicU64,
+    /// Scheduling quanta started across all workers, for the
+    /// `max_quanta` budget.
+    quanta: AtomicU64,
     /// Spare target taken by the first worker whose replica cannot
     /// rebuild itself (`fork_clean` unsupported) after a quarantine —
     /// typically a simulator standing in for a failed FPGA board.
@@ -187,6 +207,8 @@ pub struct ParallelEngine {
     carry_completed: Vec<PortableState>,
     carry_instructions: u64,
     carry_paths: u64,
+    carry_vtime_ns: u64,
+    carry_quanta: u64,
     /// Merged metrics of the last run.
     pub metrics: EngineMetrics,
     /// Hardware virtual time accumulated by each worker's replica
@@ -236,6 +258,8 @@ impl ParallelEngine {
             carry_completed: Vec::new(),
             carry_instructions: 0,
             carry_paths: 0,
+            carry_vtime_ns: 0,
+            carry_quanta: 0,
             metrics: EngineMetrics::default(),
             worker_vtimes_ns: Vec::new(),
         })
@@ -266,6 +290,7 @@ impl ParallelEngine {
         self.roots.push(WorkItem {
             state: PortableState::export(&self.executor.pool, &s),
             snap: None,
+            strikes: 0,
         });
     }
 
@@ -279,8 +304,15 @@ impl ParallelEngine {
         // the frontier survives untouched for the next checkpoint.
         let carry_instructions = std::mem::take(&mut self.carry_instructions);
         let carry_paths = std::mem::take(&mut self.carry_paths);
-        let exhausted = carry_instructions >= self.config.max_instructions
-            || carry_paths >= self.config.max_paths as u64;
+        let carry_vtime = std::mem::take(&mut self.carry_vtime_ns);
+        let carry_quanta = std::mem::take(&mut self.carry_quanta);
+        let exhausted = budget_stop(
+            &self.config,
+            carry_instructions,
+            carry_paths,
+            carry_vtime,
+            carry_quanta,
+        );
         let shared = Shared {
             q: Mutex::new(QueueState {
                 items: self
@@ -289,13 +321,16 @@ impl ParallelEngine {
                     .chain(self.roots.drain(..))
                     .collect(),
                 inflight: 0,
-                stopped: exhausted,
+                stopped: exhausted.is_some(),
                 dropped: 0,
+                why: exhausted,
             }),
             cv: Condvar::new(),
             store: self.store.clone(),
             executed: AtomicU64::new(carry_instructions),
             paths: AtomicU64::new(carry_paths),
+            vtime: AtomicU64::new(carry_vtime),
+            quanta: AtomicU64::new(carry_quanta),
             failover: Mutex::new(self.failover.take()),
         };
         let config = self.config.clone();
@@ -378,8 +413,17 @@ impl ParallelEngine {
             t.add_counter("store_page_ins", st.page_ins);
             t.add_counter("store_resident_bytes_hwm", self.store.peak_bytes() as u64);
         }
-        metrics.states_dropped += shared.q.lock().dropped;
+        let stop = {
+            let g = shared.q.lock();
+            metrics.states_dropped += g.dropped;
+            if g.stopped {
+                g.why.unwrap_or(StopReason::Instructions)
+            } else {
+                StopReason::Complete
+            }
+        };
         metrics.paths_completed += carry_paths;
+        metrics.quanta += carry_quanta;
         self.metrics = metrics;
 
         RunResult {
@@ -390,13 +434,14 @@ impl ParallelEngine {
             bugs,
             completed,
             metrics,
-            hw_virtual_time_ns: vtime,
+            hw_virtual_time_ns: vtime + carry_vtime,
             host_time: host_start.elapsed(),
             instructions: shared.executed.load(Ordering::Relaxed),
             covered_pcs: self.covered.len(),
             faults,
             fault_log,
             telemetry,
+            stop,
         }
     }
 
@@ -429,7 +474,11 @@ impl ParallelEngine {
     /// store by the campaign loader).
     pub fn resume_frontier(&mut self, frontier: Vec<(PortableState, Option<SnapId>)>) {
         for (state, snap) in frontier {
-            self.roots.push(WorkItem { state, snap });
+            self.roots.push(WorkItem {
+                state,
+                snap,
+                strikes: 0,
+            });
         }
     }
 
@@ -443,12 +492,16 @@ impl ParallelEngine {
         &mut self,
         instructions: u64,
         paths_completed: u64,
+        vtime_ns: u64,
+        quanta: u64,
         covered: impl IntoIterator<Item = u32>,
         bugs: Vec<BugReport>,
         completed: Vec<PortableState>,
     ) {
         self.carry_instructions = instructions;
         self.carry_paths = paths_completed;
+        self.carry_vtime_ns = vtime_ns;
+        self.carry_quanta = quanta;
         self.covered.extend(covered);
         self.carry_bugs = bugs;
         self.carry_completed = completed;
@@ -479,6 +532,7 @@ fn merge_metrics(into: &mut EngineMetrics, m: EngineMetrics) {
     into.paths_completed += m.paths_completed;
     into.states_dropped += m.states_dropped;
     into.irqs_delivered += m.irqs_delivered;
+    into.quanta += m.quanta;
 }
 
 /// A capture resolved into its store-ready form: either a native delta
@@ -570,11 +624,32 @@ fn install_stored(
     })
 }
 
+/// Raises the stop flag (recording why) when a budget has tripped.
+/// Called at every quantum boundary — item hand-out and item retire —
+/// so cancellation and deadlines are honoured within one quantum per
+/// worker without any mid-quantum interruption.
+fn check_budgets(shared: &Shared, g: &mut QueueState, config: &EngineConfig) {
+    if g.stopped {
+        return;
+    }
+    if let Some(why) = budget_stop(
+        config,
+        shared.executed.load(Ordering::Relaxed),
+        shared.paths.load(Ordering::Relaxed),
+        shared.vtime.load(Ordering::Relaxed),
+        shared.quanta.load(Ordering::Relaxed),
+    ) {
+        g.stopped = true;
+        g.why = Some(why);
+    }
+}
+
 /// Blocks until a work item is available; returns `None` on
 /// termination (queue drained with nothing in flight, or stop flag).
-fn next_item(shared: &Shared) -> Option<WorkItem> {
+fn next_item(shared: &Shared, config: &EngineConfig) -> Option<WorkItem> {
     let mut g = shared.q.lock();
     loop {
+        check_budgets(shared, &mut g, config);
         if g.stopped {
             shared.cv.notify_all();
             return None;
@@ -610,11 +685,7 @@ fn finish_item(shared: &Shared, successors: Vec<WorkItem>, config: &EngineConfig
         }
         g.items.push_back(s);
     }
-    if shared.executed.load(Ordering::Relaxed) >= config.max_instructions
-        || shared.paths.load(Ordering::Relaxed) >= config.max_paths as u64
-    {
-        g.stopped = true;
-    }
+    check_budgets(shared, &mut g, config);
     drop(g);
     shared.cv.notify_all();
 }
@@ -661,11 +732,19 @@ fn run_worker(
     // representation, never snapshot content, so worker-local anchors
     // do not perturb determinism.
     let mut anchor: Option<(SnapId, Arc<HwSnapshot>)> = None;
-    'items: while let Some(item) = next_item(shared) {
-        let mut attempts: u32 = 0;
+    'items: while let Some(mut item) = next_item(shared, config) {
+        // Resume the strike count a quarantine re-queue carried over:
+        // `max_item_attempts` bounds an item's *total* failures, not
+        // failures per pickup.
+        let mut attempts: u32 = item.strikes;
         loop {
             attempts += 1;
             let mut scratch = Attempt::default();
+            // Per-attempt virtual-time delta, charged to the shared
+            // `max_vtime_ns` budget. Aborted attempts still consumed
+            // real device time, so their cost stays charged (unlike
+            // their instructions, which the replay re-counts).
+            let vt0 = replica.virtual_time_ns() + sup.extra_vtime_ns;
             let outcome = run_quantum(
                 shared,
                 &mut ex,
@@ -678,6 +757,10 @@ fn run_worker(
                 &mut sup,
                 &rec,
             );
+            let vt1 = replica.virtual_time_ns() + sup.extra_vtime_ns;
+            shared
+                .vtime
+                .fetch_add(vt1.saturating_sub(vt0), Ordering::Relaxed);
             match outcome {
                 Ok(successors) => {
                     rec.observe(Metric::QuantumInstructions, scratch.executed);
@@ -746,6 +829,7 @@ fn run_worker(
                             }
                         }
                         health_faults = 0;
+                        item.strikes = attempts;
                         finish_item(shared, vec![item], config);
                         continue 'items;
                     }
@@ -791,6 +875,8 @@ fn run_quantum(
     let mut state = item.state.import(&mut ex.pool);
     let _qspan = rec.span("engine", "quantum");
     rec.count(Counter::Quanta);
+    out.metrics.quanta += 1;
+    shared.quanta.fetch_add(1, Ordering::Relaxed);
     // RestoreState: the item's private snapshot, or power-on hardware
     // for a root state.
     out.metrics.context_switches += 1;
@@ -836,14 +922,18 @@ fn run_quantum(
         Ok(WorkItem {
             state: PortableState::export(&ex.pool, s),
             snap: Some(sid),
+            strikes: 0,
         })
     };
 
     let mut remaining = config.quantum.max(1);
     loop {
         // ServePendingInterrupt: replica-local, so delivery depends
-        // only on the restored hardware state.
-        let lines = target.irq_lines();
+        // only on the restored hardware state. Supervised: a glitched
+        // IRQ read is re-sampled until two consecutive reads agree, so
+        // EMI on the interrupt net never changes which interrupt is
+        // delivered (digest identity under `--fault-rate`).
+        let lines = sup.irq_lines(&mut *target);
         if lines != 0 && ex.enter_irq(&mut state, lines).is_some() {
             out.metrics.irqs_delivered += 1;
             rec.count(Counter::IrqsDelivered);
@@ -898,6 +988,7 @@ fn run_quantum(
                     items.push(WorkItem {
                         state: PortableState::export(&ex.pool, &s),
                         snap: Some(sid),
+                        strikes: 0,
                     });
                 }
                 return Ok(items);

@@ -170,6 +170,16 @@ impl Entry {
     }
 }
 
+/// Resident payload handed back by [`SnapshotStore::page_in`]. Callers
+/// consume this copy directly instead of re-reading the shard map:
+/// under a tight memory budget a concurrent `reserve` can spill the
+/// entry again the instant it lands, and a read-back retry loop then
+/// livelocks with two threads ping-ponging each other's page-ins.
+enum Paged {
+    Full(HwSnapshot),
+    Delta { base: SnapId, delta: SnapshotDelta },
+}
+
 #[derive(Debug)]
 struct Stored {
     entry: Entry,
@@ -480,8 +490,16 @@ impl SnapshotStore {
             };
             let sz = s.entry.byte_size();
             if s.generation != generation || s.refs != 0 || s.hidden || sz == 0 {
+                // A concurrent spill of the same id may have won the
+                // race: both wrote the same spool path, so that path is
+                // now the entry's *live* backing file. Deleting it here
+                // would strand the entry pointing at nothing — every
+                // future page-in would fail forever.
+                let live = s.entry.spill_path() == Some(&path);
                 drop(g);
-                let _ = std::fs::remove_file(&path);
+                if !live {
+                    let _ = std::fs::remove_file(&path);
+                }
                 return false;
             }
             s.entry = match payload {
@@ -503,13 +521,16 @@ impl SnapshotStore {
     }
 
     /// Pages a spilled entry back into RAM, verifying the spool file's
-    /// checksums along the way.
+    /// checksums along the way, and returns the resident payload. The
+    /// returned copy stays valid even if budget pressure immediately
+    /// spills the entry again — callers must use it rather than
+    /// re-reading the map (see [`Paged`]).
     ///
     /// # Errors
     ///
     /// [`SnapshotError::Spill`] on I/O or integrity failure (the entry
     /// stays spilled), [`SnapshotError::Missing`] if it raced removal.
-    fn page_in(&self, id: SnapId) -> Result<(), SnapshotError> {
+    fn page_in(&self, id: SnapId) -> Result<Paged, SnapshotError> {
         let (path, ram_bytes) = {
             let shard = self.inner.shards.shard_for(id);
             let g = shard.read();
@@ -521,7 +542,13 @@ impl SnapshotStore {
                         path, ram_bytes, ..
                     } => (path.clone(), *ram_bytes),
                     // Raced: another thread already paged it in.
-                    _ => return Ok(()),
+                    Entry::Full(snap) => return Ok(Paged::Full(snap.clone())),
+                    Entry::Delta { base, delta } => {
+                        return Ok(Paged::Delta {
+                            base: *base,
+                            delta: delta.clone(),
+                        })
+                    }
                 },
             }
         };
@@ -546,8 +573,31 @@ impl SnapshotStore {
             Ok(e) => e,
             Err(e) => {
                 self.inner.bytes.sub(ram_bytes);
-                return Err(e);
+                // A concurrent page-in may have swapped the entry
+                // resident and unlinked the spool file between our
+                // path read and the file read — that is a win, not an
+                // error: hand back the resident payload.
+                let shard = self.inner.shards.shard_for(id);
+                let g = shard.read();
+                match g.entries.get(&id).map(|s| &s.entry) {
+                    Some(Entry::Full(snap)) => return Ok(Paged::Full(snap.clone())),
+                    Some(Entry::Delta { base, delta }) => {
+                        return Ok(Paged::Delta {
+                            base: *base,
+                            delta: delta.clone(),
+                        })
+                    }
+                    _ => return Err(e),
+                }
             }
+        };
+        let paged = match &entry {
+            Entry::Full(snap) => Paged::Full(snap.clone()),
+            Entry::Delta { base, delta } => Paged::Delta {
+                base: *base,
+                delta: delta.clone(),
+            },
+            _ => unreachable!("spool files only persist full or delta images"),
         };
         let actual = entry.byte_size();
         let swapped = {
@@ -567,9 +617,10 @@ impl SnapshotStore {
         };
         if !swapped {
             // Raced a concurrent page-in or removal: undo the
-            // reservation, keep whatever state won the race.
+            // reservation, keep whatever state won the race. The copy
+            // we loaded is still the entry's content, so hand it back.
             self.inner.bytes.sub(ram_bytes);
-            return Ok(());
+            return Ok(paged);
         }
         if actual > ram_bytes {
             self.inner.bytes.add(actual - ram_bytes);
@@ -578,7 +629,7 @@ impl SnapshotStore {
         }
         let _ = std::fs::remove_file(&path);
         self.inner.counters.page_ins.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(paged)
     }
 
     fn install(&self, id: SnapId, entry: Entry, hidden: bool) {
@@ -626,8 +677,16 @@ impl SnapshotStore {
                         }
                         Entry::SpilledFull { .. } | Entry::SpilledDelta { .. } => {
                             drop(g);
-                            self.page_in(cur)?;
-                            // Re-examine `cur` now that it is resident.
+                            // Use the paged-in payload directly: budget
+                            // pressure may spill `cur` again before a
+                            // re-read, and retrying would livelock.
+                            match self.page_in(cur)? {
+                                Paged::Full(s) => break s,
+                                Paged::Delta { base, delta } => {
+                                    chain.push((cur, delta));
+                                    cur = base;
+                                }
+                            }
                         }
                     }
                 }
@@ -985,29 +1044,32 @@ impl SnapshotStore {
     /// [`SnapshotError::Missing`] for an unknown id,
     /// [`SnapshotError::Spill`] if a spilled entry cannot be paged in.
     pub fn export_entry(&self, id: SnapId) -> Result<PersistEntry, SnapshotError> {
-        loop {
-            {
-                let shard = self.inner.shards.shard_for(id);
-                let g = shard.read();
-                match g.entries.get(&id) {
-                    None => return Err(SnapshotError::Missing(id)),
-                    Some(stored) => {
-                        stored.touch.store(self.tick(), Ordering::Relaxed);
-                        match &stored.entry {
-                            Entry::Full(s) => return Ok(PersistEntry::Full(s.clone())),
-                            Entry::Delta { base, delta } => {
-                                return Ok(PersistEntry::Delta {
-                                    base: *base,
-                                    delta: delta.clone(),
-                                })
-                            }
-                            Entry::SpilledFull { .. } | Entry::SpilledDelta { .. } => {}
+        {
+            let shard = self.inner.shards.shard_for(id);
+            let g = shard.read();
+            match g.entries.get(&id) {
+                None => return Err(SnapshotError::Missing(id)),
+                Some(stored) => {
+                    stored.touch.store(self.tick(), Ordering::Relaxed);
+                    match &stored.entry {
+                        Entry::Full(s) => return Ok(PersistEntry::Full(s.clone())),
+                        Entry::Delta { base, delta } => {
+                            return Ok(PersistEntry::Delta {
+                                base: *base,
+                                delta: delta.clone(),
+                            })
                         }
+                        Entry::SpilledFull { .. } | Entry::SpilledDelta { .. } => {}
                     }
                 }
             }
-            // Spilled: bring it back and re-examine.
-            self.page_in(id)?;
+        }
+        // Spilled: page it back in and export the returned payload
+        // directly — a map re-read could livelock under a tight budget
+        // if a concurrent reserve spills the entry straight back out.
+        match self.page_in(id)? {
+            Paged::Full(s) => Ok(PersistEntry::Full(s)),
+            Paged::Delta { base, delta } => Ok(PersistEntry::Delta { base, delta }),
         }
     }
 

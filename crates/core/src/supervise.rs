@@ -259,6 +259,18 @@ impl Supervisor {
                         "captured image does not match the design's snapshot shape".into(),
                     ));
                 }
+                // A partial readback keeps the shape (the driver pads
+                // the missing tail with zeros) — only the checksum
+                // trailer the scan controller computed over the full
+                // chain exposes it.
+                let trailer = target.capture_checksum();
+                if trailer != 0 && snap.content_hash() != trailer {
+                    return Err(TargetError::CorruptSnapshot(
+                        "captured image does not match the scan controller's checksum trailer \
+                         (partial readback)"
+                            .into(),
+                    ));
+                }
                 Ok(snap)
             },
             |e| match e {
@@ -297,6 +309,20 @@ impl Supervisor {
                     return Err(TargetError::CorruptSnapshot(
                         "captured image does not match the design's snapshot shape".into(),
                     ));
+                }
+                // Full captures travel the full-chain scan path and so
+                // carry the controller's checksum trailer; a delta
+                // travels the differential protocol and is covered by
+                // its own O(delta) validation above.
+                if let SnapshotCapture::Full(img) = &cap {
+                    let trailer = target.capture_checksum();
+                    if trailer != 0 && img.content_hash() != trailer {
+                        return Err(TargetError::CorruptSnapshot(
+                            "captured image does not match the scan controller's checksum \
+                             trailer (partial readback)"
+                                .into(),
+                        ));
+                    }
                 }
                 Ok(cap)
             },
@@ -339,6 +365,50 @@ impl Supervisor {
                 _ => FaultClass::Restore,
             },
         )
+    }
+
+    /// Supervised IRQ-line poll: samples the lines until two
+    /// consecutive samples agree, which converges on the honest bitmask
+    /// through glitched reads (a glitched sample is always followed by
+    /// at least two honest ones — see
+    /// `hardsnap_bus::FaultPlan::irq_fault_rate`, and an honest line is
+    /// stable within one poll). Extra samples count as retries and
+    /// charge backoff virtual time. If the line somehow never settles
+    /// within the retry budget the last sample wins: IRQ polls are
+    /// level-triggered and re-observed every quantum, so a rare wrong
+    /// sample delays delivery by one quantum rather than corrupting
+    /// state.
+    pub fn irq_lines(&mut self, target: &mut dyn HwTarget) -> u32 {
+        let first = target.irq_lines();
+        let mut prev = target.irq_lines();
+        if first == prev {
+            return prev;
+        }
+        let mut span = self
+            .recorder
+            .span("fault", FaultClass::IrqGlitch.span_name());
+        let mut charged = 0u64;
+        for attempt in 1..=self.policy.max_attempts {
+            let next = target.irq_lines();
+            let pause = self.backoff_ns(attempt);
+            charged += pause;
+            self.extra_vtime_ns += pause;
+            self.retried += 1;
+            self.recorder.count(Counter::Retries);
+            self.recorder.observe(Metric::BackoffNs, pause);
+            if next == prev {
+                self.recovered += 1;
+                self.recorder.count(Counter::Recovered);
+                span.set_arg(u64::from(attempt));
+                let class = FaultClass::IrqGlitch;
+                self.recorder
+                    .observe(class.retries_metric(), u64::from(attempt));
+                self.recorder.observe(class.latency_metric(), charged);
+                return next;
+            }
+            prev = next;
+        }
+        prev
     }
 }
 

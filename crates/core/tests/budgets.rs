@@ -1,0 +1,251 @@
+//! Budget property: a run cut by *any* budget axis at *any* point,
+//! checkpointed, and resumed in a fresh engine must produce a canonical
+//! digest bit-identical to one uninterrupted run — across worker counts
+//! and even when the resumed engine runs under a smaller snapshot RAM
+//! budget. Budgets decide *where* a run pauses, never *what* it
+//! computes.
+
+use hardsnap::firmware;
+use hardsnap::{
+    resume_parallel, resume_sequential, snapshot_parallel, snapshot_sequential, CancelToken,
+    ConsistencyMode, Engine, EngineConfig, ParallelEngine, RunResult, Searcher, StopReason,
+};
+use hardsnap_sim::SimTarget;
+use std::path::PathBuf;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        mode: ConsistencyMode::HardSnap,
+        searcher: Searcher::RoundRobin,
+        quantum: 4,
+        ..Default::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hardsnap-budgets-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_fresh(asm: &str, config: &EngineConfig, workers: usize) -> RunResult {
+    let soc = hardsnap_periph::soc().unwrap();
+    let prog = hardsnap_isa::assemble(asm).unwrap();
+    if workers > 1 {
+        let target = SimTarget::new(soc).unwrap();
+        let mut engine = ParallelEngine::new(&target, workers, config.clone()).unwrap();
+        engine.load_firmware(&prog);
+        engine.run()
+    } else {
+        let mut engine = Engine::new(Box::new(SimTarget::new(soc).unwrap()), config.clone());
+        engine.load_firmware(&prog);
+        engine.run()
+    }
+}
+
+/// Runs under `first` until it stops, checkpoints into `dir`, then
+/// resumes in a fresh engine under `second` and returns both halves.
+fn cut_and_resume(
+    asm: &str,
+    first: &EngineConfig,
+    second: &EngineConfig,
+    workers: usize,
+    dir: &PathBuf,
+) -> (RunResult, RunResult) {
+    let prog = hardsnap_isa::assemble(asm).unwrap();
+    if workers > 1 {
+        let soc = hardsnap_periph::soc().unwrap();
+        let target = SimTarget::new(soc).unwrap();
+        let mut engine = ParallelEngine::new(&target, workers, first.clone()).unwrap();
+        engine.load_firmware(&prog);
+        let r1 = engine.run();
+        snapshot_parallel(dir, &mut engine, &r1).unwrap();
+        let soc = hardsnap_periph::soc().unwrap();
+        let target = SimTarget::new(soc).unwrap();
+        let mut engine = ParallelEngine::new(&target, workers, second.clone()).unwrap();
+        resume_parallel(dir, &mut engine).unwrap();
+        (r1, engine.run())
+    } else {
+        let soc = hardsnap_periph::soc().unwrap();
+        let mut engine = Engine::new(Box::new(SimTarget::new(soc).unwrap()), first.clone());
+        engine.load_firmware(&prog);
+        let r1 = engine.run();
+        snapshot_sequential(dir, &mut engine, &r1).unwrap();
+        let soc = hardsnap_periph::soc().unwrap();
+        let mut engine = Engine::new(Box::new(SimTarget::new(soc).unwrap()), second.clone());
+        resume_sequential(dir, &mut engine).unwrap();
+        (r1, engine.run())
+    }
+}
+
+/// The property, parameterized by which budget axis cuts the first run.
+fn budget_cut_is_digest_invariant(cut: &dyn Fn(&mut EngineConfig), tag: &str, expect: StopReason) {
+    let asm = firmware::branching_firmware(4);
+    let whole = run_fresh(&asm, &config(), 1);
+    assert_eq!(whole.stop, StopReason::Complete);
+    let digest = whole.canonical_digest();
+    for workers in [1usize, 2, 4] {
+        let dir = tmp(&format!("{tag}-{workers}"));
+        let mut first = config();
+        cut(&mut first);
+        let (r1, r2) = cut_and_resume(&asm, &first, &config(), workers, &dir);
+        assert_eq!(
+            r1.stop, expect,
+            "{tag} workers={workers}: wrong stop reason"
+        );
+        assert!(
+            r1.instructions < whole.instructions,
+            "{tag} workers={workers}: the budget never actually cut the run"
+        );
+        assert_eq!(r2.stop, StopReason::Complete, "{tag} workers={workers}");
+        assert_eq!(
+            r2.canonical_digest(),
+            digest,
+            "{tag} workers={workers}: budget cut + resume changed the result"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn vtime_budget_cut_resumes_to_identical_digest() {
+    budget_cut_is_digest_invariant(
+        &|c| c.max_vtime_ns = 2_000,
+        "vtime",
+        StopReason::VirtualTime,
+    );
+}
+
+#[test]
+fn quanta_budget_cut_resumes_to_identical_digest() {
+    budget_cut_is_digest_invariant(&|c| c.max_quanta = 6, "quanta", StopReason::Quanta);
+}
+
+#[test]
+fn wall_clock_budget_cut_resumes_to_identical_digest() {
+    // An already-expired deadline stops the run at the very first
+    // quantum boundary — the extreme (and fully deterministic) case of
+    // a wall-clock cut.
+    budget_cut_is_digest_invariant(
+        &|c| c.wall_deadline = Some(std::time::Instant::now()),
+        "wall",
+        StopReason::WallClock,
+    );
+}
+
+#[test]
+fn cancel_token_cut_resumes_to_identical_digest() {
+    budget_cut_is_digest_invariant(
+        &|c| {
+            let t = CancelToken::new();
+            t.cancel();
+            c.cancel = t;
+        },
+        "cancel",
+        StopReason::Cancelled,
+    );
+}
+
+#[test]
+fn resume_under_smaller_snapshot_budget_is_digest_invariant() {
+    let asm = firmware::branching_firmware(4);
+    let digest = run_fresh(&asm, &config(), 1).canonical_digest();
+    for workers in [1usize, 2, 4] {
+        let dir = tmp(&format!("membudget-{workers}"));
+        let mut first = config();
+        first.max_quanta = 8;
+        // The resumed engine gets a drastically smaller snapshot RAM
+        // budget than the one that wrote the checkpoint: cold snapshots
+        // spill and page back in, and the digest must not notice.
+        let mut second = config();
+        second.snapshot_mem_budget = Some(1);
+        let (r1, r2) = cut_and_resume(&asm, &first, &second, workers, &dir);
+        assert_eq!(r1.stop, StopReason::Quanta, "workers={workers}");
+        assert_eq!(r2.stop, StopReason::Complete, "workers={workers}");
+        assert_eq!(
+            r2.canonical_digest(),
+            digest,
+            "workers={workers}: spill-constrained resume changed the result"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn repeated_cuts_chain_to_identical_digest() {
+    // Cut → resume → cut → resume … with a tiny quanta budget each leg:
+    // the many-checkpoint chain must still land on the uninterrupted
+    // digest, sequentially and in parallel.
+    let asm = firmware::branching_firmware(4);
+    let digest = run_fresh(&asm, &config(), 1).canonical_digest();
+    for workers in [1usize, 2] {
+        let dir = tmp(&format!("chain-{workers}"));
+        let prog = hardsnap_isa::assemble(&asm).unwrap();
+        let mut legs = 0u64;
+        let final_digest = loop {
+            let mut cfg = config();
+            // Quanta carry across resume (like instructions), so each
+            // leg grants five *more* than the chain has consumed.
+            cfg.max_quanta = (legs + 1) * 5;
+            let soc = hardsnap_periph::soc().unwrap();
+            let r = if workers > 1 {
+                let target = SimTarget::new(soc).unwrap();
+                let mut engine = ParallelEngine::new(&target, workers, cfg).unwrap();
+                if legs == 0 {
+                    engine.load_firmware(&prog);
+                } else {
+                    resume_parallel(&dir, &mut engine).unwrap();
+                }
+                let r = engine.run();
+                snapshot_parallel(&dir, &mut engine, &r).unwrap();
+                r
+            } else {
+                let mut engine = Engine::new(Box::new(SimTarget::new(soc).unwrap()), cfg);
+                if legs == 0 {
+                    engine.load_firmware(&prog);
+                } else {
+                    resume_sequential(&dir, &mut engine).unwrap();
+                }
+                let r = engine.run();
+                snapshot_sequential(&dir, &mut engine, &r).unwrap();
+                r
+            };
+            legs += 1;
+            assert!(legs <= 1_000, "workers={workers}: chain never completed");
+            if r.stop == StopReason::Complete {
+                break r.canonical_digest();
+            }
+            assert_eq!(r.stop, StopReason::Quanta, "workers={workers}");
+        };
+        assert!(
+            legs > 2,
+            "workers={workers}: budget too loose to test the chain"
+        );
+        assert_eq!(
+            final_digest, digest,
+            "workers={workers}: {legs}-leg chain diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn budget_priority_is_stable() {
+    // When several budgets are simultaneously exhausted the reported
+    // reason follows the documented priority: cancelled > wall-clock >
+    // instructions > paths > vtime > quanta.
+    let asm = firmware::branching_firmware(3);
+    let mut c = config();
+    c.max_quanta = 1;
+    c.max_vtime_ns = 1;
+    let r = run_fresh(&asm, &c, 1);
+    assert_eq!(r.stop, StopReason::VirtualTime);
+
+    let t = CancelToken::new();
+    t.cancel();
+    let mut c = config();
+    c.max_quanta = 1;
+    c.cancel = t;
+    let r = run_fresh(&asm, &c, 1);
+    assert_eq!(r.stop, StopReason::Cancelled);
+}

@@ -133,6 +133,10 @@ pub struct FpgaTarget {
     /// delta captures are enabled.
     base: Option<Arc<HwSnapshot>>,
     delta_mode: bool,
+    /// Content hash of the most recent full capture: the checksum
+    /// trailer the scan controller IP computes over the complete chain
+    /// as it shifts out, reported via [`HwTarget::capture_checksum`].
+    capture_checksum: u64,
     rec: Recorder,
 }
 
@@ -166,6 +170,7 @@ impl FpgaTarget {
             irq_net,
             base: None,
             delta_mode: false,
+            capture_checksum: 0,
             rec: Recorder::disabled(),
         })
     }
@@ -577,12 +582,14 @@ impl HwTarget for FpgaTarget {
         self.rec
             .observe(Metric::CaptureVtimeNs, self.vtime_ns - vtime_before);
         drop(span);
-        Ok(HwSnapshot {
+        let snap = HwSnapshot {
             design: self.design.clone(),
             cycle: self.sim.cycle(),
             regs,
             mems,
-        })
+        };
+        self.capture_checksum = snap.content_hash();
+        Ok(snap)
     }
 
     fn set_delta_snapshots(&mut self, on: bool) {
@@ -640,6 +647,7 @@ impl HwTarget for FpgaTarget {
             self.charge_cycles(self.chain.shift_cycles() + self.chain.mem_words());
             self.vtime_ns += self.model.scan_overhead_ns;
             let snap = Arc::new(cur);
+            self.capture_checksum = snap.content_hash();
             self.base = Some(snap.clone());
             self.rec.count(Counter::SnapshotsSaved);
             self.rec
@@ -812,6 +820,7 @@ impl HwTarget for FpgaTarget {
             // with no golden base.
             base: None,
             delta_mode: self.delta_mode,
+            capture_checksum: 0,
             // Replicas go to other workers; each worker attaches its
             // own track's recorder.
             rec: Recorder::disabled(),
@@ -832,6 +841,12 @@ impl HwTarget for FpgaTarget {
                 .iter()
                 .map(|c| (c.name.as_str(), c.width, c.depth as usize)),
         )
+    }
+
+    fn capture_checksum(&self) -> u64 {
+        // The scan controller IP checksums the chain as it shifts out;
+        // the trailer arrives intact even when payload bits do not.
+        self.capture_checksum
     }
 
     fn attach_recorder(&mut self, rec: &Recorder) {

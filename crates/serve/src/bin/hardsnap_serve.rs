@@ -1,0 +1,73 @@
+//! `hardsnap-serve` — the campaign daemon.
+//!
+//! ```text
+//! hardsnap-serve [--state-dir DIR] [--socket PATH] [--pool N]
+//!                [--queue-max N] [--stdio]
+//! ```
+//!
+//! On start the daemon recovers its state directory: terminal jobs are
+//! reported as-is, unfinished jobs re-enqueue and resume from their
+//! last crash-atomic checkpoint. `--stdio` serves a single NDJSON
+//! session on stdin/stdout instead of binding the unix socket (handy
+//! for scripting and tests).
+
+use hardsnap_serve::{Daemon, DaemonConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hardsnap-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = DaemonConfig::default();
+    let mut socket: Option<PathBuf> = None;
+    let mut stdio = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--state-dir" => cfg.state_dir = PathBuf::from(value("--state-dir")?),
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--pool" => cfg.pool_replicas = value("--pool")?.parse()?,
+            "--queue-max" => cfg.queue_max = value("--queue-max")?.parse()?,
+            "--stdio" => stdio = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: hardsnap-serve [--state-dir DIR] [--socket PATH] \
+                     [--pool N] [--queue-max N] [--stdio]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag '{other}'").into()),
+        }
+    }
+    let socket = socket.unwrap_or_else(|| cfg.state_dir.join("serve.sock"));
+    let daemon = Daemon::new(cfg)?;
+    let resumed = daemon.recover()?;
+    if resumed > 0 {
+        eprintln!("hardsnap-serve: resumed {resumed} unfinished job(s)");
+    }
+    daemon.spawn_watchdog(Duration::from_millis(50));
+    if stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let mut r = stdin.lock();
+        let mut w = stdout.lock();
+        daemon.serve_stream(&mut r, &mut w)?;
+    } else {
+        eprintln!("hardsnap-serve: listening on {}", socket.display());
+        daemon.serve_unix(&socket)?;
+    }
+    // Give just-cancelled jobs a moment to checkpoint before exit; a
+    // hard kill is also fine — that is the whole point of the journal.
+    daemon.wait_idle(Duration::from_millis(500));
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Client side of the campaign service: a thin NDJSON request/response
+//! wrapper over a unix-socket connection, plus polling helpers the CLI
+//! verbs (`submit --wait`, CI gates) build on.
+
+use crate::job::{JobSpec, JobState, JobSummary};
+use crate::proto::{read_line, write_line, Request, Response};
+use crate::ServeError;
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A connected client. One request in flight at a time (the protocol
+/// is strictly lockstep).
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon's unix socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the socket is absent or refuses.
+    pub fn connect(socket: &Path) -> Result<Client, ServeError> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| ServeError::Io(format!("connect {}: {e}", socket.display())))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ServeError::Io(format!("clone stream: {e}")))?,
+        );
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Connects, retrying for up to `timeout` — for racing a daemon
+    /// that is still binding its socket.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the timeout elapses.
+    pub fn connect_retry(socket: &Path, timeout: Duration) -> Result<Client, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(socket) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Sends one request and reads its response, converting daemon-side
+    /// errors back into their typed [`ServeError`] (so `Saturated`
+    /// survives the wire).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, protocol errors, or the daemon's typed error.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_line(&mut self.writer, &req.to_value())?;
+        let v = read_line(&mut self.reader)?
+            .ok_or_else(|| ServeError::Io("daemon closed the connection".into()))?;
+        Response::from_value(&v)?.into_result()
+    }
+
+    /// Submits a job; returns its daemon-assigned id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Saturated`] when the daemon cannot admit it.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ServeError> {
+        match self.request(&Request::Submit(spec.clone()))? {
+            Response::Submitted { id } => Ok(id),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to submit: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches summaries for one job or all jobs.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn status(&mut self, id: Option<u64>) -> Result<Vec<JobSummary>, ServeError> {
+        match self.request(&Request::Status(id))? {
+            Response::Status(jobs) => Ok(jobs),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to status: {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests cooperative cancellation of a job.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Job`] for an unknown id.
+    pub fn cancel(&mut self, id: u64) -> Result<(), ServeError> {
+        match self.request(&Request::Cancel(id))? {
+            Response::Cancelled { .. } => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to cancel: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (a dead daemon).
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to ping: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to stop accepting work and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to shutdown: {other:?}"
+            ))),
+        }
+    }
+
+    /// Polls `status` until the job is terminal or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Job`] on timeout or if the job vanishes.
+    pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<JobSummary, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut jobs = self.status(Some(id))?;
+            match jobs.pop() {
+                Some(s) if s.state == JobState::Done => return Ok(s),
+                Some(_) => {}
+                None => return Err(ServeError::Job(format!("unknown job {id}"))),
+            }
+            if Instant::now() >= deadline {
+                return Err(ServeError::Job(format!(
+                    "timed out waiting for job {id} after {timeout:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}

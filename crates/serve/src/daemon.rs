@@ -1,0 +1,760 @@
+//! The campaign daemon: admission control, FIFO scheduling over a
+//! bounded replica pool, watchdog cancellation, crash-safe journaling
+//! and restart recovery.
+//!
+//! ## State machine
+//!
+//! `submit` → admission check (pool + bounded queue) → journal
+//! `jobs/<id>/job.json` (crash-atomic, **before** the ack) → `Queued` →
+//! scheduler grants `workers` replicas → `Running` (leg loop in
+//! [`crate::runner`], checkpointing `jobs/<id>/checkpoint/` every leg)
+//! → terminal verdict → `result.json` (crash-atomic) → `Done`.
+//!
+//! ## Crash safety
+//!
+//! Every transition the daemon must not forget is a crash-atomic file
+//! write, ordered so a `kill -9` at any instant leaves a recoverable
+//! state directory:
+//!
+//! * a job with `job.json` but no `result.json` is re-enqueued on
+//!   restart and resumes from its last checkpointed leg;
+//! * a job with `result.json` is terminal and is reported as-is;
+//! * a half-written anything cannot exist (tmp + rename + fsync).
+//!
+//! Because the leg runner re-derives all progress from the checkpoint,
+//! a recovered campaign finishes with a canonical digest bit-identical
+//! to an uninterrupted run — the property `exp_serve` and the CI serve
+//! gate assert end to end.
+
+use crate::job::{JobSpec, JobState, JobSummary, Verdict};
+use crate::proto::{read_line, write_line, Request, Response};
+use crate::runner;
+use crate::{digest_hex, write_atomic, ServeError};
+use hardsnap::{CancelToken, StopReason};
+use hardsnap_telemetry::{Counter, Metric, Recorder};
+use hardsnap_util::json::parse;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon tuning.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// State directory: `jobs/<id>/{job.json, checkpoint/, result.json}`.
+    pub state_dir: PathBuf,
+    /// Total target replicas in the pool. A job consumes `workers`
+    /// replicas while running.
+    pub pool_replicas: usize,
+    /// Bounded submission queue: jobs admitted but not yet granted
+    /// replicas. Submissions past this bound get
+    /// [`ServeError::Saturated`].
+    pub queue_max: usize,
+    /// Grace period past a job's wall deadline before the watchdog
+    /// force-cancels it (the engine normally stops itself at the first
+    /// quantum boundary past the deadline; the watchdog is the backstop
+    /// for a wedged leg).
+    pub watchdog_grace: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            state_dir: PathBuf::from("hardsnap-serve-state"),
+            pool_replicas: 4,
+            queue_max: 8,
+            watchdog_grace: Duration::from_millis(250),
+        }
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    state: JobState,
+    verdict: Option<Verdict>,
+    stop: Option<StopReason>,
+    digest: Option<u64>,
+    instructions: u64,
+    paths: u64,
+    bugs: u64,
+    cancel: CancelToken,
+    submitted_at: Instant,
+    /// Absolute wall deadline (watchdog backstop); `None` = none.
+    deadline: Option<Instant>,
+    queue_wait_ms: u64,
+    run_ms: u64,
+}
+
+impl Job {
+    fn summary(&self, id: u64) -> JobSummary {
+        JobSummary {
+            id,
+            name: self.spec.name.clone(),
+            state: self.state.clone(),
+            verdict: self.verdict.clone(),
+            stop: self.stop,
+            digest: self.digest.map(digest_hex),
+            instructions: self.instructions,
+            paths: self.paths,
+            bugs: self.bugs,
+            queue_wait_ms: self.queue_wait_ms,
+            run_ms: self.run_ms,
+        }
+    }
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, Job>,
+    /// FIFO of `Queued` job ids waiting for replicas.
+    queue: VecDeque<u64>,
+    /// Replicas currently granted to `Running` jobs.
+    running_replicas: usize,
+    next_id: u64,
+    shutting_down: bool,
+}
+
+/// The campaign service. Wrap in an [`Arc`] and share between the
+/// socket loop, job threads and the watchdog.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    inner: Mutex<Inner>,
+    /// Signalled on every job state change (used by `wait_idle` and
+    /// tests).
+    changed: Condvar,
+    rec: Recorder,
+}
+
+impl Daemon {
+    /// Creates the daemon, its state directory, and an enabled
+    /// telemetry recorder for admission/queue metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the state directory cannot be created.
+    pub fn new(cfg: DaemonConfig) -> Result<Arc<Daemon>, ServeError> {
+        std::fs::create_dir_all(cfg.state_dir.join("jobs"))
+            .map_err(|e| ServeError::Io(format!("{}: {e}", cfg.state_dir.display())))?;
+        Ok(Arc::new(Daemon {
+            cfg,
+            inner: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                running_replicas: 0,
+                next_id: 1,
+                shutting_down: false,
+            }),
+            changed: Condvar::new(),
+            rec: Recorder::enabled(0, "serve"),
+        }))
+    }
+
+    fn job_dir(&self, id: u64) -> PathBuf {
+        self.cfg.state_dir.join("jobs").join(id.to_string())
+    }
+
+    /// Admits a job or rejects it with the typed [`ServeError::Saturated`].
+    /// The job is journaled to `job.json` **before** this returns: an
+    /// acknowledged submission survives any crash.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Saturated`] when the pool + queue cannot take the
+    /// job; [`ServeError::Io`] if the journal write fails (the job is
+    /// then *not* admitted).
+    pub fn submit(self: &Arc<Daemon>, spec: JobSpec) -> Result<u64, ServeError> {
+        let id = {
+            let mut g = self.inner.lock().unwrap();
+            if g.shutting_down {
+                self.rec.count(Counter::JobsRejected);
+                return Err(ServeError::Saturated {
+                    reason: "daemon is shutting down".into(),
+                });
+            }
+            if spec.workers > self.cfg.pool_replicas {
+                self.rec.count(Counter::JobsRejected);
+                return Err(ServeError::Saturated {
+                    reason: format!(
+                        "job wants {} replicas but the pool holds {}",
+                        spec.workers, self.cfg.pool_replicas
+                    ),
+                });
+            }
+            // A job the scheduler can start right now never counts
+            // against the queue bound — the bound limits *waiting*
+            // work, not throughput.
+            let starts_now =
+                g.queue.is_empty() && g.running_replicas + spec.workers <= self.cfg.pool_replicas;
+            if !starts_now && g.queue.len() >= self.cfg.queue_max {
+                self.rec.count(Counter::JobsRejected);
+                return Err(ServeError::Saturated {
+                    reason: format!(
+                        "queue full ({} waiting, max {})",
+                        g.queue.len(),
+                        self.cfg.queue_max
+                    ),
+                });
+            }
+            let id = g.next_id;
+            g.next_id += 1;
+            // Journal before ack — drop the lock guard state only after
+            // the job is durable.
+            let dir = self.job_dir(id);
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| ServeError::Io(format!("{}: {e}", dir.display())))?;
+            write_atomic(&dir.join("job.json"), spec.to_value().to_json().as_bytes())?;
+            g.jobs.insert(
+                id,
+                Job {
+                    spec,
+                    state: JobState::Queued,
+                    verdict: None,
+                    stop: None,
+                    digest: None,
+                    instructions: 0,
+                    paths: 0,
+                    bugs: 0,
+                    cancel: CancelToken::new(),
+                    submitted_at: Instant::now(),
+                    deadline: None,
+                    queue_wait_ms: 0,
+                    run_ms: 0,
+                },
+            );
+            g.queue.push_back(id);
+            self.rec.count(Counter::JobsAdmitted);
+            self.rec
+                .observe(Metric::ServeQueueDepth, g.queue.len() as u64);
+            id
+        };
+        self.schedule();
+        Ok(id)
+    }
+
+    /// Grants replicas to queued jobs in FIFO order and spawns their
+    /// run threads. Called after every admission and every completion.
+    fn schedule(self: &Arc<Daemon>) {
+        loop {
+            let id = {
+                let mut g = self.inner.lock().unwrap();
+                let Some(&id) = g.queue.front() else { break };
+                let workers = g.jobs[&id].spec.workers;
+                if g.running_replicas + workers > self.cfg.pool_replicas {
+                    break; // head-of-line blocks: strict FIFO, no starvation
+                }
+                g.queue.pop_front();
+                g.running_replicas += workers;
+                let job = g.jobs.get_mut(&id).unwrap();
+                job.state = JobState::Running;
+                job.queue_wait_ms = job.submitted_at.elapsed().as_millis() as u64;
+                if job.spec.wall_ms > 0 {
+                    job.deadline = Some(Instant::now() + Duration::from_millis(job.spec.wall_ms));
+                }
+                self.rec
+                    .observe(Metric::ServeQueueWaitMs, job.queue_wait_ms);
+                id
+            };
+            self.changed.notify_all();
+            let me = Arc::clone(self);
+            std::thread::spawn(move || me.run_job_thread(id));
+        }
+    }
+
+    fn run_job_thread(self: Arc<Daemon>, id: u64) {
+        let (spec, cancel) = {
+            let g = self.inner.lock().unwrap();
+            let j = &g.jobs[&id];
+            (j.spec.clone(), j.cancel.clone())
+        };
+        let dir = self.job_dir(id);
+        let started = Instant::now();
+        let me = &self;
+        let outcome = runner::run_job(&spec, &dir.join("checkpoint"), &cancel, &mut |r| {
+            let mut g = me.inner.lock().unwrap();
+            if let Some(j) = g.jobs.get_mut(&id) {
+                j.instructions = r.instructions;
+                j.paths = r.metrics.paths_completed;
+                j.bugs = r.bugs.len() as u64;
+            }
+        });
+        let summary = {
+            let mut g = self.inner.lock().unwrap();
+            g.running_replicas -= spec.workers;
+            let job = g.jobs.get_mut(&id).unwrap();
+            job.state = JobState::Done;
+            job.run_ms = started.elapsed().as_millis() as u64;
+            match outcome {
+                Ok(o) => {
+                    job.verdict = Some(o.verdict.clone());
+                    job.stop = Some(o.stop);
+                    job.digest = Some(o.digest);
+                    job.instructions = o.instructions;
+                    job.paths = o.paths;
+                    job.bugs = o.bugs;
+                    if matches!(o.verdict, Verdict::Cancelled) {
+                        self.rec.count(Counter::JobsCancelled);
+                    }
+                }
+                Err(e) => job.verdict = Some(Verdict::Error(e.to_string())),
+            }
+            self.rec.count(Counter::JobsCompleted);
+            job.summary(id)
+        };
+        // Terminal commit point: result.json lands crash-atomically;
+        // until it exists, a restart re-runs the job from its checkpoint.
+        let _ = write_atomic(
+            &dir.join("result.json"),
+            summary.to_value().to_json().as_bytes(),
+        );
+        self.changed.notify_all();
+        self.schedule();
+    }
+
+    /// Cooperatively cancels a job. Queued jobs terminalize
+    /// immediately; running jobs stop at their next quantum boundary
+    /// with a valid checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Job`] for an unknown id.
+    pub fn cancel(self: &Arc<Daemon>, id: u64) -> Result<(), ServeError> {
+        let summary = {
+            let mut g = self.inner.lock().unwrap();
+            let Some(job) = g.jobs.get_mut(&id) else {
+                return Err(ServeError::Job(format!("unknown job {id}")));
+            };
+            match job.state {
+                JobState::Done => return Ok(()), // idempotent
+                JobState::Running => {
+                    job.cancel.cancel();
+                    self.rec.count(Counter::JobsCancelled);
+                    return Ok(());
+                }
+                JobState::Queued => {
+                    job.state = JobState::Done;
+                    job.verdict = Some(Verdict::Cancelled);
+                    job.queue_wait_ms = job.submitted_at.elapsed().as_millis() as u64;
+                    let summary = job.summary(id);
+                    g.queue.retain(|&q| q != id);
+                    self.rec.count(Counter::JobsCancelled);
+                    summary
+                }
+            }
+        };
+        let _ = write_atomic(
+            &self.job_dir(id).join("result.json"),
+            summary.to_value().to_json().as_bytes(),
+        );
+        self.changed.notify_all();
+        Ok(())
+    }
+
+    /// Summaries for one job or the whole table (admission order).
+    pub fn status(&self, id: Option<u64>) -> Vec<JobSummary> {
+        let g = self.inner.lock().unwrap();
+        match id {
+            Some(id) => g.jobs.get(&id).map(|j| j.summary(id)).into_iter().collect(),
+            None => g.jobs.iter().map(|(&id, j)| j.summary(id)).collect(),
+        }
+    }
+
+    /// Scans the state directory and rebuilds the job table after a
+    /// restart (or crash): terminal jobs (`result.json` present) are
+    /// reported as-is; everything else is re-enqueued and resumes from
+    /// its last checkpoint. Returns the number of re-enqueued jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the jobs directory is unreadable;
+    /// [`ServeError::Protocol`] on a corrupt journal file.
+    pub fn recover(self: &Arc<Daemon>) -> Result<usize, ServeError> {
+        let jobs_dir = self.cfg.state_dir.join("jobs");
+        let mut found: Vec<(u64, JobSpec, Option<JobSummary>)> = Vec::new();
+        let entries = std::fs::read_dir(&jobs_dir)
+            .map_err(|e| ServeError::Io(format!("{}: {e}", jobs_dir.display())))?;
+        for entry in entries.flatten() {
+            let Ok(id) = entry.file_name().to_string_lossy().parse::<u64>() else {
+                continue;
+            };
+            let read = |name: &str| -> Result<Option<String>, ServeError> {
+                match std::fs::read_to_string(entry.path().join(name)) {
+                    Ok(s) => Ok(Some(s)),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+                    Err(e) => Err(ServeError::Io(format!("job {id} {name}: {e}"))),
+                }
+            };
+            let Some(job_json) = read("job.json")? else {
+                continue; // directory created but journal never committed
+            };
+            let spec = JobSpec::from_value(
+                &parse(&job_json)
+                    .map_err(|e| ServeError::Protocol(format!("job {id} journal: {e}")))?,
+            )?;
+            let done = match read("result.json")? {
+                Some(s) => {
+                    Some(JobSummary::from_value(&parse(&s).map_err(|e| {
+                        ServeError::Protocol(format!("job {id} result: {e}"))
+                    })?)?)
+                }
+                None => None,
+            };
+            found.push((id, spec, done));
+        }
+        found.sort_by_key(|(id, _, _)| *id);
+        let mut resumed = 0;
+        {
+            let mut g = self.inner.lock().unwrap();
+            for (id, spec, done) in found {
+                g.next_id = g.next_id.max(id + 1);
+                let terminal = done.is_some();
+                let job = Job {
+                    spec,
+                    state: if terminal {
+                        JobState::Done
+                    } else {
+                        JobState::Queued
+                    },
+                    verdict: done.as_ref().and_then(|s| s.verdict.clone()),
+                    stop: done.as_ref().and_then(|s| s.stop),
+                    digest: None, // summaries carry it as hex; re-derived below
+                    instructions: done.as_ref().map_or(0, |s| s.instructions),
+                    paths: done.as_ref().map_or(0, |s| s.paths),
+                    bugs: done.as_ref().map_or(0, |s| s.bugs),
+                    cancel: CancelToken::new(),
+                    submitted_at: Instant::now(),
+                    deadline: None,
+                    queue_wait_ms: done.as_ref().map_or(0, |s| s.queue_wait_ms),
+                    run_ms: done.as_ref().map_or(0, |s| s.run_ms),
+                };
+                let job = Job {
+                    digest: done
+                        .as_ref()
+                        .and_then(|s| s.digest.as_deref())
+                        .and_then(parse_digest_hex),
+                    ..job
+                };
+                g.jobs.insert(id, job);
+                if !terminal {
+                    g.queue.push_back(id);
+                    resumed += 1;
+                    self.rec.count(Counter::JobsRecovered);
+                }
+            }
+        }
+        self.schedule();
+        Ok(resumed)
+    }
+
+    /// One watchdog sweep: force-cancels running jobs past their wall
+    /// deadline plus the grace period. Returns how many were cancelled.
+    /// The engine normally stops itself at the first quantum boundary
+    /// past the deadline; this is the backstop for a wedged leg.
+    pub fn watchdog_sweep(&self) -> usize {
+        let g = self.inner.lock().unwrap();
+        let now = Instant::now();
+        let mut hit = 0;
+        for job in g.jobs.values() {
+            if job.state == JobState::Running {
+                if let Some(dl) = job.deadline {
+                    if now > dl + self.cfg.watchdog_grace && !job.cancel.is_cancelled() {
+                        job.cancel.cancel();
+                        hit += 1;
+                    }
+                }
+            }
+        }
+        hit
+    }
+
+    /// Spawns the watchdog thread (sweeps every `period` until the
+    /// daemon shuts down).
+    pub fn spawn_watchdog(self: &Arc<Daemon>, period: Duration) {
+        let me = Arc::clone(self);
+        std::thread::spawn(move || loop {
+            if me.inner.lock().unwrap().shutting_down {
+                break;
+            }
+            me.watchdog_sweep();
+            std::thread::sleep(period);
+        });
+    }
+
+    /// Blocks until no job is queued or running (test / drain helper),
+    /// or the timeout elapses. Returns `true` when idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            let busy = !g.queue.is_empty() || g.jobs.values().any(|j| j.state == JobState::Running);
+            if !busy {
+                return true;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .changed
+                .wait_timeout(g, left.min(Duration::from_millis(50)))
+                .unwrap();
+            g = guard;
+        }
+    }
+
+    /// True once a shutdown request has been accepted.
+    pub fn shutting_down(&self) -> bool {
+        self.inner.lock().unwrap().shutting_down
+    }
+
+    /// Handles one request (shared by the socket and stdio fronts).
+    pub fn handle(self: &Arc<Daemon>, req: Request) -> Response {
+        match req {
+            Request::Submit(spec) => match self.submit(spec) {
+                Ok(id) => Response::Submitted { id },
+                Err(e) => Response::from_error(&e),
+            },
+            Request::Status(id) => Response::Status(self.status(id)),
+            Request::Cancel(id) => match self.cancel(id) {
+                Ok(()) => Response::Cancelled { id },
+                Err(ServeError::Job(m)) => Response::Error {
+                    kind: "unknown-job".into(),
+                    message: m,
+                },
+                Err(e) => Response::from_error(&e),
+            },
+            Request::Ping => Response::Pong,
+            Request::Shutdown => {
+                self.inner.lock().unwrap().shutting_down = true;
+                self.changed.notify_all();
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    /// Serves one NDJSON stream until EOF or a shutdown request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on a broken stream (malformed requests get an
+    /// error *response* and the stream continues).
+    pub fn serve_stream(
+        self: &Arc<Daemon>,
+        r: &mut dyn BufRead,
+        w: &mut dyn Write,
+    ) -> Result<(), ServeError> {
+        while let Some(v) = read_line(r)? {
+            let resp = match Request::from_value(&v) {
+                Ok(req) => self.handle(req),
+                Err(e) => Response::from_error(&e),
+            };
+            let done = matches!(resp, Response::ShuttingDown);
+            write_line(w, &resp.to_value())?;
+            if done {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Binds `socket` (removing any stale file) and serves connections
+    /// until a shutdown request arrives. Each connection gets its own
+    /// thread; the accept loop polls so shutdown is prompt.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket cannot be bound.
+    pub fn serve_unix(self: &Arc<Daemon>, socket: &Path) -> Result<(), ServeError> {
+        let _ = std::fs::remove_file(socket);
+        let listener = std::os::unix::net::UnixListener::bind(socket)
+            .map_err(|e| ServeError::Io(format!("bind {}: {e}", socket.display())))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(format!("nonblocking: {e}")))?;
+        loop {
+            if self.shutting_down() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let me = Arc::clone(self);
+                    std::thread::spawn(move || {
+                        let _ = stream.set_nonblocking(false);
+                        let mut reader =
+                            BufReader::new(stream.try_clone().expect("clone unix stream"));
+                        let mut writer = stream;
+                        let _ = me.serve_stream(&mut reader, &mut writer);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(ServeError::Io(format!("accept: {e}"))),
+            }
+        }
+        let _ = std::fs::remove_file(socket);
+        Ok(())
+    }
+}
+
+fn parse_digest_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.trim_start_matches("0x"), 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hardsnap-daemon-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn daemon(name: &str, pool: usize, queue: usize) -> Arc<Daemon> {
+        Daemon::new(DaemonConfig {
+            state_dir: tmp(name),
+            pool_replicas: pool,
+            queue_max: queue,
+            ..DaemonConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn demo(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            firmware: "demo:3".into(),
+            leg_instructions: 64,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn submit_runs_to_completion_with_result_file() {
+        let d = daemon("complete", 2, 4);
+        let id = d.submit(demo("a")).unwrap();
+        assert!(d.wait_idle(Duration::from_secs(60)));
+        let s = &d.status(Some(id))[0];
+        assert_eq!(s.state, JobState::Done);
+        assert_eq!(s.verdict, Some(Verdict::Completed));
+        assert!(s.digest.is_some());
+        assert!(d.job_dir(id).join("result.json").exists());
+        let _ = std::fs::remove_dir_all(&d.cfg.state_dir);
+    }
+
+    #[test]
+    fn saturation_is_a_typed_rejection() {
+        let d = daemon("saturated", 1, 0);
+        // Pool of 1, queue of 0: a job demanding 2 replicas can never run.
+        let mut wide = demo("wide");
+        wide.workers = 2;
+        match d.submit(wide) {
+            Err(ServeError::Saturated { reason }) => assert!(reason.contains("pool")),
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+        // First single-replica job occupies the pool; with queue_max=0
+        // the next submission must be rejected, not queued.
+        let mut slow = demo("slow");
+        slow.leg_instructions = 16;
+        let _id = d.submit(slow).unwrap();
+        let mut saturated = false;
+        for _ in 0..3 {
+            match d.submit(demo("extra")) {
+                Err(ServeError::Saturated { .. }) => {
+                    saturated = true;
+                    break;
+                }
+                Ok(_) => {
+                    // The first job finished already; drain and retry.
+                    d.wait_idle(Duration::from_secs(60));
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(d.wait_idle(Duration::from_secs(60)));
+        if !saturated {
+            // Machine too fast to catch the window — the typed path is
+            // still covered by the workers>pool case above.
+            eprintln!("note: queue-full window not observed");
+        }
+        let _ = std::fs::remove_dir_all(&d.cfg.state_dir);
+    }
+
+    #[test]
+    fn concurrent_jobs_share_the_pool_and_all_finish() {
+        let d = daemon("concurrent", 2, 8);
+        let ids: Vec<u64> = (0..4)
+            .map(|i| d.submit(demo(&format!("j{i}"))).unwrap())
+            .collect();
+        assert!(d.wait_idle(Duration::from_secs(120)));
+        let digests: Vec<String> = ids
+            .iter()
+            .map(|&id| d.status(Some(id))[0].digest.clone().unwrap())
+            .collect();
+        // Identical specs ⇒ identical canonical digests, regardless of
+        // scheduling interleavings.
+        assert!(digests.windows(2).all(|w| w[0] == w[1]));
+        let _ = std::fs::remove_dir_all(&d.cfg.state_dir);
+    }
+
+    #[test]
+    fn restart_recovers_terminal_and_pending_jobs() {
+        let state = tmp("recover");
+        let cfg = DaemonConfig {
+            state_dir: state.clone(),
+            pool_replicas: 1,
+            queue_max: 8,
+            ..DaemonConfig::default()
+        };
+        let d1 = Daemon::new(cfg.clone()).unwrap();
+        let done_id = d1.submit(demo("done")).unwrap();
+        assert!(d1.wait_idle(Duration::from_secs(60)));
+        let done_digest = d1.status(Some(done_id))[0].digest.clone().unwrap();
+        // Journal a second job by hand — as if the daemon died after the
+        // ack but before (or during) the run.
+        let pend_dir = state.join("jobs").join("2");
+        std::fs::create_dir_all(&pend_dir).unwrap();
+        write_atomic(
+            &pend_dir.join("job.json"),
+            demo("pending").to_value().to_json().as_bytes(),
+        )
+        .unwrap();
+        drop(d1);
+
+        let d2 = Daemon::new(cfg).unwrap();
+        let resumed = d2.recover().unwrap();
+        assert_eq!(resumed, 1, "only the unfinished job re-enqueues");
+        assert!(d2.wait_idle(Duration::from_secs(60)));
+        let s1 = &d2.status(Some(done_id))[0];
+        assert_eq!(s1.digest.as_ref(), Some(&done_digest));
+        let s2 = &d2.status(Some(2))[0];
+        assert_eq!(s2.verdict, Some(Verdict::Completed));
+        assert_eq!(
+            s2.digest.as_ref(),
+            Some(&done_digest),
+            "recovered run must digest identically to an uninterrupted one"
+        );
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn stream_protocol_round_trips_submit_status_shutdown() {
+        let d = daemon("stream", 2, 4);
+        let input = format!(
+            "{}\n{}\n{}\n",
+            Request::Submit(demo("s")).to_value().to_json(),
+            Request::Status(None).to_value().to_json(),
+            Request::Shutdown.to_value().to_json(),
+        );
+        let mut out = Vec::new();
+        let mut reader = BufReader::new(input.as_bytes());
+        d.serve_stream(&mut reader, &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        let submitted = Response::from_value(&parse(lines[0]).unwrap()).unwrap();
+        assert!(matches!(submitted, Response::Submitted { id: 1 }));
+        assert!(d.shutting_down());
+        assert!(d.wait_idle(Duration::from_secs(60)));
+        let _ = std::fs::remove_dir_all(&d.cfg.state_dir);
+    }
+}

@@ -1,0 +1,314 @@
+//! Wire protocol: newline-delimited JSON, one request per line, one
+//! response per line, over a unix socket or stdio.
+//!
+//! Requests are objects with an `op` discriminator; responses with an
+//! `ok` discriminator. The codec is deliberately tiny and built on the
+//! in-tree [`hardsnap_util::json`] — the workspace stays offline.
+
+use crate::job::{JobSpec, JobSummary};
+use crate::ServeError;
+use hardsnap_util::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// A client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Submit a job for admission.
+    Submit(JobSpec),
+    /// Report one job (`Some(id)`) or all jobs (`None`).
+    Status(Option<u64>),
+    /// Cooperatively cancel a job: its token is flipped and it stops at
+    /// the next quantum boundary with a valid checkpoint.
+    Cancel(u64),
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting work and exit once the socket loop drains.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes for the wire.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        match self {
+            Request::Submit(spec) => {
+                m.insert("op".into(), Value::Str("submit".into()));
+                m.insert("job".into(), spec.to_value());
+            }
+            Request::Status(id) => {
+                m.insert("op".into(), Value::Str("status".into()));
+                if let Some(id) = id {
+                    m.insert("id".into(), Value::Num(*id as f64));
+                }
+            }
+            Request::Cancel(id) => {
+                m.insert("op".into(), Value::Str("cancel".into()));
+                m.insert("id".into(), Value::Num(*id as f64));
+            }
+            Request::Ping => {
+                m.insert("op".into(), Value::Str("ping".into()));
+            }
+            Request::Shutdown => {
+                m.insert("op".into(), Value::Str("shutdown".into()));
+            }
+        }
+        Value::Obj(m)
+    }
+
+    /// Parses a request object.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on anything malformed.
+    pub fn from_value(v: &Value) -> Result<Request, ServeError> {
+        let Value::Obj(m) = v else {
+            return Err(ServeError::Protocol("request must be an object".into()));
+        };
+        let id = || {
+            m.get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ServeError::Protocol("request needs a numeric 'id'".into()))
+        };
+        match m.get("op").and_then(Value::as_str) {
+            Some("submit") => {
+                let job = m
+                    .get("job")
+                    .ok_or_else(|| ServeError::Protocol("submit needs a 'job' object".into()))?;
+                Ok(Request::Submit(JobSpec::from_value(job)?))
+            }
+            Some("status") => Ok(Request::Status(m.get("id").and_then(Value::as_u64))),
+            Some("cancel") => Ok(Request::Cancel(id()?)),
+            Some("ping") => Ok(Request::Ping),
+            Some("shutdown") => Ok(Request::Shutdown),
+            other => Err(ServeError::Protocol(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// A daemon response.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// The job was admitted, journaled and queued.
+    Submitted {
+        /// Daemon-assigned job id.
+        id: u64,
+    },
+    /// Job summaries (one, or the whole table).
+    Status(Vec<JobSummary>),
+    /// The cancel request was delivered.
+    Cancelled {
+        /// The cancelled job's id.
+        id: u64,
+    },
+    /// Liveness reply.
+    Pong,
+    /// The daemon acknowledged shutdown.
+    ShuttingDown,
+    /// The request failed; `kind` is machine-matchable
+    /// (`saturated` / `io` / `protocol` / `job` / `unknown-job`).
+    Error {
+        /// Machine-matchable error class.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Wraps a [`ServeError`] for the wire, preserving its type.
+    pub fn from_error(e: &ServeError) -> Response {
+        let kind = match e {
+            ServeError::Saturated { .. } => "saturated",
+            ServeError::Io(_) => "io",
+            ServeError::Protocol(_) => "protocol",
+            ServeError::Job(_) => "job",
+        };
+        Response::Error {
+            kind: kind.into(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Serializes for the wire.
+    pub fn to_value(&self) -> Value {
+        let mut m = BTreeMap::new();
+        let ok = !matches!(self, Response::Error { .. });
+        m.insert("ok".into(), Value::Bool(ok));
+        match self {
+            Response::Submitted { id } => {
+                m.insert("kind".into(), Value::Str("submitted".into()));
+                m.insert("id".into(), Value::Num(*id as f64));
+            }
+            Response::Status(jobs) => {
+                m.insert("kind".into(), Value::Str("status".into()));
+                m.insert(
+                    "jobs".into(),
+                    Value::Arr(jobs.iter().map(JobSummary::to_value).collect()),
+                );
+            }
+            Response::Cancelled { id } => {
+                m.insert("kind".into(), Value::Str("cancelled".into()));
+                m.insert("id".into(), Value::Num(*id as f64));
+            }
+            Response::Pong => {
+                m.insert("kind".into(), Value::Str("pong".into()));
+            }
+            Response::ShuttingDown => {
+                m.insert("kind".into(), Value::Str("shutting-down".into()));
+            }
+            Response::Error { kind, message } => {
+                m.insert("kind".into(), Value::Str(kind.clone()));
+                m.insert("message".into(), Value::Str(message.clone()));
+            }
+        }
+        Value::Obj(m)
+    }
+
+    /// Parses a response object (client side).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on anything malformed.
+    pub fn from_value(v: &Value) -> Result<Response, ServeError> {
+        let Value::Obj(m) = v else {
+            return Err(ServeError::Protocol("response must be an object".into()));
+        };
+        let ok = m.get("ok").and_then(Value::as_bool).unwrap_or(false);
+        let kind = m.get("kind").and_then(Value::as_str).unwrap_or("");
+        if !ok {
+            return Ok(Response::Error {
+                kind: kind.to_string(),
+                message: m
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            });
+        }
+        let id = || {
+            m.get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ServeError::Protocol("response needs a numeric 'id'".into()))
+        };
+        match kind {
+            "submitted" => Ok(Response::Submitted { id: id()? }),
+            "cancelled" => Ok(Response::Cancelled { id: id()? }),
+            "pong" => Ok(Response::Pong),
+            "shutting-down" => Ok(Response::ShuttingDown),
+            "status" => {
+                let jobs = match m.get("jobs") {
+                    Some(Value::Arr(items)) => items
+                        .iter()
+                        .map(JobSummary::from_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => {
+                        return Err(ServeError::Protocol(
+                            "status response needs a 'jobs' array".into(),
+                        ))
+                    }
+                };
+                Ok(Response::Status(jobs))
+            }
+            other => Err(ServeError::Protocol(format!(
+                "unknown response kind '{other}'"
+            ))),
+        }
+    }
+
+    /// Converts an error response back into the typed [`ServeError`]
+    /// it was on the daemon side (so `Saturated` survives the wire).
+    pub fn into_result(self) -> Result<Response, ServeError> {
+        match self {
+            Response::Error { kind, message } => Err(match kind.as_str() {
+                "saturated" => ServeError::Saturated { reason: message },
+                "io" => ServeError::Io(message),
+                "job" | "unknown-job" => ServeError::Job(message),
+                _ => ServeError::Protocol(message),
+            }),
+            other => Ok(other),
+        }
+    }
+}
+
+/// Writes one message as a single JSON line and flushes.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on a broken stream.
+pub fn write_line(w: &mut dyn Write, v: &Value) -> Result<(), ServeError> {
+    let mut line = v.to_json();
+    line.push('\n');
+    w.write_all(line.as_bytes())
+        .and_then(|()| w.flush())
+        .map_err(|e| ServeError::Io(format!("write: {e}")))
+}
+
+/// Reads one JSON line. `Ok(None)` at end of stream.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on a broken stream, [`ServeError::Protocol`] on
+/// bad JSON.
+pub fn read_line(r: &mut dyn BufRead) -> Result<Option<Value>, ServeError> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = r
+            .read_line(&mut line)
+            .map_err(|e| ServeError::Io(format!("read: {e}")))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if line.trim().is_empty() {
+            continue; // tolerate blank keep-alive lines
+        }
+        return parse(line.trim())
+            .map(Some)
+            .map_err(|e| ServeError::Protocol(format!("bad JSON line: {e}")));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Submit(JobSpec::default()),
+            Request::Status(None),
+            Request::Status(Some(7)),
+            Request::Cancel(3),
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let json = req.to_value().to_json();
+            let back = Request::from_value(&parse(&json).unwrap()).unwrap();
+            assert_eq!(back.to_value().to_json(), json);
+        }
+    }
+
+    #[test]
+    fn saturated_survives_the_wire_as_a_typed_error() {
+        let resp = Response::from_error(&ServeError::Saturated {
+            reason: "pool full".into(),
+        });
+        let json = resp.to_value().to_json();
+        let back = Response::from_value(&parse(&json).unwrap()).unwrap();
+        match back.into_result() {
+            Err(ServeError::Saturated { reason }) => assert!(reason.contains("pool full")),
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_line_skips_blanks_and_ends_cleanly() {
+        let data = b"\n  \n{\"op\":\"ping\"}\n";
+        let mut r = std::io::BufReader::new(&data[..]);
+        let v = read_line(&mut r).unwrap().unwrap();
+        assert!(matches!(Request::from_value(&v).unwrap(), Request::Ping));
+        assert!(read_line(&mut r).unwrap().is_none());
+    }
+}

@@ -81,6 +81,10 @@ pub struct SimTarget {
     irq_net: Option<NetId>,
     tracker: SnapshotTracker,
     delta_mode: bool,
+    /// Content hash of the most recent full capture — the checksum the
+    /// (modeled) checkpoint engine computes over the complete image,
+    /// reported through [`HwTarget::capture_checksum`].
+    capture_checksum: u64,
     rec: Recorder,
 }
 
@@ -137,6 +141,7 @@ impl SimTarget {
             irq_net,
             tracker,
             delta_mode: false,
+            capture_checksum: 0,
             rec: Recorder::disabled(),
         })
     }
@@ -264,6 +269,7 @@ impl HwTarget for SimTarget {
     fn save_snapshot(&mut self) -> Result<HwSnapshot, TargetError> {
         let mut span = self.rec.span("snapshot", "capture");
         let snap = self.capture();
+        self.capture_checksum = snap.content_hash();
         let charged = self.model.snapshot_fixed_ns
             + snap.byte_size() as u64 * self.model.snapshot_ns_per_byte;
         self.vtime_ns += charged;
@@ -290,6 +296,9 @@ impl HwTarget for SimTarget {
         }
         let mut span = self.rec.span("snapshot", "capture_delta");
         let cap = self.tracker.capture(&mut self.sim);
+        if let SnapshotCapture::Full(s) = &cap {
+            self.capture_checksum = s.content_hash();
+        }
         let charged = match &cap {
             // A full capture (first, or a rebase) pays the full
             // freeze-and-dump cost.
@@ -449,6 +458,7 @@ impl HwTarget for SimTarget {
             // Replicas go to other workers; each worker attaches its
             // own track's recorder.
             rec: Recorder::disabled(),
+            capture_checksum: 0,
         }))
     }
 
@@ -467,6 +477,12 @@ impl HwTarget for SimTarget {
                 .iter_mems()
                 .map(|(id, mem)| (mem.name.as_str(), mem.width, self.sim.mem_words(id).len())),
         )
+    }
+
+    fn capture_checksum(&self) -> u64 {
+        // The checkpoint engine checksums the complete image as it
+        // dumps it; the trailer survives link damage to the payload.
+        self.capture_checksum
     }
 
     fn attach_recorder(&mut self, rec: &Recorder) {

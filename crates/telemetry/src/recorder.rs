@@ -109,6 +109,16 @@ enum_metric! {
         SimOpsExecuted => "sim.ops_executed",
         /// Bytecode-simulator comb ops skipped by activity scheduling.
         SimOpsSkipped => "sim.ops_skipped",
+        /// Campaign-service jobs admitted (scheduled or queued).
+        JobsAdmitted => "serve.jobs_admitted",
+        /// Campaign-service submissions rejected with `Saturated`.
+        JobsRejected => "serve.jobs_rejected",
+        /// Campaign-service jobs that reached a terminal verdict.
+        JobsCompleted => "serve.jobs_completed",
+        /// Campaign-service jobs cancelled (watchdog or client).
+        JobsCancelled => "serve.jobs_cancelled",
+        /// In-flight jobs recovered after a daemon restart.
+        JobsRecovered => "serve.jobs_recovered",
     }
 }
 
@@ -146,9 +156,18 @@ enum_metric! {
         RecoveryRetriesCorruptCapture => "recovery_retries.corrupt_capture",
         /// Attempts needed to recover from restore-path faults.
         RecoveryRetriesRestore => "recovery_retries.restore",
+        /// Recovery latency (charged vtime) for glitched IRQ polls.
+        RecoveryVtimeIrqGlitch => "recovery_vtime_ns.irq_glitch",
+        /// Samples needed to settle a glitched IRQ poll.
+        RecoveryRetriesIrqGlitch => "recovery_retries.irq_glitch",
         /// Comb ops executed per simulator `step()` (dirty-cone
         /// activity; 0 for a fully quiescent cycle).
         SimCombOpsPerStep => "sim.comb_ops_per_step",
+        /// Campaign-service queue depth sampled at each admission.
+        ServeQueueDepth => "serve.queue_depth",
+        /// Virtual queue-wait: milliseconds between a job's submission
+        /// and its first leg starting.
+        ServeQueueWaitMs => "serve.queue_wait_ms",
     }
 }
 
@@ -166,6 +185,8 @@ pub enum FaultClass {
     CorruptCapture,
     /// Failure on the restore path.
     Restore,
+    /// IRQ-line poll observed a glitched bitmask and was re-sampled.
+    IrqGlitch,
 }
 
 impl FaultClass {
@@ -175,6 +196,7 @@ impl FaultClass {
         FaultClass::NotReady,
         FaultClass::CorruptCapture,
         FaultClass::Restore,
+        FaultClass::IrqGlitch,
     ];
 
     /// Human label (matches the metric name suffix).
@@ -184,6 +206,7 @@ impl FaultClass {
             FaultClass::NotReady => "not_ready",
             FaultClass::CorruptCapture => "corrupt_capture",
             FaultClass::Restore => "restore",
+            FaultClass::IrqGlitch => "irq_glitch",
         }
     }
 
@@ -194,6 +217,7 @@ impl FaultClass {
             FaultClass::NotReady => Metric::RecoveryVtimeNotReady,
             FaultClass::CorruptCapture => Metric::RecoveryVtimeCorruptCapture,
             FaultClass::Restore => Metric::RecoveryVtimeRestore,
+            FaultClass::IrqGlitch => Metric::RecoveryVtimeIrqGlitch,
         }
     }
 
@@ -204,6 +228,7 @@ impl FaultClass {
             FaultClass::NotReady => Metric::RecoveryRetriesNotReady,
             FaultClass::CorruptCapture => Metric::RecoveryRetriesCorruptCapture,
             FaultClass::Restore => Metric::RecoveryRetriesRestore,
+            FaultClass::IrqGlitch => Metric::RecoveryRetriesIrqGlitch,
         }
     }
 
@@ -214,6 +239,7 @@ impl FaultClass {
             FaultClass::NotReady => "retry:not-ready",
             FaultClass::CorruptCapture => "retry:corrupt-capture",
             FaultClass::Restore => "retry:restore",
+            FaultClass::IrqGlitch => "retry:irq-glitch",
         }
     }
 }
