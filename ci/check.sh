@@ -206,4 +206,77 @@ wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "    verdict exit codes + SIGKILL recovery OK, digest $rec_digest"
 
+echo "==> observability gate: subscribe stream, Prometheus scrape, flight recorder"
+# A fresh daemon serves Prometheus text exposition on an ephemeral TCP
+# port while a subscriber captures the live event stream; every
+# observability artifact must validate under trace-check and the
+# observed job's digest must equal the dark run's from the gate above.
+ODIR=target/serve-obs
+OSOCK=$ODIR/serve.sock
+OLOG=target/serve-obs.log
+rm -rf "$ODIR"
+"$SERVE" --state-dir "$ODIR" --socket "$OSOCK" --pool 2 --queue-max 8 \
+    --metrics-addr 127.0.0.1:0 > "$OLOG" 2>&1 &
+SERVE_PID=$!
+# The daemon announces the bound endpoint (port 0 = ephemeral); parse it.
+for _ in $(seq 1 200); do
+    grep -q 'metrics on http://' "$OLOG" && break
+    sleep 0.05
+done
+MADDR=$(sed -n 's#.*metrics on http://\([^/]*\)/metrics#\1#p' "$OLOG" | head -1)
+if [ -z "$MADDR" ]; then
+    echo "daemon never announced its metrics endpoint"
+    exit 1
+fi
+MHOST=${MADDR%:*}; MPORT=${MADDR##*:}
+
+# Capture the first few lifecycle events as NDJSON while the job runs.
+"$CLI" subscribe --socket "$OSOCK" --count 4 --timeout-secs 60 \
+    --out target/serve.events.ndjson 2>/dev/null &
+SUB_PID=$!
+obs_id=$("$CLI" submit demo:5 --socket "$OSOCK" --name observed \
+    --leg-instructions 64 | awk '{print $3}')
+
+# Scrape the exposition endpoint mid-run with bash's /dev/tcp, then
+# strip the HTTP response headers.
+exec 3<>"/dev/tcp/$MHOST/$MPORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+sed -e '1,/^\r\{0,1\}$/d' <&3 > target/serve.metrics.prom
+exec 3<&- 3>&-
+
+rc_obs=0; "$CLI" wait "$obs_id" --socket "$OSOCK" > target/serve.obs.txt || rc_obs=$?
+obs_digest=$(awk '{print $(NF-1)}' target/serve.obs.txt)
+if [ "$rc_obs" != 0 ] || [ "$obs_digest" != "$ok_digest" ]; then
+    echo "observed run diverged: exit=$rc_obs digest=$obs_digest want=$ok_digest"
+    exit 1
+fi
+wait "$SUB_PID"
+
+# Every artifact validates under the format-sniffing trace-check:
+# the captured event stream, the mid-run scrape, the aggregated JSON
+# snapshot, the flight dump, and the job's terminal-commit artifacts.
+"$CLI" metrics --socket "$OSOCK" > target/serve.metrics.json
+"$CLI" dump-flight --socket "$OSOCK" --out target/serve.flight.json 2>/dev/null
+"$CLI" trace-check target/serve.events.ndjson
+"$CLI" trace-check target/serve.metrics.prom
+"$CLI" trace-check target/serve.metrics.json
+"$CLI" trace-check target/serve.flight.json
+"$CLI" trace-check "$ODIR/jobs/$obs_id/metrics.json"
+"$CLI" trace-check "$ODIR/jobs/$obs_id/trace.json"
+grep -q '^hardsnap_serve_jobs_admitted_total' target/serve.metrics.prom || {
+    echo "mid-run scrape is missing serve counters"
+    exit 1
+}
+
+# SIGTERM leaves a post-mortem flight dump on disk before shutdown.
+kill -TERM "$SERVE_PID"
+for _ in $(seq 1 200); do
+    [ -e "$ODIR/flight.json" ] && break
+    sleep 0.05
+done
+"$CLI" trace-check "$ODIR/flight.json"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "    event stream + exposition + flight recorder OK, digest $obs_digest"
+
 echo "==> OK"

@@ -41,8 +41,10 @@ fn main() -> ExitCode {
     // (0 completed/stable, 1 error, 2 saturated, 3 flaky,
     // 4 cancelled/over-budget), so they dispatch before the plain
     // ok/fail commands.
-    if let Some(cmd @ ("serve" | "submit" | "status" | "cancel" | "wait")) =
-        args.first().map(String::as_str)
+    if let Some(
+        cmd @ ("serve" | "submit" | "status" | "cancel" | "wait" | "metrics" | "subscribe"
+        | "dump-flight" | "top"),
+    ) = args.first().map(String::as_str)
     {
         return match cmd_serve_family(cmd, &args[1..]) {
             Ok(code) => code,
@@ -117,9 +119,12 @@ USAGE:
       --trace-out / --metrics-out switch telemetry on and export a
       Chrome trace_event file (Perfetto / chrome://tracing) or a
       machine-readable metrics dump.
-  hardsnap-cli trace-check <trace.json>
-      Validate a Chrome trace file: well-formed JSON, non-empty, with
-      monotonically ordered events on every track.
+  hardsnap-cli trace-check <file>
+      Validate an observability artifact, auto-detecting its format:
+      a Chrome trace (monotonic per-track timestamps), a metrics
+      snapshot (schema hardsnap-telemetry-v1), a flight-recorder dump
+      (schema hardsnap-flight-v1), an NDJSON event stream (as captured
+      by `subscribe`), or Prometheus text exposition.
   hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
                     [--delta-snapshots on|off]
       Coverage-guided fuzzing of HS32 firmware against the built-in SoC.
@@ -145,7 +150,28 @@ USAGE:
       over-budget. --repeat N re-executes a completed job N times total
       with re-seeded fault plans and reports stable vs flaky.
   hardsnap-cli status [JOB-ID] [--socket PATH]
-      Print one job (exits with its verdict code) or the whole table.
+      Print one job (exits with its verdict code) or the whole table,
+      headed by daemon occupancy (queue depth, pool busy/total,
+      subscribers, events published/dropped) and a per-job
+      budget-consumed column.
+  hardsnap-cli metrics [--socket PATH] [--format json|prom]
+      Fetch the daemon's aggregated telemetry snapshot — engine
+      counters/histograms merged across all jobs plus serve-level
+      counters and occupancy gauges — as schema'd JSON (default) or
+      Prometheus text exposition.
+  hardsnap-cli subscribe [--socket PATH] [--count N] [--timeout-secs S]
+                         [--out PATH]
+      Stream live job-lifecycle events as NDJSON (one event object per
+      line) to stdout or --out; stops after N events, after S seconds
+      (default 30), or when the daemon shuts down.
+  hardsnap-cli dump-flight [--socket PATH] [--out PATH]
+      Dump the daemon's in-memory flight recorder (the last N protocol
+      and lifecycle events, schema hardsnap-flight-v1).
+  hardsnap-cli top [--socket PATH] [--interval-ms N] [--frames N]
+      Live ANSI dashboard over subscribe + metrics: job table with
+      budget bars, pool occupancy, queue depth, instructions/s and
+      events/s, plus the most recent lifecycle events. --frames 0
+      (default) runs until the daemon goes away or Ctrl-C.
   hardsnap-cli cancel <job-id | daemon> [--socket PATH]
       Cooperatively cancel a job (it stops at the next quantum boundary
       with a resumable checkpoint), or shut the daemon down.
@@ -440,15 +466,94 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// Validates a Chrome `trace_event` JSON file: parses with the in-tree
-/// JSON reader, requires a non-empty `traceEvents` array whose events
-/// carry the required keys, and checks timestamps are monotonically
-/// ordered within every track (`tid`).
+/// Validates any observability artifact the toolchain emits, sniffing
+/// the format: Chrome trace / metrics snapshot / flight dump (whole-file
+/// JSON, discriminated by `traceEvents` or `schema`), an NDJSON event
+/// stream captured from `subscribe`, or Prometheus text exposition.
 fn cmd_trace_check(args: &[String]) -> CliResult {
     let (pos, _) = parse_flags(args)?;
-    let path = pos.first().ok_or("trace-check: missing <trace.json>")?;
+    let path = pos.first().ok_or("trace-check: missing <file>")?;
     let src = std::fs::read_to_string(path)?;
-    let v = hardsnap_util::json::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    match hardsnap_util::json::parse(&src) {
+        Ok(v) => {
+            if v.get("traceEvents").is_some() {
+                return check_chrome_trace(path, &v);
+            }
+            match v.get("schema").and_then(|s| s.as_str()) {
+                Some("hardsnap-telemetry-v1") => {
+                    hardsnap_telemetry::MetricsSnapshot::from_value(&v)
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    println!("{path}: OK (metrics snapshot, schema hardsnap-telemetry-v1)");
+                    Ok(())
+                }
+                Some("hardsnap-flight-v1") => {
+                    hardsnap_telemetry::validate_flight_dump(&v)
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    let n = v
+                        .get("entries")
+                        .and_then(|e| e.as_arr())
+                        .map_or(0, <[_]>::len);
+                    println!("{path}: OK (flight recorder dump, {n} entries)");
+                    Ok(())
+                }
+                Some(other) => Err(format!("{path}: unknown schema '{other}'").into()),
+                None => Err(format!(
+                    "{path}: JSON, but neither a Chrome trace (traceEvents), a metrics \
+                     snapshot, nor a flight dump (schema)"
+                )
+                .into()),
+            }
+        }
+        // Not one JSON document: an NDJSON event stream or Prometheus
+        // text exposition.
+        Err(_) => check_event_stream_or_prometheus(path, &src),
+    }
+}
+
+/// Validates an NDJSON event stream (every non-blank line a typed event
+/// with strictly increasing `seq`), falling back to Prometheus text
+/// exposition when the first line is not JSON.
+fn check_event_stream_or_prometheus(path: &str, src: &str) -> CliResult {
+    let lines: Vec<&str> = src.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return Err(format!("{path}: empty file").into());
+    }
+    if hardsnap_util::json::parse(lines[0]).is_ok() {
+        let mut last_seq = None;
+        for (i, line) in lines.iter().enumerate() {
+            let v = hardsnap_util::json::parse(line)
+                .map_err(|e| format!("{path}: line {}: {e}", i + 1))?;
+            let ev = hardsnap_serve::Event::from_value(&v)
+                .map_err(|e| format!("{path}: line {}: {e}", i + 1))?;
+            if let Some(prev) = last_seq {
+                if ev.seq <= prev {
+                    return Err(format!(
+                        "{path}: line {}: seq {} not increasing (prev {prev})",
+                        i + 1,
+                        ev.seq
+                    )
+                    .into());
+                }
+            }
+            last_seq = Some(ev.seq);
+        }
+        println!("{path}: OK (event stream, {} events)", lines.len());
+        return Ok(());
+    }
+    let families = hardsnap_telemetry::parse_prometheus(src).map_err(|e| format!("{path}: {e}"))?;
+    hardsnap_telemetry::validate_exposition(&families).map_err(|e| format!("{path}: {e}"))?;
+    let samples: usize = families.iter().map(|f| f.samples.len()).sum();
+    println!(
+        "{path}: OK (Prometheus exposition, {} families, {samples} samples)",
+        families.len()
+    );
+    Ok(())
+}
+
+/// The original Chrome `trace_event` check: a non-empty `traceEvents`
+/// array whose events carry the required keys, with timestamps
+/// monotonically ordered within every track (`tid`).
+fn check_chrome_trace(path: &str, v: &hardsnap_util::json::Value) -> CliResult {
     let events = v
         .get("traceEvents")
         .and_then(|e| e.as_arr())
@@ -626,6 +731,10 @@ fn cmd_serve_family(cmd: &str, args: &[String]) -> ServeResult {
         "status" => cmd_status(&pos, &flags),
         "cancel" => cmd_cancel(&pos, &flags),
         "wait" => cmd_wait(&pos, &flags),
+        "metrics" => cmd_metrics(&flags),
+        "subscribe" => cmd_subscribe(&flags),
+        "dump-flight" => cmd_dump_flight(&flags),
+        "top" => cmd_top(&flags),
         _ => unreachable!("dispatched in main"),
     }
 }
@@ -728,10 +837,11 @@ fn print_summary(s: &hardsnap_serve::JobSummary) {
         .map(|v| v.as_str().to_string())
         .unwrap_or_else(|| "-".into());
     println!(
-        "job {:>4}  {:<8}  {:<11}  instr {:>9}  paths {:>5}  bugs {:>3}  wait {:>5} ms  run {:>6} ms  {}  {}",
+        "job {:>4}  {:<8}  {:<11}  bud {:>3}%  instr {:>9}  paths {:>5}  bugs {:>3}  wait {:>5} ms  run {:>6} ms  {}  {}",
         s.id,
         s.state.as_str(),
         verdict,
+        s.budget_permille / 10,
         s.instructions,
         s.paths,
         s.bugs,
@@ -740,6 +850,19 @@ fn print_summary(s: &hardsnap_serve::JobSummary) {
         s.digest.as_deref().unwrap_or("-"),
         s.name,
     );
+}
+
+/// One-line daemon occupancy header for `status` and `top`.
+fn daemon_header(d: &hardsnap_serve::DaemonStats) -> String {
+    format!(
+        "daemon: queue {}  pool {}/{} busy  subscribers {}  events {} published / {} dropped",
+        d.queue_depth,
+        d.pool_busy,
+        d.pool_replicas,
+        d.subscribers,
+        d.events_published,
+        d.events_dropped
+    )
 }
 
 fn summary_exit(s: &hardsnap_serve::JobSummary) -> ExitCode {
@@ -772,10 +895,17 @@ fn cmd_status(pos: &[&str], flags: &[(&str, &str)]) -> ServeResult {
         None => None,
     };
     let mut client = connect(flags)?;
-    let jobs = client.status(id)?;
+    let (jobs, daemon) = client.status_full(id)?;
     if let Some(id) = id {
         if jobs.is_empty() {
             return Err(hardsnap_serve::ServeError::Job(format!("unknown job {id}")));
+        }
+    }
+    // The whole-table view leads with daemon occupancy; the single-job
+    // view stays a bare summary (scripts parse its exit code anyway).
+    if id.is_none() {
+        if let Some(d) = &daemon {
+            println!("{}", daemon_header(d));
         }
     }
     for s in &jobs {
@@ -821,4 +951,211 @@ fn cmd_wait(pos: &[&str], flags: &[(&str, &str)]) -> ServeResult {
     let s = client.wait(id, timeout)?;
     print_summary(&s);
     Ok(summary_exit(&s))
+}
+
+fn cmd_metrics(flags: &[(&str, &str)]) -> ServeResult {
+    let bad = |m: String| hardsnap_serve::ServeError::Protocol(m);
+    let mut client = connect(flags)?;
+    let v = client.metrics()?;
+    match flag(flags, "format").unwrap_or("json") {
+        "json" => println!("{}", v.to_json()),
+        "prom" => {
+            let snap = hardsnap_telemetry::MetricsSnapshot::from_value(&v)
+                .map_err(|e| bad(format!("metrics: {e}")))?;
+            print!("{}", hardsnap_telemetry::prometheus_text(&snap));
+        }
+        other => return Err(bad(format!("bad --format '{other}' (want json|prom)"))),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_dump_flight(flags: &[(&str, &str)]) -> ServeResult {
+    let mut client = connect(flags)?;
+    let v = client.dump_flight()?;
+    match flag(flags, "out") {
+        Some(path) => {
+            std::fs::write(path, v.to_json())
+                .map_err(|e| hardsnap_serve::ServeError::Io(format!("write {path}: {e}")))?;
+            eprintln!("flight recorder written to {path}");
+        }
+        None => println!("{}", v.to_json()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_subscribe(flags: &[(&str, &str)]) -> ServeResult {
+    use std::io::Write;
+    let bad = |m: String| hardsnap_serve::ServeError::Protocol(m);
+    let count: usize = match flag(flags, "count") {
+        Some(n) => n.parse().map_err(|_| bad(format!("bad --count '{n}'")))?,
+        None => 0, // unbounded
+    };
+    let timeout_secs: u64 = match flag(flags, "timeout-secs") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| bad(format!("bad --timeout-secs '{s}'")))?,
+        None => 30,
+    };
+    let mut out: Box<dyn Write> = match flag(flags, "out") {
+        Some(path) => Box::new(
+            std::fs::File::create(path)
+                .map_err(|e| hardsnap_serve::ServeError::Io(format!("create {path}: {e}")))?,
+        ),
+        None => Box::new(std::io::stdout()),
+    };
+    let mut stream = connect(flags)?.subscribe()?;
+    // Belt and braces: the deadline bounds keep-alive-punctuated waits,
+    // the socket timeout bounds a silent dead stream.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(250)))?;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(timeout_secs);
+    stream.set_deadline(Some(deadline));
+    let mut seen = 0usize;
+    while std::time::Instant::now() < deadline && (count == 0 || seen < count) {
+        match stream.next_event() {
+            Ok(Some(ev)) => {
+                writeln!(out, "{}", ev.to_value().to_json())
+                    .map_err(|e| hardsnap_serve::ServeError::Io(format!("write: {e}")))?;
+                seen += 1;
+            }
+            Ok(None) => break,  // daemon shut down
+            Err(_) => continue, // read timeout: re-check the deadline
+        }
+    }
+    out.flush()
+        .map_err(|e| hardsnap_serve::ServeError::Io(format!("flush: {e}")))?;
+    eprintln!("captured {seen} event(s)");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// 20-cell budget/occupancy bar, e.g. `[########------------]`.
+fn bar20(permille: u64) -> String {
+    let filled = (permille.min(1000) as usize * 20) / 1000;
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(20 - filled))
+}
+
+fn cmd_top(flags: &[(&str, &str)]) -> ServeResult {
+    use std::io::Write;
+    let bad = |m: String| hardsnap_serve::ServeError::Protocol(m);
+    let interval_ms: u64 = match flag(flags, "interval-ms") {
+        Some(n) => n
+            .parse()
+            .map_err(|_| bad(format!("bad --interval-ms '{n}'")))?,
+        None => 500,
+    };
+    let frames: u64 = match flag(flags, "frames") {
+        Some(n) => n.parse().map_err(|_| bad(format!("bad --frames '{n}'")))?,
+        None => 0, // until the daemon goes away
+    };
+    let mut client = connect(flags)?;
+    let mut stream = connect(flags)?.subscribe()?;
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(25)))?;
+    let mut recent: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+    let mut events_total: u64 = 0;
+    let mut last: Option<(u64, std::time::Instant)> = None;
+    let mut frame: u64 = 0;
+    loop {
+        // Drain whatever the event stream buffered since the last
+        // frame (bounded, so a burst cannot starve rendering).
+        let mut drained = 0;
+        loop {
+            match stream.next_event() {
+                Ok(Some(ev)) => {
+                    events_total += 1;
+                    recent.push_back(format!(
+                        "#{:<8} {:<16} job {}",
+                        ev.seq,
+                        ev.body.kind(),
+                        ev.body.job_id()
+                    ));
+                    while recent.len() > 6 {
+                        recent.pop_front();
+                    }
+                    drained += 1;
+                    if drained >= 256 {
+                        break;
+                    }
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+        let Ok((jobs, daemon)) = client.status_full(None) else {
+            println!("top: daemon went away");
+            break;
+        };
+        let snap = client
+            .metrics()
+            .ok()
+            .and_then(|v| hardsnap_telemetry::MetricsSnapshot::from_value(&v).ok());
+        let now = std::time::Instant::now();
+        let instr: u64 = jobs.iter().map(|j| j.instructions).sum();
+        let rate = match last {
+            Some((prev, t)) if now > t => {
+                (instr.saturating_sub(prev) as f64 / now.duration_since(t).as_secs_f64()) as u64
+            }
+            _ => 0,
+        };
+        last = Some((instr, now));
+
+        let mut screen = String::from("\x1b[2J\x1b[H");
+        screen.push_str(&format!(
+            "hardsnap top — {}  (frame {frame}, every {interval_ms} ms)\n",
+            serve_socket(flags).display()
+        ));
+        if let Some(d) = &daemon {
+            let occ = if d.pool_replicas > 0 {
+                d.pool_busy as u64 * 1000 / d.pool_replicas as u64
+            } else {
+                0
+            };
+            screen.push_str(&format!("{}\n", daemon_header(d)));
+            screen.push_str(&format!(
+                "pool {} {:>3}%   instr/s {rate}   events seen {events_total}\n",
+                bar20(occ),
+                occ / 10
+            ));
+        }
+        if let Some(s) = &snap {
+            screen.push_str(&format!(
+                "completed {}  cancelled {}  quanta {}  snapshots {}  scrapes {}\n",
+                s.counter("serve.jobs_completed"),
+                s.counter("serve.jobs_cancelled"),
+                s.counter("quanta"),
+                s.counter("snapshots_saved"),
+                s.counter("serve.metrics_scrapes"),
+            ));
+        }
+        screen.push('\n');
+        screen
+            .push_str("  ID  STATE     BUDGET                      INSTR      PATHS  BUGS  NAME\n");
+        for j in &jobs {
+            screen.push_str(&format!(
+                "{:>4}  {:<8}  {} {:>3}%  {:>9}  {:>5}  {:>4}  {}\n",
+                j.id,
+                j.state.as_str(),
+                bar20(j.budget_permille),
+                j.budget_permille / 10,
+                j.instructions,
+                j.paths,
+                j.bugs,
+                j.name,
+            ));
+        }
+        if !recent.is_empty() {
+            screen.push_str("\nrecent events:\n");
+            for line in &recent {
+                screen.push_str("  ");
+                screen.push_str(line);
+                screen.push('\n');
+            }
+        }
+        print!("{screen}");
+        let _ = std::io::stdout().flush();
+
+        frame += 1;
+        if frames > 0 && frame >= frames {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    Ok(ExitCode::SUCCESS)
 }

@@ -2,19 +2,47 @@
 //!
 //! ```text
 //! hardsnap-serve [--state-dir DIR] [--socket PATH] [--pool N]
-//!                [--queue-max N] [--stdio]
+//!                [--queue-max N] [--metrics-addr HOST:PORT]
+//!                [--no-observe] [--stdio]
 //! ```
 //!
 //! On start the daemon recovers its state directory: terminal jobs are
 //! reported as-is, unfinished jobs re-enqueue and resume from their
 //! last crash-atomic checkpoint. `--stdio` serves a single NDJSON
 //! session on stdin/stdout instead of binding the unix socket (handy
-//! for scripting and tests).
+//! for scripting and tests). `--metrics-addr` additionally serves
+//! Prometheus text exposition over plain TCP (the bound address is
+//! printed, so `:0` works for tests). On SIGTERM or panic the daemon
+//! dumps its flight recorder to `<state-dir>/flight.json` before
+//! winding down.
 
 use hardsnap_serve::{Daemon, DaemonConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+/// The live daemon, stashed for the panic hook's flight dump.
+static DAEMON: OnceLock<Arc<Daemon>> = OnceLock::new();
+
+extern "C" fn on_sigterm(_sig: i32) {
+    // Async-signal-safe: just set the flag; a watcher thread acts.
+    SIGTERM_SEEN.store(true, Ordering::SeqCst);
+}
+
+fn install_sigterm_handler() {
+    // libc is already linked by std; declaring `signal` avoids any
+    // dependency. SIGTERM = 15 on every platform this daemon targets.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -29,6 +57,7 @@ fn main() -> ExitCode {
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = DaemonConfig::default();
     let mut socket: Option<PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut stdio = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,11 +67,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
             "--pool" => cfg.pool_replicas = value("--pool")?.parse()?,
             "--queue-max" => cfg.queue_max = value("--queue-max")?.parse()?,
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
+            "--no-observe" => cfg.observe = false,
             "--stdio" => stdio = true,
             "--help" | "-h" => {
                 println!(
                     "usage: hardsnap-serve [--state-dir DIR] [--socket PATH] \
-                     [--pool N] [--queue-max N] [--stdio]"
+                     [--pool N] [--queue-max N] [--metrics-addr HOST:PORT] \
+                     [--no-observe] [--stdio]"
                 );
                 return Ok(());
             }
@@ -51,11 +83,51 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     let socket = socket.unwrap_or_else(|| cfg.state_dir.join("serve.sock"));
     let daemon = Daemon::new(cfg)?;
+    let _ = DAEMON.set(Arc::clone(&daemon));
+
+    // A panic anywhere in the process leaves a post-mortem trail.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(d) = DAEMON.get() {
+            if let Ok(path) = d.dump_flight_to_file() {
+                eprintln!(
+                    "hardsnap-serve: flight recorder dumped to {}",
+                    path.display()
+                );
+            }
+        }
+        default_hook(info);
+    }));
+
+    // SIGTERM: dump the flight recorder, then wind down cleanly.
+    install_sigterm_handler();
+    {
+        let d = Arc::clone(&daemon);
+        std::thread::spawn(move || loop {
+            if SIGTERM_SEEN.load(Ordering::SeqCst) {
+                if let Ok(path) = d.dump_flight_to_file() {
+                    eprintln!(
+                        "hardsnap-serve: SIGTERM — flight recorder dumped to {}",
+                        path.display()
+                    );
+                }
+                d.request_shutdown();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
     let resumed = daemon.recover()?;
     if resumed > 0 {
         eprintln!("hardsnap-serve: resumed {resumed} unfinished job(s)");
     }
     daemon.spawn_watchdog(Duration::from_millis(50));
+    if let Some(addr) = metrics_addr {
+        let bound = daemon.spawn_metrics_http(&addr)?;
+        // Machine-parseable (the CI gate scrapes it): keep this format.
+        eprintln!("hardsnap-serve: metrics on http://{bound}/metrics");
+    }
     if stdio {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();

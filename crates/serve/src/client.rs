@@ -2,9 +2,11 @@
 //! wrapper over a unix-socket connection, plus polling helpers the CLI
 //! verbs (`submit --wait`, CI gates) build on.
 
-use crate::job::{JobSpec, JobState, JobSummary};
+use crate::events::Event;
+use crate::job::{DaemonStats, JobSpec, JobState, JobSummary};
 use crate::proto::{read_line, write_line, Request, Response};
 use crate::ServeError;
+use hardsnap_util::json::Value;
 use std::io::BufReader;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -88,10 +90,70 @@ impl Client {
     ///
     /// Transport/protocol failures.
     pub fn status(&mut self, id: Option<u64>) -> Result<Vec<JobSummary>, ServeError> {
+        self.status_full(id).map(|(jobs, _)| jobs)
+    }
+
+    /// Fetches job summaries plus the daemon-wide occupancy stats.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn status_full(
+        &mut self,
+        id: Option<u64>,
+    ) -> Result<(Vec<JobSummary>, Option<DaemonStats>), ServeError> {
         match self.request(&Request::Status(id))? {
-            Response::Status(jobs) => Ok(jobs),
+            Response::Status { jobs, daemon } => Ok((jobs, daemon)),
             other => Err(ServeError::Protocol(format!(
                 "unexpected reply to status: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the daemon's aggregated metrics snapshot as a raw JSON
+    /// value (schema `hardsnap-telemetry-v1`).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn metrics(&mut self) -> Result<Value, ServeError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(v) => Ok(v),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to metrics: {other:?}"
+            ))),
+        }
+    }
+
+    /// Dumps the daemon's flight recorder (schema `hardsnap-flight-v1`).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn dump_flight(&mut self) -> Result<Value, ServeError> {
+        match self.request(&Request::DumpFlight)? {
+            Response::Flight(v) => Ok(v),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to dump-flight: {other:?}"
+            ))),
+        }
+    }
+
+    /// Switches this connection into a live event stream. Consumes the
+    /// client — the connection can no longer carry lockstep requests.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures during the subscribe handshake.
+    pub fn subscribe(mut self) -> Result<EventStream, ServeError> {
+        match self.request(&Request::Subscribe)? {
+            Response::Subscribed => Ok(EventStream {
+                reader: self.reader,
+                _writer: self.writer,
+                deadline: None,
+            }),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected reply to subscribe: {other:?}"
             ))),
         }
     }
@@ -159,5 +221,79 @@ impl Client {
             }
             std::thread::sleep(Duration::from_millis(50));
         }
+    }
+}
+
+/// A subscribed connection: reads pushed [`Event`]s until the daemon
+/// shuts down or the stream drops. Keep-alive blank lines are skipped
+/// transparently by the codec.
+pub struct EventStream {
+    reader: BufReader<UnixStream>,
+    _writer: UnixStream,
+    deadline: Option<Instant>,
+}
+
+impl EventStream {
+    /// Reads the next event. `Ok(None)` when the daemon closed the
+    /// stream.
+    ///
+    /// Blank keep-alive lines are skipped, but each skip re-checks the
+    /// deadline set by [`EventStream::set_deadline`] — an idle daemon
+    /// sends keep-alives faster than any sane read timeout, so the
+    /// socket-level timeout alone cannot bound this call.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors (including a read timeout, if one was set),
+    /// malformed events, and an elapsed deadline.
+    pub fn next_event(&mut self) -> Result<Option<Event>, ServeError> {
+        use std::io::BufRead;
+        let mut line = String::new();
+        loop {
+            if let Some(dl) = self.deadline {
+                if Instant::now() >= dl {
+                    return Err(ServeError::Io("event-stream deadline elapsed".into()));
+                }
+            }
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| ServeError::Io(format!("read: {e}")))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if line.trim().is_empty() {
+                continue; // keep-alive
+            }
+            let v = hardsnap_util::json::parse(line.trim())
+                .map_err(|e| ServeError::Protocol(format!("bad JSON line: {e}")))?;
+            return match Response::from_value(&v)? {
+                Response::Event(ev) => Ok(Some(ev)),
+                Response::ShuttingDown => Ok(None),
+                other => Err(ServeError::Protocol(format!(
+                    "unexpected message on event stream: {other:?}"
+                ))),
+            };
+        }
+    }
+
+    /// Bounds the *total* time future `next_event` calls may spend,
+    /// keep-alives included (None = no bound). Pair with a socket read
+    /// timeout so a silent, dead stream cannot block past it either.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Bounds how long `next_event` may block (None = forever).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket rejects the option.
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> Result<(), ServeError> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(t)
+            .map_err(|e| ServeError::Io(format!("set_read_timeout: {e}")))
     }
 }

@@ -26,18 +26,26 @@
 //! to an uninterrupted run — the property `exp_serve` and the CI serve
 //! gate assert end to end.
 
-use crate::job::{JobSpec, JobState, JobSummary, Verdict};
+use crate::events::{EventBody, EventBus, Subscription};
+use crate::job::{DaemonStats, JobSpec, JobState, JobSummary, Verdict};
 use crate::proto::{read_line, write_line, Request, Response};
 use crate::runner;
 use crate::{digest_hex, write_atomic, ServeError};
 use hardsnap::{CancelToken, StopReason};
-use hardsnap_telemetry::{Counter, Metric, Recorder};
-use hardsnap_util::json::parse;
+use hardsnap_telemetry::{
+    prometheus_text, Counter, FlightRecorder, Metric, MetricsSnapshot, Recorder,
+};
+use hardsnap_util::json::{parse, Value};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Cap on merged per-job spans kept in memory: beyond this, the oldest
+/// spans are shed (counters and histograms are unaffected — only the
+/// Chrome trace loses tail history).
+const JOB_SPAN_CAP: usize = 65_536;
 
 /// Daemon tuning.
 #[derive(Clone, Debug)]
@@ -56,6 +64,18 @@ pub struct DaemonConfig {
     /// quantum boundary past the deadline; the watchdog is the backstop
     /// for a wedged leg).
     pub watchdog_grace: Duration,
+    /// Enable per-job engine telemetry (per-leg metric snapshots, the
+    /// `metrics` verb's per-job detail, `jobs/<id>/metrics.json` and
+    /// the Chrome trace). Observe-only: digests are unaffected either
+    /// way.
+    pub observe: bool,
+    /// Bound on each `subscribe` client's event queue. A subscriber
+    /// that falls further behind sheds its oldest events (counted);
+    /// the runner never blocks on it.
+    pub event_queue_cap: usize,
+    /// Flight-recorder ring size (most recent events kept for the
+    /// post-mortem `flight.json`).
+    pub flight_capacity: usize,
 }
 
 impl Default for DaemonConfig {
@@ -65,6 +85,9 @@ impl Default for DaemonConfig {
             pool_replicas: 4,
             queue_max: 8,
             watchdog_grace: Duration::from_millis(250),
+            observe: true,
+            event_queue_cap: 1024,
+            flight_capacity: 4096,
         }
     }
 }
@@ -76,17 +99,47 @@ struct Job {
     stop: Option<StopReason>,
     digest: Option<u64>,
     instructions: u64,
+    vtime_ns: u64,
+    quanta: u64,
     paths: u64,
     bugs: u64,
+    /// Per-leg engine telemetry merged over the job's lifetime (empty
+    /// when the daemon runs unobserved).
+    telemetry: MetricsSnapshot,
     cancel: CancelToken,
     submitted_at: Instant,
+    started_at: Option<Instant>,
     /// Absolute wall deadline (watchdog backstop); `None` = none.
     deadline: Option<Instant>,
     queue_wait_ms: u64,
     run_ms: u64,
 }
 
+/// `used/cap` in permille, saturating at 1000; 0 for unbudgeted.
+fn frac_permille(used: u64, cap: u64) -> u64 {
+    if cap == 0 {
+        0
+    } else {
+        (used.saturating_mul(1000) / cap).min(1000)
+    }
+}
+
 impl Job {
+    /// Budget consumed: the max over every configured budget, permille.
+    fn budget_permille(&self) -> u64 {
+        let wall_used = match (self.spec.wall_ms, self.started_at) {
+            (ms, Some(t)) if ms > 0 && self.state == JobState::Running => {
+                t.elapsed().as_millis() as u64
+            }
+            (ms, _) if ms > 0 => self.run_ms,
+            _ => 0,
+        };
+        frac_permille(self.instructions, self.spec.max_instructions)
+            .max(frac_permille(self.vtime_ns, self.spec.max_vtime_ns))
+            .max(frac_permille(self.quanta, self.spec.max_quanta))
+            .max(frac_permille(wall_used, self.spec.wall_ms))
+    }
+
     fn summary(&self, id: u64) -> JobSummary {
         JobSummary {
             id,
@@ -96,8 +149,11 @@ impl Job {
             stop: self.stop,
             digest: self.digest.map(digest_hex),
             instructions: self.instructions,
+            vtime_ns: self.vtime_ns,
+            quanta: self.quanta,
             paths: self.paths,
             bugs: self.bugs,
+            budget_permille: self.budget_permille(),
             queue_wait_ms: self.queue_wait_ms,
             run_ms: self.run_ms,
         }
@@ -123,6 +179,12 @@ pub struct Daemon {
     /// tests).
     changed: Condvar,
     rec: Recorder,
+    /// Fan-out of lifecycle events to `subscribe` clients.
+    bus: EventBus,
+    /// Ring of recent events for the post-mortem `flight.json`.
+    flight: FlightRecorder,
+    /// Daemon birth; event timestamps are ms since this instant.
+    started: Instant,
 }
 
 impl Daemon {
@@ -135,6 +197,7 @@ impl Daemon {
     pub fn new(cfg: DaemonConfig) -> Result<Arc<Daemon>, ServeError> {
         std::fs::create_dir_all(cfg.state_dir.join("jobs"))
             .map_err(|e| ServeError::Io(format!("{}: {e}", cfg.state_dir.display())))?;
+        let flight_capacity = cfg.flight_capacity;
         Ok(Arc::new(Daemon {
             cfg,
             inner: Mutex::new(Inner {
@@ -146,11 +209,50 @@ impl Daemon {
             }),
             changed: Condvar::new(),
             rec: Recorder::enabled(0, "serve"),
+            bus: EventBus::new(),
+            flight: FlightRecorder::new(flight_capacity),
+            started: Instant::now(),
         }))
     }
 
     fn job_dir(&self, id: u64) -> PathBuf {
         self.cfg.state_dir.join("jobs").join(id.to_string())
+    }
+
+    /// Milliseconds since the daemon started (event timestamp base).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Publishes one lifecycle event to subscribers and the flight
+    /// recorder. Never blocks: slow subscribers shed oldest events.
+    /// Callers must NOT hold the inner lock (no need — events carry
+    /// their payload).
+    fn emit(&self, body: EventBody) {
+        let ts = self.now_ms();
+        let kind = body.kind();
+        let (_, dropped) = self.bus.publish(ts, body.clone());
+        self.rec.count(Counter::ServeEventsPublished);
+        for _ in 0..dropped {
+            self.rec.count(Counter::ServeEventsDropped);
+        }
+        let ev = crate::events::Event {
+            seq: 0, // flight entries are sequenced by the ring itself
+            ts_ms: ts,
+            dropped: 0,
+            body,
+        };
+        self.flight.push(ts, kind, ev.to_value().to_json());
+    }
+
+    /// Crash-atomic journal write, with the fsync+rename latency
+    /// recorded in the `serve.journal_fsync_us` histogram.
+    fn journal_write(&self, path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
+        let t0 = Instant::now();
+        let r = write_atomic(path, bytes);
+        self.rec
+            .observe(Metric::ServeJournalFsyncUs, t0.elapsed().as_micros() as u64);
+        r
     }
 
     /// Admits a job or rejects it with the typed [`ServeError::Saturated`].
@@ -163,7 +265,7 @@ impl Daemon {
     /// job; [`ServeError::Io`] if the journal write fails (the job is
     /// then *not* admitted).
     pub fn submit(self: &Arc<Daemon>, spec: JobSpec) -> Result<u64, ServeError> {
-        let id = {
+        let (id, name, workers) = {
             let mut g = self.inner.lock().unwrap();
             if g.shutting_down {
                 self.rec.count(Counter::JobsRejected);
@@ -202,7 +304,9 @@ impl Daemon {
             let dir = self.job_dir(id);
             std::fs::create_dir_all(&dir)
                 .map_err(|e| ServeError::Io(format!("{}: {e}", dir.display())))?;
-            write_atomic(&dir.join("job.json"), spec.to_value().to_json().as_bytes())?;
+            self.journal_write(&dir.join("job.json"), spec.to_value().to_json().as_bytes())?;
+            let name = spec.name.clone();
+            let workers = spec.workers as u64;
             g.jobs.insert(
                 id,
                 Job {
@@ -212,10 +316,14 @@ impl Daemon {
                     stop: None,
                     digest: None,
                     instructions: 0,
+                    vtime_ns: 0,
+                    quanta: 0,
                     paths: 0,
                     bugs: 0,
+                    telemetry: MetricsSnapshot::empty(),
                     cancel: CancelToken::new(),
                     submitted_at: Instant::now(),
+                    started_at: None,
                     deadline: None,
                     queue_wait_ms: 0,
                     run_ms: 0,
@@ -225,8 +333,9 @@ impl Daemon {
             self.rec.count(Counter::JobsAdmitted);
             self.rec
                 .observe(Metric::ServeQueueDepth, g.queue.len() as u64);
-            id
+            (id, name, workers)
         };
+        self.emit(EventBody::Admitted { id, name, workers });
         self.schedule();
         Ok(id)
     }
@@ -247,6 +356,7 @@ impl Daemon {
                 let job = g.jobs.get_mut(&id).unwrap();
                 job.state = JobState::Running;
                 job.queue_wait_ms = job.submitted_at.elapsed().as_millis() as u64;
+                job.started_at = Some(Instant::now());
                 if job.spec.wall_ms > 0 {
                     job.deadline = Some(Instant::now() + Duration::from_millis(job.spec.wall_ms));
                 }
@@ -255,6 +365,7 @@ impl Daemon {
                 id
             };
             self.changed.notify_all();
+            self.emit(EventBody::Started { id });
             let me = Arc::clone(self);
             std::thread::spawn(move || me.run_job_thread(id));
         }
@@ -269,15 +380,73 @@ impl Daemon {
         let dir = self.job_dir(id);
         let started = Instant::now();
         let me = &self;
-        let outcome = runner::run_job(&spec, &dir.join("checkpoint"), &cancel, &mut |r| {
-            let mut g = me.inner.lock().unwrap();
-            if let Some(j) = g.jobs.get_mut(&id) {
-                j.instructions = r.instructions;
-                j.paths = r.metrics.paths_completed;
-                j.bugs = r.bugs.len() as u64;
+        let observe = self.cfg.observe;
+        let outcome = runner::run_job(&spec, &dir.join("checkpoint"), &cancel, observe, &mut |r| {
+            // Each leg is a fresh engine, so counters in
+            // `r.telemetry` are per-leg deltas while
+            // instructions/vtime/quanta are cumulative (resumed
+            // from the checkpoint). Derive events under the lock,
+            // publish after releasing it.
+            let mut events: Vec<EventBody> = Vec::new();
+            {
+                let mut g = me.inner.lock().unwrap();
+                if let Some(j) = g.jobs.get_mut(&id) {
+                    j.instructions = r.instructions;
+                    j.vtime_ns = r.hw_virtual_time_ns;
+                    j.quanta = r.metrics.quanta;
+                    j.paths = r.metrics.paths_completed;
+                    j.bugs = r.bugs.len() as u64;
+                    events.push(EventBody::Heartbeat {
+                        id,
+                        instructions: j.instructions,
+                        vtime_ns: j.vtime_ns,
+                        quanta: j.quanta,
+                        paths: j.paths,
+                        bugs: j.bugs,
+                        budget_permille: j.budget_permille(),
+                    });
+                    if !matches!(r.stop, StopReason::Complete | StopReason::Paths) {
+                        events.push(EventBody::Checkpoint {
+                            id,
+                            instructions: j.instructions,
+                        });
+                    }
+                    if r.faults.recovered > 0 {
+                        events.push(EventBody::FaultRecovered {
+                            id,
+                            recovered: r.faults.recovered,
+                        });
+                    }
+                    if r.faults.quarantined > 0 {
+                        events.push(EventBody::Quarantine {
+                            id,
+                            quarantined: r.faults.quarantined,
+                        });
+                    }
+                    if let Some(t) = &r.telemetry {
+                        let spills = t.counter("store_spills");
+                        let page_ins = t.counter("store_page_ins");
+                        if spills > 0 || page_ins > 0 {
+                            events.push(EventBody::Spill {
+                                id,
+                                spills,
+                                page_ins,
+                            });
+                        }
+                        j.telemetry.merge(t.clone());
+                        if j.telemetry.spans.len() > JOB_SPAN_CAP {
+                            let excess = j.telemetry.spans.len() - JOB_SPAN_CAP;
+                            j.telemetry.spans.drain(..excess);
+                        }
+                    }
+                }
             }
+            for body in events {
+                me.emit(body);
+            }
+            me.changed.notify_all();
         });
-        let summary = {
+        let (summary, telemetry) = {
             let mut g = self.inner.lock().unwrap();
             g.running_replicas -= spec.workers;
             let job = g.jobs.get_mut(&id).unwrap();
@@ -298,14 +467,41 @@ impl Daemon {
                 Err(e) => job.verdict = Some(Verdict::Error(e.to_string())),
             }
             self.rec.count(Counter::JobsCompleted);
-            job.summary(id)
+            let telemetry = if job.telemetry == MetricsSnapshot::empty() {
+                None
+            } else {
+                Some(job.telemetry.clone())
+            };
+            (job.summary(id), telemetry)
         };
+        // Per-job observability artifacts land before the terminal
+        // commit: if the daemon dies between them, the re-run rewrites
+        // both.
+        if let Some(t) = telemetry {
+            let _ = write_atomic(&dir.join("metrics.json"), t.metrics_json().as_bytes());
+            let _ = write_atomic(&dir.join("trace.json"), t.chrome_trace_json().as_bytes());
+        }
         // Terminal commit point: result.json lands crash-atomically;
         // until it exists, a restart re-runs the job from its checkpoint.
-        let _ = write_atomic(
+        let _ = self.journal_write(
             &dir.join("result.json"),
             summary.to_value().to_json().as_bytes(),
         );
+        self.emit(EventBody::Terminal {
+            id,
+            verdict: summary
+                .verdict
+                .as_ref()
+                .map(|v| v.as_str().to_string())
+                .unwrap_or_default(),
+            stop: summary.stop.map(|s| s.as_str().to_string()),
+            digest: summary.digest.clone(),
+            exit_code: summary
+                .verdict
+                .as_ref()
+                .map(|v| u64::from(v.exit_code()))
+                .unwrap_or(1),
+        });
         self.changed.notify_all();
         self.schedule();
     }
@@ -341,10 +537,17 @@ impl Daemon {
                 }
             }
         };
-        let _ = write_atomic(
+        let _ = self.journal_write(
             &self.job_dir(id).join("result.json"),
             summary.to_value().to_json().as_bytes(),
         );
+        self.emit(EventBody::Terminal {
+            id,
+            verdict: Verdict::Cancelled.as_str().to_string(),
+            stop: None,
+            digest: None,
+            exit_code: u64::from(Verdict::Cancelled.exit_code()),
+        });
         self.changed.notify_all();
         Ok(())
     }
@@ -356,6 +559,73 @@ impl Daemon {
             Some(id) => g.jobs.get(&id).map(|j| j.summary(id)).into_iter().collect(),
             None => g.jobs.iter().map(|(&id, j)| j.summary(id)).collect(),
         }
+    }
+
+    /// Daemon-wide occupancy (the `status` response's `daemon` object).
+    pub fn daemon_stats(&self) -> DaemonStats {
+        let (queue_depth, pool_busy) = {
+            let g = self.inner.lock().unwrap();
+            (g.queue.len() as u64, g.running_replicas as u64)
+        };
+        DaemonStats {
+            queue_depth,
+            pool_replicas: self.cfg.pool_replicas as u64,
+            pool_busy,
+            subscribers: self.bus.subscriber_count() as u64,
+            events_published: self.bus.published(),
+            events_dropped: self.bus.dropped(),
+        }
+    }
+
+    /// The daemon-wide aggregated metrics snapshot: the daemon's own
+    /// recorder (admission, queue, journal fsync, watchdog, event-bus
+    /// counters) merged with every job's engine telemetry
+    /// (counters/histograms only — spans stay per-job, they'd swamp the
+    /// wire) plus live occupancy gauges. Counts one `metrics` scrape.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.rec.count(Counter::ServeMetricsScrapes);
+        let mut snap = self.rec.snapshot().unwrap_or_else(MetricsSnapshot::empty);
+        {
+            let g = self.inner.lock().unwrap();
+            for job in g.jobs.values() {
+                snap.merge(job.telemetry.counts_only());
+            }
+            snap.set_gauge("serve.queue_depth", g.queue.len() as u64);
+            snap.set_gauge("serve.pool_replicas", self.cfg.pool_replicas as u64);
+            snap.set_gauge("serve.pool_busy", g.running_replicas as u64);
+            snap.set_gauge("serve.jobs_tracked", g.jobs.len() as u64);
+        }
+        snap.set_gauge("serve.subscribers", self.bus.subscriber_count() as u64);
+        snap
+    }
+
+    /// Registers a live event subscriber (bounded queue; see
+    /// [`DaemonConfig::event_queue_cap`]).
+    pub fn subscribe(&self) -> Subscription {
+        self.bus.subscribe(self.cfg.event_queue_cap)
+    }
+
+    /// Snapshot of the flight recorder as a JSON value (the
+    /// `dump-flight` verb). Counts one dump.
+    pub fn dump_flight_value(&self) -> Value {
+        self.rec.count(Counter::ServeFlightDumps);
+        self.flight.to_value()
+    }
+
+    /// Writes `flight.json` into the state directory (SIGTERM / panic
+    /// path). Crash-atomic like every other daemon file.
+    pub fn dump_flight_to_file(&self) -> Result<PathBuf, ServeError> {
+        self.rec.count(Counter::ServeFlightDumps);
+        let path = self.cfg.state_dir.join("flight.json");
+        write_atomic(&path, self.flight.dump_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Asks the accept/stream loops to wind down (the `shutdown` verb's
+    /// effect, callable from a signal watcher).
+    pub fn request_shutdown(&self) {
+        self.inner.lock().unwrap().shutting_down = true;
+        self.changed.notify_all();
     }
 
     /// Scans the state directory and rebuilds the job table after a
@@ -418,10 +688,14 @@ impl Daemon {
                     stop: done.as_ref().and_then(|s| s.stop),
                     digest: None, // summaries carry it as hex; re-derived below
                     instructions: done.as_ref().map_or(0, |s| s.instructions),
+                    vtime_ns: done.as_ref().map_or(0, |s| s.vtime_ns),
+                    quanta: done.as_ref().map_or(0, |s| s.quanta),
                     paths: done.as_ref().map_or(0, |s| s.paths),
                     bugs: done.as_ref().map_or(0, |s| s.bugs),
+                    telemetry: MetricsSnapshot::empty(),
                     cancel: CancelToken::new(),
                     submitted_at: Instant::now(),
+                    started_at: None,
                     deadline: None,
                     queue_wait_ms: done.as_ref().map_or(0, |s| s.queue_wait_ms),
                     run_ms: done.as_ref().map_or(0, |s| s.run_ms),
@@ -450,20 +724,28 @@ impl Daemon {
     /// The engine normally stops itself at the first quantum boundary
     /// past the deadline; this is the backstop for a wedged leg.
     pub fn watchdog_sweep(&self) -> usize {
-        let g = self.inner.lock().unwrap();
-        let now = Instant::now();
-        let mut hit = 0;
-        for job in g.jobs.values() {
-            if job.state == JobState::Running {
-                if let Some(dl) = job.deadline {
-                    if now > dl + self.cfg.watchdog_grace && !job.cancel.is_cancelled() {
-                        job.cancel.cancel();
-                        hit += 1;
-                    }
-                }
-            }
+        let hit_ids: Vec<u64> = {
+            let g = self.inner.lock().unwrap();
+            let now = Instant::now();
+            g.jobs
+                .iter()
+                .filter(|(_, job)| {
+                    job.state == JobState::Running
+                        && job.deadline.is_some_and(|dl| {
+                            now > dl + self.cfg.watchdog_grace && !job.cancel.is_cancelled()
+                        })
+                })
+                .map(|(&id, job)| {
+                    job.cancel.cancel();
+                    id
+                })
+                .collect()
+        };
+        for &id in &hit_ids {
+            self.rec.count(Counter::ServeWatchdogCancels);
+            self.emit(EventBody::WatchdogCancel { id });
         }
-        hit
+        hit_ids.len()
     }
 
     /// Spawns the watchdog thread (sweeps every `period` until the
@@ -512,7 +794,19 @@ impl Daemon {
                 Ok(id) => Response::Submitted { id },
                 Err(e) => Response::from_error(&e),
             },
-            Request::Status(id) => Response::Status(self.status(id)),
+            Request::Status(id) => Response::Status {
+                jobs: self.status(id),
+                daemon: Some(self.daemon_stats()),
+            },
+            Request::Metrics => Response::Metrics(self.metrics_snapshot().to_value()),
+            Request::DumpFlight => Response::Flight(self.dump_flight_value()),
+            // `subscribe` flips the connection into streaming mode;
+            // only serve_stream can do that. Reaching handle() means
+            // the front-end cannot stream (shouldn't happen in-tree).
+            Request::Subscribe => Response::Error {
+                kind: "protocol".into(),
+                message: "subscribe requires a streaming connection".into(),
+            },
             Request::Cancel(id) => match self.cancel(id) {
                 Ok(()) => Response::Cancelled { id },
                 Err(ServeError::Job(m)) => Response::Error {
@@ -542,7 +836,11 @@ impl Daemon {
         w: &mut dyn Write,
     ) -> Result<(), ServeError> {
         while let Some(v) = read_line(r)? {
-            let resp = match Request::from_value(&v) {
+            let req = Request::from_value(&v);
+            if let Ok(Request::Subscribe) = req {
+                return self.pump_events(w);
+            }
+            let resp = match req {
                 Ok(req) => self.handle(req),
                 Err(e) => Response::from_error(&e),
             };
@@ -553,6 +851,28 @@ impl Daemon {
             }
         }
         Ok(())
+    }
+
+    /// Streams events to one subscriber until it disconnects or the
+    /// daemon shuts down. Idle periods are filled with blank keep-alive
+    /// lines (which `read_line` skips) so a dead client surfaces as a
+    /// write error instead of lingering forever.
+    fn pump_events(self: &Arc<Daemon>, w: &mut dyn Write) -> Result<(), ServeError> {
+        let sub = self.subscribe();
+        write_line(w, &Response::Subscribed.to_value())?;
+        loop {
+            match sub.recv_timeout(Duration::from_millis(100)) {
+                Some(ev) => write_line(w, &Response::Event(ev).to_value())?,
+                None => {
+                    if self.shutting_down() {
+                        return Ok(());
+                    }
+                    w.write_all(b"\n")
+                        .and_then(|()| w.flush())
+                        .map_err(|e| ServeError::Io(format!("keepalive: {e}")))?;
+                }
+            }
+        }
     }
 
     /// Binds `socket` (removing any stale file) and serves connections
@@ -592,6 +912,57 @@ impl Daemon {
         }
         let _ = std::fs::remove_file(socket);
         Ok(())
+    }
+
+    /// Binds a plain-TCP Prometheus exposition endpoint on `addr`
+    /// (e.g. `127.0.0.1:0`) and serves it from a background thread
+    /// until shutdown. Every request — the path is ignored — gets the
+    /// current aggregated snapshot as text exposition format 0.0.4.
+    /// Returns the bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the address cannot be bound.
+    pub fn spawn_metrics_http(
+        self: &Arc<Daemon>,
+        addr: &str,
+    ) -> Result<std::net::SocketAddr, ServeError> {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| ServeError::Io(format!("bind {addr}: {e}")))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(format!("nonblocking: {e}")))?;
+        let me = Arc::clone(self);
+        std::thread::spawn(move || loop {
+            if me.shutting_down() {
+                break;
+            }
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    // One-shot exchange: read whatever request bytes
+                    // arrive, answer, close. No keep-alive, no routing.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                    let mut buf = [0u8; 1024];
+                    let _ = std::io::Read::read(&mut stream, &mut buf);
+                    let body = prometheus_text(&me.metrics_snapshot());
+                    let resp = format!(
+                        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let _ = stream.write_all(resp.as_bytes());
+                    let _ = stream.flush();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => break,
+            }
+        });
+        Ok(bound)
     }
 }
 

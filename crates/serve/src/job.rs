@@ -239,10 +239,18 @@ pub struct JobSummary {
     pub digest: Option<String>,
     /// Instructions executed so far / in total.
     pub instructions: u64,
+    /// Hardware virtual time consumed so far, ns.
+    pub vtime_ns: u64,
+    /// Scheduling quanta consumed so far.
+    pub quanta: u64,
     /// Paths completed.
     pub paths: u64,
     /// Bugs found.
     pub bugs: u64,
+    /// Budget consumed: the max over all configured budgets
+    /// (instructions, virtual time, quanta, wall clock) in permille —
+    /// 1000 means a budget is exhausted, 0 means unbudgeted or idle.
+    pub budget_permille: u64,
     /// Milliseconds spent queued before the first replica was free.
     pub queue_wait_ms: u64,
     /// Milliseconds of execution (absent until terminal).
@@ -257,8 +265,14 @@ impl JobSummary {
             ("name".into(), Value::Str(self.name.clone())),
             ("state".into(), Value::Str(self.state.as_str().into())),
             ("instructions".into(), Value::Num(self.instructions as f64)),
+            ("vtime_ns".into(), Value::Num(self.vtime_ns as f64)),
+            ("quanta".into(), Value::Num(self.quanta as f64)),
             ("paths".into(), Value::Num(self.paths as f64)),
             ("bugs".into(), Value::Num(self.bugs as f64)),
+            (
+                "budget_permille".into(),
+                Value::Num(self.budget_permille as f64),
+            ),
             (
                 "queue_wait_ms".into(),
                 Value::Num(self.queue_wait_ms as f64),
@@ -349,10 +363,72 @@ impl JobSummary {
             stop,
             digest: m.get("digest").and_then(Value::as_str).map(str::to_string),
             instructions: get_u64(m, "instructions")?,
+            vtime_ns: get_u64(m, "vtime_ns")?,
+            quanta: get_u64(m, "quanta")?,
             paths: get_u64(m, "paths")?,
             bugs: get_u64(m, "bugs")?,
+            budget_permille: get_u64(m, "budget_permille")?,
             queue_wait_ms: get_u64(m, "queue_wait_ms")?,
             run_ms: get_u64(m, "run_ms")?,
+        })
+    }
+}
+
+/// Daemon-wide occupancy figures, reported alongside job summaries by
+/// the `status` verb so `hardsnap-cli status`/`top` can show fleet
+/// health without a second round-trip.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Jobs waiting for replicas.
+    pub queue_depth: u64,
+    /// Total replicas in the pool.
+    pub pool_replicas: u64,
+    /// Replicas currently granted to running jobs.
+    pub pool_busy: u64,
+    /// Live `subscribe` clients.
+    pub subscribers: u64,
+    /// Events published on the bus since daemon start.
+    pub events_published: u64,
+    /// Events shed by bounded subscriber queues since daemon start.
+    pub events_dropped: u64,
+}
+
+impl DaemonStats {
+    /// Serializes for the `status` response.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(BTreeMap::from([
+            ("queue_depth".into(), Value::Num(self.queue_depth as f64)),
+            (
+                "pool_replicas".into(),
+                Value::Num(self.pool_replicas as f64),
+            ),
+            ("pool_busy".into(), Value::Num(self.pool_busy as f64)),
+            ("subscribers".into(), Value::Num(self.subscribers as f64)),
+            (
+                "events_published".into(),
+                Value::Num(self.events_published as f64),
+            ),
+            (
+                "events_dropped".into(),
+                Value::Num(self.events_dropped as f64),
+            ),
+        ]))
+    }
+
+    /// Parses the `daemon` object of a `status` response.
+    pub fn from_value(v: &Value) -> Result<DaemonStats, ServeError> {
+        let Value::Obj(m) = v else {
+            return Err(ServeError::Protocol(
+                "daemon stats must be an object".into(),
+            ));
+        };
+        Ok(DaemonStats {
+            queue_depth: get_u64(m, "queue_depth")?,
+            pool_replicas: get_u64(m, "pool_replicas")?,
+            pool_busy: get_u64(m, "pool_busy")?,
+            subscribers: get_u64(m, "subscribers")?,
+            events_published: get_u64(m, "events_published")?,
+            events_dropped: get_u64(m, "events_dropped")?,
         })
     }
 }
@@ -404,8 +480,11 @@ mod tests {
                 stop: Some(StopReason::VirtualTime),
                 digest: Some(digest_hex(0xdead_beef)),
                 instructions: 10,
+                vtime_ns: 900,
+                quanta: 3,
                 paths: 2,
                 bugs: 1,
+                budget_permille: 250,
                 queue_wait_ms: 5,
                 run_ms: 20,
             };
@@ -414,6 +493,24 @@ mod tests {
             assert_eq!(back.verdict, Some(verdict));
             assert_eq!(back.digest, s.digest);
             assert_eq!(back.stop, s.stop);
+            assert_eq!(back.vtime_ns, s.vtime_ns);
+            assert_eq!(back.quanta, s.quanta);
+            assert_eq!(back.budget_permille, s.budget_permille);
         }
+    }
+
+    #[test]
+    fn daemon_stats_roundtrip() {
+        let stats = DaemonStats {
+            queue_depth: 2,
+            pool_replicas: 4,
+            pool_busy: 3,
+            subscribers: 1,
+            events_published: 100,
+            events_dropped: 7,
+        };
+        let json = stats.to_value().to_json();
+        let back = DaemonStats::from_value(&hardsnap_util::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, stats);
     }
 }

@@ -39,13 +39,15 @@
 
 pub mod client;
 pub mod daemon;
+pub mod events;
 pub mod job;
 pub mod proto;
 pub mod runner;
 
-pub use client::Client;
+pub use client::{Client, EventStream};
 pub use daemon::{Daemon, DaemonConfig};
-pub use job::{JobSpec, JobState, JobSummary, Verdict};
+pub use events::{Event, EventBody, EventBus, Subscription};
+pub use job::{DaemonStats, JobSpec, JobState, JobSummary, Verdict};
 pub use proto::{Request, Response};
 
 use std::fmt;

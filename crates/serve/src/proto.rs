@@ -5,7 +5,8 @@
 //! `ok` discriminator. The codec is deliberately tiny and built on the
 //! in-tree [`hardsnap_util::json`] — the workspace stays offline.
 
-use crate::job::{JobSpec, JobSummary};
+use crate::events::Event;
+use crate::job::{DaemonStats, JobSpec, JobSummary};
 use crate::ServeError;
 use hardsnap_util::json::{parse, Value};
 use std::collections::BTreeMap;
@@ -21,6 +22,14 @@ pub enum Request {
     /// Cooperatively cancel a job: its token is flipped and it stops at
     /// the next quantum boundary with a valid checkpoint.
     Cancel(u64),
+    /// Switch this connection to a live event stream: the daemon acks
+    /// with `subscribed`, then pushes one [`Event`] per line (with
+    /// blank keep-alive lines while idle) until the client disconnects.
+    Subscribe,
+    /// Fetch the daemon-wide aggregated metrics snapshot.
+    Metrics,
+    /// Dump the in-memory flight recorder.
+    DumpFlight,
     /// Liveness probe.
     Ping,
     /// Stop accepting work and exit once the socket loop drains.
@@ -45,6 +54,15 @@ impl Request {
             Request::Cancel(id) => {
                 m.insert("op".into(), Value::Str("cancel".into()));
                 m.insert("id".into(), Value::Num(*id as f64));
+            }
+            Request::Subscribe => {
+                m.insert("op".into(), Value::Str("subscribe".into()));
+            }
+            Request::Metrics => {
+                m.insert("op".into(), Value::Str("metrics".into()));
+            }
+            Request::DumpFlight => {
+                m.insert("op".into(), Value::Str("dump-flight".into()));
             }
             Request::Ping => {
                 m.insert("op".into(), Value::Str("ping".into()));
@@ -79,6 +97,9 @@ impl Request {
             }
             Some("status") => Ok(Request::Status(m.get("id").and_then(Value::as_u64))),
             Some("cancel") => Ok(Request::Cancel(id()?)),
+            Some("subscribe") => Ok(Request::Subscribe),
+            Some("metrics") => Ok(Request::Metrics),
+            Some("dump-flight") => Ok(Request::DumpFlight),
             Some("ping") => Ok(Request::Ping),
             Some("shutdown") => Ok(Request::Shutdown),
             other => Err(ServeError::Protocol(format!("unknown op {other:?}"))),
@@ -94,13 +115,27 @@ pub enum Response {
         /// Daemon-assigned job id.
         id: u64,
     },
-    /// Job summaries (one, or the whole table).
-    Status(Vec<JobSummary>),
+    /// Job summaries (one, or the whole table), plus daemon occupancy.
+    Status {
+        /// Job summaries.
+        jobs: Vec<JobSummary>,
+        /// Daemon-wide occupancy (absent in old result files).
+        daemon: Option<DaemonStats>,
+    },
     /// The cancel request was delivered.
     Cancelled {
         /// The cancelled job's id.
         id: u64,
     },
+    /// The connection switched to event streaming.
+    Subscribed,
+    /// One pushed lifecycle event (streaming connections only).
+    Event(Event),
+    /// The aggregated metrics snapshot
+    /// (schema `hardsnap-telemetry-v1`).
+    Metrics(Value),
+    /// The flight-recorder dump (schema `hardsnap-flight-v1`).
+    Flight(Value),
     /// Liveness reply.
     Pong,
     /// The daemon acknowledged shutdown.
@@ -140,16 +175,36 @@ impl Response {
                 m.insert("kind".into(), Value::Str("submitted".into()));
                 m.insert("id".into(), Value::Num(*id as f64));
             }
-            Response::Status(jobs) => {
+            Response::Status { jobs, daemon } => {
                 m.insert("kind".into(), Value::Str("status".into()));
                 m.insert(
                     "jobs".into(),
                     Value::Arr(jobs.iter().map(JobSummary::to_value).collect()),
                 );
+                if let Some(stats) = daemon {
+                    m.insert("daemon".into(), stats.to_value());
+                }
             }
             Response::Cancelled { id } => {
                 m.insert("kind".into(), Value::Str("cancelled".into()));
                 m.insert("id".into(), Value::Num(*id as f64));
+            }
+            Response::Subscribed => {
+                m.insert("kind".into(), Value::Str("subscribed".into()));
+            }
+            Response::Event(ev) => {
+                m.insert("kind".into(), Value::Str("event".into()));
+                if let Value::Obj(fields) = ev.to_value() {
+                    m.extend(fields);
+                }
+            }
+            Response::Metrics(v) => {
+                m.insert("kind".into(), Value::Str("metrics".into()));
+                m.insert("metrics".into(), v.clone());
+            }
+            Response::Flight(v) => {
+                m.insert("kind".into(), Value::Str("flight".into()));
+                m.insert("flight".into(), v.clone());
             }
             Response::Pong => {
                 m.insert("kind".into(), Value::Str("pong".into()));
@@ -194,6 +249,14 @@ impl Response {
         match kind {
             "submitted" => Ok(Response::Submitted { id: id()? }),
             "cancelled" => Ok(Response::Cancelled { id: id()? }),
+            "subscribed" => Ok(Response::Subscribed),
+            "event" => Ok(Response::Event(Event::from_value(v)?)),
+            "metrics" => Ok(Response::Metrics(m.get("metrics").cloned().ok_or_else(
+                || ServeError::Protocol("metrics response needs 'metrics'".into()),
+            )?)),
+            "flight" => Ok(Response::Flight(m.get("flight").cloned().ok_or_else(
+                || ServeError::Protocol("flight response needs 'flight'".into()),
+            )?)),
             "pong" => Ok(Response::Pong),
             "shutting-down" => Ok(Response::ShuttingDown),
             "status" => {
@@ -208,7 +271,11 @@ impl Response {
                         ))
                     }
                 };
-                Ok(Response::Status(jobs))
+                let daemon = match m.get("daemon") {
+                    Some(stats) => Some(DaemonStats::from_value(stats)?),
+                    None => None,
+                };
+                Ok(Response::Status { jobs, daemon })
             }
             other => Err(ServeError::Protocol(format!(
                 "unknown response kind '{other}'"
@@ -280,6 +347,9 @@ mod tests {
             Request::Status(None),
             Request::Status(Some(7)),
             Request::Cancel(3),
+            Request::Subscribe,
+            Request::Metrics,
+            Request::DumpFlight,
             Request::Ping,
             Request::Shutdown,
         ];
@@ -300,6 +370,40 @@ mod tests {
         match back.into_result() {
             Err(ServeError::Saturated { reason }) => assert!(reason.contains("pool full")),
             other => panic!("expected Saturated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_and_status_responses_roundtrip() {
+        let ev = Event {
+            seq: 3,
+            ts_ms: 99,
+            dropped: 1,
+            body: crate::events::EventBody::Started { id: 7 },
+        };
+        let json = Response::Event(ev.clone()).to_value().to_json();
+        match Response::from_value(&parse(&json).unwrap()).unwrap() {
+            Response::Event(back) => assert_eq!(back, ev),
+            other => panic!("expected event, got {other:?}"),
+        }
+        let status = Response::Status {
+            jobs: Vec::new(),
+            daemon: Some(DaemonStats {
+                queue_depth: 1,
+                pool_replicas: 4,
+                pool_busy: 2,
+                subscribers: 1,
+                events_published: 10,
+                events_dropped: 0,
+            }),
+        };
+        let json = status.to_value().to_json();
+        match Response::from_value(&parse(&json).unwrap()).unwrap() {
+            Response::Status { jobs, daemon } => {
+                assert!(jobs.is_empty());
+                assert_eq!(daemon.unwrap().pool_busy, 2);
+            }
+            other => panic!("expected status, got {other:?}"),
         }
     }
 

@@ -106,10 +106,23 @@ fn build_target(spec: &JobSpec, attempt: u32) -> Result<Box<dyn HwTarget>, Serve
     }
 }
 
-fn base_config(spec: &JobSpec, cancel: &CancelToken, deadline: Option<Instant>) -> EngineConfig {
+fn base_config(
+    spec: &JobSpec,
+    cancel: &CancelToken,
+    deadline: Option<Instant>,
+    observe: bool,
+) -> EngineConfig {
+    // Telemetry is observe-only: turning it on changes no engine
+    // decision, so observed and unobserved runs digest identically
+    // (pinned by the observer-effect tests).
+    let mut telemetry = hardsnap_telemetry::TelemetryConfig::default();
+    if observe {
+        telemetry.enabled = true;
+    }
     EngineConfig {
         mode: ConsistencyMode::HardSnap,
         searcher: Searcher::RoundRobin,
+        telemetry,
         delta_snapshots: spec.delta_snapshots,
         max_vtime_ns: if spec.max_vtime_ns > 0 {
             spec.max_vtime_ns
@@ -178,6 +191,7 @@ fn run_legs(
     dir: &Path,
     cancel: &CancelToken,
     deadline: Option<Instant>,
+    observe: bool,
     on_leg: &mut dyn FnMut(&RunResult),
 ) -> Result<RunResult, ServeError> {
     let leg = if spec.leg_instructions > 0 {
@@ -201,7 +215,7 @@ fn run_legs(
         0
     };
     loop {
-        let mut config = base_config(spec, cancel, deadline);
+        let mut config = base_config(spec, cancel, deadline, observe);
         config.max_instructions = spec_cap.min(carried.saturating_add(leg));
         let result = run_leg(spec, dir, config, 0)?;
         carried = result.instructions;
@@ -225,7 +239,9 @@ fn run_attempt(
 ) -> Result<RunResult, ServeError> {
     let program = assemble(spec)?;
     let target = build_target(spec, attempt)?;
-    let mut config = base_config(spec, cancel, None);
+    // Repeat attempts are digest-compared and discarded; they never
+    // need telemetry.
+    let mut config = base_config(spec, cancel, None, false);
     if spec.max_instructions > 0 {
         config.max_instructions = spec.max_instructions;
     }
@@ -264,7 +280,10 @@ fn divergence_state_id(a: &RunResult, b: &RunResult) -> u64 {
 /// checkpoint); it may already hold a campaign from a previous daemon
 /// incarnation, in which case the job resumes seamlessly. `on_leg` is
 /// called after every leg with the cumulative partial result so the
-/// daemon can publish live progress.
+/// daemon can publish live progress. With `observe` the engine's
+/// telemetry recorder is enabled for each leg (per-leg
+/// [`RunResult::telemetry`] snapshots become available) — observe-only,
+/// digests are unaffected.
 ///
 /// # Errors
 ///
@@ -273,10 +292,11 @@ pub fn run_job(
     spec: &JobSpec,
     dir: &Path,
     cancel: &CancelToken,
+    observe: bool,
     on_leg: &mut dyn FnMut(&RunResult),
 ) -> Result<Outcome, ServeError> {
     let deadline = (spec.wall_ms > 0).then(|| Instant::now() + Duration::from_millis(spec.wall_ms));
-    let baseline = run_legs(spec, dir, cancel, deadline, on_leg)?;
+    let baseline = run_legs(spec, dir, cancel, deadline, observe, on_leg)?;
     let stop = baseline.stop;
     let mut verdict = match stop {
         StopReason::Complete | StopReason::Paths => Verdict::Completed,
@@ -340,12 +360,12 @@ mod tests {
     fn legged_run_matches_uninterrupted_digest() {
         let dir = tmp("legged");
         let cancel = CancelToken::new();
-        let legged = run_job(&demo_spec(), &dir, &cancel, &mut |_| {}).unwrap();
+        let legged = run_job(&demo_spec(), &dir, &cancel, false, &mut |_| {}).unwrap();
         assert_eq!(legged.verdict, Verdict::Completed);
 
         let mut one_shot = demo_spec();
         one_shot.leg_instructions = 0; // one huge leg
-        let whole = run_job(&one_shot, &tmp("whole"), &cancel, &mut |_| {}).unwrap();
+        let whole = run_job(&one_shot, &tmp("whole"), &cancel, false, &mut |_| {}).unwrap();
         assert_eq!(
             legged.digest, whole.digest,
             "legging must not change semantics"
@@ -359,7 +379,7 @@ mod tests {
         let cancel = CancelToken::new();
         let mut spec = demo_spec();
         spec.max_vtime_ns = 1_000; // absurdly tight: trips on the first quantum
-        let out = run_job(&spec, &dir, &cancel, &mut |_| {}).unwrap();
+        let out = run_job(&spec, &dir, &cancel, false, &mut |_| {}).unwrap();
         assert_eq!(out.verdict, Verdict::OverBudget(StopReason::VirtualTime));
         assert!(
             dir.join(MANIFEST).exists(),
@@ -369,9 +389,16 @@ mod tests {
         // Raise the budget and resume from the same directory: the
         // finished digest must equal an uninterrupted run's.
         spec.max_vtime_ns = 0;
-        let resumed = run_job(&spec, &dir, &cancel, &mut |_| {}).unwrap();
+        let resumed = run_job(&spec, &dir, &cancel, false, &mut |_| {}).unwrap();
         assert_eq!(resumed.verdict, Verdict::Completed);
-        let whole = run_job(&demo_spec(), &tmp("vtime-whole"), &cancel, &mut |_| {}).unwrap();
+        let whole = run_job(
+            &demo_spec(),
+            &tmp("vtime-whole"),
+            &cancel,
+            false,
+            &mut |_| {},
+        )
+        .unwrap();
         assert_eq!(resumed.digest, whole.digest);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -381,14 +408,21 @@ mod tests {
         let dir = tmp("cancel");
         let cancel = CancelToken::new();
         cancel.cancel(); // pre-cancelled: stops at the first boundary
-        let out = run_job(&demo_spec(), &dir, &cancel, &mut |_| {}).unwrap();
+        let out = run_job(&demo_spec(), &dir, &cancel, false, &mut |_| {}).unwrap();
         assert_eq!(out.verdict, Verdict::Cancelled);
         assert!(dir.join(MANIFEST).exists());
 
         let fresh = CancelToken::new();
-        let resumed = run_job(&demo_spec(), &dir, &fresh, &mut |_| {}).unwrap();
+        let resumed = run_job(&demo_spec(), &dir, &fresh, false, &mut |_| {}).unwrap();
         assert_eq!(resumed.verdict, Verdict::Completed);
-        let whole = run_job(&demo_spec(), &tmp("cancel-whole"), &fresh, &mut |_| {}).unwrap();
+        let whole = run_job(
+            &demo_spec(),
+            &tmp("cancel-whole"),
+            &fresh,
+            false,
+            &mut |_| {},
+        )
+        .unwrap();
         assert_eq!(resumed.digest, whole.digest);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -399,7 +433,7 @@ mod tests {
         let mut spec = demo_spec();
         spec.fault_rate = 0.05;
         spec.repeat = 3;
-        let out = run_job(&spec, &tmp("stable"), &cancel, &mut |_| {}).unwrap();
+        let out = run_job(&spec, &tmp("stable"), &cancel, false, &mut |_| {}).unwrap();
         assert_eq!(
             out.verdict,
             Verdict::Stable { attempts: 3 },
@@ -410,7 +444,7 @@ mod tests {
         // routinely exhausted, states get killed, and the surviving
         // path set depends on the fault schedule: flaky by design.
         spec.fault_rate = 0.6;
-        let out = run_job(&spec, &tmp("flaky"), &cancel, &mut |_| {}).unwrap();
+        let out = run_job(&spec, &tmp("flaky"), &cancel, false, &mut |_| {}).unwrap();
         assert!(
             matches!(out.verdict, Verdict::Flaky { .. }),
             "expected flaky at 60% fault rate, got {:?}",

@@ -1,0 +1,173 @@
+//! Observer-effect neutrality: watching the daemon must never change
+//! what it computes, and a stalled watcher must never slow it down.
+//!
+//! * canonical digests are bit-identical whether the daemon runs
+//!   unobserved, observed, observed-with-subscriber, or scraped over
+//!   the Prometheus endpoint — across worker counts {1, 2, 4};
+//! * a subscriber that never reads sheds events into its bounded
+//!   queue (counted) while the runner finishes unimpeded.
+
+use hardsnap_serve::{Daemon, DaemonConfig, EventBody, JobSpec, JobState};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn state_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hardsnap-observe-{}-{name}", std::process::id()))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = state_dir(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn daemon(name: &str, observe: bool) -> Arc<Daemon> {
+    Daemon::new(DaemonConfig {
+        state_dir: tmp(name),
+        pool_replicas: 4,
+        queue_max: 8,
+        observe,
+        ..DaemonConfig::default()
+    })
+    .unwrap()
+}
+
+fn spec(workers: usize) -> JobSpec {
+    JobSpec {
+        name: format!("w{workers}"),
+        firmware: "demo:4".into(),
+        workers,
+        leg_instructions: 64,
+        ..JobSpec::default()
+    }
+}
+
+fn run_one(d: &Arc<Daemon>, workers: usize) -> String {
+    let id = d.submit(spec(workers)).unwrap();
+    assert!(d.wait_idle(Duration::from_secs(120)));
+    let s = &d.status(Some(id))[0];
+    assert_eq!(s.state, JobState::Done);
+    s.digest.clone().expect("terminal job has a digest")
+}
+
+#[test]
+fn observation_leaves_digests_bit_identical() {
+    for workers in [1usize, 2, 4] {
+        let baseline = run_one(&daemon(&format!("base-{workers}"), false), workers);
+
+        // Observed, with a live subscriber draining events and the
+        // metrics endpoint being scraped mid-run.
+        let d = daemon(&format!("obs-{workers}"), true);
+        let sub = d.subscribe();
+        let drainer = {
+            let sub = Arc::new(sub);
+            let s = Arc::clone(&sub);
+            let t = std::thread::spawn(move || {
+                let mut events = Vec::new();
+                while let Some(ev) = s.recv_timeout(Duration::from_millis(200)) {
+                    let terminal = matches!(ev.body, EventBody::Terminal { .. });
+                    events.push(ev);
+                    if terminal {
+                        break;
+                    }
+                }
+                events
+            });
+            t
+        };
+        let _ = d.metrics_snapshot(); // scrape before
+        let observed = run_one(&d, workers);
+        let snap = d.metrics_snapshot(); // scrape after
+        assert_eq!(
+            observed, baseline,
+            "telemetry/subscribers must not perturb the digest (workers={workers})"
+        );
+        let events = drainer.join().unwrap();
+        // The stream saw the full lifecycle: admitted → started →
+        // heartbeat(s) → terminal.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.body, EventBody::Admitted { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.body, EventBody::Started { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.body, EventBody::Heartbeat { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.body, EventBody::Terminal { .. })));
+        // And the aggregated snapshot carries both daemon counters and
+        // merged engine telemetry.
+        assert!(snap.counter("serve.jobs_admitted") >= 1);
+        assert!(snap.counter("serve.jobs_completed") >= 1);
+        assert!(
+            snap.counter("quanta") > 0 || snap.counter("snapshots_saved") > 0,
+            "observed run must surface engine telemetry in the merged snapshot"
+        );
+        let _ = std::fs::remove_dir_all(state_dir(&format!("base-{workers}")));
+        let _ = std::fs::remove_dir_all(state_dir(&format!("obs-{workers}")));
+    }
+}
+
+#[test]
+fn stalled_subscriber_never_blocks_the_runner() {
+    let d = Daemon::new(DaemonConfig {
+        state_dir: tmp("stalled"),
+        pool_replicas: 2,
+        queue_max: 8,
+        observe: true,
+        event_queue_cap: 4, // absurdly small: guaranteed overflow
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    // The subscriber exists but never reads a single event.
+    let sub = d.subscribe();
+    for i in 0..3 {
+        d.submit(JobSpec {
+            name: format!("j{i}"),
+            firmware: "demo:4".into(),
+            leg_instructions: 32, // many legs => many events
+            ..JobSpec::default()
+        })
+        .unwrap();
+    }
+    // The whole fleet drains despite the wedged consumer.
+    assert!(
+        d.wait_idle(Duration::from_secs(120)),
+        "a stalled subscriber must not stall the runner"
+    );
+    assert!(
+        sub.dropped() > 0,
+        "a 4-slot queue under 3 multi-leg jobs must have shed events"
+    );
+    assert!(sub.backlog() <= 4, "queue must stay within its bound");
+    // The shed count is visible in the aggregated metrics too.
+    let snap = d.metrics_snapshot();
+    assert!(snap.counter("serve.events_dropped") > 0);
+    assert_eq!(
+        snap.counter("serve.events_dropped"),
+        sub.dropped(),
+        "global drop counter equals the single subscriber's loss"
+    );
+    let _ = std::fs::remove_dir_all(state_dir("stalled"));
+}
+
+#[test]
+fn per_job_artifacts_land_at_terminal_commit() {
+    let d = daemon("artifacts", true);
+    let id = d.submit(spec(1)).unwrap();
+    assert!(d.wait_idle(Duration::from_secs(120)));
+    let dir = state_dir("artifacts").join("jobs").join(id.to_string());
+    let metrics = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+    let v = hardsnap_util::json::parse(&metrics).unwrap();
+    hardsnap_telemetry::MetricsSnapshot::from_value(&v).expect("metrics.json validates");
+    let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+    let tv = hardsnap_util::json::parse(&trace).unwrap();
+    assert!(
+        tv.get("traceEvents").is_some(),
+        "trace.json is Chrome trace format"
+    );
+    let _ = std::fs::remove_dir_all(state_dir("artifacts"));
+}

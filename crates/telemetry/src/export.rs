@@ -2,6 +2,7 @@
 //! human summary table, machine JSON dump, Chrome `trace_event` JSON.
 
 use crate::recorder::{bucket_lower_bound, HistSnapshot, SpanEvent};
+use hardsnap_util::json::Value;
 
 /// Everything one run collected, merged across worker recorders.
 /// Lives in `RunResult::telemetry`; purely observational — the
@@ -12,6 +13,11 @@ pub struct MetricsSnapshot {
     pub tracks: Vec<(u32, String)>,
     /// Named counters, sorted by name, zero entries omitted.
     pub counters: Vec<(String, u64)>,
+    /// Named point-in-time levels (queue depth, pool occupancy),
+    /// sorted by name. Unlike counters these are not cumulative;
+    /// merging takes the max, which keeps merge associative,
+    /// commutative and idempotent.
+    pub gauges: Vec<(String, u64)>,
     /// Named histograms, sorted by name, empty ones omitted.
     pub hists: Vec<HistSnapshot>,
     /// All spans from all tracks (exporters sort per track).
@@ -51,19 +57,48 @@ impl MetricsSnapshot {
         self.hists.iter().find(|h| h.name == name)
     }
 
-    /// Fold another worker's snapshot into this one. Counters and
-    /// histogram buckets add; tracks and spans append. Deterministic
-    /// given a deterministic merge order (callers merge workers in
-    /// replica order).
+    /// Set the named gauge to `v` (last write wins; gauges are levels,
+    /// not tallies).
+    pub fn set_gauge(&mut self, name: &str, v: u64) {
+        match self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.gauges[i].1 = v,
+            Err(i) => self.gauges.insert(i, (name.to_string(), v)),
+        }
+    }
+
+    /// Value of a named gauge (0 if absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| self.gauges[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Fold another snapshot into this one. The merge is associative
+    /// and commutative — daemon aggregation folds many per-job
+    /// snapshots in whatever order jobs finish, and the totals must
+    /// not depend on that order:
+    ///
+    /// * counters add (commutative monoid),
+    /// * histograms merge bucket-wise and sum-wise (same),
+    /// * gauges take the max (idempotent, so re-merging is safe),
+    /// * tracks union as a sorted `(id, label)` set,
+    /// * spans append — their multiset is order-independent; use
+    ///   [`MetricsSnapshot::normalize`] before comparing snapshots
+    ///   structurally.
     pub fn merge(&mut self, other: MetricsSnapshot) {
         for (t, l) in other.tracks {
-            if !self.tracks.iter().any(|(id, _)| *id == t) {
+            if !self.tracks.iter().any(|(id, lbl)| *id == t && *lbl == l) {
                 self.tracks.push((t, l));
             }
         }
         self.tracks.sort();
         for (name, v) in other.counters {
             self.add_counter(&name, v);
+        }
+        for (name, v) in other.gauges {
+            let cur = self.gauge(&name);
+            self.set_gauge(&name, cur.max(v));
         }
         for h in other.hists {
             match self.hists.iter_mut().find(|mine| mine.name == h.name) {
@@ -75,6 +110,28 @@ impl MetricsSnapshot {
             }
         }
         self.spans.extend(other.spans);
+    }
+
+    /// Sort spans into a canonical order so that snapshots merged in
+    /// different orders compare equal. Everything else is already
+    /// kept sorted by construction.
+    pub fn normalize(&mut self) {
+        self.spans
+            .sort_by_key(|s| (s.track, s.ts_ns, s.dur_ns, s.name, s.cat, s.arg));
+    }
+
+    /// A copy with the spans stripped: counters, gauges, histograms
+    /// and tracks only. The daemon aggregates per-job telemetry this
+    /// way — span payloads belong in the per-job Chrome trace, not in
+    /// every scrape.
+    pub fn counts_only(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tracks: self.tracks.clone(),
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            hists: self.hists.clone(),
+            spans: Vec::new(),
+        }
     }
 
     /// Human-readable end-of-run summary: counters, then histogram
@@ -149,6 +206,13 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!("{}: {v}", json_str(name)));
         }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {v}", json_str(name)));
+        }
         out.push_str("},\n  \"histograms\": [\n");
         for (i, h) in self.hists.iter().enumerate() {
             if i > 0 {
@@ -162,9 +226,11 @@ impl MetricsSnapshot {
                 .map(|(b, &n)| format!("[{}, {n}]", bucket_lower_bound(b)))
                 .collect();
             out.push_str(&format!(
-                "    {{\"name\": {}, \"count\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                "    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}, \
+                 \"buckets\": [{}]}}",
                 json_str(&h.name),
                 h.count(),
+                h.sum,
                 h.approx_quantile(0.5),
                 h.approx_quantile(0.99),
                 buckets.join(", ")
@@ -214,6 +280,122 @@ impl MetricsSnapshot {
             "{{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n{}\n]}}\n",
             lines.join(",\n")
         )
+    }
+
+    /// The metrics dump as a parsed [`Value`] tree (same shape as
+    /// [`MetricsSnapshot::metrics_json`]); what the `metrics` verb
+    /// puts on the wire.
+    pub fn to_value(&self) -> Value {
+        hardsnap_util::json::parse(&self.metrics_json()).expect("metrics_json is well-formed")
+    }
+
+    /// Parse a metrics dump back into a snapshot. Validates the
+    /// schema tag and every field shape, returning a typed message
+    /// naming the offending field. Spans are not round-tripped (the
+    /// dump only records their count); `span_count` is ignored.
+    pub fn from_value(v: &Value) -> Result<MetricsSnapshot, String> {
+        match v.get("schema").and_then(Value::as_str) {
+            Some("hardsnap-telemetry-v1") => {}
+            Some(other) => return Err(format!("unsupported metrics schema {other:?}")),
+            None => return Err("missing \"schema\" field".into()),
+        }
+        let mut snap = MetricsSnapshot::empty();
+        for (i, t) in v
+            .get("tracks")
+            .and_then(Value::as_arr)
+            .ok_or("\"tracks\" must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let id = t
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("tracks[{i}].id must be a non-negative integer"))?;
+            let label = t
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("tracks[{i}].label must be a string"))?;
+            snap.tracks.push((id as u32, label.to_string()));
+        }
+        let counters = match v.get("counters") {
+            Some(Value::Obj(m)) => m,
+            _ => return Err("\"counters\" must be an object".into()),
+        };
+        for (name, val) in counters {
+            let n = val
+                .as_u64()
+                .ok_or_else(|| format!("counter {name:?} must be a non-negative integer"))?;
+            snap.add_counter(name, n);
+        }
+        if let Some(g) = v.get("gauges") {
+            let gauges = match g {
+                Value::Obj(m) => m,
+                _ => return Err("\"gauges\" must be an object".into()),
+            };
+            for (name, val) in gauges {
+                let n = val
+                    .as_u64()
+                    .ok_or_else(|| format!("gauge {name:?} must be a non-negative integer"))?;
+                snap.set_gauge(name, n);
+            }
+        }
+        for (i, h) in v
+            .get("histograms")
+            .and_then(Value::as_arr)
+            .ok_or("\"histograms\" must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let name = h
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("histograms[{i}].name must be a string"))?;
+            let mut hist = HistSnapshot {
+                name: name.to_string(),
+                buckets: vec![0; crate::recorder::BUCKETS],
+                sum: h.get("sum").and_then(Value::as_u64).unwrap_or(0),
+            };
+            for (j, pair) in h
+                .get("buckets")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("histograms[{i}].buckets must be an array"))?
+                .iter()
+                .enumerate()
+            {
+                let p = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                    format!("histograms[{i}].buckets[{j}] must be a [lower_bound, count] pair")
+                })?;
+                let (lb, n) = (p[0].as_u64(), p[1].as_u64());
+                let (lb, n) = match (lb, n) {
+                    (Some(lb), Some(n)) => (lb, n),
+                    _ => {
+                        return Err(format!(
+                            "histograms[{i}].buckets[{j}] entries must be non-negative integers"
+                        ))
+                    }
+                };
+                let idx = crate::recorder::bucket_index(lb);
+                if crate::recorder::bucket_lower_bound(idx) != lb {
+                    return Err(format!(
+                        "histograms[{i}].buckets[{j}] lower bound {lb} is not a bucket boundary"
+                    ));
+                }
+                hist.buckets[idx] += n;
+            }
+            let declared = h
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("histograms[{i}].count must be a non-negative integer"))?;
+            if declared != hist.count() {
+                return Err(format!(
+                    "histograms[{i}] declares count {declared} but buckets sum to {}",
+                    hist.count()
+                ));
+            }
+            snap.hists.push(hist);
+        }
+        snap.hists.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(snap)
     }
 }
 
@@ -285,6 +467,59 @@ mod tests {
             Some("capture_vtime_ns")
         );
         assert_eq!(hists[0].get("count").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn value_roundtrip_preserves_counts() {
+        let mut snap = sample();
+        snap.set_gauge("serve.queue_depth", 3);
+        snap.set_gauge("serve.pool_busy", 2);
+        let back = MetricsSnapshot::from_value(&snap.to_value()).unwrap();
+        assert_eq!(back.tracks, snap.tracks);
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.hists, snap.hists);
+        assert!(back.spans.is_empty(), "spans are not round-tripped");
+    }
+
+    #[test]
+    fn from_value_rejects_malformed() {
+        let bad_schema = json::parse("{\"schema\": \"nope\"}").unwrap();
+        assert!(MetricsSnapshot::from_value(&bad_schema)
+            .unwrap_err()
+            .contains("schema"));
+        let bad_count = json::parse(
+            "{\"schema\": \"hardsnap-telemetry-v1\", \"tracks\": [], \"counters\": {}, \
+             \"histograms\": [{\"name\": \"x\", \"count\": 5, \"buckets\": [[1, 2]]}]}",
+        )
+        .unwrap();
+        assert!(MetricsSnapshot::from_value(&bad_count)
+            .unwrap_err()
+            .contains("count"));
+        let bad_bound = json::parse(
+            "{\"schema\": \"hardsnap-telemetry-v1\", \"tracks\": [], \"counters\": {}, \
+             \"histograms\": [{\"name\": \"x\", \"count\": 1, \"buckets\": [[3, 1]]}]}",
+        )
+        .unwrap();
+        assert!(MetricsSnapshot::from_value(&bad_bound)
+            .unwrap_err()
+            .contains("boundary"));
+    }
+
+    #[test]
+    fn gauges_merge_by_max() {
+        let mut a = MetricsSnapshot::empty();
+        a.set_gauge("depth", 2);
+        let mut b = MetricsSnapshot::empty();
+        b.set_gauge("depth", 5);
+        b.set_gauge("busy", 1);
+        a.merge(b.clone());
+        assert_eq!(a.gauge("depth"), 5);
+        assert_eq!(a.gauge("busy"), 1);
+        // Idempotent: merging the same snapshot again changes nothing.
+        let before = a.clone();
+        a.merge(b);
+        assert_eq!(a.gauges, before.gauges);
     }
 
     #[test]

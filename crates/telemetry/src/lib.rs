@@ -34,10 +34,17 @@
 
 mod config;
 mod export;
+mod flight;
+mod prom;
 mod recorder;
 
 pub use config::{global, TelemetryConfig};
 pub use export::MetricsSnapshot;
+pub use flight::{validate_flight_dump, FlightEntry, FlightRecorder};
+pub use prom::{
+    parse_prometheus, prom_name, prometheus_text, validate_exposition, PromError, PromFamily,
+    PromSample,
+};
 pub use recorder::{
     bucket_index, bucket_lower_bound, Counter, FaultClass, HistSnapshot, Metric, Recorder,
     SpanEvent, SpanGuard,

@@ -1,0 +1,436 @@
+//! Prometheus text-exposition format: in-tree formatter and parser.
+//!
+//! The workspace is offline, so there is no `prometheus` crate; the
+//! daemon formats [`MetricsSnapshot`] into the text exposition format
+//! (version 0.0.4) by hand, and CI parses it back with the equally
+//! hand-rolled parser below to prove the output is well-formed. The
+//! subset implemented is exactly what the snapshot model needs:
+//!
+//! * counters  → `# TYPE name counter` + one `name_total` sample,
+//! * gauges    → `# TYPE name gauge` + one sample,
+//! * histograms → cumulative `name_bucket{le="..."}` samples (log2
+//!   boundaries), plus `name_sum` and `name_count`.
+//!
+//! Metric names are mapped from the dotted telemetry names
+//! (`serve.queue_depth`) to Prometheus conventions
+//! (`hardsnap_serve_queue_depth`).
+
+use crate::export::MetricsSnapshot;
+use crate::recorder::bucket_lower_bound;
+
+/// A typed exposition-format error: the 1-based line it occurred on
+/// plus what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromError {
+    /// 1-based line number in the exposition text.
+    pub line: usize,
+    /// What was malformed.
+    pub message: String,
+}
+
+impl std::fmt::Display for PromError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PromError {}
+
+/// One parsed sample: metric name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full sample name (including `_total`/`_bucket` suffixes).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// One metric family: the `# TYPE` declaration plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Declared family name (without suffixes).
+    pub name: String,
+    /// Declared type: `counter`, `gauge` or `histogram`.
+    pub kind: String,
+    /// Samples belonging to this family.
+    pub samples: Vec<PromSample>,
+}
+
+/// Map a dotted telemetry name to a Prometheus metric name:
+/// `hardsnap_` prefix, non-alphanumerics become underscores.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("hardsnap_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render a snapshot in Prometheus text-exposition format. Spans are
+/// not exported (they belong in the Chrome trace); tracks surface as
+/// a single `hardsnap_tracks` gauge.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p}_total {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} gauge\n{p} {v}\n"));
+    }
+    if !snap.tracks.is_empty() {
+        out.push_str(&format!(
+            "# TYPE hardsnap_tracks gauge\nhardsnap_tracks {}\n",
+            snap.tracks.len()
+        ));
+    }
+    for h in &snap.hists {
+        let p = prom_name(&h.name);
+        out.push_str(&format!("# TYPE {p} histogram\n"));
+        let top = h.buckets.iter().rposition(|&n| n != 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for (i, &n) in h.buckets.iter().enumerate().take(top + 1) {
+            cum += n;
+            // Bucket i holds values in [lower_bound(i), lower_bound(i+1)),
+            // so its inclusive `le` upper edge is lower_bound(i+1) - 1.
+            if i + 1 < h.buckets.len() {
+                let le = bucket_lower_bound(i + 1) - 1;
+                out.push_str(&format!("{p}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+        }
+        out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        out.push_str(&format!("{p}_sum {}\n{p}_count {}\n", h.sum, h.count()));
+    }
+    out
+}
+
+fn parse_labels(s: &str, line: usize) -> Result<Vec<(String, String)>, PromError> {
+    let err = |message: String| PromError { line, message };
+    let mut labels = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| err(format!("label {rest:?} missing '='")))?;
+        let key = rest[..eq].trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(err(format!("invalid label name {key:?}")));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(err("label value must be double-quoted".into()));
+        }
+        let close = rest[1..]
+            .find('"')
+            .ok_or_else(|| err("unterminated label value".into()))?;
+        let value = &rest[1..1 + close];
+        labels.push((key.to_string(), value.to_string()));
+        rest = rest[close + 2..].trim_start_matches(',').trim_start();
+    }
+    Ok(labels)
+}
+
+/// Parse exposition text into metric families. Every sample must
+/// follow a `# TYPE` declaration it belongs to (sample name equals
+/// the family name, optionally suffixed `_total`, `_bucket`, `_sum`
+/// or `_count` as the declared type allows).
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, PromError> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let err = |message: String| PromError {
+            line: lineno,
+            message,
+        };
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE line missing metric name".into()))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE line missing metric type".into()))?;
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return Err(err(format!("unsupported metric type {kind:?}")));
+                }
+                if families.iter().any(|f| f.name == name) {
+                    return Err(err(format!("duplicate TYPE declaration for {name:?}")));
+                }
+                families.push(PromFamily {
+                    name: name.to_string(),
+                    kind: kind.to_string(),
+                    samples: Vec::new(),
+                });
+            }
+            // HELP and other comments are ignored.
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find(|c| c == ' ' || c == '\t') {
+            Some(sp) if !line[..sp].contains('{') => (&line[..sp], line[sp..].trim()),
+            _ => {
+                let close = line
+                    .find('}')
+                    .ok_or_else(|| err(format!("malformed sample line {line:?}")))?;
+                (&line[..close + 1], line[close + 1..].trim())
+            }
+        };
+        let (name, labels) = match name_part.find('{') {
+            Some(open) => {
+                if !name_part.ends_with('}') {
+                    return Err(err("unterminated label set".into()));
+                }
+                (
+                    &name_part[..open],
+                    parse_labels(&name_part[open + 1..name_part.len() - 1], lineno)?,
+                )
+            }
+            None => (name_part, Vec::new()),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(err(format!("invalid metric name {name:?}")));
+        }
+        let value: f64 = if value_part == "+Inf" {
+            f64::INFINITY
+        } else {
+            value_part
+                .parse()
+                .map_err(|_| err(format!("invalid sample value {value_part:?}")))?
+        };
+        let family = families
+            .iter_mut()
+            .rev()
+            .find(|f| {
+                name == f.name
+                    || (name.strip_prefix(f.name.as_str()).is_some_and(|suffix| {
+                        matches!(suffix, "_total" | "_bucket" | "_sum" | "_count")
+                    }))
+            })
+            .ok_or_else(|| err(format!("sample {name:?} has no TYPE declaration")))?;
+        family.samples.push(PromSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(families)
+}
+
+/// Structural validation beyond parsing: every family has at least
+/// one sample, counter samples carry the `_total` suffix, histogram
+/// buckets are cumulative (monotone in `le`), end in `+Inf`, and the
+/// `+Inf` bucket equals `_count`.
+pub fn validate_exposition(families: &[PromFamily]) -> Result<(), PromError> {
+    let err = |message: String| PromError { line: 0, message };
+    for f in families {
+        if f.samples.is_empty() {
+            return Err(err(format!(
+                "family {:?} declared but has no samples",
+                f.name
+            )));
+        }
+        match f.kind.as_str() {
+            "counter" => {
+                for s in &f.samples {
+                    if s.name != format!("{}_total", f.name) {
+                        return Err(err(format!(
+                            "counter family {:?} has sample {:?} without _total suffix",
+                            f.name, s.name
+                        )));
+                    }
+                }
+            }
+            "gauge" => {}
+            "histogram" => {
+                let buckets: Vec<&PromSample> = f
+                    .samples
+                    .iter()
+                    .filter(|s| s.name == format!("{}_bucket", f.name))
+                    .collect();
+                if buckets.is_empty() {
+                    return Err(err(format!("histogram {:?} has no buckets", f.name)));
+                }
+                let mut prev_le = f64::NEG_INFINITY;
+                let mut prev_cum = 0.0;
+                for b in &buckets {
+                    let le = b
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .ok_or_else(|| {
+                            err(format!("histogram {:?} bucket missing le label", f.name))
+                        })?
+                        .1
+                        .as_str();
+                    let le = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse().map_err(|_| {
+                            err(format!("histogram {:?} has bad le value {le:?}", f.name))
+                        })?
+                    };
+                    if le <= prev_le {
+                        return Err(err(format!("histogram {:?} le not increasing", f.name)));
+                    }
+                    if b.value < prev_cum {
+                        return Err(err(format!(
+                            "histogram {:?} buckets not cumulative",
+                            f.name
+                        )));
+                    }
+                    prev_le = le;
+                    prev_cum = b.value;
+                }
+                if prev_le != f64::INFINITY {
+                    return Err(err(format!("histogram {:?} missing +Inf bucket", f.name)));
+                }
+                let count = f
+                    .samples
+                    .iter()
+                    .find(|s| s.name == format!("{}_count", f.name))
+                    .ok_or_else(|| err(format!("histogram {:?} missing _count", f.name)))?;
+                if (count.value - prev_cum).abs() > f64::EPSILON {
+                    return Err(err(format!(
+                        "histogram {:?} _count {} != +Inf bucket {}",
+                        f.name, count.value, prev_cum
+                    )));
+                }
+                if !f
+                    .samples
+                    .iter()
+                    .any(|s| s.name == format!("{}_sum", f.name))
+                {
+                    return Err(err(format!("histogram {:?} missing _sum", f.name)));
+                }
+            }
+            other => return Err(err(format!("unsupported family type {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Counter, Metric, Recorder};
+
+    fn sample() -> MetricsSnapshot {
+        let r = Recorder::enabled(0, "worker-0");
+        r.add(Counter::ContextSwitches, 7);
+        r.observe(Metric::CaptureVtimeNs, 0);
+        r.observe(Metric::CaptureVtimeNs, 3);
+        r.observe(Metric::CaptureVtimeNs, 1_000_000);
+        let mut snap = r.snapshot().unwrap();
+        snap.set_gauge("serve.queue_depth", 4);
+        snap
+    }
+
+    #[test]
+    fn name_mapping() {
+        assert_eq!(prom_name("serve.queue_depth"), "hardsnap_serve_queue_depth");
+        assert_eq!(
+            prom_name("recovery_vtime_ns.bus_timeout"),
+            "hardsnap_recovery_vtime_ns_bus_timeout"
+        );
+    }
+
+    #[test]
+    fn roundtrip_and_validate() {
+        let text = prometheus_text(&sample());
+        let families = parse_prometheus(&text).unwrap();
+        validate_exposition(&families).unwrap();
+        let ctr = families
+            .iter()
+            .find(|f| f.name == "hardsnap_context_switches")
+            .unwrap();
+        assert_eq!(ctr.kind, "counter");
+        assert_eq!(ctr.samples[0].value, 7.0);
+        let g = families
+            .iter()
+            .find(|f| f.name == "hardsnap_serve_queue_depth")
+            .unwrap();
+        assert_eq!((g.kind.as_str(), g.samples[0].value), ("gauge", 4.0));
+        let h = families
+            .iter()
+            .find(|f| f.name == "hardsnap_capture_vtime_ns")
+            .unwrap();
+        assert_eq!(h.kind, "histogram");
+        let count = h
+            .samples
+            .iter()
+            .find(|s| s.name.ends_with("_count"))
+            .unwrap();
+        assert_eq!(count.value, 3.0);
+        let sum = h.samples.iter().find(|s| s.name.ends_with("_sum")).unwrap();
+        assert_eq!(sum.value, 1_000_003.0);
+        let inf = h
+            .samples
+            .iter()
+            .find(|s| s.labels.iter().any(|(_, v)| v == "+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 3.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed() {
+        let orphan = "hardsnap_x_total 3\n";
+        assert!(parse_prometheus(orphan)
+            .unwrap_err()
+            .message
+            .contains("no TYPE"));
+        let bad_value = "# TYPE hardsnap_x counter\nhardsnap_x_total banana\n";
+        let e = parse_prometheus(bad_value).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("invalid sample value"));
+        let bad_type = "# TYPE hardsnap_x summary\n";
+        assert!(parse_prometheus(bad_type)
+            .unwrap_err()
+            .message
+            .contains("unsupported metric type"));
+        let bad_label = "# TYPE hardsnap_x histogram\nhardsnap_x_bucket{le=7} 1\n";
+        assert!(parse_prometheus(bad_label)
+            .unwrap_err()
+            .message
+            .contains("double-quoted"));
+    }
+
+    #[test]
+    fn validator_rejects_non_cumulative_buckets() {
+        let text = "# TYPE hardsnap_x histogram\n\
+                    hardsnap_x_bucket{le=\"1\"} 5\n\
+                    hardsnap_x_bucket{le=\"2\"} 3\n\
+                    hardsnap_x_bucket{le=\"+Inf\"} 5\n\
+                    hardsnap_x_sum 9\nhardsnap_x_count 5\n";
+        let families = parse_prometheus(text).unwrap();
+        assert!(validate_exposition(&families)
+            .unwrap_err()
+            .message
+            .contains("cumulative"));
+        let no_inf = "# TYPE hardsnap_y histogram\n\
+                      hardsnap_y_bucket{le=\"1\"} 1\n\
+                      hardsnap_y_sum 1\nhardsnap_y_count 1\n";
+        let families = parse_prometheus(no_inf).unwrap();
+        assert!(validate_exposition(&families)
+            .unwrap_err()
+            .message
+            .contains("+Inf"));
+    }
+}

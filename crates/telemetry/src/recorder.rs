@@ -119,6 +119,19 @@ enum_metric! {
         JobsCancelled => "serve.jobs_cancelled",
         /// In-flight jobs recovered after a daemon restart.
         JobsRecovered => "serve.jobs_recovered",
+        /// Running jobs cancelled by the daemon watchdog (wall-clock
+        /// deadline exceeded).
+        ServeWatchdogCancels => "serve.watchdog_cancels",
+        /// Lifecycle/progress events published on the daemon event bus.
+        ServeEventsPublished => "serve.events_published",
+        /// Events dropped because a subscriber queue was full (the bus
+        /// never blocks the runner; it sheds load and counts it).
+        ServeEventsDropped => "serve.events_dropped",
+        /// Metrics snapshots served (`metrics` verb or Prometheus
+        /// scrape).
+        ServeMetricsScrapes => "serve.metrics_scrapes",
+        /// Flight-recorder dumps written (verb, SIGTERM, or panic).
+        ServeFlightDumps => "serve.flight_dumps",
     }
 }
 
@@ -163,11 +176,16 @@ enum_metric! {
         /// Comb ops executed per simulator `step()` (dirty-cone
         /// activity; 0 for a fully quiescent cycle).
         SimCombOpsPerStep => "sim.comb_ops_per_step",
-        /// Campaign-service queue depth sampled at each admission.
-        ServeQueueDepth => "serve.queue_depth",
+        /// Campaign-service queue depth sampled at each admission (a
+        /// distribution; the instantaneous depth is the
+        /// `serve.queue_depth` gauge).
+        ServeQueueDepth => "serve.queue_depth_at_admission",
         /// Virtual queue-wait: milliseconds between a job's submission
         /// and its first leg starting.
         ServeQueueWaitMs => "serve.queue_wait_ms",
+        /// Wall-clock microseconds per crash-atomic journal write
+        /// (tmp + fsync + rename).
+        ServeJournalFsyncUs => "serve.journal_fsync_us",
     }
 }
 
@@ -275,6 +293,7 @@ struct Inner {
     epoch: Instant,
     counters: [AtomicU64; Counter::COUNT],
     hists: [[AtomicU64; BUCKETS]; Metric::COUNT],
+    sums: [AtomicU64; Metric::COUNT],
     spans: Mutex<Vec<SpanEvent>>,
 }
 
@@ -309,6 +328,7 @@ impl Recorder {
                 epoch: epoch(),
                 counters: std::array::from_fn(|_| AtomicU64::new(0)),
                 hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+                sums: std::array::from_fn(|_| AtomicU64::new(0)),
                 spans: Mutex::new(Vec::new()),
             })),
         }
@@ -347,11 +367,14 @@ impl Recorder {
         }
     }
 
-    /// Record one observation into a histogram.
+    /// Record one observation into a histogram. The running sum is
+    /// kept alongside the buckets so exporters (Prometheus `_sum`) can
+    /// report exact totals, not bucket approximations.
     #[inline]
     pub fn observe(&self, m: Metric, v: u64) {
         if let Some(inner) = &self.inner {
             inner.hists[m as usize][bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            inner.sums[m as usize].fetch_add(v, Ordering::Relaxed);
         }
     }
 
@@ -408,6 +431,7 @@ impl Recorder {
                 snap.hists.push(HistSnapshot {
                     name: m.name().to_string(),
                     buckets,
+                    sum: inner.sums[m as usize].load(Ordering::Relaxed),
                 });
             }
         }
@@ -459,6 +483,8 @@ pub struct HistSnapshot {
     pub name: String,
     /// `BUCKETS` counts; bucket 0 is exact zeros.
     pub buckets: Vec<u64>,
+    /// Exact sum of all observed values (buckets only bound them).
+    pub sum: u64,
 }
 
 impl HistSnapshot {
@@ -486,10 +512,13 @@ impl HistSnapshot {
     }
 
     /// Merge another histogram's buckets into this one (same metric).
+    /// Bucket-wise addition plus sum addition: associative and
+    /// commutative, so daemon-side aggregation order never matters.
     pub fn merge(&mut self, other: &HistSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
+        self.sum += other.sum;
     }
 }
 
@@ -539,17 +568,21 @@ mod tests {
             let mut h = HistSnapshot {
                 name: "t".into(),
                 buckets: vec![0; BUCKETS],
+                sum: 0,
             };
             for &v in vals {
                 h.buckets[bucket_index(v as u64)] += 1;
+                h.sum += v as u64;
             }
             h
         };
         prop_check!((xs in vec_of(any::<u16>(), 0..32), ys in vec_of(any::<u16>(), 0..32)) => {
             let mut a = mk(&xs);
             let b = mk(&ys);
+            let want_sum = a.sum + b.sum;
             a.merge(&b);
             assert_eq!(a.count(), (xs.len() + ys.len()) as u64);
+            assert_eq!(a.sum, want_sum);
         });
     }
 
@@ -559,6 +592,7 @@ mod tests {
             let mut h = HistSnapshot {
                 name: "t".into(),
                 buckets: vec![0; BUCKETS],
+                sum: 0,
             };
             let mut max = 0u64;
             for &v in &xs {

@@ -1,0 +1,144 @@
+//! Property tests for `MetricsSnapshot::merge`: the daemon aggregates
+//! per-job snapshots in whatever order jobs finish, so merge must be
+//! associative and commutative — totals can never depend on fold
+//! order. Spans are compared as a multiset (via `normalize`), since
+//! only their order of concatenation differs.
+
+use hardsnap_telemetry::{bucket_index, HistSnapshot, MetricsSnapshot, SpanEvent};
+use hardsnap_util::prop::from_fn;
+use hardsnap_util::prop_check;
+use hardsnap_util::rng::Rng;
+
+fn arb_snapshot(rng: &mut Rng) -> MetricsSnapshot {
+    const COUNTER_NAMES: &[&str] = &["alpha", "beta", "gamma.delta", "serve.jobs_admitted"];
+    const GAUGE_NAMES: &[&str] = &["serve.queue_depth", "serve.pool_busy"];
+    const HIST_NAMES: &[&str] = &["lat_ns", "quantum_instructions"];
+    const SPAN_NAMES: &[&str] = &["capture", "restore", "quantum"];
+    let mut snap = MetricsSnapshot::empty();
+    let n_tracks = rng.gen_range(0usize..3);
+    for _ in 0..n_tracks {
+        let id = rng.gen_range(0u32..4);
+        let label = format!("worker-{id}");
+        if !snap.tracks.iter().any(|(t, l)| *t == id && *l == label) {
+            snap.tracks.push((id, label));
+        }
+    }
+    snap.tracks.sort();
+    for name in COUNTER_NAMES {
+        if rng.gen_bool(0.6) {
+            snap.add_counter(name, rng.gen_range(0u64..1000));
+        }
+    }
+    for name in GAUGE_NAMES {
+        if rng.gen_bool(0.6) {
+            snap.set_gauge(name, rng.gen_range(0u64..100));
+        }
+    }
+    for name in HIST_NAMES {
+        if rng.gen_bool(0.6) {
+            let mut h = HistSnapshot {
+                name: name.to_string(),
+                buckets: vec![0; probe_buckets()],
+                sum: 0,
+            };
+            for _ in 0..rng.gen_range(1usize..16) {
+                let v = rng.gen_range(0u64..1_000_000);
+                h.buckets[bucket_index(v)] += 1;
+                h.sum += v;
+            }
+            snap.hists.push(h);
+        }
+    }
+    snap.hists.sort_by(|a, b| a.name.cmp(&b.name));
+    for _ in 0..rng.gen_range(0usize..5) {
+        snap.spans.push(SpanEvent {
+            name: SPAN_NAMES[rng.gen_range(0usize..SPAN_NAMES.len())],
+            cat: "engine",
+            track: rng.gen_range(0u32..4),
+            ts_ns: rng.gen_range(0u64..1_000_000),
+            dur_ns: rng.gen_range(0u64..10_000),
+            arg: rng.gen_range(0u64..256),
+        });
+    }
+    snap
+}
+
+/// Number of buckets per histogram, probed from a real recorder so
+/// this test does not hard-code the constant.
+fn probe_buckets() -> usize {
+    use hardsnap_telemetry::{Metric, Recorder};
+    let r = Recorder::enabled(0, "probe");
+    r.observe(Metric::CaptureVtimeNs, 1);
+    r.snapshot().unwrap().hists[0].buckets.len()
+}
+
+fn merged(parts: &[MetricsSnapshot]) -> MetricsSnapshot {
+    let mut acc = MetricsSnapshot::empty();
+    for p in parts {
+        acc.merge(p.clone());
+    }
+    acc.normalize();
+    acc
+}
+
+#[test]
+fn prop_merge_commutative() {
+    prop_check!(cases = 64, (seed in from_fn(|r: &mut Rng| r.next_u64())) => {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = arb_snapshot(&mut rng);
+        let b = arb_snapshot(&mut rng);
+        assert_eq!(merged(&[a.clone(), b.clone()]), merged(&[b, a]));
+    });
+}
+
+#[test]
+fn prop_merge_associative() {
+    prop_check!(cases = 64, (seed in from_fn(|r: &mut Rng| r.next_u64())) => {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = arb_snapshot(&mut rng);
+        let b = arb_snapshot(&mut rng);
+        let c = arb_snapshot(&mut rng);
+        // (a ⊕ b) ⊕ c
+        let mut left = MetricsSnapshot::empty();
+        left.merge(a.clone());
+        left.merge(b.clone());
+        left.merge(c.clone());
+        left.normalize();
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(c.clone());
+        let mut right = a.clone();
+        right.merge(bc);
+        right.normalize();
+        assert_eq!(left, right);
+    });
+}
+
+#[test]
+fn prop_merge_preserves_totals() {
+    prop_check!(cases = 64, (seed in from_fn(|r: &mut Rng| r.next_u64()), order in 0u8..6) => {
+        let mut rng = Rng::seed_from_u64(seed);
+        let parts = [
+            arb_snapshot(&mut rng),
+            arb_snapshot(&mut rng),
+            arb_snapshot(&mut rng),
+        ];
+        let perms: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let p = perms[order as usize];
+        let shuffled = merged(&[parts[p[0]].clone(), parts[p[1]].clone(), parts[p[2]].clone()]);
+        // Counter totals, histogram counts/sums and span multiplicity
+        // all match the canonical fold regardless of order.
+        let canon = merged(&parts);
+        assert_eq!(shuffled.counters, canon.counters);
+        assert_eq!(shuffled.gauges, canon.gauges);
+        for h in &canon.hists {
+            let other = shuffled.hist(&h.name).expect("histogram lost in merge");
+            assert_eq!(other.count(), h.count());
+            assert_eq!(other.sum, h.sum);
+            assert_eq!(other.buckets, h.buckets);
+        }
+        assert_eq!(shuffled.spans.len(), canon.spans.len());
+        assert_eq!(shuffled.spans, canon.spans);
+    });
+}
