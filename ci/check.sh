@@ -279,4 +279,113 @@ wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "    event stream + exposition + flight recorder OK, digest $obs_digest"
 
+echo "==> sched smoke run (warm-start speedup, lanes vs fifo, digest invariance)"
+# exp_sched asserts internally that a warm fork digests identically to
+# a cold boot and that fifo and lanes orderings produce bit-identical
+# per-job digests.
+cargo run -q --release --offline -p hardsnap-bench --bin exp_sched -- \
+    --smoke --json target/BENCH_sched.smoke.json
+
+echo "==> pack gate: archive round-trip with shape admission"
+# Re-uses a campaign directory the persistence gate wrote above. The
+# unpack side recomputes the live SoC shape and admits the archive
+# before extracting; every extracted image must still deep-validate.
+PDIR=target/campaign.off.bytecode.1
+"$CLI" snapshot pack "$PDIR" -o target/ci.hspack > /dev/null
+# Buffer inspect output before grepping: grep -q exits on first match
+# and would SIGPIPE the CLI mid-print under pipefail.
+"$CLI" snapshot inspect target/ci.hspack > target/ci.inspect.txt
+grep -q 'pack archive' target/ci.inspect.txt || {
+    echo "inspect did not recognize the pack archive"
+    exit 1
+}
+rm -rf target/ci-unpacked
+"$CLI" snapshot unpack target/ci.hspack target/ci-unpacked > /dev/null
+for f in target/ci-unpacked/*.hsnap; do
+    [ -e "$f" ] || continue
+    "$CLI" snapshot validate --deep "$f" > /dev/null
+done
+echo "    pack -> inspect -> shape-gated unpack -> deep validate OK"
+
+echo "==> sched gate: warm-pool daemon, mixed-priority burst, lanes vs fifo"
+# Drives the real daemon twice over its socket with the same burst —
+# a long job holding one replica, an unseatable 2-worker wide job at
+# the head, then narrow high-priority jobs behind it. Under lanes the
+# narrows must wait less (packing + priority) than under strict fifo,
+# with every digest bit-identical to the fifo reference.
+run_burst() { # state-dir, sched policy, summary-out; leaves no daemon
+    local dir=$1 policy=$2 outf=$3
+    local sock="$dir/serve.sock"
+    rm -rf "$dir"
+    "$SERVE" --state-dir "$dir" --socket "$sock" --pool 2 --queue-max 16 \
+        --sched "$policy" --aging-ms 400 --warm-pool 2 >> "$SERVE_LOG" 2>&1 &
+    SERVE_PID=$!
+    # Let the pool arm so the burst actually exercises warm leases.
+    # Poll output is buffered to a file: grep -q on a live pipe exits
+    # on first match and would SIGPIPE the CLI mid-print.
+    for _ in $(seq 1 500); do
+        "$CLI" status --socket "$sock" > "$dir/poll.txt" 2>/dev/null || true
+        grep -Eq 'warm [1-2]/2' "$dir/poll.txt" && break
+        sleep 0.01
+    done
+    local hold wide id
+    hold=$("$CLI" submit demo:6 --socket "$sock" --name hold \
+        --leg-instructions 64 | awk '{print $3}')
+    # The wide job must arrive while hold runs, or it seats instantly.
+    for _ in $(seq 1 500); do
+        "$CLI" status "$hold" --socket "$sock" > "$dir/poll.txt"
+        grep -q ' running ' "$dir/poll.txt" && break
+        sleep 0.01
+    done
+    wide=$("$CLI" submit demo:5 --socket "$sock" --name wide \
+        --workers 2 --priority 0 | awk '{print $3}')
+    for i in 1 2 3 4 5; do
+        "$CLI" submit demo:2 --socket "$sock" --name "n$i" --priority 7 > /dev/null
+    done
+    "$CLI" wait "$wide" --socket "$sock" > /dev/null
+    for id in $(seq 1 7); do
+        "$CLI" wait "$id" --socket "$sock" > /dev/null
+    done
+    "$CLI" status --socket "$sock" > "$outf"
+    "$CLI" metrics --socket "$sock" > "$outf.metrics.json"
+    "$CLI" cancel daemon --socket "$sock" > /dev/null
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=""
+}
+narrow_max_wait() { # summary file -> worst narrow queue wait (ms)
+    awk '$NF ~ /^n[0-9]$/ { for (i = 1; i < NF; i++) if ($i == "wait") print $(i + 1) }' \
+        "$1" | sort -n | tail -1
+}
+run_burst target/serve-sched-fifo fifo target/sched.fifo.txt
+run_burst target/serve-sched-lanes lanes target/sched.lanes.txt
+fifo_wait=$(narrow_max_wait target/sched.fifo.txt)
+lanes_wait=$(narrow_max_wait target/sched.lanes.txt)
+if [ -z "$fifo_wait" ] || [ -z "$lanes_wait" ] || [ "$lanes_wait" -ge "$fifo_wait" ]; then
+    echo "lanes did not improve narrow queue wait: lanes=$lanes_wait ms fifo=$fifo_wait ms"
+    exit 1
+fi
+# Scheduling policy must never change what a job computes: identical
+# name -> digest pairs under both orderings.
+awk '/^job / {print $NF, $(NF-1)}' target/sched.fifo.txt | sort > target/sched.fifo.digests
+awk '/^job / {print $NF, $(NF-1)}' target/sched.lanes.txt | sort > target/sched.lanes.digests
+if ! cmp -s target/sched.fifo.digests target/sched.lanes.digests; then
+    echo "scheduling policy changed a canonical digest:"
+    diff target/sched.fifo.digests target/sched.lanes.digests || true
+    exit 1
+fi
+# The warm pool actually served the burst (pool-hit provenance), and
+# the new pool/lane telemetry fields are present and well-formed.
+grep -q ' warm ' target/sched.lanes.txt || {
+    echo "no job reported warm-pool provenance"
+    exit 1
+}
+"$CLI" trace-check target/sched.lanes.txt.metrics.json
+for field in 'serve\.pool_' 'serve\.queue_wait_ms\.lane' 'serve\.warm_target'; do
+    grep -Eq "$field" target/sched.lanes.txt.metrics.json || {
+        echo "metrics snapshot is missing $field"
+        exit 1
+    }
+done
+echo "    lanes narrow wait $lanes_wait ms < fifo $fifo_wait ms, digests identical, warm pool + lane telemetry OK"
+
 echo "==> OK"

@@ -14,8 +14,10 @@
 //! hardsnap-cli trace-check <trace.json>
 //! hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
 //!                   [--delta-snapshots on|off]
-//! hardsnap-cli snapshot inspect <file.hsnap>
+//! hardsnap-cli snapshot inspect <file.hsnap | archive.hspack>
 //! hardsnap-cli snapshot validate [--deep] <file.hsnap>
+//! hardsnap-cli snapshot pack <dir> -o <archive.hspack>
+//! hardsnap-cli snapshot unpack <archive.hspack> <dest-dir> [--accept-any-shape]
 //! hardsnap-cli soc-stats
 //! ```
 //!
@@ -128,20 +130,37 @@ USAGE:
   hardsnap-cli fuzz <firmware.s> [--inputs N] [--reset snapshot|reboot]
                     [--delta-snapshots on|off]
       Coverage-guided fuzzing of HS32 firmware against the built-in SoC.
-  hardsnap-cli snapshot inspect <file.hsnap>
-      Print a persistent snapshot image's metadata and section table.
+  hardsnap-cli snapshot inspect <file.hsnap | archive.hspack>
+      Print a snapshot image's metadata and section table, or a pack
+      archive's manifest (design, shape hash, members).
   hardsnap-cli snapshot validate [--deep] <file.hsnap>
       Validate an image; --deep re-verifies every payload checksum.
+  hardsnap-cli snapshot pack <dir> -o <archive.hspack>
+      Pack a checkpoint/campaign directory into one archive whose
+      manifest records the design, its shape hash and per-member
+      content hashes — the transferable form of a warm-pool baseline.
+  hardsnap-cli snapshot unpack <archive.hspack> <dest-dir> [--accept-any-shape]
+      Unpack an archive. The receiver's design shape is checked against
+      the manifest BEFORE any payload is extracted; a mismatched
+      archive is refused (use --accept-any-shape to skip the gate).
   hardsnap-cli soc-stats
       Print statistics of the built-in 4-peripheral SoC.
   hardsnap-cli serve [--state-dir DIR] [--socket PATH] [--pool N] [--queue-max N]
+                     [--warm-pool N] [--baseline FILE] [--sched fifo|lanes]
+                     [--aging-ms MS]
       Run the campaign daemon: many concurrent jobs over a bounded pool
       of target replicas, with hard budgets, admission control and
       crash-safe resume (kill -9 + restart loses nothing).
+      --warm-pool N keeps N pre-built replicas armed against a baseline
+      snapshot (--baseline FILE, e.g. one unpacked from a pack archive;
+      without it one is synthesized at start) so jobs skip the cold
+      boot. --sched lanes (default) schedules by priority lane with
+      aging and packing; --sched fifo is strict admission order.
   hardsnap-cli submit <firmware> [--socket PATH] [--name S] [--workers N]
-                      [--fault-rate R] [--fault-seed N] [--repeat N]
-                      [--max-instructions N] [--max-vtime-ns N] [--max-quanta N]
-                      [--wall-ms N] [--snapshot-mem-budget BYTES]
+                      [--priority 0..7] [--fault-rate R] [--fault-seed N]
+                      [--repeat N] [--max-instructions N] [--max-vtime-ns N]
+                      [--max-quanta N] [--wall-ms N]
+                      [--snapshot-mem-budget BYTES]
                       [--delta-snapshots on|off] [--leg-instructions N]
                       [--wait SECS]
       Submit a job. With --wait SECS, block until the terminal verdict
@@ -149,11 +168,13 @@ USAGE:
       2 saturated (rejected at admission), 3 flaky, 4 cancelled or
       over-budget. --repeat N re-executes a completed job N times total
       with re-seeded fault plans and reports stable vs flaky.
+      --priority picks the scheduling lane (7 = most urgent, default 3);
+      it affects when the job starts, never its digest.
   hardsnap-cli status [JOB-ID] [--socket PATH]
       Print one job (exits with its verdict code) or the whole table,
-      headed by daemon occupancy (queue depth, pool busy/total,
-      subscribers, events published/dropped) and a per-job
-      budget-consumed column.
+      headed by daemon occupancy (queue depth, pool busy/total, warm
+      pool, subscribers, events published/dropped) and per-job
+      budget-consumed, lane and warm/cold-provenance columns.
   hardsnap-cli metrics [--socket PATH] [--format json|prom]
       Fetch the daemon's aggregated telemetry snapshot — engine
       counters/histograms merged across all jobs plus serve-level
@@ -169,9 +190,10 @@ USAGE:
       and lifecycle events, schema hardsnap-flight-v1).
   hardsnap-cli top [--socket PATH] [--interval-ms N] [--frames N]
       Live ANSI dashboard over subscribe + metrics: job table with
-      budget bars, pool occupancy, queue depth, instructions/s and
-      events/s, plus the most recent lifecycle events. --frames 0
-      (default) runs until the daemon goes away or Ctrl-C.
+      budget bars, lane and queue-age columns, pool and warm-pool
+      occupancy, per-lane queue depths, instructions/s and events/s,
+      plus the most recent lifecycle events. --frames 0 (default) runs
+      until the daemon goes away or Ctrl-C.
   hardsnap-cli cancel <job-id | daemon> [--socket PATH]
       Cooperatively cancel a job (it stops at the next quantum boundary
       with a resumable checkpoint), or shut the daemon down.
@@ -600,25 +622,104 @@ fn check_chrome_trace(path: &str, v: &hardsnap_util::json::Value) -> CliResult {
     Ok(())
 }
 
-/// `snapshot inspect|validate` — poke at persistent snapshot images.
+/// `snapshot inspect|validate|pack|unpack` — poke at persistent
+/// snapshot images and pack archives.
 fn cmd_snapshot(args: &[String]) -> CliResult {
     let sub = args
         .first()
-        .ok_or("snapshot: missing subcommand (inspect|validate)")?;
-    // Parsed by hand: `validate` takes a boolean `--deep`, which the
-    // generic flag parser (every --flag eats a value) cannot express.
+        .ok_or("snapshot: missing subcommand (inspect|validate|pack|unpack)")?;
+    // Parsed by hand: the boolean flags (--deep, --accept-any-shape)
+    // are ones the generic flag parser (every --flag eats a value)
+    // cannot express.
     let mut deep = false;
-    let mut file = None;
-    for a in &args[1..] {
+    let mut accept_any_shape = false;
+    let mut pos: Vec<&str> = Vec::new();
+    let mut out: Option<&str> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--deep" => deep = true,
-            other if !other.starts_with('-') => file = Some(other),
+            "--accept-any-shape" => accept_any_shape = true,
+            "-o" | "--out" => {
+                out = Some(
+                    it.next()
+                        .map(String::as_str)
+                        .ok_or(format!("snapshot {sub}: {a} needs a value"))?,
+                );
+            }
+            other if !other.starts_with('-') => pos.push(other),
             other => return Err(format!("snapshot {sub}: unknown flag '{other}'").into()),
         }
     }
-    let file = file.ok_or_else(|| format!("snapshot {sub}: missing <file.hsnap>"))?;
+    match sub.as_str() {
+        "pack" => {
+            let dir = pos
+                .first()
+                .ok_or("snapshot pack: missing <dir> to archive")?;
+            let out = out.ok_or("snapshot pack: missing -o <archive.hspack>")?;
+            let manifest = hardsnap_bus::archive::pack_dir_to(Path::new(dir), Path::new(out))?;
+            println!(
+                "packed {dir} -> {out}: design '{}' shape {:#018x}, {} member(s), {} payload bytes",
+                manifest.design,
+                manifest.shape_hash,
+                manifest.files.len(),
+                manifest.payload_len()
+            );
+            return Ok(());
+        }
+        "unpack" => {
+            let archive = pos
+                .first()
+                .ok_or("snapshot unpack: missing <archive.hspack>")?;
+            let dest = pos.get(1).ok_or("snapshot unpack: missing <dest-dir>")?;
+            // The admission gate: refuse an archive whose design shape
+            // does not match the live built-in SoC, before extracting
+            // a single payload byte.
+            let live_shape = if accept_any_shape {
+                0
+            } else {
+                SimTarget::new(hardsnap_periph::soc()?)?.snapshot_shape()
+            };
+            let manifest =
+                hardsnap_bus::archive::unpack_to(Path::new(archive), Path::new(dest), live_shape)?;
+            println!(
+                "unpacked {archive} -> {dest}: design '{}' shape {:#018x}, {} member(s){}",
+                manifest.design,
+                manifest.shape_hash,
+                manifest.files.len(),
+                if accept_any_shape {
+                    " (shape gate skipped)"
+                } else {
+                    " (shape verified)"
+                }
+            );
+            return Ok(());
+        }
+        _ => {}
+    }
+    let file = *pos
+        .first()
+        .ok_or_else(|| format!("snapshot {sub}: missing <file>"))?;
     match sub.as_str() {
         "inspect" => {
+            // A pack archive leads with its own magic; sniff it and
+            // print the manifest instead of the snapshot section table.
+            let head = std::fs::read(Path::new(file)).map_err(|e| format!("{file}: {e}"))?;
+            if head.starts_with(hardsnap_bus::PACK_MAGIC) {
+                let manifest = hardsnap_bus::archive::inspect(Path::new(file))?;
+                println!("file         : {file} ({} bytes)", head.len());
+                println!(
+                    "kind         : pack archive ({})",
+                    hardsnap_bus::PACK_SCHEMA
+                );
+                println!("design       : {}", manifest.design);
+                println!("shape hash   : {:#018x}", manifest.shape_hash);
+                println!("members      :");
+                for m in &manifest.files {
+                    println!("  {} ({} bytes, fnv {:#018x})", m.name, m.len, m.checksum);
+                }
+                return Ok(());
+            }
             let f = SnapshotFile::open(Path::new(file))?;
             let meta = f.meta()?;
             println!("file         : {file} ({} bytes)", f.file_len());
@@ -650,9 +751,10 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
             );
             Ok(())
         }
-        other => {
-            Err(format!("unknown snapshot subcommand '{other}' (want inspect|validate)").into())
-        }
+        other => Err(format!(
+            "unknown snapshot subcommand '{other}' (want inspect|validate|pack|unpack)"
+        )
+        .into()),
     }
 }
 
@@ -750,7 +852,7 @@ fn connect(flags: &[(&str, &str)]) -> Result<hardsnap_serve::Client, hardsnap_se
 /// Runs the daemon in-process (same engine as the `hardsnap-serve`
 /// binary): recover, watchdog, unix-socket loop until `shutdown`.
 fn cmd_serve(flags: &[(&str, &str)]) -> ServeResult {
-    use hardsnap_serve::{Daemon, DaemonConfig, ServeError};
+    use hardsnap_serve::{Daemon, DaemonConfig, SchedPolicy, ServeError};
     let bad = |m: String| ServeError::Protocol(m);
     let mut cfg = DaemonConfig::default();
     if let Some(d) = flag(flags, "state-dir") {
@@ -763,6 +865,23 @@ fn cmd_serve(flags: &[(&str, &str)]) -> ServeResult {
         cfg.queue_max = n
             .parse()
             .map_err(|_| bad(format!("bad --queue-max '{n}'")))?;
+    }
+    if let Some(n) = flag(flags, "warm-pool") {
+        cfg.warm_pool = n
+            .parse()
+            .map_err(|_| bad(format!("bad --warm-pool '{n}'")))?;
+    }
+    if let Some(p) = flag(flags, "baseline") {
+        cfg.baseline = Some(std::path::PathBuf::from(p));
+    }
+    if let Some(s) = flag(flags, "sched") {
+        cfg.sched = SchedPolicy::parse(s)
+            .ok_or_else(|| bad(format!("bad --sched '{s}' (want fifo|lanes)")))?;
+    }
+    if let Some(n) = flag(flags, "aging-ms") {
+        cfg.aging_ms = n
+            .parse()
+            .map_err(|_| bad(format!("bad --aging-ms '{n}'")))?;
     }
     let socket = flag(flags, "socket")
         .map(std::path::PathBuf::from)
@@ -807,6 +926,7 @@ fn parse_job_spec(
     num("wall-ms", &mut spec.wall_ms)?;
     num("snapshot-mem-budget", &mut spec.snapshot_mem_budget)?;
     num("leg-instructions", &mut spec.leg_instructions)?;
+    num("priority", &mut spec.priority)?;
     if let Some(v) = flag(flags, "workers") {
         spec.workers = v.parse().map_err(|_| bad(format!("bad --workers '{v}'")))?;
     }
@@ -837,9 +957,11 @@ fn print_summary(s: &hardsnap_serve::JobSummary) {
         .map(|v| v.as_str().to_string())
         .unwrap_or_else(|| "-".into());
     println!(
-        "job {:>4}  {:<8}  {:<11}  bud {:>3}%  instr {:>9}  paths {:>5}  bugs {:>3}  wait {:>5} ms  run {:>6} ms  {}  {}",
+        "job {:>4}  {:<8}  L{}  {:<4}  {:<11}  bud {:>3}%  instr {:>9}  paths {:>5}  bugs {:>3}  wait {:>5} ms  run {:>6} ms  {}  {}",
         s.id,
         s.state.as_str(),
+        s.lane,
+        s.provenance.as_deref().unwrap_or("-"),
         verdict,
         s.budget_permille / 10,
         s.instructions,
@@ -854,11 +976,20 @@ fn print_summary(s: &hardsnap_serve::JobSummary) {
 
 /// One-line daemon occupancy header for `status` and `top`.
 fn daemon_header(d: &hardsnap_serve::DaemonStats) -> String {
+    let warm = if d.warm_target > 0 {
+        format!(
+            "  warm {}/{} ready (+{} arming)",
+            d.warm_ready, d.warm_target, d.warm_arming
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "daemon: queue {}  pool {}/{} busy  subscribers {}  events {} published / {} dropped",
+        "daemon: queue {}  pool {}/{} busy{}  subscribers {}  events {} published / {} dropped",
         d.queue_depth,
         d.pool_busy,
         d.pool_replicas,
+        warm,
         d.subscribers,
         d.events_published,
         d.events_dropped
@@ -1113,6 +1244,34 @@ fn cmd_top(flags: &[(&str, &str)]) -> ServeResult {
                 bar20(occ),
                 occ / 10
             ));
+            if d.warm_target > 0 {
+                let ready = d.warm_ready * 1000 / d.warm_target;
+                screen.push_str(&format!(
+                    "warm {} {:>3}%   {} ready / {} leased / {} arming of {}\n",
+                    bar20(ready),
+                    ready / 10,
+                    d.warm_ready,
+                    d.warm_leased,
+                    d.warm_arming,
+                    d.warm_target
+                ));
+            }
+        }
+        // Per-lane queue depth, from the queued jobs themselves.
+        {
+            let mut lanes = [0u64; 8];
+            for j in &jobs {
+                if j.state == hardsnap_serve::JobState::Queued {
+                    lanes[(j.lane as usize).min(7)] += 1;
+                }
+            }
+            if lanes.iter().any(|&n| n > 0) {
+                screen.push_str("lanes ");
+                for (i, n) in lanes.iter().enumerate() {
+                    screen.push_str(&format!("L{i}:{n} "));
+                }
+                screen.push('\n');
+            }
         }
         if let Some(s) = &snap {
             screen.push_str(&format!(
@@ -1125,13 +1284,17 @@ fn cmd_top(flags: &[(&str, &str)]) -> ServeResult {
             ));
         }
         screen.push('\n');
-        screen
-            .push_str("  ID  STATE     BUDGET                      INSTR      PATHS  BUGS  NAME\n");
+        screen.push_str(
+            "  ID  STATE     LANE  SRC   AGE-MS  BUDGET                      INSTR      PATHS  BUGS  NAME\n",
+        );
         for j in &jobs {
             screen.push_str(&format!(
-                "{:>4}  {:<8}  {} {:>3}%  {:>9}  {:>5}  {:>4}  {}\n",
+                "{:>4}  {:<8}  L{}    {:<4}  {:>6}  {} {:>3}%  {:>9}  {:>5}  {:>4}  {}\n",
                 j.id,
                 j.state.as_str(),
+                j.lane,
+                j.provenance.as_deref().unwrap_or("-"),
+                j.queue_wait_ms,
                 bar20(j.budget_permille),
                 j.budget_permille / 10,
                 j.instructions,

@@ -15,12 +15,14 @@
 
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod fault;
 pub mod map;
 pub mod persist;
 pub mod snapshot;
 pub mod target;
 
+pub use archive::{PackEntry, PackManifest, PACK_MAGIC, PACK_SCHEMA};
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyTarget};
 pub use map::{MemoryMap, Region, RegionKind};
 pub use persist::{

@@ -133,6 +133,15 @@ pub enum PersistError {
         /// What was wrong about the supplied base.
         detail: String,
     },
+    /// The image's design shape does not match the consumer's — e.g. a
+    /// warm-pool baseline or a packed archive built from a different
+    /// design, rejected before any section payload is transferred.
+    ShapeMismatch {
+        /// Shape hash recorded in the image/manifest.
+        expected: u64,
+        /// Shape hash of the live target / receiving side.
+        found: u64,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -148,6 +157,12 @@ impl fmt::Display for PersistError {
             PersistError::Malformed(m) => write!(f, "malformed image: {m}"),
             PersistError::BaseMismatch { reference, detail } => {
                 write!(f, "delta base '{reference}' mismatch: {detail}")
+            }
+            PersistError::ShapeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "design shape mismatch: image has {expected:#018x}, live side has {found:#018x}"
+                )
             }
         }
     }
@@ -186,6 +201,27 @@ pub struct PersistMeta {
     /// a full image. Campaign manifests use sibling file names, the spill
     /// tier uses in-store snapshot ids.
     pub base_ref: String,
+}
+
+impl PersistMeta {
+    /// Rejects an image whose design shape differs from the consumer's.
+    ///
+    /// This is the cheap admission gate used before restoring a warm-pool
+    /// baseline or unpacking an archive: the 40-byte META entry decides
+    /// compatibility without reading a single section payload. A
+    /// `live_shape` of 0 means the consumer cannot fingerprint its own
+    /// shape (the [`crate::HwTarget::snapshot_shape`] "unknown" value);
+    /// the check is skipped and a later eager restore does the full
+    /// name/width comparison instead.
+    pub fn check_shape(&self, live_shape: u64) -> Result<(), PersistError> {
+        if live_shape != 0 && self.shape_hash != live_shape {
+            return Err(PersistError::ShapeMismatch {
+                expected: self.shape_hash,
+                found: live_shape,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// One entry of the section table.

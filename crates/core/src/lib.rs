@@ -47,6 +47,7 @@ pub mod campaign;
 pub mod engine;
 pub mod firmware;
 pub mod parallel;
+pub mod replica;
 pub mod snapshots;
 pub mod supervise;
 
@@ -59,6 +60,7 @@ pub use engine::{
     RunResult, Searcher, StopReason,
 };
 pub use parallel::ParallelEngine;
+pub use replica::{arm_baseline, synthesize_baseline, ReplicaError};
 pub use snapshots::{PersistEntry, SnapId, SnapshotStore, StoreStats};
 pub use supervise::{FaultSummary, RetryPolicy, Supervisor};
 

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! hardsnap-serve [--state-dir DIR] [--socket PATH] [--pool N]
-//!                [--queue-max N] [--metrics-addr HOST:PORT]
-//!                [--no-observe] [--stdio]
+//!                [--queue-max N] [--warm-pool N] [--baseline FILE]
+//!                [--sched fifo|lanes] [--aging-ms MS]
+//!                [--metrics-addr HOST:PORT] [--no-observe] [--stdio]
 //! ```
 //!
 //! On start the daemon recovers its state directory: terminal jobs are
@@ -15,8 +16,14 @@
 //! printed, so `:0` works for tests). On SIGTERM or panic the daemon
 //! dumps its flight recorder to `<state-dir>/flight.json` before
 //! winding down.
+//!
+//! `--warm-pool N` keeps N pre-built replicas armed against a baseline
+//! snapshot (`--baseline FILE`, or one synthesized at start) so jobs
+//! start by forking a warm prototype instead of cold-booting the SoC.
+//! `--sched` picks the queue policy: `lanes` (default — priority lanes
+//! with aging and packing) or `fifo` (strict admission order).
 
-use hardsnap_serve::{Daemon, DaemonConfig};
+use hardsnap_serve::{Daemon, DaemonConfig, SchedPolicy};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,14 +74,23 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
             "--pool" => cfg.pool_replicas = value("--pool")?.parse()?,
             "--queue-max" => cfg.queue_max = value("--queue-max")?.parse()?,
+            "--warm-pool" => cfg.warm_pool = value("--warm-pool")?.parse()?,
+            "--baseline" => cfg.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--sched" => {
+                let name = value("--sched")?;
+                cfg.sched = SchedPolicy::parse(&name)
+                    .ok_or_else(|| format!("--sched must be 'fifo' or 'lanes', got '{name}'"))?;
+            }
+            "--aging-ms" => cfg.aging_ms = value("--aging-ms")?.parse()?,
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
             "--no-observe" => cfg.observe = false,
             "--stdio" => stdio = true,
             "--help" | "-h" => {
                 println!(
                     "usage: hardsnap-serve [--state-dir DIR] [--socket PATH] \
-                     [--pool N] [--queue-max N] [--metrics-addr HOST:PORT] \
-                     [--no-observe] [--stdio]"
+                     [--pool N] [--queue-max N] [--warm-pool N] [--baseline FILE] \
+                     [--sched fifo|lanes] [--aging-ms MS] \
+                     [--metrics-addr HOST:PORT] [--no-observe] [--stdio]"
                 );
                 return Ok(());
             }

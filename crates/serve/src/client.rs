@@ -2,14 +2,14 @@
 //! wrapper over a unix-socket connection, plus polling helpers the CLI
 //! verbs (`submit --wait`, CI gates) build on.
 
-use crate::events::Event;
+use crate::events::{Event, EventBody};
 use crate::job::{DaemonStats, JobSpec, JobState, JobSummary};
 use crate::proto::{read_line, write_line, Request, Response};
 use crate::ServeError;
 use hardsnap_util::json::Value;
 use std::io::BufReader;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// A connected client. One request in flight at a time (the protocol
@@ -17,6 +17,9 @@ use std::time::{Duration, Instant};
 pub struct Client {
     reader: BufReader<UnixStream>,
     writer: UnixStream,
+    /// The socket this client connected to — `wait` opens a second,
+    /// subscribed connection to it.
+    socket: PathBuf,
 }
 
 impl Client {
@@ -36,6 +39,7 @@ impl Client {
         Ok(Client {
             reader,
             writer: stream,
+            socket: socket.to_path_buf(),
         })
     }
 
@@ -200,24 +204,70 @@ impl Client {
         }
     }
 
-    /// Polls `status` until the job is terminal or `timeout` elapses.
+    /// Blocks until the job is terminal or `timeout` elapses.
+    ///
+    /// Event-driven: opens a second, subscribed connection and sleeps
+    /// on the daemon's event stream until the job's `terminal` event
+    /// arrives — no busy-polling, sub-millisecond reaction. The
+    /// status-poll loop remains as the fallback when the subscription
+    /// cannot be established or the stream dies mid-wait.
     ///
     /// # Errors
     ///
     /// [`ServeError::Job`] on timeout or if the job vanishes.
     pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<JobSummary, ServeError> {
         let deadline = Instant::now() + timeout;
+        if let Ok(mut stream) = Client::connect(&self.socket).and_then(Client::subscribe) {
+            stream.set_deadline(Some(deadline));
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            // Re-check status only after the subscription is live:
+            // a job that terminalized before this line cannot emit
+            // another terminal event, so checking later would hang.
+            if let Some(s) = self.check_done(id)? {
+                return Ok(s);
+            }
+            loop {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                match stream.next_event() {
+                    Ok(Some(ev)) => {
+                        let terminal =
+                            ev.body.job_id() == id && matches!(ev.body, EventBody::Terminal { .. });
+                        // A gapped stream may have shed our terminal
+                        // event — any reported drop forces a re-check.
+                        if terminal || ev.dropped > 0 {
+                            if let Some(s) = self.check_done(id)? {
+                                return Ok(s);
+                            }
+                        }
+                    }
+                    Ok(None) | Err(_) => break, // stream gone → poll fallback
+                }
+            }
+        }
+        self.wait_poll(id, deadline)
+    }
+
+    /// One status probe: `Some` iff the job is terminal.
+    fn check_done(&mut self, id: u64) -> Result<Option<JobSummary>, ServeError> {
+        let mut jobs = self.status(Some(id))?;
+        match jobs.pop() {
+            Some(s) if s.state == JobState::Done => Ok(Some(s)),
+            Some(_) => Ok(None),
+            None => Err(ServeError::Job(format!("unknown job {id}"))),
+        }
+    }
+
+    /// The poll fallback: probes `status` every 50 ms until terminal
+    /// or `deadline`.
+    fn wait_poll(&mut self, id: u64, deadline: Instant) -> Result<JobSummary, ServeError> {
         loop {
-            let mut jobs = self.status(Some(id))?;
-            match jobs.pop() {
-                Some(s) if s.state == JobState::Done => return Ok(s),
-                Some(_) => {}
-                None => return Err(ServeError::Job(format!("unknown job {id}"))),
+            if let Some(s) = self.check_done(id)? {
+                return Ok(s);
             }
             if Instant::now() >= deadline {
-                return Err(ServeError::Job(format!(
-                    "timed out waiting for job {id} after {timeout:?}"
-                )));
+                return Err(ServeError::Job(format!("timed out waiting for job {id}")));
             }
             std::thread::sleep(Duration::from_millis(50));
         }

@@ -1,6 +1,7 @@
-//! The campaign daemon: admission control, FIFO scheduling over a
-//! bounded replica pool, watchdog cancellation, crash-safe journaling
-//! and restart recovery.
+//! The campaign daemon: admission control, budget-aware priority
+//! scheduling over a bounded replica pool, a warm replica pool for
+//! fast job starts, watchdog cancellation, crash-safe journaling and
+//! restart recovery.
 //!
 //! ## State machine
 //!
@@ -9,6 +10,36 @@
 //! scheduler grants `workers` replicas → `Running` (leg loop in
 //! [`crate::runner`], checkpointing `jobs/<id>/checkpoint/` every leg)
 //! → terminal verdict → `result.json` (crash-atomic) → `Done`.
+//!
+//! ## Scheduling
+//!
+//! Two policies ([`SchedPolicy`]):
+//!
+//! * **`Fifo`** — strict admission order, head-of-line blocks. The
+//!   reference policy: simple, starvation-free, and the digest oracle
+//!   for the invariance tests.
+//! * **`Lanes`** (default) — each job queues in a priority lane (its
+//!   spec's `priority`, 0–7). The scheduler ranks waiting jobs by
+//!   *effective priority* `lane × aging_ms + waited_ms`, so a high
+//!   lane wins now but every lane's urgency grows with wall time — a
+//!   lane-0 job outranks a fresh lane-7 job after `7 × aging_ms` of
+//!   waiting, so no job starves. **Packing:** a narrow job may bypass
+//!   an unseatable wide job ranked above it — unless that wide job has
+//!   waited ≥ 4×`aging_ms`, at which point packing stops and the pool
+//!   drains until the starved job seats (bounded bypass, not livelock).
+//!
+//! Either way, scheduling decides *when* a job runs, never *what* it
+//! computes: per-job canonical digests are bit-identical under any
+//! policy and any interleaving (pinned by tests and `exp_sched`).
+//!
+//! ## Warm replica pool
+//!
+//! With `warm_pool > 0` the daemon keeps a [`crate::pool::WarmPool`]
+//! of pre-built, baseline-armed prototypes. The scheduler leases one
+//! at seat time (provenance `"warm"`); the job forks its per-leg
+//! replicas from the prototype, skipping the SoC parse + elaborate +
+//! bytecode compile that dominates cold start. A miss (pool empty or
+//! disabled) falls back to a cold boot — latency, never correctness.
 //!
 //! ## Crash safety
 //!
@@ -27,9 +58,10 @@
 //! gate assert end to end.
 
 use crate::events::{EventBody, EventBus, Subscription};
-use crate::job::{DaemonStats, JobSpec, JobState, JobSummary, Verdict};
+use crate::job::{DaemonStats, JobSpec, JobState, JobSummary, Verdict, MAX_LANE};
+use crate::pool::{PoolConfig, WarmPool};
 use crate::proto::{read_line, write_line, Request, Response};
-use crate::runner;
+use crate::runner::{self, ReplicaSource};
 use crate::{digest_hex, write_atomic, ServeError};
 use hardsnap::{CancelToken, StopReason};
 use hardsnap_telemetry::{
@@ -46,6 +78,37 @@ use std::time::{Duration, Instant};
 /// spans are shed (counters and histograms are unaffected — only the
 /// Chrome trace loses tail history).
 const JOB_SPAN_CAP: usize = 65_536;
+
+/// Which order the scheduler grants replicas in. Never affects any
+/// job's canonical digest — only when it runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Strict admission order; an unseatable head blocks the queue.
+    /// The reference ordering for digest-invariance checks.
+    Fifo,
+    /// Priority lanes with aging and bounded packing (see the module
+    /// docs). The default.
+    Lanes,
+}
+
+impl SchedPolicy {
+    /// Stable wire/CLI name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Lanes => "lanes",
+        }
+    }
+
+    /// Parses a CLI name (`fifo` | `lanes`).
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        match s {
+            "fifo" => Some(SchedPolicy::Fifo),
+            "lanes" => Some(SchedPolicy::Lanes),
+            _ => None,
+        }
+    }
+}
 
 /// Daemon tuning.
 #[derive(Clone, Debug)]
@@ -76,6 +139,17 @@ pub struct DaemonConfig {
     /// Flight-recorder ring size (most recent events kept for the
     /// post-mortem `flight.json`).
     pub flight_capacity: usize,
+    /// Warm replicas to keep pre-armed (0 = no warm pool; jobs always
+    /// cold-boot).
+    pub warm_pool: usize,
+    /// Baseline snapshot the warm pool arms against; `None` synthesizes
+    /// one from a fresh prototype's post-reset state.
+    pub baseline: Option<PathBuf>,
+    /// Scheduling policy (see [`SchedPolicy`]).
+    pub sched: SchedPolicy,
+    /// Lane aging quantum, ms: one lane level of priority equals this
+    /// much waiting. Smaller = fairness dominates sooner.
+    pub aging_ms: u64,
 }
 
 impl Default for DaemonConfig {
@@ -88,6 +162,10 @@ impl Default for DaemonConfig {
             observe: true,
             event_queue_cap: 1024,
             flight_capacity: 4096,
+            warm_pool: 0,
+            baseline: None,
+            sched: SchedPolicy::Lanes,
+            aging_ms: 500,
         }
     }
 }
@@ -113,6 +191,13 @@ struct Job {
     deadline: Option<Instant>,
     queue_wait_ms: u64,
     run_ms: u64,
+    /// Priority lane (clamped spec priority).
+    lane: u64,
+    /// `"warm"` / `"cold"` once seated; `None` while queued.
+    provenance: Option<String>,
+    /// Warm-pool lease, held from seat time until the run thread
+    /// finishes (its drop re-arms the replica in the background).
+    lease: Option<crate::pool::Lease>,
 }
 
 /// `used/cap` in permille, saturating at 1000; 0 for unbudgeted.
@@ -154,8 +239,16 @@ impl Job {
             paths: self.paths,
             bugs: self.bugs,
             budget_permille: self.budget_permille(),
-            queue_wait_ms: self.queue_wait_ms,
+            // Live while queued (so `top` can show queue age), frozen
+            // at seat time otherwise.
+            queue_wait_ms: if self.state == JobState::Queued {
+                self.submitted_at.elapsed().as_millis() as u64
+            } else {
+                self.queue_wait_ms
+            },
             run_ms: self.run_ms,
+            lane: self.lane,
+            provenance: self.provenance.clone(),
         }
     }
 }
@@ -183,6 +276,8 @@ pub struct Daemon {
     bus: EventBus,
     /// Ring of recent events for the post-mortem `flight.json`.
     flight: FlightRecorder,
+    /// Warm replica pool (`Some` when `warm_pool > 0`).
+    pool: Option<Arc<WarmPool>>,
     /// Daemon birth; event timestamps are ms since this instant.
     started: Instant,
 }
@@ -198,6 +293,19 @@ impl Daemon {
         std::fs::create_dir_all(cfg.state_dir.join("jobs"))
             .map_err(|e| ServeError::Io(format!("{}: {e}", cfg.state_dir.display())))?;
         let flight_capacity = cfg.flight_capacity;
+        let rec = Recorder::enabled(0, "serve");
+        // The pool arms its replicas on background threads; Daemon::new
+        // never waits for them.
+        let pool = (cfg.warm_pool > 0).then(|| {
+            WarmPool::new(
+                PoolConfig {
+                    replicas: cfg.warm_pool,
+                    baseline: cfg.baseline.clone(),
+                    state_dir: cfg.state_dir.clone(),
+                },
+                rec.clone(),
+            )
+        });
         Ok(Arc::new(Daemon {
             cfg,
             inner: Mutex::new(Inner {
@@ -208,9 +316,10 @@ impl Daemon {
                 shutting_down: false,
             }),
             changed: Condvar::new(),
-            rec: Recorder::enabled(0, "serve"),
+            rec,
             bus: EventBus::new(),
             flight: FlightRecorder::new(flight_capacity),
+            pool,
             started: Instant::now(),
         }))
     }
@@ -265,7 +374,7 @@ impl Daemon {
     /// job; [`ServeError::Io`] if the journal write fails (the job is
     /// then *not* admitted).
     pub fn submit(self: &Arc<Daemon>, spec: JobSpec) -> Result<u64, ServeError> {
-        let (id, name, workers) = {
+        let (id, name, workers, lane) = {
             let mut g = self.inner.lock().unwrap();
             if g.shutting_down {
                 self.rec.count(Counter::JobsRejected);
@@ -307,6 +416,7 @@ impl Daemon {
             self.journal_write(&dir.join("job.json"), spec.to_value().to_json().as_bytes())?;
             let name = spec.name.clone();
             let workers = spec.workers as u64;
+            let lane = spec.priority.min(MAX_LANE);
             g.jobs.insert(
                 id,
                 Job {
@@ -327,125 +437,211 @@ impl Daemon {
                     deadline: None,
                     queue_wait_ms: 0,
                     run_ms: 0,
+                    lane,
+                    provenance: None,
+                    lease: None,
                 },
             );
             g.queue.push_back(id);
             self.rec.count(Counter::JobsAdmitted);
             self.rec
                 .observe(Metric::ServeQueueDepth, g.queue.len() as u64);
-            (id, name, workers)
+            (id, name, workers, lane)
         };
-        self.emit(EventBody::Admitted { id, name, workers });
+        self.emit(EventBody::Admitted {
+            id,
+            name,
+            workers,
+            lane,
+        });
         self.schedule();
         Ok(id)
     }
 
-    /// Grants replicas to queued jobs in FIFO order and spawns their
-    /// run threads. Called after every admission and every completion.
+    /// Picks the next queued job the scheduler may seat given `free`
+    /// replicas, or `None` when nothing can (or may) start. Caller
+    /// holds the inner lock.
+    fn pick_next(&self, g: &Inner, free: usize) -> Option<u64> {
+        match self.cfg.sched {
+            SchedPolicy::Fifo => {
+                // Strict admission order; an unseatable head blocks.
+                let &id = g.queue.front()?;
+                (g.jobs[&id].spec.workers <= free).then_some(id)
+            }
+            SchedPolicy::Lanes => {
+                let aging = self.cfg.aging_ms.max(1);
+                // Effective priority: one lane level ≡ `aging` ms of
+                // waiting, so every lane's urgency grows with time.
+                let mut ranked: Vec<(u64, u64, u64)> = g
+                    .queue
+                    .iter()
+                    .map(|&id| {
+                        let j = &g.jobs[&id];
+                        let waited = j.submitted_at.elapsed().as_millis() as u64;
+                        (
+                            j.lane.saturating_mul(aging).saturating_add(waited),
+                            waited,
+                            id,
+                        )
+                    })
+                    .collect();
+                ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.2.cmp(&b.2)));
+                for (_, waited, id) in ranked {
+                    if g.jobs[&id].spec.workers <= free {
+                        return Some(id); // packing: first seatable in rank order
+                    }
+                    if waited >= 4 * aging {
+                        // Starvation guard: a long-waiting unseatable
+                        // job stops packing — the pool must drain
+                        // until it fits (admission guarantees workers
+                        // ≤ pool_replicas, so it eventually does).
+                        return None;
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Grants replicas to queued jobs (policy order, see
+    /// [`SchedPolicy`]) and spawns their run threads. Called after
+    /// every admission and every completion. Seating a job also leases
+    /// a warm-pool replica when one is armed — the pool mutex is a
+    /// leaf lock, safe to take under the inner lock.
     fn schedule(self: &Arc<Daemon>) {
         loop {
-            let id = {
+            let (id, source) = {
                 let mut g = self.inner.lock().unwrap();
-                let Some(&id) = g.queue.front() else { break };
+                let free = self.cfg.pool_replicas - g.running_replicas;
+                let Some(id) = self.pick_next(&g, free) else {
+                    break;
+                };
                 let workers = g.jobs[&id].spec.workers;
-                if g.running_replicas + workers > self.cfg.pool_replicas {
-                    break; // head-of-line blocks: strict FIFO, no starvation
+                if let Some(pos) = g.queue.iter().position(|&q| q == id) {
+                    g.queue.remove(pos);
                 }
-                g.queue.pop_front();
                 g.running_replicas += workers;
+                let lease = self.pool.as_ref().and_then(|p| p.try_lease());
+                let source = if lease.is_some() { "warm" } else { "cold" };
                 let job = g.jobs.get_mut(&id).unwrap();
                 job.state = JobState::Running;
                 job.queue_wait_ms = job.submitted_at.elapsed().as_millis() as u64;
                 job.started_at = Some(Instant::now());
+                job.provenance = Some(source.to_string());
+                job.lease = lease;
                 if job.spec.wall_ms > 0 {
                     job.deadline = Some(Instant::now() + Duration::from_millis(job.spec.wall_ms));
                 }
                 self.rec
                     .observe(Metric::ServeQueueWaitMs, job.queue_wait_ms);
-                id
+                self.rec
+                    .observe(Metric::queue_wait_lane(job.lane), job.queue_wait_ms);
+                (id, source)
             };
             self.changed.notify_all();
-            self.emit(EventBody::Started { id });
+            self.emit(EventBody::Started {
+                id,
+                source: source.to_string(),
+            });
             let me = Arc::clone(self);
             std::thread::spawn(move || me.run_job_thread(id));
         }
     }
 
     fn run_job_thread(self: Arc<Daemon>, id: u64) {
-        let (spec, cancel) = {
-            let g = self.inner.lock().unwrap();
-            let j = &g.jobs[&id];
-            (j.spec.clone(), j.cancel.clone())
+        let (spec, cancel, lease) = {
+            let mut g = self.inner.lock().unwrap();
+            let j = g.jobs.get_mut(&id).unwrap();
+            (j.spec.clone(), j.cancel.clone(), j.lease.take())
         };
         let dir = self.job_dir(id);
         let started = Instant::now();
         let me = &self;
         let observe = self.cfg.observe;
-        let outcome = runner::run_job(&spec, &dir.join("checkpoint"), &cancel, observe, &mut |r| {
-            // Each leg is a fresh engine, so counters in
-            // `r.telemetry` are per-leg deltas while
-            // instructions/vtime/quanta are cumulative (resumed
-            // from the checkpoint). Derive events under the lock,
-            // publish after releasing it.
-            let mut events: Vec<EventBody> = Vec::new();
-            {
-                let mut g = me.inner.lock().unwrap();
-                if let Some(j) = g.jobs.get_mut(&id) {
-                    j.instructions = r.instructions;
-                    j.vtime_ns = r.hw_virtual_time_ns;
-                    j.quanta = r.metrics.quanta;
-                    j.paths = r.metrics.paths_completed;
-                    j.bugs = r.bugs.len() as u64;
-                    events.push(EventBody::Heartbeat {
-                        id,
-                        instructions: j.instructions,
-                        vtime_ns: j.vtime_ns,
-                        quanta: j.quanta,
-                        paths: j.paths,
-                        bugs: j.bugs,
-                        budget_permille: j.budget_permille(),
-                    });
-                    if !matches!(r.stop, StopReason::Complete | StopReason::Paths) {
-                        events.push(EventBody::Checkpoint {
+        // A leased warm prototype donates its compiled design via
+        // fork_clean; forks are power-on replicas, so warm and cold
+        // runs digest identically.
+        let source = match &lease {
+            Some(l) => ReplicaSource::Warm(l.prototype()),
+            None => ReplicaSource::Cold,
+        };
+        let outcome = runner::run_job_with_source(
+            &spec,
+            &dir.join("checkpoint"),
+            &cancel,
+            observe,
+            &source,
+            &mut |r| {
+                // Each leg is a fresh engine, so counters in
+                // `r.telemetry` are per-leg deltas while
+                // instructions/vtime/quanta are cumulative (resumed
+                // from the checkpoint). Derive events under the lock,
+                // publish after releasing it.
+                let mut events: Vec<EventBody> = Vec::new();
+                {
+                    let mut g = me.inner.lock().unwrap();
+                    if let Some(j) = g.jobs.get_mut(&id) {
+                        j.instructions = r.instructions;
+                        j.vtime_ns = r.hw_virtual_time_ns;
+                        j.quanta = r.metrics.quanta;
+                        j.paths = r.metrics.paths_completed;
+                        j.bugs = r.bugs.len() as u64;
+                        events.push(EventBody::Heartbeat {
                             id,
                             instructions: j.instructions,
+                            vtime_ns: j.vtime_ns,
+                            quanta: j.quanta,
+                            paths: j.paths,
+                            bugs: j.bugs,
+                            budget_permille: j.budget_permille(),
                         });
-                    }
-                    if r.faults.recovered > 0 {
-                        events.push(EventBody::FaultRecovered {
-                            id,
-                            recovered: r.faults.recovered,
-                        });
-                    }
-                    if r.faults.quarantined > 0 {
-                        events.push(EventBody::Quarantine {
-                            id,
-                            quarantined: r.faults.quarantined,
-                        });
-                    }
-                    if let Some(t) = &r.telemetry {
-                        let spills = t.counter("store_spills");
-                        let page_ins = t.counter("store_page_ins");
-                        if spills > 0 || page_ins > 0 {
-                            events.push(EventBody::Spill {
+                        if !matches!(r.stop, StopReason::Complete | StopReason::Paths) {
+                            events.push(EventBody::Checkpoint {
                                 id,
-                                spills,
-                                page_ins,
+                                instructions: j.instructions,
                             });
                         }
-                        j.telemetry.merge(t.clone());
-                        if j.telemetry.spans.len() > JOB_SPAN_CAP {
-                            let excess = j.telemetry.spans.len() - JOB_SPAN_CAP;
-                            j.telemetry.spans.drain(..excess);
+                        if r.faults.recovered > 0 {
+                            events.push(EventBody::FaultRecovered {
+                                id,
+                                recovered: r.faults.recovered,
+                            });
+                        }
+                        if r.faults.quarantined > 0 {
+                            events.push(EventBody::Quarantine {
+                                id,
+                                quarantined: r.faults.quarantined,
+                            });
+                        }
+                        if let Some(t) = &r.telemetry {
+                            let spills = t.counter("store_spills");
+                            let page_ins = t.counter("store_page_ins");
+                            if spills > 0 || page_ins > 0 {
+                                events.push(EventBody::Spill {
+                                    id,
+                                    spills,
+                                    page_ins,
+                                });
+                            }
+                            j.telemetry.merge(t.clone());
+                            if j.telemetry.spans.len() > JOB_SPAN_CAP {
+                                let excess = j.telemetry.spans.len() - JOB_SPAN_CAP;
+                                j.telemetry.spans.drain(..excess);
+                            }
                         }
                     }
                 }
-            }
-            for body in events {
-                me.emit(body);
-            }
-            me.changed.notify_all();
-        });
+                for body in events {
+                    me.emit(body);
+                }
+                me.changed.notify_all();
+            },
+        );
+        // Return the warm replica now — its drop re-arms it in the
+        // background, so it is leasable again before this job's
+        // terminal bookkeeping finishes.
+        drop(source);
+        drop(lease);
         let (summary, telemetry) = {
             let mut g = self.inner.lock().unwrap();
             g.running_replicas -= spec.workers;
@@ -567,6 +763,7 @@ impl Daemon {
             let g = self.inner.lock().unwrap();
             (g.queue.len() as u64, g.running_replicas as u64)
         };
+        let warm = self.pool.as_ref().map(|p| p.stats()).unwrap_or_default();
         DaemonStats {
             queue_depth,
             pool_replicas: self.cfg.pool_replicas as u64,
@@ -574,6 +771,10 @@ impl Daemon {
             subscribers: self.bus.subscriber_count() as u64,
             events_published: self.bus.published(),
             events_dropped: self.bus.dropped(),
+            warm_target: warm.target,
+            warm_ready: warm.ready,
+            warm_leased: warm.leased,
+            warm_arming: warm.arming,
         }
     }
 
@@ -596,6 +797,11 @@ impl Daemon {
             snap.set_gauge("serve.jobs_tracked", g.jobs.len() as u64);
         }
         snap.set_gauge("serve.subscribers", self.bus.subscriber_count() as u64);
+        let warm = self.pool.as_ref().map(|p| p.stats()).unwrap_or_default();
+        snap.set_gauge("serve.warm_target", warm.target);
+        snap.set_gauge("serve.warm_ready", warm.ready);
+        snap.set_gauge("serve.warm_leased", warm.leased);
+        snap.set_gauge("serve.warm_arming", warm.arming);
         snap
     }
 
@@ -677,6 +883,7 @@ impl Daemon {
             for (id, spec, done) in found {
                 g.next_id = g.next_id.max(id + 1);
                 let terminal = done.is_some();
+                let lane = spec.priority.min(MAX_LANE);
                 let job = Job {
                     spec,
                     state: if terminal {
@@ -699,6 +906,9 @@ impl Daemon {
                     deadline: None,
                     queue_wait_ms: done.as_ref().map_or(0, |s| s.queue_wait_ms),
                     run_ms: done.as_ref().map_or(0, |s| s.run_ms),
+                    lane,
+                    provenance: done.as_ref().and_then(|s| s.provenance.clone()),
+                    lease: None,
                 };
                 let job = Job {
                     digest: done
@@ -779,6 +989,19 @@ impl Daemon {
                 .wait_timeout(g, left.min(Duration::from_millis(50)))
                 .unwrap();
             g = guard;
+        }
+    }
+
+    /// Blocks until at least `n` warm replicas are armed and ready.
+    ///
+    /// Returns `false` on timeout or when the daemon has no warm pool
+    /// (`warm_pool: 0`, or the pool disabled itself on a baseline
+    /// shape mismatch) — callers that need a warm start must treat
+    /// that as "cold boots only".
+    pub fn wait_warm_ready(&self, n: usize, timeout: Duration) -> bool {
+        match &self.pool {
+            Some(p) => p.wait_ready(n, timeout),
+            None => false,
         }
     }
 
@@ -1106,6 +1329,125 @@ mod tests {
             "recovered run must digest identically to an uninterrupted one"
         );
         let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn lanes_and_packing_keep_digests_fifo_identical() {
+        // The scheduling-invariance property: run the same
+        // mixed-priority, mixed-width burst under strict FIFO and
+        // under the lane scheduler (with packing and aging in play);
+        // every job's canonical digest must be bit-identical. The
+        // policy decides when a job runs, never what it computes.
+        let specs: Vec<JobSpec> = (0..6)
+            .map(|i| {
+                let mut s = demo(&format!("m{i}"));
+                s.priority = (i * 3) % 8;
+                s.workers = 1 + (i as usize % 2);
+                s
+            })
+            .collect();
+        let run = |sched: SchedPolicy, name: &str| -> Vec<(String, String)> {
+            let d = Daemon::new(DaemonConfig {
+                state_dir: tmp(name),
+                pool_replicas: 2,
+                queue_max: 16,
+                sched,
+                aging_ms: 20,
+                ..DaemonConfig::default()
+            })
+            .unwrap();
+            let ids: Vec<u64> = specs.iter().map(|s| d.submit(s.clone()).unwrap()).collect();
+            assert!(d.wait_idle(Duration::from_secs(120)));
+            let out = ids
+                .iter()
+                .map(|&id| {
+                    let s = &d.status(Some(id))[0];
+                    assert_eq!(s.verdict, Some(Verdict::Completed));
+                    (s.name.clone(), s.digest.clone().unwrap())
+                })
+                .collect();
+            let _ = std::fs::remove_dir_all(&d.cfg.state_dir);
+            out
+        };
+        let fifo = run(SchedPolicy::Fifo, "inv-fifo");
+        let lanes = run(SchedPolicy::Lanes, "inv-lanes");
+        assert_eq!(fifo, lanes, "scheduling order must never change digests");
+    }
+
+    #[test]
+    fn starved_wide_job_eventually_seats_under_pressure() {
+        // A lane-0 job needing the whole pool, against a stream of
+        // lane-7 narrow jobs that pure packing would seat around it
+        // forever. The 4×aging starvation guard must stop packing and
+        // drain the pool until the wide job fits.
+        let d = Daemon::new(DaemonConfig {
+            state_dir: tmp("aging"),
+            pool_replicas: 2,
+            queue_max: 4,
+            sched: SchedPolicy::Lanes,
+            aging_ms: 10, // tiny, so the guard trips within the test
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let mut wide = demo("wide");
+        wide.workers = 2;
+        wide.priority = 0;
+        let wide_id = d.submit(wide).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let mut spawned = 0u64;
+        loop {
+            let s = &d.status(Some(wide_id))[0];
+            if s.state != JobState::Queued {
+                break;
+            }
+            assert!(Instant::now() < deadline, "wide job starved");
+            let mut narrow = demo(&format!("narrow{spawned}"));
+            narrow.priority = 7;
+            let _ = d.submit(narrow); // Saturated is fine — queue is bounded
+            spawned += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(d.wait_idle(Duration::from_secs(120)));
+        let s = &d.status(Some(wide_id))[0];
+        assert_eq!(s.verdict, Some(Verdict::Completed));
+        assert_eq!(s.lane, 0);
+        let _ = std::fs::remove_dir_all(&d.cfg.state_dir);
+    }
+
+    #[test]
+    fn warm_pool_provenance_and_digest_parity_with_cold() {
+        // A warm-pool daemon must report pool-hit provenance and
+        // produce digests bit-identical to a cold-boot daemon's.
+        let d = Daemon::new(DaemonConfig {
+            state_dir: tmp("warm"),
+            pool_replicas: 2,
+            queue_max: 8,
+            warm_pool: 2,
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let p = d.pool.as_ref().unwrap();
+        assert!(p.wait_ready(1, Duration::from_secs(120)), "{:?}", p.stats());
+        let id = d.submit(demo("w")).unwrap();
+        assert!(d.wait_idle(Duration::from_secs(120)));
+        let s = &d.status(Some(id))[0];
+        assert_eq!(s.provenance.as_deref(), Some("warm"));
+        let warm_digest = s.digest.clone().unwrap();
+        let stats = d.daemon_stats();
+        assert_eq!(stats.warm_target, 2);
+
+        let d2 = daemon("warm-cold-ref", 2, 8);
+        let id2 = d2.submit(demo("w")).unwrap();
+        assert!(d2.wait_idle(Duration::from_secs(120)));
+        let s2 = &d2.status(Some(id2))[0];
+        assert_eq!(s2.provenance.as_deref(), Some("cold"));
+        assert_eq!(
+            s2.digest.clone().unwrap(),
+            warm_digest,
+            "warm and cold replicas must digest identically"
+        );
+        let _ = std::fs::remove_dir_all(&d.cfg.state_dir);
+        let _ = std::fs::remove_dir_all(&d2.cfg.state_dir);
     }
 
     #[test]

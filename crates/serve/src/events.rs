@@ -38,11 +38,17 @@ pub enum EventBody {
         name: String,
         /// Replicas the job will consume.
         workers: u64,
+        /// Priority lane the job queued in (0 = lowest).
+        lane: u64,
     },
     /// The scheduler granted replicas; the leg loop is starting.
     Started {
         /// Job id.
         id: u64,
+        /// Replica provenance: `"warm"` (leased from the warm pool) or
+        /// `"cold"` (built from scratch). Latency metadata only — both
+        /// sources yield bit-identical power-on state and digests.
+        source: String,
     },
     /// One leg (scheduling quantum of the leg loop) finished.
     Heartbeat {
@@ -132,7 +138,7 @@ impl EventBody {
     pub fn job_id(&self) -> u64 {
         match self {
             EventBody::Admitted { id, .. }
-            | EventBody::Started { id }
+            | EventBody::Started { id, .. }
             | EventBody::Heartbeat { id, .. }
             | EventBody::Checkpoint { id, .. }
             | EventBody::Spill { id, .. }
@@ -176,11 +182,20 @@ impl Event {
             ("id".into(), num(self.body.job_id())),
         ]);
         match &self.body {
-            EventBody::Admitted { name, workers, .. } => {
+            EventBody::Admitted {
+                name,
+                workers,
+                lane,
+                ..
+            } => {
                 m.insert("name".into(), Value::Str(name.clone()));
                 m.insert("workers".into(), num(*workers));
+                m.insert("lane".into(), num(*lane));
             }
-            EventBody::Started { .. } | EventBody::WatchdogCancel { .. } => {}
+            EventBody::Started { source, .. } => {
+                m.insert("source".into(), Value::Str(source.clone()));
+            }
+            EventBody::WatchdogCancel { .. } => {}
             EventBody::Heartbeat {
                 instructions,
                 vtime_ns,
@@ -258,8 +273,16 @@ impl Event {
                 id,
                 name: opt_s("name").unwrap_or_default(),
                 workers: u("workers")?,
+                // Optional for wire compat with pre-lane daemons.
+                lane: m
+                    .get("lane")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(crate::job::DEFAULT_LANE),
             },
-            "started" => EventBody::Started { id },
+            "started" => EventBody::Started {
+                id,
+                source: opt_s("source").unwrap_or_default(),
+            },
             "heartbeat" => EventBody::Heartbeat {
                 id,
                 instructions: u("instructions")?,
@@ -454,8 +477,12 @@ mod tests {
                 id: 1,
                 name: "j".into(),
                 workers: 2,
+                lane: 5,
             },
-            EventBody::Started { id: 1 },
+            EventBody::Started {
+                id: 1,
+                source: "warm".into(),
+            },
             EventBody::Heartbeat {
                 id: 1,
                 instructions: 128,
@@ -532,7 +559,13 @@ mod tests {
         let slow = bus.subscribe(4);
         let fast = bus.subscribe(64);
         for i in 0..10 {
-            bus.publish(i, EventBody::Started { id: i });
+            bus.publish(
+                i,
+                EventBody::Started {
+                    id: i,
+                    source: "cold".into(),
+                },
+            );
         }
         // The slow queue kept only the newest 4; 6 were shed.
         assert_eq!(slow.backlog(), 4);
@@ -554,7 +587,13 @@ mod tests {
         assert_eq!(bus.subscriber_count(), 1);
         drop(sub);
         assert_eq!(bus.subscriber_count(), 0);
-        bus.publish(0, EventBody::Started { id: 1 });
+        bus.publish(
+            0,
+            EventBody::Started {
+                id: 1,
+                source: "cold".into(),
+            },
+        );
         assert_eq!(bus.dropped(), 0, "no live queue, nothing shed");
     }
 }

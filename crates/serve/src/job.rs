@@ -6,6 +6,11 @@ use hardsnap::StopReason;
 use hardsnap_util::json::Value;
 use std::collections::BTreeMap;
 
+/// Highest priority lane (lanes are `0..=MAX_LANE`, higher = sooner).
+pub const MAX_LANE: u64 = 7;
+/// Lane a submission lands in when it names none.
+pub const DEFAULT_LANE: u64 = 3;
+
 /// What a client asks the daemon to run: one analysis campaign over the
 /// built-in SoC, with hard budgets. Every budget of 0 means
 /// "unbudgeted" on the wire (and maps to `u64::MAX` engine-side), so a
@@ -45,6 +50,10 @@ pub struct JobSpec {
     /// default, 4096). Smaller legs bound how much work a `kill -9`
     /// can lose.
     pub leg_instructions: u64,
+    /// Priority lane, `0..=7` (higher = scheduled sooner; aging
+    /// guarantees low lanes still run). Affects *when* the job starts,
+    /// never its canonical digest.
+    pub priority: u64,
 }
 
 impl Default for JobSpec {
@@ -63,6 +72,7 @@ impl Default for JobSpec {
             snapshot_mem_budget: 0,
             repeat: 0,
             leg_instructions: 0,
+            priority: DEFAULT_LANE,
         }
     }
 }
@@ -103,6 +113,7 @@ impl JobSpec {
                 "leg_instructions".into(),
                 Value::Num(self.leg_instructions as f64),
             ),
+            ("priority".into(), Value::Num(self.priority as f64)),
         ]))
     }
 
@@ -143,6 +154,15 @@ impl JobSpec {
             snapshot_mem_budget: get_u64(m, "snapshot_mem_budget")?,
             repeat: get_u64(m, "repeat")? as u32,
             leg_instructions: get_u64(m, "leg_instructions")?,
+            priority: match m.get("priority") {
+                None => DEFAULT_LANE,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| {
+                        ServeError::Protocol("job field 'priority' must be a u64".into())
+                    })?
+                    .min(MAX_LANE),
+            },
         })
     }
 }
@@ -251,10 +271,17 @@ pub struct JobSummary {
     /// (instructions, virtual time, quanta, wall clock) in permille —
     /// 1000 means a budget is exhausted, 0 means unbudgeted or idle.
     pub budget_permille: u64,
-    /// Milliseconds spent queued before the first replica was free.
+    /// Milliseconds spent queued before the first replica was free
+    /// (live and still growing while the job is queued).
     pub queue_wait_ms: u64,
     /// Milliseconds of execution (absent until terminal).
     pub run_ms: u64,
+    /// Priority lane the job was admitted into (`0..=7`).
+    pub lane: u64,
+    /// Replica provenance once scheduled: `"warm"` (leased a pre-armed
+    /// pool prototype) or `"cold"` (built from scratch). `None` while
+    /// queued.
+    pub provenance: Option<String>,
 }
 
 impl JobSummary {
@@ -278,7 +305,11 @@ impl JobSummary {
                 Value::Num(self.queue_wait_ms as f64),
             ),
             ("run_ms".into(), Value::Num(self.run_ms as f64)),
+            ("lane".into(), Value::Num(self.lane as f64)),
         ]);
+        if let Some(p) = &self.provenance {
+            m.insert("provenance".into(), Value::Str(p.clone()));
+        }
         if let Some(v) = &self.verdict {
             m.insert("verdict".into(), Value::Str(v.as_str().into()));
             m.insert("exit_code".into(), Value::Num(f64::from(v.exit_code())));
@@ -370,6 +401,20 @@ impl JobSummary {
             budget_permille: get_u64(m, "budget_permille")?,
             queue_wait_ms: get_u64(m, "queue_wait_ms")?,
             run_ms: get_u64(m, "run_ms")?,
+            // Absent in pre-lane summaries (forward compat): default lane.
+            lane: match m.get("lane") {
+                None => DEFAULT_LANE,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| {
+                        ServeError::Protocol("summary field 'lane' must be a u64".into())
+                    })?
+                    .min(MAX_LANE),
+            },
+            provenance: m
+                .get("provenance")
+                .and_then(Value::as_str)
+                .map(str::to_string),
         })
     }
 }
@@ -391,6 +436,14 @@ pub struct DaemonStats {
     pub events_published: u64,
     /// Events shed by bounded subscriber queues since daemon start.
     pub events_dropped: u64,
+    /// Configured warm-pool size (0 = no warm pool).
+    pub warm_target: u64,
+    /// Warm replicas armed and ready to lease.
+    pub warm_ready: u64,
+    /// Warm replicas currently leased to running jobs.
+    pub warm_leased: u64,
+    /// Warm replicas being built or re-armed in the background.
+    pub warm_arming: u64,
 }
 
 impl DaemonStats {
@@ -412,6 +465,10 @@ impl DaemonStats {
                 "events_dropped".into(),
                 Value::Num(self.events_dropped as f64),
             ),
+            ("warm_target".into(), Value::Num(self.warm_target as f64)),
+            ("warm_ready".into(), Value::Num(self.warm_ready as f64)),
+            ("warm_leased".into(), Value::Num(self.warm_leased as f64)),
+            ("warm_arming".into(), Value::Num(self.warm_arming as f64)),
         ]))
     }
 
@@ -429,6 +486,10 @@ impl DaemonStats {
             subscribers: get_u64(m, "subscribers")?,
             events_published: get_u64(m, "events_published")?,
             events_dropped: get_u64(m, "events_dropped")?,
+            warm_target: get_u64(m, "warm_target")?,
+            warm_ready: get_u64(m, "warm_ready")?,
+            warm_leased: get_u64(m, "warm_leased")?,
+            warm_arming: get_u64(m, "warm_arming")?,
         })
     }
 }
@@ -454,10 +515,22 @@ mod tests {
             snapshot_mem_budget: 1 << 20,
             repeat: 3,
             leg_instructions: 128,
+            priority: 6,
         };
         let json = spec.to_value().to_json();
         let back = JobSpec::from_value(&hardsnap_util::json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, spec);
+        // A pre-lane submission (no 'priority' key) lands in the
+        // default lane; an out-of-range lane clamps.
+        let old =
+            JobSpec::from_value(&hardsnap_util::json::parse("{\"firmware\": \"demo:3\"}").unwrap())
+                .unwrap();
+        assert_eq!(old.priority, DEFAULT_LANE);
+        let high = JobSpec::from_value(
+            &hardsnap_util::json::parse("{\"firmware\": \"demo:3\", \"priority\": 99}").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(high.priority, MAX_LANE);
     }
 
     #[test]
@@ -487,6 +560,8 @@ mod tests {
                 budget_permille: 250,
                 queue_wait_ms: 5,
                 run_ms: 20,
+                lane: 6,
+                provenance: Some("warm".into()),
             };
             let json = s.to_value().to_json();
             let back = JobSummary::from_value(&hardsnap_util::json::parse(&json).unwrap()).unwrap();
@@ -496,6 +571,8 @@ mod tests {
             assert_eq!(back.vtime_ns, s.vtime_ns);
             assert_eq!(back.quanta, s.quanta);
             assert_eq!(back.budget_permille, s.budget_permille);
+            assert_eq!(back.lane, 6);
+            assert_eq!(back.provenance.as_deref(), Some("warm"));
         }
     }
 
@@ -508,6 +585,10 @@ mod tests {
             subscribers: 1,
             events_published: 100,
             events_dropped: 7,
+            warm_target: 4,
+            warm_ready: 2,
+            warm_leased: 1,
+            warm_arming: 1,
         };
         let json = stats.to_value().to_json();
         let back = DaemonStats::from_value(&hardsnap_util::json::parse(&json).unwrap()).unwrap();

@@ -41,14 +41,17 @@ pub mod client;
 pub mod daemon;
 pub mod events;
 pub mod job;
+pub mod pool;
 pub mod proto;
 pub mod runner;
 
 pub use client::{Client, EventStream};
-pub use daemon::{Daemon, DaemonConfig};
+pub use daemon::{Daemon, DaemonConfig, SchedPolicy};
 pub use events::{Event, EventBody, EventBus, Subscription};
 pub use job::{DaemonStats, JobSpec, JobState, JobSummary, Verdict};
+pub use pool::{Lease, PoolConfig, PoolStats, WarmPool};
 pub use proto::{Request, Response};
+pub use runner::ReplicaSource;
 
 use std::fmt;
 use std::path::Path;

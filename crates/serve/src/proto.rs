@@ -379,7 +379,10 @@ mod tests {
             seq: 3,
             ts_ms: 99,
             dropped: 1,
-            body: crate::events::EventBody::Started { id: 7 },
+            body: crate::events::EventBody::Started {
+                id: 7,
+                source: "warm".into(),
+            },
         };
         let json = Response::Event(ev.clone()).to_value().to_json();
         match Response::from_value(&parse(&json).unwrap()).unwrap() {
@@ -395,6 +398,10 @@ mod tests {
                 subscribers: 1,
                 events_published: 10,
                 events_dropped: 0,
+                warm_target: 2,
+                warm_ready: 1,
+                warm_leased: 1,
+                warm_arming: 0,
             }),
         };
         let json = status.to_value().to_json();

@@ -91,18 +91,39 @@ fn assemble(spec: &JobSpec) -> Result<hardsnap_isa::Program, ServeError> {
     hardsnap_isa::assemble(&src).map_err(|e| ServeError::Job(format!("{fw}:{e}")))
 }
 
-/// Builds one replica (the built-in SoC on the bytecode simulator),
-/// wrapped in a deterministic fault injector when the spec asks for
-/// faults.
-fn build_target(spec: &JobSpec, attempt: u32) -> Result<Box<dyn HwTarget>, ServeError> {
-    let soc = hardsnap_periph::soc().map_err(job_err)?;
-    let target: Box<dyn HwTarget> =
-        Box::new(SimTarget::with_engine(soc, SimEngine::Bytecode).map_err(job_err)?);
-    if spec.fault_rate > 0.0 {
-        let plan = FaultPlan::uniform(attempt_seed(spec, attempt), spec.fault_rate);
-        Ok(Box::new(FaultyTarget::new(target, plan)))
-    } else {
-        Ok(target)
+/// Where a job's replicas come from.
+///
+/// `Cold` constructs the built-in SoC from scratch every leg (Verilog
+/// parse + elaboration + bytecode compile). `Warm` forks power-on
+/// replicas from a leased warm-pool prototype, sharing its compiled
+/// design — same semantics, none of the construction cost.
+/// [`HwTarget::fork_clean`] yields power-on state exactly like a fresh
+/// construction does, so the two sources are digest-equivalent by
+/// construction (pinned by the pool tests and `exp_sched`).
+pub enum ReplicaSource<'a> {
+    /// Build every replica from scratch.
+    Cold,
+    /// Fork replicas from this armed prototype.
+    Warm(&'a dyn HwTarget),
+}
+
+impl ReplicaSource<'_> {
+    /// Builds one replica for `spec`, wrapped in a deterministic fault
+    /// injector when the spec asks for faults.
+    fn build(&self, spec: &JobSpec, attempt: u32) -> Result<Box<dyn HwTarget>, ServeError> {
+        let target: Box<dyn HwTarget> = match self {
+            ReplicaSource::Cold => {
+                let soc = hardsnap_periph::soc().map_err(job_err)?;
+                Box::new(SimTarget::with_engine(soc, SimEngine::Bytecode).map_err(job_err)?)
+            }
+            ReplicaSource::Warm(proto) => proto.fork_clean().map_err(job_err)?,
+        };
+        if spec.fault_rate > 0.0 {
+            let plan = FaultPlan::uniform(attempt_seed(spec, attempt), spec.fault_rate);
+            Ok(Box::new(FaultyTarget::new(target, plan)))
+        } else {
+            Ok(target)
+        }
     }
 }
 
@@ -151,10 +172,11 @@ fn run_leg(
     dir: &Path,
     config: EngineConfig,
     attempt: u32,
+    source: &ReplicaSource<'_>,
 ) -> Result<RunResult, ServeError> {
     let resume = dir.join(MANIFEST).exists();
     let program = assemble(spec)?;
-    let target = build_target(spec, attempt)?;
+    let target = source.build(spec, attempt)?;
     let result = if spec.workers > 1 {
         let mut engine =
             ParallelEngine::new(target.as_ref(), spec.workers, config).map_err(job_err)?;
@@ -192,6 +214,7 @@ fn run_legs(
     cancel: &CancelToken,
     deadline: Option<Instant>,
     observe: bool,
+    source: &ReplicaSource<'_>,
     on_leg: &mut dyn FnMut(&RunResult),
 ) -> Result<RunResult, ServeError> {
     let leg = if spec.leg_instructions > 0 {
@@ -217,7 +240,7 @@ fn run_legs(
     loop {
         let mut config = base_config(spec, cancel, deadline, observe);
         config.max_instructions = spec_cap.min(carried.saturating_add(leg));
-        let result = run_leg(spec, dir, config, 0)?;
+        let result = run_leg(spec, dir, config, 0, source)?;
         carried = result.instructions;
         on_leg(&result);
         // An Instructions stop below the job's own cap is just a leg
@@ -236,9 +259,10 @@ fn run_attempt(
     spec: &JobSpec,
     cancel: &CancelToken,
     attempt: u32,
+    source: &ReplicaSource<'_>,
 ) -> Result<RunResult, ServeError> {
     let program = assemble(spec)?;
-    let target = build_target(spec, attempt)?;
+    let target = source.build(spec, attempt)?;
     // Repeat attempts are digest-compared and discarded; they never
     // need telemetry.
     let mut config = base_config(spec, cancel, None, false);
@@ -295,8 +319,27 @@ pub fn run_job(
     observe: bool,
     on_leg: &mut dyn FnMut(&RunResult),
 ) -> Result<Outcome, ServeError> {
+    run_job_with_source(spec, dir, cancel, observe, &ReplicaSource::Cold, on_leg)
+}
+
+/// [`run_job`] with an explicit replica source: `Cold` builds each
+/// replica from scratch, `Warm` forks them from a leased warm-pool
+/// prototype. The source affects only construction latency — never the
+/// canonical digest.
+///
+/// # Errors
+///
+/// [`ServeError::Job`] on a bad spec or an engine/campaign failure.
+pub fn run_job_with_source(
+    spec: &JobSpec,
+    dir: &Path,
+    cancel: &CancelToken,
+    observe: bool,
+    source: &ReplicaSource<'_>,
+    on_leg: &mut dyn FnMut(&RunResult),
+) -> Result<Outcome, ServeError> {
     let deadline = (spec.wall_ms > 0).then(|| Instant::now() + Duration::from_millis(spec.wall_ms));
-    let baseline = run_legs(spec, dir, cancel, deadline, observe, on_leg)?;
+    let baseline = run_legs(spec, dir, cancel, deadline, observe, source, on_leg)?;
     let stop = baseline.stop;
     let mut verdict = match stop {
         StopReason::Complete | StopReason::Paths => Verdict::Completed,
@@ -314,7 +357,7 @@ pub fn run_job(
             attempts: spec.repeat,
         };
         for attempt in 1..spec.repeat {
-            let rerun = run_attempt(spec, cancel, attempt)?;
+            let rerun = run_attempt(spec, cancel, attempt, source)?;
             if rerun.stop == StopReason::Cancelled {
                 verdict = Verdict::Cancelled;
                 break;

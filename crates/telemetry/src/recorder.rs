@@ -132,6 +132,18 @@ enum_metric! {
         ServeMetricsScrapes => "serve.metrics_scrapes",
         /// Flight-recorder dumps written (verb, SIGTERM, or panic).
         ServeFlightDumps => "serve.flight_dumps",
+        /// Jobs that leased a pre-armed warm-pool replica instead of
+        /// cold-booting one.
+        ServePoolHits => "serve.pool_hits",
+        /// Jobs that wanted a warm replica but fell back to a cold
+        /// boot (pool empty, disabled, or shape mismatch).
+        ServePoolMisses => "serve.pool_misses",
+        /// Warm-pool replicas re-armed (restored back to the baseline
+        /// snapshot) after a lease was returned.
+        ServePoolRearms => "serve.pool_rearms",
+        /// Warm-pool arm/re-arm attempts that failed (the replica is
+        /// retired; the pool shrinks rather than leasing bad state).
+        ServePoolRearmFails => "serve.pool_rearm_fails",
     }
 }
 
@@ -186,6 +198,45 @@ enum_metric! {
         /// Wall-clock microseconds per crash-atomic journal write
         /// (tmp + fsync + rename).
         ServeJournalFsyncUs => "serve.journal_fsync_us",
+        /// Queue wait (ms) for jobs admitted into priority lane 0
+        /// (lowest). One histogram per lane so starvation shows up as
+        /// a fat tail on exactly the lane suffering it.
+        ServeQueueWaitLane0Ms => "serve.queue_wait_ms.lane0",
+        /// Queue wait (ms) for lane 1.
+        ServeQueueWaitLane1Ms => "serve.queue_wait_ms.lane1",
+        /// Queue wait (ms) for lane 2.
+        ServeQueueWaitLane2Ms => "serve.queue_wait_ms.lane2",
+        /// Queue wait (ms) for lane 3 (the default submission lane).
+        ServeQueueWaitLane3Ms => "serve.queue_wait_ms.lane3",
+        /// Queue wait (ms) for lane 4.
+        ServeQueueWaitLane4Ms => "serve.queue_wait_ms.lane4",
+        /// Queue wait (ms) for lane 5.
+        ServeQueueWaitLane5Ms => "serve.queue_wait_ms.lane5",
+        /// Queue wait (ms) for lane 6.
+        ServeQueueWaitLane6Ms => "serve.queue_wait_ms.lane6",
+        /// Queue wait (ms) for lane 7 (highest priority).
+        ServeQueueWaitLane7Ms => "serve.queue_wait_ms.lane7",
+        /// Wall-clock microseconds per warm-pool re-arm (power-on
+        /// reset + lazy restore from the baseline snapshot). Runs off
+        /// the critical path; this histogram proves it stays cheap.
+        ServePoolRearmUs => "serve.pool_rearm_us",
+    }
+}
+
+impl Metric {
+    /// The per-lane queue-wait histogram for `lane` (clamped to the
+    /// highest lane).
+    pub fn queue_wait_lane(lane: u64) -> Metric {
+        match lane {
+            0 => Metric::ServeQueueWaitLane0Ms,
+            1 => Metric::ServeQueueWaitLane1Ms,
+            2 => Metric::ServeQueueWaitLane2Ms,
+            3 => Metric::ServeQueueWaitLane3Ms,
+            4 => Metric::ServeQueueWaitLane4Ms,
+            5 => Metric::ServeQueueWaitLane5Ms,
+            6 => Metric::ServeQueueWaitLane6Ms,
+            _ => Metric::ServeQueueWaitLane7Ms,
+        }
     }
 }
 
